@@ -1,0 +1,55 @@
+//! The table/figure regeneration harness.
+//!
+//! ```text
+//! cargo run -p bench --bin tables -- all
+//! cargo run -p bench --bin tables -- table1 fig9
+//! ```
+
+use bench::experiments::{
+    self, ablation_cc2, ablation_pruning, cdos, fig10, fig12, fig3, fig6, fig9, fir, hierarchy,
+    methods, power, table1, walkthrough,
+};
+use techlib::Technology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: tables <artifact>... | all\n\nartifacts:");
+        for (name, doc) in experiments::ALL {
+            eprintln!("  {name:<18} {doc}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let tech = Technology::g10_035();
+    let wanted: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in wanted {
+        let report = match name {
+            "table1" => table1::render(&tech),
+            "fig6" => fig6::render(&tech),
+            "fig9" => fig9::render(&tech),
+            "fig12" => fig12::render(&tech),
+            "fig3" => fig3::render(),
+            "fig10" => fig10::render(),
+            "hierarchy" => hierarchy::render(),
+            "cdos" => cdos::render(),
+            "fig13" | "walkthrough" => walkthrough::render(),
+            "ablation-pruning" => ablation_pruning::render(&tech),
+            "ablation-cc2" => ablation_cc2::render(),
+            "power" => power::render(),
+            "methods" => methods::render(),
+            "fir" => fir::render(&tech),
+            other => {
+                eprintln!("unknown artifact {other:?}; see --help");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", "=".repeat(78));
+        println!("{report}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablation A2: the CC2 heuristic versus the cycle-accurate truth.
+//!
+//! CC2 states `Latency = 2·EOL/Radix + 1` cycles. For radices 2 and 4 this
+//! coincides with the digit-serial datapath's exact count (one cycle per
+//! digit plus the extra Montgomery iteration); at radices 8 and 16 the
+//! heuristic diverges from both the architectural count and the simulated
+//! cycle count — exactly the "relations may be heuristic" caveat the paper
+//! attaches to consistency constraints.
+
+use bignum::{uniform_below, UBig};
+use hwmodel::{sim, AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fmt;
+
+/// One radix's three latency figures.
+#[derive(Debug, Clone)]
+pub struct Cc2Row {
+    /// The radix.
+    pub radix: u64,
+    /// CC2's heuristic: `2·EOL/R + 1`.
+    pub cc2_cycles: u64,
+    /// The architecture's exact count (digits + fill + setup).
+    pub arch_cycles: u64,
+    /// Cycles actually consumed by the simulated datapath.
+    pub simulated_cycles: u64,
+}
+
+/// The operand length used (divisible by 1, 2, 3 and 4-bit digits and by
+/// the slice width).
+pub const EOL: u32 = 768;
+const SLICE: u32 = 48;
+
+/// Runs the comparison across radices 2–16.
+pub fn run() -> Vec<Cc2Row> {
+    let mut rng = StdRng::seed_from_u64(0xCC2);
+    let mut m = uniform_below(&UBig::power_of_two(EOL), &mut rng);
+    m.set_bit(EOL - 1, true);
+    m.set_bit(0, true);
+    let a = uniform_below(&m, &mut rng);
+    let b = uniform_below(&m, &mut rng);
+
+    [2u64, 4, 8, 16]
+        .into_iter()
+        .map(|radix| {
+            let mult = if radix == 2 {
+                DigitMultiplierKind::AndRow
+            } else {
+                DigitMultiplierKind::MuxTable
+            };
+            let arch = ModMulArchitecture::new(
+                Algorithm::Montgomery,
+                radix,
+                SLICE,
+                AdderKind::CarrySave,
+                mult,
+            )
+            .expect("valid architecture");
+            let out = sim::simulate(&arch, &a, &b, &m).expect("valid operands");
+            Cc2Row {
+                radix,
+                cc2_cycles: 2 * EOL as u64 / radix + 1,
+                arch_cycles: arch.cycles(EOL).expect("EOL divisible"),
+                simulated_cycles: out.cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison.
+pub fn render() -> String {
+    let rows = run();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let err = (r.cc2_cycles as f64 - r.arch_cycles as f64) / r.arch_cycles as f64 * 100.0;
+            vec![
+                r.radix.to_string(),
+                r.cc2_cycles.to_string(),
+                r.arch_cycles.to_string(),
+                r.simulated_cycles.to_string(),
+                format!("{err:+.1}%"),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablation A2 — CC2 heuristic vs exact cycle counts (EOL = {EOL}, {SLICE}-bit slices)\n\n{}",
+        fmt::table(
+            &[
+                "radix",
+                "CC2 2·EOL/R+1",
+                "architectural",
+                "simulated",
+                "CC2 error"
+            ],
+            &body
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architectural_count_matches_simulation() {
+        for r in run() {
+            assert_eq!(r.arch_cycles, r.simulated_cycles, "radix {}", r.radix);
+        }
+    }
+
+    #[test]
+    fn cc2_is_exact_for_radix_2_and_4_modulo_slicing() {
+        // The only difference at radix 2/4 is pipeline fill and mux setup.
+        let slices = (EOL / SLICE) as u64;
+        for r in run().iter().filter(|r| r.radix <= 4) {
+            let overhead = r.arch_cycles - r.cc2_cycles;
+            assert!(
+                overhead <= slices + 8,
+                "radix {}: overhead {overhead}",
+                r.radix
+            );
+        }
+    }
+
+    #[test]
+    fn cc2_underestimates_at_high_radix() {
+        // 2·EOL/8 < EOL/3 and 2·EOL/16 < EOL/4: the heuristic is optimistic.
+        let rows = run();
+        let r8 = rows.iter().find(|r| r.radix == 8).unwrap();
+        let r16 = rows.iter().find(|r| r.radix == 16).unwrap();
+        assert!(r8.cc2_cycles < r8.arch_cycles);
+        assert!(r16.cc2_cycles < r16.arch_cycles);
+        // ... and the error grows with the radix.
+        let err = |r: &Cc2Row| (r.arch_cycles - r.cc2_cycles) as f64 / r.arch_cycles as f64;
+        assert!(err(r16) > err(r8));
+    }
+
+    #[test]
+    fn render_reports_percentages() {
+        let s = render();
+        assert!(s.contains("CC2 error"));
+        assert!(s.contains('%'));
+    }
+}

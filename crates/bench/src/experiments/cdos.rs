@@ -1,0 +1,69 @@
+//! Figs. 8/11: the requirement and design-issue listings of the OMM,
+//! OMM-H and OMM-HM classes of design objects.
+
+use dse_library::crypto;
+
+use crate::fmt;
+
+/// Renders the per-CDO property listings.
+pub fn render() -> String {
+    let layer = crypto::build_layer().expect("layer builds");
+    let mut out = String::new();
+    for (title, cdo) in [
+        ("Fig. 8 — Operator-Modular-Multiplier (OMM)", layer.omm),
+        ("Fig. 11 — OMM-Hardware (OMM-H)", layer.omm_hw),
+        ("Fig. 11 — OMM-Hardware-Montgomery (OMM-HM)", layer.omm_hm),
+    ] {
+        out.push_str(&format!("{title}\n\n"));
+        let rows: Vec<Vec<String>> = layer
+            .space
+            .node(cdo)
+            .own_properties()
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name().to_owned(),
+                    p.kind().to_string(),
+                    p.domain().to_string(),
+                    p.default().map(|d| d.to_string()).unwrap_or_default(),
+                    p.doc().to_owned(),
+                ]
+            })
+            .collect();
+        out.push_str(&fmt::table(
+            &["property", "kind", "SetOfValues", "default", "doc"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listings_contain_the_papers_properties() {
+        let s = render();
+        for name in [
+            "EOL",
+            "OperandCoding",
+            "ResultCoding",
+            "ModuloIsOdd",
+            "MaxLatencyUs",
+            "ImplementationStyle",
+            "LayoutStyle",
+            "FabricationTechnology",
+            "Radix",
+            "NumberOfSlices",
+            "BehavioralDecomposition",
+            "Algorithm",
+            "AdderStructure",
+        ] {
+            assert!(s.contains(name), "{name}");
+        }
+        assert!(s.contains("generalized design issue"));
+        assert!(s.contains("{Guaranteed, notGuaranteed}"));
+    }
+}

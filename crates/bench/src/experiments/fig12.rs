@@ -1,0 +1,145 @@
+//! Fig. 12: the evaluation space for 64-bit Montgomery multiplications
+//! built from 64-bit slices — designs #1–#6, the leaf-level trade-offs
+//! (radix, adder structure, multiplier structure).
+
+use dse::eval::{EvalPoint, EvaluationSpace, FigureOfMerit};
+use hwmodel::designs::paper_designs;
+use techlib::Technology;
+
+use crate::fmt;
+
+/// One scatter point.
+#[derive(Debug, Clone)]
+pub struct Fig12Point {
+    /// Core label (`#4_64` style).
+    pub label: String,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Latency of one 64-bit multiplication in ns.
+    pub delay_ns: f64,
+    /// Clock period in ns.
+    pub clock_ns: f64,
+}
+
+/// Operand length and slice width of the figure.
+pub const EOL: u32 = 64;
+
+/// Runs the Fig.-12 sweep (Montgomery families #1–#6 at 64-bit slices).
+pub fn run(tech: &Technology) -> Vec<Fig12Point> {
+    paper_designs()
+        .iter()
+        .take(6)
+        .map(|family| {
+            let arch = family.architecture(EOL).expect("64-bit slices");
+            let est = arch.estimate(EOL, tech);
+            Fig12Point {
+                label: family.core_label(EOL),
+                area_um2: est.area_um2,
+                delay_ns: est.latency_ns,
+                clock_ns: est.clock_ns,
+            }
+        })
+        .collect()
+}
+
+/// The points as an evaluation space.
+pub fn evaluation_space(points: &[Fig12Point]) -> EvaluationSpace {
+    points
+        .iter()
+        .map(|p| {
+            EvalPoint::new(p.label.clone())
+                .with(FigureOfMerit::AreaUm2, p.area_um2)
+                .with(FigureOfMerit::DelayNs, p.delay_ns)
+        })
+        .collect()
+}
+
+/// Renders the scatter as a table.
+pub fn render(tech: &Technology) -> String {
+    let points = run(tech);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                fmt::num(p.area_um2),
+                fmt::num(p.delay_ns),
+                fmt::num(p.clock_ns),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 12 — evaluation space for {EOL}-bit Montgomery multiplications, {EOL}-bit slices\n\n{}",
+        fmt::table(&["core", "area (µm²)", "delay (ns)", "clk (ns)"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_label(points: &[Fig12Point], label: &str) -> Fig12Point {
+        points.iter().find(|p| p.label == label).unwrap().clone()
+    }
+
+    #[test]
+    fn six_montgomery_points() {
+        let points = run(&Technology::g10_035());
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.label.ends_with("_64")));
+    }
+
+    #[test]
+    fn radix4_designs_have_lower_latency_than_radix2_counterparts() {
+        let points = run(&Technology::g10_035());
+        // #4 (r4 CSA MUL) and #5 (r4 CSA MUX) beat #2 (r2 CSA) on delay.
+        let d2 = by_label(&points, "#2_64").delay_ns;
+        assert!(by_label(&points, "#4_64").delay_ns < d2);
+        assert!(by_label(&points, "#5_64").delay_ns < d2);
+    }
+
+    #[test]
+    fn radix2_designs_are_smallest() {
+        let points = run(&Technology::g10_035());
+        let a1 = by_label(&points, "#1_64").area_um2;
+        for other in ["#3_64", "#4_64", "#5_64", "#6_64"] {
+            assert!(by_label(&points, other).area_um2 > a1, "{other}");
+        }
+    }
+
+    #[test]
+    fn mux_beats_array_on_clock_at_equal_adder() {
+        let points = run(&Technology::g10_035());
+        assert!(by_label(&points, "#5_64").clock_ns < by_label(&points, "#4_64").clock_ns);
+        assert!(by_label(&points, "#6_64").clock_ns < by_label(&points, "#3_64").clock_ns);
+    }
+
+    #[test]
+    fn figure_ranges_match_the_paper_loosely() {
+        // Paper axes: area ~3e4..7e4 µm², delay ~100..400 ns.
+        let points = run(&Technology::g10_035());
+        for p in &points {
+            assert!(
+                (1.5e4..=1.2e5).contains(&p.area_um2),
+                "{}: {}",
+                p.label,
+                p.area_um2
+            );
+            assert!(
+                (80.0..=700.0).contains(&p.delay_ns),
+                "{}: {}",
+                p.label,
+                p.delay_ns
+            );
+        }
+    }
+
+    #[test]
+    fn there_are_real_tradeoffs() {
+        // No single design dominates all others.
+        let points = run(&Technology::g10_035());
+        let space = evaluation_space(&points);
+        let front = space.pareto_front(&[FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs]);
+        assert!(front.len() >= 2, "front: {front:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Figs. 2/3: the IDCT organisation experiment. Quantifies the paper's
+//! qualitative argument — an abstraction-first organisation scatters
+//! evaluation-space neighbours across families, while a
+//! generalization-first organisation keeps them together.
+
+use dse::eval::{EvaluationSpace, FigureOfMerit};
+use dse_library::idct;
+
+use crate::fmt;
+
+/// The experiment outcome.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Coherence of the generalization-first families (Fig. 3).
+    pub coherence_generalization: f64,
+    /// Coherence of the abstraction-first families (Fig. 2).
+    pub coherence_abstraction: f64,
+    /// The clusters found in the raw evaluation space (ground truth).
+    pub natural_clusters: Vec<Vec<String>>,
+}
+
+const MERITS: [FigureOfMerit; 2] = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
+
+/// Runs the comparison.
+pub fn run() -> Fig3Result {
+    let cores = idct::idct_cores();
+    let space: EvaluationSpace = cores.iter().map(|c| c.eval_point()).collect();
+
+    let gen = idct::build_layer_generalization().expect("layer builds");
+    let abs = idct::build_layer_abstraction().expect("layer builds");
+    let coherence_generalization =
+        space.partition_coherence(&MERITS, &idct::family_grouping(&gen, &cores));
+    let coherence_abstraction =
+        space.partition_coherence(&MERITS, &idct::family_grouping(&abs, &cores));
+
+    let natural_clusters = space
+        .cluster(&MERITS, 0.35)
+        .into_iter()
+        .map(|group| {
+            group
+                .into_iter()
+                .map(|i| space.points()[i].label().to_owned())
+                .collect()
+        })
+        .collect();
+
+    Fig3Result {
+        coherence_generalization,
+        coherence_abstraction,
+        natural_clusters,
+    }
+}
+
+/// Renders the comparison report.
+pub fn render() -> String {
+    let r = run();
+    let cores = idct::idct_cores();
+    let rows: Vec<Vec<String>> = cores
+        .iter()
+        .map(|c| {
+            vec![
+                c.name().to_owned(),
+                c.binding("Algorithm").unwrap().to_string(),
+                c.binding("FabricationTechnology").unwrap().to_string(),
+                fmt::num(c.merit_value(&FigureOfMerit::AreaUm2).unwrap()),
+                fmt::num(c.merit_value(&FigureOfMerit::DelayNs).unwrap()),
+            ]
+        })
+        .collect();
+    format!(
+        "Figs. 2/3 — IDCT organisation coherence\n\n{}\n\
+         natural evaluation-space clusters: {:?}\n\
+         coherence, generalization-first (Fig. 3): {:+.3}\n\
+         coherence, abstraction-first (Fig. 2):    {:+.3}\n",
+        fmt::table(
+            &[
+                "core",
+                "algorithm",
+                "technology",
+                "area (µm²)",
+                "delay (ns)"
+            ],
+            &rows
+        ),
+        r.natural_clusters,
+        r.coherence_generalization,
+        r.coherence_abstraction,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generalization_wins_decisively() {
+        let r = run();
+        assert!(
+            r.coherence_generalization > r.coherence_abstraction + 0.3,
+            "gen {} vs abs {}",
+            r.coherence_generalization,
+            r.coherence_abstraction
+        );
+    }
+
+    #[test]
+    fn natural_clusters_are_the_papers_families() {
+        let r = run();
+        assert_eq!(r.natural_clusters.len(), 2);
+        let mut sizes: Vec<usize> = r.natural_clusters.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![2, 3]); // {3,4} and {1,2,5}
+                                       // The pair cluster is the 0.35 µm family.
+        let pair = r.natural_clusters.iter().find(|c| c.len() == 2).unwrap();
+        assert!(pair.contains(&"IDCT 3".to_owned()));
+        assert!(pair.contains(&"IDCT 4".to_owned()));
+    }
+
+    #[test]
+    fn render_reports_both_scores() {
+        let s = render();
+        assert!(s.contains("generalization-first"));
+        assert!(s.contains("abstraction-first"));
+        assert!(s.contains("IDCT 5"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 6: execution delay of one 1024-bit modular multiplication, the
+//! hardware designs against the software routines — the range argument
+//! that justifies treating "Implementation Style" as a generalized issue.
+
+use hwmodel::designs::paper_designs;
+use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+use techlib::Technology;
+
+use crate::fmt;
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Point {
+    /// Core label.
+    pub label: String,
+    /// `Hardware` or `Software`.
+    pub style: &'static str,
+    /// Delay of one 1024-bit modular multiplication, µs.
+    pub delay_us: f64,
+}
+
+/// The operand length of the figure.
+pub const EOL: u32 = 1024;
+
+/// Runs the Fig.-6 comparison.
+pub fn run(tech: &Technology) -> Vec<Fig6Point> {
+    let mut out = Vec::new();
+    // The paper's hardware picks: #5_16, #2_128, #8_64.
+    let designs = paper_designs();
+    for (idx, w) in [(4usize, 16u32), (1, 128), (7, 64)] {
+        let family = &designs[idx];
+        let arch = family.architecture(w).expect("valid width");
+        let est = arch.estimate(EOL, tech);
+        out.push(Fig6Point {
+            label: format!("Design {}", family.core_label(w)),
+            style: "Hardware",
+            delay_us: est.latency_ns / 1000.0,
+        });
+    }
+    // The paper's software picks: two ASM and two C routines.
+    for (variant, cpu) in [
+        (MontgomeryVariant::Cios, ProcessorModel::pentium60_asm()),
+        (MontgomeryVariant::Cihs, ProcessorModel::pentium60_asm()),
+        (MontgomeryVariant::Cios, ProcessorModel::pentium60_c()),
+        (MontgomeryVariant::Cihs, ProcessorModel::pentium60_c()),
+    ] {
+        let routine = SoftwareRoutine::new(variant, cpu);
+        out.push(Fig6Point {
+            label: routine.label(),
+            style: "Software",
+            delay_us: routine.estimate_mont_mul_us(EOL),
+        });
+    }
+    out.sort_by(|a, b| a.delay_us.total_cmp(&b.delay_us));
+    out
+}
+
+/// Renders the figure as a table.
+pub fn render(tech: &Technology) -> String {
+    let points = run(tech);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.label.clone(), p.style.to_owned(), fmt::num(p.delay_us)])
+        .collect();
+    format!(
+        "Fig. 6 — execution delay of a modular multiplication with {EOL}-bit operands\n\n{}",
+        fmt::table(&["core", "style", "delay (µs)"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_is_orders_of_magnitude_faster() {
+        let points = run(&Technology::g10_035());
+        let worst_hw = points
+            .iter()
+            .filter(|p| p.style == "Hardware")
+            .map(|p| p.delay_us)
+            .fold(0.0f64, f64::max);
+        let best_sw = points
+            .iter()
+            .filter(|p| p.style == "Software")
+            .map(|p| p.delay_us)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_sw > 50.0 * worst_hw,
+            "software {best_sw} µs vs hardware {worst_hw} µs"
+        );
+    }
+
+    #[test]
+    fn paper_orderings_hold() {
+        let points = run(&Technology::g10_035());
+        let delay = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label.contains(label))
+                .unwrap()
+                .delay_us
+        };
+        // ASM beats C, CIOS-C beats CIHS-C, #8 (Brickell) is the slowest hw.
+        assert!(delay("CIHS ASM") < delay("CIHS C"));
+        assert!(delay("CIOS C") < delay("CIHS C"));
+        assert!(delay("#5_16") < delay("#8_64"));
+        assert!(delay("#2_128") < delay("#8_64"));
+    }
+
+    #[test]
+    fn magnitudes_land_in_the_papers_territory() {
+        // Paper: hw ≈ 2–4.5 µs; ASM ≈ 0.8–1.1 ms; C ≈ 5.7–7.3 ms.
+        let points = run(&Technology::g10_035());
+        let delay = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label.contains(label))
+                .unwrap()
+                .delay_us
+        };
+        assert!((0.8..=6.0).contains(&delay("#5_16")), "{}", delay("#5_16"));
+        assert!(
+            (300.0..=2500.0).contains(&delay("CIHS ASM")),
+            "{}",
+            delay("CIHS ASM")
+        );
+        assert!(
+            (2500.0..=15000.0).contains(&delay("CIHS C")),
+            "{}",
+            delay("CIHS C")
+        );
+    }
+
+    #[test]
+    fn render_is_sorted_by_delay() {
+        let s = render(&Technology::g10_035());
+        let hw_pos = s.find("#5_16").unwrap();
+        let sw_pos = s.find("CIHS C").unwrap();
+        assert!(hw_pos < sw_pos);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 9: the evaluation space for the Brickell (#8) and Montgomery (#2)
+//! design families at 768-bit operands across all slicing strategies —
+//! the figure that justifies making "Algorithm" a generalized issue.
+
+use dse::eval::{EvalPoint, EvaluationSpace, FigureOfMerit};
+use hwmodel::designs::{paper_designs, TABLE1_SLICE_WIDTHS};
+use techlib::Technology;
+
+use crate::fmt;
+
+/// One scatter point.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Core label (`#2_64` style).
+    pub label: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Delay of one 768-bit multiplication in ns.
+    pub delay_ns: f64,
+}
+
+/// The operand length of the figure.
+pub const EOL: u32 = 768;
+
+/// Runs the Fig.-9 sweep (families #2 and #8, all slice widths dividing
+/// the EOL).
+pub fn run(tech: &Technology) -> Vec<Fig9Point> {
+    let designs = paper_designs();
+    let mut out = Vec::new();
+    for family in [&designs[1], &designs[7]] {
+        for &w in &TABLE1_SLICE_WIDTHS {
+            if !EOL.is_multiple_of(w) {
+                continue;
+            }
+            let arch = family.architecture(w).expect("valid width");
+            let est = arch.estimate(EOL, tech);
+            out.push(Fig9Point {
+                label: family.core_label(w),
+                algorithm: family.algorithm().to_string(),
+                area_um2: est.area_um2,
+                delay_ns: est.latency_ns,
+            });
+        }
+    }
+    out
+}
+
+/// The points as an evaluation space (for Pareto/cluster queries).
+pub fn evaluation_space(points: &[Fig9Point]) -> EvaluationSpace {
+    points
+        .iter()
+        .map(|p| {
+            EvalPoint::new(p.label.clone())
+                .with(FigureOfMerit::AreaUm2, p.area_um2)
+                .with(FigureOfMerit::DelayNs, p.delay_ns)
+        })
+        .collect()
+}
+
+/// Renders the scatter as a table.
+pub fn render(tech: &Technology) -> String {
+    let points = run(tech);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.algorithm.clone(),
+                fmt::num(p.area_um2),
+                fmt::num(p.delay_ns),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 9 — evaluation space for Brickell (#8) and Montgomery (#2), {EOL}-bit operands\n\n{}",
+        fmt::table(&["core", "algorithm", "area (µm²)", "delay (ns)"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn montgomery_consistently_dominates_brickell() {
+        // The paper: "the relative superiority (in area and performance) of
+        // the Montgomery algorithm ... is consistent, and is significant".
+        let points = run(&Technology::g10_035());
+        for m in points.iter().filter(|p| p.algorithm == "Montgomery") {
+            let b = points
+                .iter()
+                .find(|p| {
+                    p.algorithm == "Brickell"
+                        && p.label.split('_').nth(1) == m.label.split('_').nth(1)
+                })
+                .expect("matching slicing");
+            assert!(b.delay_ns > m.delay_ns, "{}: delay", m.label);
+            assert!(b.area_um2 > m.area_um2, "{}: area", m.label);
+        }
+    }
+
+    #[test]
+    fn delay_magnitudes_match_the_figure() {
+        // Paper axes: Montgomery ≈ 1.6–2.6 µs, Brickell ≈ 2.4–3.6 µs.
+        let points = run(&Technology::g10_035());
+        for p in &points {
+            let us = p.delay_ns / 1000.0;
+            match p.algorithm.as_str() {
+                "Montgomery" => assert!((1.2..=4.5).contains(&us), "{}: {us}", p.label),
+                _ => assert!((2.0..=6.5).contains(&us), "{}: {us}", p.label),
+            }
+        }
+    }
+
+    #[test]
+    fn area_magnitudes_match_the_figure() {
+        // Paper axis: ~4e5 to ~1.1e6 µm².
+        let points = run(&Technology::g10_035());
+        for p in &points {
+            assert!(
+                (1.5e5..=1.6e6).contains(&p.area_um2),
+                "{}: {}",
+                p.label,
+                p.area_um2
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_all_montgomery() {
+        let points = run(&Technology::g10_035());
+        let space = evaluation_space(&points);
+        let front = space.pareto_front(&[FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs]);
+        for i in front {
+            assert!(space.points()[i].label().starts_with("#2"));
+        }
+    }
+
+    #[test]
+    fn all_five_slicings_appear_per_family() {
+        let points = run(&Technology::g10_035());
+        assert_eq!(points.len(), 10); // 5 widths × 2 families (768 divisible by all)
+    }
+}

@@ -1,0 +1,42 @@
+//! Figs. 4/5/7: the CDO hierarchies, rendered through the layer's
+//! self-documentation facility.
+
+use dse_library::{crypto, idct};
+
+/// Renders both hierarchies (crypto and IDCT).
+pub fn render() -> String {
+    let crypto_layer = crypto::build_layer().expect("layer builds");
+    let idct_layer = idct::build_layer_generalization().expect("layer builds");
+    format!(
+        "Figs. 5/7 — the cryptography layer\n\n{}\n\nFig. 4 — the IDCT layer\n\n{}",
+        dse::doc::render_markdown(&crypto_layer.space),
+        dse::doc::render_markdown(&idct_layer.space),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_hierarchies_render() {
+        let s = render();
+        // Fig. 5 taxonomy.
+        for name in [
+            "Operator",
+            "LogicArithmetic",
+            "Arithmetic",
+            "Adder",
+            "Exponentiator",
+        ] {
+            assert!(s.contains(name), "{name}");
+        }
+        // Fig. 7 generalization levels.
+        assert!(s.contains("[ImplementationStyle = Hardware]"));
+        assert!(s.contains("[Algorithm = Montgomery]"));
+        assert!(s.contains("[Algorithm = Brickell]"));
+        // Fig. 4 IDCT.
+        assert!(s.contains("IDCT"));
+        assert!(s.contains("[FabricationTechnology = 0.35um]"));
+    }
+}

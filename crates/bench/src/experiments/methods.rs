@@ -1,0 +1,150 @@
+//! Extension experiment E-M1: the coprocessor-level design issue —
+//! exponentiation methods.
+//!
+//! The paper frames the modular-multiplier exploration as one block of
+//! the modular-exponentiation coprocessor's own design space. This
+//! experiment explores that level: binary square-and-multiply versus
+//! 2ᵏ-ary windows on the selected multiplier core, comparing the CC7
+//! heuristic count against actually executed multiplications and
+//! projecting coprocessor-level exponentiation time.
+
+use bignum::{random_prime, uniform_below, UBig};
+use coproc::engine::ReferenceEngine;
+use coproc::{ExpMethod, ModExp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fmt;
+
+/// One method's measurements.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// The method.
+    pub method: ExpMethod,
+    /// CC7's heuristic multiplication count.
+    pub cc7_mults: u64,
+    /// Multiplications actually executed (includes domain conversions).
+    pub actual_mults: u64,
+    /// Table registers required (storage cost).
+    pub table_registers: u64,
+    /// Projected exponentiation time on a 2.2 µs multiplier, ms.
+    pub projected_ms: f64,
+}
+
+/// Exponent length of the experiment (the case study's 768 bits).
+pub const EXP_BITS: u32 = 768;
+/// The selected core's modular-multiplication latency (µs).
+const MODMUL_US: f64 = 2.2;
+
+/// Runs the method sweep. The correctness of each run is checked against
+/// the plain `bignum` exponentiation internally.
+pub fn run() -> Vec<MethodRow> {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    // A small working modulus keeps the sweep fast; multiplication counts
+    // depend only on the exponent's length and bit pattern.
+    let m = random_prime(64, &mut rng);
+    let base = uniform_below(&m, &mut rng);
+    let exp = {
+        let mut e = uniform_below(&UBig::power_of_two(EXP_BITS), &mut rng);
+        e.set_bit(EXP_BITS - 1, true);
+        e
+    };
+    let expect = base.mod_pow(&exp, &m);
+
+    [
+        ExpMethod::Binary,
+        ExpMethod::Window(2),
+        ExpMethod::Window(4),
+        ExpMethod::Window(6),
+    ]
+    .into_iter()
+    .map(|method| {
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        let report = coproc
+            .mod_pow_with_method(&base, &exp, &m, method)
+            .expect("valid inputs");
+        assert_eq!(report.result, expect, "{method} must be correct");
+        MethodRow {
+            method,
+            cc7_mults: method.expected_multiplications(EXP_BITS),
+            actual_mults: report.multiplications,
+            table_registers: method.table_registers(),
+            projected_ms: report.multiplications as f64 * MODMUL_US / 1000.0,
+        }
+    })
+    .collect()
+}
+
+/// Renders the sweep.
+pub fn render() -> String {
+    let rows = run();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.to_string(),
+                r.cc7_mults.to_string(),
+                r.actual_mults.to_string(),
+                r.table_registers.to_string(),
+                fmt::num(r.projected_ms),
+            ]
+        })
+        .collect();
+    format!(
+        "Extension E-M1 — exponentiation methods for a {EXP_BITS}-bit exponent \
+         (multiplier: {MODMUL_US} µs per modmul)\n\n{}",
+        fmt::table(
+            &[
+                "method",
+                "CC7 mults",
+                "actual mults",
+                "table regs",
+                "projected (ms)"
+            ],
+            &body
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc7_tracks_actual_counts_within_ten_percent() {
+        for r in run() {
+            let ratio = r.cc7_mults as f64 / r.actual_mults as f64;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "{}: CC7 {} vs actual {}",
+                r.method,
+                r.cc7_mults,
+                r.actual_mults
+            );
+        }
+    }
+
+    #[test]
+    fn there_is_a_sweet_spot() {
+        let rows = run();
+        let binary = rows[0].actual_mults;
+        let best = rows.iter().map(|r| r.actual_mults).min().unwrap();
+        let widest = rows.last().unwrap();
+        assert!(best < binary, "windowing helps");
+        // The widest window pays a visible table cost.
+        assert_eq!(widest.table_registers, 64);
+        assert!(
+            rows.iter()
+                .any(|r| r.actual_mults < widest.actual_mults + 64),
+            "storage/multiplication trade-off is real"
+        );
+    }
+
+    #[test]
+    fn projection_scales_with_counts() {
+        for r in run() {
+            let expect = r.actual_mults as f64 * MODMUL_US / 1000.0;
+            assert!((r.projected_ms - expect).abs() < 1e-9);
+        }
+    }
+}

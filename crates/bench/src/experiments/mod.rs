@@ -1,0 +1,78 @@
+//! One module per reproduced table/figure. Each exposes a typed `run`
+//! producing the experiment's data and a `render` producing the printable
+//! report; the `tables` binary dispatches on artifact name.
+
+pub mod ablation_cc2;
+pub mod ablation_pruning;
+pub mod cdos;
+pub mod fig10;
+pub mod fig12;
+pub mod fig3;
+pub mod fig6;
+pub mod fig9;
+pub mod fir;
+pub mod hierarchy;
+pub mod methods;
+pub mod power;
+pub mod table1;
+pub mod walkthrough;
+
+/// Every experiment name the harness knows, with a one-line description.
+pub const ALL: [(&str, &str); 14] = [
+    (
+        "table1",
+        "Table 1: the eight design families across slice widths",
+    ),
+    (
+        "fig6",
+        "Fig. 6: 1024-bit modular multiplication, hardware vs software",
+    ),
+    (
+        "fig9",
+        "Fig. 9: Brickell vs Montgomery evaluation space at 768 bits",
+    ),
+    (
+        "fig12",
+        "Fig. 12: 64-bit Montgomery multipliers, designs #1–#6",
+    ),
+    (
+        "fig3",
+        "Figs. 2/3: IDCT organisation coherence (abstraction vs generalization)",
+    ),
+    (
+        "fig10",
+        "Fig. 10: Montgomery datapath functional validation vs golden model",
+    ),
+    (
+        "hierarchy",
+        "Figs. 4/5/7: the CDO hierarchies (self-documentation)",
+    ),
+    (
+        "cdos",
+        "Figs. 8/11: OMM requirement and design-issue listings",
+    ),
+    (
+        "fig13",
+        "Fig. 13 + Section 5: the constraint-driven selection walkthrough",
+    ),
+    (
+        "ablation-pruning",
+        "Ablation A1: pruning power of generalized-first ordering",
+    ),
+    (
+        "ablation-cc2",
+        "Ablation A2: CC2 heuristic formula vs cycle-accurate simulation",
+    ),
+    (
+        "power",
+        "Extension E-P1: power/energy figures of merit (the paper's work in progress)",
+    ),
+    (
+        "methods",
+        "Extension E-M1: coprocessor-level exponentiation-method exploration",
+    ),
+    (
+        "fir",
+        "Extension E-D1: the FIR (DSP) domain layer and its parallelism families",
+    ),
+];

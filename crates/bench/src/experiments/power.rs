@@ -1,0 +1,128 @@
+//! Extension experiment E-P1: power consumption as a figure of merit.
+//!
+//! The paper closes with "we are currently incorporating power
+//! consumption in our case studies"; this experiment is that
+//! incorporation. Every Table-1 design is priced with the `techlib`
+//! dynamic power model at its own clock rate, exposing the energy story
+//! the area/delay plots hide: fast designs burn more power, but finishing
+//! sooner can still win on energy per operation.
+
+use hwmodel::designs::paper_designs;
+use techlib::{FabricationNode, LayoutStyle, Technology};
+
+use crate::fmt;
+
+/// One design's power/energy figures at 768-bit operands.
+#[derive(Debug, Clone)]
+pub struct PowerRow {
+    /// Core label.
+    pub label: String,
+    /// Average dynamic power, mW.
+    pub power_mw: f64,
+    /// Energy per 768-bit modular multiplication, nJ.
+    pub energy_nj: f64,
+    /// Latency, µs (context).
+    pub latency_us: f64,
+}
+
+/// The operand length of the experiment.
+pub const EOL: u32 = 768;
+
+/// Runs the power sweep over all eight families at 64-bit slices, for a
+/// given technology.
+pub fn run(tech: &Technology) -> Vec<PowerRow> {
+    paper_designs()
+        .iter()
+        .map(|family| {
+            let arch = family.architecture(64).expect("64-bit slices");
+            let est = arch.estimate(EOL, tech);
+            PowerRow {
+                label: family.core_label(64),
+                power_mw: est.power_mw,
+                energy_nj: est.energy_per_op_nj(),
+                latency_us: est.latency_ns / 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// Renders the power table for 0.35 µm and, for contrast, 0.7 µm.
+pub fn render() -> String {
+    let mut out =
+        String::from("Extension E-P1 — power and energy per 768-bit modular multiplication\n\n");
+    for tech in [
+        Technology::g10_035(),
+        Technology::new(FabricationNode::n0700(), LayoutStyle::StandardCell),
+    ] {
+        let rows = run(&tech);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    fmt::num(r.power_mw),
+                    fmt::num(r.energy_nj),
+                    fmt::num(r.latency_us),
+                ]
+            })
+            .collect();
+        out.push_str(&format!(
+            "{tech}\n{}\n",
+            fmt::table(
+                &["core", "power (mW)", "energy/op (nJ)", "latency (µs)"],
+                &body
+            )
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_designs_burn_more_power_but_can_win_on_energy() {
+        let rows = run(&Technology::g10_035());
+        let by = |label: &str| rows.iter().find(|r| r.label == label).unwrap().clone();
+        let d1 = by("#1_64"); // CLA, slow clock
+        let d2 = by("#2_64"); // CSA, fast clock
+        assert!(d2.power_mw > d1.power_mw, "CSA runs a faster clock");
+        // But #2 finishes in far fewer nanoseconds, so its energy per
+        // operation stays competitive (within 2x either way).
+        let ratio = d2.energy_nj / d1.energy_nj;
+        assert!((0.4..=2.0).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn older_node_needs_more_energy_per_operation() {
+        let new = run(&Technology::g10_035());
+        let old = run(&Technology::new(
+            FabricationNode::n0700(),
+            LayoutStyle::StandardCell,
+        ));
+        for (n, o) in new.iter().zip(&old) {
+            assert!(
+                o.energy_nj > 2.0 * n.energy_nj,
+                "{}: {} vs {}",
+                n.label,
+                o.energy_nj,
+                n.energy_nj
+            );
+        }
+    }
+
+    #[test]
+    fn all_eight_designs_have_positive_figures() {
+        for r in run(&Technology::g10_035()) {
+            assert!(r.power_mw > 0.0 && r.energy_nj > 0.0, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn render_covers_both_nodes() {
+        let s = render();
+        assert!(s.contains("0.35um standard-cell"));
+        assert!(s.contains("0.70um standard-cell"));
+    }
+}

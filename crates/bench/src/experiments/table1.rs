@@ -1,0 +1,127 @@
+//! Table 1: the eight modular-multiplier design families, estimated at
+//! every slice width with EOL = slice width (a single slice), as in the
+//! paper's table.
+
+use hwmodel::designs::{paper_designs, DesignFamily, TABLE1_SLICE_WIDTHS};
+use hwmodel::HwEstimate;
+use techlib::Technology;
+
+use crate::fmt;
+
+/// One design family's estimates across the slice widths.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The family (design number, structure).
+    pub family: DesignFamily,
+    /// `(slice_width, estimate)` pairs.
+    pub estimates: Vec<(u32, HwEstimate)>,
+}
+
+/// Runs the Table-1 sweep.
+pub fn run(tech: &Technology) -> Vec<Table1Row> {
+    paper_designs()
+        .into_iter()
+        .map(|family| {
+            let estimates = TABLE1_SLICE_WIDTHS
+                .iter()
+                .filter_map(|&w| {
+                    let arch = family.architecture(w).ok()?;
+                    let est = arch.try_estimate(w, tech).ok()?;
+                    Some((w, est))
+                })
+                .collect();
+            Table1Row { family, estimates }
+        })
+        .collect()
+}
+
+/// Renders the paper-style table (area µm² / latency ns / clk ns per
+/// width).
+pub fn render(tech: &Technology) -> String {
+    let rows = run(tech);
+    let mut header: Vec<String> = vec![
+        "#".into(),
+        "radix".into(),
+        "alg".into(),
+        "adder".into(),
+        "mult".into(),
+    ];
+    for w in TABLE1_SLICE_WIDTHS {
+        header.push(format!("area@{w}"));
+        header.push(format!("lat@{w}"));
+        header.push(format!("clk@{w}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.family.name(),
+                r.family.radix().to_string(),
+                match r.family.algorithm() {
+                    hwmodel::Algorithm::Montgomery => "M".to_owned(),
+                    hwmodel::Algorithm::Brickell => "B".to_owned(),
+                },
+                r.family.adder().to_string(),
+                r.family.multiplier().to_string(),
+            ];
+            for (_, est) in &r.estimates {
+                cells.push(fmt::num(est.area_um2));
+                cells.push(fmt::num(est.latency_ns));
+                cells.push(fmt::num(est.clock_ns));
+            }
+            cells
+        })
+        .collect();
+    format!(
+        "Table 1 — alternative modular-multiplier designs ({tech}; EOL = slice width)\n\n{}",
+        fmt::table(&header_refs, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::AdderKind;
+
+    #[test]
+    fn all_eight_families_at_all_five_widths() {
+        let rows = run(&Technology::g10_035());
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.estimates.len() == 5));
+    }
+
+    #[test]
+    fn csa_clock_flat_cla_clock_grows_within_the_table() {
+        let rows = run(&Technology::g10_035());
+        let clk = |row: &Table1Row, w: u32| {
+            row.estimates
+                .iter()
+                .find(|(sw, _)| *sw == w)
+                .unwrap()
+                .1
+                .clock_ns
+        };
+        for row in &rows {
+            let (c8, c128) = (clk(row, 8), clk(row, 128));
+            match row.family.adder() {
+                AdderKind::CarrySave => {
+                    assert!(c128 < 1.3 * c8, "{}: CSA {c8} → {c128}", row.family.name())
+                }
+                AdderKind::CarryLookAhead => {
+                    assert!(c128 > 1.3 * c8, "{}: CLA {c8} → {c128}", row.family.name())
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_design_numbers() {
+        let s = render(&Technology::g10_035());
+        for i in 1..=8 {
+            assert!(s.contains(&format!("#{i}")), "missing #{i}");
+        }
+        assert!(s.contains("area@128"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal fixed-width text-table rendering for the experiment reports.
+
+/// Renders rows as a fixed-width text table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+    };
+    line(
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// A number formatted with engineering-style precision.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = table(
+            &["a", "bbb"],
+            &[
+                vec!["1".to_owned(), "2".to_owned()],
+                vec!["100".to_owned(), "x".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbb"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a"], &[vec!["1".to_owned(), "2".to_owned()]]);
+    }
+
+    #[test]
+    fn number_formatting_tiers() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(3.14159), "3.14");
+        assert_eq!(num(42.42), "42.4");
+        assert_eq!(num(12345.6), "12346");
+    }
+}

@@ -1,0 +1,15 @@
+//! The benchmark/experiment harness: regenerates every table and figure
+//! of the paper's evaluation (see `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for the paper-vs-measured record).
+//!
+//! Run everything with
+//!
+//! ```text
+//! cargo run -p bench --bin tables -- all
+//! ```
+//!
+//! or a single artifact with e.g. `-- table1`, `-- fig9`,
+//! `-- ablation-cc2`.
+
+pub mod experiments;
+pub mod fmt;

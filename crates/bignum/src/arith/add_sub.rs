@@ -1,0 +1,83 @@
+//! Limb-serial addition and subtraction.
+
+use crate::{DoubleLimb, Limb, UBig, LIMB_BITS};
+
+/// Computes `a + b`.
+#[allow(clippy::needless_range_loop)] // limb-serial loops mirror the hardware
+pub fn add(a: &UBig, b: &UBig) -> UBig {
+    let (long, short) = if a.limb_len() >= b.limb_len() {
+        (a.limbs(), b.limbs())
+    } else {
+        (b.limbs(), a.limbs())
+    };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: DoubleLimb = 0;
+    for i in 0..long.len() {
+        let s = long[i] as DoubleLimb + short.get(i).copied().unwrap_or(0) as DoubleLimb + carry;
+        out.push(s as Limb);
+        carry = s >> LIMB_BITS;
+    }
+    if carry != 0 {
+        out.push(carry as Limb);
+    }
+    UBig::from_limbs(out)
+}
+
+/// Computes `a - b`, returning `None` on underflow (`b > a`).
+#[allow(clippy::needless_range_loop)]
+pub fn sub(a: &UBig, b: &UBig) -> Option<UBig> {
+    if b.limb_len() > a.limb_len() {
+        return None;
+    }
+    let (la, lb) = (a.limbs(), b.limbs());
+    let mut out = Vec::with_capacity(la.len());
+    let mut borrow: i64 = 0;
+    for i in 0..la.len() {
+        let d = la[i] as i64 - lb.get(i).copied().unwrap_or(0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << LIMB_BITS)) as Limb);
+            borrow = 1;
+        } else {
+            out.push(d as Limb);
+            borrow = 0;
+        }
+    }
+    if borrow != 0 {
+        return None;
+    }
+    Some(UBig::from_limbs(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let a = UBig::from_limbs(vec![u32::MAX, u32::MAX]);
+        let b = UBig::one();
+        let sum = add(&a, &b);
+        assert_eq!(sum, UBig::power_of_two(64));
+    }
+
+    #[test]
+    fn borrow_propagates_across_limbs() {
+        let a = UBig::power_of_two(64);
+        let b = UBig::one();
+        let d = sub(&a, &b).unwrap();
+        assert_eq!(d, UBig::from(u64::MAX));
+    }
+
+    #[test]
+    fn sub_equal_is_zero() {
+        let a = UBig::from_hex("123456789abcdef").unwrap();
+        assert!(sub(&a, &a).unwrap().is_zero());
+    }
+
+    #[test]
+    fn sub_underflow() {
+        assert!(sub(&UBig::zero(), &UBig::one()).is_none());
+        // Same limb count but smaller value.
+        assert!(sub(&UBig::from(5u64), &UBig::from(6u64)).is_none());
+    }
+}

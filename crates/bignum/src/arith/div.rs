@@ -1,0 +1,162 @@
+//! Euclidean division by Knuth's Algorithm D (TAOCP vol. 2, 4.3.1).
+
+use crate::{DoubleLimb, Limb, UBig, LIMB_BITS};
+
+/// Computes `(a / b, a % b)`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn div_rem(a: &UBig, b: &UBig) -> (UBig, UBig) {
+    assert!(!b.is_zero(), "division by zero");
+    if a < b {
+        return (UBig::zero(), a.clone());
+    }
+    if b.limb_len() == 1 {
+        return div_rem_by_limb(a, b.limbs()[0]);
+    }
+    div_rem_knuth(a, b)
+}
+
+/// Fast path: divisor fits in one limb.
+fn div_rem_by_limb(a: &UBig, d: Limb) -> (UBig, UBig) {
+    let mut q = vec![0 as Limb; a.limb_len()];
+    let mut rem: DoubleLimb = 0;
+    for (i, &limb) in a.limbs().iter().enumerate().rev() {
+        let cur = (rem << LIMB_BITS) | limb as DoubleLimb;
+        q[i] = (cur / d as DoubleLimb) as Limb;
+        rem = cur % d as DoubleLimb;
+    }
+    (UBig::from_limbs(q), UBig::from(rem as u64))
+}
+
+/// Algorithm D for multi-limb divisors.
+fn div_rem_knuth(a: &UBig, b: &UBig) -> (UBig, UBig) {
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = b.limbs().last().expect("non-zero divisor").leading_zeros();
+    let u = a.shl(shift);
+    let v = b.shl(shift);
+    let n = v.limb_len();
+    let m = u.limb_len() - n;
+
+    let mut un: Vec<Limb> = u.limbs().to_vec();
+    un.push(0); // u has m+n+1 limbs during the loop
+    let vn = v.limbs();
+    let v_top = vn[n - 1] as DoubleLimb;
+    let v_next = vn[n - 2] as DoubleLimb;
+
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: main loop over quotient limbs, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current remainder.
+        let num = ((un[j + n] as DoubleLimb) << LIMB_BITS) | un[j + n - 1] as DoubleLimb;
+        let mut qhat = num / v_top;
+        let mut rhat = num % v_top;
+        while qhat >> LIMB_BITS != 0
+            || qhat * v_next > ((rhat << LIMB_BITS) | un[j + n - 2] as DoubleLimb)
+        {
+            qhat -= 1;
+            rhat += v_top;
+            if rhat >> LIMB_BITS != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract qhat·v from u[j..j+n+1].
+        let mut borrow: i64 = 0;
+        let mut carry: DoubleLimb = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as DoubleLimb + carry;
+            carry = p >> LIMB_BITS;
+            let t = un[i + j] as i64 - (p as Limb) as i64 - borrow;
+            un[i + j] = t as Limb;
+            borrow = i64::from(t < 0);
+        }
+        let t = un[j + n] as i64 - carry as i64 - borrow;
+        un[j + n] = t as Limb;
+
+        if t < 0 {
+            // D6: estimate was one too large — add v back once.
+            qhat -= 1;
+            let mut c: DoubleLimb = 0;
+            for i in 0..n {
+                let s = un[i + j] as DoubleLimb + vn[i] as DoubleLimb + c;
+                un[i + j] = s as Limb;
+                c = s >> LIMB_BITS;
+            }
+            un[j + n] = (un[j + n] as DoubleLimb).wrapping_add(c) as Limb;
+        }
+        q[j] = qhat as Limb;
+    }
+
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    let rem = UBig::from_limbs(un).shr(shift);
+    (UBig::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divide_by_one_limb() {
+        let a = UBig::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        let (q, r) = div_rem(&a, &UBig::from(97u64));
+        assert_eq!(&(&q * &UBig::from(97u64)) + &r, a);
+        assert!(r < UBig::from(97u64));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = UBig::from(7u64);
+        let b = UBig::power_of_two(100);
+        let (q, r) = div_rem(&a, &b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = UBig::from_hex("fedcba9876543210fedcba98").unwrap();
+        let q_expect = UBig::from_hex("1234567890abcdef").unwrap();
+        let a = &b * &q_expect;
+        let (q, r) = div_rem(&a, &b);
+        assert_eq!(q, q_expect);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // A classic add-back trigger: dividend crafted so q̂ overshoots.
+        // u = 0x7fff_ffff_8000_0000_0000_0000, v = 0x8000_0000_0000_0001 (32-bit limbs).
+        let u = UBig::from_limbs(vec![0, 0, 0x8000_0000, 0x7fff_ffff]);
+        let v = UBig::from_limbs(vec![1, 0x8000_0000]);
+        let (q, r) = div_rem(&u, &v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div_rem(&UBig::one(), &UBig::zero());
+    }
+
+    #[test]
+    fn large_random_style_reconstruction() {
+        // Deterministic pseudo-random pattern large enough to exercise
+        // multi-limb paths with varying divisor sizes.
+        let mut x = UBig::one();
+        for i in 1..40u32 {
+            x = &(&x * &UBig::from(0x9E3779B9u64)) + &UBig::from(i as u64);
+        }
+        for dlen in [1u32, 2, 3, 5, 8, 13] {
+            let d = x.low_bits(dlen * 31) + UBig::one();
+            let (q, r) = div_rem(&x, &d);
+            assert_eq!(&(&q * &d) + &r, x, "dlen = {dlen}");
+            assert!(r < d);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Low-level multi-precision algorithms on [`UBig`](crate::UBig) values.
+//!
+//! The routines here are deliberately written at the limb level (32-bit
+//! words with 64-bit intermediates) in the same style as the word-serial
+//! software implementations modelled by the `swmodel` crate, so that the
+//! operation counts used by the processor cost model correspond to real
+//! work performed by real code.
+
+mod add_sub;
+mod div;
+mod mul;
+
+pub use add_sub::{add, sub};
+pub use div::div_rem;
+pub use mul::{mul, mul_karatsuba, mul_schoolbook};
+
+#[cfg(test)]
+mod tests {
+    use crate::UBig;
+    use proptest::prelude::*;
+
+    /// Strategy: random UBig up to ~256 bits with interesting edge cases.
+    pub(crate) fn ubig() -> impl Strategy<Value = UBig> {
+        prop::collection::vec(any::<u32>(), 0..9).prop_map(UBig::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in ubig(), b in ubig()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn add_associates(a in ubig(), b in ubig(), c in ubig()) {
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        }
+
+        #[test]
+        fn add_then_sub_roundtrips(a in ubig(), b in ubig()) {
+            prop_assert_eq!(&(&a + &b) - &b, a);
+        }
+
+        #[test]
+        fn sub_underflow_is_none(a in ubig(), b in ubig()) {
+            if a < b {
+                prop_assert!(a.checked_sub(&b).is_none());
+            } else {
+                prop_assert!(a.checked_sub(&b).is_some());
+            }
+        }
+
+        #[test]
+        fn mul_commutes(a in ubig(), b in ubig()) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in ubig(), b in ubig(), c in ubig()) {
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn mul_identity_and_zero(a in ubig()) {
+            prop_assert_eq!(&a * &UBig::one(), a.clone());
+            prop_assert!((&a * &UBig::zero()).is_zero());
+        }
+
+        #[test]
+        fn karatsuba_matches_schoolbook(a in ubig(), b in ubig()) {
+            prop_assert_eq!(
+                super::mul_karatsuba(&a, &b),
+                super::mul_schoolbook(&a, &b)
+            );
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in ubig(), b in ubig()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn mod_pow_matches_iterated_mul(a in ubig(), m in ubig(), e in 0u32..12) {
+            prop_assume!(!m.is_zero());
+            let fast = a.mod_pow(&UBig::from(e as u64), &m);
+            let mut slow = UBig::one().rem(&m);
+            for _ in 0..e {
+                slow = slow.mod_mul(&a, &m);
+            }
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn u64_cross_check_exhaustive_small() {
+        for a in (0u64..200).step_by(7) {
+            for b in (0u64..200).step_by(11) {
+                let (ba, bb) = (UBig::from(a), UBig::from(b));
+                assert_eq!((&ba + &bb).to_u64(), Some(a + b));
+                assert_eq!((&ba * &bb).to_u64(), Some(a * b));
+                if b != 0 {
+                    let (q, r) = ba.div_rem(&bb);
+                    assert_eq!(q.to_u64(), Some(a / b));
+                    assert_eq!(r.to_u64(), Some(a % b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Multiplication: schoolbook operand scanning plus Karatsuba above a
+//! threshold. Operand scanning is the same loop structure as the SOS
+//! software variant modelled in `swmodel`.
+
+use crate::{DoubleLimb, Limb, UBig, LIMB_BITS};
+
+/// Limb count above which [`mul`] switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+/// Computes `a * b`, choosing schoolbook or Karatsuba by operand size.
+pub fn mul(a: &UBig, b: &UBig) -> UBig {
+    if a.limb_len().min(b.limb_len()) >= KARATSUBA_THRESHOLD {
+        mul_karatsuba(a, b)
+    } else {
+        mul_schoolbook(a, b)
+    }
+}
+
+/// Schoolbook (operand-scanning) multiplication, `O(n·m)` limb products.
+pub fn mul_schoolbook(a: &UBig, b: &UBig) -> UBig {
+    if a.is_zero() || b.is_zero() {
+        return UBig::zero();
+    }
+    let (la, lb) = (a.limbs(), b.limbs());
+    let mut out: Vec<Limb> = vec![0; la.len() + lb.len()];
+    for (i, &x) in la.iter().enumerate() {
+        let mut carry: DoubleLimb = 0;
+        for (j, &y) in lb.iter().enumerate() {
+            let t = x as DoubleLimb * y as DoubleLimb + out[i + j] as DoubleLimb + carry;
+            out[i + j] = t as Limb;
+            carry = t >> LIMB_BITS;
+        }
+        out[i + lb.len()] = carry as Limb;
+    }
+    UBig::from_limbs(out)
+}
+
+/// Karatsuba multiplication (recursive, three half-size products).
+///
+/// Exposed publicly so the property-test suite can cross-check it against
+/// [`mul_schoolbook`] regardless of the dispatch threshold.
+pub fn mul_karatsuba(a: &UBig, b: &UBig) -> UBig {
+    let n = a.limb_len().min(b.limb_len());
+    // Recursing below the threshold trades O(n²) limb products for
+    // allocation-dominated bookkeeping and loses badly; bottom out into
+    // schoolbook as soon as either operand is small.
+    if n < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = (a.limb_len().max(b.limb_len()) / 2) as u32 * LIMB_BITS;
+    // a = a1·2^half + a0, b = b1·2^half + b0.
+    let a0 = a.low_bits(half);
+    let a1 = a.shr(half);
+    let b0 = b.low_bits(half);
+    let b1 = b.shr(half);
+
+    let z0 = mul_karatsuba(&a0, &b0);
+    let z2 = mul_karatsuba(&a1, &b1);
+    let z1 = mul_karatsuba(&(&a0 + &a1), &(&b0 + &b1));
+    // z1 - z2 - z0 is non-negative by construction.
+    let mid = z1
+        .checked_sub(&z2)
+        .and_then(|t| t.checked_sub(&z0))
+        .expect("karatsuba middle term is non-negative");
+
+    &(&z2.shl(2 * half) + &mid.shl(half)) + &z0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_of_sum_identity() {
+        // (a+b)^2 = a^2 + 2ab + b^2 on multi-limb values.
+        let a = UBig::from_hex("ffffffffffffffffffffffff").unwrap();
+        let b = UBig::from_hex("123456789").unwrap();
+        let lhs = {
+            let s = &a + &b;
+            &s * &s
+        };
+        let rhs = &(&(&a * &a) + &(&a * &b).shl(1)) + &(&b * &b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn karatsuba_on_large_asymmetric_operands() {
+        let a = UBig::power_of_two(2048) + UBig::from(0xdeadbeefu64);
+        let b = UBig::power_of_two(512) + UBig::from(17u64);
+        assert_eq!(mul_karatsuba(&a, &b), mul_schoolbook(&a, &b));
+    }
+
+    #[test]
+    fn dispatcher_crosses_threshold_consistently() {
+        // Exactly at and around the Karatsuba threshold.
+        for limbs in [
+            KARATSUBA_THRESHOLD - 1,
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD + 1,
+        ] {
+            let a = UBig::from_limbs((1..=limbs as u32).collect());
+            let b = UBig::from_limbs((1..=limbs as u32).rev().collect());
+            assert_eq!(mul(&a, &b), mul_schoolbook(&a, &b), "limbs = {limbs}");
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = UBig::from_hex("abcdef").unwrap();
+        assert!(mul(&a, &UBig::zero()).is_zero());
+        assert_eq!(mul(&a, &UBig::one()), a);
+    }
+}

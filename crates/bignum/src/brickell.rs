@@ -1,0 +1,99 @@
+//! Brickell-style (MSB-first interleaved) modular multiplication.
+//!
+//! Brickell's algorithm is the paper's alternative to Montgomery: it is
+//! based on the paper-and-pencil method but starts from the most
+//! significant digit of `A` and performs a `mod M` reduction at every
+//! partial product, so the running value never grows beyond a few multiples
+//! of `M`. Unlike Montgomery it works for *any* modulus (odd or even) and
+//! produces the plain product `A·B mod M` with no domain conversion — which
+//! is exactly why the paper keeps it in the design space even though
+//! Montgomery dominates it in area and delay (Fig. 9, CC1).
+
+use crate::UBig;
+
+/// Computes `A·B mod M` by MSB-first digit-serial interleaved reduction in
+/// radix `2ᵏ`:
+///
+/// ```text
+/// R := 0
+/// for i in (0..digits).rev():
+///     R := R·2ᵏ + aᵢ·B
+///     R := R - q·M          (q chosen so that R < M; at most 2ᵏ+1 subtracts)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m` is zero, if `k == 0` or `k > 32`, or if `b >= m`.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::{brickell_mod_mul, UBig};
+///
+/// let m = UBig::from(1000u64); // even modulus is fine for Brickell
+/// let a = UBig::from(123u64);
+/// let b = UBig::from(456u64);
+/// assert_eq!(brickell_mod_mul(&a, &b, &m, 2), a.mod_mul(&b, &m));
+/// ```
+pub fn brickell_mod_mul(a: &UBig, b: &UBig, m: &UBig, k: u32) -> UBig {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    assert!((1..=32).contains(&k), "digit width must be in 1..=32");
+    assert!(b < m, "multiplicand must be reduced below the modulus");
+
+    let digits = a.bit_len().div_ceil(k).max(1);
+    let mut acc = UBig::zero();
+    for i in (0..digits).rev() {
+        let a_i = a.digit(i, k);
+        acc = &acc.shl(k) + &(b * &UBig::from(a_i));
+        // Reduce: after the shift-accumulate, R < 2ᵏ·M + 2ᵏ·M = 2ᵏ⁺¹·M,
+        // so a quotient-digit estimate via division suffices. Real hardware
+        // estimates q from the top bits; the functional model may divide.
+        acc = acc.rem(m);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_naive_for_random_operands() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = &UBig::power_of_two(256) + &UBig::from(0x4d5u64);
+        for k in [1u32, 2, 4, 8] {
+            for _ in 0..10 {
+                let a = uniform_below(&m, &mut rng);
+                let b = uniform_below(&m, &mut rng);
+                assert_eq!(brickell_mod_mul(&a, &b, &m, k), a.mod_mul(&b, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn works_for_even_modulus_where_montgomery_cannot() {
+        // CC1 in the paper: Montgomery requires odd modulus; Brickell does not.
+        let m = UBig::from(1_000_000u64);
+        let a = UBig::from(999_999u64);
+        let b = UBig::from(123_457u64);
+        assert_eq!(brickell_mod_mul(&a, &b, &m, 2), a.mod_mul(&b, &m));
+        assert!(crate::MontgomeryContext::new(&m).is_err());
+    }
+
+    #[test]
+    fn zero_operands() {
+        let m = UBig::from(97u64);
+        assert!(brickell_mod_mul(&UBig::zero(), &UBig::from(5u64), &m, 1).is_zero());
+        assert!(brickell_mod_mul(&UBig::from(5u64), &UBig::zero(), &m, 1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced below the modulus")]
+    fn unreduced_multiplicand_panics() {
+        let m = UBig::from(10u64);
+        let _ = brickell_mod_mul(&UBig::one(), &UBig::from(10u64), &m, 1);
+    }
+}

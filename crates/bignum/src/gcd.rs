@@ -1,0 +1,179 @@
+//! Greatest common divisor, extended Euclid, and modular inverse.
+//!
+//! The Montgomery machinery needs `-M⁻¹ mod r` (the `(r - M₀)⁻¹` factor in
+//! line 4 of the paper's Fig. 10) and the RSA demo needs `d = e⁻¹ mod φ(n)`.
+
+use crate::UBig;
+
+/// A signed wrapper used only inside the extended-Euclid loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Signed {
+    negative: bool,
+    magnitude: UBig,
+}
+
+impl Signed {
+    fn from_ubig(v: UBig) -> Self {
+        Signed {
+            negative: false,
+            magnitude: v,
+        }
+    }
+
+    fn sub_mul(&self, q: &UBig, other: &Signed) -> Signed {
+        // self - q*other with full sign handling.
+        let qm = q * &other.magnitude;
+        if self.negative == other.negative {
+            // same sign: |self| - |q·other| may flip sign
+            match self.magnitude.checked_sub(&qm) {
+                Some(m) => Signed {
+                    negative: self.negative && !m.is_zero(),
+                    magnitude: m,
+                },
+                None => Signed {
+                    negative: !self.negative,
+                    magnitude: &qm - &self.magnitude,
+                },
+            }
+        } else {
+            Signed {
+                negative: self.negative,
+                magnitude: &self.magnitude + &qm,
+            }
+        }
+    }
+}
+
+/// Computes `gcd(a, b)`.
+///
+/// ```
+/// # use bignum::{gcd, UBig};
+/// assert_eq!(gcd(&UBig::from(48u64), &UBig::from(36u64)), UBig::from(12u64));
+/// ```
+pub fn gcd(a: &UBig, b: &UBig) -> UBig {
+    let (mut x, mut y) = (a.clone(), b.clone());
+    while !y.is_zero() {
+        let r = x.rem(&y);
+        x = y;
+        y = r;
+    }
+    x
+}
+
+/// Extended Euclid: returns `(g, x mod b', y mod a')` such that
+/// `a·x + b·y = g = gcd(a, b)`, with `x` reported non-negative modulo
+/// `b / g` lifted into `0..b` (and symmetrically for `y`).
+///
+/// For the common inverse use-case prefer [`mod_inverse`].
+pub fn extended_gcd(a: &UBig, b: &UBig) -> (UBig, UBig, UBig) {
+    let mut old_r = a.clone();
+    let mut r = b.clone();
+    let mut old_s = Signed::from_ubig(UBig::one());
+    let mut s = Signed::from_ubig(UBig::zero());
+    let mut old_t = Signed::from_ubig(UBig::zero());
+    let mut t = Signed::from_ubig(UBig::one());
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let new_s = old_s.sub_mul(&q, &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = old_t.sub_mul(&q, &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+
+    let x = normalize_mod(&old_s, b);
+    let y = normalize_mod(&old_t, a);
+    (old_r, x, y)
+}
+
+fn normalize_mod(v: &Signed, m: &UBig) -> UBig {
+    if m.is_zero() {
+        return v.magnitude.clone();
+    }
+    let mag = v.magnitude.rem(m);
+    if v.negative && !mag.is_zero() {
+        m.checked_sub(&mag).expect("mag < m")
+    } else {
+        mag
+    }
+}
+
+/// Computes `a⁻¹ mod m`, or `None` when `gcd(a, m) != 1`.
+///
+/// ```
+/// # use bignum::{mod_inverse, UBig};
+/// let inv = mod_inverse(&UBig::from(3u64), &UBig::from(7u64)).unwrap();
+/// assert_eq!(inv, UBig::from(5u64)); // 3·5 = 15 ≡ 1 (mod 7)
+/// assert!(mod_inverse(&UBig::from(2u64), &UBig::from(4u64)).is_none());
+/// ```
+pub fn mod_inverse(a: &UBig, m: &UBig) -> Option<UBig> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(&a.rem(m), m);
+    if g.is_one() {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&UBig::zero(), &UBig::from(5u64)), UBig::from(5u64));
+        assert_eq!(gcd(&UBig::from(5u64), &UBig::zero()), UBig::from(5u64));
+        assert_eq!(
+            gcd(&UBig::from(270u64), &UBig::from(192u64)),
+            UBig::from(6u64)
+        );
+    }
+
+    #[test]
+    fn bezout_identity_holds() {
+        let a = UBig::from(240u64);
+        let b = UBig::from(46u64);
+        let (g, x, y) = extended_gcd(&a, &b);
+        assert_eq!(g, UBig::from(2u64));
+        // a·x + b·y ≡ g (mod a·b); check over the integers lifted mod lcm.
+        let lhs = (&a * &x + &b * &y).rem(&(&a * &b));
+        assert_eq!(lhs.rem(&a), g.rem(&a));
+        assert_eq!(lhs.rem(&b), g.rem(&b));
+    }
+
+    #[test]
+    fn inverse_times_value_is_one() {
+        let m = UBig::from_hex("fffffffb").unwrap(); // prime 2^32 - 5
+        for v in [2u64, 3, 65537, 0xdeadbeef] {
+            let a = UBig::from(v);
+            let inv = mod_inverse(&a, &m).expect("prime modulus");
+            assert_eq!(a.mod_mul(&inv, &m), UBig::one(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn non_coprime_has_no_inverse() {
+        assert!(mod_inverse(&UBig::from(6u64), &UBig::from(9u64)).is_none());
+        assert!(mod_inverse(&UBig::zero(), &UBig::from(9u64)).is_none());
+    }
+
+    #[test]
+    fn inverse_mod_power_of_two() {
+        // Odd values are invertible mod 2^k — the exact precomputation the
+        // Montgomery quotient digit needs.
+        let r = UBig::power_of_two(32);
+        let m0 = UBig::from(0x1234_5677u64); // odd
+        let inv = mod_inverse(&m0, &r).unwrap();
+        assert_eq!(m0.mod_mul(&inv, &r), UBig::one());
+    }
+
+    #[test]
+    fn degenerate_moduli() {
+        assert!(mod_inverse(&UBig::from(3u64), &UBig::one()).is_none());
+        assert!(mod_inverse(&UBig::from(3u64), &UBig::zero()).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! Multi-precision unsigned integer arithmetic, built from scratch as the
+//! functional substrate for the design-space-layer reproduction.
+//!
+//! The cryptography case study of the paper revolves around modular
+//! multiplication `A·B mod M` and modular exponentiation `Mᴱ mod N` on
+//! operands up to 2¹⁰²⁴ and beyond. Every hardware datapath model and every
+//! software routine model in this workspace is validated against the
+//! reference arithmetic in this crate.
+//!
+//! # Quick example
+//!
+//! ```
+//! # use std::error::Error;
+//! use bignum::UBig;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let a = UBig::from_hex("1fffffffffffffff")?;
+//! let b = UBig::from(42u64);
+//! let m = UBig::from_hex("fedcba9876543211")?; // odd modulus
+//! let naive = a.mod_mul(&b, &m);
+//!
+//! // Montgomery multiplication agrees with the naive route.
+//! let ctx = bignum::MontgomeryContext::new(&m)?;
+//! let mont = ctx.mod_mul(&a, &b);
+//! assert_eq!(naive, mont);
+//! # Ok(())
+//! # }
+//! ```
+
+mod brickell;
+mod gcd;
+mod montgomery;
+mod primes;
+mod rng;
+mod ubig;
+mod window;
+
+pub mod arith;
+
+pub use brickell::brickell_mod_mul;
+pub use gcd::{extended_gcd, gcd, mod_inverse};
+pub use montgomery::{mont_mul_digit_serial, MontgomeryContext, MontgomeryError};
+pub use primes::{is_probable_prime, random_odd, random_prime};
+pub use rng::uniform_below;
+pub use ubig::{ParseUBigError, UBig};
+pub use window::{expected_counts, mod_pow_windowed, WindowCounts};
+
+/// Number of bits in one limb of a [`UBig`].
+///
+/// The limb width intentionally matches the 32-bit word size of the
+/// Pentium-class processor model used by the software cost model, so that
+/// "number of word operations" in the software variants is directly
+/// meaningful.
+pub const LIMB_BITS: u32 = 32;
+
+/// One limb of a [`UBig`]. See [`LIMB_BITS`].
+pub type Limb = u32;
+
+/// Double-width type used for limb-level products and carries.
+pub type DoubleLimb = u64;

@@ -1,0 +1,335 @@
+//! Montgomery modular multiplication (reference implementations).
+//!
+//! The paper's Fig. 10 gives the digit-serial Montgomery algorithm used by
+//! the hardware multiplier cores; [`mont_mul_digit_serial`] mirrors that
+//! loop exactly (radix `2ᵏ`, one quotient digit per iteration) and is the
+//! golden model for the `hwmodel` datapath simulator. [`MontgomeryContext`]
+//! provides the full-width REDC route used for fast validation and for the
+//! modular-exponentiation coprocessor reference.
+
+use std::fmt;
+
+use crate::{mod_inverse, UBig};
+
+/// Errors from constructing Montgomery machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MontgomeryError {
+    /// Montgomery's algorithm requires an odd modulus (paper CC1: the
+    /// `Modulo is Odd` requirement must be `Guaranteed`).
+    EvenModulus,
+    /// The modulus must be at least 3.
+    ModulusTooSmall,
+}
+
+impl fmt::Display for MontgomeryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MontgomeryError::EvenModulus => {
+                write!(f, "montgomery multiplication requires an odd modulus")
+            }
+            MontgomeryError::ModulusTooSmall => write!(f, "modulus must be at least 3"),
+        }
+    }
+}
+
+impl std::error::Error for MontgomeryError {}
+
+/// Precomputed state for Montgomery arithmetic modulo an odd `m`.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::{MontgomeryContext, UBig};
+///
+/// let m = UBig::from(101u64);
+/// let ctx = MontgomeryContext::new(&m)?;
+/// let a = UBig::from(77u64);
+/// let b = UBig::from(55u64);
+/// assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
+/// # Ok::<(), bignum::MontgomeryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontgomeryContext {
+    m: UBig,
+    /// Number of bits in R (R = 2^r_bits > m).
+    r_bits: u32,
+    /// R² mod m, for conversion into the Montgomery domain.
+    r2: UBig,
+    /// -m⁻¹ mod R (full width).
+    m_prime: UBig,
+}
+
+impl MontgomeryContext {
+    /// Builds a context for the odd modulus `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MontgomeryError::EvenModulus`] if `m` is even and
+    /// [`MontgomeryError::ModulusTooSmall`] if `m < 3`.
+    pub fn new(m: &UBig) -> Result<Self, MontgomeryError> {
+        if *m <= UBig::one() || *m == UBig::from(2u64) {
+            return Err(MontgomeryError::ModulusTooSmall);
+        }
+        if m.is_even() {
+            return Err(MontgomeryError::EvenModulus);
+        }
+        let r_bits = m.bit_len();
+        let r = UBig::power_of_two(r_bits);
+        let m_inv = mod_inverse(m, &r).expect("odd modulus is invertible mod 2^k");
+        let m_prime = r.checked_sub(&m_inv).expect("inverse < r");
+        let r2 = r.mod_mul(&r, m);
+        Ok(MontgomeryContext {
+            m: m.clone(),
+            r_bits,
+            r2,
+            m_prime,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &UBig {
+        &self.m
+    }
+
+    /// Number of bits in the Montgomery radix `R = 2^r_bits`.
+    pub fn r_bits(&self) -> u32 {
+        self.r_bits
+    }
+
+    /// Montgomery reduction: computes `t·R⁻¹ mod m` for `t < m·R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `t >= m·R`.
+    pub fn redc(&self, t: &UBig) -> UBig {
+        debug_assert!(t < &(&self.m * &UBig::power_of_two(self.r_bits)));
+        // u = (t + (t·m' mod R)·m) / R
+        let tm = (t * &self.m_prime).low_bits(self.r_bits);
+        let u = (t + &(&tm * &self.m)).shr(self.r_bits);
+        match u.checked_sub(&self.m) {
+            Some(reduced) => reduced,
+            None => u,
+        }
+    }
+
+    /// Converts into the Montgomery domain: `a·R mod m`.
+    pub fn to_mont(&self, a: &UBig) -> UBig {
+        self.redc(&(&a.rem(&self.m) * &self.r2))
+    }
+
+    /// Converts out of the Montgomery domain: `ā·R⁻¹ mod m`.
+    pub fn from_mont(&self, a_bar: &UBig) -> UBig {
+        self.redc(a_bar)
+    }
+
+    /// Montgomery product of two values already in the Montgomery domain.
+    pub fn mont_mul(&self, a_bar: &UBig, b_bar: &UBig) -> UBig {
+        self.redc(&(a_bar * b_bar))
+    }
+
+    /// Plain modular multiplication `a·b mod m` via the Montgomery route
+    /// (`REDC(REDC(a·b)·R²)`).
+    pub fn mod_mul(&self, a: &UBig, b: &UBig) -> UBig {
+        let ab_rinv = self.redc(&(&a.rem(&self.m) * &b.rem(&self.m)));
+        self.redc(&(&ab_rinv * &self.r2))
+    }
+
+    /// Modular exponentiation `base^exp mod m` performed entirely in the
+    /// Montgomery domain (the coprocessor's inner loop).
+    pub fn mod_pow(&self, base: &UBig, exp: &UBig) -> UBig {
+        let one_bar = self.to_mont(&UBig::one());
+        let base_bar = self.to_mont(base);
+        let mut acc = one_bar;
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_bar);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Digit-serial Montgomery multiplication in radix `2ᵏ` — the paper's
+/// Fig. 10 loop.
+///
+/// Computes `A·B·2^(-k·digits) mod m` by processing one base-`2ᵏ` digit of
+/// `a` per iteration:
+///
+/// ```text
+/// R := 0
+/// for i in 0..digits:
+///     R := R + aᵢ·B
+///     qᵢ := (R·(-M⁻¹)) mod 2ᵏ        (quotient digit)
+///     R := (R + qᵢ·M) / 2ᵏ           (exact division)
+/// ```
+///
+/// The caller chooses `digits`; a full multiplication needs
+/// `digits ≥ ceil(bit_len(a) / k)`. The result is fully reduced below `m`.
+///
+/// # Errors
+///
+/// Returns an error if `m` is even or smaller than 3.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 32`, or if `a` or `b` is not below `m`.
+pub fn mont_mul_digit_serial(
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+    k: u32,
+    digits: u32,
+) -> Result<UBig, MontgomeryError> {
+    assert!((1..=32).contains(&k), "digit width must be in 1..=32");
+    if *m <= UBig::one() || *m == UBig::from(2u64) {
+        return Err(MontgomeryError::ModulusTooSmall);
+    }
+    if m.is_even() {
+        return Err(MontgomeryError::EvenModulus);
+    }
+    assert!(a < m && b < m, "operands must be reduced below the modulus");
+
+    let r = 1u64 << k;
+    let m0 = m.bits(0, k);
+    let m0_inv = mod_inverse(&UBig::from(m0), &UBig::from(r))
+        .expect("odd modulus digit is invertible mod 2^k")
+        .to_u64()
+        .expect("inverse fits in a digit");
+    // -M⁻¹ mod 2ᵏ, the paper's (r - M₀)⁻¹ factor.
+    let m_prime = (r - m0_inv) % r;
+
+    let mut acc = UBig::zero();
+    for i in 0..digits {
+        let a_i = a.digit(i, k);
+        acc = &acc + &(b * &UBig::from(a_i));
+        let q = (acc.bits(0, k).wrapping_mul(m_prime)) & (r - 1);
+        acc = (&acc + &(m * &UBig::from(q))).shr(k);
+    }
+    // Invariant: acc < B + M < 2M, so a single conditional subtract reduces.
+    while acc >= *m {
+        acc = acc.checked_sub(m).expect("acc >= m");
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus_512() -> UBig {
+        let mut m = UBig::power_of_two(512);
+        m = &m + &UBig::from(0x2b5u64); // make it odd and irregular
+        m.set_bit(0, true);
+        m
+    }
+
+    #[test]
+    fn context_rejects_bad_moduli() {
+        assert_eq!(
+            MontgomeryContext::new(&UBig::from(4u64)).unwrap_err(),
+            MontgomeryError::EvenModulus
+        );
+        assert_eq!(
+            MontgomeryContext::new(&UBig::one()).unwrap_err(),
+            MontgomeryError::ModulusTooSmall
+        );
+        assert_eq!(
+            MontgomeryContext::new(&UBig::zero()).unwrap_err(),
+            MontgomeryError::ModulusTooSmall
+        );
+        assert_eq!(
+            MontgomeryContext::new(&UBig::from(2u64)).unwrap_err(),
+            MontgomeryError::ModulusTooSmall
+        );
+    }
+
+    #[test]
+    fn domain_roundtrip() {
+        let m = odd_modulus_512();
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let a = uniform_below(&m, &mut rng);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+        }
+    }
+
+    #[test]
+    fn mont_matches_naive_random() {
+        let m = odd_modulus_512();
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let a = uniform_below(&m, &mut rng);
+            let b = uniform_below(&m, &mut rng);
+            assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &m));
+        }
+    }
+
+    #[test]
+    fn mont_mod_pow_matches_binary() {
+        let m = UBig::from(1000003u64); // prime, odd
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let base = UBig::from(123456u64);
+        let exp = UBig::from(789u64);
+        assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow(&exp, &m));
+        assert_eq!(ctx.mod_pow(&base, &UBig::zero()), UBig::one());
+    }
+
+    #[test]
+    fn digit_serial_matches_redc_radix2() {
+        // A·B·2^{-d} mod m computed two ways.
+        let m = UBig::from(0xF123_4567_89AB_CDEFu64 | 1);
+        let a = UBig::from(0x1234_5678_9ABCu64);
+        let b = UBig::from(0xFEDC_BA98u64);
+        let d = a.bit_len().max(1);
+        let ds = mont_mul_digit_serial(&a, &b, &m, 1, d).unwrap();
+        // Reference: a·b·inv(2^d) mod m.
+        let inv = mod_inverse(&UBig::power_of_two(d), &m).unwrap();
+        let expect = a.mod_mul(&b, &m).mod_mul(&inv, &m);
+        assert_eq!(ds, expect);
+    }
+
+    #[test]
+    fn digit_serial_all_radices_agree_with_reference() {
+        let m = odd_modulus_512();
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in [1u32, 2, 3, 4, 8, 16, 32] {
+            let a = uniform_below(&m, &mut rng);
+            let b = uniform_below(&m, &mut rng);
+            let digits = m.bit_len().div_ceil(k) + 1;
+            let got = mont_mul_digit_serial(&a, &b, &m, k, digits).unwrap();
+            let inv = mod_inverse(&UBig::power_of_two(k * digits), &m).unwrap();
+            let expect = a.mod_mul(&b, &m).mod_mul(&inv, &m);
+            assert_eq!(got, expect, "radix 2^{k}");
+        }
+    }
+
+    #[test]
+    fn digit_serial_rejects_even_modulus() {
+        let err =
+            mont_mul_digit_serial(&UBig::one(), &UBig::one(), &UBig::from(8u64), 1, 4).unwrap_err();
+        assert_eq!(err, MontgomeryError::EvenModulus);
+    }
+
+    #[test]
+    fn result_is_fully_reduced() {
+        let m = UBig::from(97u64);
+        for a in 0..97u64 {
+            let got = mont_mul_digit_serial(
+                &UBig::from(a),
+                &UBig::from(96u64),
+                &m,
+                2,
+                4, // 8 bits > 7-bit modulus
+            )
+            .unwrap();
+            assert!(got < m);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Probabilistic primality testing and prime generation.
+//!
+//! Cryptography applications guarantee an odd (indeed prime) modulus — the
+//! `Modulo is Odd = Guaranteed` requirement (Req4) of the paper's case
+//! study. The RSA-style demo in the `coproc` crate generates its moduli
+//! here.
+
+use rand::Rng;
+
+use crate::{uniform_below, UBig};
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Returns `false` for 0 and 1, `true` for 2 and 3, and a probabilistic
+/// verdict (error probability ≤ 4^-rounds) for larger values.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &UBig, rounds: u32, rng: &mut R) -> bool {
+    let two = UBig::from(2u64);
+    let three = UBig::from(3u64);
+    if *n < two {
+        return false;
+    }
+    if *n == two || *n == three {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    // Quick trial division by small primes.
+    for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let pb = UBig::from(p);
+        if *n == pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+
+    // n - 1 = d · 2^s with d odd.
+    let n_minus_1 = n.checked_sub(&UBig::one()).expect("n >= 2");
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+
+    'witness: for _ in 0..rounds {
+        // Base in 2..n-1.
+        let span = n_minus_1.checked_sub(&two).expect("n > 3");
+        let a = &uniform_below(&span, rng) + &two;
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &UBig) -> u32 {
+    debug_assert!(!n.is_zero());
+    let mut i = 0;
+    while !n.bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Generates a random odd integer with exactly `bits` bits (top bit set).
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_odd<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> UBig {
+    assert!(bits >= 2, "need at least 2 bits for an odd value");
+    let mut v = uniform_below(&UBig::power_of_two(bits), rng);
+    v.set_bit(bits - 1, true);
+    v.set_bit(0, true);
+    v
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> UBig {
+    loop {
+        let candidate = random_odd(bits, rng);
+        if is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classifies_small_numbers() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 1000003];
+        let composites = [0u64, 1, 4, 9, 15, 91, 341, 561, 1000001];
+        for p in primes {
+            assert!(
+                is_probable_prime(&UBig::from(p), 16, &mut rng),
+                "{p} is prime"
+            );
+        }
+        for c in composites {
+            assert!(
+                !is_probable_prime(&UBig::from(c), 16, &mut rng),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_carmichael_numbers() {
+        // 561, 1105, 1729 fool Fermat but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(22);
+        for c in [561u64, 1105, 1729, 2465, 2821] {
+            assert!(!is_probable_prime(&UBig::from(c), 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn random_prime_has_requested_size_and_is_odd() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = random_prime(96, &mut rng);
+        assert_eq!(p.bit_len(), 96);
+        assert!(p.is_odd());
+        assert!(is_probable_prime(&p, 16, &mut rng));
+    }
+
+    #[test]
+    fn random_odd_shape() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..20 {
+            let v = random_odd(64, &mut rng);
+            assert_eq!(v.bit_len(), 64);
+            assert!(v.is_odd());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Random generation of big integers (test vectors, RSA demo keys).
+
+use rand::Rng;
+
+use crate::{Limb, UBig, LIMB_BITS};
+
+/// Draws a uniformly random value in `0..bound` using rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below<R: Rng + ?Sized>(bound: &UBig, rng: &mut R) -> UBig {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(LIMB_BITS) as usize;
+    let top_bits = bits % LIMB_BITS;
+    loop {
+        let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+        if top_bits != 0 {
+            if let Some(last) = v.last_mut() {
+                *last &= (1 << top_bits) - 1;
+            }
+        }
+        let candidate = UBig::from_limbs(v);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_below_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let bound = UBig::from_hex("10000000000000001").unwrap();
+        for _ in 0..200 {
+            assert!(uniform_below(&bound, &mut rng) < bound);
+        }
+    }
+
+    #[test]
+    fn bound_one_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!(uniform_below(&UBig::one(), &mut rng).is_zero());
+    }
+
+    #[test]
+    fn covers_the_range_for_small_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bound = UBig::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = uniform_below(&bound, &mut rng).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+}

@@ -1,0 +1,195 @@
+//! Windowed (2ᵏ-ary) modular exponentiation.
+//!
+//! The coprocessor's exponentiation *method* is itself a design issue:
+//! left-to-right binary square-and-multiply performs `bits` squarings and
+//! ≈`bits/2` multiplications, while a 2ᵏ-ary window trades `2ᵏ − 2` table
+//! precomputations for ≈`bits·(2ᵏ−1)/(k·2ᵏ)` multiplications. This module
+//! provides the reference implementation and the analytic count model the
+//! layer's quantitative constraint uses.
+
+use crate::{MontgomeryContext, MontgomeryError, UBig};
+
+/// Analytic multiplication counts for one `bits`-bit exponentiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowCounts {
+    /// Squarings performed.
+    pub squarings: u64,
+    /// Non-square multiplications (window applications).
+    pub multiplications: u64,
+    /// Table precomputation multiplications.
+    pub precomputations: u64,
+}
+
+impl WindowCounts {
+    /// Total modular multiplications.
+    pub fn total(&self) -> u64 {
+        self.squarings + self.multiplications + self.precomputations
+    }
+}
+
+/// Expected operation counts for a `bits`-bit random exponent with window
+/// size `k` (`k = 1` is plain binary).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 8`.
+pub fn expected_counts(bits: u32, k: u32) -> WindowCounts {
+    assert!((1..=8).contains(&k), "window size must be in 1..=8");
+    let windows = bits.div_ceil(k) as u64;
+    let nonzero_fraction = 1.0 - 1.0 / f64::from(1u32 << k);
+    WindowCounts {
+        squarings: bits as u64,
+        multiplications: (windows as f64 * nonzero_fraction).round() as u64,
+        precomputations: if k == 1 { 0 } else { (1u64 << k) - 2 },
+    }
+}
+
+/// Computes `base^exp mod m` with a 2ᵏ-ary window over Montgomery
+/// arithmetic, returning the result and the *actual* operation counts.
+///
+/// # Errors
+///
+/// Returns an error for even or tiny moduli.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 8`, or if `base >= m`.
+pub fn mod_pow_windowed(
+    base: &UBig,
+    exp: &UBig,
+    m: &UBig,
+    k: u32,
+) -> Result<(UBig, WindowCounts), MontgomeryError> {
+    assert!((1..=8).contains(&k), "window size must be in 1..=8");
+    assert!(base < m, "base must be reduced below the modulus");
+    let ctx = MontgomeryContext::new(m)?;
+    let mut counts = WindowCounts {
+        squarings: 0,
+        multiplications: 0,
+        precomputations: 0,
+    };
+
+    // Table of base^i in the Montgomery domain, i in 0..2^k.
+    let one_bar = ctx.to_mont(&UBig::one());
+    let base_bar = ctx.to_mont(base);
+    let table_len = 1usize << k;
+    let mut table = Vec::with_capacity(table_len);
+    table.push(one_bar.clone());
+    table.push(base_bar.clone());
+    for i in 2..table_len {
+        table.push(ctx.mont_mul(&table[i - 1], &base_bar));
+        counts.precomputations += 1;
+    }
+
+    let bits = exp.bit_len();
+    let windows = bits.div_ceil(k);
+    let mut acc = one_bar;
+    for w in (0..windows).rev() {
+        if w != windows - 1 {
+            for _ in 0..k {
+                acc = ctx.mont_mul(&acc, &acc);
+                counts.squarings += 1;
+            }
+        } else {
+            // Leading window: squarings before the first multiply would be
+            // no-ops on acc = 1; real implementations skip them.
+        }
+        let digit = exp.digit(w, k) as usize;
+        if digit != 0 {
+            acc = ctx.mont_mul(&acc, &table[digit]);
+            counts.multiplications += 1;
+        }
+    }
+    Ok((ctx.from_mont(&acc), counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
+        let mut m = uniform_below(&UBig::power_of_two(bits), rng);
+        m.set_bit(bits - 1, true);
+        m.set_bit(0, true);
+        m
+    }
+
+    #[test]
+    fn windowed_matches_binary_for_all_window_sizes() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let m = odd_modulus(128, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(96), &mut rng);
+        let expect = base.mod_pow(&exp, &m);
+        for k in 1..=6 {
+            let (got, counts) = mod_pow_windowed(&base, &exp, &m, k).unwrap();
+            assert_eq!(got, expect, "k = {k}");
+            assert!(counts.total() > 0);
+        }
+    }
+
+    #[test]
+    fn edge_exponents() {
+        let m = UBig::from(1000003u64);
+        let base = UBig::from(42u64);
+        let (got, counts) = mod_pow_windowed(&base, &UBig::zero(), &m, 4).unwrap();
+        assert_eq!(got, UBig::one());
+        assert_eq!(counts.squarings, 0);
+        let (got, _) = mod_pow_windowed(&base, &UBig::one(), &m, 4).unwrap();
+        assert_eq!(got, base);
+    }
+
+    #[test]
+    fn larger_windows_do_fewer_multiplications() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let m = odd_modulus(256, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(256), &mut rng);
+        let (_, k1) = mod_pow_windowed(&base, &exp, &m, 1).unwrap();
+        let (_, k4) = mod_pow_windowed(&base, &exp, &m, 4).unwrap();
+        assert!(k4.multiplications < k1.multiplications);
+        // But the table costs something.
+        assert_eq!(k4.precomputations, 14);
+        assert_eq!(k1.precomputations, 0);
+    }
+
+    #[test]
+    fn expected_counts_track_actuals() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let m = odd_modulus(512, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(512), &mut rng);
+        for k in [1u32, 2, 4, 6] {
+            let (_, actual) = mod_pow_windowed(&base, &exp, &m, k).unwrap();
+            let model = expected_counts(512, k);
+            assert_eq!(model.precomputations, actual.precomputations, "k={k}");
+            let mult_ratio = actual.multiplications as f64 / model.multiplications as f64;
+            assert!((0.8..=1.2).contains(&mult_ratio), "k={k}: {mult_ratio}");
+            // Squarings: model counts all; the implementation skips the
+            // leading window's.
+            assert!(actual.squarings <= model.squarings);
+            assert!(actual.squarings + k as u64 >= model.squarings.saturating_sub(k as u64));
+        }
+    }
+
+    #[test]
+    fn sweet_spot_exists() {
+        // Total multiplications is non-monotone in k: k=4..5 beats both
+        // k=1 and k=8 for kilobit exponents.
+        let totals: Vec<u64> = (1..=8).map(|k| expected_counts(1024, k).total()).collect();
+        let k1 = totals[0];
+        let best = *totals.iter().min().unwrap();
+        let k8 = totals[7];
+        assert!(best < k1);
+        assert!(best < k8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_panics() {
+        let _ = expected_counts(64, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Multiplier engines: the coprocessor's pluggable modular-multiplier
+//! block — the component the Section-5 exploration selects.
+
+use bignum::{MontgomeryContext, UBig, LIMB_BITS};
+use hwmodel::{sim, Algorithm, ModMulArchitecture};
+use swmodel::{OpCounts, SoftwareRoutine};
+
+use crate::error::CoprocError;
+
+/// How an engine's raw multiplication behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// `raw_mul(a, b) = a·b·2^(−shift) mod m` — a Montgomery engine; the
+    /// exponentiator wraps it in domain conversions.
+    Montgomery {
+        /// The `R = 2^shift` exponent for the given modulus.
+        shift: u32,
+    },
+    /// `raw_mul(a, b) = a·b mod m` directly (Brickell datapaths).
+    Direct,
+}
+
+/// A modular-multiplier engine the coprocessor can be built around.
+///
+/// Engines are stateful: they accumulate cost counters (cycles, word
+/// operations) across calls so a whole exponentiation can be priced.
+pub trait ModMulEngine {
+    /// Engine name for reports.
+    fn name(&self) -> String;
+
+    /// The engine's behaviour for modulus `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the modulus is unusable (e.g. even modulus on a
+    /// Montgomery engine).
+    fn kind(&self, m: &UBig) -> Result<EngineKind, CoprocError>;
+
+    /// One raw multiplication (Montgomery product or direct product,
+    /// per [`kind`](Self::kind)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli or unreduced operands.
+    fn raw_mul(&mut self, a: &UBig, b: &UBig, m: &UBig) -> Result<UBig, CoprocError>;
+
+    /// Total cost accumulated so far, as `(cycles, time_us)` where either
+    /// may be zero if the engine does not track it.
+    fn cost(&self) -> (u64, f64);
+
+    /// Resets the cost counters.
+    fn reset_cost(&mut self);
+}
+
+/// The `bignum` golden model (full-width REDC). Tracks no cost — it is
+/// the correctness oracle.
+#[derive(Debug, Default)]
+pub struct ReferenceEngine {
+    muls: u64,
+}
+
+impl ReferenceEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        ReferenceEngine::default()
+    }
+}
+
+impl ModMulEngine for ReferenceEngine {
+    fn name(&self) -> String {
+        "bignum REDC reference".to_owned()
+    }
+
+    fn kind(&self, m: &UBig) -> Result<EngineKind, CoprocError> {
+        let ctx = MontgomeryContext::new(m)?;
+        Ok(EngineKind::Montgomery {
+            shift: ctx.r_bits(),
+        })
+    }
+
+    fn raw_mul(&mut self, a: &UBig, b: &UBig, m: &UBig) -> Result<UBig, CoprocError> {
+        let ctx = MontgomeryContext::new(m)?;
+        self.muls += 1;
+        Ok(ctx.mont_mul(a, b))
+    }
+
+    fn cost(&self) -> (u64, f64) {
+        (self.muls, 0.0)
+    }
+
+    fn reset_cost(&mut self) {
+        self.muls = 0;
+    }
+}
+
+/// A hardware engine: one of the modelled datapath architectures,
+/// simulated cycle-accurately. Montgomery architectures report a
+/// Montgomery kind; Brickell architectures multiply directly.
+#[derive(Debug, Clone)]
+pub struct HardwareEngine {
+    arch: ModMulArchitecture,
+    clock_ns: f64,
+    cycles: u64,
+}
+
+impl HardwareEngine {
+    /// Wraps an architecture; `clock_ns` prices the accumulated cycles
+    /// (use the estimate from `hwmodel::estimate`).
+    pub fn new(arch: ModMulArchitecture, clock_ns: f64) -> Self {
+        HardwareEngine {
+            arch,
+            clock_ns,
+            cycles: 0,
+        }
+    }
+
+    /// The wrapped architecture.
+    pub fn architecture(&self) -> &ModMulArchitecture {
+        &self.arch
+    }
+}
+
+impl ModMulEngine for HardwareEngine {
+    fn name(&self) -> String {
+        self.arch.to_string()
+    }
+
+    fn kind(&self, m: &UBig) -> Result<EngineKind, CoprocError> {
+        match self.arch.algorithm() {
+            Algorithm::Montgomery => {
+                if m.is_even() {
+                    return Err(CoprocError::InvalidModulus(
+                        "montgomery datapaths require an odd modulus".to_owned(),
+                    ));
+                }
+                let eol = sim::effective_eol(&self.arch, m);
+                let shift = self.arch.digit_bits() * self.arch.iterations(eol) as u32;
+                Ok(EngineKind::Montgomery { shift })
+            }
+            Algorithm::Brickell => Ok(EngineKind::Direct),
+        }
+    }
+
+    fn raw_mul(&mut self, a: &UBig, b: &UBig, m: &UBig) -> Result<UBig, CoprocError> {
+        let out = sim::simulate(&self.arch, a, b, m)?;
+        self.cycles += out.cycles;
+        Ok(out.product)
+    }
+
+    fn cost(&self) -> (u64, f64) {
+        (self.cycles, self.cycles as f64 * self.clock_ns / 1000.0)
+    }
+
+    fn reset_cost(&mut self) {
+        self.cycles = 0;
+    }
+}
+
+/// A software engine: a Koç variant on a processor model, with operation
+/// counts and estimated time accumulated across calls.
+#[derive(Debug, Clone)]
+pub struct SoftwareEngine {
+    routine: SoftwareRoutine,
+    counts: OpCounts,
+    time_us: f64,
+}
+
+impl SoftwareEngine {
+    /// Wraps a routine.
+    pub fn new(routine: SoftwareRoutine) -> Self {
+        SoftwareEngine {
+            routine,
+            counts: OpCounts::new(),
+            time_us: 0.0,
+        }
+    }
+
+    /// Accumulated operation counts.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+}
+
+impl ModMulEngine for SoftwareEngine {
+    fn name(&self) -> String {
+        self.routine.label()
+    }
+
+    fn kind(&self, m: &UBig) -> Result<EngineKind, CoprocError> {
+        if m.is_even() {
+            return Err(CoprocError::InvalidModulus(
+                "software montgomery variants require an odd modulus".to_owned(),
+            ));
+        }
+        Ok(EngineKind::Montgomery {
+            shift: m.limb_len() as u32 * LIMB_BITS,
+        })
+    }
+
+    fn raw_mul(&mut self, a: &UBig, b: &UBig, m: &UBig) -> Result<UBig, CoprocError> {
+        let report = self.routine.profile_mont_mul(a, b, m)?;
+        self.counts += report.counts;
+        self.time_us += report.time_us;
+        Ok(report.result)
+    }
+
+    fn cost(&self) -> (u64, f64) {
+        (self.counts.total(), self.time_us)
+    }
+
+    fn reset_cost(&mut self) {
+        self.counts = OpCounts::new();
+        self.time_us = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::paper_designs;
+    use swmodel::{MontgomeryVariant, ProcessorModel};
+
+    #[test]
+    fn reference_engine_is_montgomery_kind() {
+        let eng = ReferenceEngine::new();
+        let m = UBig::from(101u64);
+        assert!(matches!(
+            eng.kind(&m).unwrap(),
+            EngineKind::Montgomery { shift: 7 }
+        ));
+        assert!(eng.kind(&UBig::from(100u64)).is_err());
+    }
+
+    #[test]
+    fn hardware_engine_kinds_follow_the_algorithm() {
+        let mont = paper_designs()[1].architecture(8).unwrap();
+        let brick = paper_designs()[7].architecture(8).unwrap();
+        let m = UBig::from(251u64);
+        let em = HardwareEngine::new(mont, 3.0);
+        let eb = HardwareEngine::new(brick, 4.0);
+        assert!(matches!(
+            em.kind(&m).unwrap(),
+            EngineKind::Montgomery { .. }
+        ));
+        assert_eq!(eb.kind(&m).unwrap(), EngineKind::Direct);
+        // Brickell accepts even moduli; Montgomery does not.
+        assert!(em.kind(&UBig::from(250u64)).is_err());
+        assert!(eb.kind(&UBig::from(250u64)).is_ok());
+    }
+
+    #[test]
+    fn hardware_engine_accumulates_cycles() {
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let mut eng = HardwareEngine::new(arch, 3.0);
+        let m = UBig::from(251u64);
+        eng.raw_mul(&UBig::from(200u64), &UBig::from(100u64), &m)
+            .unwrap();
+        let (cycles1, us1) = eng.cost();
+        assert!(cycles1 > 0 && us1 > 0.0);
+        eng.raw_mul(&UBig::from(5u64), &UBig::from(6u64), &m)
+            .unwrap();
+        assert!(eng.cost().0 > cycles1);
+        eng.reset_cost();
+        assert_eq!(eng.cost(), (0, 0.0));
+    }
+
+    #[test]
+    fn software_engine_accumulates_time() {
+        let routine =
+            SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_asm());
+        let mut eng = SoftwareEngine::new(routine);
+        let m = UBig::from(0xFFFF_FFB1u64);
+        eng.raw_mul(&UBig::from(1234u64), &UBig::from(4321u64), &m)
+            .unwrap();
+        let (ops, us) = eng.cost();
+        assert!(ops > 0 && us > 0.0);
+        assert!(eng.counts().mul > 0);
+    }
+}

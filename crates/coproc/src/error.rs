@@ -1,0 +1,54 @@
+//! The coprocessor error type.
+
+use std::fmt;
+
+/// Errors from driving the coprocessor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoprocError {
+    /// The modulus is invalid for the selected engine (even for a
+    /// Montgomery engine, or smaller than 2).
+    InvalidModulus(String),
+    /// An operand is not reduced below the modulus.
+    UnreducedOperand,
+    /// The underlying engine failed.
+    Engine(String),
+}
+
+impl fmt::Display for CoprocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoprocError::InvalidModulus(why) => write!(f, "invalid modulus: {why}"),
+            CoprocError::UnreducedOperand => {
+                write!(f, "operands must be reduced below the modulus")
+            }
+            CoprocError::Engine(why) => write!(f, "engine error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoprocError {}
+
+impl From<hwmodel::SimError> for CoprocError {
+    fn from(e: hwmodel::SimError) -> Self {
+        match e {
+            hwmodel::SimError::UnreducedOperand => CoprocError::UnreducedOperand,
+            other => CoprocError::InvalidModulus(other.to_string()),
+        }
+    }
+}
+
+impl From<swmodel::WordMontgomeryError> for CoprocError {
+    fn from(e: swmodel::WordMontgomeryError) -> Self {
+        match e {
+            swmodel::WordMontgomeryError::UnreducedOperand => CoprocError::UnreducedOperand,
+            other => CoprocError::InvalidModulus(other.to_string()),
+        }
+    }
+}
+
+impl From<bignum::MontgomeryError> for CoprocError {
+    fn from(e: bignum::MontgomeryError) -> Self {
+        CoprocError::InvalidModulus(e.to_string())
+    }
+}

@@ -1,0 +1,340 @@
+//! The exponentiation control structure: left-to-right binary
+//! square-and-multiply over a multiplier engine.
+
+use bignum::UBig;
+
+use crate::engine::{EngineKind, ModMulEngine};
+use crate::error::CoprocError;
+use crate::method::ExpMethod;
+
+/// A cost/result report for one exponentiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpReport {
+    /// The computed `base^exp mod m`.
+    pub result: UBig,
+    /// Modular multiplications performed (squares + multiplies +
+    /// domain conversions).
+    pub multiplications: u64,
+    /// Engine cycles (0 if the engine does not track cycles).
+    pub cycles: u64,
+    /// Engine time estimate in µs (0 if untracked).
+    pub time_us: f64,
+}
+
+/// The modular-exponentiation coprocessor: a multiplier engine plus the
+/// square-and-multiply controller.
+#[derive(Debug)]
+pub struct ModExp<E> {
+    engine: E,
+}
+
+impl<E: ModMulEngine> ModExp<E> {
+    /// Builds the coprocessor around an engine.
+    pub fn new(engine: E) -> Self {
+        ModExp { engine }
+    }
+
+    /// Borrows the engine (e.g. to inspect accumulated cost).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Consumes the coprocessor, returning the engine.
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
+    /// Computes `base^exp mod m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli (per the engine) or an
+    /// unreduced base.
+    pub fn mod_pow(&mut self, base: &UBig, exp: &UBig, m: &UBig) -> Result<UBig, CoprocError> {
+        Ok(self.mod_pow_report(base, exp, m)?.result)
+    }
+
+    /// Computes `base^exp mod m` with a full cost report (binary method).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli (per the engine) or an
+    /// unreduced base.
+    pub fn mod_pow_report(
+        &mut self,
+        base: &UBig,
+        exp: &UBig,
+        m: &UBig,
+    ) -> Result<ExpReport, CoprocError> {
+        self.mod_pow_with_method(base, exp, m, ExpMethod::Binary)
+    }
+
+    /// Computes `base^exp mod m` with the selected exponentiation method.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli (per the engine), an unreduced
+    /// base, or an invalid window size.
+    pub fn mod_pow_with_method(
+        &mut self,
+        base: &UBig,
+        exp: &UBig,
+        m: &UBig,
+        method: ExpMethod,
+    ) -> Result<ExpReport, CoprocError> {
+        if !method.is_valid() {
+            return Err(CoprocError::Engine(format!(
+                "invalid exponentiation method {method}"
+            )));
+        }
+        if *m <= UBig::one() {
+            return Err(CoprocError::InvalidModulus(
+                "modulus must be at least 2".to_owned(),
+            ));
+        }
+        if base >= m {
+            return Err(CoprocError::UnreducedOperand);
+        }
+        self.engine.reset_cost();
+        let kind = self.engine.kind(m)?;
+        let mut mults = 0u64;
+
+        // The unit element and the domain image of the base; for
+        // Montgomery engines also the final conversion.
+        let (one_elem, base_elem, convert_out) = match kind {
+            EngineKind::Direct => (UBig::one().rem(m), base.clone(), false),
+            EngineKind::Montgomery { shift } => {
+                // Host-side precomputation (done once per modulus in a real
+                // system): R mod m and R² mod m.
+                let r = UBig::power_of_two(shift).rem(m);
+                let r2 = UBig::power_of_two(2 * shift).rem(m);
+                let base_bar = self.engine.raw_mul(base, &r2, m)?;
+                mults += 1;
+                (r, base_bar, true)
+            }
+        };
+
+        let k = method.window_bits();
+        // Window table: powers 0..2^k of the base (in the engine's
+        // representation). Binary degenerates to [1, base].
+        let mut table = vec![one_elem.clone(), base_elem.clone()];
+        for i in 2..(1usize << k) {
+            let next = self.engine.raw_mul(&table[i - 1], &base_elem, m)?;
+            table.push(next);
+            mults += 1;
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(k);
+        let mut acc = one_elem;
+        for w in (0..windows).rev() {
+            if w != windows - 1 {
+                for _ in 0..k {
+                    acc = self.engine.raw_mul(&acc, &acc, m)?;
+                    mults += 1;
+                }
+            }
+            let digit = exp.digit(w, k) as usize;
+            if digit != 0 {
+                acc = self.engine.raw_mul(&acc, &table[digit], m)?;
+                mults += 1;
+            }
+        }
+
+        let result = if convert_out {
+            let out = self.engine.raw_mul(&acc, &UBig::one(), m)?;
+            mults += 1;
+            out
+        } else {
+            acc
+        };
+
+        let (cycles, time_us) = self.engine.cost();
+        Ok(ExpReport {
+            result,
+            multiplications: mults,
+            cycles,
+            time_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{HardwareEngine, ReferenceEngine, SoftwareEngine};
+    use bignum::{random_prime, uniform_below};
+    use hwmodel::paper_designs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+
+    #[test]
+    fn reference_engine_matches_bignum() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_prime(96, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(64), &mut rng);
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        assert_eq!(
+            coproc.mod_pow(&base, &exp, &m).unwrap(),
+            base.mod_pow(&exp, &m)
+        );
+    }
+
+    #[test]
+    fn every_hardware_design_exponentiates_correctly() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = random_prime(48, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = UBig::from(0xB00Fu64);
+        let expect = base.mod_pow(&exp, &m);
+        for d in paper_designs() {
+            let arch = d.architecture(16).unwrap();
+            let mut coproc = ModExp::new(HardwareEngine::new(arch, 3.0));
+            let report = coproc.mod_pow_report(&base, &exp, &m).unwrap();
+            assert_eq!(report.result, expect, "{}", d.name());
+            assert!(report.cycles > 0);
+            assert!(report.time_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn software_engines_exponentiate_correctly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = random_prime(64, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = UBig::from(1234567u64);
+        let expect = base.mod_pow(&exp, &m);
+        for v in MontgomeryVariant::ALL {
+            let eng = SoftwareEngine::new(SoftwareRoutine::new(v, ProcessorModel::pentium60_c()));
+            let mut coproc = ModExp::new(eng);
+            assert_eq!(coproc.mod_pow(&base, &exp, &m).unwrap(), expect, "{v}");
+        }
+    }
+
+    #[test]
+    fn multiplication_count_matches_square_and_multiply() {
+        let m = UBig::from(1000003u64);
+        let exp = UBig::from(0b1011u64); // 4 bits, weight 3
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        let report = coproc.mod_pow_report(&UBig::from(5u64), &exp, &m).unwrap();
+        // 3 squares (the leading window's squarings on acc = 1 are
+        // skipped) + 3 multiplies (one per set bit) + 2 domain conversions.
+        assert_eq!(report.multiplications, 3 + 3 + 2);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let m = UBig::from(97u64);
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        // exp = 0 → 1.
+        assert_eq!(
+            coproc
+                .mod_pow(&UBig::from(5u64), &UBig::zero(), &m)
+                .unwrap(),
+            UBig::one()
+        );
+        // base = 0 → 0 for positive exponents.
+        assert!(coproc
+            .mod_pow(&UBig::zero(), &UBig::from(5u64), &m)
+            .unwrap()
+            .is_zero());
+        // Unreduced base rejected.
+        assert_eq!(
+            coproc
+                .mod_pow(&UBig::from(97u64), &UBig::one(), &m)
+                .unwrap_err(),
+            CoprocError::UnreducedOperand
+        );
+        // Tiny modulus rejected.
+        assert!(coproc
+            .mod_pow(&UBig::zero(), &UBig::one(), &UBig::one())
+            .is_err());
+    }
+
+    #[test]
+    fn windowed_methods_agree_with_binary_on_all_engine_types() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let m = random_prime(48, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(40), &mut rng);
+        let expect = base.mod_pow(&exp, &m);
+        for method in [
+            ExpMethod::Binary,
+            ExpMethod::Window(2),
+            ExpMethod::Window(4),
+        ] {
+            // Reference engine.
+            let mut r = ModExp::new(ReferenceEngine::new());
+            assert_eq!(
+                r.mod_pow_with_method(&base, &exp, &m, method)
+                    .unwrap()
+                    .result,
+                expect,
+                "reference, {method}"
+            );
+            // A Montgomery datapath and a Brickell (direct) datapath.
+            for idx in [1usize, 7] {
+                let arch = paper_designs()[idx].architecture(16).unwrap();
+                let mut c = ModExp::new(HardwareEngine::new(arch, 3.0));
+                assert_eq!(
+                    c.mod_pow_with_method(&base, &exp, &m, method)
+                        .unwrap()
+                        .result,
+                    expect,
+                    "#{}, {method}",
+                    idx + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowing_cuts_multiplications_for_long_exponents() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let m = random_prime(64, &mut rng);
+        let base = uniform_below(&m, &mut rng);
+        let exp = uniform_below(&UBig::power_of_two(512), &mut rng);
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        let binary = coproc
+            .mod_pow_with_method(&base, &exp, &m, ExpMethod::Binary)
+            .unwrap();
+        let windowed = coproc
+            .mod_pow_with_method(&base, &exp, &m, ExpMethod::Window(4))
+            .unwrap();
+        assert_eq!(binary.result, windowed.result);
+        assert!(
+            windowed.multiplications < binary.multiplications,
+            "window {} vs binary {}",
+            windowed.multiplications,
+            binary.multiplications
+        );
+    }
+
+    #[test]
+    fn invalid_window_is_rejected() {
+        let mut coproc = ModExp::new(ReferenceEngine::new());
+        let err = coproc
+            .mod_pow_with_method(
+                &UBig::from(2u64),
+                &UBig::from(3u64),
+                &UBig::from(101u64),
+                ExpMethod::Window(9),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoprocError::Engine(_)));
+    }
+
+    #[test]
+    fn brickell_engine_handles_even_modulus() {
+        // The whole point of keeping Brickell in the design space.
+        let arch = paper_designs()[7].architecture(8).unwrap();
+        let mut coproc = ModExp::new(HardwareEngine::new(arch, 4.0));
+        let m = UBig::from(1000u64);
+        let got = coproc
+            .mod_pow(&UBig::from(123u64), &UBig::from(45u64), &m)
+            .unwrap();
+        assert_eq!(got, UBig::from(123u64).mod_pow(&UBig::from(45u64), &m));
+    }
+}

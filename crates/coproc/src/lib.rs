@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! The modular-exponentiation coprocessor — the application the paper's
+//! case study designs for.
+//!
+//! Cryptography applications (digital signatures, public-key encryption)
+//! use modular exponentiation `Mᴱ mod N` as their basic operation, which
+//! in turn reduces to repeated modular multiplication. This crate models
+//! the coprocessor around pluggable multiplier engines:
+//!
+//! * [`engine::ReferenceEngine`] — the `bignum` golden model,
+//! * [`engine::HardwareEngine`] — any of the Table-1 datapath
+//!   architectures, cycle-accounted through the `hwmodel` simulator,
+//! * [`engine::SoftwareEngine`] — any Koç variant/processor pairing from
+//!   `swmodel`,
+//!
+//! plus [`spec::KocSpec`] (the Req1–Req5 requirement set from the Koç
+//! coprocessor specification), the end-to-end Section-5
+//! [`walkthrough`], and a toy [`rsa`] built on top.
+//!
+//! # Example
+//!
+//! ```
+//! use bignum::UBig;
+//! use coproc::engine::ReferenceEngine;
+//! use coproc::ModExp;
+//!
+//! let m = UBig::from(1000003u64); // odd prime modulus
+//! let mut coproc = ModExp::new(ReferenceEngine::new());
+//! let got = coproc.mod_pow(&UBig::from(7u64), &UBig::from(65537u64), &m)?;
+//! assert_eq!(got, UBig::from(7u64).mod_pow(&UBig::from(65537u64), &m));
+//! # Ok::<(), coproc::CoprocError>(())
+//! ```
+
+pub mod engine;
+mod error;
+mod exponentiator;
+mod method;
+pub mod rsa;
+pub mod spec;
+pub mod walkthrough;
+
+pub use engine::{EngineKind, ModMulEngine};
+pub use error::CoprocError;
+pub use exponentiator::{ExpReport, ModExp};
+pub use method::ExpMethod;

@@ -1,0 +1,97 @@
+//! Exponentiation methods: the coprocessor-level design issue.
+//!
+//! The paper notes that the modular-multiplier exploration "could have
+//! been part of the design space exploration performed for the main
+//! architectural component, i.e., the modular exponentiation coprocessor".
+//! The coprocessor's own headline issue is the exponentiation method:
+//! binary square-and-multiply versus 2ᵏ-ary windowing, trading table
+//! storage (and precomputation multiplications) for fewer per-bit
+//! multiplications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The exponent-scanning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExpMethod {
+    /// Left-to-right binary square-and-multiply.
+    Binary,
+    /// 2ᵏ-ary windowing with the given window size (2–8 bits).
+    Window(u32),
+}
+
+impl ExpMethod {
+    /// The window size (1 for binary).
+    pub fn window_bits(self) -> u32 {
+        match self {
+            ExpMethod::Binary => 1,
+            ExpMethod::Window(k) => k,
+        }
+    }
+
+    /// Validates the method's parameters.
+    pub fn is_valid(self) -> bool {
+        match self {
+            ExpMethod::Binary => true,
+            ExpMethod::Window(k) => (2..=8).contains(&k),
+        }
+    }
+
+    /// Expected total modular multiplications for a `bits`-bit exponent —
+    /// the quantitative relation the coprocessor layer's CC7 carries.
+    pub fn expected_multiplications(self, bits: u32) -> u64 {
+        bignum::expected_counts(bits, self.window_bits()).total()
+    }
+
+    /// Number of operand-wide table registers the method needs beyond the
+    /// accumulator (storage cost of windowing).
+    pub fn table_registers(self) -> u64 {
+        match self {
+            ExpMethod::Binary => 1, // the base itself
+            ExpMethod::Window(k) => 1u64 << k,
+        }
+    }
+}
+
+impl fmt::Display for ExpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpMethod::Binary => write!(f, "binary"),
+            ExpMethod::Window(k) => write!(f, "{}-ary window", 1u64 << k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_rules() {
+        assert!(ExpMethod::Binary.is_valid());
+        assert!(ExpMethod::Window(4).is_valid());
+        assert!(!ExpMethod::Window(1).is_valid());
+        assert!(!ExpMethod::Window(9).is_valid());
+    }
+
+    #[test]
+    fn windowing_reduces_expected_multiplications_at_kilobit_sizes() {
+        let binary = ExpMethod::Binary.expected_multiplications(1024);
+        let w4 = ExpMethod::Window(4).expected_multiplications(1024);
+        assert!(w4 < binary, "{w4} < {binary}");
+    }
+
+    #[test]
+    fn storage_grows_exponentially() {
+        assert_eq!(ExpMethod::Binary.table_registers(), 1);
+        assert_eq!(ExpMethod::Window(2).table_registers(), 4);
+        assert_eq!(ExpMethod::Window(6).table_registers(), 64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExpMethod::Binary.to_string(), "binary");
+        assert_eq!(ExpMethod::Window(4).to_string(), "16-ary window");
+    }
+}

@@ -1,0 +1,245 @@
+//! A toy RSA built on the coprocessor — the "public key encryption and
+//! decrypting" application the paper's case study motivates.
+//!
+//! This is demonstration-grade (no padding, no side-channel hygiene); its
+//! purpose is to exercise a full application workload through whichever
+//! multiplier engine the exploration selected.
+
+use bignum::{mod_inverse, random_prime, UBig};
+use rand::Rng;
+
+use crate::engine::ModMulEngine;
+use crate::error::CoprocError;
+use crate::exponentiator::ModExp;
+
+/// An RSA key pair, including the CRT private components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyPair {
+    /// Modulus `n = p·q`.
+    pub n: UBig,
+    /// Public exponent.
+    pub e: UBig,
+    /// Private exponent.
+    pub d: UBig,
+    /// First prime factor.
+    pub p: UBig,
+    /// Second prime factor.
+    pub q: UBig,
+    /// `d mod (p−1)` — the CRT exponent for the `p` branch.
+    pub d_p: UBig,
+    /// `d mod (q−1)` — the CRT exponent for the `q` branch.
+    pub d_q: UBig,
+    /// `q⁻¹ mod p` — the CRT recombination coefficient.
+    pub q_inv: UBig,
+}
+
+/// Generates a key pair with an `bits`-bit modulus (two `bits/2`-bit
+/// primes), public exponent 65537.
+///
+/// # Panics
+///
+/// Panics if `bits < 32`.
+pub fn generate_keys<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> KeyPair {
+    assert!(bits >= 32, "need at least 32 modulus bits");
+    let e = UBig::from(65537u64);
+    loop {
+        let p = random_prime(bits / 2, rng);
+        let q = random_prime(bits - bits / 2, rng);
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        let p_minus_1 = &p - &UBig::one();
+        let q_minus_1 = &q - &UBig::one();
+        let phi = &p_minus_1 * &q_minus_1;
+        let (Some(d), Some(q_inv)) = (mod_inverse(&e, &phi), mod_inverse(&q, &p)) else {
+            continue;
+        };
+        let d_p = d.rem(&p_minus_1);
+        let d_q = d.rem(&q_minus_1);
+        return KeyPair {
+            n,
+            e,
+            d,
+            p,
+            q,
+            d_p,
+            d_q,
+            q_inv,
+        };
+    }
+}
+
+/// Encrypts `message` (< n) under the public key with the given engine.
+///
+/// # Errors
+///
+/// Returns an error for unreduced messages or engine failures.
+pub fn encrypt<E: ModMulEngine>(
+    engine: E,
+    keys: &KeyPair,
+    message: &UBig,
+) -> Result<UBig, CoprocError> {
+    ModExp::new(engine).mod_pow(message, &keys.e, &keys.n)
+}
+
+/// Decrypts `ciphertext` under the private key with the given engine.
+///
+/// # Errors
+///
+/// Returns an error for unreduced ciphertexts or engine failures.
+pub fn decrypt<E: ModMulEngine>(
+    engine: E,
+    keys: &KeyPair,
+    ciphertext: &UBig,
+) -> Result<UBig, CoprocError> {
+    ModExp::new(engine).mod_pow(ciphertext, &keys.d, &keys.n)
+}
+
+/// CRT-accelerated decryption: two half-size exponentiations (mod `p` and
+/// mod `q`) recombined with Garner's formula — roughly a 4× speedup over
+/// the plain private-key operation, visible directly in the engines'
+/// accumulated cycle counts.
+///
+/// Each branch runs on its own engine instance (a real coprocessor would
+/// either time-multiplex one multiplier or instantiate two).
+///
+/// # Errors
+///
+/// Returns an error for unreduced ciphertexts or engine failures.
+pub fn decrypt_crt<E: ModMulEngine>(
+    engine_p: E,
+    engine_q: E,
+    keys: &KeyPair,
+    ciphertext: &UBig,
+) -> Result<(UBig, u64), CoprocError> {
+    if ciphertext >= &keys.n {
+        return Err(CoprocError::UnreducedOperand);
+    }
+    let mut exp_p = ModExp::new(engine_p);
+    let mut exp_q = ModExp::new(engine_q);
+    let c_p = ciphertext.rem(&keys.p);
+    let c_q = ciphertext.rem(&keys.q);
+    let rep_p = exp_p.mod_pow_report(&c_p, &keys.d_p, &keys.p)?;
+    let rep_q = exp_q.mod_pow_report(&c_q, &keys.d_q, &keys.q)?;
+    // Garner recombination: m = m_q + q·(q_inv·(m_p − m_q) mod p).
+    let diff = rep_p.result.mod_sub(&rep_q.result, &keys.p);
+    let h = keys.q_inv.mod_mul(&diff, &keys.p);
+    let m = &rep_q.result + &(&keys.q * &h);
+    Ok((m, rep_p.cycles + rep_q.cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{HardwareEngine, ReferenceEngine, SoftwareEngine};
+    use bignum::uniform_below;
+    use hwmodel::paper_designs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+
+    #[test]
+    fn roundtrip_with_reference_engine() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let keys = generate_keys(128, &mut rng);
+        let msg = uniform_below(&keys.n, &mut rng);
+        let ct = encrypt(ReferenceEngine::new(), &keys, &msg).unwrap();
+        let pt = decrypt(ReferenceEngine::new(), &keys, &ct).unwrap();
+        assert_eq!(pt, msg);
+        assert_ne!(ct, msg, "encryption should change the message");
+    }
+
+    #[test]
+    fn roundtrip_with_hardware_engine() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let keys = generate_keys(64, &mut rng);
+        let msg = uniform_below(&keys.n, &mut rng);
+        // n = p·q with odd primes is odd, so the Montgomery datapath works.
+        let arch = paper_designs()[1].architecture(16).unwrap();
+        let ct = encrypt(HardwareEngine::new(arch.clone(), 3.0), &keys, &msg).unwrap();
+        let pt = decrypt(HardwareEngine::new(arch, 3.0), &keys, &ct).unwrap();
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn roundtrip_with_software_engine() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let keys = generate_keys(96, &mut rng);
+        let msg = uniform_below(&keys.n, &mut rng);
+        let make = || {
+            SoftwareEngine::new(SoftwareRoutine::new(
+                MontgomeryVariant::Cios,
+                ProcessorModel::pentium60_asm(),
+            ))
+        };
+        let ct = encrypt(make(), &keys, &msg).unwrap();
+        let pt = decrypt(make(), &keys, &ct).unwrap();
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn crt_decryption_matches_plain_decryption() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let keys = generate_keys(96, &mut rng);
+        let msg = uniform_below(&keys.n, &mut rng);
+        let ct = encrypt(ReferenceEngine::new(), &keys, &msg).unwrap();
+        let plain = decrypt(ReferenceEngine::new(), &keys, &ct).unwrap();
+        let (crt, _) =
+            decrypt_crt(ReferenceEngine::new(), ReferenceEngine::new(), &keys, &ct).unwrap();
+        assert_eq!(plain, msg);
+        assert_eq!(crt, msg);
+    }
+
+    #[test]
+    fn crt_saves_hardware_cycles() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let keys = generate_keys(64, &mut rng);
+        let msg = uniform_below(&keys.n, &mut rng);
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let ct = encrypt(HardwareEngine::new(arch.clone(), 3.0), &keys, &msg).unwrap();
+
+        let mut plain = ModExp::new(HardwareEngine::new(arch.clone(), 3.0));
+        let plain_report = plain.mod_pow_report(&ct, &keys.d, &keys.n).unwrap();
+        let (crt_msg, crt_cycles) = decrypt_crt(
+            HardwareEngine::new(arch.clone(), 3.0),
+            HardwareEngine::new(arch, 3.0),
+            &keys,
+            &ct,
+        )
+        .unwrap();
+        assert_eq!(crt_msg, msg);
+        assert_eq!(plain_report.result, msg);
+        assert!(
+            crt_cycles * 2 < plain_report.cycles,
+            "CRT {} cycles vs plain {}",
+            crt_cycles,
+            plain_report.cycles
+        );
+    }
+
+    #[test]
+    fn crt_rejects_unreduced_ciphertext() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let keys = generate_keys(64, &mut rng);
+        let err = decrypt_crt(
+            ReferenceEngine::new(),
+            ReferenceEngine::new(),
+            &keys,
+            &keys.n,
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::CoprocError::UnreducedOperand);
+    }
+
+    #[test]
+    fn keys_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let keys = generate_keys(64, &mut rng);
+        assert!(keys.n.is_odd());
+        assert_eq!(keys.n.bit_len(), 64);
+        // e·d ≡ 1 (mod φ) implies m^(e·d) ≡ m — spot check.
+        let m = UBig::from(42u64);
+        assert_eq!(m.mod_pow(&keys.e, &keys.n).mod_pow(&keys.d, &keys.n), m);
+    }
+}

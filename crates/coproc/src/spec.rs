@@ -1,0 +1,85 @@
+//! The coprocessor requirement set — the paper's Fig. 8 values, taken
+//! from the Koç modular-exponentiation coprocessor specification.
+
+use serde::{Deserialize, Serialize};
+
+/// The Req1–Req5 requirement values for the modular-multiplier block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KocSpec {
+    /// Req1: effective operand length in bits.
+    pub eol: u32,
+    /// Req2: operand coding.
+    pub operand_coding: String,
+    /// Req3: result coding.
+    pub result_coding: String,
+    /// Req4: whether the modulus is guaranteed odd.
+    pub modulo_odd_guaranteed: bool,
+    /// Req5: latency bound for one modular multiplication, in µs.
+    pub max_latency_us: f64,
+}
+
+impl KocSpec {
+    /// The paper's values: 768-bit operands, 2's-complement operands,
+    /// redundant results, odd modulus guaranteed, ≤ 8 µs per modular
+    /// multiplication.
+    pub fn paper() -> Self {
+        KocSpec {
+            eol: 768,
+            operand_coding: "2's complement".to_owned(),
+            result_coding: "redundant".to_owned(),
+            modulo_odd_guaranteed: true,
+            max_latency_us: 8.0,
+        }
+    }
+
+    /// Whether a modular-multiplier latency meets Req5.
+    pub fn meets_latency(&self, modmul_latency_us: f64) -> bool {
+        modmul_latency_us <= self.max_latency_us
+    }
+
+    /// Expected modular exponentiation time for a full-length exponent
+    /// (≈ 1.5 multiplications per exponent bit, plus conversions), in µs.
+    pub fn modexp_time_us(&self, modmul_latency_us: f64) -> f64 {
+        let mults = 1.5 * self.eol as f64 + 2.0;
+        mults * modmul_latency_us
+    }
+}
+
+impl Default for KocSpec {
+    fn default() -> Self {
+        KocSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let s = KocSpec::paper();
+        assert_eq!(s.eol, 768);
+        assert_eq!(s.max_latency_us, 8.0);
+        assert!(s.modulo_odd_guaranteed);
+        assert_eq!(KocSpec::default(), s);
+    }
+
+    #[test]
+    fn latency_check_is_inclusive() {
+        let s = KocSpec::paper();
+        assert!(s.meets_latency(8.0));
+        assert!(s.meets_latency(2.2));
+        assert!(!s.meets_latency(8.01));
+    }
+
+    #[test]
+    fn modexp_projection_scales_with_latency() {
+        let s = KocSpec::paper();
+        let t1 = s.modexp_time_us(2.0);
+        let t2 = s.modexp_time_us(4.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // 768-bit exponent at ~2.2 µs per multiplication ≈ a few ms.
+        let t = s.modexp_time_us(2.2);
+        assert!(t > 2_000.0 && t < 4_000.0, "{t}");
+    }
+}

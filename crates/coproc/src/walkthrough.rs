@@ -1,0 +1,278 @@
+//! The Section-5 walkthrough as a reusable API: from the requirement
+//! values to a selected, functionally verified core.
+
+use bignum::{random_prime, uniform_below, UBig};
+use dse::error::DseError;
+use dse::eval::FigureOfMerit;
+use dse::value::Value;
+use dse_library::{crypto, CoreRecord, Explorer, ReuseLibrary};
+use hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use techlib::Technology;
+
+use crate::engine::HardwareEngine;
+use crate::exponentiator::ModExp;
+use crate::spec::KocSpec;
+
+/// One recorded exploration step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkthroughStep {
+    /// What was decided/entered.
+    pub action: String,
+    /// Cores surviving after the step.
+    pub surviving: usize,
+    /// Delay range (ns) over the survivors.
+    pub delay_range_ns: Option<(f64, f64)>,
+    /// Area range (µm²) over the survivors.
+    pub area_range_um2: Option<(f64, f64)>,
+}
+
+/// The full walkthrough outcome.
+#[derive(Debug, Clone)]
+pub struct WalkthroughReport {
+    /// The pruning trace.
+    pub steps: Vec<WalkthroughStep>,
+    /// Cores meeting the latency requirement after all decisions.
+    pub candidates: Vec<CoreRecord>,
+    /// The selected core (min area among the candidates), if any.
+    pub selected: Option<CoreRecord>,
+    /// Whether the selected core was functionally verified against the
+    /// `bignum` reference through a simulated exponentiation.
+    pub functionally_verified: bool,
+    /// Projected modular-exponentiation time for the selection, µs.
+    pub modexp_projection_us: Option<f64>,
+}
+
+/// Reconstructs the datapath architecture a hardware core record
+/// describes (from its design-option bindings).
+pub fn architecture_from_core(core: &CoreRecord) -> Option<ModMulArchitecture> {
+    let algorithm = match core.binding("Algorithm")?.as_text()? {
+        "Montgomery" => Algorithm::Montgomery,
+        "Brickell" => Algorithm::Brickell,
+        _ => return None,
+    };
+    let radix = core.binding("Radix")?.as_i64()? as u64;
+    let slice_width = core.binding("SliceWidth")?.as_i64()? as u32;
+    let adder = match core.binding("AdderStructure")?.as_text()? {
+        "ripple-carry" => AdderKind::RippleCarry,
+        "carry-look-ahead" => AdderKind::CarryLookAhead,
+        "carry-save" => AdderKind::CarrySave,
+        _ => return None,
+    };
+    let multiplier = match core.binding("MultiplierStructure")?.as_text()? {
+        "and-row" => DigitMultiplierKind::AndRow,
+        "array" => DigitMultiplierKind::Array,
+        "mux-table" => DigitMultiplierKind::MuxTable,
+        _ => return None,
+    };
+    ModMulArchitecture::new(algorithm, radix, slice_width, adder, multiplier).ok()
+}
+
+/// Runs the Section-5 exploration for `spec` under `tech`.
+///
+/// The decision sequence mirrors the paper: enter Req1–Req5; software is
+/// rejected (CC6 / the Fig. 6 ranges); commit to hardware; commit to the
+/// algorithm CC1 admits (Montgomery when the modulus is guaranteed odd,
+/// Brickell otherwise); let CC4 force carry-save accumulation; then select
+/// the smallest surviving core that meets the latency bound and verify it
+/// functionally.
+///
+/// # Errors
+///
+/// Propagates layer errors; a spec no core can meet yields an empty
+/// candidate list rather than an error.
+pub fn run(spec: &KocSpec, tech: &Technology) -> Result<WalkthroughReport, DseError> {
+    let layer = crypto::build_layer()?;
+    let library = crypto::build_library(tech, spec.eol);
+    run_with_library(spec, tech, &layer, &library)
+}
+
+/// Like [`run`], against a caller-provided layer and library.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn run_with_library(
+    spec: &KocSpec,
+    tech: &Technology,
+    layer: &crypto::CryptoLayer,
+    library: &ReuseLibrary,
+) -> Result<WalkthroughReport, DseError> {
+    let mut exp = Explorer::new(&layer.space, layer.omm, library);
+    let mut steps = Vec::new();
+    let mut record = |exp: &Explorer<'_>, action: String| {
+        steps.push(WalkthroughStep {
+            action,
+            surviving: exp.surviving_cores().len(),
+            delay_range_ns: exp.merit_range(&FigureOfMerit::DelayNs),
+            area_range_um2: exp.merit_range(&FigureOfMerit::AreaUm2),
+        });
+    };
+
+    record(&exp, "start".to_owned());
+    exp.session
+        .set_requirement("EOL", Value::from(spec.eol as i64))?;
+    exp.session
+        .set_requirement("OperandCoding", Value::from(spec.operand_coding.as_str()))?;
+    exp.session
+        .set_requirement("ResultCoding", Value::from(spec.result_coding.as_str()))?;
+    let odd = if spec.modulo_odd_guaranteed {
+        "Guaranteed"
+    } else {
+        "notGuaranteed"
+    };
+    exp.session
+        .set_requirement("ModuloIsOdd", Value::from(odd))?;
+    exp.session
+        .set_requirement("MaxLatencyUs", Value::from(spec.max_latency_us))?;
+    record(&exp, "requirements entered (Req1–Req5)".to_owned());
+
+    // DI1: the software family is rejected when the spec is tight; the
+    // session surfaces that as a CC violation.
+    let software_rejected = exp
+        .session
+        .decide("ImplementationStyle", Value::from("Software"))
+        .is_err();
+    if software_rejected {
+        record(&exp, "software family rejected (CC6)".to_owned());
+    }
+    exp.session
+        .decide("ImplementationStyle", Value::from("Hardware"))?;
+    record(&exp, "ImplementationStyle = Hardware".to_owned());
+
+    let algorithm = if spec.modulo_odd_guaranteed {
+        "Montgomery"
+    } else {
+        "Brickell"
+    };
+    exp.session.decide("Algorithm", Value::from(algorithm))?;
+    record(&exp, format!("Algorithm = {algorithm}"));
+
+    if algorithm == "Montgomery" && spec.eol >= 32 {
+        // CC4 leaves only carry-save accumulation.
+        exp.session
+            .decide("AdderStructure", Value::from("carry-save"))?;
+        record(
+            &exp,
+            "AdderStructure = carry-save (forced by CC4)".to_owned(),
+        );
+    }
+
+    exp.session
+        .decide("LayoutStyle", Value::from(tech.layout().to_string()))?;
+    exp.session
+        .decide("FabricationTechnology", Value::from(tech.node().name()))?;
+    record(&exp, format!("technology committed ({tech})"));
+
+    // Requirement check over the survivors.
+    let candidates: Vec<CoreRecord> = exp
+        .cores_meeting(&FigureOfMerit::TimeUs, spec.max_latency_us)
+        .into_iter()
+        .cloned()
+        .collect();
+    let selected = candidates
+        .iter()
+        .min_by(|a, b| {
+            let ka = a.merit_value(&FigureOfMerit::AreaUm2).unwrap_or(f64::MAX);
+            let kb = b.merit_value(&FigureOfMerit::AreaUm2).unwrap_or(f64::MAX);
+            ka.total_cmp(&kb)
+        })
+        .cloned();
+
+    // Functional verification of the selection on a scaled-down modulus
+    // (full-width simulation is exact but slow; the datapath logic is
+    // identical at any width multiple of the slice).
+    let mut functionally_verified = false;
+    let mut modexp_projection_us = None;
+    if let Some(core) = &selected {
+        if let Some(arch) = architecture_from_core(core) {
+            let clock = core
+                .merit_value(&FigureOfMerit::ClockNs)
+                .unwrap_or_else(|| arch.estimate(spec.eol, tech).clock_ns);
+            let mut rng = StdRng::seed_from_u64(0x5EC5);
+            let m = random_prime(2 * arch.slice_width().min(32), &mut rng);
+            let base = uniform_below(&m, &mut rng);
+            let e = uniform_below(&UBig::power_of_two(24), &mut rng);
+            let mut coproc = ModExp::new(HardwareEngine::new(arch, clock));
+            if let Ok(got) = coproc.mod_pow(&base, &e, &m) {
+                functionally_verified = got == base.mod_pow(&e, &m);
+            }
+            let latency_us = core.merit_value(&FigureOfMerit::TimeUs).unwrap_or(f64::MAX);
+            modexp_projection_us = Some(spec.modexp_time_us(latency_us));
+        }
+    }
+
+    Ok(WalkthroughReport {
+        steps,
+        candidates,
+        selected,
+        functionally_verified,
+        modexp_projection_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_selects_a_csa_montgomery_core() {
+        let report = run(&KocSpec::paper(), &Technology::g10_035()).unwrap();
+        assert!(!report.candidates.is_empty(), "spec is satisfiable");
+        let core = report.selected.expect("a core is selected");
+        assert_eq!(core.binding("Algorithm"), Some(&Value::from("Montgomery")));
+        assert_eq!(
+            core.binding("AdderStructure"),
+            Some(&Value::from("carry-save"))
+        );
+        assert!(
+            report.functionally_verified,
+            "selection must simulate correctly"
+        );
+        assert!(report.modexp_projection_us.unwrap() > 0.0);
+        // Pruning is monotone: each step leaves at most as many cores.
+        for w in report.steps.windows(2) {
+            assert!(w[1].surviving <= w[0].surviving, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn even_modulus_spec_falls_back_to_brickell() {
+        let spec = KocSpec {
+            modulo_odd_guaranteed: false,
+            max_latency_us: 20.0,
+            ..KocSpec::paper()
+        };
+        let report = run(&spec, &Technology::g10_035()).unwrap();
+        let core = report.selected.expect("brickell candidates exist");
+        assert_eq!(core.binding("Algorithm"), Some(&Value::from("Brickell")));
+        assert!(report.functionally_verified);
+    }
+
+    #[test]
+    fn impossible_spec_yields_no_candidates() {
+        let spec = KocSpec {
+            max_latency_us: 0.0001,
+            ..KocSpec::paper()
+        };
+        let report = run(&spec, &Technology::g10_035()).unwrap();
+        assert!(report.candidates.is_empty());
+        assert!(report.selected.is_none());
+        assert!(!report.functionally_verified);
+    }
+
+    #[test]
+    fn architecture_roundtrips_through_core_records() {
+        let lib = crypto::build_library(&Technology::g10_035(), 768);
+        let core = lib.find("#2_64").unwrap();
+        let arch = architecture_from_core(core).unwrap();
+        assert_eq!(arch.algorithm(), Algorithm::Montgomery);
+        assert_eq!(arch.radix(), 2);
+        assert_eq!(arch.slice_width(), 64);
+        assert_eq!(arch.adder(), AdderKind::CarrySave);
+        // Software cores do not describe a datapath.
+        let sw = lib.find("CIHS ASM").unwrap();
+        assert!(architecture_from_core(sw).is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Behavioural descriptions and behavioural decomposition.
+//!
+//! A behavioural description specifies a CDO's intended behaviour at the
+//! algorithm level (the paper's Fig. 10 pseudo-code for Montgomery). It
+//! also *decomposes* the complex CDO: the description expresses behaviour
+//! in terms of other, less complex CDOs (the adders and multipliers in
+//! lines 3–4 of Fig. 10), and those operator slots are explored using the
+//! referenced CDOs' own design spaces — the paper's DI7.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The coding assumed for operands/results — the paper's Req2/Req3
+/// (`2's Complement`, `Redundant`, …); a mismatch with the application's
+/// requirements implies conversion hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OperandCoding {
+    /// Plain unsigned binary.
+    Unsigned,
+    /// Two's complement.
+    TwosComplement,
+    /// Sign-magnitude.
+    SignMagnitude,
+    /// Redundant (carry-save) representation.
+    Redundant,
+}
+
+impl fmt::Display for OperandCoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OperandCoding::Unsigned => "unsigned",
+            OperandCoding::TwosComplement => "2's complement",
+            OperandCoding::SignMagnitude => "sign-magnitude",
+            OperandCoding::Redundant => "redundant",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operator slot in a behavioural decomposition: an operation in the
+/// description realized by another CDO in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorUse {
+    /// Where the operator appears, e.g. `"oper(+, line:3)"`.
+    site: String,
+    /// Dotted path of the CDO that realizes the operator, e.g.
+    /// `"Operator.LogicArithmetic.Arithmetic.Adder"`.
+    cdo_path: String,
+}
+
+impl OperatorUse {
+    /// Creates an operator slot.
+    pub fn new(site: impl Into<String>, cdo_path: impl Into<String>) -> Self {
+        OperatorUse {
+            site: site.into(),
+            cdo_path: cdo_path.into(),
+        }
+    }
+
+    /// The site label.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The realizing CDO's dotted path.
+    pub fn cdo_path(&self) -> &str {
+        &self.cdo_path
+    }
+}
+
+impl fmt::Display for OperatorUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⟶ {}", self.site, self.cdo_path)
+    }
+}
+
+/// An algorithm-level behavioural description of a CDO.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehavioralDescription {
+    name: String,
+    /// The pseudo-code text (self-documentation; the executable form lives
+    /// in the substrate crates).
+    text: String,
+    operand_coding: OperandCoding,
+    result_coding: OperandCoding,
+    decomposition: Vec<OperatorUse>,
+}
+
+impl BehavioralDescription {
+    /// Creates a description.
+    pub fn new(
+        name: impl Into<String>,
+        text: impl Into<String>,
+        operand_coding: OperandCoding,
+        result_coding: OperandCoding,
+    ) -> Self {
+        BehavioralDescription {
+            name: name.into(),
+            text: text.into(),
+            operand_coding,
+            result_coding,
+            decomposition: Vec::new(),
+        }
+    }
+
+    /// Adds an operator slot (builder style).
+    #[must_use]
+    pub fn with_operator(mut self, op: OperatorUse) -> Self {
+        self.decomposition.push(op);
+        self
+    }
+
+    /// The description's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pseudo-code text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Input operand coding.
+    pub fn operand_coding(&self) -> OperandCoding {
+        self.operand_coding
+    }
+
+    /// Result coding.
+    pub fn result_coding(&self) -> OperandCoding {
+        self.result_coding
+    }
+
+    /// The behavioural decomposition: operator slots realized by other
+    /// CDOs.
+    pub fn decomposition(&self) -> &[OperatorUse] {
+        &self.decomposition
+    }
+}
+
+impl fmt::Display for BehavioralDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} (operands: {}, result: {})",
+            self.name, self.operand_coding, self.result_coding
+        )?;
+        for line in self.text.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        for op in &self.decomposition {
+            writeln!(f, "  uses {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's Fig. 10 Montgomery pseudo-code, verbatim.
+pub fn montgomery_fig10_text() -> &'static str {
+    "1: R := 0; Q0 := 0; B := r2*B\n\
+     2: FOR i=1 TO n+1\n\
+     3:   R := (Ai*B + R + Qi*M) div r;\n\
+     4:   Qi := (R0*(r-M0)^-1) mod r;\n\
+     5: IF (R > M) THEN\n\
+     6:   R := R - M;"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_operators() {
+        let bd = BehavioralDescription::new(
+            "Montgomery",
+            montgomery_fig10_text(),
+            OperandCoding::TwosComplement,
+            OperandCoding::Redundant,
+        )
+        .with_operator(OperatorUse::new(
+            "oper(+, line:3)",
+            "Operator.Arithmetic.Adder",
+        ))
+        .with_operator(OperatorUse::new(
+            "oper(*, line:3)",
+            "Operator.Arithmetic.Multiplier",
+        ));
+        assert_eq!(bd.decomposition().len(), 2);
+        assert_eq!(
+            bd.decomposition()[0].cdo_path(),
+            "Operator.Arithmetic.Adder"
+        );
+    }
+
+    #[test]
+    fn display_includes_pseudocode_and_slots() {
+        let bd = BehavioralDescription::new(
+            "Montgomery",
+            montgomery_fig10_text(),
+            OperandCoding::TwosComplement,
+            OperandCoding::Redundant,
+        )
+        .with_operator(OperatorUse::new("oper(+, line:3)", "A.B"));
+        let s = bd.to_string();
+        assert!(s.contains("FOR i=1 TO n+1"));
+        assert!(s.contains("uses oper(+, line:3) ⟶ A.B"));
+        assert!(s.contains("redundant"));
+    }
+
+    #[test]
+    fn codings_display() {
+        assert_eq!(OperandCoding::TwosComplement.to_string(), "2's complement");
+        assert_eq!(OperandCoding::Redundant.to_string(), "redundant");
+    }
+}

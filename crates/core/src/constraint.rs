@@ -1,0 +1,449 @@
+//! Consistency constraints (CCs) — the paper's single modeling construct
+//! for ordering and consistency relationships among properties.
+//!
+//! A CC has an *independent* property set, a *dependent* property set and
+//! a *relation*. The dependent set can only be addressed after the
+//! independent set; when the independent set changes, the dependent set
+//! must be re-assessed. Relations come in four flavours, matching the
+//! paper's CC1–CC4:
+//!
+//! * [`Relation::InconsistentOptions`] — a predicate whose truth marks a
+//!   combination of options as inconsistent (CC1: Montgomery needs an odd
+//!   modulus; also CC4's dominated-combination elimination).
+//! * [`Relation::Quantitative`] — a formula deriving a dependent property
+//!   from the independents (CC2: `Latency = 2·EOL/Radix + 1`). Relations
+//!   may be exact or heuristic — the layer records which.
+//! * [`Relation::EstimatorContext`] — binds an early estimation tool into
+//!   its utilization context (CC3: `MaxCombDelay = BehaviorDelayEstimator(BD)`).
+//! * [`Relation::Dominance`] — eliminates inferior solutions (CC4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{Bindings, Expr, Pred};
+use crate::value::Value;
+
+/// How trustworthy a quantitative relation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Stated exactly, from first principles.
+    Exact,
+    /// A heuristic approximation (the paper allows both).
+    Heuristic,
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Heuristic => "heuristic",
+        })
+    }
+}
+
+/// The relation carried by a consistency constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Relation {
+    /// The predicate identifies *inconsistent* option combinations: if it
+    /// evaluates to `true`, the current decisions are in conflict.
+    InconsistentOptions(Pred),
+    /// Derives `target` from the independents via `formula`.
+    Quantitative {
+        /// The dependent property assigned by the formula.
+        target: String,
+        /// The deriving expression.
+        formula: Expr,
+        /// Exact or heuristic.
+        fidelity: Fidelity,
+    },
+    /// Defines the utilization context of an early estimation tool: when
+    /// the inputs are decided, `estimator` may be invoked to produce
+    /// `output`.
+    EstimatorContext {
+        /// Registered estimator name.
+        estimator: String,
+        /// Input property names.
+        inputs: Vec<String>,
+        /// The produced metric's property name.
+        output: String,
+    },
+    /// The predicate identifies *dominated* (inferior) option
+    /// combinations that should be eliminated from consideration.
+    Dominance(Pred),
+}
+
+/// What a constraint has to say under the current bindings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConstraintOutcome {
+    /// Some independent property is still undecided.
+    NotReady,
+    /// The bindings are consistent with this constraint.
+    Satisfied,
+    /// The bindings violate the constraint.
+    Violated {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A quantitative relation produced a derived value.
+    Derived {
+        /// The dependent property.
+        property: String,
+        /// The derived value.
+        value: Value,
+    },
+    /// An estimator may now run (`EstimatorContext` with inputs bound).
+    EstimatorReady {
+        /// The estimator's registered name.
+        estimator: String,
+        /// The output property it would produce.
+        output: String,
+    },
+}
+
+/// A consistency constraint: independent set → dependent set via a
+/// relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyConstraint {
+    name: String,
+    doc: String,
+    indep: Vec<String>,
+    dep: Vec<String>,
+    relation: Relation,
+}
+
+impl ConsistencyConstraint {
+    /// Creates a constraint. The independent/dependent sets are property
+    /// names; the relation's own references should be a subset of them
+    /// (checked by [`well_formed`](Self::well_formed)).
+    pub fn new(
+        name: impl Into<String>,
+        doc: impl Into<String>,
+        indep: impl IntoIterator<Item = String>,
+        dep: impl IntoIterator<Item = String>,
+        relation: Relation,
+    ) -> Self {
+        ConsistencyConstraint {
+            name: name.into(),
+            doc: doc.into(),
+            indep: indep.into_iter().collect(),
+            dep: dep.into_iter().collect(),
+            relation,
+        }
+    }
+
+    /// The constraint's name (CC1, CC2, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The documentation line.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The independent property set.
+    pub fn indep(&self) -> &[String] {
+        &self.indep
+    }
+
+    /// The dependent property set.
+    pub fn dep(&self) -> &[String] {
+        &self.dep
+    }
+
+    /// The relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Whether every property the relation references is listed in the
+    /// independent or dependent set.
+    pub fn well_formed(&self) -> bool {
+        let listed = |p: &String| self.indep.contains(p) || self.dep.contains(p);
+        match &self.relation {
+            Relation::InconsistentOptions(p) | Relation::Dominance(p) => {
+                p.references().iter().all(listed)
+            }
+            Relation::Quantitative {
+                target, formula, ..
+            } => formula.references().iter().all(listed) && listed(target),
+            Relation::EstimatorContext { inputs, output, .. } => {
+                inputs.iter().all(listed) && listed(output)
+            }
+        }
+    }
+
+    /// Whether all independent properties are bound.
+    pub fn is_ready(&self, bindings: &Bindings) -> bool {
+        self.indep.iter().all(|p| bindings.contains_key(p))
+    }
+
+    /// The paper's ordering rule: `property` may only be decided after the
+    /// independents; returns the first missing independent if `property`
+    /// is in the dependent set and the independents are not all bound.
+    pub fn blocking_dependency(&self, property: &str, bindings: &Bindings) -> Option<&str> {
+        if !self.dep.iter().any(|d| d == property) {
+            return None;
+        }
+        self.indep
+            .iter()
+            .find(|p| !bindings.contains_key(p.as_str()))
+            .map(String::as_str)
+    }
+
+    /// Evaluates the constraint under `bindings`.
+    pub fn evaluate(&self, bindings: &Bindings) -> ConstraintOutcome {
+        if !self.is_ready(bindings) {
+            return ConstraintOutcome::NotReady;
+        }
+        match &self.relation {
+            Relation::InconsistentOptions(pred) | Relation::Dominance(pred) => {
+                match pred.eval_if_ready(bindings) {
+                    Some(true) => ConstraintOutcome::Violated {
+                        detail: format!("{pred}"),
+                    },
+                    Some(false) => ConstraintOutcome::Satisfied,
+                    None => ConstraintOutcome::NotReady,
+                }
+            }
+            Relation::Quantitative {
+                target, formula, ..
+            } => match formula.eval(bindings) {
+                Ok(v) => {
+                    let value = if v.fract() == 0.0 && v.abs() < i64::MAX as f64 {
+                        Value::Int(v as i64)
+                    } else {
+                        Value::Real(v)
+                    };
+                    ConstraintOutcome::Derived {
+                        property: target.clone(),
+                        value,
+                    }
+                }
+                Err(_) => ConstraintOutcome::NotReady,
+            },
+            Relation::EstimatorContext {
+                estimator,
+                inputs,
+                output,
+            } => {
+                if inputs.iter().all(|i| bindings.contains_key(i)) {
+                    ConstraintOutcome::EstimatorReady {
+                        estimator: estimator.clone(),
+                        output: output.clone(),
+                    }
+                } else {
+                    ConstraintOutcome::NotReady
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.name, self.doc)?;
+        writeln!(f, "  Indep_Set = {{{}}}", self.indep.join(", "))?;
+        writeln!(f, "  Dep_Set   = {{{}}}", self.dep.join(", "))?;
+        match &self.relation {
+            Relation::InconsistentOptions(p) => {
+                write!(f, "  Relation: InconsistentOptions({p})")
+            }
+            Relation::Quantitative {
+                target,
+                formula,
+                fidelity,
+            } => {
+                write!(f, "  Relation: {target} = {formula}   [{fidelity}]")
+            }
+            Relation::EstimatorContext {
+                estimator,
+                inputs,
+                output,
+            } => {
+                write!(
+                    f,
+                    "  Relation: {output} = {estimator}({})",
+                    inputs.join(", ")
+                )
+            }
+            Relation::Dominance(p) => write!(f, "  Relation: Dominated({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn b(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    fn cc1() -> ConsistencyConstraint {
+        ConsistencyConstraint::new(
+            "CC1",
+            "Montgomery Algorithm requires odd modulo",
+            vec!["ModuloIsOdd".to_owned()],
+            vec!["Algorithm".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("ModuloIsOdd", "notGuaranteed"),
+                Pred::is("Algorithm", "Montgomery"),
+            ])),
+        )
+    }
+
+    fn cc2() -> ConsistencyConstraint {
+        ConsistencyConstraint::new(
+            "CC2",
+            "the greater the radix, the smaller the latency in cycles",
+            vec!["Radix".to_owned(), "EOL".to_owned()],
+            vec!["LatencySingleOperation".to_owned()],
+            Relation::Quantitative {
+                target: "LatencySingleOperation".to_owned(),
+                formula: Expr::constant(2)
+                    .mul(Expr::prop("EOL"))
+                    .div(Expr::prop("Radix"))
+                    .add(Expr::constant(1)),
+                fidelity: Fidelity::Heuristic,
+            },
+        )
+    }
+
+    #[test]
+    fn cc1_fires_only_on_the_bad_combination() {
+        let c = cc1();
+        assert_eq!(
+            c.evaluate(&b(&[("ModuloIsOdd", Value::from("notGuaranteed"))])),
+            ConstraintOutcome::NotReady,
+            "algorithm not decided yet"
+        );
+        let bad = b(&[
+            ("ModuloIsOdd", Value::from("notGuaranteed")),
+            ("Algorithm", Value::from("Montgomery")),
+        ]);
+        assert!(matches!(
+            c.evaluate(&bad),
+            ConstraintOutcome::Violated { .. }
+        ));
+        let good = b(&[
+            ("ModuloIsOdd", Value::from("Guaranteed")),
+            ("Algorithm", Value::from("Montgomery")),
+        ]);
+        assert_eq!(c.evaluate(&good), ConstraintOutcome::Satisfied);
+    }
+
+    #[test]
+    fn cc2_derives_latency() {
+        let c = cc2();
+        let out = c.evaluate(&b(&[("EOL", Value::Int(768)), ("Radix", Value::Int(4))]));
+        assert_eq!(
+            out,
+            ConstraintOutcome::Derived {
+                property: "LatencySingleOperation".to_owned(),
+                value: Value::Int(385),
+            }
+        );
+    }
+
+    #[test]
+    fn ordering_blocks_dependent_first() {
+        // The paper: the dependent set can only be addressed after the
+        // independent set.
+        let c = cc1();
+        let empty = Bindings::new();
+        assert_eq!(
+            c.blocking_dependency("Algorithm", &empty),
+            Some("ModuloIsOdd")
+        );
+        let ready = b(&[("ModuloIsOdd", Value::from("Guaranteed"))]);
+        assert_eq!(c.blocking_dependency("Algorithm", &ready), None);
+        // Non-dependent properties are never blocked.
+        assert_eq!(c.blocking_dependency("EOL", &empty), None);
+    }
+
+    #[test]
+    fn estimator_context_reports_ready() {
+        let c = ConsistencyConstraint::new(
+            "CC3",
+            "behavioural decomposition impacts delay",
+            vec!["BehavioralDescription".to_owned()],
+            vec!["MaxCombDelay".to_owned()],
+            Relation::EstimatorContext {
+                estimator: "BehaviorDelayEstimator".to_owned(),
+                inputs: vec!["BehavioralDescription".to_owned()],
+                output: "MaxCombDelay".to_owned(),
+            },
+        );
+        assert_eq!(c.evaluate(&Bindings::new()), ConstraintOutcome::NotReady);
+        let ready = b(&[("BehavioralDescription", Value::from("Montgomery"))]);
+        assert_eq!(
+            c.evaluate(&ready),
+            ConstraintOutcome::EstimatorReady {
+                estimator: "BehaviorDelayEstimator".to_owned(),
+                output: "MaxCombDelay".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn dominance_flags_inferior_combinations() {
+        // CC4: Montgomery ∧ EOL ≥ 32 ∧ Adder ≠ CSA is inferior.
+        let c = ConsistencyConstraint::new(
+            "CC4",
+            "inferior solutions eliminated",
+            vec!["EOL".to_owned(), "Algorithm".to_owned()],
+            vec!["Adder".to_owned()],
+            Relation::Dominance(Pred::all([
+                Pred::is("Algorithm", "Montgomery"),
+                Pred::cmp(CmpOp::Ge, Expr::prop("EOL"), Expr::constant(32)),
+                Pred::is_not("Adder", "carry-save"),
+            ])),
+        );
+        let inferior = b(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::Int(768)),
+            ("Adder", Value::from("carry-look-ahead")),
+        ]);
+        assert!(matches!(
+            c.evaluate(&inferior),
+            ConstraintOutcome::Violated { .. }
+        ));
+        let fine = b(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::Int(768)),
+            ("Adder", Value::from("carry-save")),
+        ]);
+        assert_eq!(c.evaluate(&fine), ConstraintOutcome::Satisfied);
+    }
+
+    #[test]
+    fn well_formedness_checks_reference_coverage() {
+        assert!(cc1().well_formed());
+        assert!(cc2().well_formed());
+        let bad = ConsistencyConstraint::new(
+            "bad",
+            "",
+            vec!["A".to_owned()],
+            vec![],
+            Relation::InconsistentOptions(Pred::is("B", 1)),
+        );
+        assert!(!bad.well_formed());
+    }
+
+    #[test]
+    fn display_is_self_documenting() {
+        let s = cc2().to_string();
+        assert!(s.contains("CC2"));
+        assert!(s.contains("Indep_Set = {Radix, EOL}"));
+        assert!(s.contains("LatencySingleOperation = (((2 × EOL) / Radix) + 1)"));
+        assert!(s.contains("[heuristic]"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Layer diffing: what changed between two revisions of a design space.
+//!
+//! Design space layers evolve — IP providers add cores, design
+//! environments refine issues and constraints. Combined with
+//! [`crate::script::SessionScript`] replay, a structural diff tells a
+//! designer exactly why an archived exploration no longer applies.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchy::DesignSpace;
+
+/// One structural difference between two layers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerChange {
+    /// A CDO exists only in the new layer.
+    CdoAdded {
+        /// Dotted path in the new layer.
+        path: String,
+    },
+    /// A CDO exists only in the old layer.
+    CdoRemoved {
+        /// Dotted path in the old layer.
+        path: String,
+    },
+    /// A property was added to a shared CDO.
+    PropertyAdded {
+        /// The CDO's dotted path.
+        path: String,
+        /// The property's name.
+        property: String,
+    },
+    /// A property was removed from a shared CDO.
+    PropertyRemoved {
+        /// The CDO's dotted path.
+        path: String,
+        /// The property's name.
+        property: String,
+    },
+    /// A shared property changed (kind, domain, default or unit).
+    PropertyChanged {
+        /// The CDO's dotted path.
+        path: String,
+        /// The property's name.
+        property: String,
+    },
+    /// A constraint was added to a shared CDO.
+    ConstraintAdded {
+        /// The CDO's dotted path.
+        path: String,
+        /// The constraint's name.
+        constraint: String,
+    },
+    /// A constraint was removed from a shared CDO.
+    ConstraintRemoved {
+        /// The CDO's dotted path.
+        path: String,
+        /// The constraint's name.
+        constraint: String,
+    },
+}
+
+impl std::fmt::Display for LayerChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerChange::CdoAdded { path } => write!(f, "+ CDO {path}"),
+            LayerChange::CdoRemoved { path } => write!(f, "- CDO {path}"),
+            LayerChange::PropertyAdded { path, property } => {
+                write!(f, "+ property {path}::{property}")
+            }
+            LayerChange::PropertyRemoved { path, property } => {
+                write!(f, "- property {path}::{property}")
+            }
+            LayerChange::PropertyChanged { path, property } => {
+                write!(f, "~ property {path}::{property}")
+            }
+            LayerChange::ConstraintAdded { path, constraint } => {
+                write!(f, "+ constraint {path}::{constraint}")
+            }
+            LayerChange::ConstraintRemoved { path, constraint } => {
+                write!(f, "- constraint {path}::{constraint}")
+            }
+        }
+    }
+}
+
+/// Computes the structural differences from `old` to `new`, sorted.
+pub fn diff(old: &DesignSpace, new: &DesignSpace) -> Vec<LayerChange> {
+    let old_paths: BTreeSet<String> = old.iter().map(|(id, _)| old.path_string(id)).collect();
+    let new_paths: BTreeSet<String> = new.iter().map(|(id, _)| new.path_string(id)).collect();
+
+    let mut changes = Vec::new();
+    for path in new_paths.difference(&old_paths) {
+        changes.push(LayerChange::CdoAdded { path: path.clone() });
+    }
+    for path in old_paths.difference(&new_paths) {
+        changes.push(LayerChange::CdoRemoved { path: path.clone() });
+    }
+
+    for path in old_paths.intersection(&new_paths) {
+        // Paths containing option-dots (e.g. "…Hardware.0.35um") cannot be
+        // re-resolved textually; skip gracefully.
+        let (Some(old_id), Some(new_id)) = (old.find_by_path(path), new.find_by_path(path)) else {
+            continue;
+        };
+        let old_node = old.node(old_id);
+        let new_node = new.node(new_id);
+
+        let old_props: BTreeSet<&str> =
+            old_node.own_properties().iter().map(|p| p.name()).collect();
+        let new_props: BTreeSet<&str> =
+            new_node.own_properties().iter().map(|p| p.name()).collect();
+        for &name in new_props.difference(&old_props) {
+            changes.push(LayerChange::PropertyAdded {
+                path: path.clone(),
+                property: name.to_owned(),
+            });
+        }
+        for &name in old_props.difference(&new_props) {
+            changes.push(LayerChange::PropertyRemoved {
+                path: path.clone(),
+                property: name.to_owned(),
+            });
+        }
+        for &name in old_props.intersection(&new_props) {
+            let op = old_node.own_properties().iter().find(|p| p.name() == name);
+            let np = new_node.own_properties().iter().find(|p| p.name() == name);
+            if op != np {
+                changes.push(LayerChange::PropertyChanged {
+                    path: path.clone(),
+                    property: name.to_owned(),
+                });
+            }
+        }
+
+        let old_ccs: BTreeSet<&str> = old_node
+            .own_constraints()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        let new_ccs: BTreeSet<&str> = new_node
+            .own_constraints()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        for &name in new_ccs.difference(&old_ccs) {
+            changes.push(LayerChange::ConstraintAdded {
+                path: path.clone(),
+                constraint: name.to_owned(),
+            });
+        }
+        for &name in old_ccs.difference(&new_ccs) {
+            changes.push(LayerChange::ConstraintRemoved {
+                path: path.clone(),
+                constraint: name.to_owned(),
+            });
+        }
+    }
+
+    changes.sort();
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ConsistencyConstraint, Relation};
+    use crate::expr::Pred;
+    use crate::property::Property;
+    use crate::value::{Domain, Value};
+
+    fn base() -> DesignSpace {
+        let mut s = DesignSpace::new("v1");
+        let root = s.add_root("Block", "");
+        s.add_property(root, Property::issue("Width", Domain::options([8, 16]), ""))
+            .unwrap();
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CC1",
+                "",
+                ["Width".to_owned()],
+                vec![],
+                Relation::InconsistentOptions(Pred::is("Width", 8)),
+            ),
+        );
+        s
+    }
+
+    #[test]
+    fn identical_layers_diff_empty() {
+        assert!(diff(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn detects_added_and_removed_cdos() {
+        let old = base();
+        let mut new = base();
+        let root = new.find_by_path("Block").unwrap();
+        new.add_child(root, "Sub", "");
+        let changes = diff(&old, &new);
+        assert_eq!(
+            changes,
+            vec![LayerChange::CdoAdded {
+                path: "Block.Sub".to_owned()
+            }]
+        );
+        // And the reverse direction.
+        let reverse = diff(&new, &old);
+        assert_eq!(
+            reverse,
+            vec![LayerChange::CdoRemoved {
+                path: "Block.Sub".to_owned()
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_property_and_constraint_changes() {
+        let old = base();
+        let mut new = DesignSpace::new("v2");
+        let root = new.add_root("Block", "");
+        // Width: domain widened → changed.
+        new.add_property(
+            root,
+            Property::issue("Width", Domain::options([8, 16, 32]), ""),
+        )
+        .unwrap();
+        // New property.
+        new.add_property(root, Property::issue("Style", Domain::options(["A"]), ""))
+            .unwrap();
+        // CC1 dropped, CC2 added.
+        new.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CC2",
+                "",
+                ["Width".to_owned()],
+                vec![],
+                Relation::InconsistentOptions(Pred::is("Width", Value::Int(32))),
+            ),
+        );
+        let changes = diff(&old, &new);
+        assert!(changes.contains(&LayerChange::PropertyChanged {
+            path: "Block".to_owned(),
+            property: "Width".to_owned()
+        }));
+        assert!(changes.contains(&LayerChange::PropertyAdded {
+            path: "Block".to_owned(),
+            property: "Style".to_owned()
+        }));
+        assert!(changes.contains(&LayerChange::ConstraintRemoved {
+            path: "Block".to_owned(),
+            constraint: "CC1".to_owned()
+        }));
+        assert!(changes.contains(&LayerChange::ConstraintAdded {
+            path: "Block".to_owned(),
+            constraint: "CC2".to_owned()
+        }));
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        let c = LayerChange::PropertyChanged {
+            path: "Block".to_owned(),
+            property: "Width".to_owned(),
+        };
+        assert_eq!(c.to_string(), "~ property Block::Width");
+    }
+}

@@ -1,0 +1,187 @@
+//! Self-documentation: render a layer to Markdown.
+//!
+//! The paper stresses that the design space representation is
+//! "self-documented and highly compartmentalized". This module turns a
+//! [`DesignSpace`] into a human-readable report: the hierarchy tree, and
+//! per-CDO sections listing properties (with kinds, domains, defaults and
+//! units), consistency constraints (with their Indep/Dep sets and
+//! relations) and behavioural descriptions.
+
+use std::fmt::Write as _;
+
+use crate::hierarchy::{CdoId, DesignSpace};
+
+/// Renders the whole layer as Markdown.
+pub fn render_markdown(space: &DesignSpace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Design Space Layer: {}\n", space.name());
+    let _ = writeln!(out, "## Hierarchy\n");
+    let _ = writeln!(out, "```");
+    for &root in space.roots() {
+        render_tree(space, root, 0, &mut out);
+    }
+    let _ = writeln!(out, "```");
+
+    let _ = writeln!(out, "\n## Classes of design objects\n");
+    for &root in space.roots() {
+        render_cdo_sections(space, root, &mut out);
+    }
+    out
+}
+
+fn render_tree(space: &DesignSpace, id: CdoId, depth: usize, out: &mut String) {
+    let node = space.node(id);
+    let indent = "  ".repeat(depth);
+    let marker = match node.spawned_by() {
+        Some((issue, value)) => format!("  [{issue} = {value}]"),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{indent}{}{marker}", node.name());
+    for &c in node.children() {
+        render_tree(space, c, depth + 1, out);
+    }
+}
+
+fn render_cdo_sections(space: &DesignSpace, id: CdoId, out: &mut String) {
+    let node = space.node(id);
+    let has_content = !node.own_properties().is_empty()
+        || !node.own_constraints().is_empty()
+        || !node.behaviors().is_empty();
+    if has_content {
+        let _ = writeln!(out, "### {}\n", space.path_string(id));
+        if !node.doc().is_empty() {
+            let _ = writeln!(out, "{}\n", node.doc());
+        }
+        if !node.own_properties().is_empty() {
+            let _ = writeln!(out, "**Properties**\n");
+            for p in node.own_properties() {
+                let _ = writeln!(out, "- {p} — {}", p.doc());
+            }
+            let _ = writeln!(out);
+        }
+        if !node.own_constraints().is_empty() {
+            let _ = writeln!(out, "**Consistency constraints**\n");
+            for c in node.own_constraints() {
+                let _ = writeln!(out, "```\n{c}\n```");
+            }
+        }
+        if !node.behaviors().is_empty() {
+            let _ = writeln!(out, "**Behavioural descriptions**\n");
+            for b in node.behaviors() {
+                let _ = writeln!(out, "```\n{b}\n```");
+            }
+        }
+    }
+    for &c in node.children() {
+        render_cdo_sections(space, c, out);
+    }
+}
+
+/// Renders the hierarchy as a Graphviz `dot` digraph: taxonomic edges
+/// solid, generalized-issue edges labelled with their `issue = option`
+/// binding.
+pub fn render_dot(space: &DesignSpace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", space.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for (id, node) in space.iter() {
+        let shape = if node.generalized_issue().is_some() {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{shape}];",
+            id.index(),
+            node.name().replace('"', "'")
+        );
+        if let Some(parent) = node.parent() {
+            match node.spawned_by() {
+                Some((issue, value)) => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [label=\"{issue} = {value}\", style=dashed];",
+                        parent.index(),
+                        id.index()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  n{} -> n{};", parent.index(), id.index());
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ConsistencyConstraint, Relation};
+    use crate::expr::Pred;
+    use crate::property::Property;
+    use crate::value::{Domain, Value};
+
+    #[test]
+    fn render_covers_hierarchy_properties_and_constraints() {
+        let mut s = DesignSpace::new("demo");
+        let root = s.add_root("Multiplier", "modular multipliers");
+        s.add_property(
+            root,
+            Property::generalized_issue(
+                "Style",
+                Domain::options(["Hardware", "Software"]),
+                "hw/sw",
+            ),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CC1",
+                "demo constraint",
+                vec!["A".to_owned()],
+                vec!["B".to_owned()],
+                Relation::InconsistentOptions(Pred::is("A", Value::from("x"))),
+            ),
+        );
+        let md = render_markdown(&s);
+        assert!(md.contains("# Design Space Layer: demo"));
+        assert!(md.contains("Multiplier"));
+        assert!(md.contains("[Style = Hardware]"));
+        assert!(md.contains("Style [generalized design issue]"));
+        assert!(md.contains("CC1: demo constraint"));
+        assert!(md.contains("Indep_Set = {A}"));
+    }
+
+    #[test]
+    fn empty_space_renders_headers_only() {
+        let s = DesignSpace::new("empty");
+        let md = render_markdown(&s);
+        assert!(md.contains("# Design Space Layer: empty"));
+        assert!(md.contains("## Hierarchy"));
+    }
+
+    #[test]
+    fn dot_renders_both_edge_kinds() {
+        let mut s = DesignSpace::new("dot");
+        let root = s.add_root("Multiplier", "");
+        let _tax = s.add_child(root, "Taxonomic", "");
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["Hardware"]), ""),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        let dot = render_dot(&s);
+        assert!(dot.starts_with("digraph \"dot\""));
+        assert!(dot.contains("n0 -> n1;"), "taxonomic edge: {dot}");
+        assert!(dot.contains("label=\"Style = Hardware\", style=dashed"));
+        assert!(dot.contains("peripheries=2"), "generalizing node marked");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,228 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Errors raised while building or exploring a design space layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// A CDO id does not belong to this design space.
+    UnknownCdo(String),
+    /// No property with this name is visible at the given CDO.
+    UnknownProperty(String),
+    /// A property with this name already exists at the CDO or an ancestor.
+    DuplicateProperty(String),
+    /// The CDO already has a generalized design issue (at most one allowed).
+    SecondGeneralizedIssue {
+        /// Path of the offending CDO.
+        cdo: String,
+        /// The already-declared generalized issue.
+        existing: String,
+    },
+    /// The named property is not a (generalized) design issue.
+    NotADesignIssue(String),
+    /// The named property is not a generalized design issue.
+    NotAGeneralizedIssue(String),
+    /// A generalized issue can only be specialized from the CDO that
+    /// declares it.
+    IssueNotDeclaredHere {
+        /// Path of the CDO being specialized.
+        cdo: String,
+        /// The issue's name.
+        issue: String,
+    },
+    /// The value is not one of the property's options / not in its domain.
+    ValueOutsideDomain {
+        /// The property's name.
+        property: String,
+        /// The rejected value.
+        value: Value,
+    },
+    /// The generalized issue's domain is not a finite option set.
+    NonEnumerableDomain(String),
+    /// The decision would violate a consistency constraint.
+    ConstraintViolation {
+        /// The violated constraint's name.
+        constraint: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// Tried to decide a dependent property before its independents.
+    DependencyNotReady {
+        /// The ordering constraint.
+        constraint: String,
+        /// The undecided independent property.
+        missing: String,
+    },
+    /// This property has already been decided; undo or revise instead.
+    AlreadyDecided(String),
+    /// The generalized issue's option has no spawned child CDO to descend
+    /// into (the layer author never called `specialize`).
+    OptionNotSpecialized {
+        /// The generalized issue's name.
+        issue: String,
+        /// The undeclared option.
+        option: Value,
+    },
+    /// Nothing to undo.
+    NothingToUndo,
+    /// A requirement was set through `decide`, or an issue through
+    /// `set_requirement`.
+    WrongPropertyKind {
+        /// The property's name.
+        property: String,
+        /// The kind the operation needed.
+        expected: &'static str,
+    },
+    /// An expression failed to evaluate.
+    Expr(crate::expr::ExprError),
+    /// A behavioural decomposition references a CDO path that does not
+    /// exist in the space.
+    DanglingOperatorRef {
+        /// The behavioural description's name.
+        description: String,
+        /// The missing CDO path.
+        path: String,
+    },
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::UnknownCdo(name) => write!(f, "unknown class of design objects {name:?}"),
+            DseError::UnknownProperty(name) => write!(f, "unknown property {name:?}"),
+            DseError::DuplicateProperty(name) => {
+                write!(f, "property {name:?} already exists in the inheritance chain")
+            }
+            DseError::SecondGeneralizedIssue { cdo, existing } => write!(
+                f,
+                "{cdo} already has generalized design issue {existing:?}; a CDO may have at most one"
+            ),
+            DseError::NotADesignIssue(name) => write!(f, "property {name:?} is not a design issue"),
+            DseError::NotAGeneralizedIssue(name) => {
+                write!(f, "property {name:?} is not a generalized design issue")
+            }
+            DseError::IssueNotDeclaredHere { cdo, issue } => {
+                write!(f, "issue {issue:?} is not declared at {cdo}")
+            }
+            DseError::ValueOutsideDomain { property, value } => {
+                write!(f, "value {value} is outside the domain of {property:?}")
+            }
+            DseError::NonEnumerableDomain(name) => write!(
+                f,
+                "generalized issue {name:?} needs a finite option set to spawn child classes"
+            ),
+            DseError::ConstraintViolation { constraint, detail } => {
+                write!(f, "consistency constraint {constraint:?} violated: {detail}")
+            }
+            DseError::DependencyNotReady { constraint, missing } => write!(
+                f,
+                "constraint {constraint:?} orders {missing:?} before this decision; decide it first"
+            ),
+            DseError::AlreadyDecided(name) => {
+                write!(f, "property {name:?} is already decided; undo or revise it")
+            }
+            DseError::NothingToUndo => write!(f, "decision log is empty"),
+            DseError::OptionNotSpecialized { issue, option } => write!(
+                f,
+                "option {option} of generalized issue {issue:?} has no spawned child class"
+            ),
+            DseError::WrongPropertyKind { property, expected } => {
+                write!(f, "property {property:?} is not a {expected}")
+            }
+            DseError::Expr(e) => write!(f, "expression error: {e}"),
+            DseError::DanglingOperatorRef { description, path } => write!(
+                f,
+                "behavioural description {description:?} references missing CDO path {path:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::expr::ExprError> for DseError {
+    fn from(e: crate::expr::ExprError) -> Self {
+        DseError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<DseError> = vec![
+            DseError::UnknownCdo("X".into()),
+            DseError::UnknownProperty("P".into()),
+            DseError::DuplicateProperty("P".into()),
+            DseError::SecondGeneralizedIssue {
+                cdo: "A.B".into(),
+                existing: "Style".into(),
+            },
+            DseError::NotADesignIssue("P".into()),
+            DseError::NotAGeneralizedIssue("P".into()),
+            DseError::IssueNotDeclaredHere {
+                cdo: "A.B".into(),
+                issue: "I".into(),
+            },
+            DseError::ValueOutsideDomain {
+                property: "P".into(),
+                value: Value::Int(3),
+            },
+            DseError::NonEnumerableDomain("P".into()),
+            DseError::ConstraintViolation {
+                constraint: "CC1".into(),
+                detail: "d".into(),
+            },
+            DseError::DependencyNotReady {
+                constraint: "CC1".into(),
+                missing: "M".into(),
+            },
+            DseError::AlreadyDecided("P".into()),
+            DseError::OptionNotSpecialized {
+                issue: "I".into(),
+                option: Value::Int(1),
+            },
+            DseError::NothingToUndo,
+            DseError::WrongPropertyKind {
+                property: "P".into(),
+                expected: "requirement",
+            },
+            DseError::DanglingOperatorRef {
+                description: "BD".into(),
+                path: "A.B".into(),
+            },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg:?}");
+        }
+        // Spot-check the phrasing of the most common diagnostics.
+        assert_eq!(
+            DseError::AlreadyDecided("EOL".into()).to_string(),
+            "property \"EOL\" is already decided; undo or revise it"
+        );
+        assert!(DseError::NothingToUndo.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn expr_errors_chain_as_sources() {
+        use std::error::Error as _;
+        let e = DseError::from(crate::expr::ExprError::DivisionByZero);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("division by zero"));
+        assert!(DseError::NothingToUndo.source().is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! The estimation-tool plugin interface.
+//!
+//! When no suitable core exists in the reuse libraries, the layer still
+//! assists conceptual design through early estimation tools; CC3-style
+//! constraints define exactly when each tool applies. Tools implement
+//! [`Estimator`] and register under the name the constraints refer to.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::Bindings;
+
+/// Errors from invoking an estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// No estimator registered under that name.
+    UnknownEstimator(String),
+    /// A required input is missing from the bindings.
+    MissingInput(String),
+    /// The tool could not produce an estimate for these inputs.
+    NotApplicable(String),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::UnknownEstimator(n) => write!(f, "unknown estimator {n:?}"),
+            EstimateError::MissingInput(p) => write!(f, "estimator input {p:?} is not bound"),
+            EstimateError::NotApplicable(why) => write!(f, "estimator not applicable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// An early estimation tool: maps decided property bindings to a metric
+/// value (e.g. maximum combinational delay in ns).
+pub trait Estimator: Send + Sync {
+    /// The registered name CC3-style constraints refer to.
+    fn name(&self) -> &str;
+
+    /// What the produced number means (for reports).
+    fn metric(&self) -> &str;
+
+    /// Produces the estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if required inputs are missing or out of scope.
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError>;
+}
+
+/// A registry of estimation tools, keyed by name.
+#[derive(Default)]
+pub struct EstimatorRegistry {
+    tools: BTreeMap<String, Box<dyn Estimator>>,
+}
+
+impl EstimatorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EstimatorRegistry::default()
+    }
+
+    /// Registers a tool; replaces any previous tool of the same name and
+    /// returns it.
+    pub fn register(&mut self, tool: Box<dyn Estimator>) -> Option<Box<dyn Estimator>> {
+        self.tools.insert(tool.name().to_owned(), tool)
+    }
+
+    /// Looks up a tool.
+    pub fn get(&self, name: &str) -> Option<&dyn Estimator> {
+        self.tools.get(name).map(Box::as_ref)
+    }
+
+    /// Runs a tool by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownEstimator`] for unregistered names,
+    /// or the tool's own error.
+    pub fn run(&self, name: &str, inputs: &Bindings) -> Result<f64, EstimateError> {
+        self.get(name)
+            .ok_or_else(|| EstimateError::UnknownEstimator(name.to_owned()))?
+            .estimate(inputs)
+    }
+
+    /// Registered tool names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tools.keys().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Debug for EstimatorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EstimatorRegistry")
+            .field("tools", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    struct Doubler;
+
+    impl Estimator for Doubler {
+        fn name(&self) -> &str {
+            "Doubler"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+            let v = inputs
+                .get("X")
+                .ok_or_else(|| EstimateError::MissingInput("X".to_owned()))?;
+            v.as_f64()
+                .map(|x| 2.0 * x)
+                .ok_or_else(|| EstimateError::NotApplicable("X must be numeric".to_owned()))
+        }
+    }
+
+    #[test]
+    fn register_and_run() {
+        let mut reg = EstimatorRegistry::new();
+        assert!(reg.register(Box::new(Doubler)).is_none());
+        let mut b = Bindings::new();
+        b.insert("X".to_owned(), Value::Int(21));
+        assert_eq!(reg.run("Doubler", &b).unwrap(), 42.0);
+        assert_eq!(reg.names(), vec!["Doubler"]);
+    }
+
+    #[test]
+    fn unknown_estimator_errors() {
+        let reg = EstimatorRegistry::new();
+        assert_eq!(
+            reg.run("Nope", &Bindings::new()).unwrap_err(),
+            EstimateError::UnknownEstimator("Nope".to_owned())
+        );
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Doubler));
+        assert_eq!(
+            reg.run("Doubler", &Bindings::new()).unwrap_err(),
+            EstimateError::MissingInput("X".to_owned())
+        );
+    }
+
+    #[test]
+    fn re_registration_returns_old_tool() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Doubler));
+        let old = reg.register(Box::new(Doubler));
+        assert!(old.is_some());
+    }
+}

@@ -1,0 +1,456 @@
+//! The evaluation space: figures of merit, ranges, Pareto analysis and
+//! clustering.
+//!
+//! The paper's Figs. 2(c), 3(b), 9 and 12 are evaluation-space plots
+//! (area vs delay). The layer uses the evaluation space in two ways: to
+//! *organise* the hierarchy (generalization levels are chosen so that the
+//! families they define land in coherent evaluation-space clusters), and
+//! to *present* the surviving candidates after each pruning step (ranges,
+//! Pareto fronts).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A figure of merit the layer can report on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FigureOfMerit {
+    /// Silicon area in µm².
+    AreaUm2,
+    /// Latency of one operation in ns.
+    DelayNs,
+    /// Clock period in ns.
+    ClockNs,
+    /// Latency in cycles.
+    LatencyCycles,
+    /// Average power in mW.
+    PowerMw,
+    /// Execution time in µs (software cores).
+    TimeUs,
+    /// Energy per operation in nJ.
+    EnergyNj,
+    /// Anything else, by name.
+    Other(String),
+}
+
+impl FigureOfMerit {
+    /// Whether smaller values are better (true for every built-in merit).
+    pub fn minimize(&self) -> bool {
+        true
+    }
+
+    /// The unit suffix for display.
+    pub fn unit(&self) -> &str {
+        match self {
+            FigureOfMerit::AreaUm2 => "µm²",
+            FigureOfMerit::DelayNs | FigureOfMerit::ClockNs => "ns",
+            FigureOfMerit::LatencyCycles => "cycles",
+            FigureOfMerit::PowerMw => "mW",
+            FigureOfMerit::TimeUs => "µs",
+            FigureOfMerit::EnergyNj => "nJ",
+            FigureOfMerit::Other(_) => "",
+        }
+    }
+}
+
+impl fmt::Display for FigureOfMerit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FigureOfMerit::AreaUm2 => write!(f, "area"),
+            FigureOfMerit::DelayNs => write!(f, "delay"),
+            FigureOfMerit::ClockNs => write!(f, "clock"),
+            FigureOfMerit::LatencyCycles => write!(f, "latency"),
+            FigureOfMerit::PowerMw => write!(f, "power"),
+            FigureOfMerit::TimeUs => write!(f, "time"),
+            FigureOfMerit::EnergyNj => write!(f, "energy"),
+            FigureOfMerit::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One design's coordinates in the evaluation space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    label: String,
+    merits: BTreeMap<FigureOfMerit, f64>,
+}
+
+impl EvalPoint {
+    /// Creates a point with no merits yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        EvalPoint {
+            label: label.into(),
+            merits: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a merit (builder style).
+    #[must_use]
+    pub fn with(mut self, merit: FigureOfMerit, value: f64) -> Self {
+        self.merits.insert(merit, value);
+        self
+    }
+
+    /// The point's label (usually the core name).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The merit value, if recorded.
+    pub fn merit(&self, merit: &FigureOfMerit) -> Option<f64> {
+        self.merits.get(merit).copied()
+    }
+
+    /// All recorded merits.
+    pub fn merits(&self) -> impl Iterator<Item = (&FigureOfMerit, f64)> {
+        self.merits.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Whether `self` dominates `other` on `merits`: no worse on all, and
+    /// strictly better on at least one. Points missing a merit are never
+    /// dominated and never dominate on it.
+    pub fn dominates(&self, other: &EvalPoint, merits: &[FigureOfMerit]) -> bool {
+        let mut strictly_better = false;
+        for m in merits {
+            match (self.merit(m), other.merit(m)) {
+                (Some(a), Some(b)) => {
+                    if a > b {
+                        return false;
+                    }
+                    if a < b {
+                        strictly_better = true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        strictly_better
+    }
+}
+
+/// A set of evaluation points with range, Pareto and cluster queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationSpace {
+    points: Vec<EvalPoint>,
+}
+
+impl EvaluationSpace {
+    /// An empty space.
+    pub fn new() -> Self {
+        EvaluationSpace::default()
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, point: EvalPoint) {
+        self.points.push(point);
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[EvalPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `(min, max)` range of a merit over all points that record it.
+    pub fn range(&self, merit: &FigureOfMerit) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().filter_map(|p| p.merit(merit));
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Indices of the Pareto-optimal points under `merits` (all
+    /// minimized). A point missing any merit is excluded.
+    pub fn pareto_front(&self, merits: &[FigureOfMerit]) -> Vec<usize> {
+        let candidates: Vec<usize> = (0..self.points.len())
+            .filter(|&i| merits.iter().all(|m| self.points[i].merit(m).is_some()))
+            .collect();
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !candidates
+                    .iter()
+                    .any(|&j| j != i && self.points[j].dominates(&self.points[i], merits))
+            })
+            .collect()
+    }
+
+    /// Single-linkage agglomerative clustering on the normalized merit
+    /// coordinates: merges clusters while the nearest pair is closer than
+    /// `threshold` (in units of the normalized 0..1 range per axis).
+    /// Returns one index-vector per cluster, each sorted, clusters sorted
+    /// by their smallest member.
+    ///
+    /// Points missing a merit are placed in singleton clusters.
+    pub fn cluster(&self, merits: &[FigureOfMerit], threshold: f64) -> Vec<Vec<usize>> {
+        let n = self.points.len();
+        let coords: Vec<Option<Vec<f64>>> = (0..n)
+            .map(|i| {
+                merits
+                    .iter()
+                    .map(|m| self.points[i].merit(m))
+                    .collect::<Option<Vec<f64>>>()
+            })
+            .collect();
+
+        // Normalize each axis to 0..1 over the points that have it.
+        let mut ranges = Vec::with_capacity(merits.len());
+        for m in merits {
+            ranges.push(self.range(m).unwrap_or((0.0, 1.0)));
+        }
+        let norm = |v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .zip(&ranges)
+                .map(|(&x, &(lo, hi))| if hi > lo { (x - lo) / (hi - lo) } else { 0.0 })
+                .collect()
+        };
+
+        let mut cluster_of: Vec<usize> = (0..n).collect();
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                let Some(ci) = &coords[i] else { continue };
+                for j in (i + 1)..n {
+                    if cluster_of[i] == cluster_of[j] {
+                        continue;
+                    }
+                    let Some(cj) = &coords[j] else { continue };
+                    let (a, b) = (norm(ci), norm(cj));
+                    let d = a
+                        .iter()
+                        .zip(&b)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt();
+                    if d < threshold && best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, _)) => {
+                    let (from, to) = (cluster_of[j], cluster_of[i]);
+                    for c in cluster_of.iter_mut() {
+                        if *c == from {
+                            *c = to;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &c) in cluster_of.iter().enumerate() {
+            groups.entry(c).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Coherence of a *given* partition of the points (e.g. the families a
+    /// hierarchy level defines) with respect to evaluation-space
+    /// proximity: mean silhouette-style score in `-1..=1`, where 1 means
+    /// each group is tight and far from the others.
+    ///
+    /// This is the metric behind the Fig. 2-vs-Fig. 3 comparison: a good
+    /// generalization hierarchy scores high, an abstraction-only
+    /// organisation scores low.
+    pub fn partition_coherence(&self, merits: &[FigureOfMerit], groups: &[Vec<usize>]) -> f64 {
+        let dist = |i: usize, j: usize| -> f64 {
+            let mut d = 0.0;
+            for m in merits {
+                let (lo, hi) = self.range(m).unwrap_or((0.0, 1.0));
+                let span = if hi > lo { hi - lo } else { 1.0 };
+                let a = self.points[i].merit(m).unwrap_or(0.0);
+                let b = self.points[j].merit(m).unwrap_or(0.0);
+                let x = (a - b) / span;
+                d += x * x;
+            }
+            d.sqrt()
+        };
+        let mut scores = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for &i in group {
+                // a = mean intra-group distance.
+                let intra: Vec<f64> = group
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| dist(i, j))
+                    .collect();
+                let a = if intra.is_empty() {
+                    0.0
+                } else {
+                    intra.iter().sum::<f64>() / intra.len() as f64
+                };
+                // b = smallest mean distance to another group.
+                let mut b = f64::INFINITY;
+                for (gj, other) in groups.iter().enumerate() {
+                    if gj == gi || other.is_empty() {
+                        continue;
+                    }
+                    let mean = other.iter().map(|&j| dist(i, j)).sum::<f64>() / other.len() as f64;
+                    b = b.min(mean);
+                }
+                if b.is_finite() {
+                    let s = if a.max(b) > 0.0 {
+                        (b - a) / a.max(b)
+                    } else {
+                        0.0
+                    };
+                    scores.push(s);
+                }
+            }
+        }
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+}
+
+impl FromIterator<EvalPoint> for EvaluationSpace {
+    fn from_iter<T: IntoIterator<Item = EvalPoint>>(iter: T) -> Self {
+        EvaluationSpace {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<EvalPoint> for EvaluationSpace {
+    fn extend<T: IntoIterator<Item = EvalPoint>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FigureOfMerit::{AreaUm2, DelayNs};
+
+    fn point(label: &str, area: f64, delay: f64) -> EvalPoint {
+        EvalPoint::new(label)
+            .with(AreaUm2, area)
+            .with(DelayNs, delay)
+    }
+
+    fn fig3_like_space() -> EvaluationSpace {
+        // Two clusters as in the paper's Fig. 3(b): {1,2,5} cheap/slow,
+        // {3,4} expensive/fast.
+        [
+            point("1", 100.0, 900.0),
+            point("2", 130.0, 850.0),
+            point("3", 800.0, 200.0),
+            point("4", 850.0, 180.0),
+            point("5", 110.0, 950.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn ranges_cover_min_max() {
+        let s = fig3_like_space();
+        assert_eq!(s.range(&AreaUm2), Some((100.0, 850.0)));
+        assert_eq!(s.range(&DelayNs), Some((180.0, 950.0)));
+        assert_eq!(s.range(&FigureOfMerit::PowerMw), None);
+    }
+
+    #[test]
+    fn pareto_front_excludes_dominated() {
+        let mut s = fig3_like_space();
+        // Strictly worse than point 1 on both axes.
+        s.push(point("dominated", 200.0, 1000.0));
+        let front = s.pareto_front(&[AreaUm2, DelayNs]);
+        let labels: Vec<&str> = front.iter().map(|&i| s.points()[i].label()).collect();
+        assert!(!labels.contains(&"dominated"));
+        assert!(labels.contains(&"1")); // cheapest
+        assert!(labels.contains(&"4")); // fastest
+    }
+
+    #[test]
+    fn pareto_front_no_member_dominates_another() {
+        let s = fig3_like_space();
+        let front = s.pareto_front(&[AreaUm2, DelayNs]);
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    assert!(!s.points()[i].dominates(&s.points()[j], &[AreaUm2, DelayNs]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_recovers_the_two_families() {
+        let s = fig3_like_space();
+        let clusters = s.cluster(&[AreaUm2, DelayNs], 0.35);
+        assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
+        assert_eq!(clusters[0], vec![0, 1, 4]); // designs 1, 2, 5
+        assert_eq!(clusters[1], vec![2, 3]); // designs 3, 4
+    }
+
+    #[test]
+    fn tight_threshold_gives_singletons() {
+        let s = fig3_like_space();
+        let clusters = s.cluster(&[AreaUm2, DelayNs], 1e-9);
+        assert_eq!(clusters.len(), 5);
+    }
+
+    #[test]
+    fn coherent_partition_scores_higher_than_incoherent() {
+        let s = fig3_like_space();
+        // The "generalization" grouping (by evaluation proximity).
+        let good = vec![vec![0, 1, 4], vec![2, 3]];
+        // An "abstraction-only" grouping that mixes the families.
+        let bad = vec![vec![0, 3], vec![1, 2, 4]];
+        let cg = s.partition_coherence(&[AreaUm2, DelayNs], &good);
+        let cb = s.partition_coherence(&[AreaUm2, DelayNs], &bad);
+        assert!(cg > 0.5, "good partition coherence {cg}");
+        assert!(cb < 0.0, "bad partition coherence {cb}");
+        assert!(cg > cb);
+    }
+
+    #[test]
+    fn dominance_requires_all_merits_present() {
+        let full = point("full", 1.0, 1.0);
+        let partial = EvalPoint::new("partial").with(AreaUm2, 0.5);
+        assert!(!partial.dominates(&full, &[AreaUm2, DelayNs]));
+        assert!(!full.dominates(&partial, &[AreaUm2, DelayNs]));
+    }
+
+    #[test]
+    fn merit_display_and_units() {
+        assert_eq!(AreaUm2.to_string(), "area");
+        assert_eq!(AreaUm2.unit(), "µm²");
+        assert_eq!(FigureOfMerit::Other("mips".into()).to_string(), "mips");
+        assert!(DelayNs.minimize());
+    }
+
+    #[test]
+    fn empty_space_behaviour() {
+        let s = EvaluationSpace::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pareto_front(&[AreaUm2]), Vec::<usize>::new());
+        assert_eq!(s.cluster(&[AreaUm2], 0.5), Vec::<Vec<usize>>::new());
+        assert_eq!(s.partition_coherence(&[AreaUm2], &[]), 0.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Expressions and predicates over property bindings.
+//!
+//! Consistency constraints contain relations such as
+//! `Latency = 2·EOL/Radix + 1` (CC2) or
+//! `Algorithm = Montgomery ∧ EOL ≥ 32 ∧ Adder ≠ CSA` (CC4). Rather than a
+//! string DSL, relations are built programmatically as small expression
+//! trees — type-checked at evaluation and rendered to readable formulas
+//! for the layer's self-documentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Property bindings: the decided/entered values visible to a relation.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Errors from evaluating an expression or predicate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExprError {
+    /// A referenced property has no bound value.
+    Unbound(String),
+    /// An operand had the wrong type.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// The type actually found.
+        found: String,
+    },
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Unbound(p) => write!(f, "property {p:?} is not bound"),
+            ExprError::TypeMismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// An arithmetic expression over property values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Expr {
+    /// A literal.
+    Const(Value),
+    /// A property reference by name.
+    Prop(String),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient.
+    Div(Box<Expr>, Box<Expr>),
+    /// Power (`base ^ exponent`).
+    Pow(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods, deliberately named like the operators they build
+impl Expr {
+    /// A literal.
+    pub fn constant(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// A property reference.
+    pub fn prop(name: impl Into<String>) -> Expr {
+        Expr::Prop(name.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ^ rhs`.
+    pub fn pow(self, rhs: Expr) -> Expr {
+        Expr::Pow(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates to a numeric value under `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound properties, non-numeric operands or
+    /// division by zero.
+    pub fn eval(&self, bindings: &Bindings) -> Result<f64, ExprError> {
+        match self {
+            Expr::Const(v) => v.as_f64().ok_or(ExprError::TypeMismatch {
+                expected: "number",
+                found: v.type_name().to_owned(),
+            }),
+            Expr::Prop(name) => {
+                let v = bindings
+                    .get(name)
+                    .ok_or_else(|| ExprError::Unbound(name.clone()))?;
+                v.as_f64().ok_or(ExprError::TypeMismatch {
+                    expected: "number",
+                    found: v.type_name().to_owned(),
+                })
+            }
+            Expr::Add(a, b) => Ok(a.eval(bindings)? + b.eval(bindings)?),
+            Expr::Sub(a, b) => Ok(a.eval(bindings)? - b.eval(bindings)?),
+            Expr::Mul(a, b) => Ok(a.eval(bindings)? * b.eval(bindings)?),
+            Expr::Div(a, b) => {
+                let d = b.eval(bindings)?;
+                if d == 0.0 {
+                    return Err(ExprError::DivisionByZero);
+                }
+                Ok(a.eval(bindings)? / d)
+            }
+            Expr::Pow(a, b) => Ok(a.eval(bindings)?.powf(b.eval(bindings)?)),
+        }
+    }
+
+    /// All property names referenced by the expression.
+    pub fn references(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Prop(p) => out.push(p.clone()),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Pow(a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Prop(p) => write!(f, "{p}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} × {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Pow(a, b) => write!(f, "({a} ^ {b})"),
+        }
+    }
+}
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over property values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Pred {
+    /// Numeric comparison of two expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Symbolic equality: property equals a literal option value
+    /// (works for text/flag options, unlike the numeric `Cmp`).
+    Is(String, Value),
+    /// Symbolic inequality.
+    IsNot(String, Value),
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `prop = value` (symbolic).
+    pub fn is(prop: impl Into<String>, value: impl Into<Value>) -> Pred {
+        Pred::Is(prop.into(), value.into())
+    }
+
+    /// `prop ≠ value` (symbolic).
+    pub fn is_not(prop: impl Into<String>, value: impl Into<Value>) -> Pred {
+        Pred::IsNot(prop.into(), value.into())
+    }
+
+    /// Numeric comparison helper.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Pred {
+        Pred::Cmp(op, lhs, rhs)
+    }
+
+    /// Conjunction helper.
+    pub fn all<I: IntoIterator<Item = Pred>>(preds: I) -> Pred {
+        Pred::And(preds.into_iter().collect())
+    }
+
+    /// Disjunction helper.
+    pub fn any<I: IntoIterator<Item = Pred>>(preds: I) -> Pred {
+        Pred::Or(preds.into_iter().collect())
+    }
+
+    /// Evaluates under `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound properties or type mismatches.
+    pub fn eval(&self, bindings: &Bindings) -> Result<bool, ExprError> {
+        match self {
+            Pred::Cmp(op, a, b) => {
+                let (x, y) = (a.eval(bindings)?, b.eval(bindings)?);
+                Ok(match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                })
+            }
+            Pred::Is(p, v) => {
+                let bound = bindings
+                    .get(p)
+                    .ok_or_else(|| ExprError::Unbound(p.clone()))?;
+                Ok(bound.matches(v))
+            }
+            Pred::IsNot(p, v) => {
+                let bound = bindings
+                    .get(p)
+                    .ok_or_else(|| ExprError::Unbound(p.clone()))?;
+                Ok(!bound.matches(v))
+            }
+            Pred::And(ps) => {
+                for p in ps {
+                    if !p.eval(bindings)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Pred::Or(ps) => {
+                for p in ps {
+                    if p.eval(bindings)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Pred::Not(p) => Ok(!p.eval(bindings)?),
+        }
+    }
+
+    /// Like [`eval`](Self::eval), but treats unbound properties as "not yet
+    /// applicable" and returns `None` instead of an error.
+    pub fn eval_if_ready(&self, bindings: &Bindings) -> Option<bool> {
+        match self.eval(bindings) {
+            Ok(b) => Some(b),
+            Err(ExprError::Unbound(_)) => None,
+            Err(_) => None,
+        }
+    }
+
+    /// All property names referenced by the predicate.
+    pub fn references(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<String>) {
+        match self {
+            Pred::Cmp(_, a, b) => {
+                out.extend(a.references());
+                out.extend(b.references());
+            }
+            Pred::Is(p, _) | Pred::IsNot(p, _) => out.push(p.clone()),
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_refs(out);
+                }
+            }
+            Pred::Not(p) => p.collect_refs(out),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Pred::Is(p, v) => write!(f, "{p} = {v}"),
+            Pred::IsNot(p, v) => write!(f, "{p} ≠ {v}"),
+            Pred::And(ps) => join(f, ps, " ∧ "),
+            Pred::Or(ps) => join(f, ps, " ∨ "),
+            Pred::Not(p) => write!(f, "¬({p})"),
+        }
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, ps: &[Pred], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{p}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bindings(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn cc2_formula_evaluates() {
+        // L = 2·EOL/R + 1 with EOL=768, R=2 → 769.
+        let formula = Expr::constant(2)
+            .mul(Expr::prop("EOL"))
+            .div(Expr::prop("Radix"))
+            .add(Expr::constant(1));
+        let b = bindings(&[("EOL", Value::Int(768)), ("Radix", Value::Int(2))]);
+        assert_eq!(formula.eval(&b).unwrap(), 769.0);
+        assert_eq!(
+            formula.references(),
+            vec!["EOL".to_owned(), "Radix".to_owned()]
+        );
+    }
+
+    #[test]
+    fn pow_evaluates_and_displays() {
+        // table size = 2^k - 2
+        let e = Expr::constant(2)
+            .pow(Expr::prop("WindowBits"))
+            .sub(Expr::constant(2));
+        let b = bindings(&[("WindowBits", Value::Int(4))]);
+        assert_eq!(e.eval(&b).unwrap(), 14.0);
+        assert_eq!(e.to_string(), "((2 ^ WindowBits) - 2)");
+        assert_eq!(e.references(), vec!["WindowBits".to_owned()]);
+    }
+
+    #[test]
+    fn unbound_reference_errors() {
+        let e = Expr::prop("missing");
+        assert_eq!(
+            e.eval(&Bindings::new()).unwrap_err(),
+            ExprError::Unbound("missing".to_owned())
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::constant(1).div(Expr::constant(0));
+        assert_eq!(
+            e.eval(&Bindings::new()).unwrap_err(),
+            ExprError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn type_mismatch_on_text() {
+        let e = Expr::prop("Algorithm").add(Expr::constant(1));
+        let b = bindings(&[("Algorithm", Value::from("Montgomery"))]);
+        assert!(matches!(
+            e.eval(&b).unwrap_err(),
+            ExprError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn cc1_style_inconsistency_predicate() {
+        // Inconsistent: ModuloIsOdd = notGuaranteed ∧ Algorithm = Montgomery.
+        let p = Pred::all([
+            Pred::is("ModuloIsOdd", "notGuaranteed"),
+            Pred::is("Algorithm", "Montgomery"),
+        ]);
+        let bad = bindings(&[
+            ("ModuloIsOdd", Value::from("notGuaranteed")),
+            ("Algorithm", Value::from("Montgomery")),
+        ]);
+        let good = bindings(&[
+            ("ModuloIsOdd", Value::from("Guaranteed")),
+            ("Algorithm", Value::from("Montgomery")),
+        ]);
+        assert_eq!(p.eval(&bad).unwrap(), true);
+        assert_eq!(p.eval(&good).unwrap(), false);
+    }
+
+    #[test]
+    fn eval_if_ready_waits_for_bindings() {
+        let p = Pred::is("Algorithm", "Montgomery");
+        assert_eq!(p.eval_if_ready(&Bindings::new()), None);
+        let b = bindings(&[("Algorithm", Value::from("Brickell"))]);
+        assert_eq!(p.eval_if_ready(&b), Some(false));
+    }
+
+    #[test]
+    fn cc4_style_mixed_predicate() {
+        // Algorithm = Montgomery ∧ EOL ≥ 32 ∧ Adder ≠ CSA ⇒ inconsistent.
+        let p = Pred::all([
+            Pred::is("Algorithm", "Montgomery"),
+            Pred::cmp(CmpOp::Ge, Expr::prop("EOL"), Expr::constant(32)),
+            Pred::is_not("Adder", "carry-save"),
+        ]);
+        let hit = bindings(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::Int(768)),
+            ("Adder", Value::from("carry-look-ahead")),
+        ]);
+        let miss = bindings(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::Int(16)),
+            ("Adder", Value::from("carry-look-ahead")),
+        ]);
+        assert!(p.eval(&hit).unwrap());
+        assert!(!p.eval(&miss).unwrap());
+    }
+
+    #[test]
+    fn not_or_combinators() {
+        let p = Pred::Not(Box::new(Pred::any([Pred::is("x", 1), Pred::is("x", 2)])));
+        let b = bindings(&[("x", Value::Int(3))]);
+        assert!(p.eval(&b).unwrap());
+    }
+
+    #[test]
+    fn display_renders_formulas() {
+        let formula = Expr::constant(2)
+            .mul(Expr::prop("EOL"))
+            .div(Expr::prop("Radix"))
+            .add(Expr::constant(1));
+        assert_eq!(formula.to_string(), "(((2 × EOL) / Radix) + 1)");
+        let p = Pred::all([Pred::is("A", "x"), Pred::is_not("B", "y")]);
+        assert_eq!(p.to_string(), "(A = x ∧ B ≠ y)");
+    }
+
+    #[test]
+    fn pred_references_collects_everything() {
+        let p = Pred::all([
+            Pred::is("Algorithm", "Montgomery"),
+            Pred::cmp(CmpOp::Ge, Expr::prop("EOL"), Expr::prop("SliceWidth")),
+        ]);
+        assert_eq!(
+            p.references(),
+            vec![
+                "Algorithm".to_owned(),
+                "EOL".to_owned(),
+                "SliceWidth".to_owned()
+            ]
+        );
+    }
+}

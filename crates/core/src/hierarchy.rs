@@ -1,0 +1,660 @@
+//! The generalization/specialization hierarchy of classes of design
+//! objects (CDOs).
+//!
+//! The hierarchy is stored as an arena ([`DesignSpace`]) with typed ids
+//! ([`CdoId`]); the paper's inheritance-heavy object model maps onto plain
+//! data plus an ancestor walk, which keeps properties first-class values
+//! rather than types.
+//!
+//! Two kinds of specialization coexist, as in the paper's Fig. 5:
+//!
+//! * *taxonomic* children ([`DesignSpace::add_child`]) group by
+//!   functionality ("Operator" → "Logic/Arithmetic" → "Adder"), and
+//! * *generalized-issue* children ([`DesignSpace::specialize`]) partition
+//!   a CDO's design space by the options of its (single) generalized
+//!   design issue ("Implementation Style" → Hardware / Software).
+
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::BehavioralDescription;
+use crate::constraint::ConsistencyConstraint;
+use crate::error::DseError;
+use crate::property::{Property, PropertyKind};
+use crate::value::Value;
+
+/// An opaque identifier of a CDO within one [`DesignSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CdoId(usize);
+
+impl CdoId {
+    /// The raw arena index (stable for the lifetime of the space).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One class of design objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdoNode {
+    name: String,
+    doc: String,
+    parent: Option<CdoId>,
+    children: Vec<CdoId>,
+    properties: Vec<Property>,
+    constraints: Vec<ConsistencyConstraint>,
+    behaviors: Vec<BehavioralDescription>,
+    /// If this CDO was spawned by a generalized issue, the
+    /// `(issue, option)` binding it represents.
+    spawned_by: Option<(String, Value)>,
+    /// The name of this CDO's generalized design issue, if declared.
+    generalized_issue: Option<String>,
+}
+
+impl CdoNode {
+    /// The CDO's name (unique among its siblings, not globally).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The documentation line.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The parent CDO, if any.
+    pub fn parent(&self) -> Option<CdoId> {
+        self.parent
+    }
+
+    /// Child CDOs.
+    pub fn children(&self) -> &[CdoId] {
+        &self.children
+    }
+
+    /// Properties declared *at this node* (not inherited).
+    pub fn own_properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// Constraints declared at this node.
+    pub fn own_constraints(&self) -> &[ConsistencyConstraint] {
+        &self.constraints
+    }
+
+    /// Behavioural descriptions attached to this node.
+    pub fn behaviors(&self) -> &[BehavioralDescription] {
+        &self.behaviors
+    }
+
+    /// The `(issue, option)` binding that spawned this CDO, if it came
+    /// from specializing a generalized issue.
+    pub fn spawned_by(&self) -> Option<(&str, &Value)> {
+        self.spawned_by.as_ref().map(|(i, v)| (i.as_str(), v))
+    }
+
+    /// The node's generalized design issue name, if declared.
+    pub fn generalized_issue(&self) -> Option<&str> {
+        self.generalized_issue.as_deref()
+    }
+}
+
+/// A design space layer: the arena of CDOs plus the roots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    name: String,
+    nodes: Vec<CdoNode>,
+    roots: Vec<CdoId>,
+}
+
+impl DesignSpace {
+    /// Creates an empty layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        DesignSpace {
+            name: name.into(),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a root CDO.
+    pub fn add_root(&mut self, name: impl Into<String>, doc: impl Into<String>) -> CdoId {
+        let id = self.push_node(name.into(), doc.into(), None, None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a taxonomic child CDO (functional specialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an id of this space.
+    pub fn add_child(
+        &mut self,
+        parent: CdoId,
+        name: impl Into<String>,
+        doc: impl Into<String>,
+    ) -> CdoId {
+        assert!(parent.0 < self.nodes.len(), "foreign CdoId");
+        let id = self.push_node(name.into(), doc.into(), Some(parent), None);
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    fn push_node(
+        &mut self,
+        name: String,
+        doc: String,
+        parent: Option<CdoId>,
+        spawned_by: Option<(String, Value)>,
+    ) -> CdoId {
+        let id = CdoId(self.nodes.len());
+        self.nodes.push(CdoNode {
+            name,
+            doc,
+            parent,
+            children: Vec::new(),
+            properties: Vec::new(),
+            constraints: Vec::new(),
+            behaviors: Vec::new(),
+            spawned_by,
+            generalized_issue: None,
+        });
+        id
+    }
+
+    /// The root CDOs.
+    pub fn roots(&self) -> &[CdoId] {
+        &self.roots
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an id of this space.
+    pub fn node(&self, id: CdoId) -> &CdoNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of CDOs in the layer.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the layer has no CDOs.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CdoId, &CdoNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (CdoId(i), n))
+    }
+
+    /// All leaf CDOs (no children).
+    pub fn leaves(&self) -> Vec<CdoId> {
+        self.iter()
+            .filter(|(_, n)| n.children.is_empty())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The ancestor chain from `id` up to its root (inclusive of `id`).
+    pub fn ancestry(&self, id: CdoId) -> Vec<CdoId> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.0].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain
+    }
+
+    /// Dotted path from the root, e.g.
+    /// `"Operator.Modular.Multiplier.Hardware.Montgomery"`.
+    pub fn path_string(&self, id: CdoId) -> String {
+        let mut names: Vec<&str> = self
+            .ancestry(id)
+            .iter()
+            .map(|&c| self.nodes[c.0].name.as_str())
+            .collect();
+        names.reverse();
+        names.join(".")
+    }
+
+    /// Finds a CDO by dotted path.
+    pub fn find_by_path(&self, path: &str) -> Option<CdoId> {
+        let mut parts = path.split('.');
+        let root_name = parts.next()?;
+        let mut cur = *self
+            .roots
+            .iter()
+            .find(|&&r| self.nodes[r.0].name == root_name)?;
+        for part in parts {
+            cur = *self.nodes[cur.0]
+                .children
+                .iter()
+                .find(|&&c| self.nodes[c.0].name == part)?;
+        }
+        Some(cur)
+    }
+
+    /// Adds a property to a CDO.
+    ///
+    /// # Errors
+    ///
+    /// * [`DseError::DuplicateProperty`] if a property with the same name
+    ///   is already visible at the CDO (declared here or inherited).
+    /// * [`DseError::SecondGeneralizedIssue`] if the property is a
+    ///   generalized issue and the CDO already declares one — a CDO may
+    ///   contain **at most one** generalized design issue.
+    pub fn add_property(&mut self, cdo: CdoId, property: Property) -> Result<(), DseError> {
+        if self.find_property(cdo, property.name()).is_some() {
+            return Err(DseError::DuplicateProperty(property.name().to_owned()));
+        }
+        if property.kind() == PropertyKind::GeneralizedIssue {
+            if let Some(existing) = &self.nodes[cdo.0].generalized_issue {
+                return Err(DseError::SecondGeneralizedIssue {
+                    cdo: self.path_string(cdo),
+                    existing: existing.clone(),
+                });
+            }
+            self.nodes[cdo.0].generalized_issue = Some(property.name().to_owned());
+        }
+        self.nodes[cdo.0].properties.push(property);
+        Ok(())
+    }
+
+    /// Adds a consistency constraint to a CDO.
+    pub fn add_constraint(&mut self, cdo: CdoId, constraint: ConsistencyConstraint) {
+        self.nodes[cdo.0].constraints.push(constraint);
+    }
+
+    /// Attaches a behavioural description to a CDO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::DanglingOperatorRef`] if the description's
+    /// behavioural decomposition references a CDO path that does not exist
+    /// in this space.
+    pub fn add_behavior(
+        &mut self,
+        cdo: CdoId,
+        behavior: BehavioralDescription,
+    ) -> Result<(), DseError> {
+        for op in behavior.decomposition() {
+            if self.find_by_path(op.cdo_path()).is_none() {
+                return Err(DseError::DanglingOperatorRef {
+                    description: behavior.name().to_owned(),
+                    path: op.cdo_path().to_owned(),
+                });
+            }
+        }
+        self.nodes[cdo.0].behaviors.push(behavior);
+        Ok(())
+    }
+
+    /// Resolves a property by name at `cdo`, walking the inheritance chain
+    /// (nearest declaration wins — though duplicates cannot be created
+    /// through this API).
+    pub fn find_property(&self, cdo: CdoId, name: &str) -> Option<(CdoId, &Property)> {
+        for id in self.ancestry(cdo) {
+            if let Some(p) = self.nodes[id.0]
+                .properties
+                .iter()
+                .find(|p| p.name() == name)
+            {
+                return Some((id, p));
+            }
+        }
+        None
+    }
+
+    /// The *effective* property set at `cdo`: everything declared here or
+    /// at any ancestor, nearest first.
+    pub fn effective_properties(&self, cdo: CdoId) -> Vec<(CdoId, &Property)> {
+        let mut out = Vec::new();
+        for id in self.ancestry(cdo) {
+            for p in &self.nodes[id.0].properties {
+                out.push((id, p));
+            }
+        }
+        out
+    }
+
+    /// The effective constraint set at `cdo` (this node and ancestors).
+    pub fn effective_constraints(&self, cdo: CdoId) -> Vec<(CdoId, &ConsistencyConstraint)> {
+        let mut out = Vec::new();
+        for id in self.ancestry(cdo) {
+            for c in &self.nodes[id.0].constraints {
+                out.push((id, c));
+            }
+        }
+        out
+    }
+
+    /// Spawns one child CDO per option of `cdo`'s generalized issue
+    /// `issue`, returning the new ids in option order. Options that were
+    /// already spawned are returned rather than duplicated.
+    ///
+    /// # Errors
+    ///
+    /// * [`DseError::UnknownProperty`] if no such property is visible.
+    /// * [`DseError::IssueNotDeclaredHere`] if the issue is declared at an
+    ///   ancestor rather than at `cdo` itself (each specialization level
+    ///   partitions its own design space region).
+    /// * [`DseError::NotAGeneralizedIssue`] for a regular issue.
+    /// * [`DseError::NonEnumerableDomain`] if the issue's domain is not a
+    ///   finite option set.
+    pub fn specialize(&mut self, cdo: CdoId, issue: &str) -> Result<Vec<CdoId>, DseError> {
+        let (owner, prop) = self
+            .find_property(cdo, issue)
+            .ok_or_else(|| DseError::UnknownProperty(issue.to_owned()))?;
+        if owner != cdo {
+            return Err(DseError::IssueNotDeclaredHere {
+                cdo: self.path_string(cdo),
+                issue: issue.to_owned(),
+            });
+        }
+        if prop.kind() != PropertyKind::GeneralizedIssue {
+            return Err(DseError::NotAGeneralizedIssue(issue.to_owned()));
+        }
+        let options = prop
+            .domain()
+            .enumerate()
+            .ok_or_else(|| DseError::NonEnumerableDomain(issue.to_owned()))?;
+
+        let mut out = Vec::with_capacity(options.len());
+        for option in options {
+            out.push(self.specialize_option(cdo, issue, option)?);
+        }
+        Ok(out)
+    }
+
+    /// Spawns (or returns the existing) child CDO for one option of the
+    /// generalized issue.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`specialize`](Self::specialize), plus
+    /// [`DseError::ValueOutsideDomain`] when `option` is not one of the
+    /// issue's options.
+    pub fn specialize_option(
+        &mut self,
+        cdo: CdoId,
+        issue: &str,
+        option: Value,
+    ) -> Result<CdoId, DseError> {
+        let (owner, prop) = self
+            .find_property(cdo, issue)
+            .ok_or_else(|| DseError::UnknownProperty(issue.to_owned()))?;
+        if owner != cdo {
+            return Err(DseError::IssueNotDeclaredHere {
+                cdo: self.path_string(cdo),
+                issue: issue.to_owned(),
+            });
+        }
+        if prop.kind() != PropertyKind::GeneralizedIssue {
+            return Err(DseError::NotAGeneralizedIssue(issue.to_owned()));
+        }
+        if !prop.domain().contains(&option) {
+            return Err(DseError::ValueOutsideDomain {
+                property: issue.to_owned(),
+                value: option,
+            });
+        }
+        // Idempotency: reuse an already-spawned child for this option.
+        if let Some(&existing) = self.nodes[cdo.0].children.iter().find(|&&c| {
+            self.nodes[c.0]
+                .spawned_by
+                .as_ref()
+                .is_some_and(|(i, v)| i == issue && v.matches(&option))
+        }) {
+            return Ok(existing);
+        }
+        let name = option.to_string();
+        let doc = format!("{issue} = {option}");
+        let id = self.push_node(name, doc, Some(cdo), Some((issue.to_owned(), option)));
+        self.nodes[cdo.0].children.push(id);
+        Ok(id)
+    }
+
+    /// The option bindings accumulated along the path from the root to
+    /// `cdo` (one per generalized-issue specialization step).
+    pub fn inherited_bindings(&self, cdo: CdoId) -> Vec<(String, Value)> {
+        let mut out: Vec<(String, Value)> = self
+            .ancestry(cdo)
+            .iter()
+            .filter_map(|&id| self.nodes[id.0].spawned_by.clone())
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// Checks structural invariants, returning human-readable findings
+    /// (empty = healthy). Invariants: parent/child links are mutual, every
+    /// non-root has a parent, spawned children's issues exist, and no CDO
+    /// has more than one generalized issue.
+    pub fn validate(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        for (id, node) in self.iter() {
+            for &c in &node.children {
+                if self.nodes[c.0].parent != Some(id) {
+                    findings.push(format!(
+                        "child {} of {} does not point back to its parent",
+                        self.path_string(c),
+                        self.path_string(id)
+                    ));
+                }
+            }
+            if let Some((issue, _)) = &node.spawned_by {
+                let parent = node.parent.expect("spawned node has a parent");
+                if self.find_property(parent, issue).is_none() {
+                    findings.push(format!(
+                        "{} was spawned by unknown issue {issue:?}",
+                        self.path_string(id)
+                    ));
+                }
+            }
+            let generalized = node
+                .properties
+                .iter()
+                .filter(|p| p.kind() == PropertyKind::GeneralizedIssue)
+                .count();
+            if generalized > 1 {
+                findings.push(format!(
+                    "{} declares {generalized} generalized issues",
+                    self.path_string(id)
+                ));
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Domain;
+
+    fn small_space() -> (DesignSpace, CdoId) {
+        let mut s = DesignSpace::new("test");
+        let root = s.add_root("Multiplier", "modular multipliers");
+        s.add_property(
+            root,
+            Property::requirement("EOL", Domain::int_range(1, 4096), None, "operand length"),
+        )
+        .unwrap();
+        s.add_property(
+            root,
+            Property::generalized_issue(
+                "ImplementationStyle",
+                Domain::options(["Hardware", "Software"]),
+                "partitions hw/sw",
+            ),
+        )
+        .unwrap();
+        (s, root)
+    }
+
+    #[test]
+    fn specialize_spawns_one_child_per_option() {
+        let (mut s, root) = small_space();
+        let kids = s.specialize(root, "ImplementationStyle").unwrap();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(s.node(kids[0]).name(), "Hardware");
+        assert_eq!(s.path_string(kids[1]), "Multiplier.Software");
+        assert_eq!(
+            s.node(kids[0]).spawned_by().unwrap().0,
+            "ImplementationStyle"
+        );
+    }
+
+    #[test]
+    fn specialize_is_idempotent() {
+        let (mut s, root) = small_space();
+        let a = s.specialize(root, "ImplementationStyle").unwrap();
+        let b = s.specialize(root, "ImplementationStyle").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.node(root).children().len(), 2);
+    }
+
+    #[test]
+    fn at_most_one_generalized_issue() {
+        let (mut s, root) = small_space();
+        let err = s
+            .add_property(
+                root,
+                Property::generalized_issue("Algorithm", Domain::options(["M", "B"]), ""),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DseError::SecondGeneralizedIssue { .. }));
+        // But a *child* may declare its own.
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        s.add_property(
+            hw,
+            Property::generalized_issue("Algorithm", Domain::options(["M", "B"]), ""),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn inheritance_resolves_to_nearest_ancestor() {
+        let (mut s, root) = small_space();
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        // EOL is visible from the child, declared at the root.
+        let (owner, p) = s.find_property(hw, "EOL").unwrap();
+        assert_eq!(owner, root);
+        assert_eq!(p.name(), "EOL");
+        // Effective set includes both own and inherited.
+        let eff = s.effective_properties(hw);
+        assert!(eff.iter().any(|(_, p)| p.name() == "ImplementationStyle"));
+    }
+
+    #[test]
+    fn duplicate_property_rejected_across_inheritance() {
+        let (mut s, root) = small_space();
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        let err = s
+            .add_property(hw, Property::issue("EOL", Domain::Any, "shadowing"))
+            .unwrap_err();
+        assert_eq!(err, DseError::DuplicateProperty("EOL".to_owned()));
+    }
+
+    #[test]
+    fn specialize_requires_declaration_at_the_node() {
+        let (mut s, root) = small_space();
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        // The issue is inherited at hw but declared at root.
+        let err = s.specialize(hw, "ImplementationStyle").unwrap_err();
+        assert!(matches!(err, DseError::IssueNotDeclaredHere { .. }));
+    }
+
+    #[test]
+    fn specialize_rejects_regular_issue_and_bad_option() {
+        let (mut s, root) = small_space();
+        s.add_property(root, Property::issue("Radix", Domain::options([2, 4]), ""))
+            .unwrap();
+        assert!(matches!(
+            s.specialize(root, "Radix").unwrap_err(),
+            DseError::NotAGeneralizedIssue(_)
+        ));
+        assert!(matches!(
+            s.specialize_option(root, "ImplementationStyle", Value::from("Analog"))
+                .unwrap_err(),
+            DseError::ValueOutsideDomain { .. }
+        ));
+        assert!(matches!(
+            s.specialize(root, "Nope").unwrap_err(),
+            DseError::UnknownProperty(_)
+        ));
+    }
+
+    #[test]
+    fn paths_roundtrip() {
+        let (mut s, root) = small_space();
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        let path = s.path_string(hw);
+        assert_eq!(path, "Multiplier.Hardware");
+        assert_eq!(s.find_by_path(&path), Some(hw));
+        assert_eq!(s.find_by_path("Multiplier"), Some(root));
+        assert_eq!(s.find_by_path("Multiplier.Analog"), None);
+        assert_eq!(s.find_by_path("Nope"), None);
+    }
+
+    #[test]
+    fn inherited_bindings_accumulate_root_first() {
+        let (mut s, root) = small_space();
+        let hw = s.specialize(root, "ImplementationStyle").unwrap()[0];
+        s.add_property(
+            hw,
+            Property::generalized_issue(
+                "Algorithm",
+                Domain::options(["Montgomery", "Brickell"]),
+                "",
+            ),
+        )
+        .unwrap();
+        let mont = s
+            .specialize_option(hw, "Algorithm", Value::from("Montgomery"))
+            .unwrap();
+        let bindings = s.inherited_bindings(mont);
+        assert_eq!(bindings.len(), 2);
+        assert_eq!(bindings[0].0, "ImplementationStyle");
+        assert_eq!(bindings[1].1, Value::from("Montgomery"));
+    }
+
+    #[test]
+    fn leaves_and_iteration() {
+        let (mut s, root) = small_space();
+        let kids = s.specialize(root, "ImplementationStyle").unwrap();
+        let leaves = s.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert!(kids.iter().all(|k| leaves.contains(k)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn validate_passes_on_well_formed_space() {
+        let (mut s, root) = small_space();
+        s.specialize(root, "ImplementationStyle").unwrap();
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn taxonomic_children_carry_no_binding() {
+        let mut s = DesignSpace::new("tax");
+        let op = s.add_root("Operator", "");
+        let arith = s.add_child(op, "Arithmetic", "");
+        let adder = s.add_child(arith, "Adder", "");
+        assert_eq!(s.path_string(adder), "Operator.Arithmetic.Adder");
+        assert!(s.node(adder).spawned_by().is_none());
+        assert!(s.inherited_bindings(adder).is_empty());
+    }
+}

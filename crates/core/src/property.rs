@@ -1,0 +1,286 @@
+//! Properties: the meta-data attached to classes of design objects.
+//!
+//! The paper classifies properties into behavioural/structural
+//! descriptions, design requirements, and design decisions/restrictions
+//! (design issues). Design issues come in two strengths: *regular* ones
+//! support fine-grained trade-off exploration inside a CDO, while a
+//! *generalized* one partitions the design space — each of its options
+//! spawns a child CDO.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{Domain, Value};
+
+/// What role a property plays in conceptual design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PropertyKind {
+    /// A problem given or target figure of merit, entered by the designer
+    /// from the system specification (the paper's Req1–Req5).
+    Requirement,
+    /// A regular design issue: an area of design decision explored for
+    /// trade-offs within a CDO (the paper's DI2–DI7).
+    DesignIssue,
+    /// A generalized design issue: partitions the design space; each
+    /// option spawns a child CDO (the paper's "Implementation Style",
+    /// "Algorithm").
+    GeneralizedIssue,
+    /// A behavioural/structural description slot (e.g. "Behavioral
+    /// Description" selecting among algorithm-level descriptions).
+    Description,
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PropertyKind::Requirement => "requirement",
+            PropertyKind::DesignIssue => "design issue",
+            PropertyKind::GeneralizedIssue => "generalized design issue",
+            PropertyKind::Description => "description",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unit annotation (`bits`, `µs`, `µm²`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Unit(String);
+
+impl Unit {
+    /// A custom unit.
+    pub fn new(name: impl Into<String>) -> Self {
+        Unit(name.into())
+    }
+
+    /// Bits.
+    pub fn bits() -> Self {
+        Unit::new("bits")
+    }
+
+    /// Microseconds.
+    pub fn micros() -> Self {
+        Unit::new("µs")
+    }
+
+    /// Nanoseconds.
+    pub fn nanos() -> Self {
+        Unit::new("ns")
+    }
+
+    /// Square micrometres.
+    pub fn um2() -> Self {
+        Unit::new("µm²")
+    }
+
+    /// Milliwatts.
+    pub fn milliwatts() -> Self {
+        Unit::new("mW")
+    }
+
+    /// Clock cycles.
+    pub fn cycles() -> Self {
+        Unit::new("cycles")
+    }
+
+    /// The unit's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One property of a class of design objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Property {
+    name: String,
+    kind: PropertyKind,
+    domain: Domain,
+    default: Option<Value>,
+    unit: Option<Unit>,
+    doc: String,
+}
+
+impl Property {
+    /// A full-control constructor; prefer the kind-specific shorthands.
+    pub fn new(
+        name: impl Into<String>,
+        kind: PropertyKind,
+        domain: Domain,
+        default: Option<Value>,
+        unit: Option<Unit>,
+        doc: impl Into<String>,
+    ) -> Self {
+        Property {
+            name: name.into(),
+            kind,
+            domain,
+            default,
+            unit,
+            doc: doc.into(),
+        }
+    }
+
+    /// A requirement (problem given / target figure of merit).
+    pub fn requirement(
+        name: impl Into<String>,
+        domain: Domain,
+        unit: Option<Unit>,
+        doc: impl Into<String>,
+    ) -> Self {
+        Property::new(name, PropertyKind::Requirement, domain, None, unit, doc)
+    }
+
+    /// A regular design issue.
+    pub fn issue(name: impl Into<String>, domain: Domain, doc: impl Into<String>) -> Self {
+        Property::new(name, PropertyKind::DesignIssue, domain, None, None, doc)
+    }
+
+    /// A regular design issue with a default option.
+    pub fn issue_with_default(
+        name: impl Into<String>,
+        domain: Domain,
+        default: Value,
+        doc: impl Into<String>,
+    ) -> Self {
+        Property::new(
+            name,
+            PropertyKind::DesignIssue,
+            domain,
+            Some(default),
+            None,
+            doc,
+        )
+    }
+
+    /// A generalized design issue (space-partitioning).
+    pub fn generalized_issue(
+        name: impl Into<String>,
+        domain: Domain,
+        doc: impl Into<String>,
+    ) -> Self {
+        Property::new(
+            name,
+            PropertyKind::GeneralizedIssue,
+            domain,
+            None,
+            None,
+            doc,
+        )
+    }
+
+    /// A description slot.
+    pub fn description(name: impl Into<String>, domain: Domain, doc: impl Into<String>) -> Self {
+        Property::new(name, PropertyKind::Description, domain, None, None, doc)
+    }
+
+    /// The property's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The property's role.
+    pub fn kind(&self) -> PropertyKind {
+        self.kind
+    }
+
+    /// The admissible values.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The default value, if any.
+    pub fn default(&self) -> Option<&Value> {
+        self.default.as_ref()
+    }
+
+    /// The unit annotation, if any.
+    pub fn unit(&self) -> Option<&Unit> {
+        self.unit.as_ref()
+    }
+
+    /// The documentation line.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// Whether this is a (regular or generalized) design issue.
+    pub fn is_issue(&self) -> bool {
+        matches!(
+            self.kind,
+            PropertyKind::DesignIssue | PropertyKind::GeneralizedIssue
+        )
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ∈ {}", self.name, self.kind, self.domain)?;
+        if let Some(u) = &self.unit {
+            write!(f, " ({u})")?;
+        }
+        if let Some(d) = &self.default {
+            write!(f, " default {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorthand_constructors_set_kinds() {
+        assert_eq!(
+            Property::requirement("EOL", Domain::Any, Some(Unit::bits()), "").kind(),
+            PropertyKind::Requirement
+        );
+        assert_eq!(
+            Property::issue("Radix", Domain::Any, "").kind(),
+            PropertyKind::DesignIssue
+        );
+        assert_eq!(
+            Property::generalized_issue("Algorithm", Domain::Any, "").kind(),
+            PropertyKind::GeneralizedIssue
+        );
+        assert_eq!(
+            Property::description("BD", Domain::Any, "").kind(),
+            PropertyKind::Description
+        );
+    }
+
+    #[test]
+    fn issue_classification() {
+        assert!(Property::issue("x", Domain::Any, "").is_issue());
+        assert!(Property::generalized_issue("x", Domain::Any, "").is_issue());
+        assert!(!Property::requirement("x", Domain::Any, None, "").is_issue());
+    }
+
+    #[test]
+    fn display_is_self_documenting() {
+        let p = Property::issue_with_default(
+            "Radix",
+            Domain::PowersOfTwo { max_exp: 4 },
+            Value::Int(2),
+            "digit width",
+        );
+        let s = p.to_string();
+        assert!(s.contains("Radix"));
+        assert!(s.contains("design issue"));
+        assert!(s.contains("default 2"));
+    }
+
+    #[test]
+    fn units_have_names() {
+        assert_eq!(Unit::bits().name(), "bits");
+        assert_eq!(Unit::micros().to_string(), "µs");
+        assert_eq!(Unit::um2().name(), "µm²");
+    }
+}

@@ -1,0 +1,242 @@
+//! Session scripts: persistable, replayable conceptual-design state.
+//!
+//! The paper's layer descends from a design-process-management formalism
+//! (Jacome & Director); the concrete facility that heritage demands is the
+//! ability to capture a designer's exploration as data — to archive it,
+//! hand it to a colleague, or replay it against a revised layer or a
+//! refreshed reuse library.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DseError;
+use crate::hierarchy::{CdoId, DesignSpace};
+use crate::property::PropertyKind;
+use crate::session::ExplorationSession;
+use crate::value::Value;
+
+/// One recorded designer action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SessionAction {
+    /// A requirement value was entered.
+    SetRequirement {
+        /// The requirement's name.
+        property: String,
+        /// The entered value.
+        value: Value,
+        /// The designer's rationale, if recorded.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        note: Option<String>,
+    },
+    /// A design issue (or description slot) was decided.
+    Decide {
+        /// The issue's name.
+        issue: String,
+        /// The chosen option.
+        value: Value,
+        /// The designer's rationale, if recorded.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        note: Option<String>,
+    },
+}
+
+/// A replayable exploration transcript.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SessionScript {
+    actions: Vec<SessionAction>,
+}
+
+impl SessionScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        SessionScript::default()
+    }
+
+    /// The recorded actions, in order.
+    pub fn actions(&self) -> &[SessionAction] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Captures the current state of a session as a script (undo-ed and
+    /// superseded actions are not recorded — the script reproduces the
+    /// session's *final* state, not its keystrokes).
+    pub fn capture(session: &ExplorationSession<'_>) -> Self {
+        let actions = session
+            .log()
+            .iter()
+            .map(|d| match d.kind {
+                PropertyKind::Requirement => SessionAction::SetRequirement {
+                    property: d.property.clone(),
+                    value: d.value.clone(),
+                    note: d.note.clone(),
+                },
+                _ => SessionAction::Decide {
+                    issue: d.property.clone(),
+                    value: d.value.clone(),
+                    note: d.note.clone(),
+                },
+            })
+            .collect();
+        SessionScript { actions }
+    }
+
+    /// Replays the script against a design space, producing a live
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Any action that is no longer legal (the layer changed, a constraint
+    /// now fires) aborts the replay with the underlying error — exactly
+    /// the signal a designer needs after a layer revision.
+    pub fn replay<'a>(
+        &self,
+        space: &'a DesignSpace,
+        root: CdoId,
+    ) -> Result<ExplorationSession<'a>, DseError> {
+        let mut session = ExplorationSession::new(space, root);
+        for action in &self.actions {
+            match action {
+                SessionAction::SetRequirement {
+                    property,
+                    value,
+                    note,
+                } => {
+                    session.set_requirement(property, value.clone())?;
+                    if let Some(note) = note {
+                        session.annotate(property, note.clone())?;
+                    }
+                }
+                SessionAction::Decide { issue, value, note } => {
+                    session.decide(issue, value.clone())?;
+                    if let Some(note) = note {
+                        session.annotate(issue, note.clone())?;
+                    }
+                }
+            }
+        }
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Property;
+    use crate::value::Domain;
+
+    fn space() -> (DesignSpace, CdoId) {
+        let mut s = DesignSpace::new("script-test");
+        let root = s.add_root("Block", "");
+        s.add_property(
+            root,
+            Property::requirement("Width", Domain::int_range(1, 128), None, ""),
+        )
+        .unwrap();
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        (s, root)
+    }
+
+    #[test]
+    fn capture_replay_roundtrip() {
+        let (s, root) = space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("Width", Value::from(64)).unwrap();
+        ses.decide("Style", Value::from("B")).unwrap();
+
+        let script = SessionScript::capture(&ses);
+        assert_eq!(script.len(), 2);
+        let replayed = script.replay(&s, root).unwrap();
+        assert_eq!(replayed.bindings(), ses.bindings());
+        assert_eq!(replayed.focus(), ses.focus());
+    }
+
+    #[test]
+    fn undone_actions_are_not_captured() {
+        let (s, root) = space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("Width", Value::from(64)).unwrap();
+        ses.decide("Style", Value::from("A")).unwrap();
+        ses.undo().unwrap();
+        let script = SessionScript::capture(&ses);
+        assert_eq!(script.len(), 1);
+        assert!(matches!(
+            &script.actions()[0],
+            SessionAction::SetRequirement { property, .. } if property == "Width"
+        ));
+    }
+
+    #[test]
+    fn replay_fails_loudly_when_the_layer_changed() {
+        let (s, root) = space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("Width", Value::from(64)).unwrap();
+        ses.decide("Style", Value::from("A")).unwrap();
+        let script = SessionScript::capture(&ses);
+
+        // A revised layer without the "A" option.
+        let mut revised = DesignSpace::new("revised");
+        let r2 = revised.add_root("Block", "");
+        revised
+            .add_property(
+                r2,
+                Property::requirement("Width", Domain::int_range(1, 128), None, ""),
+            )
+            .unwrap();
+        revised
+            .add_property(
+                r2,
+                Property::generalized_issue("Style", Domain::options(["B", "C"]), ""),
+            )
+            .unwrap();
+        revised.specialize(r2, "Style").unwrap();
+        let err = script.replay(&revised, r2).unwrap_err();
+        assert!(matches!(err, DseError::ValueOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn notes_ride_along_with_scripts() {
+        let (s, root) = space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("Width", Value::from(64)).unwrap();
+        ses.annotate("Width", "bus width of the host SoC").unwrap();
+        let script = SessionScript::capture(&ses);
+        let replayed = script.replay(&s, root).unwrap();
+        assert_eq!(replayed.note("Width"), Some("bus width of the host SoC"));
+    }
+
+    #[test]
+    fn scripts_serialize() {
+        let (s, root) = space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("Width", Value::from(32)).unwrap();
+        let script = SessionScript::capture(&ses);
+        let json = serde_json::to_string(&script).unwrap();
+        let back: SessionScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(script, back);
+    }
+
+    #[test]
+    fn empty_script_replays_to_fresh_session() {
+        let (s, root) = space();
+        let script = SessionScript::new();
+        assert!(script.is_empty());
+        let ses = script.replay(&s, root).unwrap();
+        assert!(ses.bindings().is_empty());
+        assert_eq!(ses.focus(), root);
+    }
+}

@@ -1,0 +1,345 @@
+//! Property values and value domains (the paper's "SetOfValues").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A property value: the design space layer is meta-data, so values stay
+/// small and serializable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Value {
+    /// An integer (word sizes, radices, slice counts, …).
+    Int(i64),
+    /// A real number (latencies, areas, …).
+    Real(f64),
+    /// A symbolic option or free text ("Hardware", "Montgomery", …).
+    Text(String),
+    /// A boolean flag.
+    Flag(bool),
+}
+
+impl Value {
+    /// Human-readable type name, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Text(_) => "text",
+            Value::Flag(_) => "flag",
+        }
+    }
+
+    /// Numeric view: integers and reals as `f64`, otherwise `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Flag view.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            Value::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Loose equality used for option matching: `Int` and `Real` compare
+    /// numerically, text compares exactly.
+    pub fn matches(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Flag(v)
+    }
+}
+
+/// The set of values a property may take — the paper's `SetOfValues`
+/// annotations (e.g. `{2^i | i ∈ Z+}`, `{Guaranteed, notGuaranteed}`,
+/// `R+`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Domain {
+    /// Any value of any type.
+    Any,
+    /// A finite option set (the usual case for design issues).
+    Enumeration(Vec<Value>),
+    /// Integers in `min..=max`.
+    IntRange {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// Non-negative reals up to `max` (the paper's `R+` with a sanity cap).
+    RealRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Powers of two `2^i` for `i in 1..=max_exp` (the paper's
+    /// `{2^i | i ∈ Z+}` used for EOL and radix).
+    PowersOfTwo {
+        /// Largest admitted exponent.
+        max_exp: u32,
+    },
+    /// Booleans.
+    Flag,
+}
+
+impl Domain {
+    /// A finite option set from anything stringy or valuey.
+    pub fn options<I, T>(options: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Value>,
+    {
+        Domain::Enumeration(options.into_iter().map(Into::into).collect())
+    }
+
+    /// Integers in `min..=max`.
+    pub fn int_range(min: i64, max: i64) -> Self {
+        Domain::IntRange { min, max }
+    }
+
+    /// Non-negative reals up to `max`.
+    pub fn real_up_to(max: f64) -> Self {
+        Domain::RealRange { min: 0.0, max }
+    }
+
+    /// Whether `value` belongs to the domain.
+    pub fn contains(&self, value: &Value) -> bool {
+        match self {
+            Domain::Any => true,
+            Domain::Enumeration(opts) => opts.iter().any(|o| o.matches(value)),
+            Domain::IntRange { min, max } => value.as_i64().is_some_and(|v| v >= *min && v <= *max),
+            Domain::RealRange { min, max } => {
+                value.as_f64().is_some_and(|v| v >= *min && v <= *max)
+            }
+            Domain::PowersOfTwo { max_exp } => value.as_i64().is_some_and(|v| {
+                v >= 2 && (v as u64).is_power_of_two() && (v as u64).trailing_zeros() <= *max_exp
+            }),
+            Domain::Flag => matches!(value, Value::Flag(_)),
+        }
+    }
+
+    /// The finite options, if the domain is enumerable.
+    pub fn enumerate(&self) -> Option<Vec<Value>> {
+        match self {
+            Domain::Enumeration(opts) => Some(opts.clone()),
+            Domain::Flag => Some(vec![Value::Flag(false), Value::Flag(true)]),
+            Domain::PowersOfTwo { max_exp } => {
+                Some((1..=*max_exp).map(|e| Value::Int(1i64 << e)).collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Any => write!(f, "any"),
+            Domain::Enumeration(opts) => {
+                write!(f, "{{")?;
+                for (i, o) in opts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, "}}")
+            }
+            Domain::IntRange { min, max } => write!(f, "[{min}..{max}]"),
+            Domain::RealRange { min, max } => write!(f, "[{min}..{max}] ⊂ R"),
+            Domain::PowersOfTwo { max_exp } => write!(f, "{{2^i | 1 <= i <= {max_exp}}}"),
+            Domain::Flag => write!(f, "{{false, true}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_matching_crosses_int_real() {
+        assert!(Value::Int(4).matches(&Value::Real(4.0)));
+        assert!(!Value::Int(4).matches(&Value::Real(4.5)));
+        assert!(Value::from("x").matches(&Value::from("x")));
+        assert!(!Value::from("x").matches(&Value::from("y")));
+    }
+
+    #[test]
+    fn enumeration_contains_by_match() {
+        let d = Domain::options(["Hardware", "Software"]);
+        assert!(d.contains(&Value::from("Hardware")));
+        assert!(!d.contains(&Value::from("Analog")));
+    }
+
+    #[test]
+    fn powers_of_two_domain() {
+        let d = Domain::PowersOfTwo { max_exp: 4 };
+        for v in [2i64, 4, 8, 16] {
+            assert!(d.contains(&Value::Int(v)), "{v}");
+        }
+        for v in [0i64, 1, 3, 32, -2] {
+            assert!(!d.contains(&Value::Int(v)), "{v}");
+        }
+        assert_eq!(
+            d.enumerate().unwrap(),
+            vec![Value::Int(2), Value::Int(4), Value::Int(8), Value::Int(16)]
+        );
+    }
+
+    #[test]
+    fn ranges_are_inclusive() {
+        let d = Domain::int_range(8, 128);
+        assert!(d.contains(&Value::Int(8)));
+        assert!(d.contains(&Value::Int(128)));
+        assert!(!d.contains(&Value::Int(129)));
+        assert!(!d.contains(&Value::from("wide")));
+
+        let r = Domain::real_up_to(8.0);
+        assert!(r.contains(&Value::Real(8.0)));
+        assert!(r.contains(&Value::Int(3))); // ints coerce
+        assert!(!r.contains(&Value::Real(8.1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Domain::options(["a", "b"]).to_string(), "{a, b}");
+        assert_eq!(Domain::int_range(1, 5).to_string(), "[1..5]");
+        assert_eq!(Value::from(3.5).to_string(), "3.5");
+    }
+
+    #[test]
+    fn flag_domain_enumerates() {
+        assert_eq!(
+            Domain::Flag.enumerate().unwrap(),
+            vec![Value::Flag(false), Value::Flag(true)]
+        );
+        assert!(Domain::Flag.contains(&Value::Flag(true)));
+        assert!(!Domain::Flag.contains(&Value::Int(1)));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_domain() -> impl Strategy<Value = Domain> {
+            prop_oneof![
+                Just(Domain::Flag),
+                (1u32..10).prop_map(|e| Domain::PowersOfTwo { max_exp: e }),
+                prop::collection::vec(any::<i64>(), 1..8)
+                    .prop_map(|vs| Domain::Enumeration(vs.into_iter().map(Value::Int).collect())),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn every_enumerated_value_is_contained(d in arb_domain()) {
+                let options = d.enumerate().expect("strategy yields enumerable domains");
+                prop_assert!(!options.is_empty());
+                for o in options {
+                    prop_assert!(d.contains(&o), "{o} not in {d}");
+                }
+            }
+
+            #[test]
+            fn int_range_contains_iff_within(min in -100i64..100, span in 0i64..100, v in -300i64..300) {
+                let d = Domain::int_range(min, min + span);
+                prop_assert_eq!(d.contains(&Value::Int(v)), v >= min && v <= min + span);
+            }
+
+            #[test]
+            fn matches_is_symmetric(a in any::<i64>(), b in any::<i64>()) {
+                let (va, vb) = (Value::Int(a), Value::Real(b as f64));
+                prop_assert_eq!(va.matches(&vb), vb.matches(&va));
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Real(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("t").as_text(), Some("t"));
+        assert_eq!(Value::Flag(true).as_flag(), Some(true));
+        assert_eq!(Value::from("t").as_i64(), None);
+        assert_eq!(Value::Int(1).type_name(), "int");
+    }
+}

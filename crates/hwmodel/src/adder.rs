@@ -1,0 +1,232 @@
+//! Adder structures: area/critical-path models and the carry-save
+//! functional primitive.
+//!
+//! The choice between carry-look-ahead and carry-save adders is the
+//! dominant clock-rate lever in the paper's Table 1 (CSA clocks stay flat
+//! with width, CLA clocks grow), and CC4 encodes "Montgomery with large
+//! operands must use CSA" as a dominance constraint.
+
+use std::fmt;
+
+use bignum::UBig;
+use serde::{Deserialize, Serialize};
+use techlib::{CellKind, Technology};
+
+/// The adder structure used for the wide additions in a datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AdderKind {
+    /// Ripple-carry: smallest, carry chain linear in width.
+    RippleCarry,
+    /// Carry-look-ahead with 4-bit groups: delay logarithmic in width.
+    CarryLookAhead,
+    /// Carry-save (3:2 compressor row): constant delay, but the result is
+    /// a redundant (sum, carry) pair needing a final conversion.
+    CarrySave,
+}
+
+impl AdderKind {
+    /// All kinds, for iteration.
+    pub const ALL: [AdderKind; 3] = [
+        AdderKind::RippleCarry,
+        AdderKind::CarryLookAhead,
+        AdderKind::CarrySave,
+    ];
+
+    /// Whether the adder produces a redundant (sum, carry) result.
+    pub fn is_redundant(self) -> bool {
+        matches!(self, AdderKind::CarrySave)
+    }
+
+    /// Area of one `width`-bit adder instance in gate equivalents.
+    ///
+    /// * Ripple-carry and carry-save: one full adder per bit.
+    /// * Carry-look-ahead: full adders plus the group/section lookahead
+    ///   tree (≈12 GE per 4-bit group, per level).
+    pub fn area_ge(self, width: u32, tech: &Technology) -> f64 {
+        let fa = tech.cell_model(CellKind::FullAdder).area_ge;
+        match self {
+            AdderKind::RippleCarry | AdderKind::CarrySave => width as f64 * fa,
+            AdderKind::CarryLookAhead => {
+                let mut lookahead_blocks = 0.0;
+                let mut groups = (width as f64 / 4.0).ceil();
+                while groups >= 1.0 {
+                    lookahead_blocks += groups;
+                    if groups == 1.0 {
+                        break;
+                    }
+                    groups = (groups / 4.0).ceil();
+                }
+                width as f64 * fa + lookahead_blocks * 12.0
+            }
+        }
+    }
+
+    /// Critical path of one `width`-bit addition, in τ.
+    ///
+    /// * Ripple-carry: carry chain through `width − 1` cells plus the final
+    ///   sum stage.
+    /// * Carry-look-ahead: P/G generation, two gate levels per lookahead
+    ///   level, a wire/fanout load term linear in width, and the sum XOR.
+    /// * Carry-save: a single full-adder sum stage regardless of width.
+    pub fn delay_tau(self, width: u32, tech: &Technology) -> f64 {
+        let fa = tech.cell_model(CellKind::FullAdder);
+        match self {
+            AdderKind::RippleCarry => {
+                (width.saturating_sub(1)) as f64 * fa.carry_delay_tau + fa.delay_tau
+            }
+            AdderKind::CarryLookAhead => {
+                let levels = lookahead_levels(width);
+                let xor = tech.cell_model(CellKind::Xor2).delay_tau;
+                // P/G gen + 2 gate levels per lookahead level + fanout load
+                // + sum XOR.
+                xor + levels as f64 * 2.3 + 0.03 * width as f64 + xor
+            }
+            AdderKind::CarrySave => fa.delay_tau,
+        }
+    }
+}
+
+/// Number of 4-ary lookahead levels needed for `width` bits.
+pub(crate) fn lookahead_levels(width: u32) -> u32 {
+    let mut groups = width.div_ceil(4);
+    let mut levels = 1;
+    while groups > 1 {
+        groups = groups.div_ceil(4);
+        levels += 1;
+    }
+    levels
+}
+
+impl fmt::Display for AdderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdderKind::RippleCarry => "ripple-carry",
+            AdderKind::CarryLookAhead => "carry-look-ahead",
+            AdderKind::CarrySave => "carry-save",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One carry-save compression step on arbitrary-width values: reduces
+/// three addends to a redundant (sum, carry) pair with
+/// `sum + carry == x + y + z`.
+///
+/// This is the bit-level behaviour of a row of full adders: per bit,
+/// `s = x ⊕ y ⊕ z` and `c = majority(x, y, z)` shifted left by one.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::UBig;
+/// use hwmodel::adder::csa3;
+///
+/// let (s, c) = csa3(&UBig::from(7u64), &UBig::from(5u64), &UBig::from(3u64));
+/// assert_eq!(&s + &c, UBig::from(15u64));
+/// ```
+pub fn csa3(x: &UBig, y: &UBig, z: &UBig) -> (UBig, UBig) {
+    let bits = x.bit_len().max(y.bit_len()).max(z.bit_len());
+    let mut sum = UBig::zero();
+    let mut carry = UBig::zero();
+    for i in 0..bits {
+        let (xb, yb, zb) = (x.bit(i), y.bit(i), z.bit(i));
+        let s = xb ^ yb ^ zb;
+        let c = (xb & yb) | (xb & zb) | (yb & zb);
+        if s {
+            sum.set_bit(i, true);
+        }
+        if c {
+            carry.set_bit(i + 1, true);
+        }
+    }
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tech() -> Technology {
+        Technology::g10_035()
+    }
+
+    #[test]
+    fn csa_delay_is_width_independent() {
+        let t = tech();
+        let d8 = AdderKind::CarrySave.delay_tau(8, &t);
+        let d128 = AdderKind::CarrySave.delay_tau(128, &t);
+        assert_eq!(d8, d128);
+    }
+
+    #[test]
+    fn cla_delay_grows_with_width_but_sublinearly() {
+        let t = tech();
+        let d8 = AdderKind::CarryLookAhead.delay_tau(8, &t);
+        let d128 = AdderKind::CarryLookAhead.delay_tau(128, &t);
+        assert!(d128 > d8);
+        assert!(d128 < 4.0 * d8, "CLA should scale much better than ripple");
+    }
+
+    #[test]
+    fn ripple_is_linear_and_slowest_at_width() {
+        let t = tech();
+        let rca = AdderKind::RippleCarry.delay_tau(64, &t);
+        let cla = AdderKind::CarryLookAhead.delay_tau(64, &t);
+        let csa = AdderKind::CarrySave.delay_tau(64, &t);
+        assert!(rca > cla && cla > csa);
+    }
+
+    #[test]
+    fn cla_area_exceeds_csa_area() {
+        let t = tech();
+        for w in [8u32, 16, 32, 64, 128] {
+            assert!(
+                AdderKind::CarryLookAhead.area_ge(w, &t) > AdderKind::CarrySave.area_ge(w, &t),
+                "w = {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_levels_are_correct() {
+        assert_eq!(lookahead_levels(4), 1);
+        assert_eq!(lookahead_levels(8), 2); // two groups need a second level
+        assert_eq!(lookahead_levels(16), 2);
+        assert_eq!(lookahead_levels(64), 3);
+        assert_eq!(lookahead_levels(256), 4);
+    }
+
+    #[test]
+    fn csa3_small_exhaustive() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    let (s, c) = csa3(&UBig::from(x), &UBig::from(y), &UBig::from(z));
+                    assert_eq!((&s + &c).to_u64(), Some(x + y + z));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn csa3_preserves_sum(
+            x in prop::collection::vec(any::<u32>(), 0..6),
+            y in prop::collection::vec(any::<u32>(), 0..6),
+            z in prop::collection::vec(any::<u32>(), 0..6),
+        ) {
+            let (x, y, z) = (UBig::from_limbs(x), UBig::from_limbs(y), UBig::from_limbs(z));
+            let (s, c) = csa3(&x, &y, &z);
+            prop_assert_eq!(&s + &c, &(&x + &y) + &z);
+        }
+    }
+
+    #[test]
+    fn redundancy_flag() {
+        assert!(AdderKind::CarrySave.is_redundant());
+        assert!(!AdderKind::CarryLookAhead.is_redundant());
+        assert!(!AdderKind::RippleCarry.is_redundant());
+    }
+}

@@ -1,0 +1,289 @@
+//! Algorithm-level behavioural descriptions and early delay estimation.
+//!
+//! The paper's CC3 establishes the utilization context of an early
+//! estimation tool, `BehaviorDelayEstimator`, that ranks alternative
+//! algorithm-level behavioural descriptions by their maximum combinational
+//! delay *before* any RT/logic/physical information exists. This module
+//! provides that tool: a behavioural description is a small operation DAG,
+//! and the estimator reports the delay of its critical path priced with
+//! the technology's structural models.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use techlib::{CellKind, Technology};
+
+use crate::adder::AdderKind;
+
+/// The operation kinds an algorithm-level description is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Wide addition (priced as a carry-look-ahead adder).
+    Add,
+    /// Wide subtraction (same structure as addition).
+    Sub,
+    /// `digit × wide` multiplication; the digit width is the op's `aux`.
+    DigitMul,
+    /// Comparison against the modulus.
+    Compare,
+    /// Right/left shift by a constant (wiring only).
+    Shift,
+    /// Conditional select.
+    Select,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::DigitMul => "digit-mul",
+            OpKind::Compare => "compare",
+            OpKind::Shift => "shift",
+            OpKind::Select => "select",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operation node in a behavioural description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehaviorOp {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Operand width in bits.
+    pub width: u32,
+    /// Kind-specific parameter (digit bits for [`OpKind::DigitMul`]).
+    pub aux: u32,
+    /// Indices of the ops whose results this op consumes.
+    pub depends_on: Vec<usize>,
+}
+
+/// An algorithm-level behavioural description: a DAG of operations
+/// representing one loop iteration (the combinational work between two
+/// register boundaries).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BehaviorGraph {
+    name: String,
+    ops: Vec<BehaviorOp>,
+}
+
+impl BehaviorGraph {
+    /// Creates an empty description.
+    pub fn new(name: impl Into<String>) -> Self {
+        BehaviorGraph {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The description's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation; returns its index for later dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency index is out of range (dependencies must
+    /// refer to already-added ops, which also guarantees acyclicity).
+    pub fn push(&mut self, kind: OpKind, width: u32, aux: u32, depends_on: &[usize]) -> usize {
+        for &d in depends_on {
+            assert!(d < self.ops.len(), "dependency {d} does not exist yet");
+        }
+        self.ops.push(BehaviorOp {
+            kind,
+            width,
+            aux,
+            depends_on: depends_on.to_vec(),
+        });
+        self.ops.len() - 1
+    }
+
+    /// The operations in insertion (topological) order.
+    pub fn ops(&self) -> &[BehaviorOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the description is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The paper's `BehaviorDelayEstimator`: maximum combinational delay of
+    /// the description in ns under `tech`, i.e. the longest
+    /// dependency-chain delay through the DAG.
+    pub fn max_combinational_delay_ns(&self, tech: &Technology) -> f64 {
+        let mut arrival = vec![0.0f64; self.ops.len()];
+        let mut max = 0.0f64;
+        for (i, op) in self.ops.iter().enumerate() {
+            let start = op
+                .depends_on
+                .iter()
+                .map(|&d| arrival[d])
+                .fold(0.0f64, f64::max);
+            let t = start + op_delay_ns(op, tech);
+            arrival[i] = t;
+            max = max.max(t);
+        }
+        max
+    }
+
+    /// Total operation count by kind — the "number of operations"
+    /// discriminator the paper mentions for comparing algorithms.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+}
+
+fn op_delay_ns(op: &BehaviorOp, tech: &Technology) -> f64 {
+    match op.kind {
+        OpKind::Add | OpKind::Sub => {
+            tech.tau_to_ns(AdderKind::CarryLookAhead.delay_tau(op.width, tech))
+        }
+        OpKind::DigitMul => {
+            let k = op.aux.max(1);
+            let and = tech.cell_delay_ns(CellKind::And2);
+            let fa = tech.cell_delay_ns(CellKind::FullAdder);
+            and + (k - 1) as f64 * fa
+        }
+        OpKind::Compare => tech.tau_to_ns(AdderKind::CarryLookAhead.delay_tau(op.width, tech)),
+        OpKind::Shift => 0.0,
+        OpKind::Select => tech.cell_delay_ns(CellKind::Mux2),
+    }
+}
+
+/// The Montgomery iteration (Fig. 10, lines 3–4) as a behavioural
+/// description: two digit products, two additions, the quotient digit and
+/// the exact shift.
+pub fn montgomery_iteration(eol: u32, digit_bits: u32) -> BehaviorGraph {
+    let mut g = BehaviorGraph::new(format!("montgomery-r{}-{}b", 1u64 << digit_bits, eol));
+    let ab = g.push(OpKind::DigitMul, eol, digit_bits, &[]);
+    let acc1 = g.push(OpKind::Add, eol, 0, &[ab]);
+    let q = g.push(OpKind::DigitMul, 2 * digit_bits, digit_bits, &[acc1]);
+    let qm = g.push(OpKind::DigitMul, eol, digit_bits, &[q]);
+    let acc2 = g.push(OpKind::Add, eol, 0, &[acc1, qm]);
+    g.push(OpKind::Shift, eol, digit_bits, &[acc2]);
+    g
+}
+
+/// The Brickell iteration: shift-accumulate plus interleaved reduction.
+///
+/// After the shift-accumulate the radix-2 running value can reach `3M`, so
+/// the reduction needs *two sequential* compare-and-subtract stages — the
+/// structural reason Brickell's iteration is slower than Montgomery's,
+/// whose quotient digit commits without any full-width comparison.
+pub fn brickell_iteration(eol: u32, digit_bits: u32) -> BehaviorGraph {
+    let mut g = BehaviorGraph::new(format!("brickell-r{}-{}b", 1u64 << digit_bits, eol));
+    let sh = g.push(OpKind::Shift, eol, digit_bits, &[]);
+    let ab = g.push(OpKind::DigitMul, eol, digit_bits, &[]);
+    let acc = g.push(OpKind::Add, eol, 0, &[sh, ab]);
+    let mut stage = acc;
+    for _ in 0..2 {
+        let cmp = g.push(OpKind::Compare, eol, 0, &[stage]);
+        let sub = g.push(OpKind::Sub, eol, 0, &[stage]);
+        stage = g.push(OpKind::Select, eol, 0, &[cmp, sub]);
+    }
+    g
+}
+
+/// The naive paper-and-pencil method: full product then a full-width
+/// reduction — the inferior alternative the paper's layer eliminates.
+pub fn paper_and_pencil(eol: u32) -> BehaviorGraph {
+    let mut g = BehaviorGraph::new(format!("paper-and-pencil-{eol}b"));
+    // Full product: eol digit-products accumulated by an adder tree of
+    // depth log2(eol), on 2·eol-bit values.
+    let pp = g.push(OpKind::DigitMul, 2 * eol, 1, &[]);
+    let mut last = pp;
+    let levels = 32 - eol.leading_zeros();
+    for _ in 0..levels {
+        last = g.push(OpKind::Add, 2 * eol, 0, &[last]);
+    }
+    // Reduction: a chain of compare/subtract on the double-width value.
+    let cmp = g.push(OpKind::Compare, 2 * eol, 0, &[last]);
+    g.push(OpKind::Sub, 2 * eol, 0, &[cmp]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::g10_035()
+    }
+
+    #[test]
+    fn critical_path_respects_dependencies() {
+        let mut g = BehaviorGraph::new("two-parallel-vs-chain");
+        let a = g.push(OpKind::Add, 64, 0, &[]);
+        let _b = g.push(OpKind::Add, 64, 0, &[]); // parallel to a
+        let parallel = g.max_combinational_delay_ns(&tech());
+        g.push(OpKind::Add, 64, 0, &[a]);
+        let chained = g.max_combinational_delay_ns(&tech());
+        assert!((chained / parallel - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_ranks_montgomery_above_paper_and_pencil() {
+        // CC3's purpose: at the algorithm level, Montgomery's iteration has
+        // a far shorter combinational path than the naive method.
+        let t = tech();
+        let mont = montgomery_iteration(768, 1).max_combinational_delay_ns(&t);
+        let naive = paper_and_pencil(768).max_combinational_delay_ns(&t);
+        assert!(naive > 2.0 * mont, "naive {naive} vs montgomery {mont}");
+    }
+
+    #[test]
+    fn estimator_ranks_montgomery_at_or_below_brickell() {
+        let t = tech();
+        let mont = montgomery_iteration(768, 1).max_combinational_delay_ns(&t);
+        let brick = brickell_iteration(768, 1).max_combinational_delay_ns(&t);
+        assert!(mont < brick, "montgomery {mont} vs brickell {brick}");
+    }
+
+    #[test]
+    fn op_counts_discriminate_algorithms() {
+        let mont = montgomery_iteration(64, 1);
+        let brick = brickell_iteration(64, 1);
+        assert_eq!(mont.count(OpKind::DigitMul), 3);
+        assert_eq!(brick.count(OpKind::Compare), 2);
+        assert_eq!(mont.count(OpKind::Compare), 0);
+    }
+
+    #[test]
+    fn shift_is_free() {
+        let mut g = BehaviorGraph::new("shift-only");
+        g.push(OpKind::Shift, 128, 4, &[]);
+        assert_eq!(g.max_combinational_delay_ns(&tech()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependency_panics() {
+        let mut g = BehaviorGraph::new("bad");
+        g.push(OpKind::Add, 8, 0, &[3]);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_delay() {
+        let g = BehaviorGraph::new("empty");
+        assert!(g.is_empty());
+        assert_eq!(g.max_combinational_delay_ns(&tech()), 0.0);
+    }
+
+    #[test]
+    fn wider_operands_are_slower() {
+        let t = tech();
+        let narrow = montgomery_iteration(64, 1).max_combinational_delay_ns(&t);
+        let wide = montgomery_iteration(1024, 1).max_combinational_delay_ns(&t);
+        assert!(wide > narrow);
+    }
+}

@@ -1,0 +1,413 @@
+//! Architecture descriptions: points in the hardware design space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use techlib::Technology;
+
+use crate::adder::AdderKind;
+use crate::estimate::{self, HwEstimate};
+use crate::multiplier::DigitMultiplierKind;
+
+/// The modular-multiplication algorithm implemented by a datapath.
+///
+/// The paper treats this as a *generalized* design issue: Montgomery
+/// dominates Brickell in area and delay (Fig. 9), but requires an odd
+/// modulus (CC1), so the two options partition the design space rather
+/// than trade off finely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Montgomery's LSB-first algorithm (paper Fig. 10). Odd modulus only.
+    Montgomery,
+    /// Brickell's MSB-first interleaved algorithm. Any modulus.
+    Brickell,
+}
+
+impl Algorithm {
+    /// Both options, for iteration.
+    pub const ALL: [Algorithm; 2] = [Algorithm::Montgomery, Algorithm::Brickell];
+
+    /// Whether the algorithm requires the modulus to be odd.
+    pub fn requires_odd_modulus(self) -> bool {
+        matches!(self, Algorithm::Montgomery)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algorithm::Montgomery => "Montgomery",
+            Algorithm::Brickell => "Brickell",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors from constructing a [`ModMulArchitecture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchitectureError {
+    /// Radix must be a power of two between 2 and 16.
+    InvalidRadix(u64),
+    /// Slice width must be positive and a multiple of the digit width.
+    InvalidSliceWidth(u32),
+    /// The digit-multiplier structure cannot implement this radix.
+    IncompatibleMultiplier(DigitMultiplierKind, u64),
+    /// Brickell datapaths are modelled at radix 2 only (the paper's #7/#8).
+    BrickellRadixUnsupported(u64),
+}
+
+impl fmt::Display for ArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchitectureError::InvalidRadix(r) => {
+                write!(f, "radix {r} is not a power of two within 2..=16")
+            }
+            ArchitectureError::InvalidSliceWidth(w) => {
+                write!(
+                    f,
+                    "slice width {w} is not a positive multiple of the digit width"
+                )
+            }
+            ArchitectureError::IncompatibleMultiplier(m, r) => {
+                write!(f, "digit multiplier {m} cannot implement radix {r}")
+            }
+            ArchitectureError::BrickellRadixUnsupported(r) => {
+                write!(
+                    f,
+                    "brickell datapaths are modelled at radix 2 only, got radix {r}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchitectureError {}
+
+/// One hardware modular-multiplier architecture: a fully decided point in
+/// the paper's hardware design space (algorithm, radix, slice width, adder
+/// structure, digit-multiplier structure).
+///
+/// The *effective operand length* (EOL) is not part of the architecture:
+/// a sliced design serves any EOL that is a multiple of its slice width,
+/// which is exactly how the paper's "Number of Slices" design issue works.
+///
+/// # Examples
+///
+/// ```
+/// use hwmodel::{Algorithm, AdderKind, DigitMultiplierKind, ModMulArchitecture};
+///
+/// let arch = ModMulArchitecture::new(
+///     Algorithm::Montgomery,
+///     4,
+///     32,
+///     AdderKind::CarrySave,
+///     DigitMultiplierKind::MuxTable,
+/// )?;
+/// assert_eq!(arch.digit_bits(), 2);
+/// assert_eq!(arch.num_slices(1024)?, 32);
+/// # Ok::<(), hwmodel::ArchitectureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModMulArchitecture {
+    algorithm: Algorithm,
+    radix: u64,
+    slice_width: u32,
+    adder: AdderKind,
+    multiplier: DigitMultiplierKind,
+}
+
+impl ModMulArchitecture {
+    /// Builds and validates an architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchitectureError`] when the parameters are not a
+    /// consistent design point (bad radix, multiplier/radix mismatch,
+    /// slice width not a multiple of the digit width, Brickell above
+    /// radix 2).
+    pub fn new(
+        algorithm: Algorithm,
+        radix: u64,
+        slice_width: u32,
+        adder: AdderKind,
+        multiplier: DigitMultiplierKind,
+    ) -> Result<Self, ArchitectureError> {
+        if !radix.is_power_of_two() || !(2..=16).contains(&radix) {
+            return Err(ArchitectureError::InvalidRadix(radix));
+        }
+        let k = radix.trailing_zeros();
+        if algorithm == Algorithm::Brickell && radix != 2 {
+            return Err(ArchitectureError::BrickellRadixUnsupported(radix));
+        }
+        if !multiplier.supports_digit_bits(k) {
+            return Err(ArchitectureError::IncompatibleMultiplier(multiplier, radix));
+        }
+        if slice_width == 0 || !slice_width.is_multiple_of(k) {
+            return Err(ArchitectureError::InvalidSliceWidth(slice_width));
+        }
+        Ok(ModMulArchitecture {
+            algorithm,
+            radix,
+            slice_width,
+            adder,
+            multiplier,
+        })
+    }
+
+    /// The algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The radix (2, 4, 8 or 16).
+    pub fn radix(&self) -> u64 {
+        self.radix
+    }
+
+    /// Bits per digit (`log₂ radix`).
+    pub fn digit_bits(&self) -> u32 {
+        self.radix.trailing_zeros()
+    }
+
+    /// The slice width in bits.
+    pub fn slice_width(&self) -> u32 {
+        self.slice_width
+    }
+
+    /// The wide-adder structure.
+    pub fn adder(&self) -> AdderKind {
+        self.adder
+    }
+
+    /// The digit-multiplier structure.
+    pub fn multiplier(&self) -> DigitMultiplierKind {
+        self.multiplier
+    }
+
+    /// Number of slices needed for an `eol`-bit operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchitectureError::InvalidSliceWidth`] if `eol` is not a
+    /// positive multiple of the slice width (the paper's "Number of
+    /// Slices" design issue admits only exact divisors).
+    pub fn num_slices(&self, eol: u32) -> Result<u32, ArchitectureError> {
+        if eol == 0 || !eol.is_multiple_of(self.slice_width) {
+            return Err(ArchitectureError::InvalidSliceWidth(eol));
+        }
+        Ok(eol / self.slice_width)
+    }
+
+    /// Number of digit iterations for an `eol`-bit multiplication.
+    ///
+    /// Montgomery runs one extra iteration (the paper's `FOR i = 1 TO n+1`
+    /// in Fig. 10) so the result stays bounded; Brickell processes exactly
+    /// the operand digits.
+    pub fn iterations(&self, eol: u32) -> u64 {
+        let digits = eol.div_ceil(self.digit_bits()) as u64;
+        match self.algorithm {
+            Algorithm::Montgomery => digits + 1,
+            Algorithm::Brickell => digits,
+        }
+    }
+
+    /// Total latency in clock cycles for an `eol`-bit multiplication:
+    /// digit iterations, plus pipeline fill across slices, plus any
+    /// multiplier setup cycles (mux-table precomputation).
+    ///
+    /// For the radix-2 and radix-4 designs this reduces to the paper's CC2
+    /// formula `2·EOL/R + 1` (plus slicing overhead); at higher radices the
+    /// exact count diverges from that heuristic — the A2 ablation
+    /// experiment quantifies by how much.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eol` is not a positive multiple of the slice
+    /// width.
+    pub fn cycles(&self, eol: u32) -> Result<u64, ArchitectureError> {
+        let slices = self.num_slices(eol)? as u64;
+        Ok(self.iterations(eol) + (slices - 1) + self.multiplier.setup_cycles(self.digit_bits()))
+    }
+
+    /// Full estimate (area, clock, latency, power) for an `eol`-bit
+    /// operand under `tech`. See the [`crate::estimate`] module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eol` is not a positive multiple of the slice
+    /// width.
+    pub fn estimate(&self, eol: u32, tech: &Technology) -> HwEstimate {
+        estimate::estimate(self, eol, tech).expect("estimate called with incompatible EOL")
+    }
+
+    /// Like [`estimate`](Self::estimate) but returning the error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `eol` is not a positive multiple of the slice
+    /// width.
+    pub fn try_estimate(
+        &self,
+        eol: u32,
+        tech: &Technology,
+    ) -> Result<HwEstimate, ArchitectureError> {
+        estimate::estimate(self, eol, tech)
+    }
+}
+
+impl fmt::Display for ModMulArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} radix-{} w{} {} {}",
+            self.algorithm, self.radix, self.slice_width, self.adder, self.multiplier
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mont_r2_csa(w: u32) -> ModMulArchitecture {
+        ModMulArchitecture::new(
+            Algorithm::Montgomery,
+            2,
+            w,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        use ArchitectureError::*;
+        assert_eq!(
+            ModMulArchitecture::new(
+                Algorithm::Montgomery,
+                3,
+                8,
+                AdderKind::CarrySave,
+                DigitMultiplierKind::AndRow
+            )
+            .unwrap_err(),
+            InvalidRadix(3)
+        );
+        assert_eq!(
+            ModMulArchitecture::new(
+                Algorithm::Montgomery,
+                4,
+                8,
+                AdderKind::CarrySave,
+                DigitMultiplierKind::AndRow
+            )
+            .unwrap_err(),
+            IncompatibleMultiplier(DigitMultiplierKind::AndRow, 4)
+        );
+        assert_eq!(
+            ModMulArchitecture::new(
+                Algorithm::Brickell,
+                4,
+                8,
+                AdderKind::CarrySave,
+                DigitMultiplierKind::Array
+            )
+            .unwrap_err(),
+            BrickellRadixUnsupported(4)
+        );
+        assert_eq!(
+            ModMulArchitecture::new(
+                Algorithm::Montgomery,
+                4,
+                9,
+                AdderKind::CarrySave,
+                DigitMultiplierKind::Array
+            )
+            .unwrap_err(),
+            InvalidSliceWidth(9)
+        );
+    }
+
+    #[test]
+    fn cc2_formula_matches_for_radix_2_and_4() {
+        // cycles (single slice, no setup) == 2·EOL/R + 1.
+        let eol = 64;
+        let r2 = mont_r2_csa(64);
+        assert_eq!(r2.cycles(eol).unwrap(), 2 * eol as u64 / 2 + 1);
+
+        let r4 = ModMulArchitecture::new(
+            Algorithm::Montgomery,
+            4,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::Array,
+        )
+        .unwrap();
+        assert_eq!(r4.cycles(eol).unwrap(), 2 * eol as u64 / 4 + 1);
+    }
+
+    #[test]
+    fn cc2_formula_diverges_at_radix_8() {
+        // The heuristic says 2·64/8 + 1 = 17 cycles; the exact count is
+        // ceil(64/3) + 1 = 23 (plus no fill for one slice).
+        let r8 = ModMulArchitecture::new(
+            Algorithm::Montgomery,
+            8,
+            66, // multiple of 3
+            AdderKind::CarrySave,
+            DigitMultiplierKind::Array,
+        )
+        .unwrap();
+        let exact = r8.cycles(66).unwrap();
+        let heuristic = 2 * 66 / 8 + 1;
+        assert!(exact > heuristic, "exact {exact} vs heuristic {heuristic}");
+    }
+
+    #[test]
+    fn slicing_adds_pipeline_fill() {
+        let a = mont_r2_csa(64);
+        let single = a.cycles(64).unwrap();
+        let sliced = a.cycles(256).unwrap(); // 4 slices
+                                             // 256-bit operand: 257 iterations + 3 fill.
+        assert_eq!(sliced, 257 + 3);
+        assert_eq!(single, 65);
+    }
+
+    #[test]
+    fn num_slices_requires_exact_division() {
+        let a = mont_r2_csa(64);
+        assert_eq!(a.num_slices(768).unwrap(), 12);
+        assert!(a.num_slices(100).is_err());
+        assert!(a.num_slices(0).is_err());
+    }
+
+    #[test]
+    fn brickell_has_no_extra_iteration() {
+        let b = ModMulArchitecture::new(
+            Algorithm::Brickell,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        )
+        .unwrap();
+        assert_eq!(b.iterations(64), 64);
+        let m = mont_r2_csa(64);
+        assert_eq!(m.iterations(64), 65);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = mont_r2_csa(32);
+        assert_eq!(a.to_string(), "Montgomery radix-2 w32 carry-save and-row");
+    }
+
+    #[test]
+    fn odd_modulus_requirement() {
+        assert!(Algorithm::Montgomery.requires_odd_modulus());
+        assert!(!Algorithm::Brickell.requires_odd_modulus());
+    }
+}

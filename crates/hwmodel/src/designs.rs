@@ -1,0 +1,173 @@
+//! The catalog of the paper's eight hardware design families (Table 1).
+//!
+//! Each family fixes algorithm, radix, adder and multiplier structure;
+//! the slice width (8–128 bits in the paper) remains a free design issue,
+//! so a family × slice-width pair is what actually lands in the reuse
+//! library as a core.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::adder::AdderKind;
+use crate::design::{Algorithm, ArchitectureError, ModMulArchitecture};
+use crate::multiplier::DigitMultiplierKind;
+
+/// One row of the paper's Table 1: a modular-multiplier design family.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignFamily {
+    id: u8,
+    algorithm: Algorithm,
+    radix: u64,
+    adder: AdderKind,
+    multiplier: DigitMultiplierKind,
+}
+
+impl DesignFamily {
+    /// The design number as in the paper (1–8).
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Paper-style name, e.g. `"#2"`.
+    pub fn name(&self) -> String {
+        format!("#{}", self.id)
+    }
+
+    /// Paper-style core label for a sliced instance, e.g. `"#2_64"`.
+    pub fn core_label(&self, slice_width: u32) -> String {
+        format!("#{}_{}", self.id, slice_width)
+    }
+
+    /// The algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The radix.
+    pub fn radix(&self) -> u64 {
+        self.radix
+    }
+
+    /// The wide-adder structure.
+    pub fn adder(&self) -> AdderKind {
+        self.adder
+    }
+
+    /// The digit-multiplier structure.
+    pub fn multiplier(&self) -> DigitMultiplierKind {
+        self.multiplier
+    }
+
+    /// Instantiates the family at a slice width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slice width is incompatible with the
+    /// family's digit width.
+    pub fn architecture(&self, slice_width: u32) -> Result<ModMulArchitecture, ArchitectureError> {
+        ModMulArchitecture::new(
+            self.algorithm,
+            self.radix,
+            slice_width,
+            self.adder,
+            self.multiplier,
+        )
+    }
+}
+
+impl fmt::Display for DesignFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} radix-{} {} {}",
+            self.id, self.algorithm, self.radix, self.adder, self.multiplier
+        )
+    }
+}
+
+/// The paper's Table 1 design families, in order (#1–#8).
+///
+/// | # | Radix | Algorithm  | Adder | Multiplier |
+/// |---|-------|------------|-------|------------|
+/// | 1 | 2     | Montgomery | CLA   | n/a (AND)  |
+/// | 2 | 2     | Montgomery | CSA   | n/a (AND)  |
+/// | 3 | 4     | Montgomery | CLA   | array      |
+/// | 4 | 4     | Montgomery | CSA   | array      |
+/// | 5 | 4     | Montgomery | CSA   | mux        |
+/// | 6 | 4     | Montgomery | CLA   | mux        |
+/// | 7 | 2     | Brickell   | CLA   | n/a (AND)  |
+/// | 8 | 2     | Brickell   | CSA   | n/a (AND)  |
+pub fn paper_designs() -> Vec<DesignFamily> {
+    use AdderKind::{CarryLookAhead as Cla, CarrySave as Csa};
+    use Algorithm::{Brickell, Montgomery};
+    use DigitMultiplierKind::{AndRow, Array, MuxTable};
+    let spec: [(u8, Algorithm, u64, AdderKind, DigitMultiplierKind); 8] = [
+        (1, Montgomery, 2, Cla, AndRow),
+        (2, Montgomery, 2, Csa, AndRow),
+        (3, Montgomery, 4, Cla, Array),
+        (4, Montgomery, 4, Csa, Array),
+        (5, Montgomery, 4, Csa, MuxTable),
+        (6, Montgomery, 4, Cla, MuxTable),
+        (7, Brickell, 2, Cla, AndRow),
+        (8, Brickell, 2, Csa, AndRow),
+    ];
+    spec.into_iter()
+        .map(|(id, algorithm, radix, adder, multiplier)| DesignFamily {
+            id,
+            algorithm,
+            radix,
+            adder,
+            multiplier,
+        })
+        .collect()
+}
+
+/// The slice widths used in the paper's Table 1.
+pub const TABLE1_SLICE_WIDTHS: [u32; 5] = [8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_families_with_correct_structure() {
+        let ds = paper_designs();
+        assert_eq!(ds.len(), 8);
+        assert!(ds
+            .iter()
+            .take(6)
+            .all(|d| d.algorithm() == Algorithm::Montgomery));
+        assert!(ds
+            .iter()
+            .skip(6)
+            .all(|d| d.algorithm() == Algorithm::Brickell));
+        assert_eq!(ds[1].adder(), AdderKind::CarrySave);
+        assert_eq!(ds[4].multiplier(), DigitMultiplierKind::MuxTable);
+        assert_eq!(ds[2].radix(), 4);
+    }
+
+    #[test]
+    fn ids_match_positions() {
+        for (i, d) in paper_designs().iter().enumerate() {
+            assert_eq!(d.id() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn every_family_instantiates_at_every_table1_width() {
+        for d in paper_designs() {
+            for w in TABLE1_SLICE_WIDTHS {
+                assert!(d.architecture(w).is_ok(), "{} at w{w}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_convention() {
+        let ds = paper_designs();
+        assert_eq!(ds[1].core_label(64), "#2_64");
+        assert_eq!(ds[4].core_label(16), "#5_16");
+        assert_eq!(ds[7].name(), "#8");
+    }
+}

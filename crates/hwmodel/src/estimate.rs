@@ -1,0 +1,513 @@
+//! Area / timing / power estimation for [`ModMulArchitecture`]s.
+//!
+//! The model is structural: it counts the registers, adder rows, digit
+//! multipliers and control logic a digit-serial modular multiplier is made
+//! of, prices them with the [`techlib`] cell models, and takes the
+//! critical path through the iteration logic as the clock period. The
+//! absolute figures are calibrated to land in the ranges of the paper's
+//! Table 1; the experiments rely on the orderings and trends, which follow
+//! from the structure itself.
+
+use serde::{Deserialize, Serialize};
+use techlib::{power, CellKind, Technology};
+
+use crate::adder::AdderKind;
+use crate::design::{Algorithm, ArchitectureError, ModMulArchitecture};
+/// Interconnect/routing overhead applied on top of raw cell area.
+const WIRING_FACTOR: f64 = 1.4;
+/// Global controller cost in gate equivalents.
+const CONTROL_GE: f64 = 150.0;
+/// Per-slice control overhead in gate equivalents.
+const CONTROL_PER_SLICE_GE: f64 = 12.0;
+/// Extra accumulator guard bits beyond the slice width.
+const GUARD_BITS: u32 = 4;
+/// Clock penalty per slice for broadcasting the digit/quotient (τ).
+const BROADCAST_TAU_PER_SLICE: f64 = 0.04;
+/// Average switching activity assumed by the power estimate.
+const ACTIVITY: f64 = 0.25;
+
+/// The estimation result for one architecture at one operand length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwEstimate {
+    /// Total silicon area in µm² (cells × wiring overhead).
+    pub area_um2: f64,
+    /// Total logic in gate equivalents (before wiring overhead).
+    pub area_ge: f64,
+    /// Clock period in ns.
+    pub clock_ns: f64,
+    /// Latency of one modular multiplication in cycles.
+    pub cycles: u64,
+    /// Latency of one modular multiplication in ns.
+    pub latency_ns: f64,
+    /// Average dynamic power in mW at the estimated clock rate.
+    pub power_mw: f64,
+}
+
+impl HwEstimate {
+    /// Clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        1000.0 / self.clock_ns
+    }
+
+    /// Energy per modular multiplication in nJ.
+    pub fn energy_per_op_nj(&self) -> f64 {
+        power::energy_per_op_nj(self.power_mw, self.cycles, self.clock_mhz())
+    }
+}
+
+/// Where the silicon goes: the estimate's gate-equivalent budget broken
+/// down by function — the transparency the layer's "self-documented"
+/// claim demands of its estimation tools.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Operand/accumulator registers (incl. the redundant carry register
+    /// of carry-save designs), GE.
+    pub registers_ge: f64,
+    /// Accumulation adder rows (CSA rows, CPA, comparator/select), GE.
+    pub adders_ge: f64,
+    /// Digit-multiplier structures, GE.
+    pub multipliers_ge: f64,
+    /// Quotient-digit logic (Montgomery only), GE.
+    pub quotient_ge: f64,
+    /// Control FSM and per-slice control, GE.
+    pub control_ge: f64,
+    /// Inter-slice boundary registers, GE.
+    pub boundary_ge: f64,
+}
+
+impl AreaBreakdown {
+    /// Total logic in gate equivalents.
+    pub fn total_ge(&self) -> f64 {
+        self.registers_ge
+            + self.adders_ge
+            + self.multipliers_ge
+            + self.quotient_ge
+            + self.control_ge
+            + self.boundary_ge
+    }
+}
+
+/// Computes the per-function area budget of `arch` for `eol`-bit operands.
+///
+/// # Errors
+///
+/// Returns an error if `eol` is not a positive multiple of the slice width.
+pub fn breakdown(
+    arch: &ModMulArchitecture,
+    eol: u32,
+    tech: &Technology,
+) -> Result<AreaBreakdown, ArchitectureError> {
+    let slices = arch.num_slices(eol)?;
+    Ok(breakdown_for_slices(arch, slices, tech))
+}
+
+fn breakdown_for_slices(
+    arch: &ModMulArchitecture,
+    slices: u32,
+    tech: &Technology,
+) -> AreaBreakdown {
+    let per = slice_breakdown(arch, tech);
+    let dff = tech.cell_model(CellKind::Dff).area_ge;
+    let n = slices as f64;
+    AreaBreakdown {
+        registers_ge: per.registers_ge * n,
+        adders_ge: per.adders_ge * n,
+        multipliers_ge: per.multipliers_ge * n,
+        quotient_ge: per.quotient_ge * n,
+        control_ge: CONTROL_GE + CONTROL_PER_SLICE_GE * n,
+        boundary_ge: (slices.saturating_sub(1)) as f64 * 6.0 * dff,
+    }
+}
+
+/// Estimates `arch` for `eol`-bit operands under `tech`.
+///
+/// # Errors
+///
+/// Returns an error if `eol` is not a positive multiple of the slice width.
+pub fn estimate(
+    arch: &ModMulArchitecture,
+    eol: u32,
+    tech: &Technology,
+) -> Result<HwEstimate, ArchitectureError> {
+    let slices = arch.num_slices(eol)?;
+    let cycles = arch.cycles(eol)?;
+    let area_ge = breakdown_for_slices(arch, slices, tech).total_ge();
+    let clock_ns = clock_ns(arch, slices, tech);
+    let latency_ns = cycles as f64 * clock_ns;
+    let area_um2 = tech.ge_to_um2(area_ge) * WIRING_FACTOR;
+    let power_mw = power::dynamic_power_mw(tech, area_ge, 1000.0 / clock_ns, ACTIVITY);
+    Ok(HwEstimate {
+        area_um2,
+        area_ge,
+        clock_ns,
+        cycles,
+        latency_ns,
+        power_mw,
+    })
+}
+
+/// Gate-equivalent budget of one slice, by function.
+fn slice_breakdown(arch: &ModMulArchitecture, tech: &Technology) -> AreaBreakdown {
+    let w = arch.slice_width();
+    let k = arch.digit_bits();
+    let dff = tech.cell_model(CellKind::Dff).area_ge;
+    let xor = tech.cell_model(CellKind::Xor2).area_ge;
+    let mux2 = tech.cell_model(CellKind::Mux2).area_ge;
+    let fa = tech.cell_model(CellKind::FullAdder).area_ge;
+
+    // Operand and accumulator registers.
+    let acc_bits = (w + GUARD_BITS) as f64;
+    let mut regs = acc_bits + 2.0 * w as f64; // R, B, M
+    if arch.adder() == AdderKind::CarrySave {
+        regs += acc_bits; // redundant carry register
+    }
+    let registers_ge = regs * dff;
+
+    // Adder rows along the accumulation path.
+    let adders_ge = match (arch.algorithm(), arch.adder()) {
+        (Algorithm::Montgomery, AdderKind::CarrySave) => {
+            2.0 * AdderKind::CarrySave.area_ge(w, tech)
+        }
+        (Algorithm::Montgomery, cpa) => {
+            AdderKind::CarrySave.area_ge(w, tech) + cpa.area_ge(w, tech)
+        }
+        (Algorithm::Brickell, AdderKind::CarrySave) => {
+            // shift-add row, subtract row, comparator, select muxes
+            2.0 * AdderKind::CarrySave.area_ge(w, tech) + w as f64 * (xor + mux2)
+        }
+        (Algorithm::Brickell, cpa) => {
+            AdderKind::CarrySave.area_ge(w, tech) + cpa.area_ge(w, tech) + w as f64 * (xor + mux2)
+        }
+    };
+
+    // Digit multipliers: Montgomery needs aᵢ·B and qᵢ·M; Brickell only aᵢ·B.
+    let mult = arch.multiplier().area_ge(k, w, tech);
+    let multipliers_ge = match arch.algorithm() {
+        Algorithm::Montgomery => 2.0 * mult,
+        Algorithm::Brickell => mult,
+    };
+
+    // Quotient-digit logic (Montgomery): a k×k multiplier mod 2ᵏ plus a
+    // short resolver adder over the low redundant bits.
+    let quotient_ge = if arch.algorithm() == Algorithm::Montgomery {
+        (k * k) as f64 * 5.0 + 2.0 * k as f64 * fa
+    } else {
+        0.0
+    };
+
+    AreaBreakdown {
+        registers_ge,
+        adders_ge,
+        multipliers_ge,
+        quotient_ge,
+        control_ge: 0.0,
+        boundary_ge: 0.0,
+    }
+}
+
+/// Clock period in ns: the critical path through one iteration.
+fn clock_ns(arch: &ModMulArchitecture, slices: u32, tech: &Technology) -> f64 {
+    let w = arch.slice_width();
+    let k = arch.digit_bits();
+    let xor = tech.cell_model(CellKind::Xor2).delay_tau;
+    let mux2 = tech.cell_model(CellKind::Mux2).delay_tau;
+    let fa_sum = tech.cell_model(CellKind::FullAdder).delay_tau;
+    let fa_carry = tech.cell_model(CellKind::FullAdder).carry_delay_tau;
+
+    let mult = arch.multiplier().delay_tau(k, tech);
+    let csa_row = fa_sum;
+
+    let mut tau = match (arch.algorithm(), arch.adder()) {
+        (Algorithm::Montgomery, AdderKind::CarrySave) => {
+            // aᵢ·B mult → CSA row → quotient logic → qᵢ·M CSA row.
+            mult + csa_row + quotient_delay_tau(k, xor, fa_carry) + csa_row
+        }
+        (Algorithm::Montgomery, cpa) => {
+            mult + csa_row + quotient_delay_tau(k, xor, fa_carry) + cpa.delay_tau(w, tech)
+        }
+        (Algorithm::Brickell, AdderKind::CarrySave) => {
+            // shift-add CSA, subtract CSA, sign/magnitude estimate, select.
+            mult + 2.0 * csa_row + 4.0 + mux2
+        }
+        (Algorithm::Brickell, cpa) => mult + cpa.delay_tau(w, tech) + 4.0 + mux2,
+    };
+
+    // Broadcasting the digit and quotient to every slice loads the drivers.
+    tau += BROADCAST_TAU_PER_SLICE * slices as f64;
+    tech.tau_to_ns(tau)
+}
+
+/// Delay of the quotient-digit computation in τ.
+///
+/// Radix 2 with an odd modulus has `m' = 1`, so the quotient bit is just
+/// the parity of the partial sum (an XOR of the redundant pair's LSBs).
+/// Higher radices need a k×k multiply mod 2ᵏ and a short resolver.
+fn quotient_delay_tau(k: u32, xor: f64, fa_carry: f64) -> f64 {
+    if k == 1 {
+        xor
+    } else {
+        xor + 2.0 * (k - 1) as f64 * fa_carry * 0.5 + (k - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::paper_designs;
+    use crate::multiplier::DigitMultiplierKind;
+
+    fn tech() -> Technology {
+        Technology::g10_035()
+    }
+
+    fn arch(
+        alg: Algorithm,
+        radix: u64,
+        w: u32,
+        adder: AdderKind,
+        mult: DigitMultiplierKind,
+    ) -> ModMulArchitecture {
+        ModMulArchitecture::new(alg, radix, w, adder, mult).unwrap()
+    }
+
+    #[test]
+    fn csa_clock_is_flat_cla_clock_grows() {
+        // The paper's Table 1 headline shape.
+        let t = tech();
+        let clk = |adder, w| {
+            arch(
+                Algorithm::Montgomery,
+                2,
+                w,
+                adder,
+                DigitMultiplierKind::AndRow,
+            )
+            .estimate(w, &t)
+            .clock_ns
+        };
+        let csa8 = clk(AdderKind::CarrySave, 8);
+        let csa128 = clk(AdderKind::CarrySave, 128);
+        let cla8 = clk(AdderKind::CarryLookAhead, 8);
+        let cla128 = clk(AdderKind::CarryLookAhead, 128);
+        assert!(
+            csa128 < 1.2 * csa8,
+            "CSA clock nearly flat: {csa8} → {csa128}"
+        );
+        assert!(cla128 > 1.4 * cla8, "CLA clock grows: {cla8} → {cla128}");
+        assert!(cla128 > 1.8 * csa128, "CSA beats CLA at width");
+    }
+
+    #[test]
+    fn clock_magnitudes_match_table1_ranges() {
+        // Paper Table 1: clocks between ~2.3 and ~10.2 ns in 0.35 µm.
+        let t = tech();
+        for d in paper_designs() {
+            for w in [8u32, 16, 32, 64, 128] {
+                let a = d.architecture(w).unwrap();
+                let e = a.estimate(w, &t);
+                assert!(
+                    e.clock_ns > 1.5 && e.clock_ns < 12.0,
+                    "{} w{w}: clk {}",
+                    d.name(),
+                    e.clock_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_magnitudes_match_table1_ranges() {
+        // Paper Table 1: 64-bit slices between ~34k and ~96k µm².
+        let t = tech();
+        for d in paper_designs() {
+            let a = d.architecture(64).unwrap();
+            let e = a.estimate(64, &t);
+            assert!(
+                e.area_um2 > 15_000.0 && e.area_um2 < 130_000.0,
+                "{}: area {}",
+                d.name(),
+                e.area_um2
+            );
+        }
+    }
+
+    #[test]
+    fn montgomery_dominates_brickell() {
+        // Fig. 9: at equal configuration Montgomery wins on delay.
+        let t = tech();
+        let mont = arch(
+            Algorithm::Montgomery,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        );
+        let brick = arch(
+            Algorithm::Brickell,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        );
+        let em = mont.estimate(768, &t);
+        let eb = brick.estimate(768, &t);
+        assert!(eb.latency_ns > 1.2 * em.latency_ns, "Brickell slower");
+        let ratio = eb.latency_ns / em.latency_ns;
+        assert!(ratio < 2.5, "but not absurdly so: {ratio}");
+    }
+
+    #[test]
+    fn radix4_roughly_halves_latency_at_some_clock_cost() {
+        let t = tech();
+        let r2 = arch(
+            Algorithm::Montgomery,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        )
+        .estimate(768, &t);
+        let r4 = arch(
+            Algorithm::Montgomery,
+            4,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::Array,
+        )
+        .estimate(768, &t);
+        assert!(r4.cycles < r2.cycles / 2 + 20);
+        assert!(r4.clock_ns > r2.clock_ns, "radix-4 stretches the clock");
+        assert!(r4.latency_ns < r2.latency_ns, "but still wins overall");
+    }
+
+    #[test]
+    fn mux_multiplier_is_faster_than_array() {
+        let t = tech();
+        let mul = arch(
+            Algorithm::Montgomery,
+            4,
+            16,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::Array,
+        )
+        .estimate(1024, &t);
+        let mux = arch(
+            Algorithm::Montgomery,
+            4,
+            16,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::MuxTable,
+        )
+        .estimate(1024, &t);
+        assert!(mux.clock_ns < mul.clock_ns);
+    }
+
+    #[test]
+    fn fig6_hardware_delays_are_microseconds() {
+        // Paper Fig. 6: 1024-bit modmul on the best hardware ≈ 2–4.5 µs.
+        let t = tech();
+        let d5 = paper_designs()[4].architecture(16).unwrap();
+        let e = d5.estimate(1024, &t);
+        let us = e.latency_ns / 1000.0;
+        assert!(us > 0.8 && us < 5.0, "#5_16: {us} µs");
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let t = tech();
+        let a = arch(
+            Algorithm::Montgomery,
+            2,
+            32,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        );
+        let e = a.estimate(256, &t);
+        assert!((e.latency_ns - e.cycles as f64 * e.clock_ns).abs() < 1e-6);
+        assert!((e.clock_mhz() - 1000.0 / e.clock_ns).abs() < 1e-9);
+        assert!(e.energy_per_op_nj() > 0.0);
+        assert!(
+            e.area_um2 > tech().ge_to_um2(e.area_ge),
+            "wiring overhead applied"
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_the_estimate() {
+        let t = tech();
+        for d in paper_designs() {
+            let a = d.architecture(64).unwrap();
+            let b = breakdown(&a, 768, &t).unwrap();
+            let e = a.estimate(768, &t);
+            assert!((b.total_ge() - e.area_ge).abs() < 1e-9, "{}", d.name());
+            for part in [
+                b.registers_ge,
+                b.adders_ge,
+                b.multipliers_ge,
+                b.control_ge,
+                b.boundary_ge,
+            ] {
+                assert!(part >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_shapes_follow_the_structure() {
+        let t = tech();
+        // Radix-2: registers dominate the datapath.
+        let r2 = arch(
+            Algorithm::Montgomery,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        );
+        let b2 = breakdown(&r2, 64, &t).unwrap();
+        assert!(b2.registers_ge > b2.multipliers_ge);
+        assert!(b2.registers_ge > b2.adders_ge);
+        // Radix-4 array: the multiplier share grows substantially.
+        let r4 = arch(
+            Algorithm::Montgomery,
+            4,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::Array,
+        );
+        let b4 = breakdown(&r4, 64, &t).unwrap();
+        assert!(b4.multipliers_ge > 2.0 * b2.multipliers_ge);
+        // Brickell has no quotient logic.
+        let brick = arch(
+            Algorithm::Brickell,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        );
+        assert_eq!(breakdown(&brick, 64, &t).unwrap().quotient_ge, 0.0);
+        assert!(b2.quotient_ge > 0.0);
+    }
+
+    #[test]
+    fn csa_design_is_bigger_than_cla_at_same_width() {
+        // The redundant carry register costs area: paper #2 > #1 in Table 1.
+        let t = tech();
+        let csa = arch(
+            Algorithm::Montgomery,
+            2,
+            64,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        )
+        .estimate(64, &t);
+        let cla = arch(
+            Algorithm::Montgomery,
+            2,
+            64,
+            AdderKind::CarryLookAhead,
+            DigitMultiplierKind::AndRow,
+        )
+        .estimate(64, &t);
+        assert!(csa.area_um2 > cla.area_um2);
+    }
+}

@@ -1,0 +1,410 @@
+//! FIR filter architectures: a second hardware domain for the layer.
+//!
+//! The paper positions the design space layer as domain-tailorable
+//! ("each design environment should develop its own design space layer,
+//! tailored to the application domains of interest"). This module is the
+//! substrate for a DSP-domain layer: direct-form FIR filters with the
+//! classic parallelism trade-off — one MAC per tap (maximum throughput,
+//! maximum area) down to a single time-multiplexed MAC (minimum area,
+//! one output every `taps` cycles).
+//!
+//! As with the modular multipliers, the model is dual: a structural
+//! area/timing estimate and a functional simulation validated against
+//! naive convolution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use techlib::{power, CellKind, Technology};
+
+use crate::adder::AdderKind;
+
+/// Errors from constructing a [`FirArchitecture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FirError {
+    /// Tap count must be positive.
+    NoTaps,
+    /// Data/coefficient widths must be in 4..=32.
+    InvalidWidth(u32),
+    /// MAC count must be in `1..=taps` and divide the tap count evenly.
+    InvalidMacCount {
+        /// The offending MAC count.
+        macs: u32,
+        /// The architecture's tap count.
+        taps: u32,
+    },
+}
+
+impl fmt::Display for FirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirError::NoTaps => write!(f, "a filter needs at least one tap"),
+            FirError::InvalidWidth(w) => write!(f, "width {w} outside 4..=32"),
+            FirError::InvalidMacCount { macs, taps } => {
+                write!(f, "{macs} MAC units cannot serve {taps} taps evenly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FirError {}
+
+/// A direct-form FIR architecture: tap count, sample/coefficient widths
+/// and the number of physical MAC units (the parallelism lever).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FirArchitecture {
+    taps: u32,
+    data_width: u32,
+    coeff_width: u32,
+    macs: u32,
+}
+
+/// The estimation result for one FIR architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FirEstimate {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Clock period in ns.
+    pub clock_ns: f64,
+    /// Cycles per output sample.
+    pub cycles_per_sample: u32,
+    /// Sustainable sample rate in Msps.
+    pub throughput_msps: f64,
+    /// Time per output sample in ns.
+    pub sample_time_ns: f64,
+    /// Average dynamic power in mW.
+    pub power_mw: f64,
+}
+
+impl FirArchitecture {
+    /// Builds and validates an architecture.
+    ///
+    /// # Errors
+    ///
+    /// See [`FirError`].
+    pub fn new(taps: u32, data_width: u32, coeff_width: u32, macs: u32) -> Result<Self, FirError> {
+        if taps == 0 {
+            return Err(FirError::NoTaps);
+        }
+        for w in [data_width, coeff_width] {
+            if !(4..=32).contains(&w) {
+                return Err(FirError::InvalidWidth(w));
+            }
+        }
+        if macs == 0 || macs > taps || !taps.is_multiple_of(macs) {
+            return Err(FirError::InvalidMacCount { macs, taps });
+        }
+        Ok(FirArchitecture {
+            taps,
+            data_width,
+            coeff_width,
+            macs,
+        })
+    }
+
+    /// Fully parallel: one MAC per tap.
+    ///
+    /// # Errors
+    ///
+    /// See [`FirError`].
+    pub fn parallel(taps: u32, data_width: u32, coeff_width: u32) -> Result<Self, FirError> {
+        FirArchitecture::new(taps, data_width, coeff_width, taps)
+    }
+
+    /// Fully serial: one time-multiplexed MAC.
+    ///
+    /// # Errors
+    ///
+    /// See [`FirError`].
+    pub fn serial(taps: u32, data_width: u32, coeff_width: u32) -> Result<Self, FirError> {
+        FirArchitecture::new(taps, data_width, coeff_width, 1)
+    }
+
+    /// Tap count.
+    pub fn taps(&self) -> u32 {
+        self.taps
+    }
+
+    /// Sample width in bits.
+    pub fn data_width(&self) -> u32 {
+        self.data_width
+    }
+
+    /// Coefficient width in bits.
+    pub fn coeff_width(&self) -> u32 {
+        self.coeff_width
+    }
+
+    /// Physical MAC units.
+    pub fn macs(&self) -> u32 {
+        self.macs
+    }
+
+    /// Cycles per output sample: `taps / macs`.
+    pub fn cycles_per_sample(&self) -> u32 {
+        self.taps / self.macs
+    }
+
+    /// Output word width: full-precision accumulation.
+    pub fn output_width(&self) -> u32 {
+        self.data_width + self.coeff_width + 32 - self.taps.leading_zeros()
+    }
+
+    /// Structural area/timing/power estimate under `tech`.
+    pub fn estimate(&self, tech: &Technology) -> FirEstimate {
+        let area_ge = self.area_ge(tech);
+        let clock_ns = self.clock_ns(tech);
+        let cycles = self.cycles_per_sample();
+        let sample_time_ns = clock_ns * cycles as f64;
+        FirEstimate {
+            area_um2: tech.ge_to_um2(area_ge) * 1.4, // same wiring overhead as the multipliers
+            clock_ns,
+            cycles_per_sample: cycles,
+            throughput_msps: 1000.0 / sample_time_ns,
+            sample_time_ns,
+            power_mw: power::dynamic_power_mw(tech, area_ge, 1000.0 / clock_ns, 0.25),
+        }
+    }
+
+    /// Gate-equivalent budget: MAC array multipliers, the accumulation
+    /// structure, the tap delay line and the coefficient store.
+    fn area_ge(&self, tech: &Technology) -> f64 {
+        let and = tech.cell_model(CellKind::And2).area_ge;
+        let fa = tech.cell_model(CellKind::FullAdder).area_ge;
+        let dff = tech.cell_model(CellKind::Dff).area_ge;
+        let (wd, wc) = (self.data_width as f64, self.coeff_width as f64);
+        let wout = self.output_width() as f64;
+
+        // One Wd×Wc array multiplier: partial products + CSA reduction +
+        // final CPA.
+        let multiplier = wd * wc * and
+            + (wc - 1.0) * (wd + wc) * fa
+            + AdderKind::CarryLookAhead.area_ge(self.data_width + self.coeff_width, tech);
+        // Accumulator adder + result register per MAC.
+        let accumulator = AdderKind::CarryLookAhead.area_ge(self.output_width(), tech) + wout * dff;
+        let mac = multiplier + accumulator;
+
+        // Tap delay line (x history) and coefficient store (ROM ≈ ¼ DFF
+        // per bit); serial structures add operand muxing per MAC input.
+        let delay_line = self.taps as f64 * wd * dff;
+        let coeff_store = self.taps as f64 * wc * 0.25;
+        let muxing = if self.macs < self.taps {
+            self.macs as f64
+                * (wd + wc)
+                * tech.cell_model(CellKind::Mux2).area_ge
+                * (self.cycles_per_sample() as f64).log2().max(1.0)
+        } else {
+            // Parallel: an adder tree combines the tap products.
+            (self.taps - 1) as f64 * AdderKind::CarrySave.area_ge(self.output_width(), tech) / 2.0
+        };
+        let control = 120.0 + 4.0 * self.macs as f64;
+
+        self.macs as f64 * mac + delay_line + coeff_store + muxing + control
+    }
+
+    /// Clock period: the MAC critical path (multiplier + accumulation);
+    /// parallel structures add the adder-tree depth.
+    fn clock_ns(&self, tech: &Technology) -> f64 {
+        let and = tech.cell_model(CellKind::And2).delay_tau;
+        let fa = tech.cell_model(CellKind::FullAdder).delay_tau;
+        let mult_tau = and + (self.coeff_width.min(self.data_width) - 1) as f64 * fa * 0.5;
+        let acc_tau = AdderKind::CarryLookAhead.delay_tau(self.output_width(), tech);
+        let tree_tau = if self.macs == self.taps && self.taps > 1 {
+            (32 - self.taps.leading_zeros()) as f64 * fa
+        } else {
+            0.0
+        };
+        tech.tau_to_ns(mult_tau + acc_tau + tree_tau)
+    }
+
+    /// Functional simulation: filters `input` with `coeffs` through the
+    /// architecture's MAC schedule, returning the outputs and the cycle
+    /// count consumed. Inputs/coefficients must fit their declared signed
+    /// widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FirError::InvalidWidth`] if a value exceeds its width.
+    pub fn simulate(&self, input: &[i64], coeffs: &[i64]) -> Result<(Vec<i64>, u64), FirError> {
+        let check = |vals: &[i64], width: u32| -> Result<(), FirError> {
+            let bound = 1i64 << (width - 1);
+            if vals.iter().any(|&v| v < -bound || v >= bound) {
+                return Err(FirError::InvalidWidth(width));
+            }
+            Ok(())
+        };
+        check(input, self.data_width)?;
+        check(coeffs, self.coeff_width)?;
+
+        let taps = self.taps as usize;
+        let mut delay_line = vec![0i64; taps];
+        let mut out = Vec::with_capacity(input.len());
+        let mut cycles = 0u64;
+        for &x in input {
+            delay_line.rotate_right(1);
+            delay_line[0] = x;
+            // MAC schedule: `macs` products per cycle, accumulated exactly
+            // (the structures differ in schedule, not in arithmetic).
+            let mut acc = 0i64;
+            for chunk in (0..taps).collect::<Vec<_>>().chunks(self.macs as usize) {
+                for &k in chunk {
+                    acc += delay_line[k] * coeffs.get(k).copied().unwrap_or(0);
+                }
+                cycles += 1;
+            }
+            out.push(acc);
+        }
+        Ok((out, cycles))
+    }
+}
+
+impl fmt::Display for FirArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FIR {} taps, {}x{} bits, {} MACs",
+            self.taps, self.data_width, self.coeff_width, self.macs
+        )
+    }
+}
+
+/// Reference convolution for validation.
+pub fn reference_fir(input: &[i64], coeffs: &[i64]) -> Vec<i64> {
+    input
+        .iter()
+        .enumerate()
+        .map(|(n, _)| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| if n >= k { c * input[n - k] } else { 0 })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tech() -> Technology {
+        Technology::g10_035()
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert_eq!(
+            FirArchitecture::new(0, 12, 12, 1).unwrap_err(),
+            FirError::NoTaps
+        );
+        assert_eq!(
+            FirArchitecture::new(16, 2, 12, 1).unwrap_err(),
+            FirError::InvalidWidth(2)
+        );
+        assert!(matches!(
+            FirArchitecture::new(16, 12, 12, 5).unwrap_err(),
+            FirError::InvalidMacCount { .. }
+        ));
+        assert!(FirArchitecture::new(16, 12, 12, 4).is_ok());
+    }
+
+    #[test]
+    fn parallel_trades_area_for_throughput() {
+        let t = tech();
+        let parallel = FirArchitecture::parallel(32, 12, 12).unwrap().estimate(&t);
+        let serial = FirArchitecture::serial(32, 12, 12).unwrap().estimate(&t);
+        assert!(parallel.area_um2 > 5.0 * serial.area_um2);
+        assert!(parallel.throughput_msps > 10.0 * serial.throughput_msps);
+        assert_eq!(parallel.cycles_per_sample, 1);
+        assert_eq!(serial.cycles_per_sample, 32);
+    }
+
+    #[test]
+    fn semi_parallel_sits_between() {
+        let t = tech();
+        let par = FirArchitecture::parallel(32, 12, 12).unwrap().estimate(&t);
+        let semi = FirArchitecture::new(32, 12, 12, 4).unwrap().estimate(&t);
+        let ser = FirArchitecture::serial(32, 12, 12).unwrap().estimate(&t);
+        assert!(ser.area_um2 < semi.area_um2 && semi.area_um2 < par.area_um2);
+        assert!(
+            ser.throughput_msps < semi.throughput_msps
+                && semi.throughput_msps < par.throughput_msps
+        );
+    }
+
+    #[test]
+    fn simulation_matches_reference_convolution() {
+        let input: Vec<i64> = (0..40).map(|i| ((i * 37) % 101) - 50).collect();
+        let coeffs: Vec<i64> = vec![3, -1, 4, 1, -5, 9, -2, 6];
+        let expect = reference_fir(&input, &coeffs);
+        for macs in [1u32, 2, 4, 8] {
+            let arch = FirArchitecture::new(8, 8, 8, macs).unwrap();
+            let (got, cycles) = arch.simulate(&input, &coeffs).unwrap();
+            assert_eq!(got, expect, "macs = {macs}");
+            assert_eq!(cycles, input.len() as u64 * arch.cycles_per_sample() as u64);
+        }
+    }
+
+    #[test]
+    fn simulation_rejects_overwide_values() {
+        let arch = FirArchitecture::serial(4, 8, 8).unwrap();
+        assert_eq!(
+            arch.simulate(&[200], &[1, 1, 1, 1]).unwrap_err(),
+            FirError::InvalidWidth(8)
+        );
+        assert_eq!(
+            arch.simulate(&[1], &[-300, 1, 1, 1]).unwrap_err(),
+            FirError::InvalidWidth(8)
+        );
+    }
+
+    #[test]
+    fn throughput_magnitudes_are_plausible() {
+        // A fully parallel 12-bit 32-tap filter in 0.35 µm should sustain
+        // tens to a couple hundred Msps.
+        let e = FirArchitecture::parallel(32, 12, 12)
+            .unwrap()
+            .estimate(&tech());
+        assert!(
+            e.throughput_msps > 30.0 && e.throughput_msps < 400.0,
+            "{}",
+            e.throughput_msps
+        );
+        assert!(e.power_mw > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn any_mac_schedule_is_exact(
+            taps_exp in 0u32..4,
+            macs_exp in 0u32..4,
+            seed in any::<u64>(),
+        ) {
+            let taps = 1u32 << taps_exp;
+            let macs = 1u32 << macs_exp.min(taps_exp);
+            let arch = FirArchitecture::new(taps, 10, 10, macs).unwrap();
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as i64 % 512) - 256
+            };
+            let input: Vec<i64> = (0..20).map(|_| next()).collect();
+            let coeffs: Vec<i64> = (0..taps).map(|_| next()).collect();
+            let (got, _) = arch.simulate(&input, &coeffs).unwrap();
+            prop_assert_eq!(got, reference_fir(&input, &coeffs));
+        }
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let a = FirArchitecture::new(16, 12, 10, 4).unwrap();
+        assert_eq!(a.to_string(), "FIR 16 taps, 12x10 bits, 4 MACs");
+        assert_eq!(a.taps(), 16);
+        assert_eq!(a.data_width(), 12);
+        assert_eq!(a.coeff_width(), 10);
+        assert_eq!(a.macs(), 4);
+        assert_eq!(a.output_width(), 12 + 10 + 5);
+    }
+}

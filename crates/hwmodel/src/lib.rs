@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! Hardware substrate: structural models and cycle-accurate functional
+//! simulation of the paper's modular-multiplier cores.
+//!
+//! The paper's reuse library contains eight hardware modular-multiplier
+//! design families (Table 1), synthesized from RT-level descriptions with
+//! commercial tools. This crate is the substitute documented in
+//! `DESIGN.md`:
+//!
+//! * [`AdderKind`] / [`DigitMultiplierKind`] — structural gate-count and
+//!   critical-path models of the arithmetic building blocks (ripple-carry,
+//!   carry-look-ahead and carry-save adders; array and mux-based digit
+//!   multipliers),
+//! * [`ModMulArchitecture`] — a point in the hardware design space:
+//!   algorithm × radix × slice width × adder × multiplier,
+//! * [`estimate`] — area (µm²), clock (ns), latency (cycles and ns) and
+//!   power (mW) under a [`techlib::Technology`],
+//! * [`sim`] — cycle-accurate functional simulation of the digit-serial
+//!   datapaths (including genuine carry-save redundant state), validated
+//!   against the `bignum` golden models,
+//! * [`designs`] — the catalog of the paper's eight design families.
+//!
+//! # Example: estimate and simulate design #2
+//!
+//! ```
+//! use hwmodel::designs;
+//! use techlib::Technology;
+//! use bignum::UBig;
+//!
+//! let d2 = &designs::paper_designs()[1]; // Montgomery, radix 2, CSA
+//! let arch = d2.architecture(64).expect("64-bit slices are supported");
+//! let est = arch.estimate(64, &Technology::g10_035());
+//! assert!(est.clock_ns > 1.0 && est.clock_ns < 5.0);
+//!
+//! // The datapath actually computes the Montgomery product.
+//! let m = UBig::from(0xF000_0001u64); // odd modulus
+//! let a = UBig::from(0x1234_5678u64);
+//! let b = UBig::from(0x0BAD_CAFEu64);
+//! let out = hwmodel::sim::simulate(&arch, &a, &b, &m).expect("valid operands");
+//! assert!(out.product < m);
+//! ```
+
+pub mod adder;
+pub mod behavior;
+pub mod design;
+pub mod designs;
+pub mod estimate;
+pub mod fir;
+pub mod multiplier;
+pub mod sim;
+
+pub use adder::AdderKind;
+pub use design::{Algorithm, ArchitectureError, ModMulArchitecture};
+pub use designs::{paper_designs, DesignFamily};
+pub use estimate::{breakdown, AreaBreakdown, HwEstimate};
+pub use fir::{FirArchitecture, FirError, FirEstimate};
+pub use multiplier::DigitMultiplierKind;
+pub use sim::{simulate, SimError, SimOutput};

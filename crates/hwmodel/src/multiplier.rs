@@ -1,0 +1,188 @@
+//! Digit-multiplier structures (the `aᵢ·B` / `qᵢ·M` units).
+//!
+//! In a radix-2ᵏ digit-serial multiplier the "multiplier" hardware only has
+//! to form `digit × wide-operand` products with `digit < 2ᵏ`. The paper's
+//! Table 1 distinguishes regular (array) digit multipliers (`MUL`) from
+//! multiplexer-based ones that select among precomputed multiples (`MUX`);
+//! radix-2 designs need neither (a row of AND gates suffices, `N/A` in the
+//! table).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use techlib::{CellKind, Technology};
+
+use crate::adder::AdderKind;
+
+/// The structure forming `digit × operand` partial products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DigitMultiplierKind {
+    /// Radix 2 only: the digit is one bit, so an AND-gate row suffices.
+    AndRow,
+    /// A k×w array: k AND rows compressed by k−1 carry-save rows.
+    Array,
+    /// Mux selection among precomputed multiples of the operand
+    /// (multiplications by constants, as the paper puts it).
+    MuxTable,
+}
+
+impl DigitMultiplierKind {
+    /// All kinds, for iteration.
+    pub const ALL: [DigitMultiplierKind; 3] = [
+        DigitMultiplierKind::AndRow,
+        DigitMultiplierKind::Array,
+        DigitMultiplierKind::MuxTable,
+    ];
+
+    /// Whether the structure can implement digits of `k` bits.
+    ///
+    /// `AndRow` handles only `k == 1`; the other two require `k >= 2`
+    /// (for `k == 1` they would degenerate to an AND row anyway).
+    pub fn supports_digit_bits(self, k: u32) -> bool {
+        match self {
+            DigitMultiplierKind::AndRow => k == 1,
+            DigitMultiplierKind::Array | DigitMultiplierKind::MuxTable => (2..=4).contains(&k),
+        }
+    }
+
+    /// Area in gate equivalents for a digit of `k` bits against a `width`-bit
+    /// operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure does not support `k` (see
+    /// [`supports_digit_bits`](Self::supports_digit_bits)).
+    pub fn area_ge(self, k: u32, width: u32, tech: &Technology) -> f64 {
+        assert!(
+            self.supports_digit_bits(k),
+            "{self} does not support {k}-bit digits"
+        );
+        let and = tech.cell_model(CellKind::And2).area_ge;
+        let fa = tech.cell_model(CellKind::FullAdder).area_ge;
+        let mux2 = tech.cell_model(CellKind::Mux2).area_ge;
+        let dff = tech.cell_model(CellKind::Dff).area_ge;
+        let w = width as f64;
+        match self {
+            DigitMultiplierKind::AndRow => w * and,
+            DigitMultiplierKind::Array => {
+                // k partial-product rows + (k-1) CSA compression rows.
+                k as f64 * w * and + (k - 1) as f64 * w * fa
+            }
+            DigitMultiplierKind::MuxTable => {
+                // Registers for the non-trivial precomputed multiples (odd
+                // multiples above 1: 3B, 5B, 7B, ...), the load-time adder
+                // that forms them, and a 2ᵏ:1 mux tree per bit
+                // (2ᵏ − 1 two-input muxes per bit).
+                let odd_multiples = (1u32 << (k - 1)).saturating_sub(1) as f64;
+                let mux_tree_per_bit = ((1u32 << k) - 1) as f64 * mux2;
+                odd_multiples * w * dff
+                    + AdderKind::CarryLookAhead.area_ge(width, tech)
+                    + w * mux_tree_per_bit
+            }
+        }
+    }
+
+    /// Critical path in τ for forming one digit product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure does not support `k`.
+    pub fn delay_tau(self, k: u32, tech: &Technology) -> f64 {
+        assert!(
+            self.supports_digit_bits(k),
+            "{self} does not support {k}-bit digits"
+        );
+        let and = tech.cell_model(CellKind::And2).delay_tau;
+        let fa = tech.cell_model(CellKind::FullAdder).delay_tau;
+        let mux2 = tech.cell_model(CellKind::Mux2).delay_tau;
+        match self {
+            DigitMultiplierKind::AndRow => and,
+            DigitMultiplierKind::Array => and + (k - 1) as f64 * fa,
+            DigitMultiplierKind::MuxTable => k as f64 * mux2,
+        }
+    }
+
+    /// Extra cycles spent at operand-load time (the mux table precomputes
+    /// its odd multiples with a shared adder).
+    pub fn setup_cycles(self, k: u32) -> u64 {
+        match self {
+            DigitMultiplierKind::AndRow | DigitMultiplierKind::Array => 0,
+            DigitMultiplierKind::MuxTable => (1u64 << (k - 1)).saturating_sub(1),
+        }
+    }
+}
+
+impl fmt::Display for DigitMultiplierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DigitMultiplierKind::AndRow => "and-row",
+            DigitMultiplierKind::Array => "array",
+            DigitMultiplierKind::MuxTable => "mux-table",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::g10_035()
+    }
+
+    #[test]
+    fn support_matrix() {
+        assert!(DigitMultiplierKind::AndRow.supports_digit_bits(1));
+        assert!(!DigitMultiplierKind::AndRow.supports_digit_bits(2));
+        assert!(DigitMultiplierKind::Array.supports_digit_bits(2));
+        assert!(DigitMultiplierKind::MuxTable.supports_digit_bits(4));
+        assert!(!DigitMultiplierKind::Array.supports_digit_bits(1));
+        assert!(!DigitMultiplierKind::MuxTable.supports_digit_bits(5));
+    }
+
+    #[test]
+    fn mux_is_faster_than_array() {
+        // The paper's #5_16 (CSA + MUX) is its fastest hardware point; the
+        // mux selection path must beat the array compression path.
+        let t = tech();
+        for k in [2u32, 3, 4] {
+            assert!(
+                DigitMultiplierKind::MuxTable.delay_tau(k, &t)
+                    < DigitMultiplierKind::Array.delay_tau(k, &t),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_row_is_cheapest() {
+        let t = tech();
+        let and_area = DigitMultiplierKind::AndRow.area_ge(1, 64, &t);
+        let arr_area = DigitMultiplierKind::Array.area_ge(2, 64, &t);
+        assert!(and_area < arr_area);
+    }
+
+    #[test]
+    fn setup_cycles_only_for_mux() {
+        assert_eq!(DigitMultiplierKind::AndRow.setup_cycles(1), 0);
+        assert_eq!(DigitMultiplierKind::Array.setup_cycles(2), 0);
+        assert_eq!(DigitMultiplierKind::MuxTable.setup_cycles(2), 1); // 3B
+        assert_eq!(DigitMultiplierKind::MuxTable.setup_cycles(3), 3); // 3B,5B,7B
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_digit_width_panics() {
+        let _ = DigitMultiplierKind::AndRow.delay_tau(2, &tech());
+    }
+
+    #[test]
+    fn area_grows_with_radix() {
+        let t = tech();
+        let a2 = DigitMultiplierKind::Array.area_ge(2, 64, &t);
+        let a4 = DigitMultiplierKind::Array.area_ge(4, 64, &t);
+        assert!(a4 > a2);
+    }
+}

@@ -1,0 +1,629 @@
+//! Cycle-accurate functional simulation of the modular-multiplier
+//! datapaths.
+//!
+//! The simulator executes the digit-serial register-transfer behaviour of
+//! a [`ModMulArchitecture`]: one loop iteration per datapath cycle, with
+//! the accumulator held in genuine redundant (sum, carry) form for
+//! carry-save designs — including the low-bit resolution needed to shift a
+//! redundant value right, which is the classic subtlety of carry-save
+//! Montgomery implementations.
+//!
+//! Every result is checked (in the test suite) against the `bignum` golden
+//! models: [`bignum::mont_mul_digit_serial`] for Montgomery datapaths and
+//! [`bignum::brickell_mod_mul`] for Brickell datapaths.
+
+use std::fmt;
+
+use bignum::{mod_inverse, UBig};
+use serde::{Deserialize, Serialize};
+
+use crate::adder::{csa3, AdderKind};
+use crate::design::{Algorithm, ModMulArchitecture};
+
+/// Errors from driving the simulator with invalid operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The modulus is zero or one.
+    ModulusTooSmall,
+    /// A Montgomery datapath was fed an even modulus (paper CC1).
+    EvenModulusForMontgomery,
+    /// An operand is not reduced below the modulus.
+    UnreducedOperand,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ModulusTooSmall => write!(f, "modulus must be at least 2"),
+            SimError::EvenModulusForMontgomery => {
+                write!(f, "montgomery datapaths require an odd modulus")
+            }
+            SimError::UnreducedOperand => {
+                write!(f, "operands must be reduced below the modulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one simulated modular multiplication.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// The computed product. For Montgomery datapaths this is the
+    /// Montgomery product `A·B·2^(−k·iterations) mod M`; for Brickell it is
+    /// the plain product `A·B mod M`.
+    pub product: UBig,
+    /// Total latency in clock cycles (iterations + pipeline fill + setup).
+    pub cycles: u64,
+    /// Digit iterations executed.
+    pub iterations: u64,
+    /// The effective operand length the datapath was configured for.
+    pub eol: u32,
+}
+
+/// One recorded datapath iteration (for [`simulate_traced`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// Iteration index.
+    pub index: u64,
+    /// The operand digit `aᵢ` consumed this cycle.
+    pub digit: u64,
+    /// The quotient digit `qᵢ` (Montgomery only).
+    pub quotient: Option<u64>,
+    /// Accumulator sum register after the cycle.
+    pub acc_sum: UBig,
+    /// Accumulator carry register after the cycle (carry-save designs).
+    pub acc_carry: Option<UBig>,
+}
+
+/// A full simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimTrace {
+    /// The final output.
+    pub output: SimOutput,
+    /// Per-iteration register snapshots.
+    pub steps: Vec<IterationTrace>,
+}
+
+/// Simulates one modular multiplication on `arch`.
+///
+/// The effective operand length is the modulus bit-length rounded up to a
+/// multiple of the slice width (the datapath is built from whole slices).
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+) -> Result<SimOutput, SimError> {
+    run(arch, a, b, m, None)
+}
+
+/// Like [`simulate`], additionally recording every iteration.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate_traced(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+) -> Result<SimTrace, SimError> {
+    let mut steps = Vec::new();
+    let output = run(arch, a, b, m, Some(&mut steps))?;
+    Ok(SimTrace { output, steps })
+}
+
+/// Computes the plain product `A·B mod M` through the datapath.
+///
+/// For Brickell this is a single pass. For Montgomery it is the standard
+/// two-pass trick: a second pass against the precomputed constant
+/// `2^(2·k·I) mod M` cancels the `2^(−k·I)` factors, so the whole
+/// computation still runs on the modelled hardware.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn mod_mul_via(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+) -> Result<UBig, SimError> {
+    match arch.algorithm() {
+        Algorithm::Brickell => Ok(simulate(arch, a, b, m)?.product),
+        Algorithm::Montgomery => {
+            let eol = effective_eol(arch, m);
+            let iters = arch.iterations(eol);
+            let shift = arch.digit_bits() as u64 * iters;
+            let correction = UBig::power_of_two(2 * shift as u32).rem(m);
+            let pass1 = simulate(arch, a, b, m)?.product;
+            Ok(simulate(arch, &pass1, &correction, m)?.product)
+        }
+    }
+}
+
+/// The effective operand length used for `m` on `arch`: the modulus
+/// bit-length rounded up to a whole number of slices.
+pub fn effective_eol(arch: &ModMulArchitecture, m: &UBig) -> u32 {
+    let w = arch.slice_width();
+    m.bit_len().max(1).div_ceil(w) * w
+}
+
+/// Renders a trace as a fixed-width register dump — one line per datapath
+/// iteration, useful when debugging a mismatching configuration.
+pub fn render_trace(trace: &SimTrace) -> String {
+    let mut out = format!(
+        "eol={} iterations={} cycles={} product=0x{:x}\n",
+        trace.output.eol, trace.output.iterations, trace.output.cycles, trace.output.product
+    );
+    out.push_str("  it  digit  q    accumulator (sum / carry)\n");
+    for step in &trace.steps {
+        let q = step
+            .quotient
+            .map(|q| q.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        match &step.acc_carry {
+            Some(c) => out.push_str(&format!(
+                "{:>4}  {:>5}  {:<3}  0x{:x} / 0x{:x}\n",
+                step.index, step.digit, q, step.acc_sum, c
+            )),
+            None => out.push_str(&format!(
+                "{:>4}  {:>5}  {:<3}  0x{:x}\n",
+                step.index, step.digit, q, step.acc_sum
+            )),
+        }
+    }
+    out
+}
+
+fn run(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+    trace: Option<&mut Vec<IterationTrace>>,
+) -> Result<SimOutput, SimError> {
+    if *m <= UBig::one() {
+        return Err(SimError::ModulusTooSmall);
+    }
+    if a >= m || b >= m {
+        return Err(SimError::UnreducedOperand);
+    }
+    let eol = effective_eol(arch, m);
+    let cycles = arch
+        .cycles(eol)
+        .expect("effective_eol is a multiple of the slice width");
+    match arch.algorithm() {
+        Algorithm::Montgomery => {
+            if m.is_even() {
+                return Err(SimError::EvenModulusForMontgomery);
+            }
+            let product = montgomery_pass(arch, a, b, m, eol, trace);
+            Ok(SimOutput {
+                product,
+                cycles,
+                iterations: arch.iterations(eol),
+                eol,
+            })
+        }
+        Algorithm::Brickell => {
+            let product = brickell_pass(arch, a, b, m, eol, trace);
+            Ok(SimOutput {
+                product,
+                cycles,
+                iterations: arch.iterations(eol),
+                eol,
+            })
+        }
+    }
+}
+
+/// LSB-first Montgomery pass (paper Fig. 10), with redundant carry-save
+/// state when the architecture uses CSA accumulation.
+fn montgomery_pass(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+    eol: u32,
+    mut trace: Option<&mut Vec<IterationTrace>>,
+) -> UBig {
+    let k = arch.digit_bits();
+    let r = 1u64 << k;
+    let m0 = m.bits(0, k);
+    let m0_inv = mod_inverse(&UBig::from(m0), &UBig::from(r))
+        .expect("odd modulus digit invertible mod 2^k")
+        .to_u64()
+        .expect("fits in a digit");
+    // The paper's (r − M₀)⁻¹ factor: −M⁻¹ mod 2ᵏ.
+    let m_prime = (r - m0_inv) % r;
+    let iters = arch.iterations(eol);
+    let redundant = arch.adder() == AdderKind::CarrySave;
+
+    // Accumulator: (sum, carry) redundant pair; carry stays zero for
+    // non-redundant designs.
+    let mut s = UBig::zero();
+    let mut c = UBig::zero();
+
+    for i in 0..iters {
+        let a_i = a.digit(i as u32, k);
+        let addend = b * &UBig::from(a_i);
+
+        if redundant {
+            let (ns, nc) = csa3(&s, &c, &addend);
+            s = ns;
+            c = nc;
+        } else {
+            // A carry-propagate design resolves the sum each cycle.
+            s = &s + &addend;
+        }
+
+        // Quotient digit from the low redundant bits: a short resolver
+        // adder over 2k bits suffices to know (S + C) mod 2ᵏ.
+        let low = (s.low_bits(2 * k).to_u64().expect("2k <= 64 bits")
+            + c.low_bits(2 * k).to_u64().expect("2k <= 64 bits"))
+            & ((1u64 << k) - 1);
+        let q = low.wrapping_mul(m_prime) & (r - 1);
+        let q_addend = m * &UBig::from(q);
+
+        if redundant {
+            let (ns, nc) = csa3(&s, &c, &q_addend);
+            s = ns;
+            c = nc;
+            // Shift the redundant pair right by k: the low k bits of S+C
+            // are zero by construction, but their carry into bit k must be
+            // resolved explicitly (a k-bit adder in hardware).
+            let low_sum = s.bits(0, k) + c.bits(0, k);
+            debug_assert_eq!(low_sum & (r - 1), 0, "montgomery exactness");
+            let carry = low_sum >> k;
+            s = s.shr(k);
+            c = c.shr(k);
+            if carry != 0 {
+                let (ns, nc) = csa3(&s, &c, &UBig::from(carry));
+                s = ns;
+                c = nc;
+            }
+        } else {
+            s = &s + &q_addend;
+            debug_assert_eq!(s.bits(0, k), 0, "montgomery exactness");
+            s = s.shr(k);
+        }
+
+        if let Some(steps) = trace.as_deref_mut() {
+            steps.push(IterationTrace {
+                index: i,
+                digit: a_i,
+                quotient: Some(q),
+                acc_sum: s.clone(),
+                acc_carry: redundant.then(|| c.clone()),
+            });
+        }
+    }
+
+    // Final conversion out of redundant form plus the conditional
+    // subtraction of Fig. 10 lines 5–6.
+    let mut acc = &s + &c;
+    while acc >= *m {
+        acc = acc.checked_sub(m).expect("acc >= m");
+    }
+    acc
+}
+
+/// MSB-first Brickell pass: shift-accumulate with interleaved reduction by
+/// conditional subtraction.
+fn brickell_pass(
+    arch: &ModMulArchitecture,
+    a: &UBig,
+    b: &UBig,
+    m: &UBig,
+    eol: u32,
+    mut trace: Option<&mut Vec<IterationTrace>>,
+) -> UBig {
+    let k = arch.digit_bits();
+    let r = 1u64 << k;
+    let digits = eol.div_ceil(k) as u64;
+    let mut acc = UBig::zero();
+
+    for step in 0..digits {
+        let i = digits - 1 - step; // most significant digit first
+        let a_i = a.digit(i as u32, k);
+        acc = &acc.shl(k) + &(b * &UBig::from(a_i));
+        // acc < 2ᵏ·M + 2ᵏ·M = 2ᵏ⁺¹·M before reduction; the reduction unit
+        // performs bounded conditional subtraction of multiples of M.
+        let mut subtractions = 0u64;
+        while acc >= *m {
+            acc = acc.checked_sub(m).expect("acc >= m");
+            subtractions += 1;
+            assert!(
+                subtractions <= 2 * r,
+                "brickell reduction bound violated: more than {} subtractions",
+                2 * r
+            );
+        }
+        if let Some(steps) = trace.as_deref_mut() {
+            steps.push(IterationTrace {
+                index: step,
+                digit: a_i,
+                quotient: None,
+                acc_sum: acc.clone(),
+                acc_carry: None,
+            });
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::paper_designs;
+    use bignum::{brickell_mod_mul, mont_mul_digit_serial, uniform_below};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
+        let mut m = uniform_below(&UBig::power_of_two(bits), rng);
+        m.set_bit(bits - 1, true);
+        m.set_bit(0, true);
+        m
+    }
+
+    #[test]
+    fn montgomery_designs_match_golden_model() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for d in paper_designs()
+            .iter()
+            .filter(|d| d.algorithm() == Algorithm::Montgomery)
+        {
+            for w in [8u32, 32] {
+                let arch = d.architecture(w).unwrap();
+                let m = odd_modulus(96, &mut rng);
+                let eol = effective_eol(&arch, &m);
+                let a = uniform_below(&m, &mut rng);
+                let b = uniform_below(&m, &mut rng);
+                let out = simulate(&arch, &a, &b, &m).unwrap();
+                let golden = mont_mul_digit_serial(
+                    &a,
+                    &b,
+                    &m,
+                    arch.digit_bits(),
+                    arch.iterations(eol) as u32,
+                )
+                .unwrap();
+                assert_eq!(out.product, golden, "{} w{w}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn brickell_designs_match_golden_model() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for d in paper_designs()
+            .iter()
+            .filter(|d| d.algorithm() == Algorithm::Brickell)
+        {
+            let arch = d.architecture(16).unwrap();
+            let m = odd_modulus(80, &mut rng);
+            let a = uniform_below(&m, &mut rng);
+            let b = uniform_below(&m, &mut rng);
+            let out = simulate(&arch, &a, &b, &m).unwrap();
+            assert_eq!(out.product, brickell_mod_mul(&a, &b, &m, arch.digit_bits()));
+            assert_eq!(out.product, a.mod_mul(&b, &m));
+        }
+    }
+
+    #[test]
+    fn brickell_handles_even_modulus() {
+        let arch = paper_designs()[7].architecture(8).unwrap();
+        let m = UBig::from(1_000_000u64);
+        let a = UBig::from(999_983u64);
+        let b = UBig::from(314_159u64);
+        let out = simulate(&arch, &a, &b, &m).unwrap();
+        assert_eq!(out.product, a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn montgomery_rejects_even_modulus() {
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let err = simulate(&arch, &UBig::one(), &UBig::one(), &UBig::from(16u64)).unwrap_err();
+        assert_eq!(err, SimError::EvenModulusForMontgomery);
+    }
+
+    #[test]
+    fn rejects_unreduced_operands_and_tiny_moduli() {
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let m = UBig::from(101u64);
+        assert_eq!(
+            simulate(&arch, &UBig::from(101u64), &UBig::one(), &m).unwrap_err(),
+            SimError::UnreducedOperand
+        );
+        assert_eq!(
+            simulate(&arch, &UBig::zero(), &UBig::zero(), &UBig::one()).unwrap_err(),
+            SimError::ModulusTooSmall
+        );
+    }
+
+    #[test]
+    fn mod_mul_via_gives_plain_product_for_all_designs() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let m = odd_modulus(64, &mut rng);
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let expect = a.mod_mul(&b, &m);
+        for d in paper_designs() {
+            let arch = d.architecture(16).unwrap();
+            assert_eq!(
+                mod_mul_via(&arch, &a, &b, &m).unwrap(),
+                expect,
+                "{}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_every_iteration() {
+        let arch = paper_designs()[1].architecture(8).unwrap(); // #2 CSA
+        let m = UBig::from(251u64);
+        let t = simulate_traced(&arch, &UBig::from(200u64), &UBig::from(123u64), &m).unwrap();
+        assert_eq!(t.steps.len() as u64, t.output.iterations);
+        // CSA design: redundant carry register recorded.
+        assert!(t.steps[0].acc_carry.is_some());
+        assert!(t.steps[0].quotient.is_some());
+        // Redundant invariant: sum + carry stays below 2M after reduction steps.
+        for step in &t.steps {
+            let total = &step.acc_sum + step.acc_carry.as_ref().unwrap();
+            assert!(total < (&m + &m), "iteration {}", step.index);
+        }
+    }
+
+    #[test]
+    fn trace_rendering_lists_every_iteration() {
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let m = UBig::from(251u64);
+        let t = simulate_traced(&arch, &UBig::from(99u64), &UBig::from(123u64), &m).unwrap();
+        let rendered = render_trace(&t);
+        assert!(rendered.starts_with("eol=8 iterations=9"));
+        assert_eq!(rendered.lines().count(), 2 + t.steps.len());
+        assert!(rendered.contains(" / 0x"), "redundant pair shown");
+        // A CLA trace renders without a carry column.
+        let cla = paper_designs()[0].architecture(8).unwrap();
+        let t2 = simulate_traced(&cla, &UBig::from(99u64), &UBig::from(123u64), &m).unwrap();
+        assert!(!render_trace(&t2).contains(" / 0x"));
+    }
+
+    #[test]
+    fn cla_trace_has_no_carry_register() {
+        let arch = paper_designs()[0].architecture(8).unwrap(); // #1 CLA
+        let m = UBig::from(251u64);
+        let t = simulate_traced(&arch, &UBig::from(7u64), &UBig::from(9u64), &m).unwrap();
+        assert!(t.steps.iter().all(|s| s.acc_carry.is_none()));
+    }
+
+    #[test]
+    fn effective_eol_rounds_up_to_slices() {
+        let arch = paper_designs()[1].architecture(64).unwrap();
+        assert_eq!(effective_eol(&arch, &UBig::power_of_two(100)), 128);
+        assert_eq!(effective_eol(&arch, &UBig::power_of_two(63)), 64);
+        assert_eq!(effective_eol(&arch, &UBig::one()), 64);
+    }
+
+    #[test]
+    fn zero_operands_produce_zero() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let m = odd_modulus(40, &mut rng);
+        for d in paper_designs() {
+            let arch = d.architecture(8).unwrap();
+            let out = simulate(&arch, &UBig::zero(), &UBig::zero(), &m).unwrap();
+            assert!(out.product.is_zero(), "{}", d.name());
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use crate::adder::AdderKind;
+        use crate::multiplier::DigitMultiplierKind;
+        use proptest::prelude::*;
+
+        fn arb_arch() -> impl Strategy<Value = ModMulArchitecture> {
+            (
+                prop_oneof![Just(Algorithm::Montgomery), Just(Algorithm::Brickell)],
+                prop_oneof![Just(1u32), Just(2), Just(3), Just(4)],
+                prop_oneof![
+                    Just(AdderKind::RippleCarry),
+                    Just(AdderKind::CarryLookAhead),
+                    Just(AdderKind::CarrySave)
+                ],
+                prop_oneof![Just(8u32), Just(12), Just(24)],
+            )
+                .prop_filter_map("valid architecture", |(alg, k, adder, width)| {
+                    if alg == Algorithm::Brickell && k != 1 {
+                        return None;
+                    }
+                    let mult = if k == 1 {
+                        DigitMultiplierKind::AndRow
+                    } else {
+                        DigitMultiplierKind::MuxTable
+                    };
+                    if width % k != 0 {
+                        return None;
+                    }
+                    ModMulArchitecture::new(alg, 1 << k, width, adder, mult).ok()
+                })
+        }
+
+        fn arb_odd_modulus() -> impl Strategy<Value = UBig> {
+            prop::collection::vec(any::<u32>(), 1..4).prop_map(|mut limbs| {
+                if let Some(last) = limbs.last_mut() {
+                    *last |= 0x8000_0000; // full width
+                }
+                limbs[0] |= 1; // odd
+                UBig::from_limbs(limbs)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn any_architecture_matches_the_golden_model(
+                arch in arb_arch(),
+                m in arb_odd_modulus(),
+                a_seed in any::<u64>(),
+                b_seed in any::<u64>(),
+            ) {
+                let a = UBig::from(a_seed).rem(&m);
+                let b = UBig::from(b_seed).rem(&m);
+                let out = simulate(&arch, &a, &b, &m).unwrap();
+                let expect = match arch.algorithm() {
+                    Algorithm::Montgomery => {
+                        let eol = effective_eol(&arch, &m);
+                        mont_mul_digit_serial(
+                            &a, &b, &m, arch.digit_bits(), arch.iterations(eol) as u32,
+                        ).unwrap()
+                    }
+                    Algorithm::Brickell => brickell_mod_mul(&a, &b, &m, arch.digit_bits()),
+                };
+                prop_assert_eq!(&out.product, &expect, "{}", arch);
+                prop_assert!(out.product < m, "result fully reduced");
+                prop_assert_eq!(out.cycles, arch.cycles(out.eol).unwrap());
+            }
+
+            #[test]
+            fn plain_product_via_any_architecture(
+                arch in arb_arch(),
+                m in arb_odd_modulus(),
+                a_seed in any::<u64>(),
+                b_seed in any::<u64>(),
+            ) {
+                let a = UBig::from(a_seed).rem(&m);
+                let b = UBig::from(b_seed).rem(&m);
+                let got = mod_mul_via(&arch, &a, &b, &m).unwrap();
+                prop_assert_eq!(got, a.mod_mul(&b, &m), "{}", arch);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_tiny_modulus_montgomery() {
+        // Every operand pair mod 97 through the #2 datapath, cross-checked
+        // against the golden digit-serial model.
+        let arch = paper_designs()[1].architecture(8).unwrap();
+        let m = UBig::from(97u64);
+        for a in (0..97u64).step_by(5) {
+            for b in (0..97u64).step_by(7) {
+                let out = simulate(&arch, &UBig::from(a), &UBig::from(b), &m).unwrap();
+                let golden =
+                    mont_mul_digit_serial(&UBig::from(a), &UBig::from(b), &m, 1, 9).unwrap();
+                assert_eq!(out.product, golden, "a={a} b={b}");
+            }
+        }
+    }
+}

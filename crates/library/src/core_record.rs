@@ -1,0 +1,190 @@
+//! Core records: reusable designs as the layer sees them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dse::eval::{EvalPoint, FigureOfMerit};
+use dse::expr::Bindings;
+use dse::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One reusable design (a "core"): a point in the design space.
+///
+/// A core carries
+///
+/// * *bindings* — the design options it embodies (its coordinates along
+///   the areas of design decision: `Algorithm = Montgomery`,
+///   `SliceWidth = 64`, …), which is how the layer indexes it, and
+/// * *merits* — its figures of merit (area, delay, power, …), which is
+///   what the evaluation space plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreRecord {
+    name: String,
+    vendor: String,
+    doc: String,
+    bindings: BTreeMap<String, Value>,
+    merits: BTreeMap<FigureOfMerit, f64>,
+}
+
+impl CoreRecord {
+    /// Creates a record with no bindings/merits yet.
+    pub fn new(name: impl Into<String>, vendor: impl Into<String>, doc: impl Into<String>) -> Self {
+        CoreRecord {
+            name: name.into(),
+            vendor: vendor.into(),
+            doc: doc.into(),
+            bindings: BTreeMap::new(),
+            merits: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a design-option binding (builder style).
+    #[must_use]
+    pub fn bind(mut self, property: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.bindings.insert(property.into(), value.into());
+        self
+    }
+
+    /// Adds a figure of merit (builder style).
+    #[must_use]
+    pub fn merit(mut self, merit: FigureOfMerit, value: f64) -> Self {
+        self.merits.insert(merit, value);
+        self
+    }
+
+    /// The core's name (`"#2_64"`, `"CIHS ASM"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The IP provider / origin.
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// The documentation line.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The design-option bindings.
+    pub fn bindings(&self) -> &BTreeMap<String, Value> {
+        &self.bindings
+    }
+
+    /// The value bound for `property`, if any.
+    pub fn binding(&self, property: &str) -> Option<&Value> {
+        self.bindings.get(property)
+    }
+
+    /// The figures of merit.
+    pub fn merits(&self) -> &BTreeMap<FigureOfMerit, f64> {
+        &self.merits
+    }
+
+    /// One figure of merit.
+    pub fn merit_value(&self, merit: &FigureOfMerit) -> Option<f64> {
+        self.merits.get(merit).copied()
+    }
+
+    /// Whether the core complies with a set of decisions: for every
+    /// `(property, value)` in `filter` that the core *binds*, the binding
+    /// must match. Properties the core does not record are not filtered on
+    /// (they are outside its declared design space coordinates).
+    pub fn complies_with(&self, filter: &Bindings) -> bool {
+        filter.iter().all(|(prop, want)| {
+            self.bindings
+                .get(prop)
+                .is_none_or(|have| have.matches(want))
+        })
+    }
+
+    /// Like [`complies_with`](Self::complies_with), but a core missing a
+    /// binding for any filtered property is rejected.
+    pub fn complies_strictly_with(&self, filter: &Bindings) -> bool {
+        filter.iter().all(|(prop, want)| {
+            self.bindings
+                .get(prop)
+                .is_some_and(|have| have.matches(want))
+        })
+    }
+
+    /// This core as an evaluation-space point.
+    pub fn eval_point(&self) -> EvalPoint {
+        let mut p = EvalPoint::new(self.name.clone());
+        for (m, &v) in &self.merits {
+            p = p.with(m.clone(), v);
+        }
+        p
+    }
+}
+
+impl fmt::Display for CoreRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.vendor)?;
+        for (m, v) in &self.merits {
+            write!(f, " {m}={v:.1}{}", m.unit())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoreRecord {
+        CoreRecord::new("#2_64", "in-house", "Montgomery CSA radix-2")
+            .bind("Algorithm", "Montgomery")
+            .bind("SliceWidth", 64)
+            .merit(FigureOfMerit::AreaUm2, 37000.0)
+            .merit(FigureOfMerit::DelayNs, 2200.0)
+    }
+
+    fn filter(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn compliance_matches_bound_properties() {
+        let c = sample();
+        assert!(c.complies_with(&filter(&[("Algorithm", Value::from("Montgomery"))])));
+        assert!(!c.complies_with(&filter(&[("Algorithm", Value::from("Brickell"))])));
+        assert!(c.complies_with(&filter(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("SliceWidth", Value::from(64)),
+        ])));
+    }
+
+    #[test]
+    fn lenient_vs_strict_on_unbound_properties() {
+        let c = sample();
+        let f = filter(&[("Radix", Value::from(2))]); // not bound by the core
+        assert!(c.complies_with(&f));
+        assert!(!c.complies_strictly_with(&f));
+    }
+
+    #[test]
+    fn eval_point_carries_merits() {
+        let p = sample().eval_point();
+        assert_eq!(p.label(), "#2_64");
+        assert_eq!(p.merit(&FigureOfMerit::AreaUm2), Some(37000.0));
+        assert_eq!(p.merit(&FigureOfMerit::PowerMw), None);
+    }
+
+    #[test]
+    fn numeric_bindings_match_across_int_real() {
+        let c = sample();
+        assert!(c.complies_with(&filter(&[("SliceWidth", Value::Real(64.0))])));
+    }
+
+    #[test]
+    fn display_shows_merits() {
+        let s = sample().to_string();
+        assert!(s.contains("#2_64"));
+        assert!(s.contains("area=37000.0µm²"));
+    }
+}

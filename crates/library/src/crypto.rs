@@ -1,0 +1,1142 @@
+//! The cryptography design space layer — the paper's Section-5 case
+//! study, reconstructed in full.
+//!
+//! * Fig. 5 — the operator taxonomy (`Operator` → `Logic/Arithmetic`,
+//!   `Modular` → `Exponentiator`, `Multiplier`).
+//! * Fig. 7 — the generalization hierarchy under the
+//!   `Operator-Modular-Multiplier` (OMM) CDO: `Implementation Style`
+//!   partitions into Hardware/Software; under Hardware, `Algorithm`
+//!   partitions into Montgomery/Brickell.
+//! * Fig. 8 — the OMM requirements (Req1–Req5) and DI1.
+//! * Fig. 10 — the Montgomery behavioural description with its
+//!   behavioural decomposition into `Adder`/`Multiplier` operator CDOs.
+//! * Fig. 11 — the OMM-H / OMM-HM design issues (DI2–DI7).
+//! * Fig. 13 — the consistency constraints CC1–CC4 (plus the mux-enforcing
+//!   companion the paper mentions, and a heuristic software-latency CC).
+//!
+//! [`build_library`] populates the reuse library with the Table-1 hardware
+//! families (priced by `hwmodel`) and the Koç software routines (priced by
+//! `swmodel`).
+
+use dse::behavior::{montgomery_fig10_text, BehavioralDescription, OperandCoding, OperatorUse};
+use dse::constraint::{ConsistencyConstraint, Fidelity, Relation};
+use dse::error::DseError;
+use dse::eval::FigureOfMerit;
+use dse::expr::{CmpOp, Expr, Pred};
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::property::{Property, Unit};
+use dse::value::{Domain, Value};
+use hwmodel::designs::{paper_designs, TABLE1_SLICE_WIDTHS};
+use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+use techlib::Technology;
+
+use crate::core_record::CoreRecord;
+use crate::reuse::ReuseLibrary;
+
+/// The built cryptography layer with handles to its key CDOs.
+#[derive(Debug, Clone)]
+pub struct CryptoLayer {
+    /// The whole layer.
+    pub space: DesignSpace,
+    /// `Operator` (root).
+    pub operator: CdoId,
+    /// `Operator.LogicArithmetic.Arithmetic.Adder`.
+    pub adder: CdoId,
+    /// `Operator.LogicArithmetic.Arithmetic.Multiplier`.
+    pub multiplier: CdoId,
+    /// `Operator.Modular.Exponentiator`.
+    pub exponentiator: CdoId,
+    /// `Operator.Modular.Multiplier` — the OMM CDO.
+    pub omm: CdoId,
+    /// `…Multiplier.Hardware` — OMM-H.
+    pub omm_hw: CdoId,
+    /// `…Multiplier.Software` — OMM-S.
+    pub omm_sw: CdoId,
+    /// `…Hardware.Montgomery` — OMM-HM (leaf).
+    pub omm_hm: CdoId,
+    /// `…Hardware.Brickell` — OMM-HB (leaf).
+    pub omm_hb: CdoId,
+}
+
+/// Builds the cryptography design space layer.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors (none occur for this fixed
+/// definition unless the crate itself regresses).
+pub fn build_layer() -> Result<CryptoLayer, DseError> {
+    let mut s = DesignSpace::new("cryptography");
+
+    // ---- Fig. 5: operator taxonomy -------------------------------------
+    let operator = s.add_root("Operator", "all operators in the cryptography domain");
+    let logic_arith = s.add_child(operator, "LogicArithmetic", "logic/arithmetic operators");
+    let _logic = s.add_child(logic_arith, "Logic", "bitwise operators");
+    let arithmetic = s.add_child(logic_arith, "Arithmetic", "arithmetic operators");
+    let adder = s.add_child(arithmetic, "Adder", "all adder implementations");
+    let multiplier = s.add_child(arithmetic, "Multiplier", "all multiplier implementations");
+    let modular = s.add_child(operator, "Modular", "modular-arithmetic operators");
+    let exponentiator = s.add_child(
+        modular,
+        "Exponentiator",
+        "modular exponentiation (M^E mod N)",
+    );
+    let omm = s.add_child(modular, "Multiplier", "modular multiplication (A×B mod M)");
+
+    // ---- Adder CDO: the decomposition target of Fig. 10 ----------------
+    s.add_property(
+        adder,
+        Property::requirement(
+            "WordSize",
+            Domain::int_range(1, 4096),
+            Some(Unit::bits()),
+            "operand width",
+        ),
+    )?;
+    s.add_property(
+        adder,
+        Property::issue(
+            "LogicStyle",
+            Domain::options(["ripple-carry", "carry-look-ahead", "carry-save"]),
+            "adder logic structure",
+        ),
+    )?;
+    s.add_property(
+        adder,
+        Property::issue(
+            "AdderLayoutStyle",
+            Domain::options(["standard-cell", "gate-array", "full-custom"]),
+            "physical style for the adder macro",
+        ),
+    )?;
+    s.add_property(
+        multiplier,
+        Property::issue(
+            "MultiplierStyle",
+            Domain::options(["array", "booth", "mux-table"]),
+            "multiplier structure",
+        ),
+    )?;
+
+    // ---- The coprocessor level: the Exponentiator CDO -------------------
+    // The paper notes the multiplier exploration "could have been part of
+    // the design space exploration performed for the main architectural
+    // component"; the same decomposition mechanism carries the transition.
+    s.add_property(
+        exponentiator,
+        Property::requirement(
+            "ExponentBits",
+            Domain::int_range(8, 4096),
+            Some(Unit::bits()),
+            "exponent length",
+        ),
+    )?;
+    // The paper: "BUS interface requirements must be specified for each
+    // main architectural component of a system-on-a-chip" — they attach to
+    // the coprocessor, not to its modular-multiplier block.
+    s.add_property(
+        exponentiator,
+        Property::requirement(
+            "BusInterface",
+            Domain::options(["VSI-standard", "proprietary"]),
+            None,
+            "on-chip bus interface protocol for the coprocessor",
+        ),
+    )?;
+    s.add_property(
+        exponentiator,
+        Property::issue_with_default(
+            "WindowBits",
+            Domain::options([1, 2, 4, 6]),
+            Value::Int(1),
+            "exponent-scanning window (1 = binary square-and-multiply)",
+        ),
+    )?;
+    // CC7: worst-case modular multiplications per exponentiation —
+    // squarings + one window application per window (all-ones exponent)
+    // + table precomputation. The expected-case model lives in
+    // `coproc::ExpMethod::expected_multiplications`.
+    s.add_constraint(
+        exponentiator,
+        ConsistencyConstraint::new(
+            "CC7",
+            "larger windows trade table storage for fewer multiplications (worst-case bound)",
+            ["ExponentBits".to_owned(), "WindowBits".to_owned()],
+            ["TotalMultiplications".to_owned()],
+            Relation::Quantitative {
+                target: "TotalMultiplications".to_owned(),
+                formula: Expr::prop("ExponentBits")
+                    .add(Expr::prop("ExponentBits").div(Expr::prop("WindowBits")))
+                    .add(Expr::constant(2).pow(Expr::prop("WindowBits")))
+                    .sub(Expr::constant(2)),
+                fidelity: Fidelity::Heuristic,
+            },
+        ),
+    );
+    s.add_behavior(
+        exponentiator,
+        BehavioralDescription::new(
+            "square-and-multiply",
+            "1: A := 1\n\
+             2: FOR i = n-1 DOWNTO 0\n\
+             3:   A := A*A mod N;\n\
+             4:   IF Ei = 1 THEN A := A*M mod N;",
+            OperandCoding::TwosComplement,
+            OperandCoding::TwosComplement,
+        )
+        .with_operator(OperatorUse::new(
+            "oper(modmul, line:3)",
+            "Operator.Modular.Multiplier",
+        ))
+        .with_operator(OperatorUse::new(
+            "oper(modmul, line:4)",
+            "Operator.Modular.Multiplier",
+        )),
+    )?;
+
+    // ---- Fig. 8: OMM requirements and DI1 -------------------------------
+    s.add_property(
+        omm,
+        Property::requirement(
+            "EOL",
+            Domain::int_range(8, 4096),
+            Some(Unit::bits()),
+            "Req1: effective operand length",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "OperandCoding",
+            Domain::options(["2's complement", "signed", "unsigned"]),
+            None,
+            "Req2: operand coding",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "ResultCoding",
+            Domain::options(["2's complement", "signed", "redundant"]),
+            None,
+            "Req3: result coding",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "ModuloIsOdd",
+            Domain::options(["Guaranteed", "notGuaranteed"]),
+            None,
+            "Req4: is the modulus known to be odd?",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "MaxLatencyUs",
+            Domain::real_up_to(1.0e9),
+            Some(Unit::micros()),
+            "Req5: latency bound for one modular multiplication",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::generalized_issue(
+            "ImplementationStyle",
+            Domain::options(["Hardware", "Software"]),
+            "DI1: partitions the design space (radically different performance ranges)",
+        ),
+    )?;
+    let hw_sw = s.specialize(omm, "ImplementationStyle")?;
+    let (omm_hw, omm_sw) = (hw_sw[0], hw_sw[1]);
+
+    // ---- Fig. 11: OMM-H design issues -----------------------------------
+    s.add_property(
+        omm_hw,
+        Property::issue(
+            "LayoutStyle",
+            Domain::options(["standard-cell", "gate-array", "full-custom"]),
+            "DI5: physical implementation style",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue(
+            "FabricationTechnology",
+            Domain::options(["0.70um", "0.50um", "0.35um", "0.25um"]),
+            "DI6: fabrication node",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue_with_default(
+            "Radix",
+            Domain::PowersOfTwo { max_exp: 4 },
+            Value::Int(2),
+            "DI3: digit radix (area/performance trade-off)",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue(
+            "SliceWidth",
+            Domain::options([8, 16, 32, 64, 128]),
+            "DI4a: datapath slice width (sets the sustainable clock)",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue_with_default(
+            "NumberOfSlices",
+            Domain::int_range(1, 512),
+            Value::Int(1),
+            "DI4b: number of slices (EOL / SliceWidth must divide exactly)",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::description(
+            "BehavioralDecomposition",
+            Domain::options(["select-per-operator", "use-default"]),
+            "DI7: conceptual design of the critical operators via the Adder/Multiplier CDOs",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::generalized_issue(
+            "Algorithm",
+            Domain::options(["Montgomery", "Brickell"]),
+            "DI2 (generalized): Montgomery dominates but needs an odd modulus",
+        ),
+    )?;
+    let algos = s.specialize(omm_hw, "Algorithm")?;
+    let (omm_hm, omm_hb) = (algos[0], algos[1]);
+
+    // Leaf-level structural issues.
+    for leaf in [omm_hm, omm_hb] {
+        s.add_property(
+            leaf,
+            Property::issue(
+                "AdderStructure",
+                Domain::options(["ripple-carry", "carry-look-ahead", "carry-save"]),
+                "wide-adder structure for the accumulation rows",
+            ),
+        )?;
+        s.add_property(
+            leaf,
+            Property::issue(
+                "MultiplierStructure",
+                Domain::options(["and-row", "array", "mux-table"]),
+                "digit-multiplier structure",
+            ),
+        )?;
+    }
+
+    // ---- Fig. 10: Montgomery behavioural description --------------------
+    s.add_behavior(
+        omm_hm,
+        BehavioralDescription::new(
+            "Montgomery (Fig. 10)",
+            montgomery_fig10_text(),
+            OperandCoding::TwosComplement,
+            OperandCoding::Redundant,
+        )
+        .with_operator(OperatorUse::new(
+            "oper(+, line:3)",
+            "Operator.LogicArithmetic.Arithmetic.Adder",
+        ))
+        .with_operator(OperatorUse::new(
+            "oper(*, line:3)",
+            "Operator.LogicArithmetic.Arithmetic.Multiplier",
+        ))
+        .with_operator(OperatorUse::new(
+            "oper(*, line:4)",
+            "Operator.LogicArithmetic.Arithmetic.Multiplier",
+        )),
+    )?;
+
+    // ---- Software branch -------------------------------------------------
+    s.add_property(
+        omm_sw,
+        Property::generalized_issue(
+            "ProgrammablePlatform",
+            Domain::options(["Pentium", "EmbeddedRISC", "EmbeddedDSP"]),
+            "execution platform family",
+        ),
+    )?;
+    s.specialize(omm_sw, "ProgrammablePlatform")?;
+    s.add_property(
+        omm_sw,
+        Property::issue(
+            "Variant",
+            Domain::options(["SOS", "CIOS", "FIOS", "FIPS", "CIHS"]),
+            "word-level Montgomery variant (Koç–Acar–Kaliski)",
+        ),
+    )?;
+    s.add_property(
+        omm_sw,
+        Property::issue(
+            "Language",
+            Domain::options(["C", "ASM"]),
+            "implementation language (compiled C vs hand assembly)",
+        ),
+    )?;
+
+    // ---- Fig. 13: consistency constraints -------------------------------
+    // CC1: Montgomery requires an odd modulus.
+    s.add_constraint(
+        omm,
+        ConsistencyConstraint::new(
+            "CC1",
+            "Montgomery Algorithm requires odd modulo",
+            ["ModuloIsOdd".to_owned()],
+            ["Algorithm".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("ModuloIsOdd", "notGuaranteed"),
+                Pred::is("Algorithm", "Montgomery"),
+            ])),
+        ),
+    );
+    // CC2: the greater the radix, the smaller the latency in cycles
+    // (defined for Montgomery multipliers with carry-save accumulation).
+    s.add_constraint(
+        omm_hm,
+        ConsistencyConstraint::new(
+            "CC2",
+            "the greater the Radix, the smaller the latency in #cycles (CSA Montgomery)",
+            ["Radix".to_owned(), "EOL".to_owned()],
+            ["LatencyCycles".to_owned()],
+            Relation::Quantitative {
+                target: "LatencyCycles".to_owned(),
+                formula: Expr::constant(2)
+                    .mul(Expr::prop("EOL"))
+                    .div(Expr::prop("Radix"))
+                    .add(Expr::constant(1)),
+                fidelity: Fidelity::Heuristic,
+            },
+        ),
+    );
+    // CC3: behavioural decomposition impacts delay — estimation context.
+    s.add_constraint(
+        omm_hw,
+        ConsistencyConstraint::new(
+            "CC3",
+            "Behavioral Decomposition impacts delay",
+            ["BehavioralDecomposition".to_owned()],
+            ["MaxCombDelayNs".to_owned()],
+            Relation::EstimatorContext {
+                estimator: "BehaviorDelayEstimator".to_owned(),
+                inputs: vec!["BehavioralDecomposition".to_owned()],
+                output: "MaxCombDelayNs".to_owned(),
+            },
+        ),
+    );
+    // CC4: Montgomery with EOL ≥ 32 must use carry-save adders.
+    s.add_constraint(
+        omm_hm,
+        ConsistencyConstraint::new(
+            "CC4",
+            "inferior solutions eliminated: wide Montgomery loops need CSA adders",
+            ["EOL".to_owned(), "Algorithm".to_owned()],
+            ["AdderStructure".to_owned()],
+            Relation::Dominance(Pred::all([
+                Pred::is("Algorithm", "Montgomery"),
+                Pred::cmp(CmpOp::Ge, Expr::prop("EOL"), Expr::constant(32)),
+                Pred::is_not("AdderStructure", "carry-save"),
+            ])),
+        ),
+    );
+    // CC5: the paper's companion constraint — mux-based multipliers for the
+    // Montgomery loop at any EOL (array digit multipliers are dominated).
+    s.add_constraint(
+        omm_hm,
+        ConsistencyConstraint::new(
+            "CC5",
+            "mux-based multipliers enforced for the Montgomery loop (any EOL)",
+            ["Radix".to_owned()],
+            ["MultiplierStructure".to_owned()],
+            Relation::Dominance(Pred::all([
+                Pred::cmp(CmpOp::Ge, Expr::prop("Radix"), Expr::constant(4)),
+                Pred::is("MultiplierStructure", "array"),
+            ])),
+        ),
+    );
+    // CC6 (heuristic, ours): software cannot reach microsecond-class
+    // latency on kilobit operands — the Fig. 6 range argument as a CC.
+    s.add_constraint(
+        omm,
+        ConsistencyConstraint::new(
+            "CC6",
+            "software platforms cannot meet sub-100µs latency at EOL ≥ 512 (heuristic)",
+            ["EOL".to_owned(), "MaxLatencyUs".to_owned()],
+            ["ImplementationStyle".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("ImplementationStyle", "Software"),
+                Pred::cmp(CmpOp::Ge, Expr::prop("EOL"), Expr::constant(512)),
+                Pred::cmp(CmpOp::Le, Expr::prop("MaxLatencyUs"), Expr::constant(100)),
+            ])),
+        ),
+    );
+
+    debug_assert!(s.validate().is_empty());
+    Ok(CryptoLayer {
+        space: s,
+        operator,
+        adder,
+        multiplier,
+        exponentiator,
+        omm,
+        omm_hw,
+        omm_sw,
+        omm_hm,
+        omm_hb,
+    })
+}
+
+/// An alternative, *coexisting* specialization hierarchy over the same
+/// design space and the same reuse libraries — the paper's stated work in
+/// progress ("investigating the need for supporting the co-existence of
+/// different specialization hierarchies, so as to effectively guide
+/// designers based on the specific trade-offs they may be interested in").
+///
+/// This view puts the fabrication technology first under Hardware (for a
+/// designer whose dominant concern is the process node), leaving the
+/// algorithm as a regular trade-off issue.
+#[derive(Debug, Clone)]
+pub struct CryptoTechView {
+    /// The view's design space.
+    pub space: DesignSpace,
+    /// The OMM CDO.
+    pub omm: CdoId,
+    /// The hardware sub-class.
+    pub omm_hw: CdoId,
+    /// The per-technology families spawned under Hardware.
+    pub tech_families: Vec<CdoId>,
+}
+
+/// Builds the technology-first view of the cryptography design space.
+///
+/// Core records carry the same option bindings regardless of the view, so
+/// both hierarchies transparently index the *same* reuse libraries; only
+/// the traversal/pruning order differs.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn build_layer_technology_first() -> Result<CryptoTechView, DseError> {
+    let mut s = DesignSpace::new("cryptography (technology-first view)");
+    let operator = s.add_root("Operator", "operator taxonomy (shared with the main view)");
+    let modular = s.add_child(operator, "Modular", "modular-arithmetic operators");
+    let omm = s.add_child(modular, "Multiplier", "modular multiplication");
+
+    s.add_property(
+        omm,
+        Property::requirement(
+            "EOL",
+            Domain::int_range(8, 4096),
+            Some(Unit::bits()),
+            "Req1",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "ModuloIsOdd",
+            Domain::options(["Guaranteed", "notGuaranteed"]),
+            None,
+            "Req4",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::requirement(
+            "MaxLatencyUs",
+            Domain::real_up_to(1.0e9),
+            Some(Unit::micros()),
+            "Req5",
+        ),
+    )?;
+    s.add_property(
+        omm,
+        Property::generalized_issue(
+            "ImplementationStyle",
+            Domain::options(["Hardware", "Software"]),
+            "DI1",
+        ),
+    )?;
+    let kids = s.specialize(omm, "ImplementationStyle")?;
+    let omm_hw = kids[0];
+
+    // The view's pivot: technology partitions the hardware space.
+    s.add_property(
+        omm_hw,
+        Property::generalized_issue(
+            "FabricationTechnology",
+            Domain::options(["0.70um", "0.50um", "0.35um", "0.25um"]),
+            "this view's dominant concern: the process node",
+        ),
+    )?;
+    let tech_families = s.specialize(omm_hw, "FabricationTechnology")?;
+
+    // Everything else becomes regular trade-off issues.
+    s.add_property(
+        omm_hw,
+        Property::issue(
+            "Algorithm",
+            Domain::options(["Montgomery", "Brickell"]),
+            "DI2 as a regular issue",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue_with_default(
+            "Radix",
+            Domain::PowersOfTwo { max_exp: 4 },
+            Value::Int(2),
+            "DI3",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue("SliceWidth", Domain::options([8, 16, 32, 64, 128]), "DI4a"),
+    )?;
+    s.add_property(
+        omm_hw,
+        Property::issue(
+            "AdderStructure",
+            Domain::options(["ripple-carry", "carry-look-ahead", "carry-save"]),
+            "leaf structure",
+        ),
+    )?;
+    // CC1 applies in any view.
+    s.add_constraint(
+        omm,
+        ConsistencyConstraint::new(
+            "CC1",
+            "Montgomery Algorithm requires odd modulo",
+            ["ModuloIsOdd".to_owned()],
+            ["Algorithm".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("ModuloIsOdd", "notGuaranteed"),
+                Pred::is("Algorithm", "Montgomery"),
+            ])),
+        ),
+    );
+
+    debug_assert!(s.validate().is_empty());
+    Ok(CryptoTechView {
+        space: s,
+        omm,
+        omm_hw,
+        tech_families,
+    })
+}
+
+/// Builds the operator-level reuse library for the `Adder` CDO — the
+/// exploration target of the Fig.-10 behavioural decomposition (DI7): when
+/// the designer selects behavioural descriptions per operator, the adder
+/// slot is explored against these cores using the `Adder` class's own
+/// design space.
+pub fn build_adder_library(tech: &Technology) -> ReuseLibrary {
+    use hwmodel::AdderKind;
+    let mut lib = ReuseLibrary::new(format!("adder macros @ {tech}"));
+    for kind in AdderKind::ALL {
+        for width in [8u32, 16, 32, 64, 128] {
+            let area_um2 = tech.ge_to_um2(kind.area_ge(width, tech));
+            let delay_ns = tech.tau_to_ns(kind.delay_tau(width, tech));
+            lib.push(
+                CoreRecord::new(
+                    format!("{kind}-{width}"),
+                    "in-house",
+                    format!("{width}-bit {kind} adder macro"),
+                )
+                .bind("LogicStyle", kind.to_string())
+                .bind("WordSize", width as i64)
+                .bind("AdderLayoutStyle", tech.layout().to_string())
+                .merit(FigureOfMerit::AreaUm2, area_um2)
+                .merit(FigureOfMerit::DelayNs, delay_ns),
+            );
+        }
+    }
+    lib
+}
+
+/// Builds the reuse library for the cryptography layer: the Table-1
+/// hardware design families at every compatible slice width, priced for
+/// `eol`-bit operands under `tech`, plus the Koç software routines on the
+/// Pentium-60 models.
+pub fn build_library(tech: &Technology, eol: u32) -> ReuseLibrary {
+    let mut lib = ReuseLibrary::new(format!("crypto cores @ EOL={eol}, {tech}"));
+
+    for family in paper_designs() {
+        for &w in &TABLE1_SLICE_WIDTHS {
+            if !eol.is_multiple_of(w) {
+                continue;
+            }
+            let Ok(arch) = family.architecture(w) else {
+                continue;
+            };
+            let Ok(est) = arch.try_estimate(eol, tech) else {
+                continue;
+            };
+            let core = CoreRecord::new(
+                family.core_label(w),
+                "in-house",
+                format!("{family} at {w}-bit slices"),
+            )
+            .bind("ImplementationStyle", "Hardware")
+            .bind("Algorithm", family.algorithm().to_string())
+            .bind("Radix", family.radix() as i64)
+            .bind("SliceWidth", w as i64)
+            .bind("NumberOfSlices", (eol / w) as i64)
+            .bind("AdderStructure", family.adder().to_string())
+            .bind("MultiplierStructure", family.multiplier().to_string())
+            .bind("LayoutStyle", tech.layout().to_string())
+            .bind("FabricationTechnology", tech.node().name())
+            .merit(FigureOfMerit::AreaUm2, est.area_um2)
+            .merit(FigureOfMerit::DelayNs, est.latency_ns)
+            .merit(FigureOfMerit::ClockNs, est.clock_ns)
+            .merit(FigureOfMerit::LatencyCycles, est.cycles as f64)
+            .merit(FigureOfMerit::PowerMw, est.power_mw)
+            .merit(FigureOfMerit::TimeUs, est.latency_ns / 1000.0);
+            lib.push(core);
+        }
+    }
+
+    // The software branch covers all three programmable platforms: the
+    // paper's Pentium-60 measurements plus the embedded RISC/DSP options
+    // of its "programmable platform" design issue.
+    let platform_models = |platform: &str, lang: &str| -> ProcessorModel {
+        match (platform, lang) {
+            ("Pentium", "ASM") => ProcessorModel::pentium60_asm(),
+            ("Pentium", _) => ProcessorModel::pentium60_c(),
+            ("EmbeddedRISC", _) => ProcessorModel::embedded_risc(200.0),
+            _ => ProcessorModel::embedded_dsp(100.0),
+        }
+    };
+    for platform in ["Pentium", "EmbeddedRISC", "EmbeddedDSP"] {
+        for variant in MontgomeryVariant::ALL {
+            for lang in ["C", "ASM"] {
+                let cpu = platform_models(platform, lang);
+                // Embedded platforms: only Pentium differentiates C/ASM in
+                // the Koç data; embedded presets carry their own overhead,
+                // so skip the duplicate ASM entry.
+                if platform != "Pentium" && lang == "ASM" {
+                    continue;
+                }
+                let routine = SoftwareRoutine::new(variant, cpu);
+                let time_us = routine.estimate_mont_mul_us(eol);
+                let name = if platform == "Pentium" {
+                    format!("{variant} {lang}")
+                } else {
+                    format!("{variant} {platform}")
+                };
+                let core = CoreRecord::new(
+                    name,
+                    "Koc-Acar-Kaliski",
+                    format!("{variant} Montgomery variant, {lang} on {platform}"),
+                )
+                .bind("ImplementationStyle", "Software")
+                .bind("ProgrammablePlatform", platform)
+                .bind("Algorithm", "Montgomery")
+                .bind("Variant", variant.to_string())
+                .bind("Language", lang)
+                .merit(FigureOfMerit::TimeUs, time_us)
+                .merit(FigureOfMerit::DelayNs, time_us * 1000.0);
+                lib.push(core);
+            }
+        }
+    }
+
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+    use dse::session::ExplorationSession;
+
+    #[test]
+    fn layer_structure_matches_fig5_and_fig7() {
+        let layer = build_layer().unwrap();
+        let s = &layer.space;
+        assert_eq!(s.path_string(layer.omm), "Operator.Modular.Multiplier");
+        assert_eq!(
+            s.path_string(layer.omm_hm),
+            "Operator.Modular.Multiplier.Hardware.Montgomery"
+        );
+        assert_eq!(
+            s.path_string(layer.omm_hb),
+            "Operator.Modular.Multiplier.Hardware.Brickell"
+        );
+        assert!(s.validate().is_empty());
+        // The software branch spawned its three platforms.
+        assert_eq!(s.node(layer.omm_sw).children().len(), 3);
+    }
+
+    #[test]
+    fn omm_has_the_fig8_requirements() {
+        let layer = build_layer().unwrap();
+        let names: Vec<&str> = layer
+            .space
+            .effective_properties(layer.omm)
+            .iter()
+            .map(|(_, p)| p.name())
+            .collect();
+        for req in [
+            "EOL",
+            "OperandCoding",
+            "ResultCoding",
+            "ModuloIsOdd",
+            "MaxLatencyUs",
+        ] {
+            assert!(names.contains(&req), "{req}");
+        }
+    }
+
+    #[test]
+    fn leaf_inherits_all_ancestor_issues() {
+        // The paper: at the leaf the designer may revisit non-generalized
+        // issues of all ancestors (Radix, SliceWidth, technology, …).
+        let layer = build_layer().unwrap();
+        let names: Vec<&str> = layer
+            .space
+            .effective_properties(layer.omm_hm)
+            .iter()
+            .map(|(_, p)| p.name())
+            .collect();
+        for issue in [
+            "Radix",
+            "SliceWidth",
+            "NumberOfSlices",
+            "LayoutStyle",
+            "FabricationTechnology",
+            "AdderStructure",
+            "EOL",
+        ] {
+            assert!(names.contains(&issue), "{issue}");
+        }
+    }
+
+    #[test]
+    fn montgomery_behavior_decomposes_into_operator_cdos() {
+        let layer = build_layer().unwrap();
+        let behaviors = layer.space.node(layer.omm_hm).behaviors();
+        assert_eq!(behaviors.len(), 1);
+        let bd = &behaviors[0];
+        assert!(bd.text().contains("Qi := (R0*(r-M0)^-1) mod r"));
+        assert_eq!(bd.decomposition().len(), 3);
+        for op in bd.decomposition() {
+            assert!(layer.space.find_by_path(op.cdo_path()).is_some());
+        }
+    }
+
+    #[test]
+    fn library_has_hardware_and_software_cores() {
+        let lib = build_library(&Technology::g10_035(), 768);
+        // 8 families × 5 widths (all divide 768? 8,16,32,64,128 yes) + 10 sw.
+        let hw = lib
+            .cores()
+            .iter()
+            .filter(|c| c.binding("ImplementationStyle") == Some(&Value::from("Hardware")))
+            .count();
+        let sw = lib.len() - hw;
+        assert_eq!(hw, 40);
+        assert_eq!(sw, 20); // Pentium C/ASM + embedded RISC + embedded DSP
+        assert!(lib.find("#2_64").is_some());
+        assert!(lib.find("CIHS ASM").is_some());
+        assert!(lib.find("CIOS EmbeddedRISC").is_some());
+        assert!(lib.find("FIPS EmbeddedDSP").is_some());
+    }
+
+    #[test]
+    fn section5_walkthrough_prunes_to_csa_montgomery_hardware() {
+        let layer = build_layer().unwrap();
+        let lib = build_library(&Technology::g10_035(), 768);
+        let mut exp = Explorer::new(&layer.space, layer.omm, &lib);
+        let total = exp.surviving_cores().len();
+
+        // Req1–Req5 (Fig. 8 values from the Koç coprocessor spec).
+        exp.session
+            .set_requirement("EOL", Value::from(768))
+            .unwrap();
+        exp.session
+            .set_requirement("OperandCoding", Value::from("2's complement"))
+            .unwrap();
+        exp.session
+            .set_requirement("ResultCoding", Value::from("redundant"))
+            .unwrap();
+        exp.session
+            .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        exp.session
+            .set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+
+        // CC6 rejects software outright at this spec.
+        let err = exp
+            .session
+            .decide("ImplementationStyle", Value::from("Software"))
+            .unwrap_err();
+        assert!(
+            matches!(err, DseError::ConstraintViolation { ref constraint, .. } if constraint == "CC6")
+        );
+
+        exp.session
+            .decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        let after_hw = exp.surviving_cores().len();
+        assert!(after_hw < total);
+        assert_eq!(after_hw, 40);
+
+        exp.session
+            .decide("Algorithm", Value::from("Montgomery"))
+            .unwrap();
+        let after_algo = exp.surviving_cores().len();
+        assert_eq!(after_algo, 30); // 6 Montgomery families × 5 widths
+
+        // CC4 forbids non-CSA adders at this operand length.
+        assert!(exp
+            .session
+            .decide("AdderStructure", Value::from("carry-look-ahead"))
+            .is_err());
+        exp.session
+            .decide("AdderStructure", Value::from("carry-save"))
+            .unwrap();
+        let survivors = exp.surviving_cores();
+        assert!(survivors
+            .iter()
+            .all(|c| { c.binding("AdderStructure") == Some(&Value::from("carry-save")) }));
+
+        // Some surviving core meets the 8 µs bound.
+        let meeting = exp.cores_meeting(&FigureOfMerit::TimeUs, 8.0);
+        assert!(!meeting.is_empty(), "spec must be satisfiable");
+    }
+
+    #[test]
+    fn cc2_derives_latency_in_session() {
+        let layer = build_layer().unwrap();
+        let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+        ses.set_requirement("EOL", Value::from(768)).unwrap();
+        ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        ses.decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        ses.decide("Algorithm", Value::from("Montgomery")).unwrap();
+        ses.decide("Radix", Value::from(4)).unwrap();
+        let derived = ses.derived();
+        assert!(derived.contains(&("LatencyCycles".to_owned(), Value::Int(385))));
+    }
+
+    #[test]
+    fn di7_explores_the_adder_cdo_with_its_own_library() {
+        // The paper: "This design space exploration step is thus performed
+        // using other CDOs in the hierarchy (i.e., the Arithmetic Adders
+        // and Multipliers)."
+        let layer = build_layer().unwrap();
+        let adders = build_adder_library(&Technology::g10_035());
+        assert_eq!(adders.len(), 15); // 3 logic styles × 5 widths
+        let mut exp = Explorer::new(&layer.space, layer.adder, &adders);
+        exp.session
+            .set_requirement("WordSize", Value::from(64))
+            .unwrap();
+        exp.session
+            .decide("LogicStyle", Value::from("carry-save"))
+            .unwrap();
+        let survivors = exp.surviving_cores();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].name(), "carry-save-64");
+        // The carry-save macro is the fastest 64-bit option, consistent
+        // with CC4's verdict one level up.
+        let all = Explorer::new(&layer.space, layer.adder, &adders);
+        let fastest = all
+            .surviving_cores()
+            .into_iter()
+            .filter(|c| c.binding("WordSize") == Some(&Value::from(64)))
+            .min_by(|a, b| {
+                a.merit_value(&FigureOfMerit::DelayNs)
+                    .unwrap()
+                    .total_cmp(&b.merit_value(&FigureOfMerit::DelayNs).unwrap())
+            })
+            .unwrap();
+        assert_eq!(fastest.name(), "carry-save-64");
+    }
+
+    #[test]
+    fn adder_library_lints_clean_under_the_adder_cdo() {
+        let layer = build_layer().unwrap();
+        let adders = build_adder_library(&Technology::g10_035());
+        let findings = crate::lint::lint_library(&layer.space, layer.adder, &adders);
+        // WordSize is a requirement the macros legitimately parameterize
+        // on; everything else must be clean.
+        assert!(
+            findings.iter().all(|f| f.property == "WordSize"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn bus_interface_attaches_to_the_coprocessor_not_the_multiplier() {
+        let layer = build_layer().unwrap();
+        assert!(layer
+            .space
+            .find_property(layer.exponentiator, "BusInterface")
+            .is_some());
+        // The modular multiplier block carries no bus requirement.
+        assert!(layer
+            .space
+            .find_property(layer.omm, "BusInterface")
+            .is_none());
+    }
+
+    #[test]
+    fn exponentiator_cdo_decomposes_into_the_multiplier() {
+        // The coprocessor-level transition the paper describes.
+        let layer = build_layer().unwrap();
+        let behaviors = layer.space.node(layer.exponentiator).behaviors();
+        assert_eq!(behaviors.len(), 1);
+        assert!(behaviors[0]
+            .decomposition()
+            .iter()
+            .all(|op| op.cdo_path() == "Operator.Modular.Multiplier"));
+        assert_eq!(
+            layer.space.find_by_path("Operator.Modular.Multiplier"),
+            Some(layer.omm)
+        );
+    }
+
+    #[test]
+    fn cc7_derives_multiplication_counts() {
+        let layer = build_layer().unwrap();
+        let mut ses = ExplorationSession::new(&layer.space, layer.exponentiator);
+        ses.set_requirement("ExponentBits", Value::from(1024))
+            .unwrap();
+        assert!(ses.derived().is_empty(), "window not chosen yet");
+        ses.decide("WindowBits", Value::from(4)).unwrap();
+        let derived = ses.derived();
+        // 1024 + 1024/4 + 2^4 − 2 = 1294.
+        assert!(derived.contains(&("TotalMultiplications".to_owned(), Value::Int(1294))));
+        // Binary: 1024 + 1024 + 0 = 2048.
+        ses.revise("WindowBits", Value::from(1)).unwrap();
+        assert!(ses
+            .derived()
+            .contains(&("TotalMultiplications".to_owned(), Value::Int(2048))));
+    }
+
+    #[test]
+    fn coexisting_views_index_the_same_library_identically() {
+        // Equivalent decision sets must leave the same surviving cores in
+        // both hierarchies — the views differ in traversal order only.
+        let main = build_layer().unwrap();
+        let view = build_layer_technology_first().unwrap();
+        let lib = build_library(&Technology::g10_035(), 768);
+
+        let mut exp_main = Explorer::new(&main.space, main.omm, &lib);
+        exp_main
+            .session
+            .set_requirement("EOL", Value::from(768))
+            .unwrap();
+        exp_main
+            .session
+            .set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        exp_main
+            .session
+            .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        exp_main
+            .session
+            .decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        exp_main
+            .session
+            .decide("Algorithm", Value::from("Montgomery"))
+            .unwrap();
+        exp_main
+            .session
+            .decide("FabricationTechnology", Value::from("0.35um"))
+            .unwrap();
+
+        let mut exp_view = Explorer::new(&view.space, view.omm, &lib);
+        exp_view
+            .session
+            .set_requirement("EOL", Value::from(768))
+            .unwrap();
+        exp_view
+            .session
+            .set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        exp_view
+            .session
+            .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        exp_view
+            .session
+            .decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        // In this view the technology is the generalized descent...
+        exp_view
+            .session
+            .decide("FabricationTechnology", Value::from("0.35um"))
+            .unwrap();
+        // ...and the algorithm a plain trade-off issue.
+        exp_view
+            .session
+            .decide("Algorithm", Value::from("Montgomery"))
+            .unwrap();
+
+        let mut names_main: Vec<&str> = exp_main
+            .surviving_cores()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        let mut names_view: Vec<&str> = exp_view
+            .surviving_cores()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        names_main.sort_unstable();
+        names_view.sort_unstable();
+        assert_eq!(names_main, names_view);
+        assert!(!names_main.is_empty());
+        // The view descended into its 0.35um family.
+        assert_eq!(
+            view.space.path_string(exp_view.session.focus()),
+            "Operator.Modular.Multiplier.Hardware.0.35um"
+        );
+    }
+
+    #[test]
+    fn tech_view_still_enforces_cc1() {
+        let view = build_layer_technology_first().unwrap();
+        let mut ses = ExplorationSession::new(&view.space, view.omm);
+        ses.set_requirement("EOL", Value::from(768)).unwrap();
+        ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        ses.set_requirement("ModuloIsOdd", Value::from("notGuaranteed"))
+            .unwrap();
+        ses.decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        ses.decide("FabricationTechnology", Value::from("0.35um"))
+            .unwrap();
+        let err = ses
+            .decide("Algorithm", Value::from("Montgomery"))
+            .unwrap_err();
+        assert!(
+            matches!(err, DseError::ConstraintViolation { ref constraint, .. } if constraint == "CC1")
+        );
+    }
+
+    #[test]
+    fn self_documentation_renders() {
+        let layer = build_layer().unwrap();
+        let md = dse::doc::render_markdown(&layer.space);
+        assert!(md.contains("Operator"));
+        assert!(md.contains("CC1: Montgomery Algorithm requires odd modulo"));
+        assert!(md.contains("FOR i=1 TO n+1"));
+        assert!(md.contains("[ImplementationStyle = Hardware]"));
+    }
+}

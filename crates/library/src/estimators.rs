@@ -1,0 +1,210 @@
+//! Estimation tools wired into the layer (the paper's CC3 context).
+//!
+//! When the pruned design-space region contains no suitable core, the
+//! layer still assists conceptual design through early estimation. These
+//! [`Estimator`] implementations are backed by the same substrates that
+//! price the library cores, so estimates and core figures are mutually
+//! consistent.
+
+use dse::estimate::{EstimateError, Estimator};
+use dse::expr::Bindings;
+use hwmodel::behavior::{brickell_iteration, montgomery_iteration};
+use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+use techlib::Technology;
+
+/// The paper's `BehaviorDelayEstimator`: ranks algorithm-level behavioural
+/// descriptions by maximum combinational delay (CC3's
+/// `MaxCombDelay_R = BehaviorDelayEstimator(B)`).
+///
+/// Inputs: `Algorithm` (`"Montgomery"`/`"Brickell"`), `EOL`, and
+/// optionally `Radix` (default 2).
+#[derive(Debug)]
+pub struct BehaviorDelayEstimator {
+    tech: Technology,
+}
+
+impl BehaviorDelayEstimator {
+    /// Builds the estimator against a technology target.
+    pub fn new(tech: Technology) -> Self {
+        BehaviorDelayEstimator { tech }
+    }
+}
+
+impl Estimator for BehaviorDelayEstimator {
+    fn name(&self) -> &str {
+        "BehaviorDelayEstimator"
+    }
+
+    fn metric(&self) -> &str {
+        "max combinational delay (ns)"
+    }
+
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+        let algorithm = inputs
+            .get("Algorithm")
+            .ok_or_else(|| EstimateError::MissingInput("Algorithm".to_owned()))?
+            .as_text()
+            .ok_or_else(|| EstimateError::NotApplicable("Algorithm must be text".to_owned()))?
+            .to_owned();
+        let eol = inputs
+            .get("EOL")
+            .ok_or_else(|| EstimateError::MissingInput("EOL".to_owned()))?
+            .as_i64()
+            .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?
+            as u32;
+        let radix = inputs.get("Radix").and_then(|v| v.as_i64()).unwrap_or(2) as u64;
+        let k = radix.trailing_zeros().max(1);
+        let graph = match algorithm.as_str() {
+            "Montgomery" => montgomery_iteration(eol, k),
+            "Brickell" => brickell_iteration(eol, k),
+            other => {
+                return Err(EstimateError::NotApplicable(format!(
+                    "no behavioural description for algorithm {other:?}"
+                )))
+            }
+        };
+        Ok(graph.max_combinational_delay_ns(&self.tech))
+    }
+}
+
+/// Software execution-time estimator: the analytic Koç operation counts
+/// priced on a processor model.
+///
+/// Inputs: `EOL`, `Variant` (`"SOS"`…`"CIHS"`), `Language` (`"C"`/`"ASM"`).
+#[derive(Debug)]
+pub struct SoftwareTimeEstimator;
+
+impl Estimator for SoftwareTimeEstimator {
+    fn name(&self) -> &str {
+        "SoftwareTimeEstimator"
+    }
+
+    fn metric(&self) -> &str {
+        "execution time (µs)"
+    }
+
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+        let eol = inputs
+            .get("EOL")
+            .ok_or_else(|| EstimateError::MissingInput("EOL".to_owned()))?
+            .as_i64()
+            .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?
+            as u32;
+        let variant_name = inputs
+            .get("Variant")
+            .ok_or_else(|| EstimateError::MissingInput("Variant".to_owned()))?
+            .as_text()
+            .unwrap_or_default()
+            .to_owned();
+        let variant = MontgomeryVariant::ALL
+            .into_iter()
+            .find(|v| v.to_string() == variant_name)
+            .ok_or_else(|| {
+                EstimateError::NotApplicable(format!("unknown variant {variant_name:?}"))
+            })?;
+        let language = inputs
+            .get("Language")
+            .ok_or_else(|| EstimateError::MissingInput("Language".to_owned()))?
+            .as_text()
+            .unwrap_or_default()
+            .to_owned();
+        let cpu = match language.as_str() {
+            "ASM" => ProcessorModel::pentium60_asm(),
+            "C" => ProcessorModel::pentium60_c(),
+            other => {
+                return Err(EstimateError::NotApplicable(format!(
+                    "unknown language {other:?}"
+                )))
+            }
+        };
+        Ok(SoftwareRoutine::new(variant, cpu).estimate_mont_mul_us(eol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::estimate::EstimatorRegistry;
+    use dse::value::Value;
+
+    fn bindings(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn behavior_estimator_ranks_montgomery_below_brickell() {
+        let est = BehaviorDelayEstimator::new(Technology::g10_035());
+        let mont = est
+            .estimate(&bindings(&[
+                ("Algorithm", Value::from("Montgomery")),
+                ("EOL", Value::from(768)),
+            ]))
+            .unwrap();
+        let brick = est
+            .estimate(&bindings(&[
+                ("Algorithm", Value::from("Brickell")),
+                ("EOL", Value::from(768)),
+            ]))
+            .unwrap();
+        assert!(mont < brick, "montgomery {mont} vs brickell {brick}");
+    }
+
+    #[test]
+    fn behavior_estimator_reports_missing_inputs() {
+        let est = BehaviorDelayEstimator::new(Technology::g10_035());
+        assert_eq!(
+            est.estimate(&Bindings::new()).unwrap_err(),
+            EstimateError::MissingInput("Algorithm".to_owned())
+        );
+        assert!(matches!(
+            est.estimate(&bindings(&[
+                ("Algorithm", Value::from("PaperAndPencil")),
+                ("EOL", Value::from(64)),
+            ]))
+            .unwrap_err(),
+            EstimateError::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn software_estimator_orders_languages() {
+        let est = SoftwareTimeEstimator;
+        let asm = est
+            .estimate(&bindings(&[
+                ("EOL", Value::from(1024)),
+                ("Variant", Value::from("CIHS")),
+                ("Language", Value::from("ASM")),
+            ]))
+            .unwrap();
+        let c = est
+            .estimate(&bindings(&[
+                ("EOL", Value::from(1024)),
+                ("Variant", Value::from("CIHS")),
+                ("Language", Value::from("C")),
+            ]))
+            .unwrap();
+        assert!(c > 4.0 * asm);
+    }
+
+    #[test]
+    fn registry_integration() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(BehaviorDelayEstimator::new(Technology::g10_035())));
+        reg.register(Box::new(SoftwareTimeEstimator));
+        let v = reg
+            .run(
+                "BehaviorDelayEstimator",
+                &bindings(&[
+                    ("Algorithm", Value::from("Montgomery")),
+                    ("EOL", Value::from(64)),
+                    ("Radix", Value::from(4)),
+                ]),
+            )
+            .unwrap();
+        assert!(v > 0.0);
+        assert_eq!(reg.names().len(), 2);
+    }
+}

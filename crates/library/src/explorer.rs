@@ -1,0 +1,289 @@
+//! The explorer: a session joined with reuse libraries.
+//!
+//! This is the paper's headline workflow: each design decision made in
+//! the session corresponds to a pruning of the design space, and the
+//! reusable designs that fall outside the selected region are immediately
+//! eliminated from consideration; critical information on the surviving
+//! set (ranges of performance, area, …) is directly available.
+
+use dse::eval::{EvaluationSpace, FigureOfMerit};
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::session::ExplorationSession;
+
+use crate::core_record::CoreRecord;
+use crate::reuse::ReuseLibrary;
+
+/// An exploration session transparently connected to reuse libraries.
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    /// The conceptual-design session (public: decisions are made here).
+    pub session: ExplorationSession<'a>,
+    libraries: Vec<&'a ReuseLibrary>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Starts an explorer over one library.
+    pub fn new(space: &'a DesignSpace, root: CdoId, library: &'a ReuseLibrary) -> Self {
+        Explorer {
+            session: ExplorationSession::new(space, root),
+            libraries: vec![library],
+        }
+    }
+
+    /// Starts an explorer over several libraries (the layer can reference
+    /// designs residing in different libraries, Fig. 1).
+    pub fn with_libraries(
+        space: &'a DesignSpace,
+        root: CdoId,
+        libraries: impl IntoIterator<Item = &'a ReuseLibrary>,
+    ) -> Self {
+        Explorer {
+            session: ExplorationSession::new(space, root),
+            libraries: libraries.into_iter().collect(),
+        }
+    }
+
+    /// The connected libraries.
+    pub fn libraries(&self) -> &[&'a ReuseLibrary] {
+        &self.libraries
+    }
+
+    /// Cores (across all libraries) complying with every decision made so
+    /// far. Compliance is lenient: a core is only filtered on properties
+    /// it actually binds.
+    pub fn surviving_cores(&self) -> Vec<&'a CoreRecord> {
+        let filter = self.session.bindings();
+        self.libraries
+            .iter()
+            .flat_map(|lib| lib.cores())
+            .filter(|c| c.complies_with(filter))
+            .collect()
+    }
+
+    /// The evaluation space of the surviving cores.
+    pub fn evaluation_space(&self) -> EvaluationSpace {
+        self.surviving_cores()
+            .into_iter()
+            .map(CoreRecord::eval_point)
+            .collect()
+    }
+
+    /// The `(min, max)` range of a merit over the surviving cores — the
+    /// "critical information on the set of reusable designs that do comply
+    /// with the decision".
+    pub fn merit_range(&self, merit: &FigureOfMerit) -> Option<(f64, f64)> {
+        self.evaluation_space().range(merit)
+    }
+
+    /// The Pareto-optimal surviving cores under `merits`.
+    pub fn pareto_cores(&self, merits: &[FigureOfMerit]) -> Vec<&'a CoreRecord> {
+        let cores = self.surviving_cores();
+        let space: EvaluationSpace = cores.iter().map(|c| c.eval_point()).collect();
+        space
+            .pareto_front(merits)
+            .into_iter()
+            .map(|i| cores[i])
+            .collect()
+    }
+
+    /// Surviving cores whose `merit` is at most `bound` — requirement
+    /// checks like the case study's "768-bit modmul in ≤ 8 µs".
+    pub fn cores_meeting(&self, merit: &FigureOfMerit, bound: f64) -> Vec<&'a CoreRecord> {
+        self.surviving_cores()
+            .into_iter()
+            .filter(|c| c.merit_value(merit).is_some_and(|v| v <= bound))
+            .collect()
+    }
+
+    /// Ranks the still-open design issues by their impact on `merit`
+    /// over the surviving cores — the paper's rule that design issues
+    /// "should be partially ordered ... considering the degree to which
+    /// they impact key requirements".
+    ///
+    /// Impact of an issue = relative spread of the per-option mean merit
+    /// (`(max − min) / overall mean`); an issue every surviving core
+    /// answers identically has zero impact. Issues are returned most
+    /// impactful first.
+    pub fn issue_impact(&self, merit: &FigureOfMerit) -> Vec<(String, f64)> {
+        let cores = self.surviving_cores();
+        let overall_mean = {
+            let vals: Vec<f64> = cores.iter().filter_map(|c| c.merit_value(merit)).collect();
+            if vals.is_empty() {
+                return Vec::new();
+            }
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+
+        let mut out = Vec::new();
+        for prop in self.session.open_issues() {
+            let Some(options) = prop.domain().enumerate() else {
+                continue;
+            };
+            let mut means = Vec::new();
+            for option in &options {
+                let vals: Vec<f64> = cores
+                    .iter()
+                    .filter(|c| {
+                        c.binding(prop.name())
+                            .is_some_and(|have| have.matches(option))
+                    })
+                    .filter_map(|c| c.merit_value(merit))
+                    .collect();
+                if !vals.is_empty() {
+                    means.push(vals.iter().sum::<f64>() / vals.len() as f64);
+                }
+            }
+            let impact = if means.len() < 2 || overall_mean == 0.0 {
+                0.0
+            } else {
+                let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                (hi - lo) / overall_mean
+            };
+            out.push((prop.name().to_owned(), impact));
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::prelude::*;
+
+    fn space() -> (DesignSpace, CdoId) {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Multiplier", "");
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["Hardware", "Software"]), ""),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        (s, root)
+    }
+
+    fn library() -> ReuseLibrary {
+        let mut lib = ReuseLibrary::new("lib");
+        lib.push(
+            CoreRecord::new("hw-fast", "x", "")
+                .bind("Style", "Hardware")
+                .merit(FigureOfMerit::DelayNs, 100.0)
+                .merit(FigureOfMerit::AreaUm2, 900.0),
+        );
+        lib.push(
+            CoreRecord::new("hw-small", "x", "")
+                .bind("Style", "Hardware")
+                .merit(FigureOfMerit::DelayNs, 300.0)
+                .merit(FigureOfMerit::AreaUm2, 200.0),
+        );
+        lib.push(
+            CoreRecord::new("hw-bad", "x", "")
+                .bind("Style", "Hardware")
+                .merit(FigureOfMerit::DelayNs, 400.0)
+                .merit(FigureOfMerit::AreaUm2, 1000.0),
+        );
+        lib.push(
+            CoreRecord::new("sw", "x", "")
+                .bind("Style", "Software")
+                .merit(FigureOfMerit::DelayNs, 9000.0),
+        );
+        lib
+    }
+
+    #[test]
+    fn decisions_prune_the_core_set() {
+        let (s, root) = space();
+        let lib = library();
+        let mut exp = Explorer::new(&s, root, &lib);
+        assert_eq!(exp.surviving_cores().len(), 4);
+        exp.session
+            .decide("Style", Value::from("Hardware"))
+            .unwrap();
+        let names: Vec<&str> = exp.surviving_cores().iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(!names.contains(&"sw"));
+    }
+
+    #[test]
+    fn ranges_follow_the_pruning() {
+        let (s, root) = space();
+        let lib = library();
+        let mut exp = Explorer::new(&s, root, &lib);
+        let (_, hi) = exp.merit_range(&FigureOfMerit::DelayNs).unwrap();
+        assert_eq!(hi, 9000.0);
+        exp.session
+            .decide("Style", Value::from("Hardware"))
+            .unwrap();
+        let (lo, hi) = exp.merit_range(&FigureOfMerit::DelayNs).unwrap();
+        assert_eq!((lo, hi), (100.0, 400.0));
+    }
+
+    #[test]
+    fn pareto_and_bound_queries() {
+        let (s, root) = space();
+        let lib = library();
+        let mut exp = Explorer::new(&s, root, &lib);
+        exp.session
+            .decide("Style", Value::from("Hardware"))
+            .unwrap();
+        let pareto = exp.pareto_cores(&[FigureOfMerit::DelayNs, FigureOfMerit::AreaUm2]);
+        let names: Vec<&str> = pareto.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["hw-fast", "hw-small"]);
+        let fast = exp.cores_meeting(&FigureOfMerit::DelayNs, 150.0);
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].name(), "hw-fast");
+    }
+
+    #[test]
+    fn issue_impact_ranks_discriminating_issues_first() {
+        use crate::crypto;
+        use techlib::Technology;
+
+        let layer = crypto::build_layer().unwrap();
+        let lib = crypto::build_library(&Technology::g10_035(), 768);
+        let mut exp = Explorer::new(&layer.space, layer.omm, &lib);
+        exp.session
+            .set_requirement("EOL", Value::from(768))
+            .unwrap();
+        exp.session
+            .set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        exp.session
+            .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        exp.session
+            .decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+
+        let ranking = exp.issue_impact(&FigureOfMerit::DelayNs);
+        let impact = |name: &str| {
+            ranking
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // Every hardware core shares the layout style, so it cannot
+        // discriminate; the algorithm and the slicing can.
+        assert_eq!(impact("LayoutStyle"), 0.0);
+        assert!(impact("Algorithm") > 0.0);
+        assert!(impact("SliceWidth") > impact("LayoutStyle"));
+        // The ranking is sorted descending.
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn multiple_libraries_union() {
+        let (s, root) = space();
+        let lib1 = library();
+        let mut lib2 = ReuseLibrary::new("second");
+        lib2.push(CoreRecord::new("extra", "y", "").bind("Style", "Hardware"));
+        let exp = Explorer::with_libraries(&s, root, [&lib1, &lib2]);
+        assert_eq!(exp.surviving_cores().len(), 5);
+        assert_eq!(exp.libraries().len(), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! A DSP-domain design space layer: direct-form FIR filters.
+//!
+//! The paper's closing claim is that the layer "can be tailored to the
+//! needs and resources of each design environment"; this module is a
+//! third domain (after cryptography and IDCT) authored against the same
+//! framework, backed by the `hwmodel::fir` substrate. Its generalized
+//! issue is the classic DSP lever: parallelism — a filter with one MAC
+//! per tap and a time-multiplexed single-MAC filter occupy radically
+//! different evaluation-space regions.
+
+use dse::constraint::{ConsistencyConstraint, Fidelity, Relation};
+use dse::error::DseError;
+use dse::eval::FigureOfMerit;
+use dse::expr::{CmpOp, Expr, Pred};
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::property::{Property, Unit};
+use dse::value::{Domain, Value};
+use hwmodel::FirArchitecture;
+use techlib::Technology;
+
+use crate::core_record::CoreRecord;
+use crate::reuse::ReuseLibrary;
+
+/// The built FIR layer with handles to its CDOs.
+#[derive(Debug, Clone)]
+pub struct FirLayer {
+    /// The layer.
+    pub space: DesignSpace,
+    /// The root FIR CDO.
+    pub fir: CdoId,
+    /// The per-parallelism families.
+    pub families: Vec<CdoId>,
+}
+
+/// Builds the FIR design space layer.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn build_layer() -> Result<FirLayer, DseError> {
+    let mut s = DesignSpace::new("fir-filters");
+    let fir = s.add_root("FirFilter", "direct-form FIR filters");
+
+    s.add_property(
+        fir,
+        Property::requirement("Taps", Domain::int_range(1, 256), None, "filter order + 1"),
+    )?;
+    s.add_property(
+        fir,
+        Property::requirement(
+            "DataWidth",
+            Domain::int_range(4, 32),
+            Some(Unit::bits()),
+            "sample width",
+        ),
+    )?;
+    s.add_property(
+        fir,
+        Property::requirement(
+            "SampleRateMsps",
+            Domain::real_up_to(1000.0),
+            Some(Unit::new("Msps")),
+            "required output sample rate",
+        ),
+    )?;
+    s.add_property(
+        fir,
+        Property::generalized_issue(
+            "Parallelism",
+            Domain::options(["parallel", "semi-parallel", "serial"]),
+            "MAC-per-tap vs time-multiplexed structures: radically different area/rate families",
+        ),
+    )?;
+    let families = s.specialize(fir, "Parallelism")?;
+
+    s.add_property(
+        fir,
+        Property::issue_with_default(
+            "MacUnits",
+            Domain::options([1, 2, 4, 8, 16, 32, 64, 128, 256]),
+            Value::Int(2),
+            "physical MAC count (1 = fully serial)",
+        ),
+    )?;
+    s.add_property(
+        fir,
+        Property::issue(
+            "CoefficientWidth",
+            Domain::options([8, 10, 12, 16]),
+            "coefficient quantization",
+        ),
+    )?;
+
+    // CC8 (exact): a MAC schedule needs Taps/MacUnits cycles per sample.
+    s.add_constraint(
+        fir,
+        ConsistencyConstraint::new(
+            "CC8",
+            "cycles per output sample follow the MAC schedule",
+            ["Taps".to_owned(), "MacUnits".to_owned()],
+            ["CyclesPerSample".to_owned()],
+            Relation::Quantitative {
+                target: "CyclesPerSample".to_owned(),
+                formula: Expr::prop("Taps").div(Expr::prop("MacUnits")),
+                fidelity: Fidelity::Exact,
+            },
+        ),
+    );
+    // CC9 (heuristic): a single-MAC filter cannot sustain tens of Msps on
+    // long filters.
+    s.add_constraint(
+        fir,
+        ConsistencyConstraint::new(
+            "CC9",
+            "serial structures cannot meet high sample rates on long filters",
+            ["Taps".to_owned(), "SampleRateMsps".to_owned()],
+            ["Parallelism".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("Parallelism", "serial"),
+                Pred::cmp(CmpOp::Ge, Expr::prop("Taps"), Expr::constant(16)),
+                Pred::cmp(CmpOp::Ge, Expr::prop("SampleRateMsps"), Expr::constant(20)),
+            ])),
+        ),
+    );
+
+    debug_assert!(s.validate().is_empty());
+    Ok(FirLayer {
+        space: s,
+        fir,
+        families,
+    })
+}
+
+/// Builds the FIR reuse library: parallel, semi-parallel and serial cores
+/// across tap counts and widths, priced by the `hwmodel::fir` substrate.
+pub fn build_library(tech: &Technology) -> ReuseLibrary {
+    let mut lib = ReuseLibrary::new(format!("fir cores @ {tech}"));
+    for taps in [16u32, 32, 64] {
+        for (data_width, coeff_width) in [(12u32, 12u32), (16, 16)] {
+            for macs in [1u32, 4, taps] {
+                let Ok(arch) = FirArchitecture::new(taps, data_width, coeff_width, macs) else {
+                    continue;
+                };
+                let est = arch.estimate(tech);
+                let parallelism = if macs == taps {
+                    "parallel"
+                } else if macs == 1 {
+                    "serial"
+                } else {
+                    "semi-parallel"
+                };
+                lib.push(
+                    CoreRecord::new(
+                        format!("fir{taps}x{data_width}-{macs}mac"),
+                        "in-house",
+                        format!("{arch}"),
+                    )
+                    .bind("Parallelism", parallelism)
+                    .bind("MacUnits", macs as i64)
+                    .bind("Taps", taps as i64)
+                    .bind("DataWidth", data_width as i64)
+                    .bind("CoefficientWidth", coeff_width as i64)
+                    .merit(FigureOfMerit::AreaUm2, est.area_um2)
+                    .merit(FigureOfMerit::DelayNs, est.sample_time_ns)
+                    .merit(FigureOfMerit::ClockNs, est.clock_ns)
+                    .merit(FigureOfMerit::LatencyCycles, est.cycles_per_sample as f64)
+                    .merit(FigureOfMerit::PowerMw, est.power_mw),
+                );
+            }
+        }
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+    use dse::session::ExplorationSession;
+
+    #[test]
+    fn layer_builds_with_three_families() {
+        let layer = build_layer().unwrap();
+        assert_eq!(layer.families.len(), 3);
+        assert_eq!(
+            layer.space.path_string(layer.families[0]),
+            "FirFilter.parallel"
+        );
+        assert!(layer.space.validate().is_empty());
+    }
+
+    #[test]
+    fn library_covers_all_parallelism_families() {
+        let lib = build_library(&Technology::g10_035());
+        assert_eq!(lib.len(), 18); // 3 taps × 2 widths × 3 parallelisms
+        for family in ["parallel", "semi-parallel", "serial"] {
+            assert!(
+                lib.cores()
+                    .iter()
+                    .any(|c| c.binding("Parallelism") == Some(&Value::from(family))),
+                "{family}"
+            );
+        }
+    }
+
+    #[test]
+    fn cc9_rejects_serial_for_fast_long_filters() {
+        let layer = build_layer().unwrap();
+        let mut ses = ExplorationSession::new(&layer.space, layer.fir);
+        ses.set_requirement("Taps", Value::from(64)).unwrap();
+        ses.set_requirement("DataWidth", Value::from(12)).unwrap();
+        ses.set_requirement("SampleRateMsps", Value::from(40.0))
+            .unwrap();
+        let err = ses
+            .decide("Parallelism", Value::from("serial"))
+            .unwrap_err();
+        assert!(
+            matches!(err, DseError::ConstraintViolation { ref constraint, .. } if constraint == "CC9")
+        );
+        ses.decide("Parallelism", Value::from("parallel")).unwrap();
+    }
+
+    #[test]
+    fn cc8_derives_the_cycle_count() {
+        let layer = build_layer().unwrap();
+        let mut ses = ExplorationSession::new(&layer.space, layer.fir);
+        ses.set_requirement("Taps", Value::from(64)).unwrap();
+        ses.set_requirement("DataWidth", Value::from(12)).unwrap();
+        ses.set_requirement("SampleRateMsps", Value::from(10.0))
+            .unwrap();
+        ses.decide("Parallelism", Value::from("semi-parallel"))
+            .unwrap();
+        ses.decide("MacUnits", Value::from(4)).unwrap();
+        assert!(ses
+            .derived()
+            .contains(&("CyclesPerSample".to_owned(), Value::Int(16))));
+    }
+
+    #[test]
+    fn exploration_prunes_to_the_committed_family() {
+        let layer = build_layer().unwrap();
+        let lib = build_library(&Technology::g10_035());
+        let mut exp = Explorer::new(&layer.space, layer.fir, &lib);
+        exp.session
+            .set_requirement("Taps", Value::from(32))
+            .unwrap();
+        exp.session
+            .set_requirement("DataWidth", Value::from(16))
+            .unwrap();
+        exp.session
+            .set_requirement("SampleRateMsps", Value::from(40.0))
+            .unwrap();
+        exp.session
+            .decide("Parallelism", Value::from("parallel"))
+            .unwrap();
+        let survivors = exp.surviving_cores();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].name(), "fir32x16-32mac");
+        // ... and it actually meets the rate.
+        let sample_ns = survivors[0].merit_value(&FigureOfMerit::DelayNs).unwrap();
+        assert!(1000.0 / sample_ns >= 40.0);
+    }
+
+    #[test]
+    fn families_occupy_distinct_evaluation_regions() {
+        // The justification for the generalized issue, Fig.-3 style.
+        let lib = build_library(&Technology::g10_035());
+        let mean = |family: &str, merit: &FigureOfMerit| {
+            let vals: Vec<f64> = lib
+                .cores()
+                .iter()
+                .filter(|c| c.binding("Parallelism") == Some(&Value::from(family)))
+                .filter_map(|c| c.merit_value(merit))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(
+            mean("parallel", &FigureOfMerit::AreaUm2)
+                > 3.0 * mean("serial", &FigureOfMerit::AreaUm2)
+        );
+        assert!(
+            mean("serial", &FigureOfMerit::DelayNs)
+                > 5.0 * mean("parallel", &FigureOfMerit::DelayNs)
+        );
+    }
+}

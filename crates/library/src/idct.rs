@@ -1,0 +1,282 @@
+//! The IDCT design space layer — the paper's motivating example
+//! (Figs. 2–4).
+//!
+//! Five IDCT hard cores populate the reuse library. The paper's point:
+//! organising their design space strictly by abstraction level (Fig. 2)
+//! scatters evaluation-space neighbours across the organisation, while a
+//! generalization/specialization hierarchy built on evaluation-space
+//! proximity (Fig. 3) clusters designs 1, 2, 5 (older 0.7 µm technology:
+//! large and slow) apart from designs 3, 4 (0.35 µm: small and fast) —
+//! even though e.g. designs 1 and 4 implement the *same* algorithm.
+//!
+//! [`build_layer_generalization`] puts the high-impact issue
+//! (fabrication technology) first; [`build_layer_abstraction`] organises
+//! by algorithm first, mimicking the abstraction-driven layout. The
+//! Fig. 3 experiment compares the evaluation-space coherence of the two
+//! groupings.
+
+use dse::error::DseError;
+use dse::eval::FigureOfMerit;
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::property::{Property, Unit};
+use dse::value::{Domain, Value};
+use techlib::{FabricationNode, LayoutStyle, Technology};
+
+use crate::core_record::CoreRecord;
+use crate::reuse::ReuseLibrary;
+
+/// Gate-equivalent and τ budgets per IDCT algorithm (structural size of
+/// an 8×8 2-D IDCT datapath and its per-block latency).
+fn algorithm_budget(algorithm: &str) -> (f64, f64) {
+    match algorithm {
+        "Chen" => (8_500.0, 820.0),
+        "Lee" => (7_000.0, 940.0),
+        "Loeffler" => (6_200.0, 1_020.0),
+        other => panic!("unknown IDCT algorithm {other:?}"),
+    }
+}
+
+/// The five IDCT cores of Fig. 2, with figures derived from the
+/// technology substrate. Designs 1, 2, 5 are 0.7 µm; 3, 4 are 0.35 µm;
+/// designs 1 and 4 share the Chen algorithm (the paper's pointed example).
+pub fn idct_cores() -> Vec<CoreRecord> {
+    let spec: [(&str, &str, u32); 5] = [
+        ("IDCT 1", "Chen", 700),
+        ("IDCT 2", "Lee", 700),
+        ("IDCT 3", "Loeffler", 350),
+        ("IDCT 4", "Chen", 350),
+        ("IDCT 5", "Loeffler", 700),
+    ];
+    spec.into_iter()
+        .map(|(name, algorithm, feature)| {
+            let tech = Technology::new(FabricationNode::scaled(feature), LayoutStyle::StandardCell);
+            let (ge, tau) = algorithm_budget(algorithm);
+            CoreRecord::new(name, "third-party", format!("{algorithm} 8x8 IDCT"))
+                .bind("ImplementationStyle", "Hardware")
+                .bind("Algorithm", algorithm)
+                .bind("FabricationTechnology", tech.node().name())
+                .bind("LayoutStyle", tech.layout().to_string())
+                .merit(FigureOfMerit::AreaUm2, tech.ge_to_um2(ge))
+                .merit(FigureOfMerit::DelayNs, tech.tau_to_ns(tau))
+        })
+        .collect()
+}
+
+/// The IDCT reuse library.
+pub fn build_library() -> ReuseLibrary {
+    let mut lib = ReuseLibrary::new("idct cores");
+    lib.extend(idct_cores());
+    lib
+}
+
+/// A built IDCT layer with handles to the interesting CDOs.
+#[derive(Debug, Clone)]
+pub struct IdctLayer {
+    /// The layer.
+    pub space: DesignSpace,
+    /// The root IDCT CDO.
+    pub idct: CdoId,
+    /// The hardware sub-class.
+    pub hardware: CdoId,
+    /// The children spawned by the hardware class's generalized issue.
+    pub families: Vec<CdoId>,
+}
+
+fn base_layer(name: &str) -> Result<(DesignSpace, CdoId, CdoId), DseError> {
+    let mut s = DesignSpace::new(name);
+    let idct = s.add_root("IDCT", "inverse discrete cosine transform blocks");
+    s.add_property(
+        idct,
+        Property::requirement(
+            "WordSize",
+            Domain::int_range(8, 32),
+            Some(Unit::bits()),
+            "sample width",
+        ),
+    )?;
+    s.add_property(
+        idct,
+        Property::requirement(
+            "Precision",
+            Domain::int_range(8, 16),
+            Some(Unit::bits()),
+            "arithmetic precision",
+        ),
+    )?;
+    s.add_property(
+        idct,
+        Property::generalized_issue(
+            "ImplementationStyle",
+            Domain::options(["Hardware", "Software"]),
+            "Fig. 4: hardware vs software families",
+        ),
+    )?;
+    let kids = s.specialize(idct, "ImplementationStyle")?;
+    Ok((s, idct, kids[0]))
+}
+
+/// The generalization-based organisation (Fig. 3 / Fig. 4): under
+/// Hardware, the *fabrication technology* — the issue with the dominant
+/// impact on the figures of merit — is the generalized issue.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn build_layer_generalization() -> Result<IdctLayer, DseError> {
+    let (mut s, idct, hardware) = base_layer("idct-generalization")?;
+    s.add_property(
+        hardware,
+        Property::generalized_issue(
+            "FabricationTechnology",
+            Domain::options(["0.70um", "0.35um"]),
+            "dominant area/delay lever: partitions the families",
+        ),
+    )?;
+    let families = s.specialize(hardware, "FabricationTechnology")?;
+    s.add_property(
+        hardware,
+        Property::issue(
+            "Algorithm",
+            Domain::options(["Chen", "Lee", "Loeffler"]),
+            "IDCT algorithm (finer trade-off within a family)",
+        ),
+    )?;
+    Ok(IdctLayer {
+        space: s,
+        idct,
+        hardware,
+        families,
+    })
+}
+
+/// The abstraction-based organisation (Fig. 2): under Hardware, the
+/// *algorithm* (the highest abstraction level) is the generalized issue —
+/// which scatters evaluation-space neighbours.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn build_layer_abstraction() -> Result<IdctLayer, DseError> {
+    let (mut s, idct, hardware) = base_layer("idct-abstraction")?;
+    s.add_property(
+        hardware,
+        Property::generalized_issue(
+            "Algorithm",
+            Domain::options(["Chen", "Lee", "Loeffler"]),
+            "algorithm-level organisation (abstraction-first)",
+        ),
+    )?;
+    let families = s.specialize(hardware, "Algorithm")?;
+    s.add_property(
+        hardware,
+        Property::issue(
+            "FabricationTechnology",
+            Domain::options(["0.70um", "0.35um"]),
+            "technology, considered only below the algorithm split",
+        ),
+    )?;
+    Ok(IdctLayer {
+        space: s,
+        idct,
+        hardware,
+        families,
+    })
+}
+
+/// Groups core indices by the option each core binds for the layer's
+/// hardware-level generalized issue — i.e. the families the organisation
+/// defines. Cores that do not bind the issue are skipped.
+pub fn family_grouping(layer: &IdctLayer, cores: &[CoreRecord]) -> Vec<Vec<usize>> {
+    let issue = layer
+        .space
+        .node(layer.hardware)
+        .generalized_issue()
+        .expect("idct hardware class has a generalized issue");
+    let mut groups: Vec<(Value, Vec<usize>)> = Vec::new();
+    for (i, core) in cores.iter().enumerate() {
+        let Some(v) = core.binding(issue) else {
+            continue;
+        };
+        match groups.iter_mut().find(|(g, _)| g.matches(v)) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((v.clone(), vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::eval::EvaluationSpace;
+
+    #[test]
+    fn five_cores_with_technology_scaled_figures() {
+        let cores = idct_cores();
+        assert_eq!(cores.len(), 5);
+        // 0.7 µm cores are roughly 4x the area of their 0.35 µm siblings.
+        let chen07 = cores[0].merit_value(&FigureOfMerit::AreaUm2).unwrap();
+        let chen035 = cores[3].merit_value(&FigureOfMerit::AreaUm2).unwrap();
+        assert!((chen07 / chen035 - 4.0).abs() < 0.01);
+        // Designs 1 and 4 share the algorithm but not the family.
+        assert_eq!(cores[0].binding("Algorithm"), cores[3].binding("Algorithm"));
+        assert_ne!(
+            cores[0].binding("FabricationTechnology"),
+            cores[3].binding("FabricationTechnology")
+        );
+    }
+
+    #[test]
+    fn generalization_grouping_matches_fig3_clusters() {
+        let layer = build_layer_generalization().unwrap();
+        let cores = idct_cores();
+        let groups = family_grouping(&layer, &cores);
+        assert_eq!(groups.len(), 2);
+        // {1,2,5} = indices 0,1,4 and {3,4} = indices 2,3.
+        let mut sorted: Vec<Vec<usize>> = groups.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![vec![0, 1, 4], vec![2, 3]]);
+    }
+
+    #[test]
+    fn abstraction_grouping_scatters_the_clusters() {
+        let layer = build_layer_abstraction().unwrap();
+        let cores = idct_cores();
+        let groups = family_grouping(&layer, &cores);
+        assert_eq!(groups.len(), 3); // Chen, Lee, Loeffler
+                                     // The Chen group mixes a 0.7 µm and a 0.35 µm core.
+        let chen: Vec<usize> = groups.iter().find(|g| g.contains(&0)).cloned().unwrap();
+        assert!(chen.contains(&3));
+    }
+
+    #[test]
+    fn generalization_beats_abstraction_on_coherence() {
+        // The quantitative form of the Fig. 2-vs-Fig. 3 argument.
+        let cores = idct_cores();
+        let space: EvaluationSpace = cores.iter().map(|c| c.eval_point()).collect();
+        let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
+
+        let gen = build_layer_generalization().unwrap();
+        let abs = build_layer_abstraction().unwrap();
+        let coherence_gen = space.partition_coherence(&merits, &family_grouping(&gen, &cores));
+        let coherence_abs = space.partition_coherence(&merits, &family_grouping(&abs, &cores));
+        assert!(
+            coherence_gen > coherence_abs + 0.2,
+            "generalization {coherence_gen} vs abstraction {coherence_abs}"
+        );
+        assert!(coherence_gen > 0.5);
+    }
+
+    #[test]
+    fn library_wraps_the_cores() {
+        let lib = build_library();
+        assert_eq!(lib.len(), 5);
+        assert!(lib.find("IDCT 4").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown IDCT algorithm")]
+    fn unknown_algorithm_panics() {
+        let _ = algorithm_budget("Winograd");
+    }
+}

@@ -1,0 +1,147 @@
+//! Library/layer consistency linting.
+//!
+//! The design space layer indexes cores through their design-option
+//! bindings, so a core whose bindings contradict the layer's declared
+//! domains (a radix of 3, an unknown adder structure, …) would silently
+//! disappear from every exploration. The lint makes such mismatches loud:
+//! a design environment should run it whenever it imports a third-party
+//! library under its layer.
+
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::property::PropertyKind;
+
+use crate::reuse::ReuseLibrary;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// The offending core.
+    pub core: String,
+    /// The property involved.
+    pub property: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} — {}", self.core, self.property, self.message)
+    }
+}
+
+/// Checks every core's bindings against the properties visible at `cdo`
+/// (the class the library is indexed under):
+///
+/// * a binding for a property the layer does not know is flagged (likely
+///   a typo that would make filtering silently miss it),
+/// * a binding outside the property's declared domain is flagged,
+/// * a binding for a *requirement* is flagged (cores embody decisions,
+///   not application requirements).
+pub fn lint_library(space: &DesignSpace, cdo: CdoId, library: &ReuseLibrary) -> Vec<LintFinding> {
+    // Collect every property visible anywhere in the subtree rooted at
+    // `cdo` (cores may bind leaf-level issues).
+    let mut visible = Vec::new();
+    let mut stack = vec![cdo];
+    while let Some(id) = stack.pop() {
+        for (_, p) in space.effective_properties(id) {
+            if !visible.iter().any(|(n, _)| *n == p.name()) {
+                visible.push((p.name(), p));
+            }
+        }
+        stack.extend(space.node(id).children().iter().copied());
+    }
+
+    let mut findings = Vec::new();
+    for core in library.cores() {
+        for (name, value) in core.bindings() {
+            match visible.iter().find(|(n, _)| n == name) {
+                None => findings.push(LintFinding {
+                    core: core.name().to_owned(),
+                    property: name.clone(),
+                    message: "binds a property the layer does not declare".to_owned(),
+                }),
+                Some((_, prop)) => {
+                    if prop.kind() == PropertyKind::Requirement {
+                        findings.push(LintFinding {
+                            core: core.name().to_owned(),
+                            property: name.clone(),
+                            message: "binds an application requirement".to_owned(),
+                        });
+                    } else if !prop.domain().contains(value) {
+                        findings.push(LintFinding {
+                            core: core.name().to_owned(),
+                            property: name.clone(),
+                            message: format!(
+                                "value {value} is outside the declared domain {}",
+                                prop.domain()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_record::CoreRecord;
+    use crate::crypto;
+    use techlib::Technology;
+
+    #[test]
+    fn shipped_crypto_library_lints_clean() {
+        let layer = crypto::build_layer().unwrap();
+        let lib = crypto::build_library(&Technology::g10_035(), 768);
+        let findings = lint_library(&layer.space, layer.omm, &lib);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn out_of_domain_binding_is_flagged() {
+        let layer = crypto::build_layer().unwrap();
+        let mut lib = ReuseLibrary::new("broken");
+        lib.push(
+            CoreRecord::new("bad-radix", "vendor", "")
+                .bind("ImplementationStyle", "Hardware")
+                .bind("Radix", 3), // not a power of two
+        );
+        let findings = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].property, "Radix");
+        assert!(findings[0].message.contains("outside the declared domain"));
+    }
+
+    #[test]
+    fn unknown_property_is_flagged() {
+        let layer = crypto::build_layer().unwrap();
+        let mut lib = ReuseLibrary::new("typo");
+        lib.push(CoreRecord::new("typo-core", "vendor", "").bind("Algoritm", "Montgomery"));
+        let findings = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not declare"));
+        assert!(findings[0].to_string().contains("typo-core"));
+    }
+
+    #[test]
+    fn requirement_binding_is_flagged() {
+        let layer = crypto::build_layer().unwrap();
+        let mut lib = ReuseLibrary::new("confused");
+        lib.push(CoreRecord::new("req-core", "vendor", "").bind("EOL", 768));
+        let findings = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("application requirement"));
+    }
+
+    #[test]
+    fn leaf_level_bindings_are_visible_from_the_root() {
+        // AdderStructure is declared at the Montgomery/Brickell leaves,
+        // yet cores bound under the OMM root must lint clean.
+        let layer = crypto::build_layer().unwrap();
+        let mut lib = ReuseLibrary::new("leaf");
+        lib.push(CoreRecord::new("leaf-core", "vendor", "").bind("AdderStructure", "carry-save"));
+        assert!(lint_library(&layer.space, layer.omm, &lib).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The reuse library: a named collection of cores with persistence.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::core_record::CoreRecord;
+
+/// Errors from loading/saving a reuse library.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::Io(e) => write!(f, "library file error: {e}"),
+            LibraryError::Format(e) => write!(f, "library format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibraryError::Io(e) => Some(e),
+            LibraryError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for LibraryError {
+    fn from(e: std::io::Error) -> Self {
+        LibraryError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LibraryError {
+    fn from(e: serde_json::Error) -> Self {
+        LibraryError::Format(e)
+    }
+}
+
+/// A reuse library: the design-data store the layer indexes into.
+///
+/// Multiple libraries (from different IP providers) can back one layer —
+/// [`crate::Explorer`] accepts any number of them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseLibrary {
+    name: String,
+    cores: Vec<CoreRecord>,
+}
+
+impl ReuseLibrary {
+    /// An empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReuseLibrary {
+            name: name.into(),
+            cores: Vec::new(),
+        }
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a core.
+    pub fn push(&mut self, core: CoreRecord) {
+        self.cores.push(core);
+    }
+
+    /// The cores.
+    pub fn cores(&self) -> &[CoreRecord] {
+        &self.cores
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Finds a core by name.
+    pub fn find(&self, name: &str) -> Option<&CoreRecord> {
+        self.cores.iter().find(|c| c.name() == name)
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a format error if serialization fails.
+    pub fn to_json(&self) -> Result<String, LibraryError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a format error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, LibraryError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Saves to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or format errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LibraryError> {
+        fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LibraryError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+impl Extend<CoreRecord> for ReuseLibrary {
+    fn extend<T: IntoIterator<Item = CoreRecord>>(&mut self, iter: T) {
+        self.cores.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::eval::FigureOfMerit;
+
+    fn sample() -> ReuseLibrary {
+        let mut lib = ReuseLibrary::new("test-lib");
+        lib.push(
+            CoreRecord::new("#1_8", "in-house", "")
+                .bind("Algorithm", "Montgomery")
+                .merit(FigureOfMerit::AreaUm2, 5436.0),
+        );
+        lib.push(CoreRecord::new("CIHS ASM", "koc", "").bind("ImplementationStyle", "Software"));
+        lib
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let lib = sample();
+        let json = lib.to_json().unwrap();
+        let back = ReuseLibrary::from_json(&json).unwrap();
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let lib = sample();
+        let path = std::env::temp_dir().join("dse_library_test.json");
+        lib.save(&path).unwrap();
+        let back = ReuseLibrary::load(&path).unwrap();
+        assert_eq!(lib, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let lib = sample();
+        assert!(lib.find("#1_8").is_some());
+        assert!(lib.find("#9_8").is_none());
+        assert_eq!(lib.len(), 2);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(matches!(
+            ReuseLibrary::from_json("{nope").unwrap_err(),
+            LibraryError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(
+            ReuseLibrary::load("/definitely/not/here.json").unwrap_err(),
+            LibraryError::Io(_)
+        ));
+    }
+}

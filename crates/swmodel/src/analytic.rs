@@ -1,0 +1,138 @@
+//! Closed-form operation-count models (dominant terms).
+//!
+//! Koç–Acar–Kaliski analyse their variants analytically before measuring
+//! them; this module plays the same role. The dominant `s²` coefficients
+//! below are derived from the instrumented loop structures in
+//! [`variants`](crate::variants), and the test suite checks that the
+//! closed forms track the instrumented ledgers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counter::OpCounts;
+use crate::variants::MontgomeryVariant;
+
+/// Closed-form dominant-term counts for one Montgomery product on an
+/// `s`-word modulus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticCounts {
+    /// Modulus size in words.
+    pub s: u64,
+    /// Word multiplications (exactly `2s² + s` for every variant).
+    pub mul: f64,
+    /// Word additions.
+    pub add: f64,
+    /// Memory reads.
+    pub load: f64,
+    /// Memory writes.
+    pub store: f64,
+    /// Loop iterations.
+    pub loop_iter: f64,
+}
+
+impl AnalyticCounts {
+    /// Rounds the analytic model into an [`OpCounts`] ledger.
+    pub fn as_op_counts(&self) -> OpCounts {
+        OpCounts {
+            mul: self.mul.round() as u64,
+            add: self.add.round() as u64,
+            load: self.load.round() as u64,
+            store: self.store.round() as u64,
+            loop_iter: self.loop_iter.round() as u64,
+        }
+    }
+}
+
+/// Dominant-term operation counts for `variant` on an `s`-word modulus.
+///
+/// Every variant multiplies exactly `2s² + s` times; they differ in
+/// addition count, memory traffic and loop overhead:
+///
+/// | variant | add | load | store | loops |
+/// |---------|-----|------|-------|-------|
+/// | SOS     | 4s² | 6s²  | 2s²   | 2s²   |
+/// | CIOS    | 4s² | 6s²  | 2s²   | 2s²   |
+/// | FIOS    | 4.2s²| 5.2s²| 3.2s²| s²    |
+/// | FIPS    | 6s² | 4s²  | ~2.5s | 2s²   |
+/// | CIHS    | 5.7s²| 7.2s²| 3.2s²| 2s²   |
+pub fn analytic_counts(variant: MontgomeryVariant, s: u64) -> AnalyticCounts {
+    let s2 = (s * s) as f64;
+    let sf = s as f64;
+    let (add, load, store, loop_iter) = match variant {
+        MontgomeryVariant::Sos => (4.0 * s2, 6.0 * s2, 2.0 * s2, 2.0 * s2),
+        MontgomeryVariant::Cios => (4.0 * s2, 6.0 * s2, 2.0 * s2, 2.0 * s2),
+        MontgomeryVariant::Fios => (4.2 * s2, 5.2 * s2, 3.2 * s2, s2),
+        MontgomeryVariant::Fips => (6.0 * s2, 4.0 * s2, 0.5 * sf, 2.0 * s2),
+        MontgomeryVariant::Cihs => (5.7 * s2, 7.2 * s2, 3.2 * s2, 2.0 * s2),
+    };
+    AnalyticCounts {
+        s,
+        mul: 2.0 * s2 + sf,
+        add: add + 2.0 * sf,
+        load: load + 3.0 * sf,
+        store: store + 2.0 * sf,
+        loop_iter: loop_iter + sf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::WordMontgomery;
+    use bignum::{uniform_below, UBig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn analytic_tracks_instrumented_counts() {
+        let mut rng = StdRng::seed_from_u64(301);
+        for bits in [256u32, 1024] {
+            let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
+            m.set_bit(bits - 1, true);
+            m.set_bit(0, true);
+            let ctx = WordMontgomery::new(&m).unwrap();
+            let s = ctx.words() as u64;
+            let a = uniform_below(&m, &mut rng);
+            let b = uniform_below(&m, &mut rng);
+            for v in MontgomeryVariant::ALL {
+                let mut counts = OpCounts::new();
+                ctx.mont_mul(&a, &b, v, &mut counts).unwrap();
+                let model = analytic_counts(v, s);
+                assert_eq!(counts.mul, model.mul as u64, "{v} mul at {bits}b");
+                for (name, got, want) in [
+                    ("add", counts.add as f64, model.add),
+                    ("load", counts.load as f64, model.load),
+                    ("store", counts.store as f64, model.store),
+                    ("loop", counts.loop_iter as f64, model.loop_iter),
+                ] {
+                    let ratio = got / want;
+                    assert!(
+                        (0.7..=1.4).contains(&ratio),
+                        "{v} {name} at {bits}b: instrumented {got} vs analytic {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cios_is_the_lightest_overall() {
+        // Weighted by Pentium-class costs, CIOS should be at or near the
+        // minimum — the reason it is everyone's default.
+        let cost = |c: AnalyticCounts| c.mul * 10.0 + c.add + c.load + c.store + c.loop_iter * 2.0;
+        let cios = cost(analytic_counts(MontgomeryVariant::Cios, 32));
+        for v in MontgomeryVariant::ALL {
+            let other = cost(analytic_counts(v, 32));
+            assert!(
+                cios <= other * 1.25,
+                "{v}: CIOS {cios} should be near-minimal vs {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_is_sane() {
+        let c = analytic_counts(MontgomeryVariant::Fios, 10).as_op_counts();
+        assert_eq!(c.mul, 210);
+        assert!(c.add > 0 && c.load > 0);
+    }
+}

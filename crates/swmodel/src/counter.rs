@@ -1,0 +1,113 @@
+//! Operation-count ledgers for the instrumented software variants.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Word-level operation counts accumulated by one routine execution.
+///
+/// The categories follow the Koç–Acar–Kaliski accounting: single-precision
+/// multiplications dominate, followed by double-word additions and memory
+/// traffic (reads/writes of operand and temporary arrays).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// 32×32 → 64-bit word multiplications.
+    pub mul: u64,
+    /// Word additions (including carry-propagation adds).
+    pub add: u64,
+    /// Memory reads of operand/temporary words.
+    pub load: u64,
+    /// Memory writes of operand/temporary words.
+    pub store: u64,
+    /// Loop-control iterations (branch + index update).
+    pub loop_iter: u64,
+}
+
+impl OpCounts {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        OpCounts::default()
+    }
+
+    /// Total number of counted events.
+    pub fn total(&self) -> u64 {
+        self.mul + self.add + self.load + self.store + self.loop_iter
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            mul: self.mul + rhs.mul,
+            add: self.add + rhs.add,
+            load: self.load + rhs.load,
+            store: self.store + rhs.store,
+            loop_iter: self.loop_iter + rhs.loop_iter,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mul={} add={} load={} store={} loop={}",
+            self.mul, self.add, self.load, self.store, self.loop_iter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates_fieldwise() {
+        let a = OpCounts {
+            mul: 1,
+            add: 2,
+            load: 3,
+            store: 4,
+            loop_iter: 5,
+        };
+        let b = OpCounts {
+            mul: 10,
+            add: 20,
+            load: 30,
+            store: 40,
+            loop_iter: 50,
+        };
+        let c = a + b;
+        assert_eq!(c.mul, 11);
+        assert_eq!(c.total(), 165);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(OpCounts::new().total(), 0);
+    }
+
+    #[test]
+    fn display_lists_all_fields() {
+        let a = OpCounts {
+            mul: 1,
+            add: 2,
+            load: 3,
+            store: 4,
+            loop_iter: 5,
+        };
+        assert_eq!(a.to_string(), "mul=1 add=2 load=3 store=4 loop=5");
+    }
+}

@@ -1,0 +1,181 @@
+//! Processor cost models converting operation counts to execution time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counter::OpCounts;
+
+/// A simple in-order processor cost model: cycles per operation class, a
+/// clock frequency, and a language/implementation overhead factor.
+///
+/// The presets are calibrated so that the 1024-bit modular multiplication
+/// of the paper's Fig. 6 lands where the paper reports it: hand-scheduled
+/// assembly around ~1 ms-per-thousand-bits territory (≈0.8–1.0 ms for a
+/// CIHS multiplication at 1024 bits) and compiled C 5–7× slower.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorModel {
+    name: String,
+    freq_mhz: f64,
+    cycles_mul: f64,
+    cycles_add: f64,
+    cycles_load: f64,
+    cycles_store: f64,
+    cycles_loop: f64,
+    /// Multiplier on the total cycle count covering compiler-induced
+    /// spills, poor scheduling and call overhead (1.0 = hand assembly).
+    overhead: f64,
+}
+
+impl ProcessorModel {
+    /// Builds a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency or overhead is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        freq_mhz: f64,
+        cycles_mul: f64,
+        cycles_add: f64,
+        cycles_load: f64,
+        cycles_store: f64,
+        cycles_loop: f64,
+        overhead: f64,
+    ) -> Self {
+        assert!(freq_mhz > 0.0, "frequency must be positive");
+        assert!(overhead >= 1.0, "overhead factor must be at least 1.0");
+        ProcessorModel {
+            name: name.into(),
+            freq_mhz,
+            cycles_mul,
+            cycles_add,
+            cycles_load,
+            cycles_store,
+            cycles_loop,
+            overhead,
+        }
+    }
+
+    /// Pentium-60-class model for hand-scheduled assembly: 10-cycle word
+    /// multiply, single-cycle ALU and cache-hit memory operations.
+    pub fn pentium60_asm() -> Self {
+        ProcessorModel::new("Pentium-60 ASM", 60.0, 10.0, 1.0, 1.0, 1.0, 2.0, 1.0)
+    }
+
+    /// Pentium-60-class model for compiled C: same machine, ~6× overhead
+    /// from register spills and unoptimized loop code (matching the C/ASM
+    /// ratio in the paper's Fig. 6).
+    pub fn pentium60_c() -> Self {
+        ProcessorModel::new("Pentium-60 C", 60.0, 10.0, 1.0, 1.0, 1.0, 2.0, 6.0)
+    }
+
+    /// A generic embedded RISC core at `freq_mhz` (single-cycle ALU,
+    /// 4-cycle multiply) — the paper's "embedded RISC processor" platform
+    /// option under the software branch.
+    pub fn embedded_risc(freq_mhz: f64) -> Self {
+        ProcessorModel::new(
+            format!("RISC @{freq_mhz} MHz"),
+            freq_mhz,
+            4.0,
+            1.0,
+            2.0,
+            2.0,
+            2.0,
+            1.2,
+        )
+    }
+
+    /// A generic embedded DSP: single-cycle MAC makes word multiplies
+    /// cheap — the paper's "embedded digital signal processor" option.
+    pub fn embedded_dsp(freq_mhz: f64) -> Self {
+        ProcessorModel::new(
+            format!("DSP @{freq_mhz} MHz"),
+            freq_mhz,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.2,
+        )
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Total cycles for a ledger of operation counts.
+    pub fn cycles(&self, counts: &OpCounts) -> f64 {
+        let raw = counts.mul as f64 * self.cycles_mul
+            + counts.add as f64 * self.cycles_add
+            + counts.load as f64 * self.cycles_load
+            + counts.store as f64 * self.cycles_store
+            + counts.loop_iter as f64 * self.cycles_loop;
+        raw * self.overhead
+    }
+
+    /// Execution time in microseconds for a ledger.
+    pub fn time_us(&self, counts: &OpCounts) -> f64 {
+        self.cycles(counts) / self.freq_mhz
+    }
+}
+
+impl fmt::Display for ProcessorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} MHz)", self.name, self.freq_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> OpCounts {
+        OpCounts {
+            mul: 1000,
+            add: 2000,
+            load: 3000,
+            store: 1000,
+            loop_iter: 1000,
+        }
+    }
+
+    #[test]
+    fn c_is_slower_than_asm_by_the_overhead_factor() {
+        let c = ProcessorModel::pentium60_c().time_us(&sample_counts());
+        let asm = ProcessorModel::pentium60_asm().time_us(&sample_counts());
+        assert!((c / asm - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_clock_means_less_time() {
+        let slow = ProcessorModel::embedded_risc(50.0).time_us(&sample_counts());
+        let fast = ProcessorModel::embedded_risc(200.0).time_us(&sample_counts());
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dsp_mac_beats_risc_on_mul_heavy_loads() {
+        let counts = OpCounts {
+            mul: 10_000,
+            ..OpCounts::default()
+        };
+        let dsp = ProcessorModel::embedded_dsp(100.0).time_us(&counts);
+        let risc = ProcessorModel::embedded_risc(100.0).time_us(&counts);
+        assert!(dsp < risc);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead factor")]
+    fn sub_unity_overhead_panics() {
+        let _ = ProcessorModel::new("bad", 60.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.5);
+    }
+}

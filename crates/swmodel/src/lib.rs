@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Software substrate: word-level Montgomery multiplication variants with
+//! operation counting, and processor cost models.
+//!
+//! The paper's software modular-multiplier cores are the C and hand-tuned
+//! assembly routines of Koç, Acar and Kaliski ("Analyzing and Comparing
+//! Montgomery Multiplication Algorithms", IEEE Micro 1996), measured on a
+//! Pentium-60. We cannot rerun those measurements; instead (see
+//! `DESIGN.md`) this crate
+//!
+//! * implements the five word-level variants — SOS, CIOS, FIOS, FIPS and
+//!   CIHS — over 32-bit words, each instrumented with an [`OpCounts`]
+//!   ledger of word multiplications, additions, loads and stores,
+//! * validates every variant against the `bignum` Montgomery golden model,
+//! * and converts operation counts to execution-time estimates with a
+//!   [`ProcessorModel`] (Pentium-60-class presets for compiled C and
+//!   hand-scheduled assembly).
+//!
+//! # Example
+//!
+//! ```
+//! use bignum::UBig;
+//! use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
+//!
+//! let m = UBig::from(0xFFFF_FFEFu64); // odd modulus
+//! let routine = SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_c());
+//! let report = routine.profile_mod_mul(&UBig::from(12345u64), &UBig::from(67890u64), &m)?;
+//! assert_eq!(report.result, UBig::from(12345u64).mod_mul(&UBig::from(67890u64), &m));
+//! assert!(report.time_us > 0.0);
+//! # Ok::<(), swmodel::WordMontgomeryError>(())
+//! ```
+
+mod analytic;
+mod counter;
+mod cpu;
+mod routine;
+mod variants;
+
+pub use analytic::{analytic_counts, AnalyticCounts};
+pub use counter::OpCounts;
+pub use cpu::ProcessorModel;
+pub use routine::{ProfileReport, SoftwareRoutine};
+pub use variants::{MontgomeryVariant, WordMontgomery, WordMontgomeryError};

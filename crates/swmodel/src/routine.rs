@@ -1,0 +1,230 @@
+//! Software routines: a variant bound to a processor model, profiled
+//! end-to-end.
+
+use std::fmt;
+
+use bignum::UBig;
+use serde::{Deserialize, Serialize};
+
+use crate::counter::OpCounts;
+use crate::cpu::ProcessorModel;
+use crate::variants::{MontgomeryVariant, WordMontgomery, WordMontgomeryError};
+
+/// A concrete software modular-multiplier core: one Montgomery variant
+/// compiled/scheduled for one processor model. These are the "software
+/// reusable designs" of the paper's library (e.g. `CIHS ASM`, `CIOS C`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareRoutine {
+    variant: MontgomeryVariant,
+    cpu: ProcessorModel,
+}
+
+/// The outcome of profiling one modular multiplication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// The computed value.
+    pub result: UBig,
+    /// Operation counts executed.
+    pub counts: OpCounts,
+    /// Estimated cycles on the routine's processor.
+    pub cycles: f64,
+    /// Estimated execution time in microseconds.
+    pub time_us: f64,
+}
+
+impl SoftwareRoutine {
+    /// Binds a variant to a processor model.
+    pub fn new(variant: MontgomeryVariant, cpu: ProcessorModel) -> Self {
+        SoftwareRoutine { variant, cpu }
+    }
+
+    /// The Montgomery variant.
+    pub fn variant(&self) -> MontgomeryVariant {
+        self.variant
+    }
+
+    /// The processor model.
+    pub fn cpu(&self) -> &ProcessorModel {
+        &self.cpu
+    }
+
+    /// Library-style label, e.g. `"CIOS C"` / `"CIHS ASM"`.
+    pub fn label(&self) -> String {
+        let lang = if self.cpu.name().contains("ASM") {
+            "ASM"
+        } else if self.cpu.name().contains(" C") {
+            "C"
+        } else {
+            self.cpu.name()
+        };
+        format!("{} {}", self.variant, lang)
+    }
+
+    /// Executes one *Montgomery* product `a·b·W^(−s) mod m` and reports
+    /// counts and estimated time. This is the cost relevant inside a
+    /// modular exponentiation, where operands stay in the Montgomery
+    /// domain (the paper's Fig. 6 footnote makes the same choice for
+    /// hardware: loop-only delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid modulus or unreduced operands.
+    pub fn profile_mont_mul(
+        &self,
+        a: &UBig,
+        b: &UBig,
+        m: &UBig,
+    ) -> Result<ProfileReport, WordMontgomeryError> {
+        let ctx = WordMontgomery::new(m)?;
+        let mut counts = OpCounts::new();
+        let result = ctx.mont_mul(a, b, self.variant, &mut counts)?;
+        Ok(self.report(result, counts))
+    }
+
+    /// Executes a full plain product `a·b mod m` (two Montgomery passes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid modulus or unreduced operands.
+    pub fn profile_mod_mul(
+        &self,
+        a: &UBig,
+        b: &UBig,
+        m: &UBig,
+    ) -> Result<ProfileReport, WordMontgomeryError> {
+        let ctx = WordMontgomery::new(m)?;
+        let mut counts = OpCounts::new();
+        let result = ctx.mod_mul(a, b, self.variant, &mut counts)?;
+        Ok(self.report(result, counts))
+    }
+
+    /// Estimated time of one Montgomery product for an `eol`-bit modulus,
+    /// without executing it (uses the analytic operation counts).
+    pub fn estimate_mont_mul_us(&self, eol: u32) -> f64 {
+        let s = eol.div_ceil(bignum::LIMB_BITS);
+        let counts = crate::analytic::analytic_counts(self.variant, s as u64).as_op_counts();
+        self.cpu.time_us(&counts)
+    }
+
+    /// Estimated time of a full modular exponentiation (binary
+    /// square-and-multiply, ≈1.5 multiplications per exponent bit plus the
+    /// two domain conversions), in µs.
+    pub fn estimate_mod_exp_us(&self, eol: u32, exponent_bits: u32) -> f64 {
+        let mults = 1.5 * f64::from(exponent_bits) + 2.0;
+        mults * self.estimate_mont_mul_us(eol)
+    }
+
+    fn report(&self, result: UBig, counts: OpCounts) -> ProfileReport {
+        ProfileReport {
+            result,
+            cycles: self.cpu.cycles(&counts),
+            time_us: self.cpu.time_us(&counts),
+            counts,
+        }
+    }
+}
+
+impl fmt::Display for SoftwareRoutine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.variant, self.cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bignum::uniform_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
+        let mut m = uniform_below(&UBig::power_of_two(bits), rng);
+        m.set_bit(bits - 1, true);
+        m.set_bit(0, true);
+        m
+    }
+
+    #[test]
+    fn fig6_magnitudes_1024_bits() {
+        // Paper Fig. 6 at 1024 bits: CIHS ASM ≈ 799–1037 µs,
+        // CIOS C ≈ 5706 µs, CIHS C ≈ 7268 µs. Require the same territory
+        // (within ~2×) and the same ordering.
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = odd_modulus(1024, &mut rng);
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+
+        let cihs_asm =
+            SoftwareRoutine::new(MontgomeryVariant::Cihs, ProcessorModel::pentium60_asm())
+                .profile_mont_mul(&a, &b, &m)
+                .unwrap();
+        let cios_c = SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_c())
+            .profile_mont_mul(&a, &b, &m)
+            .unwrap();
+        let cihs_c = SoftwareRoutine::new(MontgomeryVariant::Cihs, ProcessorModel::pentium60_c())
+            .profile_mont_mul(&a, &b, &m)
+            .unwrap();
+
+        assert!(
+            cihs_asm.time_us > 400.0 && cihs_asm.time_us < 2100.0,
+            "CIHS ASM {} µs",
+            cihs_asm.time_us
+        );
+        assert!(
+            cios_c.time_us > 2800.0 && cios_c.time_us < 12000.0,
+            "CIOS C {} µs",
+            cios_c.time_us
+        );
+        assert!(cihs_c.time_us > cios_c.time_us, "CIHS C slower than CIOS C");
+        assert!(cios_c.time_us > 4.0 * cihs_asm.time_us, "C ≫ ASM");
+    }
+
+    #[test]
+    fn labels_follow_the_papers_convention() {
+        let r = SoftwareRoutine::new(MontgomeryVariant::Cihs, ProcessorModel::pentium60_asm());
+        assert_eq!(r.label(), "CIHS ASM");
+        let r = SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_c());
+        assert_eq!(r.label(), "CIOS C");
+    }
+
+    #[test]
+    fn analytic_estimate_tracks_profiled_time() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = odd_modulus(512, &mut rng);
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        for v in MontgomeryVariant::ALL {
+            let r = SoftwareRoutine::new(v, ProcessorModel::pentium60_asm());
+            let profiled = r.profile_mont_mul(&a, &b, &m).unwrap().time_us;
+            let estimated = r.estimate_mont_mul_us(512);
+            let ratio = estimated / profiled;
+            assert!(
+                (0.6..=1.6).contains(&ratio),
+                "{v}: estimate {estimated} vs profiled {profiled}"
+            );
+        }
+    }
+
+    #[test]
+    fn modexp_estimate_scales_with_exponent_and_operand() {
+        let r = SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_asm());
+        let base = r.estimate_mod_exp_us(768, 768);
+        assert!((r.estimate_mod_exp_us(768, 1536) / base - 2.0).abs() < 0.01);
+        assert!(r.estimate_mod_exp_us(1536, 768) > 3.0 * base);
+        // A full 768-bit exponentiation in software is hundreds of ms —
+        // the coprocessor's raison d'être.
+        assert!(base > 100_000.0, "{base} µs");
+    }
+
+    #[test]
+    fn profile_mod_mul_returns_plain_product() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = odd_modulus(96, &mut rng);
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let r = SoftwareRoutine::new(MontgomeryVariant::Fips, ProcessorModel::pentium60_c());
+        let rep = r.profile_mod_mul(&a, &b, &m).unwrap();
+        assert_eq!(rep.result, a.mod_mul(&b, &m));
+        assert!(rep.cycles > 0.0);
+    }
+}

@@ -1,0 +1,631 @@
+//! The five word-level Montgomery multiplication variants of
+//! Koç–Acar–Kaliski, instrumented with operation counts.
+//!
+//! All variants compute the Montgomery product `a·b·W^(−s) mod m` where
+//! `W = 2³²` is the word base and `s` the number of modulus words. They
+//! differ in how the multiplication and reduction loops are organised:
+//!
+//! * **SOS** — separated operand scanning: full product first, reduction
+//!   second (largest temporary, simplest loops).
+//! * **CIOS** — coarsely integrated operand scanning: multiplication and
+//!   reduction alternate per outer-loop word (the usual best performer).
+//! * **FIOS** — finely integrated operand scanning: both multiplications
+//!   fused into a single inner loop.
+//! * **FIPS** — finely integrated product scanning: column-wise
+//!   accumulation of both products.
+//! * **CIHS** — coarsely integrated hybrid scanning: the lower-half
+//!   product is computed up front, the upper half deferred into the
+//!   reduction loop (extra memory traffic — measurably slower, as in the
+//!   paper's Fig. 6).
+
+#![allow(clippy::needless_range_loop)] // loops mirror the Koc pseudo-code word-for-word
+
+use std::fmt;
+
+use bignum::{mod_inverse, UBig, LIMB_BITS};
+use serde::{Deserialize, Serialize};
+
+use crate::counter::OpCounts;
+
+/// Which loop organisation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MontgomeryVariant {
+    /// Separated operand scanning.
+    Sos,
+    /// Coarsely integrated operand scanning.
+    Cios,
+    /// Finely integrated operand scanning.
+    Fios,
+    /// Finely integrated product scanning.
+    Fips,
+    /// Coarsely integrated hybrid scanning.
+    Cihs,
+}
+
+impl MontgomeryVariant {
+    /// All five variants, in the Koç–Acar–Kaliski order.
+    pub const ALL: [MontgomeryVariant; 5] = [
+        MontgomeryVariant::Sos,
+        MontgomeryVariant::Cios,
+        MontgomeryVariant::Fios,
+        MontgomeryVariant::Fips,
+        MontgomeryVariant::Cihs,
+    ];
+}
+
+impl fmt::Display for MontgomeryVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MontgomeryVariant::Sos => "SOS",
+            MontgomeryVariant::Cios => "CIOS",
+            MontgomeryVariant::Fios => "FIOS",
+            MontgomeryVariant::Fips => "FIPS",
+            MontgomeryVariant::Cihs => "CIHS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors from constructing/driving the word-level machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WordMontgomeryError {
+    /// Montgomery requires an odd modulus.
+    EvenModulus,
+    /// The modulus must be at least 3.
+    ModulusTooSmall,
+    /// An operand is not reduced below the modulus.
+    UnreducedOperand,
+}
+
+impl fmt::Display for WordMontgomeryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WordMontgomeryError::EvenModulus => write!(f, "modulus must be odd"),
+            WordMontgomeryError::ModulusTooSmall => write!(f, "modulus must be at least 3"),
+            WordMontgomeryError::UnreducedOperand => {
+                write!(f, "operands must be reduced below the modulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WordMontgomeryError {}
+
+/// Word-level Montgomery context: the modulus as a word array plus the
+/// precomputed `n₀' = −m₀⁻¹ mod 2³²`.
+#[derive(Debug, Clone)]
+pub struct WordMontgomery {
+    m: Vec<u32>,
+    n0_prime: u32,
+    s: usize,
+    modulus: UBig,
+    /// `W^(2s) mod m`, for converting Montgomery products back.
+    r2: UBig,
+}
+
+impl WordMontgomery {
+    /// Builds a context for the odd modulus `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `m` is even or smaller than 3.
+    pub fn new(m: &UBig) -> Result<Self, WordMontgomeryError> {
+        if *m <= UBig::from(2u64) {
+            return Err(WordMontgomeryError::ModulusTooSmall);
+        }
+        if m.is_even() {
+            return Err(WordMontgomeryError::EvenModulus);
+        }
+        let s = m.limb_len();
+        let mut words = m.limbs().to_vec();
+        words.resize(s, 0);
+        let w = UBig::power_of_two(LIMB_BITS);
+        let m0_inv = mod_inverse(&UBig::from(words[0]), &w)
+            .expect("odd word invertible")
+            .to_u64()
+            .expect("fits");
+        let n0_prime = ((1u64 << LIMB_BITS) - m0_inv) as u32;
+        let r2 = UBig::power_of_two(2 * s as u32 * LIMB_BITS).rem(m);
+        Ok(WordMontgomery {
+            m: words,
+            n0_prime,
+            s,
+            modulus: m.clone(),
+            r2,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &UBig {
+        &self.modulus
+    }
+
+    /// Number of 32-bit words in the modulus.
+    pub fn words(&self) -> usize {
+        self.s
+    }
+
+    /// The Montgomery product `a·b·W^(−s) mod m` via `variant`, recording
+    /// operation counts into `counts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WordMontgomeryError::UnreducedOperand`] if `a` or `b` is
+    /// not below the modulus.
+    pub fn mont_mul(
+        &self,
+        a: &UBig,
+        b: &UBig,
+        variant: MontgomeryVariant,
+        counts: &mut OpCounts,
+    ) -> Result<UBig, WordMontgomeryError> {
+        if a >= &self.modulus || b >= &self.modulus {
+            return Err(WordMontgomeryError::UnreducedOperand);
+        }
+        let aw = self.to_words(a);
+        let bw = self.to_words(b);
+        let u = match variant {
+            MontgomeryVariant::Sos => self.sos(&aw, &bw, counts),
+            MontgomeryVariant::Cios => self.cios(&aw, &bw, counts),
+            MontgomeryVariant::Fios => self.fios(&aw, &bw, counts),
+            MontgomeryVariant::Fips => self.fips(&aw, &bw, counts),
+            MontgomeryVariant::Cihs => self.cihs(&aw, &bw, counts),
+        };
+        Ok(self.final_subtract(u, counts))
+    }
+
+    /// The plain product `a·b mod m` computed entirely with `variant`
+    /// (two Montgomery passes, the second against `W^(2s) mod m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operand is not below the modulus.
+    pub fn mod_mul(
+        &self,
+        a: &UBig,
+        b: &UBig,
+        variant: MontgomeryVariant,
+        counts: &mut OpCounts,
+    ) -> Result<UBig, WordMontgomeryError> {
+        let t = self.mont_mul(a, b, variant, counts)?;
+        self.mont_mul(&t, &self.r2.clone(), variant, counts)
+    }
+
+    fn to_words(&self, v: &UBig) -> Vec<u32> {
+        let mut w = v.limbs().to_vec();
+        w.resize(self.s, 0);
+        w
+    }
+
+    /// Final step shared by all variants: `u` has `s+1` words and is below
+    /// `2m`; subtract `m` once if needed.
+    fn final_subtract(&self, u: Vec<u32>, counts: &mut OpCounts) -> UBig {
+        debug_assert_eq!(u.len(), self.s + 1);
+        let value = UBig::from_limbs(u);
+        counts.load += 2 * self.s as u64;
+        counts.add += self.s as u64; // the trial subtraction / compare
+        match value.checked_sub(&self.modulus) {
+            Some(reduced) => {
+                counts.store += self.s as u64;
+                debug_assert!(reduced < self.modulus);
+                reduced
+            }
+            None => value,
+        }
+    }
+
+    /// Separated operand scanning.
+    fn sos(&self, a: &[u32], b: &[u32], counts: &mut OpCounts) -> Vec<u32> {
+        let s = self.s;
+        let mut t = vec![0u32; 2 * s + 1];
+        for i in 0..s {
+            let mut c: u64 = 0;
+            for j in 0..s {
+                let uv = t[i + j] as u64 + a[j] as u64 * b[i] as u64 + c;
+                t[i + j] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            t[i + s] = c as u32;
+            counts.store += 1;
+        }
+        for i in 0..s {
+            let mut c: u64 = 0;
+            let m_val = t[i].wrapping_mul(self.n0_prime);
+            counts.mul += 1;
+            counts.load += 1;
+            for j in 0..s {
+                let uv = t[i + j] as u64 + m_val as u64 * self.m[j] as u64 + c;
+                t[i + j] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            add_at(&mut t, i + s, c, counts);
+        }
+        t[s..2 * s + 1].to_vec()
+    }
+
+    /// Coarsely integrated operand scanning.
+    fn cios(&self, a: &[u32], b: &[u32], counts: &mut OpCounts) -> Vec<u32> {
+        let s = self.s;
+        let mut t = vec![0u32; s + 2];
+        for i in 0..s {
+            let mut c: u64 = 0;
+            for j in 0..s {
+                let uv = t[j] as u64 + a[j] as u64 * b[i] as u64 + c;
+                t[j] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            let uv = t[s] as u64 + c;
+            t[s] = uv as u32;
+            t[s + 1] = (uv >> 32) as u32;
+            counts.add += 1;
+            counts.load += 1;
+            counts.store += 2;
+
+            let m_val = t[0].wrapping_mul(self.n0_prime);
+            counts.mul += 1;
+            counts.load += 1;
+            let uv = t[0] as u64 + m_val as u64 * self.m[0] as u64;
+            debug_assert_eq!(uv as u32, 0);
+            let mut c = uv >> 32;
+            counts.mul += 1;
+            counts.add += 1;
+            counts.load += 2;
+            for j in 1..s {
+                let uv = t[j] as u64 + m_val as u64 * self.m[j] as u64 + c;
+                t[j - 1] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            let uv = t[s] as u64 + c;
+            t[s - 1] = uv as u32;
+            c = uv >> 32;
+            t[s] = t[s + 1].wrapping_add(c as u32);
+            t[s + 1] = 0;
+            counts.add += 2;
+            counts.load += 2;
+            counts.store += 3;
+        }
+        t[..s + 1].to_vec()
+    }
+
+    /// Finely integrated operand scanning.
+    fn fios(&self, a: &[u32], b: &[u32], counts: &mut OpCounts) -> Vec<u32> {
+        let s = self.s;
+        let mut t = vec![0u32; s + 2];
+        for i in 0..s {
+            let uv = t[0] as u64 + a[0] as u64 * b[i] as u64;
+            bump_inner(counts);
+            add_at(&mut t, 1, uv >> 32, counts);
+            let s0 = uv as u32;
+            let m_val = s0.wrapping_mul(self.n0_prime);
+            counts.mul += 1;
+            let uv2 = s0 as u64 + m_val as u64 * self.m[0] as u64;
+            debug_assert_eq!(uv2 as u32, 0);
+            let mut c = uv2 >> 32;
+            counts.mul += 1;
+            counts.add += 1;
+            counts.load += 1;
+            for j in 1..s {
+                let uv = t[j] as u64 + a[j] as u64 * b[i] as u64 + c;
+                bump_inner(counts);
+                add_at(&mut t, j + 1, uv >> 32, counts);
+                let uv2 = (uv as u32) as u64 + m_val as u64 * self.m[j] as u64;
+                t[j - 1] = uv2 as u32;
+                c = uv2 >> 32;
+                counts.mul += 1;
+                counts.add += 1;
+                counts.load += 1;
+                counts.store += 1;
+            }
+            let uv = t[s] as u64 + c;
+            t[s - 1] = uv as u32;
+            t[s] = t[s + 1].wrapping_add((uv >> 32) as u32);
+            t[s + 1] = 0;
+            counts.add += 2;
+            counts.load += 2;
+            counts.store += 3;
+        }
+        t[..s + 1].to_vec()
+    }
+
+    /// Finely integrated product scanning: column-wise with a wide
+    /// accumulator and on-the-fly quotient digits.
+    fn fips(&self, a: &[u32], b: &[u32], counts: &mut OpCounts) -> Vec<u32> {
+        let s = self.s;
+        let mut q = vec![0u32; s];
+        let mut u = vec![0u32; s + 1];
+        let mut acc: u128 = 0;
+        for i in 0..s {
+            for j in 0..=i {
+                acc += a[j] as u128 * b[i - j] as u128;
+                bump_product(counts);
+            }
+            for j in 0..i {
+                acc += q[j] as u128 * self.m[i - j] as u128;
+                bump_product(counts);
+            }
+            let qi = (acc as u32).wrapping_mul(self.n0_prime);
+            q[i] = qi;
+            counts.mul += 1;
+            counts.store += 1;
+            acc += qi as u128 * self.m[0] as u128;
+            counts.mul += 1;
+            counts.add += 2;
+            counts.load += 1;
+            debug_assert_eq!(acc as u32, 0);
+            acc >>= 32;
+        }
+        for i in s..2 * s {
+            for j in (i - s + 1)..s {
+                acc += a[j] as u128 * b[i - j] as u128;
+                bump_product(counts);
+            }
+            for j in (i - s + 1)..s {
+                acc += q[j] as u128 * self.m[i - j] as u128;
+                bump_product(counts);
+            }
+            u[i - s] = acc as u32;
+            counts.store += 1;
+            acc >>= 32;
+        }
+        u[s] = acc as u32;
+        counts.store += 1;
+        u
+    }
+
+    /// Coarsely integrated hybrid scanning: lower-half product up front,
+    /// the upper half deferred into the reduction sweep.
+    fn cihs(&self, a: &[u32], b: &[u32], counts: &mut OpCounts) -> Vec<u32> {
+        let s = self.s;
+        let mut t = vec![0u32; 2 * s + 1];
+        // Phase 1: only the product columns below s.
+        for i in 0..s {
+            let mut c: u64 = 0;
+            for j in 0..(s - i) {
+                let uv = t[i + j] as u64 + a[j] as u64 * b[i] as u64 + c;
+                t[i + j] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            add_at(&mut t, s, c, counts);
+        }
+        // Phase 2: reduction sweep with the deferred upper-half products.
+        for i in 0..s {
+            let m_val = t[i].wrapping_mul(self.n0_prime);
+            counts.mul += 1;
+            counts.load += 1;
+            let mut c: u64 = 0;
+            for j in 0..s {
+                let uv = t[i + j] as u64 + m_val as u64 * self.m[j] as u64 + c;
+                t[i + j] = uv as u32;
+                c = uv >> 32;
+                bump_inner(counts);
+            }
+            add_at(&mut t, i + s, c, counts);
+            // Deferred products for column s+i: pairs a[j]·b[s+i−j], j > i.
+            for j in (i + 1)..s {
+                let p = a[j] as u64 * b[s + i - j] as u64;
+                bump_inner(counts);
+                counts.add += 1; // double-word deferred accumulation
+                add_wide_at(&mut t, s + i, p, counts);
+            }
+        }
+        t[s..2 * s + 1].to_vec()
+    }
+}
+
+/// One product-scanning step: a word multiply accumulated into a
+/// register-resident triple-word accumulator (no store).
+fn bump_product(counts: &mut OpCounts) {
+    counts.mul += 1;
+    counts.add += 3;
+    counts.load += 2;
+    counts.loop_iter += 1;
+}
+
+/// One inner-loop step: a word multiply, a double add, three loads, one
+/// store and the loop bookkeeping.
+fn bump_inner(counts: &mut OpCounts) {
+    counts.mul += 1;
+    counts.add += 2;
+    counts.load += 3;
+    counts.store += 1;
+    counts.loop_iter += 1;
+}
+
+/// Adds `value` into `t` starting at word `idx`, propagating carries.
+fn add_at(t: &mut [u32], mut idx: usize, mut value: u64, counts: &mut OpCounts) {
+    while value != 0 && idx < t.len() {
+        let uv = t[idx] as u64 + (value & 0xFFFF_FFFF);
+        t[idx] = uv as u32;
+        value = (value >> 32) + (uv >> 32);
+        idx += 1;
+        counts.add += 1;
+        counts.load += 1;
+        counts.store += 1;
+    }
+    debug_assert_eq!(value, 0, "carry ran off the end of the temporary");
+}
+
+/// Adds a full 64-bit product into `t` at word `idx`.
+fn add_wide_at(t: &mut [u32], idx: usize, value: u64, counts: &mut OpCounts) {
+    add_at(t, idx, value & 0xFFFF_FFFF, counts);
+    add_at(t, idx + 1, value >> 32, counts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bignum::{uniform_below, MontgomeryContext};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
+        let mut m = uniform_below(&UBig::power_of_two(bits), rng);
+        m.set_bit(bits - 1, true);
+        m.set_bit(0, true);
+        m
+    }
+
+    /// Golden model: a·b·W^(−s) mod m via the full-width REDC context.
+    fn golden(a: &UBig, b: &UBig, m: &UBig, s: usize) -> UBig {
+        let w_inv = bignum::mod_inverse(&UBig::power_of_two(32 * s as u32), m).unwrap();
+        a.mod_mul(b, m).mod_mul(&w_inv, m)
+    }
+
+    #[test]
+    fn all_variants_match_golden_model() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for bits in [32u32, 64, 96, 256, 521] {
+            let m = odd_modulus(bits, &mut rng);
+            let ctx = WordMontgomery::new(&m).unwrap();
+            let a = uniform_below(&m, &mut rng);
+            let b = uniform_below(&m, &mut rng);
+            let expect = golden(&a, &b, &m, ctx.words());
+            for v in MontgomeryVariant::ALL {
+                let mut counts = OpCounts::new();
+                let got = ctx.mont_mul(&a, &b, v, &mut counts).unwrap();
+                assert_eq!(got, expect, "{v} at {bits} bits");
+                assert!(counts.mul > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_each_other_exhaustively_small() {
+        let m = UBig::from(0xFFFF_FFB1u64); // odd, one word
+        let ctx = WordMontgomery::new(&m).unwrap();
+        for a in [0u64, 1, 2, 12345, 0xFFFF_FFB0] {
+            for b in [0u64, 1, 99999, 0xFFFF_FFB0] {
+                let mut results = Vec::new();
+                for v in MontgomeryVariant::ALL {
+                    let mut c = OpCounts::new();
+                    results.push(
+                        ctx.mont_mul(&UBig::from(a), &UBig::from(b), v, &mut c)
+                            .unwrap(),
+                    );
+                }
+                assert!(results.windows(2).all(|w| w[0] == w[1]), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_mul_gives_plain_product() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let m = odd_modulus(160, &mut rng);
+        let ctx = WordMontgomery::new(&m).unwrap();
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        for v in MontgomeryVariant::ALL {
+            let mut c = OpCounts::new();
+            assert_eq!(
+                ctx.mod_mul(&a, &b, v, &mut c).unwrap(),
+                a.mod_mul(&b, &m),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bignum_montgomery_context() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let m = odd_modulus(128, &mut rng);
+        let word_ctx = WordMontgomery::new(&m).unwrap();
+        let big_ctx = MontgomeryContext::new(&m).unwrap();
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let mut c = OpCounts::new();
+        // Both compute a plain product through their own Montgomery routes.
+        assert_eq!(
+            word_ctx
+                .mod_mul(&a, &b, MontgomeryVariant::Cios, &mut c)
+                .unwrap(),
+            big_ctx.mod_mul(&a, &b)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            WordMontgomery::new(&UBig::from(10u64)).unwrap_err(),
+            WordMontgomeryError::EvenModulus
+        );
+        assert_eq!(
+            WordMontgomery::new(&UBig::one()).unwrap_err(),
+            WordMontgomeryError::ModulusTooSmall
+        );
+        let ctx = WordMontgomery::new(&UBig::from(101u64)).unwrap();
+        let mut c = OpCounts::new();
+        assert_eq!(
+            ctx.mont_mul(
+                &UBig::from(101u64),
+                &UBig::one(),
+                MontgomeryVariant::Cios,
+                &mut c
+            )
+            .unwrap_err(),
+            WordMontgomeryError::UnreducedOperand
+        );
+    }
+
+    #[test]
+    fn mult_counts_scale_quadratically() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let m1 = odd_modulus(256, &mut rng); // 8 words
+        let m2 = odd_modulus(512, &mut rng); // 16 words
+        for v in MontgomeryVariant::ALL {
+            let mut c1 = OpCounts::new();
+            let mut c2 = OpCounts::new();
+            let ctx1 = WordMontgomery::new(&m1).unwrap();
+            let ctx2 = WordMontgomery::new(&m2).unwrap();
+            let a1 = uniform_below(&m1, &mut rng);
+            let a2 = uniform_below(&m2, &mut rng);
+            ctx1.mont_mul(&a1, &a1, v, &mut c1).unwrap();
+            ctx2.mont_mul(&a2, &a2, v, &mut c2).unwrap();
+            let ratio = c2.mul as f64 / c1.mul as f64;
+            assert!(
+                (3.2..=4.8).contains(&ratio),
+                "{v}: mul ratio {ratio} not ~4x"
+            );
+        }
+    }
+
+    #[test]
+    fn cihs_does_more_memory_traffic_than_cios() {
+        // The paper's Fig. 6 ordering (CIOS C beats CIHS C) rests on this.
+        let mut rng = StdRng::seed_from_u64(105);
+        let m = odd_modulus(1024, &mut rng);
+        let ctx = WordMontgomery::new(&m).unwrap();
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let mut cios = OpCounts::new();
+        let mut cihs = OpCounts::new();
+        ctx.mont_mul(&a, &b, MontgomeryVariant::Cios, &mut cios)
+            .unwrap();
+        ctx.mont_mul(&a, &b, MontgomeryVariant::Cihs, &mut cihs)
+            .unwrap();
+        assert!(cihs.load + cihs.store > cios.load + cios.store);
+    }
+
+    #[test]
+    fn mul_count_is_2s2_plus_s() {
+        // Koç–Acar–Kaliski: every variant performs 2s² + s word products.
+        let mut rng = StdRng::seed_from_u64(106);
+        let m = odd_modulus(256, &mut rng); // s = 8
+        let ctx = WordMontgomery::new(&m).unwrap();
+        let s = ctx.words() as u64;
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        for v in MontgomeryVariant::ALL {
+            let mut c = OpCounts::new();
+            ctx.mont_mul(&a, &b, v, &mut c).unwrap();
+            assert_eq!(c.mul, 2 * s * s + s, "{v}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Generic standard-cell models.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The cell kinds the hardware models are built from.
+///
+/// The set mirrors what a minimal ASIC standard-cell library offers plus
+/// the two arithmetic macro cells (half/full adder) that adder structures
+/// are counted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// 4:1 multiplexer.
+    Mux4,
+    /// Half adder (sum + carry).
+    HalfAdder,
+    /// Full adder (3-input sum + carry).
+    FullAdder,
+    /// D flip-flop (one register bit).
+    Dff,
+}
+
+impl CellKind {
+    /// All cell kinds, for iteration.
+    pub const ALL: [CellKind; 14] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Mux4,
+        CellKind::HalfAdder,
+        CellKind::FullAdder,
+        CellKind::Dff,
+    ];
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Mux4 => "MUX4",
+            CellKind::HalfAdder => "HA",
+            CellKind::FullAdder => "FA",
+            CellKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Area and timing model of one cell, in technology-independent units.
+///
+/// * `area_ge` — area in gate equivalents (1 GE = one NAND2).
+/// * `delay_tau` — worst-case propagation delay in τ (multiples of the
+///   node's nominal gate delay).
+/// * `carry_delay_tau` — for the adder macro cells, the (faster)
+///   input-to-carry path; equal to `delay_tau` for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellModel {
+    /// Area in gate equivalents.
+    pub area_ge: f64,
+    /// Worst-case propagation delay in τ units.
+    pub delay_tau: f64,
+    /// Input-to-carry delay in τ units (adder cells); equals `delay_tau`
+    /// for non-adder cells.
+    pub carry_delay_tau: f64,
+}
+
+impl CellModel {
+    fn simple(area_ge: f64, delay_tau: f64) -> Self {
+        CellModel {
+            area_ge,
+            delay_tau,
+            carry_delay_tau: delay_tau,
+        }
+    }
+}
+
+/// A collection of cell models, keyed by [`CellKind`].
+///
+/// [`CellLibrary::generic`] provides the default library used throughout
+/// the workspace; custom libraries can be built for what-if exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    cells: BTreeMap<CellKind, CellModel>,
+}
+
+impl CellLibrary {
+    /// The generic library with textbook relative areas and delays.
+    pub fn generic() -> Self {
+        let mut cells = BTreeMap::new();
+        cells.insert(CellKind::Inv, CellModel::simple(0.5, 0.5));
+        cells.insert(CellKind::Buf, CellModel::simple(0.75, 0.8));
+        cells.insert(CellKind::Nand2, CellModel::simple(1.0, 1.0));
+        cells.insert(CellKind::Nand3, CellModel::simple(1.5, 1.3));
+        cells.insert(CellKind::Nor2, CellModel::simple(1.0, 1.1));
+        cells.insert(CellKind::And2, CellModel::simple(1.25, 1.4));
+        cells.insert(CellKind::Or2, CellModel::simple(1.25, 1.5));
+        cells.insert(CellKind::Xor2, CellModel::simple(2.5, 1.7));
+        cells.insert(CellKind::Xnor2, CellModel::simple(2.5, 1.7));
+        cells.insert(CellKind::Mux2, CellModel::simple(2.0, 1.4));
+        cells.insert(CellKind::Mux4, CellModel::simple(4.5, 2.1));
+        cells.insert(
+            CellKind::HalfAdder,
+            CellModel {
+                area_ge: 3.5,
+                delay_tau: 1.7, // sum (XOR) path
+                carry_delay_tau: 1.4,
+            },
+        );
+        cells.insert(
+            CellKind::FullAdder,
+            CellModel {
+                area_ge: 7.5,
+                delay_tau: 3.4, // sum path: two XOR stages
+                carry_delay_tau: 2.0,
+            },
+        );
+        cells.insert(CellKind::Dff, CellModel::simple(6.0, 1.8));
+        CellLibrary { cells }
+    }
+
+    /// Looks up a cell model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no model for `kind` — every library
+    /// constructed through this crate's API is total over [`CellKind`].
+    pub fn model(&self, kind: CellKind) -> CellModel {
+        *self
+            .cells
+            .get(&kind)
+            .unwrap_or_else(|| panic!("cell library is missing a model for {kind}"))
+    }
+
+    /// Replaces the model for one cell kind (what-if exploration).
+    pub fn set_model(&mut self, kind: CellKind, model: CellModel) {
+        self.cells.insert(kind, model);
+    }
+
+    /// Iterates over all `(kind, model)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, CellModel)> + '_ {
+        self.cells.iter().map(|(&k, &m)| (k, m))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::generic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_library_is_total() {
+        let lib = CellLibrary::generic();
+        for kind in CellKind::ALL {
+            let m = lib.model(kind);
+            assert!(m.area_ge > 0.0, "{kind} area");
+            assert!(m.delay_tau > 0.0, "{kind} delay");
+            assert!(m.carry_delay_tau > 0.0, "{kind} carry delay");
+        }
+    }
+
+    #[test]
+    fn nand2_is_the_unit_gate() {
+        let lib = CellLibrary::generic();
+        let n = lib.model(CellKind::Nand2);
+        assert_eq!(n.area_ge, 1.0);
+        assert_eq!(n.delay_tau, 1.0);
+    }
+
+    #[test]
+    fn full_adder_carry_is_faster_than_sum() {
+        // The CSA timing advantage rests on this.
+        let fa = CellLibrary::generic().model(CellKind::FullAdder);
+        assert!(fa.carry_delay_tau < fa.delay_tau);
+    }
+
+    #[test]
+    fn xor_is_bigger_and_slower_than_nand() {
+        let lib = CellLibrary::generic();
+        assert!(lib.model(CellKind::Xor2).area_ge > lib.model(CellKind::Nand2).area_ge);
+        assert!(lib.model(CellKind::Xor2).delay_tau > lib.model(CellKind::Nand2).delay_tau);
+    }
+
+    #[test]
+    fn set_model_overrides() {
+        let mut lib = CellLibrary::generic();
+        lib.set_model(CellKind::Dff, CellModel::simple(9.0, 2.2));
+        assert_eq!(lib.model(CellKind::Dff).area_ge, 9.0);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(CellKind::FullAdder.to_string(), "FA");
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2");
+    }
+}

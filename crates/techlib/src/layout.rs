@@ -1,0 +1,87 @@
+//! Layout styles — one of the design issues the paper's layer exposes
+//! ("Layout Style" with options standard-cell, gate-array, …).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Physical implementation style. Each style applies density and speed
+/// factors on top of the fabrication node's raw cell figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayoutStyle {
+    /// Placed-and-routed standard cells: the calibration baseline.
+    StandardCell,
+    /// Prefabricated gate-array / sea-of-gates: faster turnaround, lower
+    /// density, slower wires.
+    GateArray,
+    /// Hand-crafted full-custom layout: denser and faster, at design cost.
+    FullCustom,
+}
+
+impl LayoutStyle {
+    /// All styles, for iteration.
+    pub const ALL: [LayoutStyle; 3] = [
+        LayoutStyle::StandardCell,
+        LayoutStyle::GateArray,
+        LayoutStyle::FullCustom,
+    ];
+
+    /// Multiplier on cell area relative to standard cell.
+    pub fn area_factor(self) -> f64 {
+        match self {
+            LayoutStyle::StandardCell => 1.0,
+            LayoutStyle::GateArray => 1.45,
+            LayoutStyle::FullCustom => 0.75,
+        }
+    }
+
+    /// Multiplier on cell delay relative to standard cell.
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            LayoutStyle::StandardCell => 1.0,
+            LayoutStyle::GateArray => 1.25,
+            LayoutStyle::FullCustom => 0.85,
+        }
+    }
+}
+
+impl fmt::Display for LayoutStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayoutStyle::StandardCell => "standard-cell",
+            LayoutStyle::GateArray => "gate-array",
+            LayoutStyle::FullCustom => "full-custom",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cell_is_the_baseline() {
+        assert_eq!(LayoutStyle::StandardCell.area_factor(), 1.0);
+        assert_eq!(LayoutStyle::StandardCell.delay_factor(), 1.0);
+    }
+
+    #[test]
+    fn gate_array_trades_density_for_turnaround() {
+        assert!(LayoutStyle::GateArray.area_factor() > 1.0);
+        assert!(LayoutStyle::GateArray.delay_factor() > 1.0);
+    }
+
+    #[test]
+    fn full_custom_is_denser_and_faster() {
+        assert!(LayoutStyle::FullCustom.area_factor() < 1.0);
+        assert!(LayoutStyle::FullCustom.delay_factor() < 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LayoutStyle::StandardCell.to_string(), "standard-cell");
+        assert_eq!(LayoutStyle::GateArray.to_string(), "gate-array");
+    }
+}

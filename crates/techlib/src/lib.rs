@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Technology substrate for the hardware estimation models.
+//!
+//! The paper's case study synthesized its multiplier cores with commercial
+//! tools against the LSI 0.35 µm G10 standard-cell library. That flow is
+//! proprietary; this crate provides the substitute documented in
+//! `DESIGN.md`: a parameterized technology model consisting of
+//!
+//! * a [`CellLibrary`] of generic standard cells with areas in gate
+//!   equivalents (GE) and delays in `τ` (multiples of the node's nominal
+//!   gate delay),
+//! * [`FabricationNode`]s (0.7 µm … 0.25 µm) that map GE → µm² and τ → ns
+//!   with classical feature-size scaling (area ∝ λ², delay ∝ λ),
+//! * [`LayoutStyle`]s (standard cell, gate array, full custom) applying
+//!   density and speed factors, and
+//! * a simple dynamic [`power`] model (the paper lists power as work in
+//!   progress; we include it as the layer's extension axis).
+//!
+//! Absolute numbers are calibrated to land in the same ranges as the
+//! paper's Table 1; what the experiments rely on is the *relative* shape
+//! (orderings, growth trends), which the structural models preserve.
+//!
+//! # Example
+//!
+//! ```
+//! use techlib::{CellKind, FabricationNode, LayoutStyle, Technology};
+//!
+//! let tech = Technology::new(FabricationNode::n0350(), LayoutStyle::StandardCell);
+//! let fa_area = tech.cell_area_um2(CellKind::FullAdder);
+//! let fa_delay = tech.cell_delay_ns(CellKind::FullAdder);
+//! assert!(fa_area > 0.0 && fa_delay > 0.0);
+//!
+//! // The same cell in 0.7 µm is about 4x bigger and 2x slower.
+//! let old = Technology::new(FabricationNode::n0700(), LayoutStyle::StandardCell);
+//! assert!(old.cell_area_um2(CellKind::FullAdder) > 3.5 * fa_area);
+//! assert!(old.cell_delay_ns(CellKind::FullAdder) > 1.8 * fa_delay);
+//! ```
+
+mod cell;
+mod layout;
+mod node;
+pub mod power;
+mod tech;
+
+pub use cell::{CellKind, CellLibrary, CellModel};
+pub use layout::LayoutStyle;
+pub use node::FabricationNode;
+pub use tech::Technology;

@@ -1,0 +1,159 @@
+//! Fabrication-technology nodes and their scaling laws.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fabrication node: maps the technology-independent units (GE, τ) of the
+/// cell library to physical area (µm²) and delay (ns).
+///
+/// The presets follow classical constant-field scaling anchored at the
+/// 0.35 µm node of the paper's case study: area per gate ∝ λ², gate delay
+/// ∝ λ, supply voltage dropping at finer geometries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricationNode {
+    name: String,
+    feature_nm: u32,
+    ge_um2: f64,
+    tau_ns: f64,
+    vdd: f64,
+}
+
+/// Calibration anchor: the 0.35 µm node.
+const REF_FEATURE_NM: f64 = 350.0;
+const REF_GE_UM2: f64 = 9.0;
+const REF_TAU_NS: f64 = 0.28;
+
+impl FabricationNode {
+    /// Builds a node from explicit parameters.
+    pub fn new(
+        name: impl Into<String>,
+        feature_nm: u32,
+        ge_um2: f64,
+        tau_ns: f64,
+        vdd: f64,
+    ) -> Self {
+        FabricationNode {
+            name: name.into(),
+            feature_nm,
+            ge_um2,
+            tau_ns,
+            vdd,
+        }
+    }
+
+    /// Derives a node from a feature size by classical scaling from the
+    /// 0.35 µm anchor (area ∝ λ², delay ∝ λ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` is zero.
+    pub fn scaled(feature_nm: u32) -> Self {
+        assert!(feature_nm > 0, "feature size must be positive");
+        let lambda = feature_nm as f64 / REF_FEATURE_NM;
+        let vdd = match feature_nm {
+            0..=280 => 2.5,
+            281..=420 => 3.3,
+            _ => 5.0,
+        };
+        FabricationNode {
+            name: format!("{:.2}um", feature_nm as f64 / 1000.0),
+            feature_nm,
+            ge_um2: REF_GE_UM2 * lambda * lambda,
+            tau_ns: REF_TAU_NS * lambda,
+            vdd,
+        }
+    }
+
+    /// The 0.7 µm node (the paper's "older technology" comparison point).
+    pub fn n0700() -> Self {
+        FabricationNode::scaled(700)
+    }
+
+    /// The 0.5 µm node.
+    pub fn n0500() -> Self {
+        FabricationNode::scaled(500)
+    }
+
+    /// The 0.35 µm node (the paper's G10-class target technology).
+    pub fn n0350() -> Self {
+        FabricationNode::scaled(350)
+    }
+
+    /// The 0.25 µm node (a forward-looking option).
+    pub fn n0250() -> Self {
+        FabricationNode::scaled(250)
+    }
+
+    /// Human-readable node name, e.g. `"0.35um"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drawn feature size in nanometres.
+    pub fn feature_nm(&self) -> u32 {
+        self.feature_nm
+    }
+
+    /// Area of one gate equivalent, in µm².
+    pub fn ge_um2(&self) -> f64 {
+        self.ge_um2
+    }
+
+    /// Duration of one τ (nominal gate delay), in nanoseconds.
+    pub fn tau_ns(&self) -> f64 {
+        self.tau_ns
+    }
+
+    /// Nominal supply voltage, in volts (used by the power model).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+}
+
+impl fmt::Display for FabricationNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_node_matches_reference() {
+        let n = FabricationNode::n0350();
+        assert_eq!(n.feature_nm(), 350);
+        assert!((n.ge_um2() - REF_GE_UM2).abs() < 1e-9);
+        assert!((n.tau_ns() - REF_TAU_NS).abs() < 1e-9);
+        assert_eq!(n.vdd(), 3.3);
+    }
+
+    #[test]
+    fn scaling_is_quadratic_in_area_linear_in_delay() {
+        let a = FabricationNode::n0350();
+        let b = FabricationNode::n0700();
+        assert!((b.ge_um2() / a.ge_um2() - 4.0).abs() < 1e-9);
+        assert!((b.tau_ns() / a.tau_ns() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_steps_down_with_feature_size() {
+        assert_eq!(FabricationNode::n0700().vdd(), 5.0);
+        assert_eq!(FabricationNode::n0350().vdd(), 3.3);
+        assert_eq!(FabricationNode::n0250().vdd(), 2.5);
+    }
+
+    #[test]
+    fn names_are_formatted() {
+        assert_eq!(FabricationNode::n0350().name(), "0.35um");
+        assert_eq!(FabricationNode::n0700().to_string(), "0.70um");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature size must be positive")]
+    fn zero_feature_panics() {
+        let _ = FabricationNode::scaled(0);
+    }
+}

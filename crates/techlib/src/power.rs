@@ -1,0 +1,103 @@
+//! First-order dynamic power model.
+//!
+//! The paper lists power consumption as work in progress ("we are
+//! currently incorporating power consumption in our case studies"). This
+//! module provides that extension: a classical `P = α·C·V²·f` estimate
+//! driven by the same structural gate counts the area model uses, so the
+//! design space layer can expose a `Power` figure of merit next to area
+//! and delay.
+
+use crate::Technology;
+
+/// Effective switched capacitance of one gate equivalent, in femtofarads,
+/// at the 0.35 µm anchor node. Scales linearly with feature size.
+const REF_CAP_FF_PER_GE: f64 = 6.0;
+const REF_FEATURE_NM: f64 = 350.0;
+
+/// Estimates average dynamic power in milliwatts.
+///
+/// * `area_ge` — total switched logic in gate equivalents,
+/// * `freq_mhz` — clock frequency,
+/// * `activity` — average switching activity factor `α` in `0..=1`
+///   (fraction of gates toggling per cycle).
+///
+/// # Panics
+///
+/// Panics if `activity` is outside `0..=1` or any argument is negative.
+///
+/// # Examples
+///
+/// ```
+/// use techlib::{power, Technology};
+///
+/// let t = Technology::g10_035();
+/// let p = power::dynamic_power_mw(&t, 4000.0, 300.0, 0.2);
+/// assert!(p > 0.0);
+/// ```
+pub fn dynamic_power_mw(tech: &Technology, area_ge: f64, freq_mhz: f64, activity: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&activity),
+        "activity factor must be within 0..=1"
+    );
+    assert!(area_ge >= 0.0 && freq_mhz >= 0.0, "negative inputs");
+    let lambda = tech.node().feature_nm() as f64 / REF_FEATURE_NM;
+    let cap_ff = REF_CAP_FF_PER_GE * lambda * area_ge;
+    let vdd = tech.node().vdd();
+    // P[W] = α · C[F] · V² · f[Hz]; with C in fF and f in MHz the exponents
+    // cancel to 1e-9, and 1e3 converts W → mW.
+    activity * cap_ff * vdd * vdd * freq_mhz * 1e-9 * 1e3
+}
+
+/// Energy per operation in nanojoules, for an operation taking
+/// `cycles` cycles at `freq_mhz` with the given power.
+pub fn energy_per_op_nj(power_mw: f64, cycles: u64, freq_mhz: f64) -> f64 {
+    assert!(freq_mhz > 0.0, "frequency must be positive");
+    // E = P · t;  mW · µs = nJ.
+    let op_time_us = cycles as f64 / freq_mhz;
+    power_mw * op_time_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FabricationNode, LayoutStyle};
+
+    #[test]
+    fn power_scales_linearly_with_frequency_and_area() {
+        let t = Technology::g10_035();
+        let p1 = dynamic_power_mw(&t, 1000.0, 100.0, 0.2);
+        assert!((dynamic_power_mw(&t, 2000.0, 100.0, 0.2) / p1 - 2.0).abs() < 1e-9);
+        assert!((dynamic_power_mw(&t, 1000.0, 200.0, 0.2) / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn older_node_burns_more_power() {
+        // Bigger caps and higher VDD at 0.7 µm.
+        let new = Technology::g10_035();
+        let old = Technology::new(FabricationNode::n0700(), LayoutStyle::StandardCell);
+        let pn = dynamic_power_mw(&new, 1000.0, 100.0, 0.2);
+        let po = dynamic_power_mw(&old, 1000.0, 100.0, 0.2);
+        assert!(po > 3.0 * pn, "expected {po} > 3x {pn}");
+    }
+
+    #[test]
+    fn energy_accumulates_over_cycles() {
+        let e1 = energy_per_op_nj(10.0, 100, 100.0);
+        let e2 = energy_per_op_nj(10.0, 200, 100.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor")]
+    fn activity_out_of_range_panics() {
+        let _ = dynamic_power_mw(&Technology::g10_035(), 100.0, 100.0, 1.5);
+    }
+
+    #[test]
+    fn magnitudes_are_plausible() {
+        // A ~4k-GE multiplier slice at 300 MHz should be tens of mW in 0.35µm.
+        let t = Technology::g10_035();
+        let p = dynamic_power_mw(&t, 4000.0, 300.0, 0.25);
+        assert!(p > 1.0 && p < 500.0, "p = {p} mW");
+    }
+}

@@ -1,0 +1,148 @@
+//! The combined technology view: node + layout style + cell library.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CellKind, CellLibrary, CellModel, FabricationNode, LayoutStyle};
+
+/// A complete technology target: everything the hardware estimator needs
+/// to turn a structural netlist-level description into µm² and ns.
+///
+/// # Examples
+///
+/// ```
+/// use techlib::{CellKind, FabricationNode, LayoutStyle, Technology};
+///
+/// let t = Technology::new(FabricationNode::n0350(), LayoutStyle::StandardCell);
+/// // A 64-bit register: 64 DFFs.
+/// let reg_area = t.cell_area_um2(CellKind::Dff) * 64.0;
+/// assert!(reg_area > 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    node: FabricationNode,
+    layout: LayoutStyle,
+    cells: CellLibrary,
+}
+
+impl Technology {
+    /// Builds a technology with the generic cell library.
+    pub fn new(node: FabricationNode, layout: LayoutStyle) -> Self {
+        Technology {
+            node,
+            layout,
+            cells: CellLibrary::generic(),
+        }
+    }
+
+    /// Builds a technology with a custom cell library.
+    pub fn with_cells(node: FabricationNode, layout: LayoutStyle, cells: CellLibrary) -> Self {
+        Technology {
+            node,
+            layout,
+            cells,
+        }
+    }
+
+    /// The paper's target: 0.35 µm standard cells.
+    pub fn g10_035() -> Self {
+        Technology::new(FabricationNode::n0350(), LayoutStyle::StandardCell)
+    }
+
+    /// The fabrication node.
+    pub fn node(&self) -> &FabricationNode {
+        &self.node
+    }
+
+    /// The layout style.
+    pub fn layout(&self) -> LayoutStyle {
+        self.layout
+    }
+
+    /// The cell library.
+    pub fn cells(&self) -> &CellLibrary {
+        &self.cells
+    }
+
+    /// The raw cell model (technology-independent units).
+    pub fn cell_model(&self, kind: CellKind) -> CellModel {
+        self.cells.model(kind)
+    }
+
+    /// Physical area of one instance of `kind`, in µm² (node and layout
+    /// factors applied).
+    pub fn cell_area_um2(&self, kind: CellKind) -> f64 {
+        self.cells.model(kind).area_ge * self.node.ge_um2() * self.layout.area_factor()
+    }
+
+    /// Worst-case propagation delay of one instance of `kind`, in ns.
+    pub fn cell_delay_ns(&self, kind: CellKind) -> f64 {
+        self.cells.model(kind).delay_tau * self.node.tau_ns() * self.layout.delay_factor()
+    }
+
+    /// Input-to-carry delay of an adder cell, in ns.
+    pub fn cell_carry_delay_ns(&self, kind: CellKind) -> f64 {
+        self.cells.model(kind).carry_delay_tau * self.node.tau_ns() * self.layout.delay_factor()
+    }
+
+    /// Converts a gate-equivalent count to µm² under this technology.
+    pub fn ge_to_um2(&self, ge: f64) -> f64 {
+        ge * self.node.ge_um2() * self.layout.area_factor()
+    }
+
+    /// Converts a τ count to ns under this technology.
+    pub fn tau_to_ns(&self, tau: f64) -> f64 {
+        tau * self.node.tau_ns() * self.layout.delay_factor()
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.node, self.layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g10_is_035_standard_cell() {
+        let t = Technology::g10_035();
+        assert_eq!(t.node().feature_nm(), 350);
+        assert_eq!(t.layout(), LayoutStyle::StandardCell);
+    }
+
+    #[test]
+    fn layout_factors_apply() {
+        let sc = Technology::new(FabricationNode::n0350(), LayoutStyle::StandardCell);
+        let ga = Technology::new(FabricationNode::n0350(), LayoutStyle::GateArray);
+        assert!(ga.cell_area_um2(CellKind::Nand2) > sc.cell_area_um2(CellKind::Nand2));
+        assert!(ga.cell_delay_ns(CellKind::Nand2) > sc.cell_delay_ns(CellKind::Nand2));
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let t = Technology::g10_035();
+        let m = t.cell_model(CellKind::Xor2);
+        assert!((t.ge_to_um2(m.area_ge) - t.cell_area_um2(CellKind::Xor2)).abs() < 1e-9);
+        assert!((t.tau_to_ns(m.delay_tau) - t.cell_delay_ns(CellKind::Xor2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carry_path_is_exposed() {
+        let t = Technology::g10_035();
+        assert!(t.cell_carry_delay_ns(CellKind::FullAdder) < t.cell_delay_ns(CellKind::FullAdder));
+        // Non-adder cells: carry delay == worst delay.
+        assert_eq!(
+            t.cell_carry_delay_ns(CellKind::Mux2),
+            t.cell_delay_ns(CellKind::Mux2)
+        );
+    }
+
+    #[test]
+    fn display_combines_node_and_layout() {
+        assert_eq!(Technology::g10_035().to_string(), "0.35um standard-cell");
+    }
+}

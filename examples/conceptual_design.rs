@@ -1,0 +1,99 @@
+//! Conceptual design when *no suitable core exists*: the layer's second
+//! job. The designer needs a 2048-bit modular multiplier, the reuse
+//! library was stocked for 768-bit cores only, and the CC3-style
+//! estimation context bridges the gap with early estimates.
+//!
+//! ```text
+//! cargo run --example conceptual_design
+//! ```
+
+use design_space_layer::dse::estimate::EstimatorRegistry;
+use design_space_layer::dse::eval::FigureOfMerit;
+use design_space_layer::dse::value::Value;
+use design_space_layer::dse_library::estimators::{BehaviorDelayEstimator, SoftwareTimeEstimator};
+use design_space_layer::dse_library::{crypto, Explorer};
+use design_space_layer::hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
+use design_space_layer::techlib::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::g10_035();
+    let layer = crypto::build_layer()?;
+    // The library was built for 768-bit operands...
+    let library = crypto::build_library(&tech, 768);
+
+    // ...but this application needs 2048 bits, 30 µs per multiplication.
+    let mut exp = Explorer::new(&layer.space, layer.omm, &library);
+    exp.session.set_requirement("EOL", Value::from(2048))?;
+    exp.session
+        .set_requirement("MaxLatencyUs", Value::from(30.0))?;
+    exp.session
+        .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))?;
+    exp.session
+        .decide("ImplementationStyle", Value::from("Hardware"))?;
+    exp.session.decide("Algorithm", Value::from("Montgomery"))?;
+
+    // Cores survive the option filter (they are Montgomery hardware), but
+    // none of them serves 2048-bit operands: NumberOfSlices for EOL=2048
+    // doesn't match any record. Conceptual design takes over.
+    println!("library was stocked for 768-bit operands; designing 2048-bit conceptually\n");
+
+    // 1. CC2 derives the latency budget per radix.
+    for radix in [2i64, 4] {
+        if exp.session.decided("Radix").is_some() {
+            exp.session.revise("Radix", Value::from(radix))?;
+        } else {
+            exp.session.decide("Radix", Value::from(radix))?;
+        }
+        for (prop, value) in exp.session.derived() {
+            println!("  CC2 with Radix = {radix}: {prop} = {value} cycles");
+        }
+    }
+
+    // 2. CC3's estimation context: rank the algorithmic alternatives by
+    //    combinational delay before any RT-level data exists.
+    let mut registry = EstimatorRegistry::new();
+    registry.register(Box::new(BehaviorDelayEstimator::new(tech.clone())));
+    registry.register(Box::new(SoftwareTimeEstimator));
+
+    exp.session.decide(
+        "BehavioralDecomposition",
+        Value::from("select-per-operator"),
+    )?;
+    for (estimator, output) in exp.session.ready_estimators() {
+        let v = registry.run(&estimator, exp.session.bindings())?;
+        println!("  {estimator} -> {output} = {v:.1} ns");
+    }
+
+    // 3. With the conceptual parameters fixed, instantiate the paper's
+    //    estimation models directly and check the requirement.
+    let arch = ModMulArchitecture::new(
+        Algorithm::Montgomery,
+        4,
+        64,
+        AdderKind::CarrySave,
+        DigitMultiplierKind::MuxTable,
+    )?;
+    let est = arch.estimate(2048, &tech);
+    println!(
+        "\nconceptual design: {arch}\n  estimated area {:.0} um^2, clock {:.2} ns, \
+         one 2048-bit modmul {:.2} us",
+        est.area_um2,
+        est.clock_ns,
+        est.latency_ns / 1000.0
+    );
+    let meets = est.latency_ns / 1000.0 <= 30.0;
+    println!("  meets the 30 us requirement: {meets}");
+
+    // 4. The estimate becomes the specification handed to detailed design;
+    //    the evaluation space records it like any other point.
+    let point = design_space_layer::dse::eval::EvalPoint::new("conceptual-2048")
+        .with(FigureOfMerit::AreaUm2, est.area_um2)
+        .with(FigureOfMerit::DelayNs, est.latency_ns);
+    println!(
+        "\nrecorded conceptual point: {} (area {:.0}, delay {:.0} ns)",
+        point.label(),
+        point.merit(&FigureOfMerit::AreaUm2).unwrap(),
+        point.merit(&FigureOfMerit::DelayNs).unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Exploring the coprocessor level: the exponentiation-method design
+//! issue (binary vs 2ᵏ-ary windows) over the Exponentiator CDO, with the
+//! CC7 quantitative constraint and the actual engines cross-checking each
+//! other.
+//!
+//! ```text
+//! cargo run --example exponentiation_methods
+//! ```
+
+use design_space_layer::bignum::{random_prime, uniform_below, UBig};
+use design_space_layer::coproc::engine::{HardwareEngine, ReferenceEngine};
+use design_space_layer::coproc::{ExpMethod, ModExp};
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse_library::crypto;
+use design_space_layer::hwmodel::paper_designs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The layer view: the Exponentiator CDO carries the WindowBits
+    //    issue and CC7 derives the expected multiplication count.
+    let layer = crypto::build_layer()?;
+    let mut session = ExplorationSession::new(&layer.space, layer.exponentiator);
+    session.set_requirement("ExponentBits", Value::from(768))?;
+    println!("CC7-derived multiplication counts for a 768-bit exponent:");
+    for k in [1i64, 2, 4, 6] {
+        if session.decided("WindowBits").is_some() {
+            session.revise("WindowBits", Value::from(k))?;
+        } else {
+            session.decide("WindowBits", Value::from(k))?;
+        }
+        for (prop, value) in session.derived() {
+            println!("  WindowBits = {k}: {prop} = {value}");
+        }
+    }
+
+    // 2. Execute each method for real — on the reference engine and on a
+    //    simulated hardware datapath — and compare with CC7.
+    let mut rng = StdRng::seed_from_u64(99);
+    let m = random_prime(48, &mut rng);
+    let base = uniform_below(&m, &mut rng);
+    let mut exp_val = uniform_below(&UBig::power_of_two(768), &mut rng);
+    exp_val.set_bit(767, true);
+    let expect = base.mod_pow(&exp_val, &m);
+
+    println!("\nmethod           CC7    reference    hardware(#2)   verified");
+    for method in [ExpMethod::Binary, ExpMethod::Window(4)] {
+        let cc7 = method.expected_multiplications(768);
+        let mut reference = ModExp::new(ReferenceEngine::new());
+        let ref_report = reference.mod_pow_with_method(&base, &exp_val, &m, method)?;
+
+        let arch = paper_designs()[1].architecture(16)?;
+        let mut hw = ModExp::new(HardwareEngine::new(arch, 2.78));
+        let hw_report = hw.mod_pow_with_method(&base, &exp_val, &m, method)?;
+
+        let ok = ref_report.result == expect && hw_report.result == expect;
+        println!(
+            "{:<15} {:>5}   {:>7} muls   {:>7} muls   {}",
+            method.to_string(),
+            cc7,
+            ref_report.multiplications,
+            hw_report.multiplications,
+            ok
+        );
+    }
+
+    // 3. The trade-off summary: multiplications vs table storage.
+    println!("\nstorage/speed trade-off (768-bit exponent):");
+    for method in [
+        ExpMethod::Binary,
+        ExpMethod::Window(2),
+        ExpMethod::Window(4),
+        ExpMethod::Window(6),
+    ] {
+        println!(
+            "  {:<15} {:>5} expected muls, {:>3} table registers",
+            method.to_string(),
+            method.expected_multiplications(768),
+            method.table_registers()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! The DSP domain: authoring and exploring a FIR-filter design space
+//! layer — the same framework, a third application domain.
+//!
+//! ```text
+//! cargo run --example fir_filter
+//! ```
+
+use design_space_layer::dse::eval::FigureOfMerit;
+use design_space_layer::dse::value::Value;
+use design_space_layer::dse_library::{fir, Explorer};
+use design_space_layer::hwmodel::fir::{reference_fir, FirArchitecture};
+use design_space_layer::techlib::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = fir::build_layer()?;
+    let library = fir::build_library(&Technology::g10_035());
+    println!("FIR library: {} cores\n", library.len());
+
+    // Requirements: a 32-tap, 12-bit filter at 25 Msps.
+    let mut exp = Explorer::new(&layer.space, layer.fir, &library);
+    exp.session.set_requirement("Taps", Value::from(32))?;
+    exp.session.set_requirement("DataWidth", Value::from(12))?;
+    exp.session
+        .set_requirement("SampleRateMsps", Value::from(25.0))?;
+
+    // The layer's CC9 rejects the serial family outright at this rate.
+    match exp.session.decide("Parallelism", Value::from("serial")) {
+        Err(e) => println!("serial family rejected: {e}"),
+        Ok(()) => unreachable!("CC9 must fire"),
+    }
+
+    // Compare the surviving families' evaluation regions before deciding.
+    for family in ["parallel", "semi-parallel"] {
+        let mut probe = Explorer::new(&layer.space, layer.fir, &library);
+        probe.session.set_requirement("Taps", Value::from(32))?;
+        probe
+            .session
+            .set_requirement("DataWidth", Value::from(12))?;
+        probe
+            .session
+            .set_requirement("SampleRateMsps", Value::from(25.0))?;
+        probe.session.decide("Parallelism", Value::from(family))?;
+        if let Some((lo, hi)) = probe.merit_range(&FigureOfMerit::AreaUm2) {
+            println!("{family:<14} area range {lo:>9.0} .. {hi:>9.0} um^2");
+        }
+    }
+
+    // Commit to semi-parallel: the smallest structure meeting the rate.
+    exp.session
+        .decide("Parallelism", Value::from("semi-parallel"))?;
+    let core = exp.surviving_cores()[0];
+    println!("\nselected: {core}");
+
+    // Validate the selection functionally: low-pass-ish coefficients.
+    let arch = FirArchitecture::new(32, 12, 12, 4)?;
+    let coeffs: Vec<i64> = (0..32).map(|k| 32 - (k as i64 - 16).abs() * 2).collect();
+    let input: Vec<i64> = (0..48)
+        .map(|i| if i % 8 < 4 { 900 } else { -900 })
+        .collect();
+    let (output, cycles) = arch.simulate(&input, &coeffs)?;
+    assert_eq!(output, reference_fir(&input, &coeffs));
+    println!(
+        "filtered {} samples in {} cycles ({} cycles/sample) — matches reference convolution",
+        input.len(),
+        cycles,
+        arch.cycles_per_sample()
+    );
+    Ok(())
+}

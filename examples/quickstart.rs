@@ -1,0 +1,95 @@
+//! Quickstart: author a small design space layer, connect a reuse
+//! library, and explore it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse_library::{CoreRecord, Explorer, ReuseLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Author a layer: one class of design objects ("Adder") with a
+    //    requirement, a generalized design issue and a consistency
+    //    constraint.
+    let mut space = DesignSpace::new("quickstart");
+    let adder = space.add_root("Adder", "all adder implementations");
+    space.add_property(
+        adder,
+        Property::requirement(
+            "WordSize",
+            Domain::int_range(1, 1024),
+            Some(Unit::bits()),
+            "operand width the application needs",
+        ),
+    )?;
+    space.add_property(
+        adder,
+        Property::generalized_issue(
+            "LogicStyle",
+            Domain::options(["ripple-carry", "carry-look-ahead", "carry-save"]),
+            "the dominant delay lever",
+        ),
+    )?;
+    space.specialize(adder, "LogicStyle")?;
+    // Wide ripple-carry adders are dominated: a CC eliminates them.
+    space.add_constraint(
+        adder,
+        ConsistencyConstraint::new(
+            "CC-ripple",
+            "ripple carry is inferior beyond 16 bits",
+            ["WordSize".to_owned()],
+            ["LogicStyle".to_owned()],
+            Relation::Dominance(Pred::all([
+                Pred::cmp(CmpOp::Ge, Expr::prop("WordSize"), Expr::constant(16)),
+                Pred::is("LogicStyle", "ripple-carry"),
+            ])),
+        ),
+    );
+
+    // 2. Populate a reuse library with a few cores.
+    let mut library = ReuseLibrary::new("adder cores");
+    for (name, style, area, delay) in [
+        ("rca8", "ripple-carry", 60.0, 8.0),
+        ("cla32", "carry-look-ahead", 420.0, 3.1),
+        ("cla64", "carry-look-ahead", 900.0, 3.8),
+        ("csa64", "carry-save", 520.0, 1.0),
+    ] {
+        library.push(
+            CoreRecord::new(name, "quickstart", "")
+                .bind("LogicStyle", style)
+                .merit(FigureOfMerit::AreaUm2, area)
+                .merit(FigureOfMerit::DelayNs, delay),
+        );
+    }
+
+    // 3. Explore: requirements in, decisions prune the space and the
+    //    surviving cores transparently follow.
+    let mut exp = Explorer::new(&space, adder, &library);
+    println!("cores before any decision: {}", exp.surviving_cores().len());
+
+    exp.session.set_requirement("WordSize", Value::from(64))?;
+    // The CC rejects the dominated option outright:
+    let rejected = exp
+        .session
+        .decide("LogicStyle", Value::from("ripple-carry"));
+    println!("ripple-carry at 64 bits: {}", rejected.unwrap_err());
+
+    exp.session
+        .decide("LogicStyle", Value::from("carry-look-ahead"))?;
+    println!(
+        "after LogicStyle = carry-look-ahead, focus is {:?}",
+        exp.session.space().path_string(exp.session.focus())
+    );
+    for core in exp.surviving_cores() {
+        println!("  surviving: {core}");
+    }
+    if let Some((lo, hi)) = exp.merit_range(&FigureOfMerit::DelayNs) {
+        println!("delay range over survivors: {lo:.1} .. {hi:.1} ns");
+    }
+
+    // 4. The layer documents itself.
+    println!("\n--- self-documentation ---\n");
+    println!("{}", design_space_layer::dse::doc::render_markdown(&space));
+    Ok(())
+}

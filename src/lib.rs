@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the design-space-layer reproduction: re-exports
+//! every workspace crate so examples and integration tests can reach the
+//! whole stack through one dependency.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use bignum;
+pub use coproc;
+pub use dse;
+pub use dse_library;
+pub use hwmodel;
+pub use swmodel;
+pub use techlib;

@@ -1,0 +1,145 @@
+//! Cross-crate validation: the same modular arithmetic computed through
+//! every modelled route — big-integer reference, all eight hardware
+//! datapaths, all five software variants — must agree.
+
+use design_space_layer::bignum::{uniform_below, MontgomeryContext, UBig};
+use design_space_layer::coproc::engine::{HardwareEngine, ReferenceEngine, SoftwareEngine};
+use design_space_layer::coproc::ModExp;
+use design_space_layer::hwmodel::{paper_designs, sim};
+use design_space_layer::swmodel::{
+    MontgomeryVariant, OpCounts, ProcessorModel, SoftwareRoutine, WordMontgomery,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
+    let mut m = uniform_below(&UBig::power_of_two(bits), rng);
+    m.set_bit(bits - 1, true);
+    m.set_bit(0, true);
+    m
+}
+
+#[test]
+fn plain_products_agree_across_all_routes() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let m = odd_modulus(96, &mut rng);
+    let a = uniform_below(&m, &mut rng);
+    let b = uniform_below(&m, &mut rng);
+    let expect = a.mod_mul(&b, &m);
+
+    // Big-integer Montgomery context.
+    let ctx = MontgomeryContext::new(&m).unwrap();
+    assert_eq!(ctx.mod_mul(&a, &b), expect, "bignum REDC");
+
+    // Every hardware datapath.
+    for family in paper_designs() {
+        for w in [8u32, 32] {
+            let arch = family.architecture(w).unwrap();
+            let got = sim::mod_mul_via(&arch, &a, &b, &m).unwrap();
+            assert_eq!(got, expect, "{} w{w}", family.name());
+        }
+    }
+
+    // Every software variant.
+    let word = WordMontgomery::new(&m).unwrap();
+    for v in MontgomeryVariant::ALL {
+        let mut counts = OpCounts::new();
+        assert_eq!(word.mod_mul(&a, &b, v, &mut counts).unwrap(), expect, "{v}");
+    }
+}
+
+#[test]
+fn exponentiation_agrees_across_engine_types() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let m = odd_modulus(64, &mut rng);
+    let base = uniform_below(&m, &mut rng);
+    let exp = UBig::from(0xDEC0DEu64);
+    let expect = base.mod_pow(&exp, &m);
+
+    assert_eq!(
+        ModExp::new(ReferenceEngine::new())
+            .mod_pow(&base, &exp, &m)
+            .unwrap(),
+        expect,
+        "reference engine"
+    );
+
+    for family in paper_designs() {
+        let arch = family.architecture(16).unwrap();
+        let mut coproc = ModExp::new(HardwareEngine::new(arch, 3.0));
+        assert_eq!(
+            coproc.mod_pow(&base, &exp, &m).unwrap(),
+            expect,
+            "{}",
+            family.name()
+        );
+    }
+
+    for v in [MontgomeryVariant::Cios, MontgomeryVariant::Fips] {
+        let eng = SoftwareEngine::new(SoftwareRoutine::new(v, ProcessorModel::pentium60_asm()));
+        assert_eq!(
+            ModExp::new(eng).mod_pow(&base, &exp, &m).unwrap(),
+            expect,
+            "{v}"
+        );
+    }
+}
+
+#[test]
+fn carry_save_and_carry_propagate_datapaths_are_bit_identical() {
+    // Designs #1 (CLA) and #2 (CSA) differ only in accumulator structure;
+    // their outputs must be identical bit for bit, multiplication after
+    // multiplication.
+    let designs = paper_designs();
+    let cla = designs[0].architecture(8).unwrap();
+    let csa = designs[1].architecture(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(1003);
+    let m = odd_modulus(48, &mut rng);
+    for _ in 0..25 {
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let out_cla = sim::simulate(&cla, &a, &b, &m).unwrap();
+        let out_csa = sim::simulate(&csa, &a, &b, &m).unwrap();
+        assert_eq!(out_cla.product, out_csa.product);
+        assert_eq!(out_cla.cycles, out_csa.cycles, "same cycle count too");
+    }
+}
+
+#[test]
+fn radix_choice_does_not_change_results() {
+    // #2 (radix 2) vs #5 (radix 4): different digit serialization, same
+    // plain product.
+    let designs = paper_designs();
+    let r2 = designs[1].architecture(16).unwrap();
+    let r4 = designs[4].architecture(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(1004);
+    let m = odd_modulus(64, &mut rng);
+    for _ in 0..10 {
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        assert_eq!(
+            sim::mod_mul_via(&r2, &a, &b, &m).unwrap(),
+            sim::mod_mul_via(&r4, &a, &b, &m).unwrap()
+        );
+    }
+}
+
+#[test]
+fn hardware_cycle_counts_match_the_analytic_model() {
+    // The simulator's executed cycles equal the architecture's closed-form
+    // count — the number the estimator multiplies by the clock period.
+    let mut rng = StdRng::seed_from_u64(1005);
+    for family in paper_designs() {
+        let arch = family.architecture(16).unwrap();
+        let m = odd_modulus(64, &mut rng);
+        let a = uniform_below(&m, &mut rng);
+        let b = uniform_below(&m, &mut rng);
+        let out = sim::simulate(&arch, &a, &b, &m).unwrap();
+        assert_eq!(
+            out.cycles,
+            arch.cycles(out.eol).unwrap(),
+            "{}",
+            family.name()
+        );
+    }
+}

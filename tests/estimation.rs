@@ -1,0 +1,90 @@
+//! End-to-end estimation flow (CC3): a session reaches the point where an
+//! estimation context fires, the registry runs the tool, and the produced
+//! metric is consistent with the detailed structural models.
+
+use design_space_layer::dse::estimate::EstimatorRegistry;
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse_library::crypto;
+use design_space_layer::dse_library::estimators::{BehaviorDelayEstimator, SoftwareTimeEstimator};
+use design_space_layer::hwmodel::behavior::montgomery_iteration;
+use design_space_layer::techlib::Technology;
+
+fn registry() -> EstimatorRegistry {
+    let mut reg = EstimatorRegistry::new();
+    reg.register(Box::new(BehaviorDelayEstimator::new(Technology::g10_035())));
+    reg.register(Box::new(SoftwareTimeEstimator));
+    reg
+}
+
+#[test]
+fn cc3_context_fires_and_runs_through_the_registry() {
+    let layer = crypto::build_layer().unwrap();
+    let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+    ses.set_requirement("EOL", Value::from(768)).unwrap();
+    ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+        .unwrap();
+    ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    ses.decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    ses.decide("Algorithm", Value::from("Montgomery")).unwrap();
+
+    // CC3 is not ready until the behavioural decomposition is selected.
+    assert!(ses.ready_estimators().is_empty());
+    ses.decide(
+        "BehavioralDecomposition",
+        Value::from("select-per-operator"),
+    )
+    .unwrap();
+    let ready = ses.ready_estimators();
+    assert_eq!(ready.len(), 1);
+    let (tool, output) = &ready[0];
+    assert_eq!(tool, "BehaviorDelayEstimator");
+    assert_eq!(output, "MaxCombDelayNs");
+
+    let value = registry().run(tool, ses.bindings()).unwrap();
+    assert!(value > 0.0);
+
+    // The estimate equals the structural behavioural model directly.
+    let direct = montgomery_iteration(768, 1).max_combinational_delay_ns(&Technology::g10_035());
+    assert!((value - direct).abs() < 1e-9);
+}
+
+#[test]
+fn estimator_ranking_matches_the_librarys_measured_ordering() {
+    // CC3's purpose: rank algorithmic alternatives *before* detailed data
+    // exists. The ranking must agree with what the detailed models later
+    // measure (Fig. 9's Montgomery-over-Brickell verdict).
+    let reg = registry();
+    let mut bindings = dse::expr::Bindings::new();
+    bindings.insert("EOL".to_owned(), Value::from(768));
+    bindings.insert("Algorithm".to_owned(), Value::from("Montgomery"));
+    let mont = reg.run("BehaviorDelayEstimator", &bindings).unwrap();
+    bindings.insert("Algorithm".to_owned(), Value::from("Brickell"));
+    let brick = reg.run("BehaviorDelayEstimator", &bindings).unwrap();
+    assert!(
+        mont < brick,
+        "estimator: montgomery {mont} < brickell {brick}"
+    );
+}
+
+#[test]
+fn software_estimator_agrees_with_library_merits() {
+    let lib = crypto::build_library(&Technology::g10_035(), 768);
+    let reg = registry();
+    for (variant, lang) in [("CIOS", "C"), ("CIHS", "ASM"), ("FIPS", "C")] {
+        let core = lib.find(&format!("{variant} {lang}")).unwrap();
+        let recorded = core
+            .merit_value(&FigureOfMerit::TimeUs)
+            .expect("software cores record TimeUs");
+        let mut b = dse::expr::Bindings::new();
+        b.insert("EOL".to_owned(), Value::from(768));
+        b.insert("Variant".to_owned(), Value::from(variant));
+        b.insert("Language".to_owned(), Value::from(lang));
+        let estimated = reg.run("SoftwareTimeEstimator", &b).unwrap();
+        assert!(
+            (estimated - recorded).abs() < 1e-9,
+            "{variant} {lang}: {estimated} vs {recorded}"
+        );
+    }
+}

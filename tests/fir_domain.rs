@@ -1,0 +1,94 @@
+//! The FIR domain end to end: explore the DSP layer, select a core, and
+//! verify the selected architecture functionally against reference
+//! convolution — the same layer→selection→validation loop as the
+//! cryptography case study, on a different domain.
+
+use design_space_layer::dse::eval::FigureOfMerit;
+use design_space_layer::dse::value::Value;
+use design_space_layer::dse_library::{fir, lint_library, Explorer};
+use design_space_layer::hwmodel::fir::{reference_fir, FirArchitecture};
+use design_space_layer::techlib::Technology;
+
+#[test]
+fn fir_selection_walkthrough_with_functional_verification() {
+    let layer = fir::build_layer().unwrap();
+    let library = fir::build_library(&Technology::g10_035());
+
+    let mut exp = Explorer::new(&layer.space, layer.fir, &library);
+    exp.session
+        .set_requirement("Taps", Value::from(32))
+        .unwrap();
+    exp.session
+        .set_requirement("DataWidth", Value::from(12))
+        .unwrap();
+    exp.session
+        .set_requirement("SampleRateMsps", Value::from(25.0))
+        .unwrap();
+
+    // CC9 rejects the serial family at this spec.
+    assert!(exp
+        .session
+        .decide("Parallelism", Value::from("serial"))
+        .is_err());
+    exp.session
+        .decide("Parallelism", Value::from("semi-parallel"))
+        .unwrap();
+    let survivors = exp.surviving_cores();
+    assert_eq!(survivors.len(), 1);
+    let core = survivors[0];
+    assert_eq!(core.name(), "fir32x12-4mac");
+
+    // Rebuild the architecture from the core's bindings and verify it
+    // computes real convolutions.
+    let arch = FirArchitecture::new(
+        core.binding("Taps").unwrap().as_i64().unwrap() as u32,
+        core.binding("DataWidth").unwrap().as_i64().unwrap() as u32,
+        core.binding("CoefficientWidth").unwrap().as_i64().unwrap() as u32,
+        core.binding("MacUnits").unwrap().as_i64().unwrap() as u32,
+    )
+    .unwrap();
+    let input: Vec<i64> = (0..64).map(|i| ((i * 97) % 256) - 128).collect();
+    let coeffs: Vec<i64> = (0..32).map(|k| ((k * 31) % 128) - 64).collect();
+    let (got, cycles) = arch.simulate(&input, &coeffs).unwrap();
+    assert_eq!(got, reference_fir(&input, &coeffs));
+    assert_eq!(cycles, 64 * 8); // 32 taps on 4 MACs = 8 cycles/sample
+
+    // The recorded merit agrees with a fresh estimate.
+    let est = arch.estimate(&Technology::g10_035());
+    let recorded = core.merit_value(&FigureOfMerit::DelayNs).unwrap();
+    assert!((est.sample_time_ns - recorded).abs() < 1e-6);
+}
+
+#[test]
+fn fir_library_lints_clean_modulo_parameter_requirements() {
+    let layer = fir::build_layer().unwrap();
+    let library = fir::build_library(&Technology::g10_035());
+    let findings = lint_library(&layer.space, layer.fir, &library);
+    // FIR cores legitimately parameterize on Taps/DataWidth (application
+    // requirements the macro is built for); nothing else may be flagged.
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.property == "Taps" || f.property == "DataWidth"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn three_domains_coexist_in_one_environment() {
+    // One design environment can operate several domain layers at once
+    // (the paper's Fig. 1: one layer per domain over many libraries).
+    use design_space_layer::dse_library::{crypto, idct};
+    let crypto_layer = crypto::build_layer().unwrap();
+    let idct_layer = idct::build_layer_generalization().unwrap();
+    let fir_layer = fir::build_layer().unwrap();
+    for (name, space) in [
+        ("crypto", &crypto_layer.space),
+        ("idct", &idct_layer.space),
+        ("fir", &fir_layer.space),
+    ] {
+        assert!(space.validate().is_empty(), "{name}");
+        let md = design_space_layer::dse::doc::render_markdown(space);
+        assert!(md.contains("## Hierarchy"), "{name}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Persistence and self-documentation: layers and libraries are data that
+//! design environments exchange (the paper's Fig. 1 logical organisation),
+//! so both must round-trip losslessly.
+
+use design_space_layer::dse::hierarchy::DesignSpace;
+use design_space_layer::dse_library::{crypto, idct, ReuseLibrary};
+use design_space_layer::techlib::Technology;
+
+/// Libraries round-trip structurally; figures of merit may differ by one
+/// ULP through the decimal representation, so compare with tolerance.
+fn assert_libraries_equivalent(a: &ReuseLibrary, b: &ReuseLibrary) {
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.len(), b.len());
+    for (ca, cb) in a.cores().iter().zip(b.cores()) {
+        assert_eq!(ca.name(), cb.name());
+        assert_eq!(ca.bindings(), cb.bindings());
+        assert_eq!(ca.merits().len(), cb.merits().len());
+        for ((ma, va), (mb, vb)) in ca.merits().iter().zip(cb.merits()) {
+            assert_eq!(ma, mb);
+            let rel = (va - vb).abs() / va.abs().max(1e-12);
+            assert!(rel < 1e-12, "{} {ma:?}: {va} vs {vb}", ca.name());
+        }
+    }
+}
+
+#[test]
+fn crypto_library_roundtrips_through_json() {
+    let lib = crypto::build_library(&Technology::g10_035(), 768);
+    let json = lib.to_json().unwrap();
+    let back = ReuseLibrary::from_json(&json).unwrap();
+    assert_libraries_equivalent(&lib, &back);
+    assert_eq!(back.len(), 60);
+}
+
+#[test]
+fn crypto_layer_roundtrips_through_serde() {
+    let layer = crypto::build_layer().unwrap();
+    let json = serde_json::to_string(&layer.space).unwrap();
+    let back: DesignSpace = serde_json::from_str(&json).unwrap();
+    assert_eq!(layer.space, back);
+    // The restored layer is structurally sound and navigable.
+    assert!(back.validate().is_empty());
+    assert_eq!(
+        back.find_by_path("Operator.Modular.Multiplier.Hardware.Montgomery"),
+        Some(layer.omm_hm)
+    );
+}
+
+#[test]
+fn idct_layers_roundtrip_and_stay_distinct() {
+    let gen = idct::build_layer_generalization().unwrap();
+    let abs = idct::build_layer_abstraction().unwrap();
+    let gen_json = serde_json::to_string(&gen.space).unwrap();
+    let abs_json = serde_json::to_string(&abs.space).unwrap();
+    assert_ne!(gen_json, abs_json, "the two organisations differ");
+    let gen_back: DesignSpace = serde_json::from_str(&gen_json).unwrap();
+    assert_eq!(gen.space, gen_back);
+}
+
+#[test]
+fn file_roundtrip_of_the_full_library() {
+    let lib = crypto::build_library(&Technology::g10_035(), 1024);
+    let path = std::env::temp_dir().join("dsl_crypto_lib_1024.json");
+    lib.save(&path).unwrap();
+    let back = ReuseLibrary::load(&path).unwrap();
+    assert_libraries_equivalent(&lib, &back);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn self_documentation_covers_the_whole_layer() {
+    let layer = crypto::build_layer().unwrap();
+    let md = design_space_layer::dse::doc::render_markdown(&layer.space);
+    // Every CDO name appears.
+    for (_, node) in layer.space.iter() {
+        assert!(md.contains(node.name()), "{} missing", node.name());
+    }
+    // Every constraint appears by name.
+    for cc in ["CC1", "CC2", "CC3", "CC4", "CC5", "CC6"] {
+        assert!(md.contains(cc), "{cc} missing");
+    }
+    // The behavioural description's pseudo-code appears.
+    assert!(md.contains("R := (Ai*B + R + Qi*M) div r;"));
+}

@@ -1,0 +1,267 @@
+//! Property-based tests of the exploration machinery's invariants:
+//! pruning is monotone, Pareto fronts are sound, sessions undo cleanly,
+//! and the hardware estimator behaves monotonically along its axes.
+
+use design_space_layer::dse::eval::{EvalPoint, EvaluationSpace, FigureOfMerit};
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse_library::{CoreRecord, Explorer, ReuseLibrary};
+use design_space_layer::hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
+use design_space_layer::techlib::Technology;
+use proptest::prelude::*;
+
+/// A small two-issue layer for generated-library tests.
+fn two_issue_space() -> (DesignSpace, CdoId) {
+    let mut s = DesignSpace::new("prop");
+    let root = s.add_root("Block", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+    )
+    .unwrap();
+    s.specialize(root, "Style").unwrap();
+    s.add_property(
+        root,
+        Property::issue("Width", Domain::options([8, 16, 32]), ""),
+    )
+    .unwrap();
+    (s, root)
+}
+
+prop_compose! {
+    fn arb_core(idx: usize)
+        (style in 0..2usize, width in 0..3usize, area in 1.0f64..1000.0, delay in 1.0f64..1000.0)
+        -> CoreRecord
+    {
+        CoreRecord::new(format!("core{idx}"), "gen", "")
+            .bind("Style", ["A", "B"][style])
+            .bind("Width", [8i64, 16, 32][width])
+            .merit(FigureOfMerit::AreaUm2, area)
+            .merit(FigureOfMerit::DelayNs, delay)
+    }
+}
+
+fn arb_library() -> impl Strategy<Value = ReuseLibrary> {
+    prop::collection::vec(0..100usize, 1..30).prop_flat_map(|idxs| {
+        let cores: Vec<_> = idxs.iter().map(|&i| arb_core(i)).collect();
+        cores.prop_map(|cores| {
+            let mut lib = ReuseLibrary::new("generated");
+            lib.extend(cores);
+            lib
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn pruning_is_monotone(lib in arb_library(), style in 0..2usize, width in 0..3usize) {
+        let (space, root) = two_issue_space();
+        let mut exp = Explorer::new(&space, root, &lib);
+        let n0 = exp.surviving_cores().len();
+        exp.session.decide("Style", Value::from(["A", "B"][style])).unwrap();
+        let n1 = exp.surviving_cores().len();
+        exp.session.decide("Width", Value::from([8i64, 16, 32][width])).unwrap();
+        let n2 = exp.surviving_cores().len();
+        prop_assert!(n1 <= n0);
+        prop_assert!(n2 <= n1);
+        // Every survivor really complies.
+        for c in exp.surviving_cores() {
+            prop_assert!(c.binding("Style") == Some(&Value::from(["A", "B"][style])));
+            prop_assert!(c.binding("Width") == Some(&Value::from([8i64, 16, 32][width])));
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_sound_and_complete(lib in arb_library()) {
+        let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
+        let space: EvaluationSpace = lib.cores().iter().map(|c| c.eval_point()).collect();
+        let front = space.pareto_front(&merits);
+        prop_assert!(!front.is_empty());
+        // No front member dominates another.
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!space.points()[i].dominates(&space.points()[j], &merits));
+                }
+            }
+        }
+        // Every non-member is dominated by some member.
+        for i in 0..space.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    front.iter().any(|&f| space.points()[f].dominates(&space.points()[i], &merits)),
+                    "point {i} neither on the front nor dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_cover_every_survivor(lib in arb_library()) {
+        let (space, root) = two_issue_space();
+        let exp = Explorer::new(&space, root, &lib);
+        let (lo, hi) = exp.merit_range(&FigureOfMerit::AreaUm2).unwrap();
+        for c in exp.surviving_cores() {
+            let a = c.merit_value(&FigureOfMerit::AreaUm2).unwrap();
+            prop_assert!(a >= lo && a <= hi);
+        }
+    }
+
+    #[test]
+    fn session_undo_restores_everything(
+        decisions in prop::collection::vec((0..2usize, 0..3usize), 1..4)
+    ) {
+        let (space, root) = two_issue_space();
+        let mut ses = ExplorationSession::new(&space, root);
+        // Apply the first decision pair, snapshot, apply/undo the rest.
+        ses.decide("Style", Value::from(["A", "B"][decisions[0].0])).unwrap();
+        let snapshot_bindings = ses.bindings().clone();
+        let snapshot_focus = ses.focus();
+        if ses.decided("Width").is_none() {
+            ses.decide("Width", Value::from([8i64, 16, 32][decisions[0].1])).unwrap();
+            ses.undo().unwrap();
+        }
+        prop_assert_eq!(ses.bindings(), &snapshot_bindings);
+        prop_assert_eq!(ses.focus(), snapshot_focus);
+    }
+
+    #[test]
+    fn estimator_is_monotone_in_operand_length(
+        exp_small in 1u32..4, extra in 1u32..4
+    ) {
+        let tech = Technology::g10_035();
+        let arch = ModMulArchitecture::new(
+            Algorithm::Montgomery, 2, 8, AdderKind::CarrySave, DigitMultiplierKind::AndRow,
+        ).unwrap();
+        let eol_small = 8 * (1 << exp_small);
+        let eol_big = eol_small * (1 << extra);
+        let small = arch.estimate(eol_small, &tech);
+        let big = arch.estimate(eol_big, &tech);
+        prop_assert!(big.area_um2 > small.area_um2);
+        prop_assert!(big.latency_ns > small.latency_ns);
+        prop_assert!(big.cycles > small.cycles);
+    }
+
+    #[test]
+    fn clustering_partitions_all_points(lib in arb_library(), t in 0.05f64..0.9) {
+        let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
+        let space: EvaluationSpace = lib.cores().iter().map(|c| c.eval_point()).collect();
+        let clusters = space.cluster(&merits, t);
+        let mut seen: Vec<usize> = clusters.into_iter().flatten().collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..space.len()).collect();
+        prop_assert_eq!(seen, expect, "clusters must partition the index set");
+    }
+}
+
+mod session_invariants {
+    use super::*;
+    use design_space_layer::dse::constraint::ConstraintOutcome;
+    use design_space_layer::dse::constraint::{ConsistencyConstraint, Relation};
+
+    /// A space whose constraints interact: deciding in random orders must
+    /// never leave the session in a state that violates any constraint.
+    fn constrained_space() -> (DesignSpace, CdoId) {
+        let mut s = DesignSpace::new("inv");
+        let root = s.add_root("Block", "");
+        s.add_property(
+            root,
+            Property::requirement("N", Domain::int_range(1, 100), None, ""),
+        )
+        .unwrap();
+        s.add_property(root, Property::issue("A", Domain::options(["x", "y"]), ""))
+            .unwrap();
+        s.add_property(root, Property::issue("B", Domain::options(["p", "q"]), ""))
+            .unwrap();
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCa",
+                "x with q is inconsistent when N >= 50",
+                ["N".to_owned(), "A".to_owned()],
+                ["B".to_owned()],
+                Relation::InconsistentOptions(Pred::all([
+                    Pred::cmp(CmpOp::Ge, Expr::prop("N"), Expr::constant(50)),
+                    Pred::is("A", "x"),
+                    Pred::is("B", "q"),
+                ])),
+            ),
+        );
+        (s, root)
+    }
+
+    proptest! {
+        #[test]
+        fn accepted_decisions_always_satisfy_all_constraints(
+            n in 1i64..100,
+            a in 0usize..2,
+            b in 0usize..2,
+        ) {
+            let (s, root) = constrained_space();
+            let mut ses = ExplorationSession::new(&s, root);
+            ses.set_requirement("N", Value::Int(n)).unwrap();
+            let _ = ses.decide("A", Value::from(["x", "y"][a]));
+            let _ = ses.decide("B", Value::from(["p", "q"][b]));
+            // Regardless of which decisions were accepted or rejected, the
+            // surviving binding set violates nothing.
+            for (name, outcome) in ses.diagnostics() {
+                prop_assert!(
+                    !matches!(outcome, ConstraintOutcome::Violated { .. }),
+                    "{name} violated with bindings {:?}",
+                    ses.bindings()
+                );
+            }
+            // And the ordering rule held: B decided implies A decided first.
+            if ses.decided("B").is_some() {
+                prop_assert!(ses.decided("A").is_some() || ses.decided("N").is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn dot_renderer_handles_the_full_crypto_layer() {
+    use design_space_layer::dse_library::crypto;
+    let layer = crypto::build_layer().unwrap();
+    let dot = design_space_layer::dse::doc::render_dot(&layer.space);
+    assert!(dot.starts_with("digraph"));
+    // One node line per CDO plus one edge per non-root node (edge lines
+    // may also carry labels, so exclude them explicitly).
+    let nodes = dot
+        .lines()
+        .filter(|l| l.contains("[label=") && !l.contains("->"))
+        .count();
+    assert_eq!(nodes, layer.space.len());
+    let edges = dot.lines().filter(|l| l.contains("->")).count();
+    assert_eq!(edges, layer.space.len() - 1); // single root, tree edges
+    assert!(dot.contains("ImplementationStyle = Hardware"));
+}
+
+#[test]
+fn dominance_is_a_strict_partial_order_sample() {
+    // Spot-check antisymmetry and irreflexivity on a fixed set.
+    let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
+    let points = [
+        EvalPoint::new("a")
+            .with(FigureOfMerit::AreaUm2, 1.0)
+            .with(FigureOfMerit::DelayNs, 9.0),
+        EvalPoint::new("b")
+            .with(FigureOfMerit::AreaUm2, 9.0)
+            .with(FigureOfMerit::DelayNs, 1.0),
+        EvalPoint::new("c")
+            .with(FigureOfMerit::AreaUm2, 9.0)
+            .with(FigureOfMerit::DelayNs, 9.0),
+    ];
+    for p in &points {
+        assert!(!p.dominates(p, &merits), "irreflexive");
+    }
+    for p in &points {
+        for q in &points {
+            assert!(
+                !(p.dominates(q, &merits) && q.dominates(p, &merits)),
+                "antisymmetric"
+            );
+        }
+    }
+    assert!(points[0].dominates(&points[2], &merits));
+    assert!(points[1].dominates(&points[2], &merits));
+}

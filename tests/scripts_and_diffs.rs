@@ -1,0 +1,109 @@
+//! Session scripts and layer diffs across the shipped layers: the
+//! design-process-management story end to end.
+
+use design_space_layer::dse::diff::{diff, LayerChange};
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse_library::{crypto, idct};
+
+#[test]
+fn section5_session_roundtrips_through_a_script() {
+    let layer = crypto::build_layer().unwrap();
+    let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+    ses.set_requirement("EOL", Value::from(768)).unwrap();
+    ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+        .unwrap();
+    ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    ses.decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    ses.decide("Algorithm", Value::from("Montgomery")).unwrap();
+    ses.decide("AdderStructure", Value::from("carry-save"))
+        .unwrap();
+
+    let script = SessionScript::capture(&ses);
+    let json = serde_json::to_string_pretty(&script).unwrap();
+    let restored: SessionScript = serde_json::from_str(&json).unwrap();
+
+    let replayed = restored.replay(&layer.space, layer.omm).unwrap();
+    assert_eq!(replayed.bindings(), ses.bindings());
+    assert_eq!(
+        layer.space.path_string(replayed.focus()),
+        "Operator.Modular.Multiplier.Hardware.Montgomery"
+    );
+}
+
+#[test]
+fn replay_against_a_stricter_layer_fails_at_the_right_decision() {
+    // Capture an exploration that chose a carry-look-ahead adder at a
+    // small operand size, then replay it with a revised requirement value
+    // that makes CC4 fire.
+    let layer = crypto::build_layer().unwrap();
+    let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+    ses.set_requirement("EOL", Value::from(16)).unwrap();
+    ses.set_requirement("MaxLatencyUs", Value::from(100000.0))
+        .unwrap();
+    ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    ses.decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    ses.decide("Algorithm", Value::from("Montgomery")).unwrap();
+    // CC4 allows CLA below 32 bits.
+    ses.decide("AdderStructure", Value::from("carry-look-ahead"))
+        .unwrap();
+
+    let mut script = SessionScript::capture(&ses);
+    // Simulate the archived script being reused for a 768-bit project:
+    // rewrite the EOL entry (scripts are plain data).
+    let json = serde_json::to_string(&script)
+        .unwrap()
+        .replace("{\"Int\":16}", "{\"Int\":768}");
+    script = serde_json::from_str(&json).unwrap();
+
+    let err = script.replay(&layer.space, layer.omm).unwrap_err();
+    assert!(
+        matches!(err, DseError::ConstraintViolation { ref constraint, .. } if constraint == "CC4"),
+        "{err}"
+    );
+}
+
+#[test]
+fn diff_between_the_two_crypto_views_is_structural() {
+    let main = crypto::build_layer().unwrap();
+    let view = crypto::build_layer_technology_first().unwrap();
+    let changes = diff(&main.space, &view.space);
+    assert!(!changes.is_empty());
+    // The view drops the taxonomy branches the main layer carries...
+    assert!(changes.contains(&LayerChange::CdoRemoved {
+        path: "Operator.LogicArithmetic".to_owned()
+    }));
+    // ...and pivots the hardware class onto the technology issue.
+    assert!(changes.iter().any(|c| matches!(
+        c,
+        LayerChange::PropertyChanged { path, property }
+            if path == "Operator.Modular.Multiplier.Hardware"
+                && property == "FabricationTechnology"
+    )));
+}
+
+#[test]
+fn diff_between_idct_organisations_flags_the_pivot() {
+    let gen = idct::build_layer_generalization().unwrap();
+    let abs = idct::build_layer_abstraction().unwrap();
+    let changes = diff(&gen.space, &abs.space);
+    // The generalized issue changed: the generalization layer's children
+    // (0.70um/0.35um) vanish, the abstraction layer's (Chen/Lee/Loeffler)
+    // appear.
+    assert!(changes.contains(&LayerChange::CdoRemoved {
+        path: "IDCT.Hardware.0.70um".to_owned()
+    }));
+    assert!(changes.contains(&LayerChange::CdoAdded {
+        path: "IDCT.Hardware.Chen".to_owned()
+    }));
+}
+
+#[test]
+fn identical_layers_have_empty_diffs() {
+    let a = crypto::build_layer().unwrap();
+    let b = crypto::build_layer().unwrap();
+    assert!(diff(&a.space, &b.space).is_empty());
+}

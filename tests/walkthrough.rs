@@ -1,0 +1,95 @@
+//! End-to-end Section-5 scenarios through the public API.
+
+use design_space_layer::coproc::spec::KocSpec;
+use design_space_layer::coproc::walkthrough;
+use design_space_layer::dse::eval::FigureOfMerit;
+use design_space_layer::dse::value::Value;
+use design_space_layer::dse_library::crypto;
+use design_space_layer::techlib::{FabricationNode, LayoutStyle, Technology};
+
+#[test]
+fn paper_walkthrough_selects_verified_montgomery_csa() {
+    let report = walkthrough::run(&KocSpec::paper(), &Technology::g10_035()).unwrap();
+    let core = report.selected.expect("satisfiable spec");
+    assert_eq!(core.binding("Algorithm"), Some(&Value::from("Montgomery")));
+    assert_eq!(
+        core.binding("AdderStructure"),
+        Some(&Value::from("carry-save"))
+    );
+    assert!(report.functionally_verified);
+    assert!(core.merit_value(&FigureOfMerit::TimeUs).unwrap() <= 8.0);
+}
+
+#[test]
+fn even_modulus_forces_brickell_and_still_verifies() {
+    let spec = KocSpec {
+        modulo_odd_guaranteed: false,
+        max_latency_us: 25.0,
+        ..KocSpec::paper()
+    };
+    let report = walkthrough::run(&spec, &Technology::g10_035()).unwrap();
+    let core = report.selected.expect("brickell candidates exist");
+    assert_eq!(core.binding("Algorithm"), Some(&Value::from("Brickell")));
+    assert!(report.functionally_verified);
+}
+
+#[test]
+fn older_technology_misses_the_tight_spec() {
+    // In 0.7 µm, clocks double; with a 4 µs bound the older node loses
+    // most (or all) of its candidates while 0.35 µm keeps plenty.
+    let spec = KocSpec {
+        max_latency_us: 4.0,
+        ..KocSpec::paper()
+    };
+    let tech07 = Technology::new(FabricationNode::n0700(), LayoutStyle::StandardCell);
+    let tight = walkthrough::run(&spec, &tech07).unwrap();
+    let in_035 = walkthrough::run(&spec, &Technology::g10_035()).unwrap();
+    assert!(
+        tight.candidates.len() < in_035.candidates.len(),
+        "0.7 µm: {} candidates vs 0.35 µm: {}",
+        tight.candidates.len(),
+        in_035.candidates.len()
+    );
+    assert!(!in_035.candidates.is_empty());
+}
+
+#[test]
+fn pruning_trace_is_monotone_and_ends_nonempty() {
+    let report = walkthrough::run(&KocSpec::paper(), &Technology::g10_035()).unwrap();
+    for pair in report.steps.windows(2) {
+        assert!(pair[1].surviving <= pair[0].surviving);
+    }
+    assert!(report.steps.last().unwrap().surviving > 0);
+    // Range information narrows as the space prunes.
+    let first_spread = report.steps[1]
+        .delay_range_ns
+        .map(|(lo, hi)| hi - lo)
+        .unwrap();
+    let last_spread = report
+        .steps
+        .last()
+        .unwrap()
+        .delay_range_ns
+        .map(|(lo, hi)| hi - lo)
+        .unwrap();
+    assert!(last_spread < first_spread);
+}
+
+#[test]
+fn walkthrough_against_a_custom_library_subset() {
+    // A design environment with only the radix-2 families in its library.
+    let layer = crypto::build_layer().unwrap();
+    let full = crypto::build_library(&Technology::g10_035(), 768);
+    let mut partial = design_space_layer::dse_library::ReuseLibrary::new("radix-2 only");
+    for core in full.cores() {
+        if core.binding("Radix") == Some(&Value::from(2)) {
+            partial.push(core.clone());
+        }
+    }
+    let report =
+        walkthrough::run_with_library(&KocSpec::paper(), &Technology::g10_035(), &layer, &partial)
+            .unwrap();
+    let core = report.selected.expect("radix-2 CSA cores meet 8 µs");
+    assert_eq!(core.binding("Radix"), Some(&Value::from(2)));
+    assert!(report.functionally_verified);
+}
