@@ -1,74 +1,6 @@
 //! Microbenchmarks of the `bignum` substrate: the arithmetic every other
 //! layer of the reproduction stands on.
 
-use bignum::{uniform_below, MontgomeryContext, UBig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn operands(bits: u32, seed: u64) -> (UBig, UBig, UBig) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
-    m.set_bit(bits - 1, true);
-    m.set_bit(0, true);
-    let a = uniform_below(&m, &mut rng);
-    let b = uniform_below(&m, &mut rng);
-    (a, b, m)
+fn main() {
+    bench::suites::bignum_ops().finish();
 }
-
-fn bench_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bignum/mul");
-    for bits in [256u32, 1024, 4096] {
-        let (a, b, _) = operands(bits, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| std::hint::black_box(&a) * std::hint::black_box(&b));
-        });
-    }
-    group.finish();
-}
-
-fn bench_div_rem(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bignum/div_rem");
-    for bits in [256u32, 1024] {
-        let (a, b, m) = operands(bits, 2);
-        let prod = &a * &b;
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| std::hint::black_box(&prod).div_rem(std::hint::black_box(&m)));
-        });
-    }
-    group.finish();
-}
-
-fn bench_mont_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bignum/mont_mul");
-    for bits in [256u32, 1024] {
-        let (a, b, m) = operands(bits, 3);
-        let ctx = MontgomeryContext::new(&m).expect("odd modulus");
-        let (abar, bbar) = (ctx.to_mont(&a), ctx.to_mont(&b));
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| ctx.mont_mul(std::hint::black_box(&abar), std::hint::black_box(&bbar)));
-        });
-    }
-    group.finish();
-}
-
-fn bench_mod_pow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bignum/mod_pow");
-    group.sample_size(10);
-    for bits in [256u32, 512] {
-        let (a, e, m) = operands(bits, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| std::hint::black_box(&a).mod_pow(&e, &m));
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_mul,
-    bench_div_rem,
-    bench_mont_mul,
-    bench_mod_pow
-);
-criterion_main!(benches);

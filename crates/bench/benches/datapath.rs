@@ -1,64 +1,6 @@
 //! Benchmarks of the cycle-accurate datapath simulator: one modular
 //! multiplication through each Table-1 design family.
 
-use bignum::{uniform_below, UBig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hwmodel::{paper_designs, sim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn bench_simulate_per_family(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(11);
-    let bits = 64u32;
-    let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
-    m.set_bit(bits - 1, true);
-    m.set_bit(0, true);
-    let a = uniform_below(&m, &mut rng);
-    let b = uniform_below(&m, &mut rng);
-
-    let mut group = c.benchmark_group("hwmodel/simulate_64b");
-    for family in paper_designs() {
-        let arch = family.architecture(16).expect("16-bit slices");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(family.name()),
-            &arch,
-            |bch, arch| {
-                bch.iter(|| {
-                    sim::simulate(
-                        std::hint::black_box(arch),
-                        std::hint::black_box(&a),
-                        std::hint::black_box(&b),
-                        std::hint::black_box(&m),
-                    )
-                    .expect("valid operands")
-                });
-            },
-        );
-    }
-    group.finish();
+fn main() {
+    bench::suites::datapath().finish();
 }
-
-fn bench_simulate_operand_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hwmodel/simulate_scaling");
-    group.sample_size(10);
-    let arch = paper_designs()[1].architecture(64).expect("64-bit slices");
-    for bits in [64u32, 256, 768] {
-        let mut rng = StdRng::seed_from_u64(bits as u64);
-        let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
-        m.set_bit(bits - 1, true);
-        m.set_bit(0, true);
-        let a = uniform_below(&m, &mut rng);
-        let b = uniform_below(&m, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
-            bch.iter(|| sim::simulate(&arch, &a, &b, &m).expect("valid operands"));
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_simulate_per_family,
-    bench_simulate_operand_scaling
-);
-criterion_main!(benches);

@@ -2,70 +2,6 @@
 //! construction, library generation, pruning and Pareto queries — the
 //! operations a designer's tool loop would hammer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dse::eval::FigureOfMerit;
-use dse::value::Value;
-use dse_library::{crypto, Explorer};
-use techlib::Technology;
-
-fn bench_layer_build(c: &mut Criterion) {
-    c.bench_function("dse/build_crypto_layer", |b| {
-        b.iter(|| crypto::build_layer().expect("layer builds"));
-    });
+fn main() {
+    bench::suites::exploration().finish();
 }
-
-fn bench_library_build(c: &mut Criterion) {
-    let tech = Technology::g10_035();
-    c.bench_function("dse/build_crypto_library_768", |b| {
-        b.iter(|| crypto::build_library(std::hint::black_box(&tech), 768));
-    });
-}
-
-fn bench_walkthrough_pruning(c: &mut Criterion) {
-    let layer = crypto::build_layer().expect("layer builds");
-    let library = crypto::build_library(&Technology::g10_035(), 768);
-    c.bench_function("dse/session_prune_and_rank", |b| {
-        b.iter(|| {
-            let mut exp = Explorer::new(&layer.space, layer.omm, &library);
-            exp.session
-                .set_requirement("EOL", Value::from(768))
-                .unwrap();
-            exp.session
-                .set_requirement("MaxLatencyUs", Value::from(8.0))
-                .unwrap();
-            exp.session
-                .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
-                .unwrap();
-            exp.session
-                .decide("ImplementationStyle", Value::from("Hardware"))
-                .unwrap();
-            exp.session
-                .decide("Algorithm", Value::from("Montgomery"))
-                .unwrap();
-            exp.session
-                .decide("AdderStructure", Value::from("carry-save"))
-                .unwrap();
-            (
-                exp.surviving_cores().len(),
-                exp.pareto_cores(&[FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs])
-                    .len(),
-            )
-        });
-    });
-}
-
-fn bench_fir_library(c: &mut Criterion) {
-    let tech = Technology::g10_035();
-    c.bench_function("dse/build_fir_library", |b| {
-        b.iter(|| dse_library::fir::build_library(std::hint::black_box(&tech)));
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_layer_build,
-    bench_library_build,
-    bench_walkthrough_pruning,
-    bench_fir_library
-);
-criterion_main!(benches);

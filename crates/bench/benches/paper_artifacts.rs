@@ -1,37 +1,6 @@
 //! One benchmark per reproduced paper artifact: regenerating each
 //! table/figure end to end (the `tables` harness body).
 
-use bench::experiments::{
-    ablation_cc2, ablation_pruning, fig12, fig3, fig6, fig9, fir, methods, power, table1,
-    walkthrough,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
-use techlib::Technology;
-
-fn bench_artifacts(c: &mut Criterion) {
-    let tech = Technology::g10_035();
-    let mut group = c.benchmark_group("artifacts");
-    group.sample_size(10);
-    group.bench_function("table1", |b| b.iter(|| table1::run(&tech)));
-    group.bench_function("fig6", |b| b.iter(|| fig6::run(&tech)));
-    group.bench_function("fig9", |b| b.iter(|| fig9::run(&tech)));
-    group.bench_function("fig12", |b| b.iter(|| fig12::run(&tech)));
-    group.bench_function("fig3", |b| b.iter(fig3::run));
-    group.bench_function("ablation_pruning", |b| {
-        b.iter(|| ablation_pruning::run(&tech))
-    });
-    group.bench_function("power", |b| b.iter(|| power::run(&tech)));
-    group.bench_function("fir", |b| b.iter(|| fir::run(&tech)));
-    group.finish();
-
-    // The heavyweight artifacts run once per sample.
-    let mut heavy = c.benchmark_group("artifacts/heavy");
-    heavy.sample_size(10);
-    heavy.bench_function("ablation_cc2", |b| b.iter(ablation_cc2::run));
-    heavy.bench_function("walkthrough", |b| b.iter(walkthrough::render));
-    heavy.bench_function("methods", |b| b.iter(methods::run));
-    heavy.finish();
+fn main() {
+    bench::suites::paper_artifacts().finish();
 }
-
-criterion_group!(benches, bench_artifacts);
-criterion_main!(benches);

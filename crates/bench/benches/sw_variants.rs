@@ -3,43 +3,6 @@
 //! sanity companion to Fig. 6: the relative ordering of the variants'
 //! real memory traffic shows up in real time too.
 
-use bignum::{uniform_below, UBig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use swmodel::{MontgomeryVariant, OpCounts, WordMontgomery};
-
-fn bench_variants(c: &mut Criterion) {
-    let bits = 1024u32;
-    let mut rng = StdRng::seed_from_u64(21);
-    let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
-    m.set_bit(bits - 1, true);
-    m.set_bit(0, true);
-    let ctx = WordMontgomery::new(&m).expect("odd modulus");
-    let a = uniform_below(&m, &mut rng);
-    let b = uniform_below(&m, &mut rng);
-
-    let mut group = c.benchmark_group("swmodel/mont_mul_1024b");
-    for variant in MontgomeryVariant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.to_string()),
-            &variant,
-            |bch, &variant| {
-                bch.iter(|| {
-                    let mut counts = OpCounts::new();
-                    ctx.mont_mul(
-                        std::hint::black_box(&a),
-                        std::hint::black_box(&b),
-                        variant,
-                        &mut counts,
-                    )
-                    .expect("reduced operands")
-                });
-            },
-        );
-    }
-    group.finish();
+fn main() {
+    bench::suites::sw_variants().finish();
 }
-
-criterion_group!(benches, bench_variants);
-criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
+//! combining the `bignum_ops` and `exploration` suites.
+//!
+//! ```text
+//! cargo run --release -p bench --bin baseline            # writes BENCH_baseline.json
+//! cargo run --release -p bench --bin baseline -- out.json
+//! ```
+//!
+//! `DSE_BENCH_FAST=1` shortens the run for smoke testing.
+
+use foundation::bench::combined_report;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    let suites = [bench::suites::bignum_ops(), bench::suites::exploration()];
+    let reports: Vec<_> = suites.iter().map(|h| h.report_json()).collect();
+    for h in &suites {
+        print!(
+            "{}",
+            foundation::bench::render_table(h.suite(), h.entries())
+        );
+    }
+
+    let report = combined_report("dse-foundation baseline", &reports).to_string_pretty();
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

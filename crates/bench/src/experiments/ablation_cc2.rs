@@ -9,8 +9,7 @@
 
 use bignum::{uniform_below, UBig};
 use hwmodel::{sim, AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 use crate::fmt;
 

@@ -6,8 +6,7 @@
 use bignum::{brickell_mod_mul, mont_mul_digit_serial, uniform_below, UBig};
 use hwmodel::designs::paper_designs;
 use hwmodel::{sim, Algorithm};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 use crate::fmt;
 

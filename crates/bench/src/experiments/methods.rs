@@ -11,8 +11,7 @@
 use bignum::{random_prime, uniform_below, UBig};
 use coproc::engine::ReferenceEngine;
 use coproc::{ExpMethod, ModExp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 use crate::fmt;
 

@@ -1,0 +1,191 @@
+//! Shared benchmark suites, each usable both as a stand-alone
+//! `cargo bench` target (see `benches/`) and as a building block of the
+//! combined `BENCH_baseline.json` report (see `src/bin/baseline.rs`).
+
+use bignum::{uniform_below, MontgomeryContext, UBig};
+use dse::eval::FigureOfMerit;
+use dse::value::Value;
+use dse_library::{crypto, Explorer};
+use foundation::bench::{black_box, Harness};
+use foundation::rng::{SeedableRng, StdRng};
+use hwmodel::{paper_designs, sim};
+use swmodel::{MontgomeryVariant, OpCounts, WordMontgomery};
+use techlib::Technology;
+
+/// Random odd modulus of exactly `bits` bits plus two reduced operands.
+fn operands(bits: u32, seed: u64) -> (UBig, UBig, UBig) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = uniform_below(&UBig::power_of_two(bits), &mut rng);
+    m.set_bit(bits - 1, true);
+    m.set_bit(0, true);
+    let a = uniform_below(&m, &mut rng);
+    let b = uniform_below(&m, &mut rng);
+    (a, b, m)
+}
+
+/// Microbenchmarks of the `bignum` substrate: the arithmetic every other
+/// layer of the reproduction stands on.
+pub fn bignum_ops() -> Harness {
+    let mut h = Harness::new("bignum_ops");
+    for bits in [256u32, 1024, 4096] {
+        let (a, b, _) = operands(bits, 1);
+        h.bench(format!("bignum/mul/{bits}"), || {
+            black_box(black_box(&a) * black_box(&b));
+        });
+    }
+    for bits in [256u32, 1024] {
+        let (a, b, m) = operands(bits, 2);
+        let prod = &a * &b;
+        h.bench(format!("bignum/div_rem/{bits}"), || {
+            black_box(black_box(&prod).div_rem(black_box(&m)));
+        });
+    }
+    for bits in [256u32, 1024] {
+        let (a, b, m) = operands(bits, 3);
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus");
+        let (abar, bbar) = (ctx.to_mont(&a), ctx.to_mont(&b));
+        h.bench(format!("bignum/mont_mul/{bits}"), || {
+            black_box(ctx.mont_mul(black_box(&abar), black_box(&bbar)));
+        });
+    }
+    for bits in [256u32, 512] {
+        let (a, e, m) = operands(bits, 4);
+        h.bench(format!("bignum/mod_pow/{bits}"), || {
+            black_box(black_box(&a).mod_pow(&e, &m));
+        });
+    }
+    h
+}
+
+/// The cycle-accurate datapath simulator: one modular multiplication
+/// through each Table-1 design family, then operand-width scaling.
+pub fn datapath() -> Harness {
+    let mut h = Harness::new("datapath");
+    let (a, b, m) = operands(64, 11);
+    for family in paper_designs() {
+        let arch = family.architecture(16).expect("16-bit slices");
+        h.bench(format!("hwmodel/simulate_64b/{}", family.name()), || {
+            black_box(
+                sim::simulate(black_box(&arch), black_box(&a), black_box(&b), black_box(&m))
+                    .expect("valid operands"),
+            );
+        });
+    }
+    let arch = paper_designs()[1].architecture(64).expect("64-bit slices");
+    for bits in [64u32, 256, 768] {
+        let (a, b, m) = operands(bits, u64::from(bits));
+        h.bench(format!("hwmodel/simulate_scaling/{bits}"), || {
+            black_box(sim::simulate(&arch, &a, &b, &m).expect("valid operands"));
+        });
+    }
+    h
+}
+
+/// The five word-level Montgomery variants as *actually executed* by this
+/// library (not the Pentium cost model) — a sanity companion to Fig. 6.
+pub fn sw_variants() -> Harness {
+    let mut h = Harness::new("sw_variants");
+    let (a, b, m) = operands(1024, 21);
+    let ctx = WordMontgomery::new(&m).expect("odd modulus");
+    for variant in MontgomeryVariant::ALL {
+        h.bench(format!("swmodel/mont_mul_1024b/{variant}"), || {
+            let mut counts = OpCounts::new();
+            black_box(
+                ctx.mont_mul(black_box(&a), black_box(&b), variant, &mut counts)
+                    .expect("reduced operands"),
+            );
+        });
+    }
+    h
+}
+
+/// The design-space-layer machinery itself: layer construction, library
+/// generation, pruning and Pareto queries — the operations a designer's
+/// tool loop would hammer.
+pub fn exploration() -> Harness {
+    let mut h = Harness::new("exploration");
+    h.bench("dse/build_crypto_layer", || {
+        black_box(crypto::build_layer().expect("layer builds"));
+    });
+    let tech = Technology::g10_035();
+    h.bench("dse/build_crypto_library_768", || {
+        black_box(crypto::build_library(black_box(&tech), 768));
+    });
+    let layer = crypto::build_layer().expect("layer builds");
+    let library = crypto::build_library(&tech, 768);
+    h.bench("dse/session_prune_and_rank", || {
+        let mut exp = Explorer::new(&layer.space, layer.omm, &library);
+        exp.session
+            .set_requirement("EOL", Value::from(768))
+            .unwrap();
+        exp.session
+            .set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        exp.session
+            .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        exp.session
+            .decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        exp.session
+            .decide("Algorithm", Value::from("Montgomery"))
+            .unwrap();
+        exp.session
+            .decide("AdderStructure", Value::from("carry-save"))
+            .unwrap();
+        black_box((
+            exp.surviving_cores().len(),
+            exp.pareto_cores(&[FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs])
+                .len(),
+        ));
+    });
+    h.bench("dse/build_fir_library", || {
+        black_box(dse_library::fir::build_library(black_box(&tech)));
+    });
+    h
+}
+
+/// One benchmark per reproduced paper artifact: regenerating each
+/// table/figure end to end (the `tables` harness body).
+pub fn paper_artifacts() -> Harness {
+    use crate::experiments::{
+        ablation_cc2, ablation_pruning, fig12, fig3, fig6, fig9, fir, methods, power, table1,
+        walkthrough,
+    };
+    let mut h = Harness::new("paper_artifacts");
+    let tech = Technology::g10_035();
+    h.bench("artifacts/table1", || {
+        black_box(table1::run(&tech));
+    });
+    h.bench("artifacts/fig6", || {
+        black_box(fig6::run(&tech));
+    });
+    h.bench("artifacts/fig9", || {
+        black_box(fig9::run(&tech));
+    });
+    h.bench("artifacts/fig12", || {
+        black_box(fig12::run(&tech));
+    });
+    h.bench("artifacts/fig3", || {
+        black_box(fig3::run());
+    });
+    h.bench("artifacts/ablation_pruning", || {
+        black_box(ablation_pruning::run(&tech));
+    });
+    h.bench("artifacts/power", || {
+        black_box(power::run(&tech));
+    });
+    h.bench("artifacts/fir", || {
+        black_box(fir::run(&tech));
+    });
+    h.bench("artifacts/ablation_cc2", || {
+        black_box(ablation_cc2::run());
+    });
+    h.bench("artifacts/walkthrough", || {
+        black_box(walkthrough::render());
+    });
+    h.bench("artifacts/methods", || {
+        black_box(methods::run());
+    });
+    h
+}

@@ -57,8 +57,7 @@ pub fn brickell_mod_mul(a: &UBig, b: &UBig, m: &UBig, k: u32) -> UBig {
 mod tests {
     use super::*;
     use crate::uniform_below;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     #[test]
     fn matches_naive_for_random_operands() {

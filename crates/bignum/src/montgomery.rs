@@ -218,8 +218,7 @@ pub fn mont_mul_digit_serial(
 mod tests {
     use super::*;
     use crate::uniform_below;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     fn odd_modulus_512() -> UBig {
         let mut m = UBig::power_of_two(512);

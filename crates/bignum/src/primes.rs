@@ -5,7 +5,7 @@
 //! study. The RSA-style demo in the `coproc` crate generates its moduli
 //! here.
 
-use rand::Rng;
+use foundation::rng::Rng;
 
 use crate::{uniform_below, UBig};
 
@@ -99,8 +99,7 @@ pub fn random_prime<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> UBig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     #[test]
     fn classifies_small_numbers() {

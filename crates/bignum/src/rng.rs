@@ -1,6 +1,6 @@
 //! Random generation of big integers (test vectors, RSA demo keys).
 
-use rand::Rng;
+use foundation::rng::Rng;
 
 use crate::{Limb, UBig, LIMB_BITS};
 
@@ -31,8 +31,7 @@ pub fn uniform_below<R: Rng + ?Sized>(bound: &UBig, rng: &mut R) -> UBig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     #[test]
     fn always_below_bound() {

@@ -4,8 +4,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::arith;
 use crate::{Limb, LIMB_BITS};
@@ -557,16 +555,21 @@ impl fmt::Display for UBig {
     }
 }
 
-impl Serialize for UBig {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&format!("0x{self:x}"))
+// JSON: a `0x`-prefixed hex string, so arbitrarily wide values survive
+// codecs that would round numbers through floats.
+impl foundation::json::ToJson for UBig {
+    fn to_json(&self) -> foundation::json::Json {
+        foundation::json::Json::Str(format!("0x{self:x}"))
     }
 }
 
-impl<'de> Deserialize<'de> for UBig {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(D::Error::custom)
+impl foundation::json::FromJson for UBig {
+    fn from_json(v: &foundation::json::Json) -> Result<Self, foundation::json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| foundation::json::JsonError::type_mismatch("UBig", "string", v))?;
+        s.parse()
+            .map_err(|e| foundation::json::JsonError::decode(format!("UBig: {e}")))
     }
 }
 
@@ -795,15 +798,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_is_hex() {
+    fn json_roundtrip_is_hex() {
         let a = UBig::from_hex("abc123").unwrap();
-        let json = serde_json_lite(&a);
+        let json = foundation::json::encode(&a);
         assert_eq!(json, "\"0xabc123\"");
-    }
-
-    // Minimal serialization check without pulling serde_json into this crate:
-    // use the serde Serialize impl through a tiny string serializer stand-in.
-    fn serde_json_lite(v: &UBig) -> String {
-        format!("\"0x{v:x}\"")
+        let back: UBig = foundation::json::decode(&json).unwrap();
+        assert_eq!(back, a);
+        assert!(foundation::json::decode::<UBig>("\"0xZZ\"").is_err());
+        assert!(foundation::json::decode::<UBig>("17").is_err());
     }
 }

@@ -107,8 +107,7 @@ pub fn mod_pow_windowed(
 mod tests {
     use super::*;
     use crate::uniform_below;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
         let mut m = uniform_below(&UBig::power_of_two(bits), rng);

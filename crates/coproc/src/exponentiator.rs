@@ -165,8 +165,7 @@ mod tests {
     use crate::engine::{HardwareEngine, ReferenceEngine, SoftwareEngine};
     use bignum::{random_prime, uniform_below};
     use hwmodel::paper_designs;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
     use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
 
     #[test]

@@ -10,10 +10,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The exponent-scanning strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExpMethod {
     /// Left-to-right binary square-and-multiply.
     Binary,
@@ -62,6 +61,8 @@ impl fmt::Display for ExpMethod {
         }
     }
 }
+
+foundation::impl_json_enum!(ExpMethod { Binary, Window(bits) });
 
 #[cfg(test)]
 mod tests {

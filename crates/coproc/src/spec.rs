@@ -1,10 +1,9 @@
 //! The coprocessor requirement set — the paper's Fig. 8 values, taken
 //! from the Koç modular-exponentiation coprocessor specification.
 
-use serde::{Deserialize, Serialize};
 
 /// The Req1–Req5 requirement values for the modular-multiplier block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KocSpec {
     /// Req1: effective operand length in bits.
     pub eol: u32,
@@ -50,6 +49,14 @@ impl Default for KocSpec {
         KocSpec::paper()
     }
 }
+
+foundation::impl_json_struct!(KocSpec {
+    eol,
+    operand_coding,
+    result_coding,
+    modulo_odd_guaranteed,
+    max_latency_us,
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,8 +7,7 @@ use dse::eval::FigureOfMerit;
 use dse::value::Value;
 use dse_library::{crypto, CoreRecord, Explorer, ReuseLibrary};
 use hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 use techlib::Technology;
 
 use crate::engine::HardwareEngine;

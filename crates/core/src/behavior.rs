@@ -9,12 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The coding assumed for operands/results — the paper's Req2/Req3
 /// (`2's Complement`, `Redundant`, …); a mismatch with the application's
 /// requirements implies conversion hardware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum OperandCoding {
     /// Plain unsigned binary.
@@ -41,7 +40,7 @@ impl fmt::Display for OperandCoding {
 
 /// One operator slot in a behavioural decomposition: an operation in the
 /// description realized by another CDO in the hierarchy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OperatorUse {
     /// Where the operator appears, e.g. `"oper(+, line:3)"`.
     site: String,
@@ -77,7 +76,7 @@ impl fmt::Display for OperatorUse {
 }
 
 /// An algorithm-level behavioural description of a CDO.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BehavioralDescription {
     name: String,
     /// The pseudo-code text (self-documentation; the executable form lives
@@ -165,6 +164,16 @@ pub fn montgomery_fig10_text() -> &'static str {
      5: IF (R > M) THEN\n\
      6:   R := R - M;"
 }
+
+foundation::impl_json_enum!(OperandCoding { Unsigned, TwosComplement, SignMagnitude, Redundant });
+foundation::impl_json_struct!(OperatorUse { site, cdo_path });
+foundation::impl_json_struct!(BehavioralDescription {
+    name,
+    text,
+    operand_coding,
+    result_coding,
+    decomposition,
+});
 
 #[cfg(test)]
 mod tests {

@@ -19,13 +19,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::expr::{Bindings, Expr, Pred};
 use crate::value::Value;
 
 /// How trustworthy a quantitative relation is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {
     /// Stated exactly, from first principles.
     Exact,
@@ -43,7 +42,7 @@ impl fmt::Display for Fidelity {
 }
 
 /// The relation carried by a consistency constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Relation {
     /// The predicate identifies *inconsistent* option combinations: if it
@@ -105,7 +104,7 @@ pub enum ConstraintOutcome {
 
 /// A consistency constraint: independent set → dependent set via a
 /// relation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConsistencyConstraint {
     name: String,
     doc: String,
@@ -274,6 +273,15 @@ impl fmt::Display for ConsistencyConstraint {
         }
     }
 }
+
+foundation::impl_json_enum!(Fidelity { Exact, Heuristic });
+foundation::impl_json_enum!(Relation {
+    InconsistentOptions(pred),
+    Quantitative { target, formula, fidelity },
+    EstimatorContext { estimator, inputs, output },
+    Dominance(pred),
+});
+foundation::impl_json_struct!(ConsistencyConstraint { name, doc, indep, dep, relation });
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,11 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 
 use crate::hierarchy::DesignSpace;
 
 /// One structural difference between two layers.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum LayerChange {
     /// A CDO exists only in the new layer.
@@ -162,6 +161,16 @@ pub fn diff(old: &DesignSpace, new: &DesignSpace) -> Vec<LayerChange> {
     changes.sort();
     changes
 }
+
+foundation::impl_json_enum!(LayerChange {
+    CdoAdded { path },
+    CdoRemoved { path },
+    PropertyAdded { path, property },
+    PropertyRemoved { path, property },
+    PropertyChanged { path, property },
+    ConstraintAdded { path, constraint },
+    ConstraintRemoved { path, constraint },
+});
 
 #[cfg(test)]
 mod tests {

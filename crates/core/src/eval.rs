@@ -11,10 +11,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A figure of merit the layer can report on.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum FigureOfMerit {
     /// Silicon area in µm².
@@ -71,7 +70,7 @@ impl fmt::Display for FigureOfMerit {
 }
 
 /// One design's coordinates in the evaluation space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalPoint {
     label: String,
     merits: BTreeMap<FigureOfMerit, f64>,
@@ -131,7 +130,7 @@ impl EvalPoint {
 }
 
 /// A set of evaluation points with range, Pareto and cluster queries.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvaluationSpace {
     points: Vec<EvalPoint>,
 }
@@ -340,6 +339,19 @@ impl Extend<EvalPoint> for EvaluationSpace {
         self.points.extend(iter);
     }
 }
+
+foundation::impl_json_enum!(FigureOfMerit {
+    AreaUm2,
+    DelayNs,
+    ClockNs,
+    LatencyCycles,
+    PowerMw,
+    TimeUs,
+    EnergyNj,
+    Other(name),
+});
+foundation::impl_json_struct!(EvalPoint { label, merits });
+foundation::impl_json_struct!(EvaluationSpace { points });
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::Value;
 
@@ -49,7 +48,7 @@ impl fmt::Display for ExprError {
 impl std::error::Error for ExprError {}
 
 /// An arithmetic expression over property values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Expr {
     /// A literal.
@@ -180,7 +179,7 @@ impl fmt::Display for Expr {
 }
 
 /// Comparison operators for predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CmpOp {
     /// Equal.
@@ -212,7 +211,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A boolean predicate over property values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Pred {
     /// Numeric comparison of two expressions.
@@ -365,6 +364,25 @@ fn join(f: &mut fmt::Formatter<'_>, ps: &[Pred], sep: &str) -> fmt::Result {
     }
     write!(f, ")")
 }
+
+foundation::impl_json_enum!(Expr {
+    Const(v),
+    Prop(name),
+    Add(lhs, rhs),
+    Sub(lhs, rhs),
+    Mul(lhs, rhs),
+    Div(lhs, rhs),
+    Pow(lhs, rhs),
+});
+foundation::impl_json_enum!(CmpOp { Eq, Ne, Lt, Le, Gt, Ge });
+foundation::impl_json_enum!(Pred {
+    Cmp(op, lhs, rhs),
+    Is(prop, value),
+    IsNot(prop, value),
+    And(preds),
+    Or(preds),
+    Not(inner),
+});
 
 #[cfg(test)]
 mod tests {

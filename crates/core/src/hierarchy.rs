@@ -14,7 +14,6 @@
 //!   a CDO's design space by the options of its (single) generalized
 //!   design issue ("Implementation Style" → Hardware / Software).
 
-use serde::{Deserialize, Serialize};
 
 use crate::behavior::BehavioralDescription;
 use crate::constraint::ConsistencyConstraint;
@@ -23,7 +22,7 @@ use crate::property::{Property, PropertyKind};
 use crate::value::Value;
 
 /// An opaque identifier of a CDO within one [`DesignSpace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CdoId(usize);
 
 impl CdoId {
@@ -34,7 +33,7 @@ impl CdoId {
 }
 
 /// One class of design objects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CdoNode {
     name: String,
     doc: String,
@@ -99,7 +98,7 @@ impl CdoNode {
 }
 
 /// A design space layer: the arena of CDOs plus the roots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     name: String,
     nodes: Vec<CdoNode>,
@@ -476,6 +475,20 @@ impl DesignSpace {
         findings
     }
 }
+
+foundation::impl_json_newtype!(CdoId);
+foundation::impl_json_struct!(CdoNode {
+    name,
+    doc,
+    parent,
+    children,
+    properties,
+    constraints,
+    behaviors,
+    spawned_by,
+    generalized_issue,
+});
+foundation::impl_json_struct!(DesignSpace { name, nodes, roots });
 
 #[cfg(test)]
 mod tests {

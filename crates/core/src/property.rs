@@ -9,12 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::{Domain, Value};
 
 /// What role a property plays in conceptual design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum PropertyKind {
     /// A problem given or target figure of merit, entered by the designer
@@ -45,7 +44,7 @@ impl fmt::Display for PropertyKind {
 }
 
 /// A unit annotation (`bits`, `µs`, `µm²`, …).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Unit(String);
 
 impl Unit {
@@ -97,7 +96,7 @@ impl fmt::Display for Unit {
 }
 
 /// One property of a class of design objects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Property {
     name: String,
     kind: PropertyKind,
@@ -231,6 +230,10 @@ impl fmt::Display for Property {
         Ok(())
     }
 }
+
+foundation::impl_json_enum!(PropertyKind { Requirement, DesignIssue, GeneralizedIssue, Description });
+foundation::impl_json_newtype!(Unit);
+foundation::impl_json_struct!(Property { name, kind, domain, default, unit, doc });
 
 #[cfg(test)]
 mod tests {

@@ -6,7 +6,6 @@
 //! hand it to a colleague, or replay it against a revised layer or a
 //! refreshed reuse library.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::DseError;
 use crate::hierarchy::{CdoId, DesignSpace};
@@ -15,7 +14,7 @@ use crate::session::ExplorationSession;
 use crate::value::Value;
 
 /// One recorded designer action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SessionAction {
     /// A requirement value was entered.
@@ -25,7 +24,6 @@ pub enum SessionAction {
         /// The entered value.
         value: Value,
         /// The designer's rationale, if recorded.
-        #[serde(default, skip_serializing_if = "Option::is_none")]
         note: Option<String>,
     },
     /// A design issue (or description slot) was decided.
@@ -35,13 +33,12 @@ pub enum SessionAction {
         /// The chosen option.
         value: Value,
         /// The designer's rationale, if recorded.
-        #[serde(default, skip_serializing_if = "Option::is_none")]
         note: Option<String>,
     },
 }
 
 /// A replayable exploration transcript.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SessionScript {
     actions: Vec<SessionAction>,
 }
@@ -127,6 +124,12 @@ impl SessionScript {
         Ok(session)
     }
 }
+
+foundation::impl_json_enum!(SessionAction {
+    SetRequirement { property, value, note },
+    Decide { issue, value, note },
+});
+foundation::impl_json_struct!(SessionScript { actions });
 
 #[cfg(test)]
 mod tests {
@@ -225,8 +228,8 @@ mod tests {
         let mut ses = ExplorationSession::new(&s, root);
         ses.set_requirement("Width", Value::from(32)).unwrap();
         let script = SessionScript::capture(&ses);
-        let json = serde_json::to_string(&script).unwrap();
-        let back: SessionScript = serde_json::from_str(&json).unwrap();
+        let json = foundation::json::encode(&script);
+        let back: SessionScript = foundation::json::decode(&json).unwrap();
         assert_eq!(script, back);
     }
 

@@ -16,7 +16,6 @@
 //! on it as *stale* ("when the independent set is modified, the dependent
 //! set needs to be re-assessed").
 
-use serde::{Deserialize, Serialize};
 
 use crate::constraint::{ConstraintOutcome, Relation};
 use crate::error::DseError;
@@ -26,7 +25,7 @@ use crate::property::{Property, PropertyKind};
 use crate::value::Value;
 
 /// One entry in the session's decision log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// The decided property.
     pub property: String,
@@ -41,7 +40,6 @@ pub struct Decision {
     pub stale: bool,
     /// The designer's rationale, if recorded (see
     /// [`ExplorationSession::annotate`]).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub note: Option<String>,
 }
 
@@ -430,6 +428,8 @@ impl<'a> ExplorationSession<'a> {
             })
     }
 }
+
+foundation::impl_json_struct!(Decision { property, value, kind, prev_focus, stale, note });
 
 #[cfg(test)]
 mod tests {

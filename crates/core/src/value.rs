@@ -2,11 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A property value: the design space layer is meta-data, so values stay
 /// small and serializable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Value {
     /// An integer (word sizes, radices, slice counts, …).
@@ -129,7 +128,7 @@ impl From<bool> for Value {
 /// The set of values a property may take — the paper's `SetOfValues`
 /// annotations (e.g. `{2^i | i ∈ Z+}`, `{Guaranteed, notGuaranteed}`,
 /// `R+`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Domain {
     /// Any value of any type.
@@ -231,6 +230,16 @@ impl fmt::Display for Domain {
     }
 }
 
+foundation::impl_json_enum!(Value { Int(v), Real(v), Text(v), Flag(v) });
+foundation::impl_json_enum!(Domain {
+    Any,
+    Enumeration(options),
+    IntRange { min, max },
+    RealRange { min, max },
+    PowersOfTwo { max_exp },
+    Flag,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,38 +307,51 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use foundation::check::{self, Gen};
 
-        fn arb_domain() -> impl Strategy<Value = Domain> {
-            prop_oneof![
-                Just(Domain::Flag),
-                (1u32..10).prop_map(|e| Domain::PowersOfTwo { max_exp: e }),
-                prop::collection::vec(any::<i64>(), 1..8)
-                    .prop_map(|vs| Domain::Enumeration(vs.into_iter().map(Value::Int).collect())),
-            ]
-        }
-
-        proptest! {
-            #[test]
-            fn every_enumerated_value_is_contained(d in arb_domain()) {
-                let options = d.enumerate().expect("strategy yields enumerable domains");
-                prop_assert!(!options.is_empty());
-                for o in options {
-                    prop_assert!(d.contains(&o), "{o} not in {d}");
+        fn arb_domain(g: &mut Gen) -> Domain {
+            match g.usize_in(0, 3) {
+                0 => Domain::Flag,
+                1 => Domain::PowersOfTwo {
+                    max_exp: g.u32_in(1, 10),
+                },
+                _ => {
+                    let len = g.usize_in(1, 8);
+                    Domain::Enumeration((0..len).map(|_| Value::Int(g.i64())).collect())
                 }
             }
+        }
 
-            #[test]
-            fn int_range_contains_iff_within(min in -100i64..100, span in 0i64..100, v in -300i64..300) {
+        #[test]
+        fn every_enumerated_value_is_contained() {
+            check::run("every_enumerated_value_is_contained", |g| {
+                let d = arb_domain(g);
+                let options = d.enumerate().expect("generator yields enumerable domains");
+                assert!(!options.is_empty());
+                for o in options {
+                    assert!(d.contains(&o), "{o} not in {d}");
+                }
+            });
+        }
+
+        #[test]
+        fn int_range_contains_iff_within() {
+            check::run("int_range_contains_iff_within", |g| {
+                let min = g.i64_in(-100, 100);
+                let span = g.i64_in(0, 100);
+                let v = g.i64_in(-300, 300);
                 let d = Domain::int_range(min, min + span);
-                prop_assert_eq!(d.contains(&Value::Int(v)), v >= min && v <= min + span);
-            }
+                assert_eq!(d.contains(&Value::Int(v)), v >= min && v <= min + span);
+            });
+        }
 
-            #[test]
-            fn matches_is_symmetric(a in any::<i64>(), b in any::<i64>()) {
+        #[test]
+        fn matches_is_symmetric() {
+            check::run("matches_is_symmetric", |g| {
+                let (a, b) = (g.i64(), g.i64());
                 let (va, vb) = (Value::Int(a), Value::Real(b as f64));
-                prop_assert_eq!(va.matches(&vb), vb.matches(&va));
-            }
+                assert_eq!(va.matches(&vb), vb.matches(&va));
+            });
         }
     }
 

@@ -1,0 +1,304 @@
+//! A micro-benchmark harness — the workspace's replacement for
+//! `criterion`.
+//!
+//! Each benchmark is warmed up, then timed over repeated samples; the
+//! harness reports per-iteration median, p95, minimum and mean, prints a
+//! table, and can emit the whole suite as JSON (the format behind
+//! `BENCH_baseline.json`, the repo's perf-trajectory record).
+//!
+//! Environment knobs:
+//! * `DSE_BENCH_FAST=1` — single-iteration smoke mode (used by tests);
+//! * `DSE_BENCH_JSON=<path>` — write the JSON report on [`Harness::finish`].
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+pub use std::hint::black_box;
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"bignum/mul/1024"`.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time.
+    pub p95_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+}
+
+impl Measurement {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("iters_per_sample".into(), Json::Int(self.iters_per_sample as i64)),
+            ("samples".into(), Json::Int(i64::from(self.samples))),
+            ("median_ns".into(), Json::Float(self.median_ns)),
+            ("p95_ns".into(), Json::Float(self.p95_ns)),
+            ("min_ns".into(), Json::Float(self.min_ns)),
+            ("mean_ns".into(), Json::Float(self.mean_ns)),
+        ])
+    }
+}
+
+/// Measurement settings. [`Config::from_env`] is what [`Harness::new`]
+/// uses; tests lower the numbers via `DSE_BENCH_FAST`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Wall-clock budget for the warmup phase.
+    pub warmup: Duration,
+    /// Target wall-clock length of one timed sample.
+    pub sample_target: Duration,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+impl Config {
+    /// The default settings, or the smoke-mode ones under `DSE_BENCH_FAST`.
+    pub fn from_env() -> Self {
+        if std::env::var_os("DSE_BENCH_FAST").is_some() {
+            Config {
+                warmup: Duration::from_millis(1),
+                sample_target: Duration::from_micros(100),
+                samples: 3,
+            }
+        } else {
+            Config {
+                warmup: Duration::from_millis(60),
+                sample_target: Duration::from_millis(8),
+                samples: 25,
+            }
+        }
+    }
+}
+
+/// Collects measurements for one suite.
+pub struct Harness {
+    suite: String,
+    config: Config,
+    entries: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness for the named suite, configured from the environment.
+    pub fn new(suite: impl Into<String>) -> Self {
+        Harness {
+            suite: suite.into(),
+            config: Config::from_env(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement settings.
+    pub fn with_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The suite's name.
+    pub fn suite(&self) -> &str {
+        &self.suite
+    }
+
+    /// The measurements so far.
+    pub fn entries(&self) -> &[Measurement] {
+        &self.entries
+    }
+
+    /// Runs one benchmark: warmup, then `samples` timed batches of the
+    /// closure. Returns the recorded statistics.
+    pub fn bench<F: FnMut()>(&mut self, name: impl Into<String>, mut f: F) -> &Measurement {
+        let name = name.into();
+
+        // Warmup, measuring throughput to size the timed samples.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            f();
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.config.warmup {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let iters = ((self.config.sample_target.as_nanos() as f64 / per_iter.max(1.0)) as u64)
+            .clamp(1, 1_000_000_000);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.config.samples as usize);
+        for _ in 0..self.config.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+        let n = per_iter_ns.len();
+        let median = if n % 2 == 1 {
+            per_iter_ns[n / 2]
+        } else {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2.0
+        };
+        let p95 = per_iter_ns[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let mean = per_iter_ns.iter().sum::<f64>() / n as f64;
+
+        let m = Measurement {
+            name,
+            iters_per_sample: iters,
+            samples: self.config.samples,
+            median_ns: median,
+            p95_ns: p95,
+            min_ns: per_iter_ns[0],
+            mean_ns: mean,
+        };
+        self.entries.push(m);
+        self.entries.last().expect("just pushed")
+    }
+
+    /// The suite as a JSON report.
+    pub fn report_json(&self) -> Json {
+        Json::Object(vec![
+            ("suite".into(), Json::Str(self.suite.clone())),
+            (
+                "entries".into(),
+                Json::Array(self.entries.iter().map(Measurement::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Prints the table; writes the JSON report if `DSE_BENCH_JSON` names
+    /// a path.
+    pub fn finish(self) {
+        print!("{}", render_table(&self.suite, &self.entries));
+        if let Some(path) = std::env::var_os("DSE_BENCH_JSON") {
+            let report = self.report_json().to_string_pretty();
+            if let Err(e) = std::fs::write(&path, report) {
+                eprintln!("[bench] cannot write {}: {e}", path.to_string_lossy());
+            }
+        }
+    }
+}
+
+/// Formats one suite's measurements as an aligned text table.
+pub fn render_table(suite: &str, entries: &[Measurement]) -> String {
+    let mut out = format!("\n{suite}\n");
+    let name_width = entries
+        .iter()
+        .map(|m| m.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    out.push_str(&format!(
+        "{:<name_width$}  {:>12}  {:>12}  {:>12}\n",
+        "name", "median", "p95", "min"
+    ));
+    for m in entries {
+        out.push_str(&format!(
+            "{:<name_width$}  {:>12}  {:>12}  {:>12}\n",
+            m.name,
+            format_ns(m.median_ns),
+            format_ns(m.p95_ns),
+            format_ns(m.min_ns),
+        ));
+    }
+    out
+}
+
+/// Human-readable nanoseconds: `850 ns`, `12.3 µs`, `4.56 ms`, `1.20 s`.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Merges several suite reports into one document, under a top-level
+/// metadata header — the `BENCH_baseline.json` layout.
+pub fn combined_report(label: &str, suites: &[Json]) -> Json {
+    Json::Object(vec![
+        ("label".into(), Json::Str(label.to_string())),
+        (
+            "harness".into(),
+            Json::Str("dse-foundation micro-bench".into()),
+        ),
+        ("suites".into(), Json::Array(suites.to_vec())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            warmup: Duration::from_micros(50),
+            sample_target: Duration::from_micros(50),
+            samples: 5,
+        }
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut h = Harness::new("t").with_config(fast());
+        let m = h.bench("spin", || {
+            black_box((0..100u64).sum::<u64>());
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.median_ns <= m.p95_ns);
+        assert_eq!(m.samples, 5);
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let mut h = Harness::new("suite").with_config(fast());
+        h.bench("a", || {
+            black_box(1 + 1);
+        });
+        let text = h.report_json().to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("suite").and_then(Json::as_str),
+            Some("suite")
+        );
+        let entries = parsed.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("name").and_then(Json::as_str), Some("a"));
+        assert!(entries[0].get("median_ns").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn table_renders_every_entry() {
+        let mut h = Harness::new("tbl").with_config(fast());
+        h.bench("first", || {
+            black_box(0);
+        });
+        h.bench("second", || {
+            black_box(0);
+        });
+        let table = render_table(h.suite(), h.entries());
+        assert!(table.contains("first") && table.contains("second"));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(850.0), "850 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 µs");
+        assert_eq!(format_ns(4_560_000.0), "4.560 ms");
+        assert_eq!(format_ns(1_200_000_000.0), "1.200 s");
+    }
+}

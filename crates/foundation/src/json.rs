@@ -1,0 +1,1191 @@
+//! A self-contained JSON codec: value type, parser, serializer, and the
+//! [`ToJson`]/[`FromJson`] traits that replace the serde derives.
+//!
+//! The encoding conventions mirror serde's externally-tagged default
+//! closely enough that the emitted files stay human-readable:
+//!
+//! * structs → objects keyed by field name;
+//! * unit enum variants → their name as a string;
+//! * tuple enum variants → `{"Variant": [field, ...]}`;
+//! * struct enum variants → `{"Variant": {"field": ..., ...}}`;
+//! * maps → objects (non-string keys are embedded as their compact JSON
+//!   encoding, and recovered on the way back in).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Integers and floats are kept apart so that `u64`/`i64` round-trip
+/// exactly; [`FromJson`] for float types accepts either.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. Insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+/// Error from parsing or decoding JSON.
+///
+/// Parse errors carry the 1-based `line`/`col` of the offending byte;
+/// decode (shape-mismatch) errors report position `0:0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    msg: String,
+    /// 1-based line of a parse error, 0 for decode errors.
+    pub line: usize,
+    /// 1-based column of a parse error, 0 for decode errors.
+    pub col: usize,
+}
+
+impl JsonError {
+    /// A decode (shape) error with no source position.
+    pub fn decode(msg: impl Into<String>) -> Self {
+        JsonError {
+            msg: msg.into(),
+            line: 0,
+            col: 0,
+        }
+    }
+
+    /// The standard "expected X, got Y" decode error.
+    pub fn type_mismatch(ty: &str, want: &str, got: &Json) -> Self {
+        JsonError::decode(format!("{ty}: expected {want}, got {}", got.kind_name()))
+    }
+
+    fn parse(msg: impl Into<String>, line: usize, col: usize) -> Self {
+        JsonError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.msg, self.line, self.col)
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// The value's kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// `Some` for `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some` for `Int`, and for `Float` with an exactly-integral value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(x) if x.fract() == 0.0 && x.abs() < 9.0e18 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// `Some` for any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// `Some` for `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some` for `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some` for `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Parses a JSON document. The whole input must be consumed.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Compact serialization.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Two-space-indented serialization.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, so the
+                    // reader can't silently lose the number's float-ness.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Json::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError::parse(msg, self.line, self.pos - self.line_start + 1)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(members)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a low surrogate must follow.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired high surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 in string"));
+                    }
+                    match std::str::from_utf8(&self.bytes[start..start + len]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid \\u escape (need 4 hex digits)")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Float(x)),
+            Err(_) => Err(self.err("number out of range")),
+        }
+    }
+}
+
+/// Serialize into a [`Json`] tree. The replacement for `serde::Serialize`.
+pub trait ToJson {
+    /// The value as a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Rebuild from a [`Json`] tree. The replacement for `serde::Deserialize`.
+pub trait FromJson: Sized {
+    /// Decodes the value, reporting shape mismatches as errors.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Compact-encodes any [`ToJson`] value.
+pub fn encode<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Pretty-encodes any [`ToJson`] value.
+pub fn encode_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Parses and decodes in one step.
+pub fn decode<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+// ---------------------------------------------------------------------------
+// Trait impls for the primitive vocabulary the workspace uses.
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+            .ok_or_else(|| JsonError::type_mismatch("bool", "bool", v))
+    }
+}
+
+macro_rules! json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| JsonError::type_mismatch(stringify!($ty), "integer", v))?;
+                <$ty>::try_from(i).map_err(|_| {
+                    JsonError::decode(format!("{i} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )+};
+}
+
+json_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! json_big_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                match i64::try_from(*self) {
+                    Ok(i) => Json::Int(i),
+                    Err(_) => Json::Float(*self as f64),
+                }
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| JsonError::type_mismatch(stringify!($ty), "integer", v))?;
+                <$ty>::try_from(i).map_err(|_| {
+                    JsonError::decode(format!("{i} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )+};
+}
+
+json_big_uint!(u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::type_mismatch("f64", "number", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::type_mismatch("String", "string", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::type_mismatch("Vec", "array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::type_mismatch("tuple", "2-element array", v)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(JsonError::type_mismatch("tuple", "3-element array", v)),
+        }
+    }
+}
+
+impl<K: ToJson + Ord, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_json() {
+                        Json::Str(s) => s,
+                        other => other.to_string(),
+                    };
+                    (key, v.to_json())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: FromJson + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| JsonError::type_mismatch("map", "object", v))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in obj {
+            // String-like keys decode directly; structured keys were embedded
+            // as their compact JSON encoding.
+            let key = match K::from_json(&Json::Str(k.clone())) {
+                Ok(key) => key,
+                Err(first) => match Json::parse(k) {
+                    Ok(parsed) => K::from_json(&parsed)?,
+                    Err(_) => return Err(first),
+                },
+            };
+            out.insert(key, V::from_json(val)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-replacement macros.
+
+/// Looks up a struct field, treating a missing member as `null` (so
+/// `Option` fields may be omitted, as with serde's `default`).
+pub fn field<T: FromJson>(
+    obj: &[(String, Json)],
+    name: &str,
+    ty: &str,
+) -> Result<T, JsonError> {
+    let value = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Json::Null);
+    T::from_json(value).map_err(|e| JsonError::decode(format!("{ty}.{name}: {e}")))
+}
+
+/// Pulls the next element of a tuple-variant payload.
+pub fn seq_next<T: FromJson>(
+    it: &mut std::slice::Iter<'_, Json>,
+    ctx: &str,
+) -> Result<T, JsonError> {
+    let v = it
+        .next()
+        .ok_or_else(|| JsonError::decode(format!("{ctx}: missing tuple element")))?;
+    T::from_json(v).map_err(|e| JsonError::decode(format!("{ctx}: {e}")))
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields, as an
+/// object keyed by field name — the replacement for
+/// `#[derive(Serialize, Deserialize)]` on structs.
+///
+/// ```
+/// struct P { x: i64, label: String }
+/// foundation::impl_json_struct!(P { x, label });
+/// # use foundation::json::{decode, encode};
+/// let p: P = decode(&encode(&P { x: 3, label: "a".into() })).unwrap();
+/// assert_eq!(p.x, 3);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Object(vec![
+                    $((
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    )),+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                let obj = v.as_object().ok_or_else(|| {
+                    $crate::json::JsonError::type_mismatch(stringify!($ty), "object", v)
+                })?;
+                Ok($ty {
+                    $($field: $crate::json::field(obj, stringify!($field), stringify!($ty))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a single-field tuple struct as
+/// the transparent encoding of its inner value.
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($ty:ident) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                Ok($ty($crate::json::FromJson::from_json(v)?))
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum, using serde's
+/// externally-tagged shape: unit variants as strings, tuple variants as
+/// `{"Variant": [..]}`, struct variants as `{"Variant": {..}}`. Tuple
+/// variants take placeholder binder names (one per field):
+///
+/// ```
+/// # #[derive(PartialEq, Debug)]
+/// enum E { A, Pair(i64, i64), At { x: i64 } }
+/// foundation::impl_json_enum!(E { A, Pair(a, b), At { x } });
+/// # use foundation::json::{decode, encode};
+/// assert_eq!(decode::<E>(&encode(&E::Pair(1, 2))).unwrap(), E::Pair(1, 2));
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $( $var:ident
+        $( ( $($tf:ident),+ $(,)? ) )?
+        $( { $($sf:ident),+ $(,)? } )?
+    ),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                match self {
+                    $(
+                        $ty::$var $( ( $($tf),+ ) )? $( { $($sf),+ } )? => {
+                            #[allow(unused_mut, unused_assignments)]
+                            let mut payload: Option<$crate::json::Json> = None;
+                            $({
+                                let mut arr: Vec<$crate::json::Json> = Vec::new();
+                                $(arr.push($crate::json::ToJson::to_json($tf));)+
+                                payload = Some($crate::json::Json::Array(arr));
+                            })?
+                            $({
+                                let mut fields: Vec<(String, $crate::json::Json)> = Vec::new();
+                                $(fields.push((
+                                    stringify!($sf).to_string(),
+                                    $crate::json::ToJson::to_json($sf),
+                                ));)+
+                                payload = Some($crate::json::Json::Object(fields));
+                            })?
+                            match payload {
+                                None => $crate::json::Json::Str(stringify!($var).to_string()),
+                                Some(p) => $crate::json::Json::Object(vec![(
+                                    stringify!($var).to_string(),
+                                    p,
+                                )]),
+                            }
+                        }
+                    )+
+                }
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                v: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                match v {
+                    $crate::json::Json::Str(s) => {
+                        $($crate::__impl_json_enum_from_str!(
+                            $ty, $var, s, $( ( $($tf),+ ) )? $( { $($sf),+ } )?
+                        );)+
+                        Err($crate::json::JsonError::decode(format!(
+                            "unknown {} variant {s:?}",
+                            stringify!($ty)
+                        )))
+                    }
+                    $crate::json::Json::Object(obj) if obj.len() == 1 => {
+                        let (tag, payload) = &obj[0];
+                        $($crate::__impl_json_enum_from_payload!(
+                            $ty, $var, tag, payload, $( ( $($tf),+ ) )? $( { $($sf),+ } )?
+                        );)+
+                        Err($crate::json::JsonError::decode(format!(
+                            "unknown {} variant {tag:?}",
+                            stringify!($ty)
+                        )))
+                    }
+                    other => Err($crate::json::JsonError::type_mismatch(
+                        stringify!($ty),
+                        "string or single-key object",
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+/// Internal: the unit-variant arm of [`impl_json_enum!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __impl_json_enum_from_str {
+    ($ty:ident, $var:ident, $s:ident,) => {
+        if $s == stringify!($var) {
+            return Ok($ty::$var);
+        }
+    };
+    ($ty:ident, $var:ident, $s:ident, ( $($tf:ident),+ )) => {};
+    ($ty:ident, $var:ident, $s:ident, { $($sf:ident),+ }) => {};
+}
+
+/// Internal: the payload-variant arm of [`impl_json_enum!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __impl_json_enum_from_payload {
+    ($ty:ident, $var:ident, $tag:ident, $payload:ident,) => {};
+    ($ty:ident, $var:ident, $tag:ident, $payload:ident, ( $($tf:ident),+ )) => {
+        if $tag == stringify!($var) {
+            let arr = $payload.as_array().ok_or_else(|| {
+                $crate::json::JsonError::type_mismatch(
+                    stringify!($ty),
+                    "array payload",
+                    $payload,
+                )
+            })?;
+            let want = [$(stringify!($tf)),+].len();
+            if arr.len() != want {
+                return Err($crate::json::JsonError::decode(format!(
+                    "{}::{} expects {want} fields, got {}",
+                    stringify!($ty),
+                    stringify!($var),
+                    arr.len()
+                )));
+            }
+            let mut it = arr.iter();
+            return Ok($ty::$var(
+                $($crate::json::seq_next(&mut it, stringify!($tf))?),+
+            ));
+        }
+    };
+    ($ty:ident, $var:ident, $tag:ident, $payload:ident, { $($sf:ident),+ }) => {
+        if $tag == stringify!($var) {
+            let fields = $payload.as_object().ok_or_else(|| {
+                $crate::json::JsonError::type_mismatch(
+                    stringify!($ty),
+                    "object payload",
+                    $payload,
+                )
+            })?;
+            return Ok($ty::$var {
+                $($sf: $crate::json::field(fields, stringify!($sf), stringify!($ty))?,)+
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("-1.5e-2").unwrap(), Json::Float(-0.015));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_collections() {
+        let v = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let a = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nbreak \"quoted\" back\\slash \t µ 😀 \u{1}";
+        let encoded = Json::Str(original.into()).to_string();
+        assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(original.into()));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            Json::parse(r#""µ 😀""#).unwrap(),
+            Json::Str("µ 😀".into())
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = Json::parse("{\"a\": 1,\n  nope}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        let e = Json::parse("[1, 2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("01").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers_keep_their_kind() {
+        let v = Json::parse("[1, 1.0, 9223372036854775807, 1e20]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0], Json::Int(1));
+        assert_eq!(a[1], Json::Float(1.0));
+        assert_eq!(a[2], Json::Int(i64::MAX));
+        assert!(matches!(a[3], Json::Float(_)));
+        // The serializer keeps floats recognizable.
+        assert_eq!(Json::Float(1.0).to_string(), "1.0");
+        assert_eq!(Json::Int(1).to_string(), "1");
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = Json::parse(r#"{"a":[1,2],"b":{"c":true}}"#).unwrap();
+        assert_eq!(Json::parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        n: u32,
+        tag: String,
+        opt: Option<f64>,
+    }
+    impl_json_struct!(Demo { n, tag, opt });
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(f64, f64),
+        Poly { sides: u32, label: String },
+    }
+    impl_json_enum!(Shape {
+        Dot,
+        Line(a, b),
+        Poly { sides, label }
+    });
+
+    // Ord for the map-key test only: order by encoded form.
+    impl Eq for Shape {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for Shape {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            encode(self).cmp(&encode(other))
+        }
+    }
+    impl PartialOrd for Shape {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        let d = Demo {
+            n: 9,
+            tag: "t".into(),
+            opt: None,
+        };
+        assert_eq!(decode::<Demo>(&encode(&d)).unwrap(), d);
+        // A missing Option member decodes as None.
+        assert_eq!(
+            decode::<Demo>(r#"{"n": 9, "tag": "t"}"#).unwrap(),
+            Demo { n: 9, tag: "t".into(), opt: None }
+        );
+        // A missing required member is an error naming the field.
+        let e = decode::<Demo>(r#"{"tag": "t"}"#).unwrap_err();
+        assert!(e.to_string().contains("Demo.n"), "{e}");
+    }
+
+    #[test]
+    fn enum_macro_roundtrips_all_shapes() {
+        for s in [
+            Shape::Dot,
+            Shape::Line(1.5, -2.0),
+            Shape::Poly {
+                sides: 6,
+                label: "hex".into(),
+            },
+        ] {
+            let text = encode(&s);
+            assert_eq!(decode::<Shape>(&text).unwrap(), s, "{text}");
+        }
+        assert_eq!(encode(&Shape::Dot), "\"Dot\"");
+        assert!(decode::<Shape>("\"Nope\"").is_err());
+        assert!(decode::<Shape>(r#"{"Line": [1]}"#).is_err());
+    }
+
+    #[test]
+    fn maps_with_structured_keys_roundtrip() {
+        let mut m: BTreeMap<Shape, u32> = BTreeMap::new();
+        m.insert(Shape::Dot, 1);
+        m.insert(
+            Shape::Poly {
+                sides: 3,
+                label: "tri".into(),
+            },
+            2,
+        );
+        let back: BTreeMap<Shape, u32> = decode(&encode(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+}

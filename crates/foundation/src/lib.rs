@@ -1,0 +1,23 @@
+//! The hermetic substrate every other crate in the workspace stands on.
+//!
+//! The build environment is fully offline, so nothing here (or anywhere
+//! else in the workspace) may depend on crates.io. This crate supplies,
+//! from `std` alone, the four facilities the reproduction previously
+//! pulled from external crates:
+//!
+//! * [`json`] — a spec-compliant JSON value type, parser and serializer,
+//!   plus the [`json::ToJson`]/[`json::FromJson`] traits and the
+//!   [`impl_json_struct!`]/[`impl_json_enum!`]/[`impl_json_newtype!`]
+//!   derive-replacement macros (replaces `serde`/`serde_json`).
+//! * [`rng`] — a seedable xoshiro256++ deterministic PRNG behind a small
+//!   [`rng::Rng`] trait (replaces `rand`).
+//! * [`check`] — a seeded property-testing harness with configurable case
+//!   counts and failure-seed reporting (replaces `proptest`).
+//! * [`bench`] — a micro-benchmark harness with warmup, timed samples,
+//!   median/p95 statistics and JSON report emission (replaces
+//!   `criterion`).
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;

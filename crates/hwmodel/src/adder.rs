@@ -9,11 +9,10 @@
 use std::fmt;
 
 use bignum::UBig;
-use serde::{Deserialize, Serialize};
 use techlib::{CellKind, Technology};
 
 /// The adder structure used for the wide additions in a datapath.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum AdderKind {
     /// Ripple-carry: smallest, carry chain linear in width.
@@ -143,10 +142,11 @@ pub fn csa3(x: &UBig, y: &UBig, z: &UBig) -> (UBig, UBig) {
     (sum, carry)
 }
 
+foundation::impl_json_enum!(AdderKind { RippleCarry, CarryLookAhead, CarrySave });
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn tech() -> Technology {
         Technology::g10_035()
@@ -210,17 +210,17 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn csa3_preserves_sum(
-            x in prop::collection::vec(any::<u32>(), 0..6),
-            y in prop::collection::vec(any::<u32>(), 0..6),
-            z in prop::collection::vec(any::<u32>(), 0..6),
-        ) {
-            let (x, y, z) = (UBig::from_limbs(x), UBig::from_limbs(y), UBig::from_limbs(z));
+    #[test]
+    fn csa3_preserves_sum() {
+        foundation::check::run("csa3_preserves_sum", |g| {
+            let (x, y, z) = (
+                UBig::from_limbs(g.vec_u32(6)),
+                UBig::from_limbs(g.vec_u32(6)),
+                UBig::from_limbs(g.vec_u32(6)),
+            );
             let (s, c) = csa3(&x, &y, &z);
-            prop_assert_eq!(&s + &c, &(&x + &y) + &z);
-        }
+            assert_eq!(&s + &c, &(&x + &y) + &z);
+        });
     }
 
     #[test]

@@ -10,13 +10,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use techlib::{CellKind, Technology};
 
 use crate::adder::AdderKind;
 
 /// The operation kinds an algorithm-level description is built from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum OpKind {
     /// Wide addition (priced as a carry-look-ahead adder).
@@ -48,7 +47,7 @@ impl fmt::Display for OpKind {
 }
 
 /// One operation node in a behavioural description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BehaviorOp {
     /// Operation kind.
     pub kind: OpKind,
@@ -63,7 +62,7 @@ pub struct BehaviorOp {
 /// An algorithm-level behavioural description: a DAG of operations
 /// representing one loop iteration (the combinational work between two
 /// register boundaries).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BehaviorGraph {
     name: String,
     ops: Vec<BehaviorOp>,
@@ -211,6 +210,10 @@ pub fn paper_and_pencil(eol: u32) -> BehaviorGraph {
     g.push(OpKind::Sub, 2 * eol, 0, &[cmp]);
     g
 }
+
+foundation::impl_json_enum!(OpKind { Add, Sub, DigitMul, Compare, Shift, Select });
+foundation::impl_json_struct!(BehaviorOp { kind, width, aux, depends_on });
+foundation::impl_json_struct!(BehaviorGraph { name, ops });
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use techlib::Technology;
 
 use crate::adder::AdderKind;
@@ -15,7 +14,7 @@ use crate::multiplier::DigitMultiplierKind;
 /// dominates Brickell in area and delay (Fig. 9), but requires an odd
 /// modulus (CC1), so the two options partition the design space rather
 /// than trade off finely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Algorithm {
     /// Montgomery's LSB-first algorithm (paper Fig. 10). Odd modulus only.
     Montgomery,
@@ -108,7 +107,7 @@ impl std::error::Error for ArchitectureError {}
 /// assert_eq!(arch.num_slices(1024)?, 32);
 /// # Ok::<(), hwmodel::ArchitectureError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModMulArchitecture {
     algorithm: Algorithm,
     radix: u64,
@@ -266,6 +265,9 @@ impl fmt::Display for ModMulArchitecture {
         )
     }
 }
+
+foundation::impl_json_enum!(Algorithm { Montgomery, Brickell });
+foundation::impl_json_struct!(ModMulArchitecture { algorithm, radix, slice_width, adder, multiplier });
 
 #[cfg(test)]
 mod tests {

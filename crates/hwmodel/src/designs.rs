@@ -7,14 +7,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::adder::AdderKind;
 use crate::design::{Algorithm, ArchitectureError, ModMulArchitecture};
 use crate::multiplier::DigitMultiplierKind;
 
 /// One row of the paper's Table 1: a modular-multiplier design family.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DesignFamily {
     id: u8,
     algorithm: Algorithm,
@@ -125,6 +124,8 @@ pub fn paper_designs() -> Vec<DesignFamily> {
 
 /// The slice widths used in the paper's Table 1.
 pub const TABLE1_SLICE_WIDTHS: [u32; 5] = [8, 16, 32, 64, 128];
+
+foundation::impl_json_struct!(DesignFamily { id, algorithm, radix, adder, multiplier });
 
 #[cfg(test)]
 mod tests {

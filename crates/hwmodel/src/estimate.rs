@@ -8,7 +8,6 @@
 //! Table 1; the experiments rely on the orderings and trends, which follow
 //! from the structure itself.
 
-use serde::{Deserialize, Serialize};
 use techlib::{power, CellKind, Technology};
 
 use crate::adder::AdderKind;
@@ -27,7 +26,7 @@ const BROADCAST_TAU_PER_SLICE: f64 = 0.04;
 const ACTIVITY: f64 = 0.25;
 
 /// The estimation result for one architecture at one operand length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwEstimate {
     /// Total silicon area in µm² (cells × wiring overhead).
     pub area_um2: f64,
@@ -58,7 +57,7 @@ impl HwEstimate {
 /// Where the silicon goes: the estimate's gate-equivalent budget broken
 /// down by function — the transparency the layer's "self-documented"
 /// claim demands of its estimation tools.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaBreakdown {
     /// Operand/accumulator registers (incl. the redundant carry register
     /// of carry-save designs), GE.
@@ -249,6 +248,16 @@ fn quotient_delay_tau(k: u32, xor: f64, fa_carry: f64) -> f64 {
         xor + 2.0 * (k - 1) as f64 * fa_carry * 0.5 + (k - 1) as f64
     }
 }
+
+foundation::impl_json_struct!(HwEstimate { area_um2, area_ge, clock_ns, cycles, latency_ns, power_mw });
+foundation::impl_json_struct!(AreaBreakdown {
+    registers_ge,
+    adders_ge,
+    multipliers_ge,
+    quotient_ge,
+    control_ge,
+    boundary_ge,
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,13 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use techlib::{CellKind, Technology};
 
 use crate::adder::AdderKind;
 
 /// The structure forming `digit × operand` partial products.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum DigitMultiplierKind {
     /// Radix 2 only: the digit is one bit, so an AND-gate row suffices.
@@ -123,6 +122,8 @@ impl fmt::Display for DigitMultiplierKind {
         f.write_str(s)
     }
 }
+
+foundation::impl_json_enum!(DigitMultiplierKind { AndRow, Array, MuxTable });
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,6 @@
 use std::fmt;
 
 use bignum::{mod_inverse, UBig};
-use serde::{Deserialize, Serialize};
 
 use crate::adder::{csa3, AdderKind};
 use crate::design::{Algorithm, ModMulArchitecture};
@@ -49,7 +48,7 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Result of one simulated modular multiplication.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimOutput {
     /// The computed product. For Montgomery datapaths this is the
     /// Montgomery product `A·B·2^(−k·iterations) mod M`; for Brickell it is
@@ -64,7 +63,7 @@ pub struct SimOutput {
 }
 
 /// One recorded datapath iteration (for [`simulate_traced`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationTrace {
     /// Iteration index.
     pub index: u64,
@@ -79,7 +78,7 @@ pub struct IterationTrace {
 }
 
 /// A full simulation trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimTrace {
     /// The final output.
     pub output: SimOutput,
@@ -360,13 +359,16 @@ fn brickell_pass(
     acc
 }
 
+foundation::impl_json_struct!(SimOutput { product, cycles, iterations, eol });
+foundation::impl_json_struct!(IterationTrace { index, digit, quotient, acc_sum, acc_carry });
+foundation::impl_json_struct!(SimTrace { output, steps });
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::designs::paper_designs;
     use bignum::{brickell_mod_mul, mont_mul_digit_serial, uniform_below};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
         let mut m = uniform_below(&UBig::power_of_two(bits), rng);
@@ -530,84 +532,84 @@ mod tests {
         use super::*;
         use crate::adder::AdderKind;
         use crate::multiplier::DigitMultiplierKind;
-        use proptest::prelude::*;
+        use foundation::check::{self, Gen};
 
-        fn arb_arch() -> impl Strategy<Value = ModMulArchitecture> {
-            (
-                prop_oneof![Just(Algorithm::Montgomery), Just(Algorithm::Brickell)],
-                prop_oneof![Just(1u32), Just(2), Just(3), Just(4)],
-                prop_oneof![
-                    Just(AdderKind::RippleCarry),
-                    Just(AdderKind::CarryLookAhead),
-                    Just(AdderKind::CarrySave)
-                ],
-                prop_oneof![Just(8u32), Just(12), Just(24)],
-            )
-                .prop_filter_map("valid architecture", |(alg, k, adder, width)| {
-                    if alg == Algorithm::Brickell && k != 1 {
-                        return None;
-                    }
-                    let mult = if k == 1 {
-                        DigitMultiplierKind::AndRow
-                    } else {
-                        DigitMultiplierKind::MuxTable
-                    };
-                    if width % k != 0 {
-                        return None;
-                    }
-                    ModMulArchitecture::new(alg, 1 << k, width, adder, mult).ok()
-                })
-        }
-
-        fn arb_odd_modulus() -> impl Strategy<Value = UBig> {
-            prop::collection::vec(any::<u32>(), 1..4).prop_map(|mut limbs| {
-                if let Some(last) = limbs.last_mut() {
-                    *last |= 0x8000_0000; // full width
+        /// Rejection-samples a valid architecture from the Table-1 axes.
+        fn arb_arch(g: &mut Gen) -> ModMulArchitecture {
+            loop {
+                let alg = *g.choose(&[Algorithm::Montgomery, Algorithm::Brickell]);
+                let k = *g.choose(&[1u32, 2, 3, 4]);
+                let adder = *g.choose(&[
+                    AdderKind::RippleCarry,
+                    AdderKind::CarryLookAhead,
+                    AdderKind::CarrySave,
+                ]);
+                let width = *g.choose(&[8u32, 12, 24]);
+                if alg == Algorithm::Brickell && k != 1 {
+                    continue;
                 }
-                limbs[0] |= 1; // odd
-                UBig::from_limbs(limbs)
-            })
+                let mult = if k == 1 {
+                    DigitMultiplierKind::AndRow
+                } else {
+                    DigitMultiplierKind::MuxTable
+                };
+                if width % k != 0 {
+                    continue;
+                }
+                if let Ok(arch) = ModMulArchitecture::new(alg, 1 << k, width, adder, mult) {
+                    return arch;
+                }
+            }
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        fn arb_odd_modulus(g: &mut Gen) -> UBig {
+            let len = g.usize_in(1, 4);
+            let mut limbs: Vec<u32> = (0..len).map(|_| g.u32()).collect();
+            if let Some(last) = limbs.last_mut() {
+                *last |= 0x8000_0000; // full width
+            }
+            limbs[0] |= 1; // odd
+            UBig::from_limbs(limbs)
+        }
 
-            #[test]
-            fn any_architecture_matches_the_golden_model(
-                arch in arb_arch(),
-                m in arb_odd_modulus(),
-                a_seed in any::<u64>(),
-                b_seed in any::<u64>(),
-            ) {
-                let a = UBig::from(a_seed).rem(&m);
-                let b = UBig::from(b_seed).rem(&m);
+        #[test]
+        fn any_architecture_matches_the_golden_model() {
+            check::run_n("any_architecture_matches_the_golden_model", 64, |g| {
+                let arch = arb_arch(g);
+                let m = arb_odd_modulus(g);
+                let a = UBig::from(g.u64()).rem(&m);
+                let b = UBig::from(g.u64()).rem(&m);
                 let out = simulate(&arch, &a, &b, &m).unwrap();
                 let expect = match arch.algorithm() {
                     Algorithm::Montgomery => {
                         let eol = effective_eol(&arch, &m);
                         mont_mul_digit_serial(
-                            &a, &b, &m, arch.digit_bits(), arch.iterations(eol) as u32,
-                        ).unwrap()
+                            &a,
+                            &b,
+                            &m,
+                            arch.digit_bits(),
+                            arch.iterations(eol) as u32,
+                        )
+                        .unwrap()
                     }
                     Algorithm::Brickell => brickell_mod_mul(&a, &b, &m, arch.digit_bits()),
                 };
-                prop_assert_eq!(&out.product, &expect, "{}", arch);
-                prop_assert!(out.product < m, "result fully reduced");
-                prop_assert_eq!(out.cycles, arch.cycles(out.eol).unwrap());
-            }
+                assert_eq!(&out.product, &expect, "{}", arch);
+                assert!(out.product < m, "result fully reduced");
+                assert_eq!(out.cycles, arch.cycles(out.eol).unwrap());
+            });
+        }
 
-            #[test]
-            fn plain_product_via_any_architecture(
-                arch in arb_arch(),
-                m in arb_odd_modulus(),
-                a_seed in any::<u64>(),
-                b_seed in any::<u64>(),
-            ) {
-                let a = UBig::from(a_seed).rem(&m);
-                let b = UBig::from(b_seed).rem(&m);
+        #[test]
+        fn plain_product_via_any_architecture() {
+            check::run_n("plain_product_via_any_architecture", 64, |g| {
+                let arch = arb_arch(g);
+                let m = arb_odd_modulus(g);
+                let a = UBig::from(g.u64()).rem(&m);
+                let b = UBig::from(g.u64()).rem(&m);
                 let got = mod_mul_via(&arch, &a, &b, &m).unwrap();
-                prop_assert_eq!(got, a.mod_mul(&b, &m), "{}", arch);
-            }
+                assert_eq!(got, a.mod_mul(&b, &m), "{}", arch);
+            });
         }
     }
 

@@ -6,7 +6,6 @@ use std::fmt;
 use dse::eval::{EvalPoint, FigureOfMerit};
 use dse::expr::Bindings;
 use dse::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// One reusable design (a "core"): a point in the design space.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 ///   `SliceWidth = 64`, …), which is how the layer indexes it, and
 /// * *merits* — its figures of merit (area, delay, power, …), which is
 ///   what the evaluation space plots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreRecord {
     name: String,
     vendor: String,
@@ -128,6 +127,8 @@ impl fmt::Display for CoreRecord {
         Ok(())
     }
 }
+
+foundation::impl_json_struct!(CoreRecord { name, vendor, doc, bindings, merits });
 
 #[cfg(test)]
 mod tests {

@@ -4,7 +4,6 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
 
 use crate::core_record::CoreRecord;
 
@@ -15,7 +14,7 @@ pub enum LibraryError {
     /// File I/O failure.
     Io(std::io::Error),
     /// JSON (de)serialization failure.
-    Format(serde_json::Error),
+    Format(foundation::json::JsonError),
 }
 
 impl fmt::Display for LibraryError {
@@ -42,8 +41,8 @@ impl From<std::io::Error> for LibraryError {
     }
 }
 
-impl From<serde_json::Error> for LibraryError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<foundation::json::JsonError> for LibraryError {
+    fn from(e: foundation::json::JsonError) -> Self {
         LibraryError::Format(e)
     }
 }
@@ -52,7 +51,7 @@ impl From<serde_json::Error> for LibraryError {
 ///
 /// Multiple libraries (from different IP providers) can back one layer —
 /// [`crate::Explorer`] accepts any number of them.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReuseLibrary {
     name: String,
     cores: Vec<CoreRecord>,
@@ -103,7 +102,7 @@ impl ReuseLibrary {
     ///
     /// Returns a format error if serialization fails.
     pub fn to_json(&self) -> Result<String, LibraryError> {
-        Ok(serde_json::to_string_pretty(self)?)
+        Ok(foundation::json::encode_pretty(self))
     }
 
     /// Deserializes from JSON.
@@ -112,7 +111,7 @@ impl ReuseLibrary {
     ///
     /// Returns a format error on malformed input.
     pub fn from_json(json: &str) -> Result<Self, LibraryError> {
-        Ok(serde_json::from_str(json)?)
+        Ok(foundation::json::decode(json)?)
     }
 
     /// Saves to a JSON file.
@@ -140,6 +139,8 @@ impl Extend<CoreRecord> for ReuseLibrary {
         self.cores.extend(iter);
     }
 }
+
+foundation::impl_json_struct!(ReuseLibrary { name, cores });
 
 #[cfg(test)]
 mod tests {

@@ -6,14 +6,13 @@
 //! [`variants`](crate::variants), and the test suite checks that the
 //! closed forms track the instrumented ledgers.
 
-use serde::{Deserialize, Serialize};
 
 use crate::counter::OpCounts;
 use crate::variants::MontgomeryVariant;
 
 /// Closed-form dominant-term counts for one Montgomery product on an
 /// `s`-word modulus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyticCounts {
     /// Modulus size in words.
     pub s: u64,
@@ -74,13 +73,14 @@ pub fn analytic_counts(variant: MontgomeryVariant, s: u64) -> AnalyticCounts {
     }
 }
 
+foundation::impl_json_struct!(AnalyticCounts { s, mul, add, load, store, loop_iter });
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::variants::WordMontgomery;
     use bignum::{uniform_below, UBig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     #[test]
     fn analytic_tracks_instrumented_counts() {

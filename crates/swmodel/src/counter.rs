@@ -3,14 +3,13 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// Word-level operation counts accumulated by one routine execution.
 ///
 /// The categories follow the Koç–Acar–Kaliski accounting: single-precision
 /// multiplications dominate, followed by double-word additions and memory
 /// traffic (reads/writes of operand and temporary arrays).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// 32×32 → 64-bit word multiplications.
     pub mul: u64,
@@ -65,6 +64,8 @@ impl fmt::Display for OpCounts {
         )
     }
 }
+
+foundation::impl_json_struct!(OpCounts { mul, add, load, store, loop_iter });
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::counter::OpCounts;
 
@@ -13,7 +12,7 @@ use crate::counter::OpCounts;
 /// of the paper's Fig. 6 lands where the paper reports it: hand-scheduled
 /// assembly around ~1 ms-per-thousand-bits territory (≈0.8–1.0 ms for a
 /// CIHS multiplication at 1024 bits) and compiled C 5–7× slower.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorModel {
     name: String,
     freq_mhz: f64,
@@ -133,6 +132,17 @@ impl fmt::Display for ProcessorModel {
         write!(f, "{} ({} MHz)", self.name, self.freq_mhz)
     }
 }
+
+foundation::impl_json_struct!(ProcessorModel {
+    name,
+    freq_mhz,
+    cycles_mul,
+    cycles_add,
+    cycles_load,
+    cycles_store,
+    cycles_loop,
+    overhead,
+});
 
 #[cfg(test)]
 mod tests {

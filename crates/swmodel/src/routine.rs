@@ -4,7 +4,6 @@
 use std::fmt;
 
 use bignum::UBig;
-use serde::{Deserialize, Serialize};
 
 use crate::counter::OpCounts;
 use crate::cpu::ProcessorModel;
@@ -13,14 +12,14 @@ use crate::variants::{MontgomeryVariant, WordMontgomery, WordMontgomeryError};
 /// A concrete software modular-multiplier core: one Montgomery variant
 /// compiled/scheduled for one processor model. These are the "software
 /// reusable designs" of the paper's library (e.g. `CIHS ASM`, `CIOS C`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftwareRoutine {
     variant: MontgomeryVariant,
     cpu: ProcessorModel,
 }
 
 /// The outcome of profiling one modular multiplication.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
     /// The computed value.
     pub result: UBig,
@@ -130,12 +129,14 @@ impl fmt::Display for SoftwareRoutine {
     }
 }
 
+foundation::impl_json_struct!(SoftwareRoutine { variant, cpu });
+foundation::impl_json_struct!(ProfileReport { result, counts, cycles, time_us });
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bignum::uniform_below;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
         let mut m = uniform_below(&UBig::power_of_two(bits), rng);

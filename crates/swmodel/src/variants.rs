@@ -23,12 +23,11 @@
 use std::fmt;
 
 use bignum::{mod_inverse, UBig, LIMB_BITS};
-use serde::{Deserialize, Serialize};
 
 use crate::counter::OpCounts;
 
 /// Which loop organisation to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum MontgomeryVariant {
     /// Separated operand scanning.
@@ -458,12 +457,13 @@ fn add_wide_at(t: &mut [u32], idx: usize, value: u64, counts: &mut OpCounts) {
     add_at(t, idx + 1, value >> 32, counts);
 }
 
+foundation::impl_json_enum!(MontgomeryVariant { Sos, Cios, Fios, Fips, Cihs });
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bignum::{uniform_below, MontgomeryContext};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use foundation::rng::{SeedableRng, StdRng};
 
     fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
         let mut m = uniform_below(&UBig::power_of_two(bits), rng);

@@ -3,14 +3,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The cell kinds the hardware models are built from.
 ///
 /// The set mirrors what a minimal ASIC standard-cell library offers plus
 /// the two arithmetic macro cells (half/full adder) that adder structures
 /// are counted in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum CellKind {
     /// Inverter.
@@ -92,7 +91,7 @@ impl fmt::Display for CellKind {
 ///   node's nominal gate delay).
 /// * `carry_delay_tau` — for the adder macro cells, the (faster)
 ///   input-to-carry path; equal to `delay_tau` for everything else.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellModel {
     /// Area in gate equivalents.
     pub area_ge: f64,
@@ -117,7 +116,7 @@ impl CellModel {
 ///
 /// [`CellLibrary::generic`] provides the default library used throughout
 /// the workspace; custom libraries can be built for what-if exploration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellLibrary {
     cells: BTreeMap<CellKind, CellModel>,
 }
@@ -186,6 +185,25 @@ impl Default for CellLibrary {
         CellLibrary::generic()
     }
 }
+
+foundation::impl_json_enum!(CellKind {
+    Inv,
+    Buf,
+    Nand2,
+    Nand3,
+    Nor2,
+    And2,
+    Or2,
+    Xor2,
+    Xnor2,
+    Mux2,
+    Mux4,
+    HalfAdder,
+    FullAdder,
+    Dff,
+});
+foundation::impl_json_struct!(CellModel { area_ge, delay_tau, carry_delay_tau });
+foundation::impl_json_struct!(CellLibrary { cells });
 
 #[cfg(test)]
 mod tests {

@@ -3,11 +3,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Physical implementation style. Each style applies density and speed
 /// factors on top of the fabrication node's raw cell figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum LayoutStyle {
     /// Placed-and-routed standard cells: the calibration baseline.
@@ -56,6 +55,8 @@ impl fmt::Display for LayoutStyle {
         f.write_str(s)
     }
 }
+
+foundation::impl_json_enum!(LayoutStyle { StandardCell, GateArray, FullCustom });
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A fabrication node: maps the technology-independent units (GE, τ) of the
 /// cell library to physical area (µm²) and delay (ns).
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The presets follow classical constant-field scaling anchored at the
 /// 0.35 µm node of the paper's case study: area per gate ∝ λ², gate delay
 /// ∝ λ, supply voltage dropping at finer geometries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricationNode {
     name: String,
     feature_nm: u32,
@@ -116,6 +115,8 @@ impl fmt::Display for FabricationNode {
         write!(f, "{}", self.name)
     }
 }
+
+foundation::impl_json_struct!(FabricationNode { name, feature_nm, ge_um2, tau_ns, vdd });
 
 #[cfg(test)]
 mod tests {

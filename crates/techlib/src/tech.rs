@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{CellKind, CellLibrary, CellModel, FabricationNode, LayoutStyle};
 
@@ -19,7 +18,7 @@ use crate::{CellKind, CellLibrary, CellModel, FabricationNode, LayoutStyle};
 /// let reg_area = t.cell_area_um2(CellKind::Dff) * 64.0;
 /// assert!(reg_area > 1000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     node: FabricationNode,
     layout: LayoutStyle,
@@ -102,6 +101,8 @@ impl fmt::Display for Technology {
         write!(f, "{} {}", self.node, self.layout)
     }
 }
+
+foundation::impl_json_struct!(Technology { node, layout, cells });
 
 #[cfg(test)]
 mod tests {

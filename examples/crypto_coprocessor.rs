@@ -14,8 +14,7 @@ use design_space_layer::coproc::walkthrough::{self, architecture_from_core};
 use design_space_layer::coproc::{rsa, ModExp};
 use design_space_layer::dse::eval::FigureOfMerit;
 use design_space_layer::techlib::Technology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = KocSpec::paper();

@@ -13,8 +13,7 @@ use design_space_layer::coproc::{ExpMethod, ModExp};
 use design_space_layer::dse::prelude::*;
 use design_space_layer::dse_library::crypto;
 use design_space_layer::hwmodel::paper_designs;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The layer view: the Exponentiator CDO carries the WindowBits

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Hermetic verification: the workspace must build, test and regenerate the
+# paper's tables entirely offline (no crates.io access, no network).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> regenerating tables_output.txt"
+cargo run --release --offline -p bench --bin tables -- all > tables_output.txt
+
+echo "verify: OK"

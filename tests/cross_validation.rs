@@ -9,8 +9,7 @@ use design_space_layer::hwmodel::{paper_designs, sim};
 use design_space_layer::swmodel::{
     MontgomeryVariant, OpCounts, ProcessorModel, SoftwareRoutine, WordMontgomery,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use foundation::rng::{SeedableRng, StdRng};
 
 fn odd_modulus(bits: u32, rng: &mut StdRng) -> UBig {
     let mut m = uniform_below(&UBig::power_of_two(bits), rng);

@@ -33,10 +33,10 @@ fn crypto_library_roundtrips_through_json() {
 }
 
 #[test]
-fn crypto_layer_roundtrips_through_serde() {
+fn crypto_layer_roundtrips_through_json() {
     let layer = crypto::build_layer().unwrap();
-    let json = serde_json::to_string(&layer.space).unwrap();
-    let back: DesignSpace = serde_json::from_str(&json).unwrap();
+    let json = foundation::json::encode(&layer.space);
+    let back: DesignSpace = foundation::json::decode(&json).unwrap();
     assert_eq!(layer.space, back);
     // The restored layer is structurally sound and navigable.
     assert!(back.validate().is_empty());
@@ -50,10 +50,10 @@ fn crypto_layer_roundtrips_through_serde() {
 fn idct_layers_roundtrip_and_stay_distinct() {
     let gen = idct::build_layer_generalization().unwrap();
     let abs = idct::build_layer_abstraction().unwrap();
-    let gen_json = serde_json::to_string(&gen.space).unwrap();
-    let abs_json = serde_json::to_string(&abs.space).unwrap();
+    let gen_json = foundation::json::encode(&gen.space);
+    let abs_json = foundation::json::encode(&abs.space);
     assert_ne!(gen_json, abs_json, "the two organisations differ");
-    let gen_back: DesignSpace = serde_json::from_str(&gen_json).unwrap();
+    let gen_back: DesignSpace = foundation::json::decode(&gen_json).unwrap();
     assert_eq!(gen.space, gen_back);
 }
 

@@ -7,7 +7,7 @@ use design_space_layer::dse::prelude::*;
 use design_space_layer::dse_library::{CoreRecord, Explorer, ReuseLibrary};
 use design_space_layer::hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
 use design_space_layer::techlib::Technology;
-use proptest::prelude::*;
+use foundation::check::{self, Gen};
 
 /// A small two-issue layer for generated-library tests.
 fn two_issue_space() -> (DesignSpace, CdoId) {
@@ -27,130 +27,145 @@ fn two_issue_space() -> (DesignSpace, CdoId) {
     (s, root)
 }
 
-prop_compose! {
-    fn arb_core(idx: usize)
-        (style in 0..2usize, width in 0..3usize, area in 1.0f64..1000.0, delay in 1.0f64..1000.0)
-        -> CoreRecord
-    {
-        CoreRecord::new(format!("core{idx}"), "gen", "")
-            .bind("Style", ["A", "B"][style])
-            .bind("Width", [8i64, 16, 32][width])
-            .merit(FigureOfMerit::AreaUm2, area)
-            .merit(FigureOfMerit::DelayNs, delay)
-    }
+fn arb_core(g: &mut Gen, idx: usize) -> CoreRecord {
+    CoreRecord::new(format!("core{idx}"), "gen", "")
+        .bind("Style", *g.choose(&["A", "B"]))
+        .bind("Width", *g.choose(&[8i64, 16, 32]))
+        .merit(FigureOfMerit::AreaUm2, g.f64_in(1.0, 1000.0))
+        .merit(FigureOfMerit::DelayNs, g.f64_in(1.0, 1000.0))
 }
 
-fn arb_library() -> impl Strategy<Value = ReuseLibrary> {
-    prop::collection::vec(0..100usize, 1..30).prop_flat_map(|idxs| {
-        let cores: Vec<_> = idxs.iter().map(|&i| arb_core(i)).collect();
-        cores.prop_map(|cores| {
-            let mut lib = ReuseLibrary::new("generated");
-            lib.extend(cores);
-            lib
-        })
-    })
+fn arb_library(g: &mut Gen) -> ReuseLibrary {
+    let n = g.usize_in(1, 30);
+    let mut lib = ReuseLibrary::new("generated");
+    lib.extend((0..n).map(|i| arb_core(g, i)));
+    lib
 }
 
-proptest! {
-    #[test]
-    fn pruning_is_monotone(lib in arb_library(), style in 0..2usize, width in 0..3usize) {
+#[test]
+fn pruning_is_monotone() {
+    check::run("pruning_is_monotone", |g| {
+        let lib = arb_library(g);
+        let style = *g.choose(&["A", "B"]);
+        let width = *g.choose(&[8i64, 16, 32]);
         let (space, root) = two_issue_space();
         let mut exp = Explorer::new(&space, root, &lib);
         let n0 = exp.surviving_cores().len();
-        exp.session.decide("Style", Value::from(["A", "B"][style])).unwrap();
+        exp.session.decide("Style", Value::from(style)).unwrap();
         let n1 = exp.surviving_cores().len();
-        exp.session.decide("Width", Value::from([8i64, 16, 32][width])).unwrap();
+        exp.session.decide("Width", Value::from(width)).unwrap();
         let n2 = exp.surviving_cores().len();
-        prop_assert!(n1 <= n0);
-        prop_assert!(n2 <= n1);
+        assert!(n1 <= n0);
+        assert!(n2 <= n1);
         // Every survivor really complies.
         for c in exp.surviving_cores() {
-            prop_assert!(c.binding("Style") == Some(&Value::from(["A", "B"][style])));
-            prop_assert!(c.binding("Width") == Some(&Value::from([8i64, 16, 32][width])));
+            assert!(c.binding("Style") == Some(&Value::from(style)));
+            assert!(c.binding("Width") == Some(&Value::from(width)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn pareto_front_is_sound_and_complete(lib in arb_library()) {
+#[test]
+fn pareto_front_is_sound_and_complete() {
+    check::run("pareto_front_is_sound_and_complete", |g| {
+        let lib = arb_library(g);
         let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
         let space: EvaluationSpace = lib.cores().iter().map(|c| c.eval_point()).collect();
         let front = space.pareto_front(&merits);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         // No front member dominates another.
         for &i in &front {
             for &j in &front {
                 if i != j {
-                    prop_assert!(!space.points()[i].dominates(&space.points()[j], &merits));
+                    assert!(!space.points()[i].dominates(&space.points()[j], &merits));
                 }
             }
         }
         // Every non-member is dominated by some member.
         for i in 0..space.len() {
             if !front.contains(&i) {
-                prop_assert!(
-                    front.iter().any(|&f| space.points()[f].dominates(&space.points()[i], &merits)),
+                assert!(
+                    front
+                        .iter()
+                        .any(|&f| space.points()[f].dominates(&space.points()[i], &merits)),
                     "point {i} neither on the front nor dominated"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ranges_cover_every_survivor(lib in arb_library()) {
+#[test]
+fn ranges_cover_every_survivor() {
+    check::run("ranges_cover_every_survivor", |g| {
+        let lib = arb_library(g);
         let (space, root) = two_issue_space();
         let exp = Explorer::new(&space, root, &lib);
         let (lo, hi) = exp.merit_range(&FigureOfMerit::AreaUm2).unwrap();
         for c in exp.surviving_cores() {
             let a = c.merit_value(&FigureOfMerit::AreaUm2).unwrap();
-            prop_assert!(a >= lo && a <= hi);
+            assert!(a >= lo && a <= hi);
         }
-    }
+    });
+}
 
-    #[test]
-    fn session_undo_restores_everything(
-        decisions in prop::collection::vec((0..2usize, 0..3usize), 1..4)
-    ) {
+#[test]
+fn session_undo_restores_everything() {
+    check::run("session_undo_restores_everything", |g| {
+        let first = (g.usize_in(0, 2), g.usize_in(0, 3));
         let (space, root) = two_issue_space();
         let mut ses = ExplorationSession::new(&space, root);
         // Apply the first decision pair, snapshot, apply/undo the rest.
-        ses.decide("Style", Value::from(["A", "B"][decisions[0].0])).unwrap();
+        ses.decide("Style", Value::from(["A", "B"][first.0])).unwrap();
         let snapshot_bindings = ses.bindings().clone();
         let snapshot_focus = ses.focus();
         if ses.decided("Width").is_none() {
-            ses.decide("Width", Value::from([8i64, 16, 32][decisions[0].1])).unwrap();
+            ses.decide("Width", Value::from([8i64, 16, 32][first.1]))
+                .unwrap();
             ses.undo().unwrap();
         }
-        prop_assert_eq!(ses.bindings(), &snapshot_bindings);
-        prop_assert_eq!(ses.focus(), snapshot_focus);
-    }
+        assert_eq!(ses.bindings(), &snapshot_bindings);
+        assert_eq!(ses.focus(), snapshot_focus);
+    });
+}
 
-    #[test]
-    fn estimator_is_monotone_in_operand_length(
-        exp_small in 1u32..4, extra in 1u32..4
-    ) {
+#[test]
+fn estimator_is_monotone_in_operand_length() {
+    check::run("estimator_is_monotone_in_operand_length", |g| {
+        let exp_small = g.u32_in(1, 4);
+        let extra = g.u32_in(1, 4);
         let tech = Technology::g10_035();
         let arch = ModMulArchitecture::new(
-            Algorithm::Montgomery, 2, 8, AdderKind::CarrySave, DigitMultiplierKind::AndRow,
-        ).unwrap();
+            Algorithm::Montgomery,
+            2,
+            8,
+            AdderKind::CarrySave,
+            DigitMultiplierKind::AndRow,
+        )
+        .unwrap();
         let eol_small = 8 * (1 << exp_small);
         let eol_big = eol_small * (1 << extra);
         let small = arch.estimate(eol_small, &tech);
         let big = arch.estimate(eol_big, &tech);
-        prop_assert!(big.area_um2 > small.area_um2);
-        prop_assert!(big.latency_ns > small.latency_ns);
-        prop_assert!(big.cycles > small.cycles);
-    }
+        assert!(big.area_um2 > small.area_um2);
+        assert!(big.latency_ns > small.latency_ns);
+        assert!(big.cycles > small.cycles);
+    });
+}
 
-    #[test]
-    fn clustering_partitions_all_points(lib in arb_library(), t in 0.05f64..0.9) {
+#[test]
+fn clustering_partitions_all_points() {
+    check::run("clustering_partitions_all_points", |g| {
+        let lib = arb_library(g);
+        let t = g.f64_in(0.05, 0.9);
         let merits = [FigureOfMerit::AreaUm2, FigureOfMerit::DelayNs];
         let space: EvaluationSpace = lib.cores().iter().map(|c| c.eval_point()).collect();
         let clusters = space.cluster(&merits, t);
         let mut seen: Vec<usize> = clusters.into_iter().flatten().collect();
         seen.sort_unstable();
         let expect: Vec<usize> = (0..space.len()).collect();
-        prop_assert_eq!(seen, expect, "clusters must partition the index set");
-    }
+        assert_eq!(seen, expect, "clusters must partition the index set");
+    });
 }
 
 mod session_invariants {
@@ -189,13 +204,12 @@ mod session_invariants {
         (s, root)
     }
 
-    proptest! {
-        #[test]
-        fn accepted_decisions_always_satisfy_all_constraints(
-            n in 1i64..100,
-            a in 0usize..2,
-            b in 0usize..2,
-        ) {
+    #[test]
+    fn accepted_decisions_always_satisfy_all_constraints() {
+        check::run("accepted_decisions_always_satisfy_all_constraints", |g| {
+            let n = g.i64_in(1, 100);
+            let a = g.usize_in(0, 2);
+            let b = g.usize_in(0, 2);
             let (s, root) = constrained_space();
             let mut ses = ExplorationSession::new(&s, root);
             ses.set_requirement("N", Value::Int(n)).unwrap();
@@ -204,7 +218,7 @@ mod session_invariants {
             // Regardless of which decisions were accepted or rejected, the
             // surviving binding set violates nothing.
             for (name, outcome) in ses.diagnostics() {
-                prop_assert!(
+                assert!(
                     !matches!(outcome, ConstraintOutcome::Violated { .. }),
                     "{name} violated with bindings {:?}",
                     ses.bindings()
@@ -212,9 +226,9 @@ mod session_invariants {
             }
             // And the ordering rule held: B decided implies A decided first.
             if ses.decided("B").is_some() {
-                prop_assert!(ses.decided("A").is_some() || ses.decided("N").is_some());
+                assert!(ses.decided("A").is_some() || ses.decided("N").is_some());
             }
-        }
+        });
     }
 }
 

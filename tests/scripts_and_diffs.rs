@@ -21,8 +21,8 @@ fn section5_session_roundtrips_through_a_script() {
         .unwrap();
 
     let script = SessionScript::capture(&ses);
-    let json = serde_json::to_string_pretty(&script).unwrap();
-    let restored: SessionScript = serde_json::from_str(&json).unwrap();
+    let json = foundation::json::encode_pretty(&script);
+    let restored: SessionScript = foundation::json::decode(&json).unwrap();
 
     let replayed = restored.replay(&layer.space, layer.omm).unwrap();
     assert_eq!(replayed.bindings(), ses.bindings());
@@ -54,10 +54,8 @@ fn replay_against_a_stricter_layer_fails_at_the_right_decision() {
     let mut script = SessionScript::capture(&ses);
     // Simulate the archived script being reused for a 768-bit project:
     // rewrite the EOL entry (scripts are plain data).
-    let json = serde_json::to_string(&script)
-        .unwrap()
-        .replace("{\"Int\":16}", "{\"Int\":768}");
-    script = serde_json::from_str(&json).unwrap();
+    let json = foundation::json::encode(&script).replace("{\"Int\":[16]}", "{\"Int\":[768]}");
+    script = foundation::json::decode(&json).unwrap();
 
     let err = script.replay(&layer.space, layer.omm).unwrap_err();
     assert!(
