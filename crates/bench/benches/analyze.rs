@@ -1,0 +1,6 @@
+//! Benchmarks of the static space analyzer: shipped-layer verification
+//! and a synthetic ~1.4k-CDO stress space.
+
+fn main() {
+    bench::suites::analyze().finish();
+}

@@ -1,5 +1,5 @@
 //! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
-//! combining the `bignum_ops` and `exploration` suites.
+//! combining the `bignum_ops`, `exploration` and `analyze` suites.
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline            # writes BENCH_baseline.json
@@ -15,7 +15,11 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
 
-    let suites = [bench::suites::bignum_ops(), bench::suites::exploration()];
+    let suites = [
+        bench::suites::bignum_ops(),
+        bench::suites::exploration(),
+        bench::suites::analyze(),
+    ];
     let reports: Vec<_> = suites.iter().map(|h| h.report_json()).collect();
     for h in &suites {
         print!(

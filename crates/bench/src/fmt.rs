@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn number_formatting_tiers() {
         assert_eq!(num(0.0), "0");
-        assert_eq!(num(3.14159), "3.14");
+        assert_eq!(num(3.17159), "3.17");
         assert_eq!(num(42.42), "42.4");
         assert_eq!(num(12345.6), "12346");
     }

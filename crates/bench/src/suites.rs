@@ -189,3 +189,102 @@ pub fn paper_artifacts() -> Harness {
     });
     h
 }
+
+/// The static analyzer (`dse::analyze`): full-space verification of the
+/// shipped crypto layer, plus a synthetic ~1.4k-CDO space that stresses
+/// the per-node passes (derivation graph, domain enumeration, hierarchy
+/// checks) at a scale no shipped layer reaches.
+pub fn analyze() -> Harness {
+    use dse::constraint::{ConsistencyConstraint, Fidelity, Relation};
+    use dse::expr::{Expr, Pred};
+    use dse::hierarchy::DesignSpace;
+    use dse::property::Property;
+    use dse::value::Domain;
+
+    /// A uniform tree: each node down to `depth` carries a generalized
+    /// issue with `arity` options, each spawning a child. With
+    /// `arity = 4, depth = 5` that is 1365 CDOs.
+    fn synthetic_space(arity: usize, depth: usize) -> DesignSpace {
+        let mut s = DesignSpace::new("synthetic");
+        let root = s.add_root("Root", "");
+        let mut frontier = vec![root];
+        for level in 0..depth {
+            let issue = format!("L{level}");
+            let options: Vec<String> = (0..arity).map(|o| format!("o{o}")).collect();
+            let mut next = Vec::with_capacity(frontier.len() * arity);
+            for &node in &frontier {
+                s.add_property(
+                    node,
+                    Property::generalized_issue(&issue, Domain::options(options.clone()), ""),
+                )
+                .expect("fresh issue per level");
+                next.extend(s.specialize(node, &issue).expect("enumerable issue"));
+            }
+            frontier = next;
+        }
+        // A derivation chain and two option constraints for the domain
+        // passes to chew on.
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCderive",
+                "",
+                ["L0".to_owned()],
+                ["Depth".to_owned()],
+                Relation::Quantitative {
+                    target: "Depth".to_owned(),
+                    formula: Expr::constant(1),
+                    fidelity: Fidelity::Exact,
+                },
+            ),
+        )
+        .expect("well-formed");
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCpair",
+                "",
+                ["L0".to_owned(), "L1".to_owned()],
+                [],
+                Relation::InconsistentOptions(Pred::all([
+                    Pred::is("L0", "o0"),
+                    Pred::is("L1", "o1"),
+                ])),
+            ),
+        )
+        .expect("well-formed");
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCdom",
+                "",
+                ["L0".to_owned(), "L1".to_owned()],
+                [],
+                Relation::Dominance(Pred::all([
+                    Pred::is("L0", "o1"),
+                    Pred::is("L1", "o0"),
+                ])),
+            ),
+        )
+        .expect("well-formed");
+        s
+    }
+
+    let mut h = Harness::new("analyze");
+    let layer = crypto::build_layer().expect("layer builds");
+    h.bench("analyze/crypto_layer", || {
+        black_box(dse::analyze::analyze(black_box(&layer.space)));
+    });
+    let synthetic = synthetic_space(4, 5);
+    assert_eq!(synthetic.len(), 1365);
+    h.bench("analyze/synthetic_1365_cdos", || {
+        black_box(dse::analyze::analyze(black_box(&synthetic)));
+    });
+    h.bench("analyze/evaluation_order_crypto", || {
+        black_box(
+            dse::analyze::evaluation_order(black_box(&layer.space), layer.omm)
+                .expect("crypto space is acyclic"),
+        );
+    });
+    h
+}

@@ -131,10 +131,10 @@ mod tests {
                 let (ba, bb) = (UBig::from(a), UBig::from(b));
                 assert_eq!((&ba + &bb).to_u64(), Some(a + b));
                 assert_eq!((&ba * &bb).to_u64(), Some(a * b));
-                if b != 0 {
+                if let (Some(qq), Some(rr)) = (a.checked_div(b), a.checked_rem(b)) {
                     let (q, r) = ba.div_rem(&bb);
-                    assert_eq!(q.to_u64(), Some(a / b));
-                    assert_eq!(r.to_u64(), Some(a % b));
+                    assert_eq!(q.to_u64(), Some(qq));
+                    assert_eq!(r.to_u64(), Some(rr));
                 }
             }
         }

@@ -83,6 +83,17 @@ pub fn architecture_from_core(core: &CoreRecord) -> Option<ModMulArchitecture> {
 /// candidate list rather than an error.
 pub fn run(spec: &KocSpec, tech: &Technology) -> Result<WalkthroughReport, DseError> {
     let layer = crypto::build_layer()?;
+    // Statically verify the layer before exploring it: a space the
+    // analyzer rejects would misbehave mid-session (dead options,
+    // derivation cycles), so fail fast with the rendered error list.
+    let report = dse::analyze::analyze(&layer.space);
+    if report.has_errors() {
+        let detail: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+        return Err(DseError::SpaceRejected {
+            space: layer.space.name().to_owned(),
+            detail: detail.join("; "),
+        });
+    }
     let library = crypto::build_library(tech, spec.eol);
     run_with_library(spec, tech, &layer, &library)
 }

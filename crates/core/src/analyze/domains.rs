@@ -1,0 +1,463 @@
+//! Domain (abstract-interval) checks — DSL005 / DSL006 / DSL008 / DSL009.
+//!
+//! These passes enumerate the finitely enumerable domains a predicate
+//! touches and evaluate the predicate over every combination. A
+//! constraint that fires on *every* combination is a contradiction; a
+//! design-issue option for which *no* combination survives is dead; a
+//! spawned child CDO whose inherited option bindings leave no surviving
+//! combination is unreachable.
+//!
+//! Soundness: a constraint is only analyzed when every property it
+//! references is either fixed by the region's inherited bindings or has
+//! an enumerable domain (`Enumeration`, `Flag`, `PowersOfTwo`, or an
+//! integer range no wider than [`MAX_INT_RANGE_SPAN`]), and the joint
+//! combination count stays below [`MAX_COMBINATIONS`]. Anything else is
+//! skipped, never guessed at — so these checks produce no false errors
+//! on spaces with open-ended requirement domains.
+
+use crate::constraint::Relation;
+use crate::diag::{DiagCode, Diagnostic, Report, Span};
+use crate::expr::{Bindings, Pred};
+use crate::hierarchy::{CdoId, DesignSpace};
+use crate::property::PropertyKind;
+use crate::value::{Domain, Value};
+
+/// Combination-count cap for exhaustive predicate enumeration.
+pub(crate) const MAX_COMBINATIONS: usize = 4096;
+
+/// Widest integer range the analyzer will enumerate.
+pub(crate) const MAX_INT_RANGE_SPAN: i64 = 64;
+
+/// The finitely enumerable values of a domain, from the analyzer's point
+/// of view (adds small integer ranges to `Domain::enumerate`).
+fn enumerable(domain: &Domain) -> Option<Vec<Value>> {
+    if let Some(vs) = domain.enumerate() {
+        return Some(vs);
+    }
+    if let Domain::IntRange { min, max } = domain {
+        let span = max.checked_sub(*min)?;
+        if (0..=MAX_INT_RANGE_SPAN).contains(&span) {
+            return Some((*min..=*max).map(Value::Int).collect());
+        }
+    }
+    None
+}
+
+/// An odometer over `axes`, yielding each joint assignment merged over
+/// `fixed`.
+struct Combos<'a> {
+    axes: &'a [(String, Vec<Value>)],
+    idx: Vec<usize>,
+    fixed: &'a Bindings,
+    done: bool,
+}
+
+impl<'a> Combos<'a> {
+    fn new(axes: &'a [(String, Vec<Value>)], fixed: &'a Bindings) -> Combos<'a> {
+        Combos {
+            axes,
+            idx: vec![0; axes.len()],
+            fixed,
+            done: false,
+        }
+    }
+
+    fn total(axes: &[(String, Vec<Value>)]) -> Option<usize> {
+        axes.iter()
+            .try_fold(1usize, |acc, (_, vs)| acc.checked_mul(vs.len()))
+    }
+}
+
+impl Iterator for Combos<'_> {
+    type Item = Bindings;
+
+    fn next(&mut self) -> Option<Bindings> {
+        if self.done {
+            return None;
+        }
+        let mut b = self.fixed.clone();
+        for (i, (name, vs)) in self.axes.iter().enumerate() {
+            b.insert(name.clone(), vs[self.idx[i]].clone());
+        }
+        // Advance the odometer.
+        self.done = true;
+        for (i, (_, vs)) in self.axes.iter().enumerate() {
+            self.idx[i] += 1;
+            if self.idx[i] < vs.len() {
+                self.done = false;
+                break;
+            }
+            self.idx[i] = 0;
+        }
+        Some(b)
+    }
+}
+
+/// Builds the enumeration axes for `refs` as seen from `anchor`, minus
+/// the names already fixed. Returns `None` when any unfixed reference has
+/// an unknown or non-enumerable domain, or the joint count exceeds the
+/// cap — the caller must skip the check.
+fn axes_for(
+    space: &DesignSpace,
+    anchor: CdoId,
+    refs: impl IntoIterator<Item = String>,
+    fixed: &Bindings,
+) -> Option<Vec<(String, Vec<Value>)>> {
+    let mut axes: Vec<(String, Vec<Value>)> = Vec::new();
+    for r in refs {
+        if fixed.contains_key(&r) || axes.iter().any(|(n, _)| *n == r) {
+            continue;
+        }
+        let domain = super::domain_at(space, anchor, &r)?;
+        axes.push((r, enumerable(domain)?));
+    }
+    if Combos::total(&axes)? > MAX_COMBINATIONS {
+        return None;
+    }
+    Some(axes)
+}
+
+/// The region bindings at `id`: every `(issue, option)` accumulated along
+/// the spawned-by chain.
+fn region_bindings(space: &DesignSpace, id: CdoId) -> Bindings {
+    space.inherited_bindings(id).into_iter().collect()
+}
+
+/// Whether any constraint in `preds` fires (eliminates) under `b`.
+fn eliminated(preds: &[(&str, &Pred)], b: &Bindings) -> bool {
+    preds.iter().any(|(_, p)| p.eval(b) == Ok(true))
+}
+
+pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
+    contradictions_and_hints(space, report);
+    dead_options(space, report);
+    unreachable_children(space, report);
+}
+
+// ---------------------------------------------------------------------
+// DSL005 (contradiction) and DSL009 (dominance pre-pass hint).
+// ---------------------------------------------------------------------
+
+fn contradictions_and_hints(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let fixed = region_bindings(space, id);
+        for c in node.own_constraints() {
+            let Some(pred) = super::constraint_pred(c) else {
+                continue;
+            };
+            let Some(axes) = axes_for(space, id, pred.references(), &fixed) else {
+                continue;
+            };
+            let mut firing = 0usize;
+            let mut total = 0usize;
+            for b in Combos::new(&axes, &fixed) {
+                total += 1;
+                if pred.eval(&b) == Ok(true) {
+                    firing += 1;
+                }
+            }
+            if total == 0 {
+                continue;
+            }
+            let span = Span::at(space.path_string(id)).constraint(c.name());
+            if firing == total {
+                report.push(Diagnostic::new(
+                    DiagCode::Contradiction,
+                    span,
+                    format!(
+                        "every one of the {total} combinations of its enumerable options violates this constraint"
+                    ),
+                ));
+            } else if firing > 0 && matches!(c.relation(), Relation::Dominance(_)) {
+                report.push(Diagnostic::new(
+                    DiagCode::DominanceHint,
+                    span,
+                    format!(
+                        "{firing} of {total} option combinations are statically dominated and can be pre-eliminated"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DSL006: dead design-issue options.
+// ---------------------------------------------------------------------
+
+fn dead_options(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let fixed = region_bindings(space, id);
+        for prop in node.own_properties() {
+            if !matches!(
+                prop.kind(),
+                PropertyKind::DesignIssue | PropertyKind::GeneralizedIssue
+            ) {
+                continue;
+            }
+            let Some(options) = enumerable(prop.domain()) else {
+                continue;
+            };
+            // Constraints that can eliminate combinations involving this
+            // issue: every pred-relation constraint effective at `id`
+            // that references the issue and whose other references are
+            // all enumerable or fixed.
+            let effective = space.effective_constraints(id);
+            let applicable: Vec<(&str, &Pred)> = effective
+                .iter()
+                .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p)))
+                .filter(|(_, p)| p.references().iter().any(|r| r == prop.name()))
+                .collect();
+            if applicable.is_empty() {
+                continue;
+            }
+            let joint_refs: Vec<String> = applicable
+                .iter()
+                .flat_map(|(_, p)| p.references())
+                .filter(|r| r != prop.name())
+                .collect();
+            let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
+                continue;
+            };
+            for option in &options {
+                let mut fixed_opt = fixed.clone();
+                fixed_opt.insert(prop.name().to_owned(), option.clone());
+                let survives = Combos::new(&axes, &fixed_opt).any(|b| !eliminated(&applicable, &b));
+                if !survives {
+                    let names: Vec<&str> = applicable.iter().map(|(n, _)| *n).collect();
+                    report.push(Diagnostic::new(
+                        DiagCode::DeadOption,
+                        Span::at(space.path_string(id)).property(prop.name()),
+                        format!(
+                            "option {option} of {:?} is dead: every combination is eliminated (constraints {})",
+                            prop.name(),
+                            names.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DSL008: unreachable spawned children (option statically eliminated).
+// ---------------------------------------------------------------------
+
+fn unreachable_children(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let Some((issue, option)) = node.spawned_by() else {
+            continue;
+        };
+        let fixed = region_bindings(space, id);
+        let effective = space.effective_constraints(id);
+        // Retain every pred constraint whose references the region can
+        // enumerate; constraints touching open domains are dropped
+        // (fewer eliminations can only under-report unreachability).
+        let preds: Vec<(&str, &Pred)> = effective
+            .iter()
+            .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p)))
+            .filter(|(_, p)| {
+                p.references().iter().all(|r| {
+                    fixed.contains_key(r)
+                        || super::domain_at(space, id, r)
+                            .map(|d| enumerable(d).is_some())
+                            .unwrap_or(false)
+                })
+            })
+            .collect();
+        if preds.is_empty() {
+            continue;
+        }
+        let joint_refs: Vec<String> = preds.iter().flat_map(|(_, p)| p.references()).collect();
+        let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
+            continue;
+        };
+        let survives = Combos::new(&axes, &fixed).any(|b| !eliminated(&preds, &b));
+        if !survives {
+            let names: Vec<&str> = preds.iter().map(|(n, _)| *n).collect();
+            report.push(Diagnostic::new(
+                DiagCode::UnreachableChild,
+                Span::at(space.path_string(id)).property(issue),
+                format!(
+                    "unreachable: spawning option {issue} = {option} is statically eliminated (constraints {})",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::constraint::ConsistencyConstraint;
+    use crate::property::Property;
+
+    fn issue_space() -> (DesignSpace, CdoId) {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        s.add_property(
+            root,
+            Property::issue("Style", Domain::options(["A", "B"]), ""),
+        )
+        .unwrap();
+        s.add_property(
+            root,
+            Property::issue("Mode", Domain::options(["x", "y"]), ""),
+        )
+        .unwrap();
+        (s, root)
+    }
+
+    fn cc(name: &str, pred: Pred) -> ConsistencyConstraint {
+        let refs = pred.references();
+        ConsistencyConstraint::new(name, "", refs, [], Relation::InconsistentOptions(pred))
+    }
+
+    #[test]
+    fn contradiction_when_every_combination_fires() {
+        let (mut s, root) = issue_space();
+        s.add_constraint(
+            root,
+            cc(
+                "CCdead",
+                Pred::any([Pred::is("Style", "A"), Pred::is_not("Style", "A")]),
+            ),
+        )
+        .unwrap();
+        let r = analyze(&s);
+        assert!(r
+            .errors()
+            .any(|d| d.code == DiagCode::Contradiction && d.span.constraint.as_deref() == Some("CCdead")));
+    }
+
+    #[test]
+    fn near_miss_partial_elimination_is_not_a_contradiction() {
+        let (mut s, root) = issue_space();
+        s.add_constraint(root, cc("CCok", Pred::is("Style", "A")))
+            .unwrap();
+        let r = analyze(&s);
+        assert!(!r.diagnostics().iter().any(|d| d.code == DiagCode::Contradiction));
+    }
+
+    #[test]
+    fn dead_option_when_all_combinations_eliminate_it() {
+        let (mut s, root) = issue_space();
+        // Style = B is inconsistent with both Mode options → B is dead.
+        s.add_constraint(
+            root,
+            cc(
+                "CCb",
+                Pred::all([Pred::is("Style", "B"), Pred::any([
+                    Pred::is("Mode", "x"),
+                    Pred::is("Mode", "y"),
+                ])]),
+            ),
+        )
+        .unwrap();
+        let r = analyze(&s);
+        let dead: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::DeadOption)
+            .collect();
+        assert_eq!(dead.len(), 1, "{r}");
+        assert!(dead[0].message.contains("option B"));
+    }
+
+    #[test]
+    fn near_miss_option_with_an_escape_is_alive() {
+        let (mut s, root) = issue_space();
+        // Style = B only clashes with Mode = x; Mode = y rescues it.
+        s.add_constraint(
+            root,
+            cc("CCb", Pred::all([Pred::is("Style", "B"), Pred::is("Mode", "x")])),
+        )
+        .unwrap();
+        let r = analyze(&s);
+        assert!(!r.diagnostics().iter().any(|d| d.code == DiagCode::DeadOption), "{r}");
+    }
+
+    #[test]
+    fn unreachable_child_of_an_eliminated_option() {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        s.add_constraint(root, cc("CCkill", Pred::is("Style", "B"))).unwrap();
+        let r = analyze(&s);
+        let hit: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::UnreachableChild)
+            .collect();
+        assert_eq!(hit.len(), 1, "{r}");
+        assert!(hit[0].span.path.ends_with(".B"));
+    }
+
+    #[test]
+    fn open_domains_are_skipped_not_guessed() {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        s.add_property(
+            root,
+            Property::requirement("EOL", Domain::int_range(8, 4096), None, ""),
+        )
+        .unwrap();
+        s.add_property(
+            root,
+            Property::issue("Style", Domain::options(["A", "B"]), ""),
+        )
+        .unwrap();
+        // References a 4089-value range: the analyzer must skip, not err.
+        s.add_constraint(
+            root,
+            cc(
+                "CCwide",
+                Pred::all([
+                    Pred::is("Style", "A"),
+                    Pred::cmp(
+                        crate::expr::CmpOp::Ge,
+                        crate::expr::Expr::prop("EOL"),
+                        crate::expr::Expr::constant(0),
+                    ),
+                ]),
+            ),
+        )
+        .unwrap();
+        let r = analyze(&s);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn small_int_ranges_are_enumerated() {
+        assert_eq!(
+            enumerable(&Domain::int_range(1, 3)),
+            Some(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(enumerable(&Domain::int_range(0, MAX_INT_RANGE_SPAN + 1)), None);
+        assert_eq!(enumerable(&Domain::real_up_to(5.0)), None);
+        assert_eq!(enumerable(&Domain::int_range(i64::MIN, i64::MAX)), None);
+    }
+
+    #[test]
+    fn combination_cap_bounds_the_search() {
+        let axes: Vec<(String, Vec<Value>)> = (0..4)
+            .map(|i| {
+                (
+                    format!("p{i}"),
+                    (0..9).map(Value::Int).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        assert_eq!(Combos::total(&axes), Some(6561));
+        let fixed = Bindings::new();
+        assert_eq!(Combos::new(&axes, &fixed).count(), 6561);
+    }
+}

@@ -1,0 +1,278 @@
+//! The constraint dependency (derivation) graph — DSL003 / DSL004.
+//!
+//! Every consistency constraint orders its dependent set after its
+//! independent set, so the union of constraints induces a directed graph
+//! over property names. A cycle means no decision order can ever satisfy
+//! the ordering rule (the session deadlocks); a property derived by two
+//! quantitative relations in the same scope is ambiguous.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::constraint::ConsistencyConstraint;
+use crate::diag::{DiagCode, Diagnostic, Report, Span};
+use crate::hierarchy::DesignSpace;
+
+/// The dependency graph induced by a set of consistency constraints:
+/// nodes are property names, and each constraint contributes an edge
+/// `indep → dep` for every pair of its sets.
+#[derive(Debug, Clone, Default)]
+pub struct DerivationGraph {
+    nodes: BTreeSet<String>,
+    /// `indep → {dep}` ordering edges.
+    edges: BTreeMap<String, BTreeSet<String>>,
+    /// derived target → names of the relations producing it.
+    derivers: BTreeMap<String, Vec<String>>,
+}
+
+impl DerivationGraph {
+    /// Builds the graph from a constraint set.
+    pub fn from_constraints<'a>(
+        constraints: impl IntoIterator<Item = &'a ConsistencyConstraint>,
+    ) -> DerivationGraph {
+        let mut g = DerivationGraph::default();
+        for c in constraints {
+            for p in c.indep().iter().chain(c.dep().iter()) {
+                g.nodes.insert(p.clone());
+            }
+            for i in c.indep() {
+                for d in c.dep() {
+                    g.edges.entry(i.clone()).or_default().insert(d.clone());
+                }
+            }
+            if let Some(target) = super::derived_target(c) {
+                g.nodes.insert(target.to_owned());
+                g.derivers
+                    .entry(target.to_owned())
+                    .or_default()
+                    .push(c.name().to_owned());
+            }
+        }
+        g
+    }
+
+    /// Property names in the graph.
+    pub fn properties(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    /// Successors of `name` under the ordering edges.
+    pub fn dependents_of(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.edges
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// A topological order of all properties (Kahn's algorithm,
+    /// deterministic: ties broken alphabetically).
+    ///
+    /// # Errors
+    ///
+    /// Returns the set of properties trapped in cycles when no order
+    /// exists.
+    pub fn topo_order(&self) -> Result<Vec<String>, Vec<String>> {
+        let mut indegree: BTreeMap<&str, usize> =
+            self.nodes.iter().map(|n| (n.as_str(), 0)).collect();
+        for (_, deps) in self.edges.iter() {
+            for d in deps {
+                if let Some(e) = indegree.get_mut(d.as_str()) {
+                    *e += 1;
+                }
+            }
+        }
+        let mut ready: BTreeSet<&str> = indegree
+            .iter()
+            .filter(|(_, &deg)| deg == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(n);
+            order.push(n.to_owned());
+            if let Some(deps) = self.edges.get(n) {
+                for d in deps {
+                    let deg = indegree.get_mut(d.as_str()).expect("edge endpoints are nodes");
+                    *deg -= 1;
+                    if *deg == 0 {
+                        ready.insert(d.as_str());
+                    }
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Ok(order)
+        } else {
+            let placed: BTreeSet<&str> = order.iter().map(String::as_str).collect();
+            Err(self
+                .nodes
+                .iter()
+                .filter(|n| !placed.contains(n.as_str()))
+                .cloned()
+                .collect())
+        }
+    }
+
+    /// One explicit cycle path (`A → B → A`), if the graph has any.
+    pub fn find_cycle(&self) -> Option<Vec<String>> {
+        let cyclic: BTreeSet<String> = match self.topo_order() {
+            Ok(_) => return None,
+            Err(c) => c.into_iter().collect(),
+        };
+        // Walk successors inside the cyclic set until a node repeats.
+        let start = cyclic.iter().next()?.clone();
+        let mut path = vec![start.clone()];
+        let mut cur = start;
+        loop {
+            let next = self
+                .edges
+                .get(&cur)?
+                .iter()
+                .find(|d| cyclic.contains(*d))?
+                .clone();
+            if let Some(pos) = path.iter().position(|p| *p == next) {
+                let mut cycle = path[pos..].to_vec();
+                cycle.push(next);
+                return Some(cycle);
+            }
+            path.push(next.clone());
+            cur = next;
+        }
+    }
+
+    /// Targets produced by more than one quantitative/estimator relation,
+    /// with the offending relation names.
+    pub fn multiply_derived(&self) -> Vec<(&str, &[String])> {
+        self.derivers
+            .iter()
+            .filter(|(_, names)| names.len() > 1)
+            .map(|(t, names)| (t.as_str(), names.as_slice()))
+            .collect()
+    }
+}
+
+/// Runs the graph checks at every CDO that declares constraints, over its
+/// *effective* constraint set (own + inherited). A finding is attributed
+/// to a node only when one of the node's own constraints participates, so
+/// a defect among ancestor constraints is reported once, at the ancestor.
+pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        if node.own_constraints().is_empty() {
+            continue;
+        }
+        let own_names: BTreeSet<&str> =
+            node.own_constraints().iter().map(|c| c.name()).collect();
+        let effective = space.effective_constraints(id);
+        let g = DerivationGraph::from_constraints(effective.iter().map(|(_, c)| *c));
+
+        if let Some(cycle) = g.find_cycle() {
+            let cyclic: BTreeSet<&str> = cycle.iter().map(String::as_str).collect();
+            let participants: Vec<&str> = effective
+                .iter()
+                .map(|(_, c)| *c)
+                .filter(|c| {
+                    c.indep().iter().any(|p| cyclic.contains(p.as_str()))
+                        && c.dep().iter().any(|p| cyclic.contains(p.as_str()))
+                })
+                .map(|c| c.name())
+                .collect();
+            if participants.iter().any(|n| own_names.contains(n)) {
+                report.push(Diagnostic::new(
+                    DiagCode::DerivationCycle,
+                    Span::at(space.path_string(id)),
+                    format!(
+                        "ordering cycle {} (constraints {})",
+                        cycle.join(" → "),
+                        participants.join(", ")
+                    ),
+                ));
+            }
+        }
+
+        for (target, derivers) in g.multiply_derived() {
+            if derivers.iter().any(|n| own_names.contains(n.as_str())) {
+                report.push(Diagnostic::new(
+                    DiagCode::MultiplyDerived,
+                    Span::at(space.path_string(id)).property(target),
+                    format!(
+                        "{target:?} is derived by {} relations ({})",
+                        derivers.len(),
+                        derivers.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{Fidelity, Relation};
+    use crate::expr::{Expr, Pred};
+
+    fn quant(name: &str, indep: &[&str], target: &str) -> ConsistencyConstraint {
+        let formula = indep
+            .iter()
+            .map(|p| Expr::prop(*p))
+            .reduce(Expr::add)
+            .unwrap_or(Expr::constant(0));
+        ConsistencyConstraint::new(
+            name,
+            "",
+            indep.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+            [target.to_owned()],
+            Relation::Quantitative {
+                target: target.to_owned(),
+                formula,
+                fidelity: Fidelity::Exact,
+            },
+        )
+    }
+
+    #[test]
+    fn topo_order_respects_chains() {
+        let cs = [quant("C1", &["A"], "B"), quant("C2", &["B"], "C")];
+        let g = DerivationGraph::from_constraints(cs.iter());
+        let order = g.topo_order().unwrap();
+        assert_eq!(order, vec!["A", "B", "C"]);
+        assert!(g.find_cycle().is_none());
+        assert_eq!(g.dependents_of("A").collect::<Vec<_>>(), vec!["B"]);
+    }
+
+    #[test]
+    fn cycle_is_detected_with_a_path() {
+        let cs = [
+            quant("C1", &["A"], "B"),
+            quant("C2", &["B"], "C"),
+            quant("C3", &["C"], "A"),
+        ];
+        let g = DerivationGraph::from_constraints(cs.iter());
+        assert!(g.topo_order().is_err());
+        let cycle = g.find_cycle().unwrap();
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let c = ConsistencyConstraint::new(
+            "Cself",
+            "",
+            ["A".to_owned()],
+            ["A".to_owned()],
+            Relation::InconsistentOptions(Pred::is("A", 1)),
+        );
+        let g = DerivationGraph::from_constraints([&c]);
+        assert_eq!(g.topo_order().unwrap_err(), vec!["A".to_owned()]);
+    }
+
+    #[test]
+    fn multiply_derived_targets_are_listed() {
+        let cs = [quant("C1", &["A"], "T"), quant("C2", &["B"], "T")];
+        let g = DerivationGraph::from_constraints(cs.iter());
+        let md = g.multiply_derived();
+        assert_eq!(md.len(), 1);
+        assert_eq!(md[0].0, "T");
+        assert_eq!(md[0].1, ["C1".to_owned(), "C2".to_owned()]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Hierarchy checks — DSL007 / DSL008 (structural variant) / DSL010.
+//!
+//! The `add_property` API refuses duplicate names along the inheritance
+//! chain, but spaces loaded from JSON (or built by external tools) carry
+//! no such guarantee — the analyzer re-checks the invariants statically.
+
+use crate::diag::{DiagCode, Diagnostic, Report, Span};
+use crate::hierarchy::DesignSpace;
+use crate::property::PropertyKind;
+
+pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
+    shadowed_properties(space, report);
+    dangling_spawns(space, report);
+    unspecialized_options(space, report);
+}
+
+/// DSL007: a property re-declared at a descendant silently shadows the
+/// ancestor's declaration (nearest-wins lookup would hide the original
+/// domain and kind).
+fn shadowed_properties(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let Some(parent) = node.parent() else {
+            continue;
+        };
+        for p in node.own_properties() {
+            if let Some((owner, _)) = space.find_property(parent, p.name()) {
+                report.push(Diagnostic::new(
+                    DiagCode::ShadowedProperty,
+                    Span::at(space.path_string(id)).property(p.name()),
+                    format!(
+                        "re-declares {:?}, shadowing the declaration at {}",
+                        p.name(),
+                        space.path_string(owner)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// DSL008 (structural variant): a spawned child whose issue the parent
+/// does not declare, or whose spawning option is outside the issue's
+/// domain — either way the session can never descend into it.
+fn dangling_spawns(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let Some((issue, option)) = node.spawned_by() else {
+            continue;
+        };
+        let Some(parent) = node.parent() else {
+            continue;
+        };
+        match space.find_property(parent, issue) {
+            None => report.push(Diagnostic::new(
+                DiagCode::UnreachableChild,
+                Span::at(space.path_string(id)).property(issue),
+                format!("unreachable: spawned by {issue:?}, which no ancestor declares"),
+            )),
+            Some((_, prop)) => {
+                if !prop.domain().contains(option) {
+                    report.push(Diagnostic::new(
+                        DiagCode::UnreachableChild,
+                        Span::at(space.path_string(id)).property(issue),
+                        format!(
+                            "unreachable: spawning option {option} is outside the domain {} of {issue:?}",
+                            prop.domain()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// DSL010: a generalized issue that is *partially* specialized — some
+/// options have spawned children, others do not, so deciding a missing
+/// option would fail with `OptionNotSpecialized` mid-session. A fully
+/// unspecialized issue is taken as deliberate deferral and not flagged.
+fn unspecialized_options(space: &DesignSpace, report: &mut Report) {
+    for (id, node) in space.iter() {
+        let Some(issue) = node.generalized_issue() else {
+            continue;
+        };
+        let Some(prop) = node.own_properties().iter().find(|p| {
+            p.name() == issue && p.kind() == PropertyKind::GeneralizedIssue
+        }) else {
+            continue;
+        };
+        let Some(options) = prop.domain().enumerate() else {
+            continue;
+        };
+        let spawned: Vec<_> = node
+            .children()
+            .iter()
+            .filter_map(|&c| space.node(c).spawned_by())
+            .filter(|(i, _)| *i == issue)
+            .map(|(_, v)| v.clone())
+            .collect();
+        if spawned.is_empty() {
+            continue;
+        }
+        for option in options {
+            if !spawned.iter().any(|s| s.matches(&option)) {
+                report.push(Diagnostic::new(
+                    DiagCode::UnspecializedOption,
+                    Span::at(space.path_string(id)).property(issue),
+                    format!(
+                        "option {option} of generalized issue {issue:?} has no spawned child CDO"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::property::Property;
+    use crate::value::{Domain, Value};
+
+    #[test]
+    fn partially_specialized_issue_is_flagged() {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["A", "B", "C"]), ""),
+        )
+        .unwrap();
+        s.specialize_option(root, "Style", Value::from("A")).unwrap();
+        let r = analyze(&s);
+        let hits: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::UnspecializedOption)
+            .collect();
+        assert_eq!(hits.len(), 2, "{r}");
+    }
+
+    #[test]
+    fn near_miss_fully_specialized_and_fully_deferred_are_clean() {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        s.add_property(
+            root,
+            Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+        )
+        .unwrap();
+        s.specialize(root, "Style").unwrap();
+        // A second, deliberately deferred issue on a child.
+        let a = s.find_by_path("Root.A").unwrap();
+        s.add_property(
+            a,
+            Property::generalized_issue("Sub", Domain::options(["x", "y"]), ""),
+        )
+        .unwrap();
+        let r = analyze(&s);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,517 @@
+//! The unified diagnostics framework shared by the static analyzer
+//! ([`crate::analyze`]) and the library lints in `dse-library`.
+//!
+//! Every finding is a [`Diagnostic`]: a stable code (`DSL001`…), a
+//! severity, a [`Span`] locating the finding inside a design space (CDO
+//! path, plus the property / constraint / core involved), and a
+//! human-readable message. Diagnostics render like compiler output via
+//! `Display` and serialize to JSON through the `foundation` codec, so a
+//! design environment can consume them programmatically.
+
+use std::fmt;
+
+use foundation::json::{FromJson, Json, JsonError, ToJson};
+
+/// How serious a diagnostic is.
+///
+/// Ordering: `Note < Warning < Error`, so `max()` over a report yields
+/// the severity that should drive an exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — a hint the layer author may act on.
+    Note,
+    /// Suspicious but not definitively wrong.
+    Warning,
+    /// The space is malformed; sessions over it may misbehave.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// `DSL0xx` codes come from the static space analyzer; `DSL1xx` codes
+/// come from the reuse-library lint in `dse-library`. Codes are
+/// append-only: a published code never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum DiagCode {
+    /// A constraint's relation references properties outside its declared
+    /// independent/dependent sets (`ConsistencyConstraint::well_formed`
+    /// fails).
+    MalformedConstraint,
+    /// A constraint references a property that is neither declared in the
+    /// CDO hierarchy (ancestors or subtree) nor produced by a
+    /// quantitative/estimator relation in scope.
+    UnresolvedReference,
+    /// The derivation graph built from quantitative / estimator-context
+    /// relations contains a dependency cycle.
+    DerivationCycle,
+    /// The same property is derived by more than one quantitative or
+    /// estimator-context relation in the same scope.
+    MultiplyDerived,
+    /// A constraint is a contradiction: every combination of its
+    /// referenced enumerable options violates it.
+    Contradiction,
+    /// A design-issue option no feasible combination can ever select —
+    /// the applicable constraints eliminate it outright.
+    DeadOption,
+    /// A property re-declared along the generalization chain, silently
+    /// shadowing the ancestor's declaration.
+    ShadowedProperty,
+    /// A child CDO that can never be reached: its spawning option is
+    /// statically eliminated, or its spawning issue does not exist.
+    UnreachableChild,
+    /// A dominance (CC4) relation that statically eliminates a subset of
+    /// option combinations — a useful pre-pass before session evaluation.
+    DominanceHint,
+    /// A generalized-issue option with no spawned child CDO to descend
+    /// into.
+    UnspecializedOption,
+    /// A predicate compares a property against a literal outside the
+    /// property's declared domain (the comparison can never be true).
+    LiteralOutsideDomain,
+    /// A reuse-library core binds a property the layer does not declare.
+    CoreUnknownProperty,
+    /// A core binding lies outside the property's declared domain.
+    CoreOutsideDomain,
+    /// A core binds an application requirement (cores embody decisions,
+    /// not requirements).
+    CoreBindsRequirement,
+}
+
+impl DiagCode {
+    /// Every published code, in code order.
+    pub const ALL: &'static [DiagCode] = &[
+        DiagCode::MalformedConstraint,
+        DiagCode::UnresolvedReference,
+        DiagCode::DerivationCycle,
+        DiagCode::MultiplyDerived,
+        DiagCode::Contradiction,
+        DiagCode::DeadOption,
+        DiagCode::ShadowedProperty,
+        DiagCode::UnreachableChild,
+        DiagCode::DominanceHint,
+        DiagCode::UnspecializedOption,
+        DiagCode::LiteralOutsideDomain,
+        DiagCode::CoreUnknownProperty,
+        DiagCode::CoreOutsideDomain,
+        DiagCode::CoreBindsRequirement,
+    ];
+
+    /// The stable `DSLnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::MalformedConstraint => "DSL001",
+            DiagCode::UnresolvedReference => "DSL002",
+            DiagCode::DerivationCycle => "DSL003",
+            DiagCode::MultiplyDerived => "DSL004",
+            DiagCode::Contradiction => "DSL005",
+            DiagCode::DeadOption => "DSL006",
+            DiagCode::ShadowedProperty => "DSL007",
+            DiagCode::UnreachableChild => "DSL008",
+            DiagCode::DominanceHint => "DSL009",
+            DiagCode::UnspecializedOption => "DSL010",
+            DiagCode::LiteralOutsideDomain => "DSL011",
+            DiagCode::CoreUnknownProperty => "DSL101",
+            DiagCode::CoreOutsideDomain => "DSL102",
+            DiagCode::CoreBindsRequirement => "DSL103",
+        }
+    }
+
+    /// Parses a `DSLnnn` code string.
+    pub fn from_code(s: &str) -> Option<DiagCode> {
+        DiagCode::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// One-line meaning, used in the code table and `--explain`-style
+    /// output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DiagCode::MalformedConstraint => {
+                "constraint relation references properties outside its indep/dep sets"
+            }
+            DiagCode::UnresolvedReference => {
+                "constraint references a property the hierarchy never declares or derives"
+            }
+            DiagCode::DerivationCycle => "quantitative/estimator derivation graph has a cycle",
+            DiagCode::MultiplyDerived => "property derived by more than one relation in scope",
+            DiagCode::Contradiction => {
+                "constraint eliminates every combination of its enumerable options"
+            }
+            DiagCode::DeadOption => "design-issue option no feasible combination can select",
+            DiagCode::ShadowedProperty => {
+                "property re-declared along the generalization chain shadows an ancestor"
+            }
+            DiagCode::UnreachableChild => "child CDO whose spawning option is statically eliminated",
+            DiagCode::DominanceHint => "dominance relation statically eliminates some combinations",
+            DiagCode::UnspecializedOption => "generalized-issue option has no spawned child CDO",
+            DiagCode::LiteralOutsideDomain => {
+                "predicate compares a property against a literal outside its domain"
+            }
+            DiagCode::CoreUnknownProperty => "core binds a property the layer does not declare",
+            DiagCode::CoreOutsideDomain => "core binding is outside the declared domain",
+            DiagCode::CoreBindsRequirement => "core binds an application requirement",
+        }
+    }
+
+    /// The severity this code carries by default.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::MalformedConstraint
+            | DiagCode::UnresolvedReference
+            | DiagCode::DerivationCycle
+            | DiagCode::Contradiction
+            | DiagCode::CoreUnknownProperty
+            | DiagCode::CoreOutsideDomain => Severity::Error,
+            DiagCode::MultiplyDerived
+            | DiagCode::DeadOption
+            | DiagCode::ShadowedProperty
+            | DiagCode::UnreachableChild
+            | DiagCode::UnspecializedOption
+            | DiagCode::LiteralOutsideDomain
+            | DiagCode::CoreBindsRequirement => Severity::Warning,
+            DiagCode::DominanceHint => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points inside a design space.
+///
+/// The `path` is the dotted CDO path (`"Operator.Modular.Multiplier"`);
+/// the optional fields narrow the finding to a property, constraint or
+/// reuse-library core.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Dotted CDO path, empty when the finding is space-global.
+    pub path: String,
+    /// The property involved, if any.
+    pub property: Option<String>,
+    /// The constraint involved, if any.
+    pub constraint: Option<String>,
+    /// The reuse-library core involved, if any.
+    pub core: Option<String>,
+}
+
+impl Span {
+    /// A span at a CDO path.
+    pub fn at(path: impl Into<String>) -> Span {
+        Span {
+            path: path.into(),
+            ..Span::default()
+        }
+    }
+
+    /// Narrows the span to a property.
+    pub fn property(mut self, name: impl Into<String>) -> Span {
+        self.property = Some(name.into());
+        self
+    }
+
+    /// Narrows the span to a constraint.
+    pub fn constraint(mut self, name: impl Into<String>) -> Span {
+        self.constraint = Some(name.into());
+        self
+    }
+
+    /// Narrows the span to a reuse-library core.
+    pub fn core(mut self, name: impl Into<String>) -> Span {
+        self.core = Some(name.into());
+        self
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if !self.path.is_empty() {
+            write!(f, "{}", self.path)?;
+            wrote = true;
+        }
+        for (label, value) in [
+            ("core", &self.core),
+            ("constraint", &self.constraint),
+            ("property", &self.property),
+        ] {
+            if let Some(v) = value {
+                if wrote {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{label} {v}")?;
+                wrote = true;
+            }
+        }
+        if !wrote {
+            f.write_str("<space>")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding: code + severity + location + message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (defaults to the code's, but callers may override).
+    pub severity: Severity,
+    /// Where the finding points.
+    pub span: Span,
+    /// Human-readable explanation of this specific instance.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity.
+    pub fn new(code: DiagCode, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Overrides the severity.
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Whether this finding is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// An ordered collection of diagnostics, as produced by one analyzer or
+/// lint run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Wraps a finding list.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Report {
+        Report { diagnostics }
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// All findings, in emission order (errors first after
+    /// [`sort`](Self::sort)).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Note-severity findings.
+    pub fn notes(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Note)
+    }
+
+    /// Whether the report has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the report has at least one error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the report is empty (same as [`is_clean`](Self::is_clean)).
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts findings by severity (errors first), then code, then span
+    /// path — a stable presentation order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.cmp(&b.code))
+                .then(a.span.path.cmp(&b.span.path))
+        });
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.errors().count(),
+            self.warnings().count(),
+            self.notes().count()
+        )
+    }
+}
+
+impl ToJson for DiagCode {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_owned())
+    }
+}
+
+impl FromJson for DiagCode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => DiagCode::from_code(s)
+                .ok_or_else(|| JsonError::decode(format!("unknown diagnostic code {s:?}"))),
+            other => Err(JsonError::type_mismatch("DiagCode", "string", other)),
+        }
+    }
+}
+
+foundation::impl_json_enum!(Severity { Note, Warning, Error });
+foundation::impl_json_struct!(Span { path, property, constraint, core });
+foundation::impl_json_struct!(Diagnostic { code, severity, span, message });
+foundation::impl_json_struct!(Report { diagnostics });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in DiagCode::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("DSL"));
+            assert!(!c.describe().is_empty());
+            assert_eq!(DiagCode::from_code(c.as_str()), Some(c));
+        }
+        assert_eq!(DiagCode::from_code("DSL999"), None);
+        assert_eq!(DiagCode::DerivationCycle.as_str(), "DSL003");
+    }
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn display_renders_like_a_compiler() {
+        let d = Diagnostic::new(
+            DiagCode::DerivationCycle,
+            Span::at("Operator.Multiplier").constraint("CC2"),
+            "EOL → Latency → EOL",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[DSL003] Operator.Multiplier, constraint CC2: EOL → Latency → EOL"
+        );
+        let empty = Diagnostic::new(DiagCode::DominanceHint, Span::default(), "m");
+        assert!(empty.to_string().contains("<space>"));
+    }
+
+    #[test]
+    fn report_partitions_and_sorts() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            DiagCode::DominanceHint,
+            Span::at("B"),
+            "hint",
+        ));
+        r.push(Diagnostic::new(
+            DiagCode::DerivationCycle,
+            Span::at("A"),
+            "cycle",
+        ));
+        r.push(Diagnostic::new(DiagCode::DeadOption, Span::at("C"), "dead"));
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_clean());
+        assert!(r.has_errors());
+        r.sort();
+        assert_eq!(r.diagnostics()[0].code, DiagCode::DerivationCycle);
+        assert_eq!(r.diagnostics()[2].code, DiagCode::DominanceHint);
+        let rendered = r.to_string();
+        assert!(rendered.contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = Diagnostic::new(
+            DiagCode::DeadOption,
+            Span::at("Multiplier.Hardware").property("Algorithm"),
+            "option Montgomery is dead",
+        )
+        .with_severity(Severity::Error);
+        let text = foundation::json::encode(&d);
+        assert!(text.contains("\"DSL006\""));
+        let back: Diagnostic = foundation::json::decode(&text).unwrap();
+        assert_eq!(back, d);
+
+        let r = Report::from_diagnostics(vec![d]);
+        let back: Report = foundation::json::decode(&foundation::json::encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -194,7 +194,7 @@ mod tests {
                 vec![],
                 Relation::InconsistentOptions(Pred::is("Width", 8)),
             ),
-        );
+        ).unwrap();
         s
     }
 
@@ -250,7 +250,7 @@ mod tests {
                 vec![],
                 Relation::InconsistentOptions(Pred::is("Width", Value::Int(32))),
             ),
-        );
+        ).unwrap();
         let changes = diff(&old, &new);
         assert!(changes.contains(&LayerChange::PropertyChanged {
             path: "Block".to_owned(),

@@ -148,7 +148,7 @@ mod tests {
                 vec!["B".to_owned()],
                 Relation::InconsistentOptions(Pred::is("A", Value::from("x"))),
             ),
-        );
+        ).unwrap();
         let md = render_markdown(&s);
         assert!(md.contains("# Design Space Layer: demo"));
         assert!(md.contains("Multiplier"));

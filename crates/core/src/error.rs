@@ -86,6 +86,23 @@ pub enum DseError {
         /// The missing CDO path.
         path: String,
     },
+    /// The constraint's relation references properties outside its
+    /// declared independent/dependent sets
+    /// (`ConsistencyConstraint::well_formed` fails).
+    MalformedConstraint {
+        /// The rejected constraint's name.
+        constraint: String,
+        /// The references not covered by the declared sets.
+        stray: Vec<String>,
+    },
+    /// The static analyzer rejected the design space (it reported at
+    /// least one error-severity diagnostic).
+    SpaceRejected {
+        /// The space's name.
+        space: String,
+        /// Rendered summary of the error diagnostics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -137,6 +154,18 @@ impl fmt::Display for DseError {
                 f,
                 "behavioural description {description:?} references missing CDO path {path:?}"
             ),
+            DseError::MalformedConstraint { constraint, stray } => write!(
+                f,
+                "constraint {constraint:?} references {} outside its declared indep/dep sets",
+                stray
+                    .iter()
+                    .map(|s| format!("{s:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            DseError::SpaceRejected { space, detail } => {
+                write!(f, "design space {space:?} rejected by the analyzer: {detail}")
+            }
         }
     }
 }
@@ -202,6 +231,14 @@ mod tests {
             DseError::DanglingOperatorRef {
                 description: "BD".into(),
                 path: "A.B".into(),
+            },
+            DseError::MalformedConstraint {
+                constraint: "CCX".into(),
+                stray: vec!["Ghost".into()],
+            },
+            DseError::SpaceRejected {
+                space: "s".into(),
+                detail: "1 error(s)".into(),
             },
         ];
         for e in cases {

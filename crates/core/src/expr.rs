@@ -465,8 +465,8 @@ mod tests {
             ("ModuloIsOdd", Value::from("Guaranteed")),
             ("Algorithm", Value::from("Montgomery")),
         ]);
-        assert_eq!(p.eval(&bad).unwrap(), true);
-        assert_eq!(p.eval(&good).unwrap(), false);
+        assert!(p.eval(&bad).unwrap());
+        assert!(!p.eval(&good).unwrap());
     }
 
     #[test]

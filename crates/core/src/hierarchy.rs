@@ -269,8 +269,60 @@ impl DesignSpace {
         Ok(())
     }
 
-    /// Adds a consistency constraint to a CDO.
-    pub fn add_constraint(&mut self, cdo: CdoId, constraint: ConsistencyConstraint) {
+    /// Adds a consistency constraint to a CDO, rejecting malformed ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::MalformedConstraint`] when the constraint's
+    /// relation references properties outside its declared
+    /// independent/dependent sets
+    /// ([`ConsistencyConstraint::well_formed`] fails) — such a constraint
+    /// could never become ready and would silently stop pruning. Use
+    /// [`add_constraint_unchecked`](Self::add_constraint_unchecked) to
+    /// store it anyway (e.g. to reproduce a defect for the analyzer).
+    pub fn add_constraint(
+        &mut self,
+        cdo: CdoId,
+        constraint: ConsistencyConstraint,
+    ) -> Result<(), DseError> {
+        if !constraint.well_formed() {
+            let listed: Vec<&String> = constraint
+                .indep()
+                .iter()
+                .chain(constraint.dep().iter())
+                .collect();
+            let mut stray: Vec<String> = match constraint.relation() {
+                crate::constraint::Relation::InconsistentOptions(p)
+                | crate::constraint::Relation::Dominance(p) => p.references(),
+                crate::constraint::Relation::Quantitative {
+                    target, formula, ..
+                } => {
+                    let mut refs = formula.references();
+                    refs.push(target.clone());
+                    refs
+                }
+                crate::constraint::Relation::EstimatorContext { inputs, output, .. } => {
+                    let mut refs = inputs.clone();
+                    refs.push(output.clone());
+                    refs
+                }
+            };
+            stray.retain(|r| !listed.contains(&r));
+            stray.sort();
+            stray.dedup();
+            return Err(DseError::MalformedConstraint {
+                constraint: constraint.name().to_owned(),
+                stray,
+            });
+        }
+        self.nodes[cdo.0].constraints.push(constraint);
+        Ok(())
+    }
+
+    /// Adds a consistency constraint without the well-formedness check —
+    /// the escape hatch for loading legacy layers or constructing defect
+    /// fixtures for [`crate::analyze`].
+    pub fn add_constraint_unchecked(&mut self, cdo: CdoId, constraint: ConsistencyConstraint) {
         self.nodes[cdo.0].constraints.push(constraint);
     }
 

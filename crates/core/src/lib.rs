@@ -34,6 +34,11 @@
 //!   for conceptual design when no suitable core exists.
 //! * **Self-documentation** ([`doc`]) — every layer renders itself to
 //!   human-readable Markdown, the paper's "self-documented" claim.
+//! * **Static analysis** ([`analyze`], [`diag`]) — a compiler-style
+//!   verification pass over a finished layer: derivation-graph cycles and
+//!   unresolved references, statically contradictory constraints, dead
+//!   options, unreachable child CDOs and shadowed properties, reported as
+//!   [`diag::Diagnostic`]s with stable `DSLnnn` codes.
 //!
 //! Domain-specific layers (cryptography, IDCT) and the reuse-library
 //! indexing live in the `dse-library` crate; this crate is
@@ -66,8 +71,10 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod behavior;
 pub mod constraint;
+pub mod diag;
 pub mod diff;
 pub mod doc;
 pub mod error;
@@ -84,8 +91,10 @@ pub use error::DseError;
 
 /// Convenient glob-import surface for layer authors.
 pub mod prelude {
+    pub use crate::analyze::{analyze, evaluation_order, DerivationGraph};
     pub use crate::behavior::{BehavioralDescription, OperandCoding, OperatorUse};
     pub use crate::constraint::{ConsistencyConstraint, ConstraintOutcome, Relation};
+    pub use crate::diag::{DiagCode, Diagnostic, Report, Severity, Span};
     pub use crate::diff::{diff, LayerChange};
     pub use crate::error::DseError;
     pub use crate::estimate::{EstimateError, Estimator, EstimatorRegistry};

@@ -510,7 +510,7 @@ mod tests {
                     Pred::is("Algorithm", "Montgomery"),
                 ])),
             ),
-        );
+        ).unwrap();
         // CC2: latency formula.
         s.add_constraint(
             hw,
@@ -528,7 +528,7 @@ mod tests {
                     fidelity: Fidelity::Heuristic,
                 },
             ),
-        );
+        ).unwrap();
         // CC4: big Montgomery multipliers must use carry-save adders.
         s.add_constraint(
             hw,
@@ -543,7 +543,7 @@ mod tests {
                     Pred::is_not("Adder", "carry-save"),
                 ])),
             ),
-        );
+        ).unwrap();
         (s, omm)
     }
 
@@ -774,7 +774,7 @@ mod tests {
                     Expr::constant(50),
                 )),
             ),
-        );
+        ).unwrap();
         let mut ses = ExplorationSession::new(&s, root);
         ses.set_requirement("N", Value::Int(80)).unwrap();
         let err = ses.decide("Style", Value::from("small")).unwrap_err();

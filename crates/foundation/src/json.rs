@@ -167,13 +167,6 @@ impl Json {
         Ok(v)
     }
 
-    /// Compact serialization.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Two-space-indented serialization.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -238,16 +231,19 @@ impl Json {
     }
 }
 
+/// Compact serialization (`to_string()` comes with it via `ToString`).
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 
 fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
     if let Some(width) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(width * level));
+        out.extend(std::iter::repeat_n(' ', width * level));
     }
 }
 
@@ -915,16 +911,15 @@ macro_rules! impl_json_enum {
                             #[allow(unused_mut, unused_assignments)]
                             let mut payload: Option<$crate::json::Json> = None;
                             $({
-                                let mut arr: Vec<$crate::json::Json> = Vec::new();
-                                $(arr.push($crate::json::ToJson::to_json($tf));)+
+                                let arr: Vec<$crate::json::Json> =
+                                    vec![$($crate::json::ToJson::to_json($tf)),+];
                                 payload = Some($crate::json::Json::Array(arr));
                             })?
                             $({
-                                let mut fields: Vec<(String, $crate::json::Json)> = Vec::new();
-                                $(fields.push((
+                                let fields: Vec<(String, $crate::json::Json)> = vec![$((
                                     stringify!($sf).to_string(),
                                     $crate::json::ToJson::to_json($sf),
-                                ));)+
+                                )),+];
                                 payload = Some($crate::json::Json::Object(fields));
                             })?
                             match payload {

@@ -553,7 +553,7 @@ mod tests {
                 } else {
                     DigitMultiplierKind::MuxTable
                 };
-                if width % k != 0 {
+                if !width.is_multiple_of(k) {
                     continue;
                 }
                 if let Ok(arch) = ModMulArchitecture::new(alg, 1 << k, width, adder, mult) {

@@ -171,7 +171,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 fidelity: Fidelity::Heuristic,
             },
         ),
-    );
+    )?;
     s.add_behavior(
         exponentiator,
         BehavioralDescription::new(
@@ -396,7 +396,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 Pred::is("Algorithm", "Montgomery"),
             ])),
         ),
-    );
+    )?;
     // CC2: the greater the radix, the smaller the latency in cycles
     // (defined for Montgomery multipliers with carry-save accumulation).
     s.add_constraint(
@@ -415,7 +415,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 fidelity: Fidelity::Heuristic,
             },
         ),
-    );
+    )?;
     // CC3: behavioural decomposition impacts delay — estimation context.
     s.add_constraint(
         omm_hw,
@@ -430,7 +430,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 output: "MaxCombDelayNs".to_owned(),
             },
         ),
-    );
+    )?;
     // CC4: Montgomery with EOL ≥ 32 must use carry-save adders.
     s.add_constraint(
         omm_hm,
@@ -445,7 +445,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 Pred::is_not("AdderStructure", "carry-save"),
             ])),
         ),
-    );
+    )?;
     // CC5: the paper's companion constraint — mux-based multipliers for the
     // Montgomery loop at any EOL (array digit multipliers are dominated).
     s.add_constraint(
@@ -460,7 +460,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 Pred::is("MultiplierStructure", "array"),
             ])),
         ),
-    );
+    )?;
     // CC6 (heuristic, ours): software cannot reach microsecond-class
     // latency on kilobit operands — the Fig. 6 range argument as a CC.
     s.add_constraint(
@@ -476,7 +476,7 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
                 Pred::cmp(CmpOp::Le, Expr::prop("MaxLatencyUs"), Expr::constant(100)),
             ])),
         ),
-    );
+    )?;
 
     debug_assert!(s.validate().is_empty());
     Ok(CryptoLayer {
@@ -621,7 +621,7 @@ pub fn build_layer_technology_first() -> Result<CryptoTechView, DseError> {
                 Pred::is("Algorithm", "Montgomery"),
             ])),
         ),
-    );
+    )?;
 
     debug_assert!(s.validate().is_empty());
     Ok(CryptoTechView {
@@ -969,12 +969,15 @@ mod tests {
     fn adder_library_lints_clean_under_the_adder_cdo() {
         let layer = build_layer().unwrap();
         let adders = build_adder_library(&Technology::g10_035());
-        let findings = crate::lint::lint_library(&layer.space, layer.adder, &adders);
+        let report = crate::lint::lint_library(&layer.space, layer.adder, &adders);
         // WordSize is a requirement the macros legitimately parameterize
         // on; everything else must be clean.
         assert!(
-            findings.iter().all(|f| f.property == "WordSize"),
-            "{findings:?}"
+            report
+                .diagnostics()
+                .iter()
+                .all(|d| d.span.property.as_deref() == Some("WordSize")),
+            "{report}"
         );
     }
 

@@ -105,7 +105,7 @@ pub fn build_layer() -> Result<FirLayer, DseError> {
                 fidelity: Fidelity::Exact,
             },
         ),
-    );
+    )?;
     // CC9 (heuristic): a single-MAC filter cannot sustain tens of Msps on
     // long filters.
     s.add_constraint(
@@ -121,7 +121,7 @@ pub fn build_layer() -> Result<FirLayer, DseError> {
                 Pred::cmp(CmpOp::Ge, Expr::prop("SampleRateMsps"), Expr::constant(20)),
             ])),
         ),
-    );
+    )?;
 
     debug_assert!(s.validate().is_empty());
     Ok(FirLayer {

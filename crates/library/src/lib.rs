@@ -52,5 +52,5 @@ mod reuse;
 
 pub use core_record::CoreRecord;
 pub use explorer::Explorer;
-pub use lint::{lint_library, LintFinding};
+pub use lint::lint_library;
 pub use reuse::{LibraryError, ReuseLibrary};

@@ -6,38 +6,27 @@
 //! disappear from every exploration. The lint makes such mismatches loud:
 //! a design environment should run it whenever it imports a third-party
 //! library under its layer.
+//!
+//! Findings are reported through the shared [`dse::diag`] framework, so
+//! core-binding lints (`DSL1xx`) and static space analysis (`DSL0xx`,
+//! [`dse::analyze`]) use the same codes, severities and rendering.
 
+use dse::diag::{DiagCode, Diagnostic, Report, Span};
 use dse::hierarchy::{CdoId, DesignSpace};
 use dse::property::PropertyKind;
 
 use crate::reuse::ReuseLibrary;
 
-/// One lint finding.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LintFinding {
-    /// The offending core.
-    pub core: String,
-    /// The property involved.
-    pub property: String,
-    /// What is wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for LintFinding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {} — {}", self.core, self.property, self.message)
-    }
-}
-
 /// Checks every core's bindings against the properties visible at `cdo`
 /// (the class the library is indexed under):
 ///
-/// * a binding for a property the layer does not know is flagged (likely
-///   a typo that would make filtering silently miss it),
-/// * a binding outside the property's declared domain is flagged,
-/// * a binding for a *requirement* is flagged (cores embody decisions,
-///   not application requirements).
-pub fn lint_library(space: &DesignSpace, cdo: CdoId, library: &ReuseLibrary) -> Vec<LintFinding> {
+/// * a binding for a property the layer does not know is flagged as
+///   `DSL101` (likely a typo that would make filtering silently miss it),
+/// * a binding outside the property's declared domain is flagged as
+///   `DSL102`,
+/// * a binding for a *requirement* is flagged as `DSL103` (cores embody
+///   decisions, not application requirements).
+pub fn lint_library(space: &DesignSpace, cdo: CdoId, library: &ReuseLibrary) -> Report {
     // Collect every property visible anywhere in the subtree rooted at
     // `cdo` (cores may bind leaf-level issues).
     let mut visible = Vec::new();
@@ -51,37 +40,40 @@ pub fn lint_library(space: &DesignSpace, cdo: CdoId, library: &ReuseLibrary) -> 
         stack.extend(space.node(id).children().iter().copied());
     }
 
-    let mut findings = Vec::new();
+    let path = space.path_string(cdo);
+    let mut report = Report::new();
     for core in library.cores() {
         for (name, value) in core.bindings() {
+            let span = Span::at(path.clone()).core(core.name()).property(name);
             match visible.iter().find(|(n, _)| n == name) {
-                None => findings.push(LintFinding {
-                    core: core.name().to_owned(),
-                    property: name.clone(),
-                    message: "binds a property the layer does not declare".to_owned(),
-                }),
+                None => report.push(Diagnostic::new(
+                    DiagCode::CoreUnknownProperty,
+                    span,
+                    "binds a property the layer does not declare",
+                )),
                 Some((_, prop)) => {
                     if prop.kind() == PropertyKind::Requirement {
-                        findings.push(LintFinding {
-                            core: core.name().to_owned(),
-                            property: name.clone(),
-                            message: "binds an application requirement".to_owned(),
-                        });
+                        report.push(Diagnostic::new(
+                            DiagCode::CoreBindsRequirement,
+                            span,
+                            "binds an application requirement",
+                        ));
                     } else if !prop.domain().contains(value) {
-                        findings.push(LintFinding {
-                            core: core.name().to_owned(),
-                            property: name.clone(),
-                            message: format!(
+                        report.push(Diagnostic::new(
+                            DiagCode::CoreOutsideDomain,
+                            span,
+                            format!(
                                 "value {value} is outside the declared domain {}",
                                 prop.domain()
                             ),
-                        });
+                        ));
                     }
                 }
             }
         }
     }
-    findings
+    report.sort();
+    report
 }
 
 #[cfg(test)]
@@ -89,14 +81,15 @@ mod tests {
     use super::*;
     use crate::core_record::CoreRecord;
     use crate::crypto;
+    use dse::diag::Severity;
     use techlib::Technology;
 
     #[test]
     fn shipped_crypto_library_lints_clean() {
         let layer = crypto::build_layer().unwrap();
         let lib = crypto::build_library(&Technology::g10_035(), 768);
-        let findings = lint_library(&layer.space, layer.omm, &lib);
-        assert!(findings.is_empty(), "{findings:?}");
+        let report = lint_library(&layer.space, layer.omm, &lib);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]
@@ -108,10 +101,13 @@ mod tests {
                 .bind("ImplementationStyle", "Hardware")
                 .bind("Radix", 3), // not a power of two
         );
-        let findings = lint_library(&layer.space, layer.omm, &lib);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].property, "Radix");
-        assert!(findings[0].message.contains("outside the declared domain"));
+        let report = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, DiagCode::CoreOutsideDomain);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.property.as_deref(), Some("Radix"));
+        assert!(d.message.contains("outside the declared domain"));
     }
 
     #[test]
@@ -119,10 +115,13 @@ mod tests {
         let layer = crypto::build_layer().unwrap();
         let mut lib = ReuseLibrary::new("typo");
         lib.push(CoreRecord::new("typo-core", "vendor", "").bind("Algoritm", "Montgomery"));
-        let findings = lint_library(&layer.space, layer.omm, &lib);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("does not declare"));
-        assert!(findings[0].to_string().contains("typo-core"));
+        let report = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, DiagCode::CoreUnknownProperty);
+        assert!(d.message.contains("does not declare"));
+        assert!(d.to_string().contains("typo-core"));
+        assert!(d.to_string().contains("DSL101"));
     }
 
     #[test]
@@ -130,9 +129,12 @@ mod tests {
         let layer = crypto::build_layer().unwrap();
         let mut lib = ReuseLibrary::new("confused");
         lib.push(CoreRecord::new("req-core", "vendor", "").bind("EOL", 768));
-        let findings = lint_library(&layer.space, layer.omm, &lib);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("application requirement"));
+        let report = lint_library(&layer.space, layer.omm, &lib);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, DiagCode::CoreBindsRequirement);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("application requirement"));
     }
 
     #[test]
@@ -142,6 +144,18 @@ mod tests {
         let layer = crypto::build_layer().unwrap();
         let mut lib = ReuseLibrary::new("leaf");
         lib.push(CoreRecord::new("leaf-core", "vendor", "").bind("AdderStructure", "carry-save"));
-        assert!(lint_library(&layer.space, layer.omm, &lib).is_empty());
+        assert!(lint_library(&layer.space, layer.omm, &lib).is_clean());
+    }
+
+    #[test]
+    fn findings_serialize_to_json() {
+        let layer = crypto::build_layer().unwrap();
+        let mut lib = ReuseLibrary::new("typo");
+        lib.push(CoreRecord::new("typo-core", "vendor", "").bind("Algoritm", "Montgomery"));
+        let report = lint_library(&layer.space, layer.omm, &lib);
+        let text = foundation::json::encode(&report);
+        assert!(text.contains("\"DSL101\""));
+        let back: Report = foundation::json::decode(&text).unwrap();
+        assert_eq!(back, report);
     }
 }

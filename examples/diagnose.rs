@@ -1,0 +1,82 @@
+//! Static analysis over every shipped design space layer.
+//!
+//! Runs [`dse::analyze::analyze`] on the crypto, IDCT and FIR layers and
+//! prints each report in compiler style. `scripts/verify.sh` runs this as
+//! a gate: shipped spaces must be error-free.
+//!
+//! ```text
+//! cargo run --example diagnose            # human-readable reports
+//! cargo run --example diagnose -- --json  # machine-readable JSON
+//! ```
+//!
+//! Exits nonzero when any space has an error-severity finding.
+
+use std::process::ExitCode;
+
+use design_space_layer::dse::analyze::analyze;
+use design_space_layer::dse::diag::Report;
+use design_space_layer::dse::hierarchy::DesignSpace;
+use design_space_layer::dse_library::{crypto, fir, idct};
+use design_space_layer::foundation::json::{encode_pretty, Json, ToJson};
+
+fn shipped_spaces() -> Result<Vec<(String, DesignSpace)>, Box<dyn std::error::Error>> {
+    Ok(vec![
+        (
+            "crypto (generalization hierarchy)".to_owned(),
+            crypto::build_layer()?.space,
+        ),
+        (
+            "crypto (technology-first view)".to_owned(),
+            crypto::build_layer_technology_first()?.space,
+        ),
+        (
+            "idct (generalization hierarchy)".to_owned(),
+            idct::build_layer_generalization()?.space,
+        ),
+        (
+            "idct (abstraction-level view)".to_owned(),
+            idct::build_layer_abstraction()?.space,
+        ),
+        ("fir".to_owned(), fir::build_layer()?.space),
+    ])
+}
+
+fn main() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let json = std::env::args().any(|a| a == "--json");
+    let reports: Vec<(String, Report)> = shipped_spaces()?
+        .into_iter()
+        .map(|(name, space)| {
+            let report = analyze(&space);
+            (name, report)
+        })
+        .collect();
+
+    if json {
+        let arr = Json::Array(
+            reports
+                .iter()
+                .map(|(name, report)| {
+                    Json::Object(vec![
+                        ("space".to_owned(), Json::Str(name.clone())),
+                        ("report".to_owned(), report.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", encode_pretty(&arr));
+    } else {
+        for (name, report) in &reports {
+            println!("==> {name}");
+            println!("{report}");
+            println!();
+        }
+    }
+
+    let failed = reports.iter().any(|(_, r)| r.has_errors());
+    if failed {
+        eprintln!("diagnose: at least one shipped space has errors");
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}

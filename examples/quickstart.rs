@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Pred::is("LogicStyle", "ripple-carry"),
             ])),
         ),
-    );
+    )?;
 
     // 2. Populate a reuse library with a few cores.
     let mut library = ReuseLibrary::new("adder cores");

@@ -11,6 +11,12 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> static analysis of all shipped design spaces (must be error-free)"
+cargo run --release --offline --example diagnose
+
 echo "==> regenerating tables_output.txt"
 cargo run --release --offline -p bench --bin tables -- all > tables_output.txt
 

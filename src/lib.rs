@@ -8,6 +8,7 @@
 
 pub use bignum;
 pub use coproc;
+pub use foundation;
 pub use dse;
 pub use dse_library;
 pub use hwmodel;

@@ -1,0 +1,648 @@
+//! Fixture tests for the static analyzer: every `DSL0xx` diagnostic code
+//! gets a space that triggers it and a near-miss that stays clean, plus
+//! seeded property tests over randomly generated spaces.
+//!
+//! (`DSL1xx` core-binding lints are exercised in `dse-library`'s
+//! `lint` module tests.)
+
+use design_space_layer::dse::analyze::analyze;
+use design_space_layer::dse::constraint::Fidelity;
+use design_space_layer::dse::prelude::*;
+use design_space_layer::foundation::check::{self, Gen};
+use design_space_layer::foundation::json::{encode, Json};
+
+fn codes(space: &DesignSpace) -> Vec<DiagCode> {
+    analyze(space).diagnostics().iter().map(|d| d.code).collect()
+}
+
+fn quant(name: &str, indep: &[&str], target: &str) -> ConsistencyConstraint {
+    let formula = indep
+        .iter()
+        .map(|p| Expr::prop(*p))
+        .reduce(Expr::add)
+        .unwrap_or(Expr::constant(0));
+    ConsistencyConstraint::new(
+        name,
+        "",
+        indep.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        [target.to_owned()],
+        Relation::Quantitative {
+            target: target.to_owned(),
+            formula,
+            fidelity: Fidelity::Exact,
+        },
+    )
+}
+
+fn inconsistent(name: &str, pred: Pred) -> ConsistencyConstraint {
+    let refs: Vec<String> = pred.references();
+    ConsistencyConstraint::new(name, "", refs, [], Relation::InconsistentOptions(pred))
+}
+
+// ---------------------------------------------------------------- DSL001
+
+#[test]
+fn dsl001_malformed_constraint_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    // The relation references "Ghost", which the indep/dep sets omit.
+    s.add_constraint_unchecked(
+        root,
+        ConsistencyConstraint::new(
+            "CCbad",
+            "",
+            ["X".to_owned()],
+            [],
+            Relation::InconsistentOptions(Pred::all([Pred::is("X", "a"), Pred::is("Ghost", 1)])),
+        ),
+    );
+    assert!(codes(&s).contains(&DiagCode::MalformedConstraint));
+}
+
+#[test]
+fn dsl001_add_constraint_rejects_it_up_front() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    let err = s
+        .add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCbad",
+                "",
+                ["X".to_owned()],
+                [],
+                Relation::InconsistentOptions(Pred::is("Ghost", 1)),
+            ),
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("CCbad") && msg.contains("Ghost"), "{msg}");
+    // Nothing was stored: the space still analyzes without DSL001.
+    assert!(!codes(&s).contains(&DiagCode::MalformedConstraint));
+}
+
+#[test]
+fn dsl001_near_miss_fully_listed_references_are_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("Y", Domain::options([1, 2]), ""))
+        .unwrap();
+    s.add_constraint(
+        root,
+        inconsistent("CCok", Pred::all([Pred::is("X", "a"), Pred::is("Y", 1)])),
+    )
+    .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::MalformedConstraint));
+}
+
+// ---------------------------------------------------------------- DSL002
+
+#[test]
+fn dsl002_unresolved_reference_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    // Well-formed (refs listed), but "Phantom" is declared nowhere.
+    s.add_constraint(root, inconsistent("CCphantom", Pred::is("Phantom", "x")))
+        .unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::UnresolvedReference)
+        .expect("DSL002 expected");
+    assert!(hit.is_error());
+    assert!(hit.message.contains("Phantom"), "{hit}");
+}
+
+#[test]
+fn dsl002_near_miss_subtree_and_derived_names_resolve() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    let child = s.add_child(root, "Leaf", "");
+    // "Deep" only exists further down the hierarchy; "Derived" only as a
+    // quantitative target. Both are legitimate references at the root.
+    s.add_property(child, Property::issue("Deep", Domain::options([1, 2]), ""))
+        .unwrap();
+    s.add_constraint(root, quant("CCderive", &["Deep"], "Derived"))
+        .unwrap();
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCuse",
+            "",
+            ["Derived".to_owned(), "Deep".to_owned()],
+            [],
+            Relation::InconsistentOptions(Pred::cmp(
+                CmpOp::Gt,
+                Expr::prop("Derived"),
+                Expr::prop("Deep"),
+            )),
+        ),
+    )
+    .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::UnresolvedReference));
+}
+
+// ---------------------------------------------------------------- DSL003
+
+#[test]
+fn dsl003_derivation_cycle_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_constraint(root, quant("C1", &["A"], "B")).unwrap();
+    s.add_constraint(root, quant("C2", &["B"], "A")).unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::DerivationCycle)
+        .expect("DSL003 expected");
+    assert!(hit.message.contains("→"), "{hit}");
+}
+
+#[test]
+fn dsl003_near_miss_a_chain_is_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_constraint(root, quant("C1", &["A"], "B")).unwrap();
+    s.add_constraint(root, quant("C2", &["B"], "C")).unwrap();
+    s.add_property(root, Property::issue("A", Domain::options([1, 2]), ""))
+        .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::DerivationCycle));
+}
+
+// ---------------------------------------------------------------- DSL004
+
+#[test]
+fn dsl004_multiply_derived_target_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("A", Domain::options([1, 2]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("B", Domain::options([1, 2]), ""))
+        .unwrap();
+    s.add_constraint(root, quant("C1", &["A"], "T")).unwrap();
+    s.add_constraint(root, quant("C2", &["B"], "T")).unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::MultiplyDerived)
+        .expect("DSL004 expected");
+    assert_eq!(hit.span.property.as_deref(), Some("T"));
+}
+
+#[test]
+fn dsl004_near_miss_one_deriver_per_target() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("A", Domain::options([1, 2]), ""))
+        .unwrap();
+    s.add_constraint(root, quant("C1", &["A"], "T")).unwrap();
+    s.add_constraint(root, quant("C2", &["A"], "U")).unwrap();
+    assert!(!codes(&s).contains(&DiagCode::MultiplyDerived));
+}
+
+// ---------------------------------------------------------------- DSL005
+
+#[test]
+fn dsl005_contradiction_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    // True for every option of X: the constraint can never be satisfied.
+    s.add_constraint(
+        root,
+        inconsistent("CCall", Pred::any([Pred::is("X", "a"), Pred::is_not("X", "a")])),
+    )
+    .unwrap();
+    let r = analyze(&s);
+    assert!(
+        r.diagnostics().iter().any(|d| d.code == DiagCode::Contradiction && d.is_error()),
+        "{r}"
+    );
+}
+
+#[test]
+fn dsl005_near_miss_partial_elimination_is_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("Y", Domain::options(["p", "q"]), ""))
+        .unwrap();
+    // Eliminates 1 of 4 combinations; every option still has an escape.
+    s.add_constraint(
+        root,
+        inconsistent("CCsome", Pred::all([Pred::is("X", "a"), Pred::is("Y", "p")])),
+    )
+    .unwrap();
+    assert!(codes(&s).is_empty(), "{}", analyze(&s));
+}
+
+// ---------------------------------------------------------------- DSL006
+
+#[test]
+fn dsl006_dead_option_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b", "c"]), ""))
+        .unwrap();
+    // X = a is always inconsistent — a dead option (but not a
+    // contradiction: b and c survive).
+    s.add_constraint(root, inconsistent("CCa", Pred::is("X", "a")))
+        .unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::DeadOption)
+        .expect("DSL006 expected");
+    assert!(hit.message.contains('a'), "{hit}");
+    assert!(!r.has_errors(), "{r}");
+}
+
+#[test]
+fn dsl006_near_miss_option_with_an_escape_is_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b", "c"]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("Y", Domain::options(["p", "q"]), ""))
+        .unwrap();
+    // X = a dies only under Y = p; Y = q keeps it alive.
+    s.add_constraint(
+        root,
+        inconsistent("CCap", Pred::all([Pred::is("X", "a"), Pred::is("Y", "p")])),
+    )
+    .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::DeadOption));
+}
+
+// ---------------------------------------------------------------- DSL007
+
+#[test]
+fn dsl007_shadowed_property_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    let child = s.add_child(root, "C", "");
+    // Declare at the child first, then at the root: `add_property` only
+    // checks ancestors, so this leaves the child shadowing the root.
+    s.add_property(child, Property::issue("W", Domain::options([8, 16]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("W", Domain::options([8, 16, 32]), ""))
+        .unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::ShadowedProperty)
+        .expect("DSL007 expected");
+    assert!(hit.span.path.ends_with(".C"), "{hit}");
+}
+
+#[test]
+fn dsl007_near_miss_distinct_names_are_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    let child = s.add_child(root, "C", "");
+    s.add_property(root, Property::issue("W", Domain::options([8, 16]), ""))
+        .unwrap();
+    s.add_property(child, Property::issue("V", Domain::options([8, 16]), ""))
+        .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::ShadowedProperty));
+}
+
+// ---------------------------------------------------------------- DSL008
+
+#[test]
+fn dsl008_child_of_eliminated_option_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+    )
+    .unwrap();
+    s.specialize(root, "Style").unwrap();
+    // Style = B is statically eliminated, so the spawned child R.B can
+    // never be descended into.
+    s.add_constraint(root, inconsistent("CCkill", Pred::is("Style", "B")))
+        .unwrap();
+    let r = analyze(&s);
+    assert!(
+        r.diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::UnreachableChild && d.span.path.ends_with(".B")),
+        "{r}"
+    );
+}
+
+#[test]
+fn dsl008_structural_variant_unknown_spawning_issue() {
+    // Corrupt a serialized space so a child claims to be spawned by an
+    // issue nobody declares — the analyzer must catch what the builder
+    // API cannot.
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+    )
+    .unwrap();
+    s.specialize(root, "Style").unwrap();
+
+    fn rename_spawning_issue(j: &mut Json) {
+        match j {
+            Json::Object(fields) => {
+                for (k, v) in fields.iter_mut() {
+                    if k == "spawned_by" {
+                        if let Json::Array(parts) = v {
+                            if let Some(first) = parts.first_mut() {
+                                *first = Json::Str("Ghost".to_owned());
+                            }
+                        }
+                    } else {
+                        rename_spawning_issue(v);
+                    }
+                }
+            }
+            Json::Array(items) => items.iter_mut().for_each(rename_spawning_issue),
+            _ => {}
+        }
+    }
+
+    let mut j = Json::parse(&encode(&s)).unwrap();
+    rename_spawning_issue(&mut j);
+    let tampered: DesignSpace =
+        design_space_layer::foundation::json::decode(&j.to_string()).unwrap();
+    let r = analyze(&tampered);
+    assert!(
+        r.diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::UnreachableChild && d.message.contains("Ghost")),
+        "{r}"
+    );
+}
+
+#[test]
+fn dsl008_near_miss_reachable_children_are_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B"]), ""),
+    )
+    .unwrap();
+    s.specialize(root, "Style").unwrap();
+    assert!(codes(&s).is_empty(), "{}", analyze(&s));
+}
+
+// ---------------------------------------------------------------- DSL009
+
+#[test]
+fn dsl009_partial_dominance_yields_a_note() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    s.add_property(root, Property::issue("Y", Domain::options(["p", "q"]), ""))
+        .unwrap();
+    let refs: Vec<String> = vec!["X".to_owned(), "Y".to_owned()];
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCdom",
+            "",
+            refs,
+            [],
+            Relation::Dominance(Pred::all([Pred::is("X", "a"), Pred::is("Y", "p")])),
+        ),
+    )
+    .unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::DominanceHint)
+        .expect("DSL009 expected");
+    assert_eq!(hit.severity, Severity::Note);
+    assert!(hit.message.contains("1 of 4"), "{hit}");
+}
+
+#[test]
+fn dsl009_near_miss_never_firing_dominance_is_silent() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCdom",
+            "",
+            vec!["X".to_owned()],
+            [],
+            Relation::Dominance(Pred::is("X", "c")),
+        ),
+    )
+    .unwrap();
+    // (X = "c" is outside the domain, so the dominance never fires; the
+    // literal itself is flagged as DSL011, but no dominance note appears.)
+    assert!(!codes(&s).contains(&DiagCode::DominanceHint));
+}
+
+// ---------------------------------------------------------------- DSL010
+
+#[test]
+fn dsl010_partially_specialized_issue_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B", "C"]), ""),
+    )
+    .unwrap();
+    s.specialize_option(root, "Style", Value::from("A")).unwrap();
+    let r = analyze(&s);
+    let hits = r
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == DiagCode::UnspecializedOption)
+        .count();
+    assert_eq!(hits, 2, "{r}");
+}
+
+#[test]
+fn dsl010_near_miss_fully_deferred_issue_is_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(
+        root,
+        Property::generalized_issue("Style", Domain::options(["A", "B", "C"]), ""),
+    )
+    .unwrap();
+    assert!(codes(&s).is_empty(), "{}", analyze(&s));
+}
+
+// ---------------------------------------------------------------- DSL011
+
+#[test]
+fn dsl011_literal_outside_domain_is_flagged() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b"]), ""))
+        .unwrap();
+    s.add_constraint(root, inconsistent("CCtypo", Pred::is("X", "z")))
+        .unwrap();
+    let r = analyze(&s);
+    let hit = r
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::LiteralOutsideDomain)
+        .expect("DSL011 expected");
+    assert!(hit.message.contains('z'), "{hit}");
+}
+
+#[test]
+fn dsl011_near_miss_in_domain_literal_is_fine() {
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("R", "");
+    s.add_property(root, Property::issue("X", Domain::options(["a", "b", "c"]), ""))
+        .unwrap();
+    s.add_constraint(root, inconsistent("CCok", Pred::is("X", "a")))
+        .unwrap();
+    assert!(!codes(&s).contains(&DiagCode::LiteralOutsideDomain));
+}
+
+// ------------------------------------------------- shipped-space gates
+
+#[test]
+fn shipped_spaces_are_error_free() {
+    use design_space_layer::dse_library::{crypto, fir, idct};
+    let spaces = [
+        crypto::build_layer().unwrap().space,
+        crypto::build_layer_technology_first().unwrap().space,
+        idct::build_layer_generalization().unwrap().space,
+        idct::build_layer_abstraction().unwrap().space,
+        fir::build_layer().unwrap().space,
+    ];
+    for space in &spaces {
+        let r = analyze(space);
+        assert!(!r.has_errors(), "{}: {r}", space.name());
+    }
+}
+
+#[test]
+fn crypto_layer_gets_exactly_the_cc5_dominance_note() {
+    use design_space_layer::dse_library::crypto;
+    let layer = crypto::build_layer().unwrap();
+    let r = analyze(&layer.space);
+    assert_eq!(r.len(), 1, "{r}");
+    let d = &r.diagnostics()[0];
+    assert_eq!(d.code, DiagCode::DominanceHint);
+    assert_eq!(d.span.constraint.as_deref(), Some("CC5"));
+}
+
+// ---------------------------------------------------- property checks
+
+/// A random space: a small hierarchy, random domains, and constraints
+/// that may reference undeclared names or carry stray relation refs.
+fn random_space(g: &mut Gen) -> (DesignSpace, CdoId) {
+    const NAMES: [&str; 6] = ["P0", "P1", "P2", "P3", "P4", "P5"];
+    let mut s = DesignSpace::new("rand");
+    let root = s.add_root("Root", "");
+    let mut nodes = vec![root];
+    for i in 0..g.usize_in(0, 4) {
+        let parent = *g.choose(&nodes);
+        nodes.push(s.add_child(parent, format!("N{i}"), ""));
+    }
+    for &name in NAMES.iter().take(g.usize_in(0, NAMES.len())) {
+        let node = *g.choose(&nodes);
+        let domain = match g.usize_in(0, 4) {
+            0 => Domain::options(["a", "b", "c"]),
+            1 => Domain::int_range(1, g.i64_in(1, 20)),
+            2 => Domain::PowersOfTwo { max_exp: 3 },
+            _ => Domain::options([1, 2]),
+        };
+        let prop = match g.usize_in(0, 3) {
+            0 => Property::requirement(name, domain, None, ""),
+            1 => Property::issue(name, domain, ""),
+            _ => Property::description(name, domain, ""),
+        };
+        // Collisions along the chain are rejected by the API; ignore them.
+        let _ = s.add_property(node, prop);
+    }
+    for i in 0..g.usize_in(0, 5) {
+        let node = *g.choose(&nodes);
+        let a = (*g.choose(&NAMES)).to_owned();
+        let b = (*g.choose(&NAMES)).to_owned();
+        let c = match g.usize_in(0, 3) {
+            0 => inconsistent(
+                &format!("CC{i}"),
+                Pred::all([Pred::is(a, "a"), Pred::is(b, 1)]),
+            ),
+            1 => quant(&format!("CC{i}"), &[a.as_str()], &b),
+            // Deliberately malformed: relation refs not listed.
+            _ => ConsistencyConstraint::new(
+                format!("CC{i}"),
+                "",
+                [a],
+                [],
+                Relation::InconsistentOptions(Pred::is(b, "a")),
+            ),
+        };
+        s.add_constraint_unchecked(node, c);
+    }
+    (s, root)
+}
+
+#[test]
+fn property_random_spaces_never_panic_and_analysis_is_deterministic() {
+    check::run("analyze never panics", |g| {
+        let (s, root) = random_space(g);
+        let r1 = analyze(&s);
+        let r2 = analyze(&s);
+        assert_eq!(r1, r2);
+        // The evaluation-order query must be total as well.
+        let _ = design_space_layer::dse::analyze::evaluation_order(&s, root);
+    });
+}
+
+#[test]
+fn property_injected_cycles_are_always_detected() {
+    check::run("injected cycle detected", |g| {
+        let (mut s, node) = random_space(g);
+        let x = format!("Cyc{}", g.u32_in(0, 1000));
+        let y = format!("Cyc{}", g.u32_in(1000, 2000));
+        s.add_constraint(node, quant("CycA", &[x.as_str()], &y)).unwrap();
+        s.add_constraint(node, quant("CycB", &[y.as_str()], &x)).unwrap();
+        let r = analyze(&s);
+        assert!(
+            r.diagnostics().iter().any(|d| d.code == DiagCode::DerivationCycle),
+            "{r}"
+        );
+    });
+}
+
+#[test]
+fn property_injected_unbound_references_are_always_detected() {
+    check::run("injected unbound ref detected", |g| {
+        let (mut s, node) = random_space(g);
+        let ghost = format!("Unbound{}", g.u32_in(0, 1_000_000));
+        s.add_constraint(node, inconsistent("CCghost", Pred::is(ghost.clone(), "x")))
+            .unwrap();
+        let r = analyze(&s);
+        assert!(
+            r.diagnostics()
+                .iter()
+                .any(|d| d.code == DiagCode::UnresolvedReference && d.message.contains(&ghost)),
+            "{r}"
+        );
+    });
+}

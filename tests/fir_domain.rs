@@ -63,14 +63,15 @@ fn fir_selection_walkthrough_with_functional_verification() {
 fn fir_library_lints_clean_modulo_parameter_requirements() {
     let layer = fir::build_layer().unwrap();
     let library = fir::build_library(&Technology::g10_035());
-    let findings = lint_library(&layer.space, layer.fir, &library);
+    let report = lint_library(&layer.space, layer.fir, &library);
     // FIR cores legitimately parameterize on Taps/DataWidth (application
     // requirements the macro is built for); nothing else may be flagged.
     assert!(
-        findings
-            .iter()
-            .all(|f| f.property == "Taps" || f.property == "DataWidth"),
-        "{findings:?}"
+        report.diagnostics().iter().all(|d| {
+            let p = d.span.property.as_deref();
+            p == Some("Taps") || p == Some("DataWidth")
+        }),
+        "{report}"
     );
 }
 

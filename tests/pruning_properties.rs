@@ -200,7 +200,7 @@ mod session_invariants {
                     Pred::is("B", "q"),
                 ])),
             ),
-        );
+        ).unwrap();
         (s, root)
     }
 
