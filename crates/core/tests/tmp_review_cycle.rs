@@ -1,0 +1,42 @@
+use dse::analyze::{analyze, DerivationGraph};
+use dse::constraint::{ConsistencyConstraint, Fidelity, Relation};
+use dse::diag::DiagCode;
+use dse::expr::Expr;
+use dse::hierarchy::DesignSpace;
+
+fn quant(name: &str, indep: &str, target: &str) -> ConsistencyConstraint {
+    ConsistencyConstraint::new(
+        name,
+        "",
+        [indep.to_owned()],
+        [target.to_owned()],
+        Relation::Quantitative {
+            target: target.to_owned(),
+            formula: Expr::prop(indep),
+            fidelity: Fidelity::Exact,
+        },
+    )
+}
+
+#[test]
+fn cycle_with_early_sorting_downstream_sink_is_detected() {
+    // Cycle X -> Y -> X, plus Y -> A where "A" sorts before "X"/"Y".
+    let cs = [quant("C1", "X", "Y"), quant("C2", "Y", "X"), quant("C3", "Y", "A")];
+    let g = DerivationGraph::from_constraints(cs.iter());
+    assert!(g.topo_order().is_err(), "graph really is cyclic");
+    assert!(
+        g.find_cycle().is_some(),
+        "find_cycle misses the cycle when a downstream sink sorts first"
+    );
+
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("Root", "");
+    for c in cs {
+        s.add_constraint_unchecked(root, c);
+    }
+    let r = analyze(&s);
+    assert!(
+        r.diagnostics().iter().any(|d| d.code == DiagCode::DerivationCycle),
+        "analyze() reported no DerivationCycle: {r}"
+    );
+}
