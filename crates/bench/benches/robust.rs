@@ -1,0 +1,7 @@
+//! Benchmarks of the resilience layer: supervision overhead vs bare
+//! registry calls, the fallback ladder under injected faults, and
+//! journal recovery.
+
+fn main() {
+    bench::suites::robust().finish();
+}

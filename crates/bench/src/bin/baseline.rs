@@ -1,5 +1,6 @@
 //! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
-//! combining the `bignum_ops`, `exploration` and `analyze` suites.
+//! combining the `bignum_ops`, `exploration`, `analyze` and `robust`
+//! suites.
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline            # writes BENCH_baseline.json
@@ -19,6 +20,7 @@ fn main() {
         bench::suites::bignum_ops(),
         bench::suites::exploration(),
         bench::suites::analyze(),
+        bench::suites::robust(),
     ];
     let reports: Vec<_> = suites.iter().map(|h| h.report_json()).collect();
     for h in &suites {

@@ -190,6 +190,85 @@ pub fn paper_artifacts() -> Harness {
     h
 }
 
+/// The resilience layer (`dse::robust`): supervised tool calls against
+/// bare registry calls (the supervision overhead the acceptance gate
+/// bounds at 2×), the full fallback ladder under injected faults, and
+/// journal serialization/recovery.
+pub fn robust() -> Harness {
+    use dse::expr::Bindings;
+    use dse::robust::{FaultPlan, FaultRates, Supervisor};
+    use dse::robust::fault::silence_injected_panics;
+    use dse::robust::{JournalRecord, JournaledSession};
+    use dse_library::estimators::full_registry;
+
+    silence_injected_panics();
+    let mut h = Harness::new("robust");
+    let tech = Technology::g10_035();
+    let mut bindings = Bindings::new();
+    bindings.insert("EOL".to_owned(), Value::from(768));
+    bindings.insert("Algorithm".to_owned(), Value::from("Montgomery"));
+    bindings.insert("Radix".to_owned(), Value::from(2));
+
+    let bare = full_registry(tech.clone());
+    h.bench("robust/bare_call", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(
+                bare.run("CoarseDelayEstimator", black_box(&bindings))
+                    .expect("healthy tool"),
+            );
+        }
+    });
+    let sup = Supervisor::new(full_registry(tech.clone()));
+    h.bench("robust/supervised_call", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(
+                sup.call("CoarseDelayEstimator", black_box(&bindings))
+                    .expect("healthy tool"),
+            );
+        }
+    });
+    let chaotic = Supervisor::new(
+        FaultPlan::new(42, 64, FaultRates::chaos()).wrap_registry(full_registry(tech.clone())),
+    );
+    h.bench("robust/supervised_estimate_under_chaos", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(chaotic.estimate(
+                "BehaviorDelayEstimator",
+                black_box(&bindings),
+                Some((0.1, 50.0)),
+            ));
+        }
+    });
+
+    let layer = crypto::build_layer().expect("layer builds");
+    h.bench("robust/journal_roundtrip", move || {
+        let mut js = JournaledSession::new(&layer.space, layer.omm);
+        js.set_requirement("EOL", Value::from(768)).unwrap();
+        js.set_requirement("MaxLatencyUs", Value::from(8.0)).unwrap();
+        js.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        js.decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        js.decide("Algorithm", Value::from("Montgomery")).unwrap();
+        let text = black_box(js.journal().to_jsonl());
+        black_box(
+            JournaledSession::recover(&layer.space, layer.omm, &text).expect("clean journal"),
+        );
+    });
+    h.bench("robust/journal_encode_decode_record", || {
+        let r = JournalRecord::Decide {
+            name: "Algorithm".to_owned(),
+            value: Value::from("Montgomery"),
+        };
+        let line = foundation::json::encode(black_box(&r));
+        black_box(foundation::json::decode::<JournalRecord>(&line).expect("roundtrip"));
+    });
+    h
+}
+
 /// The static analyzer (`dse::analyze`): full-space verification of the
 /// shipped crypto layer, plus a synthetic ~1.4k-CDO space that stresses
 /// the per-node passes (derivation graph, domain enumeration, hierarchy

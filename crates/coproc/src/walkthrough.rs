@@ -3,7 +3,9 @@
 
 use bignum::{random_prime, uniform_below, UBig};
 use dse::error::DseError;
+use dse::estimate::EstimatorRegistry;
 use dse::eval::FigureOfMerit;
+use dse::robust::{Figure, Provenance, Supervisor};
 use dse::value::Value;
 use dse_library::{crypto, CoreRecord, Explorer, ReuseLibrary};
 use hwmodel::{AdderKind, Algorithm, DigitMultiplierKind, ModMulArchitecture};
@@ -41,6 +43,13 @@ pub struct WalkthroughReport {
     pub functionally_verified: bool,
     /// Projected modular-exponentiation time for the selection, µs.
     pub modexp_projection_us: Option<f64>,
+    /// Provenance-tagged figures from the session's derivations and
+    /// supervised estimator runs (CC2's `LatencyCycles`, CC3's
+    /// `MaxCombDelayNs`), property name first.
+    pub estimates: Vec<(String, Figure)>,
+    /// The worst provenance over `estimates` — the report's overall
+    /// degradation level ([`Provenance::Exact`] when nothing degraded).
+    pub degradation: Provenance,
 }
 
 /// Reconstructs the datapath architecture a hardware core record
@@ -82,6 +91,23 @@ pub fn architecture_from_core(core: &CoreRecord) -> Option<ModMulArchitecture> {
 /// Propagates layer errors; a spec no core can meet yields an empty
 /// candidate list rather than an error.
 pub fn run(spec: &KocSpec, tech: &Technology) -> Result<WalkthroughReport, DseError> {
+    run_supervised(spec, tech, dse_library::estimators::full_registry(tech.clone()))
+}
+
+/// Like [`run`], but estimation tools come from the caller's `registry`
+/// (wrapped in a [`Supervisor`]), so a harness can substitute faulty,
+/// partial, or instrumented tools. An empty registry still succeeds: the
+/// supervisor degrades to each derived property's declared range and tags
+/// the figure [`Provenance::Fallback`].
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn run_supervised(
+    spec: &KocSpec,
+    tech: &Technology,
+    registry: EstimatorRegistry,
+) -> Result<WalkthroughReport, DseError> {
     let layer = crypto::build_layer()?;
     // Statically verify the layer before exploring it: a space the
     // analyzer rejects would misbehave mid-session (dead options,
@@ -95,10 +121,14 @@ pub fn run(spec: &KocSpec, tech: &Technology) -> Result<WalkthroughReport, DseEr
         });
     }
     let library = crypto::build_library(tech, spec.eol);
-    run_with_library(spec, tech, &layer, &library)
+    let supervisor = Supervisor::new(registry);
+    run_with_library_supervised(spec, tech, &layer, &library, &supervisor)
 }
 
 /// Like [`run`], against a caller-provided layer and library.
+///
+/// Runs without estimation tools: the supervised-estimation step still
+/// executes, but every figure degrades to its declared-range fallback.
 ///
 /// # Errors
 ///
@@ -108,6 +138,23 @@ pub fn run_with_library(
     tech: &Technology,
     layer: &crypto::CryptoLayer,
     library: &ReuseLibrary,
+) -> Result<WalkthroughReport, DseError> {
+    let supervisor = Supervisor::new(EstimatorRegistry::new());
+    run_with_library_supervised(spec, tech, layer, library, &supervisor)
+}
+
+/// The full walkthrough against caller-provided layer, library, and
+/// supervisor — the most general entry point; the others delegate here.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn run_with_library_supervised(
+    spec: &KocSpec,
+    tech: &Technology,
+    layer: &crypto::CryptoLayer,
+    library: &ReuseLibrary,
+    supervisor: &Supervisor,
 ) -> Result<WalkthroughReport, DseError> {
     let mut exp = Explorer::new(&layer.space, layer.omm, library);
     let mut steps = Vec::new();
@@ -175,6 +222,29 @@ pub fn run_with_library(
         .decide("FabricationTechnology", Value::from(tech.node().name()))?;
     record(&exp, format!("technology committed ({tech})"));
 
+    // DI7: commit the behavioural decomposition so CC3's estimator
+    // context becomes ready, then run the tools under supervision and
+    // absorb what the quantitative relations already derived. Figures
+    // carry provenance: `Estimated` when a tool answered, `Fallback`
+    // when the supervisor had to fall back to the declared range.
+    exp.session
+        .decide("BehavioralDecomposition", Value::from("use-default"))?;
+    let mut estimates = exp.session.absorb_derived();
+    estimates.extend(exp.session.run_estimators(supervisor));
+    let degradation = estimates
+        .iter()
+        .map(|(_, f)| f.provenance)
+        .max()
+        .unwrap_or(Provenance::Exact);
+    record(
+        &exp,
+        format!(
+            "supervised estimation ({} figure(s), worst provenance: {})",
+            estimates.len(),
+            degradation.label()
+        ),
+    );
+
     // Requirement check over the survivors.
     let candidates: Vec<CoreRecord> = exp
         .cores_meeting(&FigureOfMerit::TimeUs, spec.max_latency_us)
@@ -219,6 +289,8 @@ pub fn run_with_library(
         selected,
         functionally_verified,
         modexp_projection_us,
+        estimates,
+        degradation,
     })
 }
 
@@ -270,6 +342,41 @@ mod tests {
         assert!(report.candidates.is_empty());
         assert!(report.selected.is_none());
         assert!(!report.functionally_verified);
+    }
+
+    #[test]
+    fn supervised_estimates_carry_provenance() {
+        let report = run(&KocSpec::paper(), &Technology::g10_035()).unwrap();
+        let (_, delay) = report
+            .estimates
+            .iter()
+            .find(|(n, _)| n == "MaxCombDelayNs")
+            .expect("CC3 produced a delay figure");
+        assert_eq!(delay.provenance, Provenance::Estimated);
+        assert!(delay.value.unwrap() > 0.0);
+        assert_eq!(delay.source, "BehaviorDelayEstimator");
+        // The tool answered, so nothing in the report degraded further.
+        assert!(report.degradation <= Provenance::Estimated);
+    }
+
+    #[test]
+    fn missing_tools_degrade_to_declared_range_not_failure() {
+        let tech = Technology::g10_035();
+        let spec = KocSpec::paper();
+        let layer = crypto::build_layer().unwrap();
+        let library = crypto::build_library(&tech, spec.eol);
+        // `run_with_library` supervises an *empty* registry: the unknown
+        // tool must degrade to the declared range, never fail the run.
+        let report = run_with_library(&spec, &tech, &layer, &library).unwrap();
+        let (_, delay) = report
+            .estimates
+            .iter()
+            .find(|(n, _)| n == "MaxCombDelayNs")
+            .expect("the fallback still yields a figure");
+        assert_eq!(delay.provenance, Provenance::Fallback);
+        assert!(delay.source.contains("declared-range"));
+        assert_eq!(report.degradation, Provenance::Fallback);
+        assert!(report.selected.is_some(), "the exploration itself is unharmed");
     }
 
     #[test]

@@ -114,10 +114,33 @@ impl DerivationGraph {
 
     /// One explicit cycle path (`A → B → A`), if the graph has any.
     pub fn find_cycle(&self) -> Option<Vec<String>> {
-        let cyclic: BTreeSet<String> = match self.topo_order() {
+        let mut cyclic: BTreeSet<String> = match self.topo_order() {
             Ok(_) => return None,
             Err(c) => c.into_iter().collect(),
         };
+        // `topo_order`'s leftover set also contains nodes that are merely
+        // *downstream* of a cycle (they never reach indegree 0 but sit on
+        // no cycle themselves). Trim nodes with no successor inside the
+        // set until only true cycle members remain, so the walk below
+        // cannot start at — or wander into — a dead end.
+        loop {
+            let dead: Vec<String> = cyclic
+                .iter()
+                .filter(|n| {
+                    !self
+                        .edges
+                        .get(*n)
+                        .is_some_and(|s| s.iter().any(|d| cyclic.contains(d)))
+                })
+                .cloned()
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for d in dead {
+                cyclic.remove(&d);
+            }
+        }
         // Walk successors inside the cyclic set until a node repeats.
         let start = cyclic.iter().next()?.clone();
         let mut path = vec![start.clone()];

@@ -20,7 +20,7 @@
 use std::fmt;
 
 
-use crate::expr::{Bindings, Expr, Pred};
+use crate::expr::{Bindings, Expr, ExprError, Pred};
 use crate::value::Value;
 
 /// How trustworthy a quantitative relation is.
@@ -99,6 +99,14 @@ pub enum ConstraintOutcome {
         estimator: String,
         /// The output property it would produce.
         output: String,
+    },
+    /// The relation could not be evaluated even though its independents
+    /// are bound — a type mismatch, division by zero or non-finite
+    /// arithmetic. Unlike [`NotReady`](Self::NotReady), waiting for more
+    /// decisions will not fix this; sessions treat it as a hard error.
+    Failed {
+        /// The evaluation error's rendering.
+        detail: String,
     },
 }
 
@@ -200,12 +208,18 @@ impl ConsistencyConstraint {
         }
         match &self.relation {
             Relation::InconsistentOptions(pred) | Relation::Dominance(pred) => {
-                match pred.eval_if_ready(bindings) {
-                    Some(true) => ConstraintOutcome::Violated {
+                // Unbound references mean "wait for more decisions"; any
+                // other evaluation error is a hard failure the session
+                // must surface, not swallow.
+                match pred.eval(bindings) {
+                    Ok(true) => ConstraintOutcome::Violated {
                         detail: format!("{pred}"),
                     },
-                    Some(false) => ConstraintOutcome::Satisfied,
-                    None => ConstraintOutcome::NotReady,
+                    Ok(false) => ConstraintOutcome::Satisfied,
+                    Err(ExprError::Unbound(_)) => ConstraintOutcome::NotReady,
+                    Err(e) => ConstraintOutcome::Failed {
+                        detail: e.to_string(),
+                    },
                 }
             }
             Relation::Quantitative {
@@ -222,7 +236,10 @@ impl ConsistencyConstraint {
                         value,
                     }
                 }
-                Err(_) => ConstraintOutcome::NotReady,
+                Err(ExprError::Unbound(_)) => ConstraintOutcome::NotReady,
+                Err(e) => ConstraintOutcome::Failed {
+                    detail: e.to_string(),
+                },
             },
             Relation::EstimatorContext {
                 estimator,
@@ -430,6 +447,35 @@ mod tests {
             ("Adder", Value::from("carry-save")),
         ]);
         assert_eq!(c.evaluate(&fine), ConstraintOutcome::Satisfied);
+    }
+
+    #[test]
+    fn evaluation_errors_surface_as_failed_not_not_ready() {
+        // CC2 with Radix = 0: division by zero is a hard failure once the
+        // independents are all bound.
+        let c = cc2();
+        let out = c.evaluate(&b(&[("EOL", Value::Int(768)), ("Radix", Value::Int(0))]));
+        assert!(
+            matches!(&out, ConstraintOutcome::Failed { detail } if detail.contains("zero")),
+            "{out:?}"
+        );
+        // A predicate over a text value where a number is needed.
+        let c = ConsistencyConstraint::new(
+            "CCtype",
+            "",
+            vec!["A".to_owned()],
+            vec![],
+            Relation::InconsistentOptions(Pred::cmp(
+                CmpOp::Ge,
+                Expr::prop("A"),
+                Expr::constant(1),
+            )),
+        );
+        let out = c.evaluate(&b(&[("A", Value::from("text"))]));
+        assert!(matches!(out, ConstraintOutcome::Failed { .. }), "{out:?}");
+        // A non-finite bound value.
+        let out = c.evaluate(&b(&[("A", Value::Real(f64::NAN))]));
+        assert!(matches!(out, ConstraintOutcome::Failed { .. }), "{out:?}");
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// `DSL0xx` codes come from the static space analyzer; `DSL1xx` codes
-/// come from the reuse-library lint in `dse-library`. Codes are
+/// come from the reuse-library lint in `dse-library`; `DSL2xx` codes
+/// come from the resilience layer ([`crate::robust`]). Codes are
 /// append-only: a published code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
@@ -93,6 +94,9 @@ pub enum DiagCode {
     /// A core binds an application requirement (cores embody decisions,
     /// not requirements).
     CoreBindsRequirement,
+    /// A decision journal's final record was truncated (crash
+    /// mid-append); recovery dropped exactly that torn tail.
+    TornJournalTail,
 }
 
 impl DiagCode {
@@ -112,6 +116,7 @@ impl DiagCode {
         DiagCode::CoreUnknownProperty,
         DiagCode::CoreOutsideDomain,
         DiagCode::CoreBindsRequirement,
+        DiagCode::TornJournalTail,
     ];
 
     /// The stable `DSLnnn` code string.
@@ -131,6 +136,7 @@ impl DiagCode {
             DiagCode::CoreUnknownProperty => "DSL101",
             DiagCode::CoreOutsideDomain => "DSL102",
             DiagCode::CoreBindsRequirement => "DSL103",
+            DiagCode::TornJournalTail => "DSL201",
         }
     }
 
@@ -167,6 +173,9 @@ impl DiagCode {
             DiagCode::CoreUnknownProperty => "core binds a property the layer does not declare",
             DiagCode::CoreOutsideDomain => "core binding is outside the declared domain",
             DiagCode::CoreBindsRequirement => "core binds an application requirement",
+            DiagCode::TornJournalTail => {
+                "decision journal's final record was truncated and dropped during recovery"
+            }
         }
     }
 
@@ -185,7 +194,8 @@ impl DiagCode {
             | DiagCode::UnreachableChild
             | DiagCode::UnspecializedOption
             | DiagCode::LiteralOutsideDomain
-            | DiagCode::CoreBindsRequirement => Severity::Warning,
+            | DiagCode::CoreBindsRequirement
+            | DiagCode::TornJournalTail => Severity::Warning,
             DiagCode::DominanceHint => Severity::Note,
         }
     }

@@ -103,6 +103,18 @@ pub enum DseError {
         /// Rendered summary of the error diagnostics.
         detail: String,
     },
+    /// A constraint's relation failed to evaluate (type mismatch,
+    /// division by zero, non-finite arithmetic) even though its
+    /// independents were bound — the decision that exposed it is rolled
+    /// back.
+    EvaluationFailed {
+        /// The failing constraint's name.
+        constraint: String,
+        /// The evaluation error's rendering.
+        detail: String,
+    },
+    /// An estimation tool failed terminally.
+    Estimate(crate::estimate::EstimateError),
 }
 
 impl fmt::Display for DseError {
@@ -166,6 +178,10 @@ impl fmt::Display for DseError {
             DseError::SpaceRejected { space, detail } => {
                 write!(f, "design space {space:?} rejected by the analyzer: {detail}")
             }
+            DseError::EvaluationFailed { constraint, detail } => {
+                write!(f, "constraint {constraint:?} failed to evaluate: {detail}")
+            }
+            DseError::Estimate(e) => write!(f, "estimation failed: {e}"),
         }
     }
 }
@@ -174,6 +190,7 @@ impl std::error::Error for DseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DseError::Expr(e) => Some(e),
+            DseError::Estimate(e) => Some(e),
             _ => None,
         }
     }
@@ -182,6 +199,12 @@ impl std::error::Error for DseError {
 impl From<crate::expr::ExprError> for DseError {
     fn from(e: crate::expr::ExprError) -> Self {
         DseError::Expr(e)
+    }
+}
+
+impl From<crate::estimate::EstimateError> for DseError {
+    fn from(e: crate::estimate::EstimateError) -> Self {
+        DseError::Estimate(e)
     }
 }
 
@@ -240,6 +263,11 @@ mod tests {
                 space: "s".into(),
                 detail: "1 error(s)".into(),
             },
+            DseError::EvaluationFailed {
+                constraint: "CC2".into(),
+                detail: "division by zero".into(),
+            },
+            DseError::Estimate(crate::estimate::EstimateError::ToolFailed("boom".into())),
         ];
         for e in cases {
             let msg = e.to_string();

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::expr::Bindings;
+use crate::robust::Fuel;
 
 /// Errors from invoking an estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,25 @@ pub enum EstimateError {
     MissingInput(String),
     /// The tool could not produce an estimate for these inputs.
     NotApplicable(String),
+    /// The tool crashed (panicked); caught by the supervisor.
+    ToolFailed(String),
+    /// A transient failure: retrying the same call may succeed. The
+    /// supervisor retries these with seeded backoff.
+    Transient(String),
+    /// The call's deterministic step budget ran out.
+    FuelExhausted {
+        /// The budget the call started with.
+        limit: u64,
+    },
+    /// The tool returned a non-finite or out-of-range value.
+    InvalidOutput(String),
+}
+
+impl EstimateError {
+    /// Whether retrying the identical call may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EstimateError::Transient(_))
+    }
 }
 
 impl fmt::Display for EstimateError {
@@ -28,6 +48,14 @@ impl fmt::Display for EstimateError {
             EstimateError::UnknownEstimator(n) => write!(f, "unknown estimator {n:?}"),
             EstimateError::MissingInput(p) => write!(f, "estimator input {p:?} is not bound"),
             EstimateError::NotApplicable(why) => write!(f, "estimator not applicable: {why}"),
+            EstimateError::ToolFailed(why) => write!(f, "estimation tool crashed: {why}"),
+            EstimateError::Transient(why) => write!(f, "transient estimator failure: {why}"),
+            EstimateError::FuelExhausted { limit } => {
+                write!(f, "estimator exhausted its fuel budget of {limit} steps")
+            }
+            EstimateError::InvalidOutput(why) => {
+                write!(f, "estimator returned an invalid value: {why}")
+            }
         }
     }
 }
@@ -49,6 +77,28 @@ pub trait Estimator: Send + Sync {
     ///
     /// Returns an error if required inputs are missing or out of scope.
     fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError>;
+
+    /// Produces the estimate under a deterministic step budget.
+    ///
+    /// Long-running tools should override this and spend from `fuel` at
+    /// their dominant-loop granularity; the default ignores the budget
+    /// (appropriate for constant-time tools).
+    ///
+    /// # Errors
+    ///
+    /// The tool's own errors, or [`EstimateError::FuelExhausted`] when the
+    /// budget runs out mid-computation.
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        let _ = fuel;
+        self.estimate(inputs)
+    }
+
+    /// Registered names of coarser tools to try, in order, when this tool
+    /// fails — the declarative fallback chain the supervisor walks before
+    /// resorting to the output property's declared range.
+    fn fallbacks(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// A registry of estimation tools, keyed by name.
@@ -86,9 +136,32 @@ impl EstimatorRegistry {
             .estimate(inputs)
     }
 
+    /// Runs a tool by name under a fuel budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnknownEstimator`] for unregistered names,
+    /// or the tool's own error (including fuel exhaustion).
+    pub fn run_with_fuel(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        fuel: &Fuel,
+    ) -> Result<f64, EstimateError> {
+        self.get(name)
+            .ok_or_else(|| EstimateError::UnknownEstimator(name.to_owned()))?
+            .estimate_with_fuel(inputs, fuel)
+    }
+
     /// Registered tool names.
     pub fn names(&self) -> Vec<&str> {
         self.tools.keys().map(String::as_str).collect()
+    }
+
+    /// Consumes the registry, yielding the registered tools — used by
+    /// fault-injection harnesses that wrap every tool.
+    pub fn into_tools(self) -> Vec<Box<dyn Estimator>> {
+        self.tools.into_values().collect()
     }
 }
 

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::robust::{Figure, Provenance};
 
 /// A figure of merit the layer can report on.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,10 +71,16 @@ impl fmt::Display for FigureOfMerit {
 }
 
 /// One design's coordinates in the evaluation space.
+///
+/// Each merit may carry a [`Provenance`] tag recording how trustworthy
+/// the coordinate is (measured datasheet figure vs. supervised estimate
+/// vs. fallback range). Untagged merits are implicitly
+/// [`Provenance::Exact`] — the common case for library datasheets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalPoint {
     label: String,
     merits: BTreeMap<FigureOfMerit, f64>,
+    provenance: BTreeMap<FigureOfMerit, Provenance>,
 }
 
 impl EvalPoint {
@@ -82,13 +89,27 @@ impl EvalPoint {
         EvalPoint {
             label: label.into(),
             merits: BTreeMap::new(),
+            provenance: BTreeMap::new(),
         }
     }
 
-    /// Adds a merit (builder style).
+    /// Adds a merit (builder style); the coordinate counts as exact.
     #[must_use]
     pub fn with(mut self, merit: FigureOfMerit, value: f64) -> Self {
         self.merits.insert(merit, value);
+        self
+    }
+
+    /// Adds a provenance-tagged merit (builder style). A [`Figure`]
+    /// without a value (unavailable) records only the provenance tag, so
+    /// the degradation stays visible even though the coordinate is
+    /// missing.
+    #[must_use]
+    pub fn with_figure(mut self, merit: FigureOfMerit, figure: &Figure) -> Self {
+        if let Some(v) = figure.value {
+            self.merits.insert(merit.clone(), v);
+        }
+        self.provenance.insert(merit, figure.provenance);
         self
     }
 
@@ -105,6 +126,28 @@ impl EvalPoint {
     /// All recorded merits.
     pub fn merits(&self) -> impl Iterator<Item = (&FigureOfMerit, f64)> {
         self.merits.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// The provenance of a merit: the recorded tag, or
+    /// [`Provenance::Exact`] for an untagged recorded value, or `None`
+    /// when the merit is entirely unknown.
+    pub fn provenance(&self, merit: &FigureOfMerit) -> Option<Provenance> {
+        self.provenance.get(merit).copied().or_else(|| {
+            self.merits
+                .contains_key(merit)
+                .then_some(Provenance::Exact)
+        })
+    }
+
+    /// The worst provenance over every recorded merit and tag — the
+    /// point's overall degradation level. `Exact` for a point with only
+    /// untagged coordinates.
+    pub fn worst_provenance(&self) -> Provenance {
+        self.provenance
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Provenance::Exact)
     }
 
     /// Whether `self` dominates `other` on `merits`: no worse on all, and
@@ -350,7 +393,7 @@ foundation::impl_json_enum!(FigureOfMerit {
     EnergyNj,
     Other(name),
 });
-foundation::impl_json_struct!(EvalPoint { label, merits });
+foundation::impl_json_struct!(EvalPoint { label, merits, provenance });
 foundation::impl_json_struct!(EvaluationSpace { points });
 
 #[cfg(test)]
@@ -455,6 +498,43 @@ mod tests {
         assert_eq!(AreaUm2.unit(), "µm²");
         assert_eq!(FigureOfMerit::Other("mips".into()).to_string(), "mips");
         assert!(DelayNs.minimize());
+    }
+
+    #[test]
+    fn provenance_tags_ride_along_with_merits() {
+        let est = Figure::estimated(420.0, "BehaviorDelayEstimator");
+        let fb = Figure::fallback(10.0, "declared-range");
+        let missing = Figure::unavailable("AreaEstimator: boom");
+        let p = EvalPoint::new("candidate")
+            .with(AreaUm2, 900.0)
+            .with_figure(DelayNs, &est)
+            .with_figure(FigureOfMerit::ClockNs, &fb)
+            .with_figure(FigureOfMerit::PowerMw, &missing);
+        assert_eq!(p.provenance(&AreaUm2), Some(Provenance::Exact));
+        assert_eq!(p.provenance(&DelayNs), Some(Provenance::Estimated));
+        assert_eq!(p.provenance(&FigureOfMerit::ClockNs), Some(Provenance::Fallback));
+        // Unavailable: no coordinate, but the tag survives.
+        assert_eq!(p.merit(&FigureOfMerit::PowerMw), None);
+        assert_eq!(
+            p.provenance(&FigureOfMerit::PowerMw),
+            Some(Provenance::Unavailable)
+        );
+        assert_eq!(p.provenance(&FigureOfMerit::EnergyNj), None);
+        assert_eq!(p.worst_provenance(), Provenance::Unavailable);
+        assert_eq!(
+            EvalPoint::new("plain").with(AreaUm2, 1.0).worst_provenance(),
+            Provenance::Exact
+        );
+    }
+
+    #[test]
+    fn provenance_roundtrips_through_json() {
+        let p = EvalPoint::new("x")
+            .with(AreaUm2, 2.0)
+            .with_figure(DelayNs, &Figure::fallback(5.0, "range"));
+        let json = foundation::json::encode(&p);
+        let back: EvalPoint = foundation::json::decode(&json).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]

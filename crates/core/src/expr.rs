@@ -31,6 +31,21 @@ pub enum ExprError {
     },
     /// Division by zero.
     DivisionByZero,
+    /// An operation produced (or an operand already was) NaN or ±∞ —
+    /// caught at the operation instead of silently propagating through
+    /// bindings and constraint checks.
+    NonFinite {
+        /// The operation or operand that produced the value.
+        context: String,
+    },
+}
+
+impl ExprError {
+    fn non_finite(context: impl Into<String>) -> ExprError {
+        ExprError::NonFinite {
+            context: context.into(),
+        }
+    }
 }
 
 impl fmt::Display for ExprError {
@@ -41,6 +56,9 @@ impl fmt::Display for ExprError {
                 write!(f, "expected {expected}, found {found}")
             }
             ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::NonFinite { context } => {
+                write!(f, "non-finite value (NaN or ±∞) from {context}")
+            }
         }
     }
 }
@@ -106,36 +124,52 @@ impl Expr {
 
     /// Evaluates to a numeric value under `bindings`.
     ///
+    /// Arithmetic is checked: division by zero and any NaN/±∞ result
+    /// (overflow, `0^-1`, a non-finite bound value) surface as structured
+    /// errors rather than flowing onward into bindings and constraint
+    /// checks.
+    ///
     /// # Errors
     ///
-    /// Returns an error for unbound properties, non-numeric operands or
-    /// division by zero.
+    /// Returns an error for unbound properties, non-numeric operands,
+    /// division by zero or non-finite results.
     pub fn eval(&self, bindings: &Bindings) -> Result<f64, ExprError> {
+        let finite = |v: f64, what: &dyn fmt::Display| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(ExprError::non_finite(what.to_string()))
+            }
+        };
         match self {
-            Expr::Const(v) => v.as_f64().ok_or(ExprError::TypeMismatch {
-                expected: "number",
-                found: v.type_name().to_owned(),
-            }),
+            Expr::Const(v) => {
+                let x = v.as_f64().ok_or(ExprError::TypeMismatch {
+                    expected: "number",
+                    found: v.type_name().to_owned(),
+                })?;
+                finite(x, &format_args!("literal {v}"))
+            }
             Expr::Prop(name) => {
                 let v = bindings
                     .get(name)
                     .ok_or_else(|| ExprError::Unbound(name.clone()))?;
-                v.as_f64().ok_or(ExprError::TypeMismatch {
+                let x = v.as_f64().ok_or(ExprError::TypeMismatch {
                     expected: "number",
                     found: v.type_name().to_owned(),
-                })
+                })?;
+                finite(x, &format_args!("property {name}"))
             }
-            Expr::Add(a, b) => Ok(a.eval(bindings)? + b.eval(bindings)?),
-            Expr::Sub(a, b) => Ok(a.eval(bindings)? - b.eval(bindings)?),
-            Expr::Mul(a, b) => Ok(a.eval(bindings)? * b.eval(bindings)?),
+            Expr::Add(a, b) => finite(a.eval(bindings)? + b.eval(bindings)?, self),
+            Expr::Sub(a, b) => finite(a.eval(bindings)? - b.eval(bindings)?, self),
+            Expr::Mul(a, b) => finite(a.eval(bindings)? * b.eval(bindings)?, self),
             Expr::Div(a, b) => {
                 let d = b.eval(bindings)?;
                 if d == 0.0 {
                     return Err(ExprError::DivisionByZero);
                 }
-                Ok(a.eval(bindings)? / d)
+                finite(a.eval(bindings)? / d, self)
             }
-            Expr::Pow(a, b) => Ok(a.eval(bindings)?.powf(b.eval(bindings)?)),
+            Expr::Pow(a, b) => finite(a.eval(bindings)?.powf(b.eval(bindings)?), self),
         }
     }
 
@@ -438,6 +472,31 @@ mod tests {
             e.eval(&Bindings::new()).unwrap_err(),
             ExprError::DivisionByZero
         );
+    }
+
+    #[test]
+    fn non_finite_results_are_structured_errors() {
+        // Overflow: (1e308 * 10) → +∞.
+        let e = Expr::constant(1e308).mul(Expr::constant(10));
+        assert!(matches!(
+            e.eval(&Bindings::new()).unwrap_err(),
+            ExprError::NonFinite { .. }
+        ));
+        // 0 ^ -1 → +∞ through powf, not through Div's zero check.
+        let e = Expr::constant(0).pow(Expr::constant(-1));
+        assert!(matches!(
+            e.eval(&Bindings::new()).unwrap_err(),
+            ExprError::NonFinite { .. }
+        ));
+        // A NaN binding is caught at the property read.
+        let e = Expr::prop("X").add(Expr::constant(1));
+        let b = bindings(&[("X", Value::Real(f64::NAN))]);
+        let err = e.eval(&b).unwrap_err();
+        assert!(
+            matches!(&err, ExprError::NonFinite { context } if context.contains("X")),
+            "{err}"
+        );
+        assert!(err.to_string().contains("non-finite"));
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //!   unresolved references, statically contradictory constraints, dead
 //!   options, unreachable child CDOs and shadowed properties, reported as
 //!   [`diag::Diagnostic`]s with stable `DSLnnn` codes.
+//! * **Resilience** ([`robust`]) — supervised estimator execution
+//!   (panic isolation, deterministic fuel budgets, seeded retry,
+//!   declarative fallback chains, provenance-tagged figures),
+//!   transactional sessions with an append-only decision journal and
+//!   crash recovery, and a deterministic fault-injection harness for
+//!   chaos testing.
 //!
 //! Domain-specific layers (cryptography, IDCT) and the reuse-library
 //! indexing live in the `dse-library` crate; this crate is
@@ -83,6 +89,7 @@ pub mod eval;
 pub mod expr;
 pub mod hierarchy;
 pub mod property;
+pub mod robust;
 pub mod script;
 pub mod session;
 pub mod value;
@@ -102,7 +109,11 @@ pub mod prelude {
     pub use crate::expr::{Bindings, CmpOp, Expr, Pred};
     pub use crate::hierarchy::{CdoId, DesignSpace};
     pub use crate::property::{Property, PropertyKind, Unit};
+    pub use crate::robust::{
+        Fault, FaultPlan, FaultRates, Figure, Fuel, Journal, JournalRecord, JournaledSession,
+        Provenance, RecoverError, RecoveryReport, Supervisor, SupervisorConfig,
+    };
     pub use crate::script::{SessionAction, SessionScript};
-    pub use crate::session::{Decision, ExplorationSession};
+    pub use crate::session::{Decision, ExplorationSession, SessionSnapshot};
     pub use crate::value::{Domain, Value};
 }

@@ -29,6 +29,11 @@ pub enum PropertyKind {
     /// A behavioural/structural description slot (e.g. "Behavioral
     /// Description" selecting among algorithm-level descriptions).
     Description,
+    /// A figure the layer *derives* — the output slot of a quantitative
+    /// relation or estimator context, never decided by the designer.
+    /// Declaring it gives the output a domain (the fallback range the
+    /// resilience supervisor resorts to) and a unit for reports.
+    Derived,
 }
 
 impl fmt::Display for PropertyKind {
@@ -38,6 +43,7 @@ impl fmt::Display for PropertyKind {
             PropertyKind::DesignIssue => "design issue",
             PropertyKind::GeneralizedIssue => "generalized design issue",
             PropertyKind::Description => "description",
+            PropertyKind::Derived => "derived figure",
         };
         f.write_str(s)
     }
@@ -179,6 +185,18 @@ impl Property {
         Property::new(name, PropertyKind::Description, domain, None, None, doc)
     }
 
+    /// A derived figure: the declared output slot of a quantitative or
+    /// estimator-context relation. Its domain doubles as the resilience
+    /// supervisor's last-resort fallback range.
+    pub fn derived(
+        name: impl Into<String>,
+        domain: Domain,
+        unit: Option<Unit>,
+        doc: impl Into<String>,
+    ) -> Self {
+        Property::new(name, PropertyKind::Derived, domain, None, unit, doc)
+    }
+
     /// The property's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -231,7 +249,7 @@ impl fmt::Display for Property {
     }
 }
 
-foundation::impl_json_enum!(PropertyKind { Requirement, DesignIssue, GeneralizedIssue, Description });
+foundation::impl_json_enum!(PropertyKind { Requirement, DesignIssue, GeneralizedIssue, Description, Derived });
 foundation::impl_json_newtype!(Unit);
 foundation::impl_json_struct!(Property { name, kind, domain, default, unit, doc });
 
@@ -257,6 +275,15 @@ mod tests {
             Property::description("BD", Domain::Any, "").kind(),
             PropertyKind::Description
         );
+        let d = Property::derived(
+            "MaxCombDelayNs",
+            Domain::real_range(0.5, 20.0),
+            Some(Unit::nanos()),
+            "",
+        );
+        assert_eq!(d.kind(), PropertyKind::Derived);
+        assert!(!d.is_issue());
+        assert!(d.to_string().contains("derived figure"));
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] precomputes, from a seed and per-fault rates, which of
+//! a tool's calls will fail and how. Wrapping an estimator (or a whole
+//! registry) in [`FaultyEstimator`]s then exercises every failure path
+//! the supervisor must contain — panics, transient errors, fuel
+//! exhaustion, NaN and garbage outputs — on a schedule that is exactly
+//! reproducible from the seed. Chaos tests use this to prove the
+//! resilience invariants: the registry is never poisoned, a failed
+//! decision never leaves a partial session, and journal replay matches
+//! the original run bit for bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+use foundation::rng::{Rng, SeedableRng, StdRng};
+
+use crate::estimate::{EstimateError, Estimator, EstimatorRegistry};
+use crate::expr::Bindings;
+use crate::robust::Fuel;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The tool panics mid-call.
+    Panic,
+    /// The tool reports a retryable [`EstimateError::Transient`] failure.
+    Transient,
+    /// The tool burns its entire fuel budget without producing a value.
+    FuelExhaustion,
+    /// The tool returns NaN.
+    Nan,
+    /// The tool returns a wildly wrong finite value (`1e30`).
+    Garbage,
+}
+
+/// Per-call probabilities of each failure mode (evaluated in order;
+/// the remainder is a healthy call).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability of [`Fault::Panic`].
+    pub panic: f64,
+    /// Probability of [`Fault::Transient`].
+    pub transient: f64,
+    /// Probability of [`Fault::FuelExhaustion`].
+    pub fuel: f64,
+    /// Probability of [`Fault::Nan`].
+    pub nan: f64,
+    /// Probability of [`Fault::Garbage`].
+    pub garbage: f64,
+}
+
+impl FaultRates {
+    /// Every failure mode at the same rate.
+    pub fn uniform(p: f64) -> Self {
+        FaultRates {
+            panic: p,
+            transient: p,
+            fuel: p,
+            nan: p,
+            garbage: p,
+        }
+    }
+
+    /// A hostile default for chaos tests: roughly half of all calls fail,
+    /// spread across the modes.
+    pub fn chaos() -> Self {
+        FaultRates::uniform(0.10)
+    }
+}
+
+/// A precomputed, seeded schedule of injected faults.
+///
+/// The schedule is drawn once at construction (`calls` entries) and
+/// cycled, so a wrapped tool can be called more times than planned
+/// without losing determinism — and without any runtime RNG state, which
+/// keeps the wrapper usable behind `&self`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    schedule: Vec<Option<Fault>>,
+}
+
+impl FaultPlan {
+    /// Draws a schedule of `calls` entries from `seed` and `rates`.
+    pub fn new(seed: u64, calls: usize, rates: FaultRates) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = (0..calls.max(1))
+            .map(|_| {
+                let roll: f64 = rng.gen();
+                let mut threshold = rates.panic;
+                if roll < threshold {
+                    return Some(Fault::Panic);
+                }
+                threshold += rates.transient;
+                if roll < threshold {
+                    return Some(Fault::Transient);
+                }
+                threshold += rates.fuel;
+                if roll < threshold {
+                    return Some(Fault::FuelExhaustion);
+                }
+                threshold += rates.nan;
+                if roll < threshold {
+                    return Some(Fault::Nan);
+                }
+                threshold += rates.garbage;
+                if roll < threshold {
+                    return Some(Fault::Garbage);
+                }
+                None
+            })
+            .collect();
+        FaultPlan { seed, schedule }
+    }
+
+    /// A plan that never injects anything (control group).
+    pub fn benign() -> Self {
+        FaultPlan {
+            seed: 0,
+            schedule: vec![None],
+        }
+    }
+
+    /// The seed the schedule was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault injected on the `i`-th call (cycling past the end).
+    pub fn fault_for_call(&self, i: usize) -> Option<Fault> {
+        self.schedule[i % self.schedule.len()]
+    }
+
+    /// Number of faulty entries in one cycle of the schedule.
+    pub fn planned_faults(&self) -> usize {
+        self.schedule.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Wraps a single estimator with this plan.
+    pub fn wrap(&self, inner: Box<dyn Estimator>) -> FaultyEstimator {
+        FaultyEstimator {
+            inner,
+            plan: self.clone(),
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wraps every tool of a registry, giving each its own schedule
+    /// (decorrelated by tool index so the tools do not fail in lockstep).
+    pub fn wrap_registry(&self, registry: EstimatorRegistry) -> EstimatorRegistry {
+        let mut out = EstimatorRegistry::new();
+        for (i, tool) in registry.into_tools().into_iter().enumerate() {
+            let plan = FaultPlan {
+                seed: self.seed,
+                schedule: {
+                    // Rotate rather than redraw: keeps the overall fault
+                    // density identical for every tool.
+                    let n = self.schedule.len();
+                    (0..n).map(|j| self.schedule[(j + i * 7) % n]).collect()
+                },
+            };
+            out.register(Box::new(FaultyEstimator {
+                inner: tool,
+                plan,
+                calls: AtomicUsize::new(0),
+            }));
+        }
+        out
+    }
+}
+
+/// An estimator wrapper that injects the plan's faults; otherwise
+/// delegates to the wrapped tool (including its fallback chain).
+pub struct FaultyEstimator {
+    inner: Box<dyn Estimator>,
+    plan: FaultPlan,
+    calls: AtomicUsize,
+}
+
+impl FaultyEstimator {
+    /// How many times the wrapper has been called.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn inject(&self, fuel: &Fuel) -> Option<Result<f64, EstimateError>> {
+        let i = self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.plan.fault_for_call(i)? {
+            Fault::Panic => panic!("injected panic (call {i}, seed {})", self.plan.seed),
+            Fault::Transient => Some(Err(EstimateError::Transient(format!(
+                "injected transient failure (call {i})"
+            )))),
+            Fault::FuelExhaustion => {
+                // Burn whatever remains, then one more step to fail.
+                let _ = fuel.spend(fuel.remaining());
+                Some(Err(fuel.spend(1).expect_err("budget just drained")))
+            }
+            Fault::Nan => Some(Ok(f64::NAN)),
+            Fault::Garbage => Some(Ok(1e30)),
+        }
+    }
+}
+
+impl Estimator for FaultyEstimator {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn metric(&self) -> &str {
+        self.inner.metric()
+    }
+
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+        self.estimate_with_fuel(inputs, &Fuel::unlimited())
+    }
+
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        match self.inject(fuel) {
+            Some(outcome) => outcome,
+            None => self.inner.estimate_with_fuel(inputs, fuel),
+        }
+    }
+
+    fn fallbacks(&self) -> Vec<String> {
+        self.inner.fallbacks()
+    }
+}
+
+impl std::fmt::Debug for FaultyEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyEstimator")
+            .field("name", &self.inner.name())
+            .field("plan", &self.plan)
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that swallows the noise of
+/// *injected* panics — any payload containing `"injected"` — and forwards
+/// everything else to the previously installed hook. Chaos tests call
+/// this so hundreds of contained panics do not flood test output, while
+/// genuine panics still print.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    struct Const(f64);
+    impl Estimator for Const {
+        fn name(&self) -> &str {
+            "Const"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, _: &Bindings) -> Result<f64, EstimateError> {
+            Ok(self.0)
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(42, 100, FaultRates::chaos());
+        let b = FaultPlan::new(42, 100, FaultRates::chaos());
+        let c = FaultPlan::new(43, 100, FaultRates::chaos());
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn rates_one_faults_every_call_rates_zero_never() {
+        let all = FaultPlan::new(1, 50, FaultRates::uniform(0.2));
+        assert_eq!(all.planned_faults(), 50);
+        let none = FaultPlan::new(1, 50, FaultRates::uniform(0.0));
+        assert_eq!(none.planned_faults(), 0);
+        assert_eq!(FaultPlan::benign().planned_faults(), 0);
+    }
+
+    #[test]
+    fn wrapper_delegates_when_no_fault_planned() {
+        let plan = FaultPlan::benign();
+        let tool = plan.wrap(Box::new(Const(7.0)));
+        assert_eq!(tool.estimate(&Bindings::new()).unwrap(), 7.0);
+        assert_eq!(tool.name(), "Const");
+        assert_eq!(tool.calls(), 1);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_planned() {
+        silence_injected_panics();
+        // Schedule of length 1, always transient.
+        let plan = FaultPlan::new(
+            9,
+            1,
+            FaultRates {
+                panic: 0.0,
+                transient: 1.0,
+                fuel: 0.0,
+                nan: 0.0,
+                garbage: 0.0,
+            },
+        );
+        let tool = plan.wrap(Box::new(Const(7.0)));
+        assert!(matches!(
+            tool.estimate(&Bindings::new()).unwrap_err(),
+            EstimateError::Transient(_)
+        ));
+
+        let plan = FaultPlan::new(
+            9,
+            1,
+            FaultRates {
+                panic: 0.0,
+                transient: 0.0,
+                fuel: 1.0,
+                nan: 0.0,
+                garbage: 0.0,
+            },
+        );
+        let tool = plan.wrap(Box::new(Const(7.0)));
+        let fuel = Fuel::new(100);
+        assert!(matches!(
+            tool.estimate_with_fuel(&Bindings::new(), &fuel).unwrap_err(),
+            EstimateError::FuelExhausted { .. }
+        ));
+        assert_eq!(fuel.remaining(), 0);
+    }
+
+    #[test]
+    fn injected_panic_unwinds_with_injected_marker() {
+        silence_injected_panics();
+        let plan = FaultPlan::new(
+            5,
+            1,
+            FaultRates {
+                panic: 1.0,
+                transient: 0.0,
+                fuel: 0.0,
+                nan: 0.0,
+                garbage: 0.0,
+            },
+        );
+        let tool = plan.wrap(Box::new(Const(7.0)));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = tool.estimate(&Bindings::new());
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn wrap_registry_keeps_names_and_decorrelates_schedules() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Const(1.0)));
+        let plan = FaultPlan::new(3, 20, FaultRates::chaos());
+        let wrapped = plan.wrap_registry(reg);
+        assert_eq!(wrapped.names(), vec!["Const"]);
+        // Healthy calls still flow through.
+        let mut b = Bindings::new();
+        b.insert("X".to_owned(), Value::Int(1));
+        let mut any_ok = false;
+        for _ in 0..20 {
+            if let Ok(v) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                wrapped.run("Const", &b)
+            })) {
+                if v == Ok(1.0) {
+                    any_ok = true;
+                }
+            }
+        }
+        assert!(any_ok, "chaos rates leave most calls healthy");
+    }
+}

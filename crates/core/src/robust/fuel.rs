@@ -1,0 +1,111 @@
+//! Deterministic fuel budgets for estimator calls.
+//!
+//! Wall-clock timeouts would make the hermetic test suite flaky, so
+//! long-running estimators are bounded by a *step count* instead: the
+//! supervisor hands each call a [`Fuel`] and the estimator spends from it
+//! at its own granularity (one iteration of a dominant loop, one operator
+//! visited, …). Exhaustion is an ordinary [`EstimateError::FuelExhausted`]
+//! the supervisor can fall back from, never an abort.
+
+use std::cell::Cell;
+
+use crate::estimate::EstimateError;
+
+/// A step-count budget handed to an estimator call.
+///
+/// Interior-mutable so that estimators spend through a shared `&Fuel`;
+/// a budget is scoped to a single call and never crosses threads.
+#[derive(Debug)]
+pub struct Fuel {
+    limit: u64,
+    remaining: Cell<u64>,
+}
+
+impl Fuel {
+    /// A budget of `limit` steps.
+    pub fn new(limit: u64) -> Self {
+        Fuel {
+            limit,
+            remaining: Cell::new(limit),
+        }
+    }
+
+    /// An effectively unlimited budget (`u64::MAX` steps) — what bare,
+    /// unsupervised calls get.
+    pub fn unlimited() -> Self {
+        Fuel::new(u64::MAX)
+    }
+
+    /// The budget this fuel started with.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Steps left.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.get()
+    }
+
+    /// Steps consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.limit - self.remaining.get()
+    }
+
+    /// Consumes `steps` from the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::FuelExhausted`] when the budget cannot
+    /// cover the requested steps; the remainder is drained to zero so
+    /// later spends keep failing.
+    pub fn spend(&self, steps: u64) -> Result<(), EstimateError> {
+        let left = self.remaining.get();
+        if steps > left {
+            self.remaining.set(0);
+            return Err(EstimateError::FuelExhausted { limit: self.limit });
+        }
+        self.remaining.set(left - steps);
+        Ok(())
+    }
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spending_within_budget_succeeds() {
+        let fuel = Fuel::new(10);
+        assert_eq!(fuel.limit(), 10);
+        fuel.spend(4).unwrap();
+        fuel.spend(6).unwrap();
+        assert_eq!(fuel.remaining(), 0);
+        assert_eq!(fuel.spent(), 10);
+    }
+
+    #[test]
+    fn overspending_exhausts_and_stays_exhausted() {
+        let fuel = Fuel::new(5);
+        fuel.spend(3).unwrap();
+        assert_eq!(
+            fuel.spend(3).unwrap_err(),
+            EstimateError::FuelExhausted { limit: 5 }
+        );
+        // Drained: even a single further step fails.
+        assert_eq!(fuel.remaining(), 0);
+        assert!(fuel.spend(1).is_err());
+    }
+
+    #[test]
+    fn unlimited_fuel_never_runs_out_in_practice() {
+        let fuel = Fuel::unlimited();
+        fuel.spend(u64::MAX / 2).unwrap();
+        fuel.spend(u64::MAX / 2).unwrap();
+    }
+}

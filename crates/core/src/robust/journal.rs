@@ -1,0 +1,460 @@
+//! The append-only decision journal: crash-safe session persistence.
+//!
+//! Unlike [`crate::script::SessionScript`], which captures the *final*
+//! state of a session, the journal records every keystroke-level
+//! operation — including undos, revisions and reaffirmations — so that
+//! [`Journal::replay`] reconstructs the exact focus, bindings **and
+//! stale-flag set** of the original session. Records serialize one per
+//! line (JSON lines, via the foundation codec), the natural shape for an
+//! append-only file: a crash mid-write can only tear the final line, and
+//! [`Journal::from_jsonl`] recovers tolerantly by dropping exactly that
+//! torn tail (reported as a [`DiagCode::TornJournalTail`] diagnostic).
+
+use std::fmt;
+
+use crate::diag::{DiagCode, Diagnostic, Report, Span};
+use crate::error::DseError;
+use crate::hierarchy::{CdoId, DesignSpace};
+use crate::session::ExplorationSession;
+use crate::value::Value;
+
+/// One journaled session operation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JournalRecord {
+    /// [`ExplorationSession::set_requirement`].
+    SetRequirement {
+        /// The requirement's name.
+        name: String,
+        /// The entered value.
+        value: Value,
+    },
+    /// [`ExplorationSession::decide`].
+    Decide {
+        /// The decided issue.
+        name: String,
+        /// The chosen option.
+        value: Value,
+    },
+    /// [`ExplorationSession::undo`].
+    Undo,
+    /// [`ExplorationSession::revise`].
+    Revise {
+        /// The revised property.
+        name: String,
+        /// The new value.
+        value: Value,
+    },
+    /// [`ExplorationSession::reaffirm`].
+    Reaffirm {
+        /// The reaffirmed property.
+        name: String,
+    },
+    /// [`ExplorationSession::annotate`].
+    Annotate {
+        /// The annotated property.
+        name: String,
+        /// The recorded rationale.
+        note: String,
+    },
+}
+
+foundation::impl_json_enum!(JournalRecord {
+    SetRequirement { name, value },
+    Decide { name, value },
+    Undo,
+    Revise { name, value },
+    Reaffirm { name },
+    Annotate { name, note },
+});
+
+/// Errors from journal recovery or replay.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecoverError {
+    /// A record *before* the final one failed to parse — the journal body
+    /// is corrupt, not merely torn, and recovery refuses to guess.
+    Corrupt {
+        /// 1-based line number of the unparseable record.
+        line: usize,
+        /// The parser's explanation.
+        detail: String,
+    },
+    /// A parsed record failed to re-apply against the space.
+    Replay {
+        /// 0-based index of the failing record.
+        record: usize,
+        /// The session error it produced.
+        error: DseError,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Corrupt { line, detail } => {
+                write!(f, "journal corrupt at line {line}: {detail}")
+            }
+            RecoverError::Replay { record, error } => {
+                write!(f, "journal record {record} failed to replay: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Replay { error, .. } => Some(error),
+            RecoverError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// What tolerant recovery had to do to load a journal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// The torn tail line that was dropped, if any.
+    pub dropped_tail: Option<String>,
+    /// Diagnostics describing the recovery (a [`DiagCode::TornJournalTail`]
+    /// warning when a tail was dropped).
+    pub diagnostics: Report,
+}
+
+impl RecoveryReport {
+    /// Whether the journal loaded without dropping anything.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_tail.is_none()
+    }
+}
+
+/// An append-only sequence of session operations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Journal {
+    records: Vec<JournalRecord>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, record: JournalRecord) {
+        self.records.push(record);
+    }
+
+    /// The records, oldest first.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes to JSON lines: one compact record per line, trailing
+    /// newline after each — the append-only on-disk format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&foundation::json::encode(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses JSON lines tolerantly.
+    ///
+    /// Blank lines are skipped. An unparseable **final** record is the
+    /// signature of a crash mid-append: it is dropped and reported in the
+    /// [`RecoveryReport`]. An unparseable record anywhere *else* means
+    /// the journal body is corrupt and recovery fails.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Corrupt`] for a bad non-final record.
+    pub fn from_jsonl(text: &str) -> Result<(Journal, RecoveryReport), RecoverError> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let mut records = Vec::with_capacity(lines.len());
+        let mut report = RecoveryReport::default();
+        let last = lines.len().saturating_sub(1);
+        for (i, (line_no, line)) in lines.iter().enumerate() {
+            match foundation::json::decode::<JournalRecord>(line) {
+                Ok(r) => records.push(r),
+                Err(e) if i == last => {
+                    report.dropped_tail = Some((*line).to_owned());
+                    report.diagnostics.push(Diagnostic::new(
+                        DiagCode::TornJournalTail,
+                        Span::default(),
+                        format!("dropped torn tail record at line {}: {e}", line_no + 1),
+                    ));
+                }
+                Err(e) => {
+                    return Err(RecoverError::Corrupt {
+                        line: line_no + 1,
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+        Ok((Journal { records }, report))
+    }
+
+    /// Replays the journal against a fresh session on `space`/`root`,
+    /// reconstructing the exact focus, bindings, log and stale flags.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Replay`] if a record no longer applies (e.g. the
+    /// space changed underneath the journal).
+    pub fn replay<'a>(
+        &self,
+        space: &'a DesignSpace,
+        root: CdoId,
+    ) -> Result<ExplorationSession<'a>, RecoverError> {
+        let mut session = ExplorationSession::new(space, root);
+        for (i, record) in self.records.iter().enumerate() {
+            apply_record(&mut session, record)
+                .map_err(|error| RecoverError::Replay { record: i, error })?;
+        }
+        Ok(session)
+    }
+}
+
+fn apply_record(session: &mut ExplorationSession<'_>, record: &JournalRecord) -> Result<(), DseError> {
+    match record {
+        JournalRecord::SetRequirement { name, value } => {
+            session.set_requirement(name, value.clone())
+        }
+        JournalRecord::Decide { name, value } => session.decide(name, value.clone()),
+        JournalRecord::Undo => session.undo().map(|_| ()),
+        JournalRecord::Revise { name, value } => session.revise(name, value.clone()).map(|_| ()),
+        JournalRecord::Reaffirm { name } => {
+            session.reaffirm(name);
+            Ok(())
+        }
+        JournalRecord::Annotate { name, note } => session.annotate(name, note.clone()),
+    }
+}
+
+/// An [`ExplorationSession`] paired with its journal: every successful
+/// operation is appended *after* it commits, so the journal never records
+/// a rejected or rolled-back action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledSession<'a> {
+    session: ExplorationSession<'a>,
+    journal: Journal,
+}
+
+impl<'a> JournaledSession<'a> {
+    /// Starts a fresh journaled session.
+    pub fn new(space: &'a DesignSpace, root: CdoId) -> Self {
+        JournaledSession {
+            session: ExplorationSession::new(space, root),
+            journal: Journal::new(),
+        }
+    }
+
+    /// Recovers a session from serialized journal text (tolerant of a
+    /// torn tail), replaying it to the exact pre-interruption state.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError`] for a corrupt body or a record that no longer
+    /// replays.
+    pub fn recover(
+        space: &'a DesignSpace,
+        root: CdoId,
+        jsonl: &str,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let (journal, report) = Journal::from_jsonl(jsonl)?;
+        let session = journal.replay(space, root)?;
+        Ok((JournaledSession { session, journal }, report))
+    }
+
+    /// The live session (read-only; mutate through the journaling
+    /// wrappers so the journal stays complete).
+    pub fn session(&self) -> &ExplorationSession<'a> {
+        &self.session
+    }
+
+    /// The journal so far.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Splits into the session and its journal.
+    pub fn into_parts(self) -> (ExplorationSession<'a>, Journal) {
+        (self.session, self.journal)
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::set_requirement`].
+    ///
+    /// # Errors
+    ///
+    /// The session's error; nothing is journaled on failure.
+    pub fn set_requirement(&mut self, name: &str, value: Value) -> Result<(), DseError> {
+        self.session.set_requirement(name, value.clone())?;
+        self.journal.append(JournalRecord::SetRequirement {
+            name: name.to_owned(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::decide`].
+    ///
+    /// # Errors
+    ///
+    /// The session's error; nothing is journaled on failure.
+    pub fn decide(&mut self, name: &str, value: Value) -> Result<(), DseError> {
+        self.session.decide(name, value.clone())?;
+        self.journal.append(JournalRecord::Decide {
+            name: name.to_owned(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::undo`].
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::NothingToUndo`] on an empty log.
+    pub fn undo(&mut self) -> Result<(), DseError> {
+        self.session.undo()?;
+        self.journal.append(JournalRecord::Undo);
+        Ok(())
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::revise`].
+    ///
+    /// # Errors
+    ///
+    /// The session's error; nothing is journaled on failure.
+    pub fn revise(&mut self, name: &str, value: Value) -> Result<Vec<String>, DseError> {
+        let stale = self.session.revise(name, value.clone())?;
+        self.journal.append(JournalRecord::Revise {
+            name: name.to_owned(),
+            value,
+        });
+        Ok(stale)
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::reaffirm`].
+    pub fn reaffirm(&mut self, name: &str) {
+        self.session.reaffirm(name);
+        self.journal
+            .append(JournalRecord::Reaffirm { name: name.to_owned() });
+    }
+
+    /// Journaling wrapper over [`ExplorationSession::annotate`].
+    ///
+    /// # Errors
+    ///
+    /// The session's error; nothing is journaled on failure.
+    pub fn annotate(&mut self, name: &str, note: impl Into<String>) -> Result<(), DseError> {
+        let note = note.into();
+        self.session.annotate(name, note.clone())?;
+        self.journal.append(JournalRecord::Annotate {
+            name: name.to_owned(),
+            note,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let records = vec![
+            JournalRecord::SetRequirement {
+                name: "EOL".into(),
+                value: Value::Int(768),
+            },
+            JournalRecord::Decide {
+                name: "Algorithm".into(),
+                value: Value::from("Montgomery"),
+            },
+            JournalRecord::Undo,
+            JournalRecord::Revise {
+                name: "EOL".into(),
+                value: Value::Int(512),
+            },
+            JournalRecord::Reaffirm {
+                name: "Algorithm".into(),
+            },
+            JournalRecord::Annotate {
+                name: "EOL".into(),
+                note: "from the spec\nsecond line".into(),
+            },
+        ];
+        let mut j = Journal::new();
+        for r in records.clone() {
+            j.append(r);
+        }
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), records.len(), "one line per record");
+        let (back, report) = Journal::from_jsonl(&text).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(back.records(), records.as_slice());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let mut j = Journal::new();
+        j.append(JournalRecord::SetRequirement {
+            name: "EOL".into(),
+            value: Value::Int(64),
+        });
+        j.append(JournalRecord::Undo);
+        let mut text = j.to_jsonl();
+        // Simulate a crash mid-append: half a record at the end.
+        text.push_str("{\"Decide\":{\"name\":\"Alg");
+        let (back, report) = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 2, "only the torn tail dropped");
+        assert!(!report.is_clean());
+        assert!(report.dropped_tail.as_deref().unwrap().contains("Decide"));
+        assert_eq!(
+            report.diagnostics.diagnostics()[0].code,
+            DiagCode::TornJournalTail
+        );
+    }
+
+    #[test]
+    fn corrupt_middle_record_refuses_recovery() {
+        let mut j = Journal::new();
+        j.append(JournalRecord::Undo);
+        j.append(JournalRecord::Undo);
+        let text = j.to_jsonl();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(1, "not json at all");
+        let garbled = lines.join("\n");
+        let err = Journal::from_jsonl(&garbled).unwrap_err();
+        assert!(matches!(err, RecoverError::Corrupt { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_and_blank_input_recover_cleanly() {
+        let (j, report) = Journal::from_jsonl("").unwrap();
+        assert!(j.is_empty());
+        assert!(report.is_clean());
+        let (j, _) = Journal::from_jsonl("\n\n  \n").unwrap();
+        assert!(j.is_empty());
+    }
+}

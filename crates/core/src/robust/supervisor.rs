@@ -1,0 +1,396 @@
+//! Supervised estimator execution.
+//!
+//! The [`Supervisor`] wraps an [`EstimatorRegistry`] and runs every tool
+//! call inside a containment boundary:
+//!
+//! * panics are caught with `catch_unwind` and surface as
+//!   [`EstimateError::ToolFailed`] — the registry stays usable;
+//! * each call gets a deterministic [`Fuel`] budget (step count, not
+//!   wall-clock, so the suite stays hermetic);
+//! * [`EstimateError::Transient`] failures are retried a bounded number
+//!   of times, burning a seeded-PRNG backoff *in fuel steps* between
+//!   attempts (again: no wall-clock);
+//! * on failure the tool's declarative fallback chain is walked
+//!   (tool → coarser tool → the output property's declared range), and
+//!   the produced [`Figure`] carries the [`Provenance`] of whichever rung
+//!   answered.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use foundation::rng::{Rng, SeedableRng, StdRng};
+
+use crate::estimate::{EstimateError, EstimatorRegistry};
+use crate::expr::Bindings;
+use crate::robust::{Figure, Fuel};
+
+/// Tunables for supervised execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Fuel budget per tool invocation (shared across its retries).
+    pub fuel_limit: u64,
+    /// How many times a [`EstimateError::Transient`] failure is retried.
+    pub max_retries: u32,
+    /// Seed for the deterministic backoff schedule.
+    pub backoff_seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            fuel_limit: 1_000_000,
+            max_retries: 2,
+            backoff_seed: 0xD5E,
+        }
+    }
+}
+
+/// Counters describing what the supervisor absorbed — surfaced in
+/// reports so degraded figures are visible, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorStats {
+    /// Panics caught and converted to [`EstimateError::ToolFailed`].
+    pub panics_caught: u64,
+    /// Transient failures retried.
+    pub retries: u64,
+    /// Calls answered by a fallback tool or the declared range.
+    pub fallbacks_used: u64,
+}
+
+/// Runs estimators under panic isolation, fuel budgets, bounded retry
+/// and declarative fallback chains.
+#[derive(Debug)]
+pub struct Supervisor {
+    registry: EstimatorRegistry,
+    config: SupervisorConfig,
+    stats: std::cell::Cell<SupervisorStats>,
+}
+
+impl Supervisor {
+    /// Wraps a registry with default tunables.
+    pub fn new(registry: EstimatorRegistry) -> Self {
+        Supervisor::with_config(registry, SupervisorConfig::default())
+    }
+
+    /// Wraps a registry with explicit tunables.
+    pub fn with_config(registry: EstimatorRegistry, config: SupervisorConfig) -> Self {
+        Supervisor {
+            registry,
+            config,
+            stats: std::cell::Cell::new(SupervisorStats::default()),
+        }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &EstimatorRegistry {
+        &self.registry
+    }
+
+    /// The active tunables.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// What the supervisor has absorbed so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats.get()
+    }
+
+    /// Runs one tool supervised — panic containment, fuel, retries — with
+    /// no fallback chain.
+    ///
+    /// # Errors
+    ///
+    /// The tool's terminal error after retries are exhausted;
+    /// [`EstimateError::InvalidOutput`] if the tool returned a non-finite
+    /// value; [`EstimateError::UnknownEstimator`] for unregistered names.
+    pub fn call(&self, name: &str, inputs: &Bindings) -> Result<f64, EstimateError> {
+        let fuel = Fuel::new(self.config.fuel_limit);
+        // Retries share one backoff stream, seeded per (seed, tool) so
+        // schedules are independent across tools yet fully reproducible.
+        let mut backoff = StdRng::seed_from_u64(self.config.backoff_seed ^ hash_name(name));
+        let mut attempt = 0u32;
+        loop {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.registry.run_with_fuel(name, inputs, &fuel)
+            }));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => {
+                    self.bump(|s| s.panics_caught += 1);
+                    Err(EstimateError::ToolFailed(panic_message(payload.as_ref())))
+                }
+            };
+            match result {
+                Ok(v) if v.is_finite() => return Ok(v),
+                Ok(v) => {
+                    return Err(EstimateError::InvalidOutput(format!(
+                        "{name} returned non-finite value {v}"
+                    )))
+                }
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    self.bump(|s| s.retries += 1);
+                    // Exponential seeded backoff, paid in fuel steps; an
+                    // exhausted budget ends the retry loop deterministically.
+                    let base = 1u64 << attempt.min(16);
+                    fuel.spend(backoff.gen_range(1..=base.max(2)))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs `name` with its full resilience ladder and tags the result:
+    ///
+    /// 1. the primary tool (supervised) → [`Figure::estimated`];
+    /// 2. each tool in its declared fallback chain (supervised, in
+    ///    order) → [`Figure::fallback`];
+    /// 3. the output property's declared `range` midpoint →
+    ///    [`Figure::fallback`] with source `"declared-range"`;
+    /// 4. otherwise → [`Figure::unavailable`] carrying the primary error.
+    pub fn estimate(&self, name: &str, inputs: &Bindings, range: Option<(f64, f64)>) -> Figure {
+        let primary_err = match self.call(name, inputs) {
+            Ok(v) => return Figure::estimated(v, name),
+            Err(e) => e,
+        };
+        let chain = self
+            .registry
+            .get(name)
+            .map(|t| t.fallbacks())
+            .unwrap_or_default();
+        for coarser in &chain {
+            if let Ok(v) = self.call(coarser, inputs) {
+                self.bump(|s| s.fallbacks_used += 1);
+                return Figure::fallback(v, coarser.clone());
+            }
+        }
+        if let Some((lo, hi)) = range {
+            if lo.is_finite() && hi.is_finite() {
+                self.bump(|s| s.fallbacks_used += 1);
+                return Figure::fallback((lo + hi) / 2.0, "declared-range");
+            }
+        }
+        Figure::unavailable(format!("{name}: {primary_err}"))
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut SupervisorStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+}
+
+/// FNV-1a over the tool name: a tiny stable hash to decorrelate backoff
+/// streams between tools.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Estimator;
+    use crate::robust::fault::silence_injected_panics;
+    use crate::robust::Provenance;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Doubler;
+    impl Estimator for Doubler {
+        fn name(&self) -> &str {
+            "Doubler"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+            inputs
+                .get("X")
+                .and_then(Value::as_f64)
+                .map(|x| 2.0 * x)
+                .ok_or_else(|| EstimateError::MissingInput("X".to_owned()))
+        }
+    }
+
+    struct Panicky;
+    impl Estimator for Panicky {
+        fn name(&self) -> &str {
+            "Panicky"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, _: &Bindings) -> Result<f64, EstimateError> {
+            panic!("injected: unconditional tool crash")
+        }
+        fn fallbacks(&self) -> Vec<String> {
+            vec!["Doubler".to_owned()]
+        }
+    }
+
+    /// Fails transiently `fails` times, then succeeds.
+    struct Flaky {
+        fails: u64,
+        calls: AtomicU64,
+    }
+    impl Estimator for Flaky {
+        fn name(&self) -> &str {
+            "Flaky"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, _: &Bindings) -> Result<f64, EstimateError> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.fails {
+                Err(EstimateError::Transient("injected: flaky".to_owned()))
+            } else {
+                Ok(42.0)
+            }
+        }
+    }
+
+    struct NanTool;
+    impl Estimator for NanTool {
+        fn name(&self) -> &str {
+            "NanTool"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, _: &Bindings) -> Result<f64, EstimateError> {
+            Ok(f64::NAN)
+        }
+    }
+
+    fn x_bindings() -> Bindings {
+        let mut b = Bindings::new();
+        b.insert("X".to_owned(), Value::Int(21));
+        b
+    }
+
+    fn supervisor(tools: Vec<Box<dyn Estimator>>) -> Supervisor {
+        let mut reg = EstimatorRegistry::new();
+        for t in tools {
+            reg.register(t);
+        }
+        Supervisor::new(reg)
+    }
+
+    #[test]
+    fn healthy_tool_yields_estimated_provenance() {
+        let sup = supervisor(vec![Box::new(Doubler)]);
+        let fig = sup.estimate("Doubler", &x_bindings(), None);
+        assert_eq!(fig.value, Some(42.0));
+        assert_eq!(fig.provenance, Provenance::Estimated);
+        assert_eq!(sup.stats(), SupervisorStats::default());
+    }
+
+    #[test]
+    fn panic_is_contained_and_fallback_chain_answers() {
+        silence_injected_panics();
+        let sup = supervisor(vec![Box::new(Panicky), Box::new(Doubler)]);
+        let fig = sup.estimate("Panicky", &x_bindings(), None);
+        assert_eq!(fig.value, Some(42.0));
+        assert_eq!(fig.provenance, Provenance::Fallback);
+        assert_eq!(fig.source, "Doubler");
+        let stats = sup.stats();
+        assert_eq!(stats.panics_caught, 1);
+        assert_eq!(stats.fallbacks_used, 1);
+        // The registry is still usable after the panic.
+        assert_eq!(sup.call("Doubler", &x_bindings()).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn panic_with_no_fallback_falls_to_declared_range() {
+        silence_injected_panics();
+        let sup = supervisor(vec![Box::new(Panicky)]);
+        let fig = sup.estimate("Panicky", &x_bindings(), Some((10.0, 30.0)));
+        assert_eq!(fig.value, Some(20.0));
+        assert_eq!(fig.provenance, Provenance::Fallback);
+        assert_eq!(fig.source, "declared-range");
+    }
+
+    #[test]
+    fn nothing_left_reports_unavailable_with_the_primary_error() {
+        silence_injected_panics();
+        let sup = supervisor(vec![Box::new(Panicky)]);
+        let fig = sup.estimate("Panicky", &x_bindings(), None);
+        assert_eq!(fig.value, None);
+        assert_eq!(fig.provenance, Provenance::Unavailable);
+        assert!(fig.source.contains("Panicky"), "{}", fig.source);
+        assert!(fig.source.contains("crash"), "{}", fig.source);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_bounds() {
+        let sup = supervisor(vec![Box::new(Flaky {
+            fails: 2,
+            calls: AtomicU64::new(0),
+        })]);
+        assert_eq!(sup.call("Flaky", &Bindings::new()).unwrap(), 42.0);
+        assert_eq!(sup.stats().retries, 2);
+
+        // Three consecutive failures exceed max_retries = 2.
+        let sup = supervisor(vec![Box::new(Flaky {
+            fails: 3,
+            calls: AtomicU64::new(0),
+        })]);
+        assert!(matches!(
+            sup.call("Flaky", &Bindings::new()).unwrap_err(),
+            EstimateError::Transient(_)
+        ));
+    }
+
+    #[test]
+    fn non_finite_output_is_rejected_not_propagated() {
+        let sup = supervisor(vec![Box::new(NanTool)]);
+        assert!(matches!(
+            sup.call("NanTool", &Bindings::new()).unwrap_err(),
+            EstimateError::InvalidOutput(_)
+        ));
+        // ... and the range fallback covers for it.
+        let fig = sup.estimate("NanTool", &Bindings::new(), Some((0.0, 8.0)));
+        assert_eq!(fig.value, Some(4.0));
+        assert_eq!(fig.provenance, Provenance::Fallback);
+    }
+
+    #[test]
+    fn unknown_tools_and_non_finite_ranges_stay_unavailable() {
+        let sup = supervisor(vec![]);
+        assert!(matches!(
+            sup.call("Ghost", &Bindings::new()).unwrap_err(),
+            EstimateError::UnknownEstimator(_)
+        ));
+        let fig = sup.estimate("Ghost", &Bindings::new(), Some((f64::NEG_INFINITY, 1.0)));
+        assert_eq!(fig.provenance, Provenance::Unavailable);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let run = || {
+            let sup = supervisor(vec![Box::new(Flaky {
+                fails: 2,
+                calls: AtomicU64::new(0),
+            })]);
+            sup.call("Flaky", &Bindings::new()).unwrap();
+            sup.stats()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -15,13 +15,20 @@
 //! Revising an already-decided independent marks all decisions that depend
 //! on it as *stale* ("when the independent set is modified, the dependent
 //! set needs to be re-assessed").
+//!
+//! Every mutating operation is **transactional**: it either commits
+//! completely or rolls the session back to its pre-operation
+//! [`SessionSnapshot`] — a failed decision can never leave partial
+//! bindings, a moved focus or a half-written log behind.
 
+use std::collections::BTreeMap;
 
-use crate::constraint::{ConstraintOutcome, Relation};
+use crate::constraint::{ConstraintOutcome, Fidelity, Relation};
 use crate::error::DseError;
 use crate::expr::Bindings;
 use crate::hierarchy::{CdoId, DesignSpace};
 use crate::property::{Property, PropertyKind};
+use crate::robust::{Figure, Supervisor};
 use crate::value::Value;
 
 /// One entry in the session's decision log.
@@ -43,13 +50,26 @@ pub struct Decision {
     pub note: Option<String>,
 }
 
+/// A complete copy of a session's mutable state — focus, bindings,
+/// decision log, and estimate cache. Mutating operations take one before
+/// touching anything and [`ExplorationSession::restore`] it on any error,
+/// which is what makes them all-or-nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    focus: CdoId,
+    bindings: Bindings,
+    log: Vec<Decision>,
+    estimates: BTreeMap<String, Figure>,
+}
+
 /// An in-progress conceptual-design session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplorationSession<'a> {
     space: &'a DesignSpace,
     focus: CdoId,
     bindings: Bindings,
     log: Vec<Decision>,
+    estimates: BTreeMap<String, Figure>,
 }
 
 impl<'a> ExplorationSession<'a> {
@@ -60,7 +80,27 @@ impl<'a> ExplorationSession<'a> {
             focus: root,
             bindings: Bindings::new(),
             log: Vec::new(),
+            estimates: BTreeMap::new(),
         }
+    }
+
+    /// Captures the session's full mutable state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            focus: self.focus,
+            bindings: self.bindings.clone(),
+            log: self.log.clone(),
+            estimates: self.estimates.clone(),
+        }
+    }
+
+    /// Restores a previously captured state, discarding everything that
+    /// happened since.
+    pub fn restore(&mut self, snapshot: SessionSnapshot) {
+        self.focus = snapshot.focus;
+        self.bindings = snapshot.bindings;
+        self.log = snapshot.log;
+        self.estimates = snapshot.estimates;
     }
 
     /// The layer being explored.
@@ -138,6 +178,44 @@ impl<'a> ExplorationSession<'a> {
         kinds: &[PropertyKind],
         expected: &'static str,
     ) -> Result<(), DseError> {
+        let snapshot = self.snapshot();
+        let result = self.apply_inner(name, value, kinds, expected);
+        if result.is_err() {
+            self.restore(snapshot);
+        }
+        result
+    }
+
+    /// Checks every effective constraint at the current focus against the
+    /// current bindings; violations and evaluation failures are errors.
+    fn check_constraints(&self) -> Result<(), DseError> {
+        for (_, cc) in self.space.effective_constraints(self.focus) {
+            match cc.evaluate(&self.bindings) {
+                ConstraintOutcome::Violated { detail } => {
+                    return Err(DseError::ConstraintViolation {
+                        constraint: cc.name().to_owned(),
+                        detail,
+                    });
+                }
+                ConstraintOutcome::Failed { detail } => {
+                    return Err(DseError::EvaluationFailed {
+                        constraint: cc.name().to_owned(),
+                        detail,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_inner(
+        &mut self,
+        name: &str,
+        value: Value,
+        kinds: &[PropertyKind],
+        expected: &'static str,
+    ) -> Result<(), DseError> {
         if self.bindings.contains_key(name) {
             return Err(DseError::AlreadyDecided(name.to_owned()));
         }
@@ -170,17 +248,10 @@ impl<'a> ExplorationSession<'a> {
         let kind = prop.kind();
         let prev_focus = self.focus;
 
-        // Tentatively bind and check consistency.
+        // Tentatively bind and check consistency; the caller (`apply`)
+        // rolls back to its snapshot on any error from here on.
         self.bindings.insert(name.to_owned(), value.clone());
-        for (_, cc) in self.space.effective_constraints(self.focus) {
-            if let ConstraintOutcome::Violated { detail } = cc.evaluate(&self.bindings) {
-                self.bindings.remove(name);
-                return Err(DseError::ConstraintViolation {
-                    constraint: cc.name().to_owned(),
-                    detail,
-                });
-            }
-        }
+        self.check_constraints()?;
 
         // Descend on generalized issues.
         if kind == PropertyKind::GeneralizedIssue {
@@ -199,7 +270,6 @@ impl<'a> ExplorationSession<'a> {
             match child {
                 Some(c) => self.focus = c,
                 None => {
-                    self.bindings.remove(name);
                     return Err(DseError::OptionNotSpecialized {
                         issue: name.to_owned(),
                         option: value,
@@ -209,16 +279,7 @@ impl<'a> ExplorationSession<'a> {
             // Entering the child brings its own constraints into effect;
             // a region already inconsistent with the requirements must be
             // rejected at the descent, not discovered later.
-            for (_, cc) in self.space.effective_constraints(self.focus) {
-                if let ConstraintOutcome::Violated { detail } = cc.evaluate(&self.bindings) {
-                    self.bindings.remove(name);
-                    self.focus = prev_focus;
-                    return Err(DseError::ConstraintViolation {
-                        constraint: cc.name().to_owned(),
-                        detail,
-                    });
-                }
-            }
+            self.check_constraints()?;
         }
 
         self.log.push(Decision {
@@ -283,6 +344,15 @@ impl<'a> ExplorationSession<'a> {
     /// Unknown/undecided properties, domain violations, constraint
     /// violations, or attempts to revise a generalized issue.
     pub fn revise(&mut self, name: &str, value: Value) -> Result<Vec<String>, DseError> {
+        let snapshot = self.snapshot();
+        let result = self.revise_inner(name, value);
+        if result.is_err() {
+            self.restore(snapshot);
+        }
+        result
+    }
+
+    fn revise_inner(&mut self, name: &str, value: Value) -> Result<Vec<String>, DseError> {
         let idx = self
             .log
             .iter()
@@ -304,18 +374,8 @@ impl<'a> ExplorationSession<'a> {
                 value,
             });
         }
-        let old = self.bindings.insert(name.to_owned(), value.clone());
-        for (_, cc) in self.space.effective_constraints(self.focus) {
-            if let ConstraintOutcome::Violated { detail } = cc.evaluate(&self.bindings) {
-                if let Some(old) = old {
-                    self.bindings.insert(name.to_owned(), old);
-                }
-                return Err(DseError::ConstraintViolation {
-                    constraint: cc.name().to_owned(),
-                    detail,
-                });
-            }
-        }
+        self.bindings.insert(name.to_owned(), value.clone());
+        self.check_constraints()?;
         self.log[idx].value = value;
 
         // Mark dependents stale (transitively).
@@ -426,6 +486,72 @@ impl<'a> ExplorationSession<'a> {
             .any(|(_, cc)| {
                 matches!(cc.relation(), Relation::Quantitative { target, .. } if target == property)
             })
+    }
+
+    /// The supervised estimate cache: provenance-tagged figures produced
+    /// by [`run_estimators`](Self::run_estimators) and
+    /// [`absorb_derived`](Self::absorb_derived), keyed by output property.
+    /// The cache is a convenience view, not a binding — revisions and
+    /// undos leave it alone; re-run the estimators to refresh it.
+    pub fn estimates(&self) -> &BTreeMap<String, Figure> {
+        &self.estimates
+    }
+
+    /// The cached figure for one derived property, if any.
+    pub fn estimate_of(&self, property: &str) -> Option<&Figure> {
+        self.estimates.get(property)
+    }
+
+    /// Runs every ready estimator context (CC3-style) under `supervisor`,
+    /// caching and returning the provenance-tagged figures.
+    ///
+    /// The output property's declared domain (see [`Property::derived`])
+    /// anchors the supervisor's last-resort fallback range, and doubles
+    /// as a garbage filter: a tool value outside the declared bounds is
+    /// degraded to the range midpoint rather than trusted.
+    pub fn run_estimators(&mut self, supervisor: &Supervisor) -> Vec<(String, Figure)> {
+        let mut out = Vec::new();
+        for (estimator, output) in self.ready_estimators() {
+            let range = self
+                .space
+                .find_property(self.focus, &output)
+                .and_then(|(_, p)| p.domain().numeric_bounds());
+            let mut fig = supervisor.estimate(&estimator, &self.bindings, range);
+            if let (Some(v), Some((lo, hi))) = (fig.value, range) {
+                if v < lo || v > hi {
+                    fig = Figure::fallback(
+                        (lo + hi) / 2.0,
+                        format!("declared-range (tool value {v} outside [{lo}, {hi}])"),
+                    );
+                }
+            }
+            self.estimates.insert(output.clone(), fig.clone());
+            out.push((output, fig));
+        }
+        out
+    }
+
+    /// Folds the ready quantitative derivations (see
+    /// [`derived`](Self::derived)) into the estimate cache as figures —
+    /// exact when the relation's fidelity is exact, estimated otherwise.
+    pub fn absorb_derived(&mut self) -> Vec<(String, Figure)> {
+        let mut out = Vec::new();
+        for (_, cc) in self.space.effective_constraints(self.focus) {
+            if let ConstraintOutcome::Derived { property, value } = cc.evaluate(&self.bindings) {
+                if let Some(v) = value.as_f64() {
+                    let fig = match cc.relation() {
+                        Relation::Quantitative {
+                            fidelity: Fidelity::Exact,
+                            ..
+                        } => Figure::exact(v, cc.name()),
+                        _ => Figure::estimated(v, cc.name()),
+                    };
+                    self.estimates.insert(property.clone(), fig.clone());
+                    out.push((property, fig));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -800,6 +926,85 @@ mod tests {
             ses.annotate("Nope", "x").unwrap_err(),
             DseError::UnknownProperty(_)
         ));
+    }
+
+    #[test]
+    fn failed_decide_restores_the_exact_pre_decision_state() {
+        let (s, root) = crypto_like_space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("EOL", Value::Int(768)).unwrap();
+        ses.set_requirement("ModuloIsOdd", Value::from("notGuaranteed"))
+            .unwrap();
+        ses.decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        let before = ses.clone();
+        ses.decide("Algorithm", Value::from("Montgomery"))
+            .unwrap_err();
+        assert_eq!(ses, before, "rejected decision must be a no-op");
+        ses.decide("Nope", Value::Int(1)).unwrap_err();
+        assert_eq!(ses, before);
+    }
+
+    #[test]
+    fn evaluation_failure_rolls_back_and_names_the_constraint() {
+        // A quantitative relation that divides by a decidable property:
+        // deciding it to zero must fail the decision, not poison the
+        // session with a half-applied binding.
+        let mut s = DesignSpace::new("div");
+        let root = s.add_root("Block", "");
+        s.add_property(
+            root,
+            Property::requirement("N", Domain::int_range(1, 100), None, ""),
+        )
+        .unwrap();
+        s.add_property(root, Property::issue("K", Domain::int_range(0, 8), ""))
+            .unwrap();
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                "CCdiv",
+                "throughput from K",
+                vec!["N".to_owned(), "K".to_owned()],
+                vec!["Throughput".to_owned()],
+                Relation::Quantitative {
+                    target: "Throughput".to_owned(),
+                    formula: Expr::prop("N").div(Expr::prop("K")),
+                    fidelity: Fidelity::Heuristic,
+                },
+            ),
+        )
+        .unwrap();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("N", Value::Int(10)).unwrap();
+        let before = ses.clone();
+        let err = ses.decide("K", Value::Int(0)).unwrap_err();
+        assert!(
+            matches!(err, DseError::EvaluationFailed { ref constraint, .. } if constraint == "CCdiv"),
+            "{err}"
+        );
+        assert_eq!(ses, before, "failed evaluation must roll back");
+        ses.decide("K", Value::Int(2)).unwrap();
+    }
+
+    #[test]
+    fn absorb_derived_caches_provenance_tagged_figures() {
+        let (s, root) = crypto_like_space();
+        let mut ses = ExplorationSession::new(&s, root);
+        ses.set_requirement("EOL", Value::Int(768)).unwrap();
+        ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        ses.decide("ImplementationStyle", Value::from("Hardware"))
+            .unwrap();
+        assert!(ses.absorb_derived().is_empty());
+        ses.decide("Radix", Value::Int(4)).unwrap();
+        let figs = ses.absorb_derived();
+        assert_eq!(figs.len(), 1);
+        let fig = ses.estimate_of("LatencyCycles").unwrap();
+        assert_eq!(fig.value, Some(385.0));
+        // CC2 is declared heuristic, so the figure is estimated, not exact.
+        assert_eq!(fig.provenance, crate::robust::Provenance::Estimated);
+        assert_eq!(fig.source, "CC2");
+        assert_eq!(ses.estimates().len(), 1);
     }
 
     #[test]

@@ -179,6 +179,23 @@ impl Domain {
         Domain::RealRange { min: 0.0, max }
     }
 
+    /// Reals in `min..=max`.
+    pub fn real_range(min: f64, max: f64) -> Self {
+        Domain::RealRange { min, max }
+    }
+
+    /// The numeric `(min, max)` bounds, for domains that have them — the
+    /// resilience supervisor's last-resort fallback range for a declared
+    /// derived figure.
+    pub fn numeric_bounds(&self) -> Option<(f64, f64)> {
+        match self {
+            Domain::IntRange { min, max } => Some((*min as f64, *max as f64)),
+            Domain::RealRange { min, max } => Some((*min, *max)),
+            Domain::PowersOfTwo { max_exp } => Some((2.0, (1u64 << (*max_exp).min(62)) as f64)),
+            _ => None,
+        }
+    }
+
     /// Whether `value` belongs to the domain.
     pub fn contains(&self, value: &Value) -> bool {
         match self {

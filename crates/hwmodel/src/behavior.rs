@@ -120,19 +120,40 @@ impl BehaviorGraph {
     /// the description in ns under `tech`, i.e. the longest
     /// dependency-chain delay through the DAG.
     pub fn max_combinational_delay_ns(&self, tech: &Technology) -> f64 {
+        self.try_max_combinational_delay_ns(tech, || true)
+            .expect("an always-true meter cannot abort")
+    }
+
+    /// Cooperative variant of
+    /// [`max_combinational_delay_ns`](Self::max_combinational_delay_ns):
+    /// `step` is consulted once per operation node (plus once per
+    /// consumed dependency edge) and a `false` return aborts the walk
+    /// with `None`. Supervised estimation tools pass a meter that
+    /// charges a deterministic fuel budget, so a runaway description is
+    /// cut off after a bounded number of steps instead of a timeout.
+    pub fn try_max_combinational_delay_ns(
+        &self,
+        tech: &Technology,
+        mut step: impl FnMut() -> bool,
+    ) -> Option<f64> {
         let mut arrival = vec![0.0f64; self.ops.len()];
         let mut max = 0.0f64;
         for (i, op) in self.ops.iter().enumerate() {
-            let start = op
-                .depends_on
-                .iter()
-                .map(|&d| arrival[d])
-                .fold(0.0f64, f64::max);
+            if !step() {
+                return None;
+            }
+            let mut start = 0.0f64;
+            for &d in &op.depends_on {
+                if !step() {
+                    return None;
+                }
+                start = start.max(arrival[d]);
+            }
             let t = start + op_delay_ns(op, tech);
             arrival[i] = t;
             max = max.max(t);
         }
-        max
+        Some(max)
     }
 
     /// Total operation count by kind — the "number of operations"
@@ -280,6 +301,23 @@ mod tests {
         let g = BehaviorGraph::new("empty");
         assert!(g.is_empty());
         assert_eq!(g.max_combinational_delay_ns(&tech()), 0.0);
+    }
+
+    #[test]
+    fn metered_walk_aborts_when_the_meter_trips() {
+        let g = montgomery_iteration(768, 1);
+        let t = tech();
+        let full = g.max_combinational_delay_ns(&t);
+        let mut budget = 3u32;
+        let aborted = g.try_max_combinational_delay_ns(&t, || {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            true
+        });
+        assert!(aborted.is_none(), "a tripped meter aborts the walk");
+        assert_eq!(g.try_max_combinational_delay_ns(&t, || true), Some(full));
     }
 
     #[test]

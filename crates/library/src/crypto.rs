@@ -303,6 +303,16 @@ pub fn build_layer() -> Result<CryptoLayer, DseError> {
     )?;
     s.add_property(
         omm_hw,
+        Property::derived(
+            "MaxCombDelayNs",
+            Domain::real_range(0.1, 50.0),
+            Some(Unit::nanos()),
+            "CC3 output: maximum combinational delay of the decomposed iteration; \
+             the declared range doubles as the supervisor's last-resort fallback",
+        ),
+    )?;
+    s.add_property(
+        omm_hw,
         Property::generalized_issue(
             "Algorithm",
             Domain::options(["Montgomery", "Brickell"]),

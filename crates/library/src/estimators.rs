@@ -8,9 +8,10 @@
 
 use dse::estimate::{EstimateError, Estimator};
 use dse::expr::Bindings;
+use dse::robust::Fuel;
 use hwmodel::behavior::{brickell_iteration, montgomery_iteration};
 use swmodel::{MontgomeryVariant, ProcessorModel, SoftwareRoutine};
-use techlib::Technology;
+use techlib::{CellKind, Technology};
 
 /// The paper's `BehaviorDelayEstimator`: ranks algorithm-level behavioural
 /// descriptions by maximum combinational delay (CC3's
@@ -37,6 +38,18 @@ impl Estimator for BehaviorDelayEstimator {
 
     fn metric(&self) -> &str {
         "max combinational delay (ns)"
+    }
+
+    fn fallbacks(&self) -> Vec<String> {
+        vec!["CoarseDelayEstimator".to_owned()]
+    }
+
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        // One step per operand bit: building the iteration DAG and its
+        // arrival-time sweep is linear in EOL.
+        let eol = inputs.get("EOL").and_then(|v| v.as_i64()).unwrap_or(1).max(1) as u64;
+        fuel.spend(eol)?;
+        self.estimate(inputs)
     }
 
     fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
@@ -83,42 +96,165 @@ impl Estimator for SoftwareTimeEstimator {
         "execution time (µs)"
     }
 
+    fn fallbacks(&self) -> Vec<String> {
+        vec!["CoarseTimeEstimator".to_owned()]
+    }
+
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        // The analytic model meters itself: one step per inner-loop word
+        // product (quadratic in the word count), so runaway operand
+        // lengths hit the fuel wall instead of stalling the session.
+        let (routine, eol) = parse_software_inputs(inputs)?;
+        routine
+            .try_estimate_mont_mul_us(eol, || fuel.spend(1).is_ok())
+            .ok_or(EstimateError::FuelExhausted {
+                limit: fuel.limit(),
+            })
+    }
+
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+        let (routine, eol) = parse_software_inputs(inputs)?;
+        Ok(routine.estimate_mont_mul_us(eol))
+    }
+}
+
+fn parse_software_inputs(inputs: &Bindings) -> Result<(SoftwareRoutine, u32), EstimateError> {
+    let eol = inputs
+        .get("EOL")
+        .ok_or_else(|| EstimateError::MissingInput("EOL".to_owned()))?
+        .as_i64()
+        .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?
+        as u32;
+    let variant_name = inputs
+        .get("Variant")
+        .ok_or_else(|| EstimateError::MissingInput("Variant".to_owned()))?
+        .as_text()
+        .unwrap_or_default()
+        .to_owned();
+    let variant = MontgomeryVariant::ALL
+        .into_iter()
+        .find(|v| v.to_string() == variant_name)
+        .ok_or_else(|| {
+            EstimateError::NotApplicable(format!("unknown variant {variant_name:?}"))
+        })?;
+    let language = inputs
+        .get("Language")
+        .ok_or_else(|| EstimateError::MissingInput("Language".to_owned()))?
+        .as_text()
+        .unwrap_or_default()
+        .to_owned();
+    let cpu = match language.as_str() {
+        "ASM" => ProcessorModel::pentium60_asm(),
+        "C" => ProcessorModel::pentium60_c(),
+        other => {
+            return Err(EstimateError::NotApplicable(format!(
+                "unknown language {other:?}"
+            )))
+        }
+    };
+    Ok((SoftwareRoutine::new(variant, cpu), eol))
+}
+
+/// Coarse closed-form stand-in for [`BehaviorDelayEstimator`]: one
+/// AND/full-adder stage per radix bit plus a logarithmic accumulation
+/// depth, priced on the same cell library. O(1) work (a single fuel
+/// step), algorithm-agnostic — the supervisor's declared fallback when
+/// the detailed DAG sweep panics, times out or runs out of fuel.
+#[derive(Debug)]
+pub struct CoarseDelayEstimator {
+    tech: Technology,
+}
+
+impl CoarseDelayEstimator {
+    /// Builds the coarse estimator against a technology target.
+    pub fn new(tech: Technology) -> Self {
+        CoarseDelayEstimator { tech }
+    }
+}
+
+impl Estimator for CoarseDelayEstimator {
+    fn name(&self) -> &str {
+        "CoarseDelayEstimator"
+    }
+
+    fn metric(&self) -> &str {
+        "max combinational delay (ns, coarse)"
+    }
+
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        fuel.spend(1)?;
+        self.estimate(inputs)
+    }
+
     fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
         let eol = inputs
             .get("EOL")
             .ok_or_else(|| EstimateError::MissingInput("EOL".to_owned()))?
             .as_i64()
-            .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?
-            as u32;
-        let variant_name = inputs
-            .get("Variant")
-            .ok_or_else(|| EstimateError::MissingInput("Variant".to_owned()))?
-            .as_text()
-            .unwrap_or_default()
-            .to_owned();
-        let variant = MontgomeryVariant::ALL
-            .into_iter()
-            .find(|v| v.to_string() == variant_name)
-            .ok_or_else(|| {
-                EstimateError::NotApplicable(format!("unknown variant {variant_name:?}"))
-            })?;
-        let language = inputs
-            .get("Language")
-            .ok_or_else(|| EstimateError::MissingInput("Language".to_owned()))?
-            .as_text()
-            .unwrap_or_default()
-            .to_owned();
-        let cpu = match language.as_str() {
-            "ASM" => ProcessorModel::pentium60_asm(),
-            "C" => ProcessorModel::pentium60_c(),
-            other => {
-                return Err(EstimateError::NotApplicable(format!(
-                    "unknown language {other:?}"
-                )))
-            }
-        };
-        Ok(SoftwareRoutine::new(variant, cpu).estimate_mont_mul_us(eol))
+            .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?;
+        if eol < 1 {
+            return Err(EstimateError::NotApplicable(format!(
+                "EOL must be positive, got {eol}"
+            )));
+        }
+        let radix = inputs.get("Radix").and_then(|v| v.as_i64()).unwrap_or(2) as u64;
+        let k = radix.trailing_zeros().max(1) as f64;
+        let and = self.tech.cell_delay_ns(CellKind::And2);
+        let fa = self.tech.cell_delay_ns(CellKind::FullAdder);
+        Ok(and + fa * (2.0 * k + (eol as f64).log2()))
     }
+}
+
+/// Coarse closed-form stand-in for [`SoftwareTimeEstimator`]: the
+/// canonical `2s² + s` word-multiply count of a Montgomery multiplication
+/// priced at a flat per-multiply cycle cost, independent of variant and
+/// language. O(1) work; the declared fallback for the detailed analytic
+/// model.
+#[derive(Debug)]
+pub struct CoarseTimeEstimator;
+
+impl Estimator for CoarseTimeEstimator {
+    fn name(&self) -> &str {
+        "CoarseTimeEstimator"
+    }
+
+    fn metric(&self) -> &str {
+        "execution time (µs, coarse)"
+    }
+
+    fn estimate_with_fuel(&self, inputs: &Bindings, fuel: &Fuel) -> Result<f64, EstimateError> {
+        fuel.spend(1)?;
+        self.estimate(inputs)
+    }
+
+    fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+        let eol = inputs
+            .get("EOL")
+            .ok_or_else(|| EstimateError::MissingInput("EOL".to_owned()))?
+            .as_i64()
+            .ok_or_else(|| EstimateError::NotApplicable("EOL must be an integer".to_owned()))?;
+        if eol < 1 {
+            return Err(EstimateError::NotApplicable(format!(
+                "EOL must be positive, got {eol}"
+            )));
+        }
+        let s = (eol as f64 / 32.0).ceil();
+        let word_muls = 2.0 * s * s + s;
+        // ~10 cycles per 32×32 multiply-accumulate at 60 MHz.
+        Ok(word_muls * 10.0 / 60.0)
+    }
+}
+
+/// The full estimator suite — primaries plus their declared fallbacks —
+/// registered into one registry, ready to hand to a
+/// [`Supervisor`](dse::robust::Supervisor).
+pub fn full_registry(tech: Technology) -> dse::estimate::EstimatorRegistry {
+    let mut reg = dse::estimate::EstimatorRegistry::new();
+    reg.register(Box::new(BehaviorDelayEstimator::new(tech.clone())));
+    reg.register(Box::new(CoarseDelayEstimator::new(tech)));
+    reg.register(Box::new(SoftwareTimeEstimator));
+    reg.register(Box::new(CoarseTimeEstimator));
+    reg
 }
 
 #[cfg(test)]
@@ -187,6 +323,89 @@ mod tests {
             ]))
             .unwrap();
         assert!(c > 4.0 * asm);
+    }
+
+    #[test]
+    fn fuel_budget_bounds_the_detailed_estimators() {
+        let est = BehaviorDelayEstimator::new(Technology::g10_035());
+        let inputs = bindings(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::from(768)),
+        ]);
+        // Plenty of fuel: same answer as the bare call, 768 steps spent.
+        let fuel = Fuel::new(10_000);
+        let v = est.estimate_with_fuel(&inputs, &fuel).unwrap();
+        assert_eq!(v, est.estimate(&inputs).unwrap());
+        assert_eq!(fuel.spent(), 768);
+        // Too little fuel: structured exhaustion, not a hang.
+        let starved = Fuel::new(100);
+        assert!(matches!(
+            est.estimate_with_fuel(&inputs, &starved).unwrap_err(),
+            EstimateError::FuelExhausted { limit: 100 }
+        ));
+        // The software model prices quadratically: 1024 bits = 32 words
+        // = 1024 steps.
+        let sw_fuel = Fuel::new(10_000);
+        SoftwareTimeEstimator
+            .estimate_with_fuel(
+                &bindings(&[
+                    ("EOL", Value::from(1024)),
+                    ("Variant", Value::from("CIHS")),
+                    ("Language", Value::from("C")),
+                ]),
+                &sw_fuel,
+            )
+            .unwrap();
+        assert_eq!(sw_fuel.spent(), 1024);
+    }
+
+    #[test]
+    fn coarse_estimators_are_cheap_and_in_the_same_ballpark() {
+        let tech = Technology::g10_035();
+        let inputs = bindings(&[
+            ("Algorithm", Value::from("Montgomery")),
+            ("EOL", Value::from(768)),
+            ("Radix", Value::from(4)),
+        ]);
+        let detailed = BehaviorDelayEstimator::new(tech.clone())
+            .estimate(&inputs)
+            .unwrap();
+        let coarse_est = CoarseDelayEstimator::new(tech);
+        let fuel = Fuel::new(10);
+        let coarse = coarse_est.estimate_with_fuel(&inputs, &fuel).unwrap();
+        assert_eq!(fuel.spent(), 1, "coarse tool is O(1)");
+        assert!(coarse > 0.0 && coarse.is_finite());
+        // Within an order of magnitude of the detailed DAG sweep.
+        assert!(
+            coarse < 10.0 * detailed && detailed < 10.0 * coarse,
+            "coarse {coarse} vs detailed {detailed}"
+        );
+
+        let sw = CoarseTimeEstimator.estimate(&inputs).unwrap();
+        assert!(sw > 0.0 && sw.is_finite());
+        assert!(matches!(
+            CoarseTimeEstimator
+                .estimate(&bindings(&[("EOL", Value::from(-3))]))
+                .unwrap_err(),
+            EstimateError::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn fallback_chains_are_declared_and_resolvable() {
+        let reg = full_registry(Technology::g10_035());
+        for (primary, fallback) in [
+            ("BehaviorDelayEstimator", "CoarseDelayEstimator"),
+            ("SoftwareTimeEstimator", "CoarseTimeEstimator"),
+        ] {
+            let declared = reg.get(primary).unwrap().fallbacks();
+            assert_eq!(declared, vec![fallback.to_owned()]);
+            assert!(
+                reg.get(fallback).is_some(),
+                "declared fallback {fallback} must be registered"
+            );
+            assert!(reg.get(fallback).unwrap().fallbacks().is_empty());
+        }
     }
 
     #[test]

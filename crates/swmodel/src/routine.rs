@@ -105,6 +105,27 @@ impl SoftwareRoutine {
         self.cpu.time_us(&counts)
     }
 
+    /// Cooperative variant of
+    /// [`estimate_mont_mul_us`](Self::estimate_mont_mul_us): the
+    /// analytic model prices `s²` inner-loop word products for an
+    /// `s`-word modulus, and `step` is consulted once per word product
+    /// so a supervised estimation tool can charge its deterministic
+    /// fuel budget against the model's own work measure. Returns `None`
+    /// as soon as the meter trips.
+    pub fn try_estimate_mont_mul_us(
+        &self,
+        eol: u32,
+        mut step: impl FnMut() -> bool,
+    ) -> Option<f64> {
+        let s = eol.div_ceil(bignum::LIMB_BITS) as u64;
+        for _ in 0..s.max(1) * s.max(1) {
+            if !step() {
+                return None;
+            }
+        }
+        Some(self.estimate_mont_mul_us(eol))
+    }
+
     /// Estimated time of a full modular exponentiation (binary
     /// square-and-multiply, ≈1.5 multiplications per exponent bit plus the
     /// two domain conversions), in µs.
@@ -215,6 +236,30 @@ mod tests {
         // A full 768-bit exponentiation in software is hundreds of ms —
         // the coprocessor's raison d'être.
         assert!(base > 100_000.0, "{base} µs");
+    }
+
+    #[test]
+    fn metered_estimate_charges_one_step_per_word_product() {
+        let r = SoftwareRoutine::new(MontgomeryVariant::Cios, ProcessorModel::pentium60_asm());
+        let mut steps = 0u64;
+        let v = r
+            .try_estimate_mont_mul_us(1024, || {
+                steps += 1;
+                true
+            })
+            .unwrap();
+        // 1024 bits = 32 words, s² = 1024 inner-loop word products.
+        assert_eq!(steps, 1024);
+        assert_eq!(v, r.estimate_mont_mul_us(1024));
+        let mut budget = 10u64;
+        let starved = r.try_estimate_mont_mul_us(1024, || {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            true
+        });
+        assert!(starved.is_none(), "a tripped meter aborts the estimate");
     }
 
     #[test]

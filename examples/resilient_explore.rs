@@ -1,0 +1,114 @@
+//! The Section-5 walkthrough under hostile conditions: every estimation
+//! tool is wrapped in a seeded fault injector (panics, transient
+//! failures, fuel exhaustion, NaN and garbage outputs), yet the
+//! exploration completes, every figure carries its provenance, and a
+//! journaled session survives a simulated crash mid-append.
+//!
+//! ```text
+//! cargo run --example resilient_explore
+//! ```
+
+use design_space_layer::coproc::spec::KocSpec;
+use design_space_layer::coproc::walkthrough;
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse::robust::fault::silence_injected_panics;
+use design_space_layer::dse::estimate::EstimatorRegistry;
+use design_space_layer::dse_library::crypto;
+use design_space_layer::dse_library::estimators::{
+    full_registry, BehaviorDelayEstimator, CoarseDelayEstimator,
+};
+use design_space_layer::dse_library::CoreRecord;
+use design_space_layer::techlib::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    silence_injected_panics();
+    let spec = KocSpec::paper();
+    let tech = Technology::g10_035();
+
+    // 1. The walkthrough with healthy tools: figures come back
+    //    provenance-tagged as Estimated.
+    let clean = walkthrough::run(&spec, &tech)?;
+    println!("fault-free walkthrough:");
+    for (name, fig) in &clean.estimates {
+        println!("  {name:<16} = {fig}");
+    }
+    println!("  degradation: {}\n", clean.degradation.label());
+
+    // 2. The same walkthrough with tools behind seeded fault injectors.
+    //    The supervisor contains each failure and walks the fallback
+    //    ladder: detailed tool -> coarse tool -> the derived property's
+    //    declared range. The exploration itself — pruning, selection,
+    //    functional verification — is untouched either way.
+    let always = FaultPlan::new(0xC0FFEE, 16, FaultRates::uniform(0.2));
+
+    // 2a. Only the detailed tool crashes: the coarse tool answers.
+    let mut partial = EstimatorRegistry::new();
+    partial.register(Box::new(
+        always.wrap(Box::new(BehaviorDelayEstimator::new(tech.clone()))),
+    ));
+    partial.register(Box::new(CoarseDelayEstimator::new(tech.clone())));
+    let report = walkthrough::run_supervised(&spec, &tech, partial)?;
+    println!("detailed tool faulting on every call (seed {:#x}):", always.seed());
+    for (name, fig) in &report.estimates {
+        println!("  {name:<16} = {fig}");
+    }
+    println!("  degradation: {}", report.degradation.label());
+
+    // 2b. Every tool faulting on every call: the declared range of the
+    //     derived property is the last-resort answer.
+    let registry = always.wrap_registry(full_registry(tech.clone()));
+    let chaotic = walkthrough::run_supervised(&spec, &tech, registry)?;
+    println!("all tools faulting on every call:");
+    for (name, fig) in &chaotic.estimates {
+        println!("  {name:<16} = {fig}");
+    }
+    println!("  degradation: {}", chaotic.degradation.label());
+    assert_eq!(
+        clean.selected.as_ref().map(CoreRecord::name),
+        chaotic.selected.as_ref().map(CoreRecord::name),
+        "faults may degrade figures but never the selection"
+    );
+    println!(
+        "  selected {} (same core as the fault-free run), verified: {}\n",
+        chaotic.selected.as_ref().expect("satisfiable spec").name(),
+        chaotic.functionally_verified
+    );
+
+    // 3. Crash-safe sessions: decisions go through a journal; tearing
+    //    the final record (a crash mid-append) loses exactly that record
+    //    and recovery replays the rest to the identical state.
+    let layer = crypto::build_layer()?;
+    let mut js = JournaledSession::new(&layer.space, layer.omm);
+    js.set_requirement("EOL", Value::from(spec.eol as i64))?;
+    js.set_requirement("MaxLatencyUs", Value::from(spec.max_latency_us))?;
+    js.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))?;
+    js.decide("ImplementationStyle", Value::from("Hardware"))?;
+    js.decide("Algorithm", Value::from("Montgomery"))?;
+    let journal_text = js.journal().to_jsonl();
+    println!(
+        "journaled session: {} records, {} bindings",
+        js.journal().len(),
+        js.session().bindings().len()
+    );
+
+    let torn = format!("{journal_text}{{\"Decide\":{{\"name\":\"AdderSt");
+    let (recovered, report) = JournaledSession::recover(&layer.space, layer.omm, &torn)?;
+    println!("simulated crash mid-append; recovery:");
+    for d in report.diagnostics.diagnostics() {
+        println!("  {d}");
+    }
+    assert_eq!(recovered.session(), js.session());
+    println!(
+        "  recovered to the exact pre-crash state ({} records intact)",
+        recovered.journal().len()
+    );
+
+    // ... and the recovered session keeps exploring where it left off.
+    let (mut session, _) = recovered.into_parts();
+    session.decide("AdderStructure", Value::from("carry-save"))?;
+    println!(
+        "  resumed exploration: AdderStructure decided, {} bindings total",
+        session.bindings().len()
+    );
+    Ok(())
+}

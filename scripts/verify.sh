@@ -14,6 +14,12 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --all-targets --offline -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> chaos gate: resilience suite under extra fixed seeds"
+for seed in 3 11 1999; do
+    echo "    DSE_CHAOS_SEED=$seed"
+    DSE_CHAOS_SEED=$seed cargo test -q --offline --test resilience > /dev/null
+done
+
 echo "==> static analysis of all shipped design spaces (must be error-free)"
 cargo run --release --offline --example diagnose
 

@@ -5,7 +5,7 @@
 //! (`DSL1xx` core-binding lints are exercised in `dse-library`'s
 //! `lint` module tests.)
 
-use design_space_layer::dse::analyze::analyze;
+use design_space_layer::dse::analyze::{analyze, DerivationGraph};
 use design_space_layer::dse::constraint::Fidelity;
 use design_space_layer::dse::prelude::*;
 use design_space_layer::foundation::check::{self, Gen};
@@ -645,4 +645,35 @@ fn property_injected_unbound_references_are_always_detected() {
             "{r}"
         );
     });
+}
+
+#[test]
+fn cycle_with_early_sorting_downstream_sink_is_detected() {
+    // Cycle X -> Y -> X, plus Y -> A where "A" sorts before "X"/"Y":
+    // topo_order's leftover set contains the downstream sink A, and a
+    // cycle walk naively started there dead-ends without reporting.
+    let cs = [
+        quant("C1", &["X"], "Y"),
+        quant("C2", &["Y"], "X"),
+        quant("C3", &["Y"], "A"),
+    ];
+    let g = DerivationGraph::from_constraints(cs.iter());
+    assert!(g.topo_order().is_err(), "graph really is cyclic");
+    let cycle = g
+        .find_cycle()
+        .expect("find_cycle must not miss the cycle when a downstream sink sorts first");
+    // The reported path is a genuine cycle over X and Y only.
+    assert_eq!(cycle.first(), cycle.last());
+    assert!(!cycle.contains(&"A".to_owned()), "sink A is on no cycle: {cycle:?}");
+
+    let mut s = DesignSpace::new("t");
+    let root = s.add_root("Root", "");
+    for c in cs {
+        s.add_constraint_unchecked(root, c);
+    }
+    let r = analyze(&s);
+    assert!(
+        r.diagnostics().iter().any(|d| d.code == DiagCode::DerivationCycle),
+        "analyze() reported no DerivationCycle: {r}"
+    );
 }

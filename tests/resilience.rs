@@ -1,0 +1,250 @@
+//! Seeded chaos suite for the resilience layer (`dse::robust`).
+//!
+//! Every test runs under several fixed seeds (plus an optional extra one
+//! from `DSE_CHAOS_SEED`) and proves the layer's invariants under
+//! injected panics, transient failures, fuel exhaustion and garbage
+//! output:
+//!
+//! * the estimator registry is never poisoned — after any amount of
+//!   chaos, healthy calls still answer;
+//! * a failed decision leaves the session bit-identical to its
+//!   pre-decision state (no partial decisions);
+//! * journal recovery replays to the exact original state, and a torn
+//!   tail drops only the torn record;
+//! * the whole walkthrough completes under fault injection, degrading
+//!   figures instead of failing.
+
+use design_space_layer::coproc::spec::KocSpec;
+use design_space_layer::coproc::walkthrough;
+use design_space_layer::dse::diag::DiagCode;
+use design_space_layer::dse::prelude::*;
+use design_space_layer::dse::robust::fault::silence_injected_panics;
+use design_space_layer::dse_library::crypto;
+use design_space_layer::dse_library::estimators::full_registry;
+use design_space_layer::foundation::rng::{Rng, SeedableRng, StdRng};
+use design_space_layer::techlib::Technology;
+
+/// The fixed seeds every chaos test runs under, extended by
+/// `DSE_CHAOS_SEED` when the environment provides one.
+fn chaos_seeds() -> Vec<u64> {
+    let mut seeds = vec![1, 7, 42];
+    if let Ok(s) = std::env::var("DSE_CHAOS_SEED") {
+        if let Ok(extra) = s.trim().parse::<u64>() {
+            if !seeds.contains(&extra) {
+                seeds.push(extra);
+            }
+        }
+    }
+    seeds
+}
+
+/// A session at the point where CC3's estimation context is ready.
+fn cc3_ready_session(layer: &crypto::CryptoLayer) -> ExplorationSession<'_> {
+    let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+    ses.set_requirement("EOL", Value::from(768)).unwrap();
+    ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+        .unwrap();
+    ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    ses.decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    ses.decide("Algorithm", Value::from("Montgomery")).unwrap();
+    ses.decide("BehavioralDecomposition", Value::from("use-default"))
+        .unwrap();
+    ses
+}
+
+#[test]
+fn registry_survives_repeated_injected_panics() {
+    silence_injected_panics();
+    let tech = Technology::g10_035();
+    let layer = crypto::build_layer().unwrap();
+    for seed in chaos_seeds() {
+        // Panic-heavy plan: roughly one call in three unwinds.
+        let plan = FaultPlan::new(
+            seed,
+            64,
+            FaultRates {
+                panic: 0.30,
+                transient: 0.10,
+                fuel: 0.05,
+                nan: 0.05,
+                garbage: 0.05,
+            },
+        );
+        let sup = Supervisor::new(plan.wrap_registry(full_registry(tech.clone())));
+        let mut ses = cc3_ready_session(&layer);
+        for _ in 0..24 {
+            // The loop itself not unwinding is the containment proof;
+            // every produced figure must carry a coherent provenance.
+            for (_, fig) in ses.run_estimators(&sup) {
+                match fig.provenance {
+                    Provenance::Unavailable => assert_eq!(fig.value, None),
+                    _ => assert!(fig.value.is_some(), "{fig:?}"),
+                }
+            }
+        }
+        let stats = sup.stats();
+        assert!(
+            stats.panics_caught > 0,
+            "seed {seed}: the plan should have injected panics"
+        );
+        // The registry is not poisoned: a benign supervisor over the
+        // same tool set still answers exactly.
+        let clean = Supervisor::new(full_registry(tech.clone()));
+        let fig = clean.estimate("BehaviorDelayEstimator", ses.bindings(), None);
+        assert_eq!(fig.provenance, Provenance::Estimated);
+        assert!(fig.value.unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn chaos_estimation_is_deterministic_per_seed() {
+    silence_injected_panics();
+    let tech = Technology::g10_035();
+    let layer = crypto::build_layer().unwrap();
+    for seed in chaos_seeds() {
+        let run = || {
+            let plan = FaultPlan::new(seed, 32, FaultRates::chaos());
+            let sup = Supervisor::new(plan.wrap_registry(full_registry(tech.clone())));
+            let mut ses = cc3_ready_session(&layer);
+            let mut figures = Vec::new();
+            for _ in 0..12 {
+                figures.extend(ses.run_estimators(&sup));
+            }
+            (figures, sup.stats())
+        };
+        assert_eq!(run(), run(), "seed {seed}: chaos must be replayable");
+    }
+}
+
+#[test]
+fn failed_operations_leave_the_session_bit_identical() {
+    let layer = crypto::build_layer().unwrap();
+    for seed in chaos_seeds() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ses = ExplorationSession::new(&layer.space, layer.omm);
+        ses.set_requirement("EOL", Value::from(768)).unwrap();
+        ses.set_requirement("MaxLatencyUs", Value::from(8.0))
+            .unwrap();
+        ses.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        // A pool of operations, some valid and some doomed: unknown
+        // properties, options outside the domain, and the software
+        // family the latency requirement rejects (CC6).
+        let mut failures = 0u32;
+        for _ in 0..40 {
+            let before = ses.clone();
+            let outcome = match rng.gen_range(1..=8) {
+                1 => ses.decide("ImplementationStyle", Value::from("Hardware")),
+                2 => ses.decide("ImplementationStyle", Value::from("Software")),
+                3 => ses.decide("Algorithm", Value::from("Montgomery")),
+                4 => ses.decide("Algorithm", Value::from("Sieve")),
+                5 => ses.decide("NoSuchIssue", Value::from(1)),
+                6 => ses.decide("BehavioralDecomposition", Value::from("use-default")),
+                7 => ses.revise("EOL", Value::from("not a number")).map(|_| ()),
+                _ => ses.undo().map(|_| ()),
+            };
+            if outcome.is_err() {
+                failures += 1;
+                assert_eq!(
+                    ses, before,
+                    "seed {seed}: a rejected operation must not leave a trace"
+                );
+            }
+        }
+        assert!(failures > 0, "seed {seed}: the pool should produce failures");
+    }
+}
+
+#[test]
+fn recovery_replays_to_the_exact_original_state() {
+    let layer = crypto::build_layer().unwrap();
+    for seed in chaos_seeds() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut js = JournaledSession::new(&layer.space, layer.omm);
+        js.set_requirement("EOL", Value::from(768)).unwrap();
+        js.set_requirement("MaxLatencyUs", Value::from(8.0)).unwrap();
+        js.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+            .unwrap();
+        // A seeded mix of decisions, rejections, undos and annotations;
+        // rejected operations must never reach the journal.
+        for _ in 0..30 {
+            let _ = match rng.gen_range(1..=6) {
+                1 => js.decide("ImplementationStyle", Value::from("Hardware")),
+                2 => js.decide("ImplementationStyle", Value::from("Software")),
+                3 => js.decide("Algorithm", Value::from("Montgomery")),
+                4 => js.undo(),
+                5 => js.annotate("EOL", "chaos note"),
+                _ => js.decide("BehavioralDecomposition", Value::from("use-default")),
+            };
+        }
+        let text = js.journal().to_jsonl();
+        let (recovered, report) =
+            JournaledSession::recover(&layer.space, layer.omm, &text).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(
+            recovered.session(),
+            js.session(),
+            "seed {seed}: recover(replay(s)) must equal s"
+        );
+        assert_eq!(recovered.journal(), js.journal());
+    }
+}
+
+#[test]
+fn torn_journal_tail_drops_only_the_torn_record() {
+    let layer = crypto::build_layer().unwrap();
+    let mut js = JournaledSession::new(&layer.space, layer.omm);
+    js.set_requirement("EOL", Value::from(768)).unwrap();
+    js.set_requirement("MaxLatencyUs", Value::from(8.0)).unwrap();
+    js.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    js.decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    let intact = js.journal().to_jsonl();
+
+    // Crash mid-append: the final record is half-written.
+    let torn = format!("{intact}{{\"Decide\":{{\"name\":\"Algo");
+    let (recovered, report) = JournaledSession::recover(&layer.space, layer.omm, &torn).unwrap();
+    assert!(!report.is_clean());
+    assert_eq!(report.diagnostics.diagnostics()[0].code, DiagCode::TornJournalTail);
+    assert_eq!(recovered.journal().len(), js.journal().len());
+    assert_eq!(recovered.session(), js.session());
+
+    // A corrupt record *before* the tail is not recoverable silently.
+    let mut lines: Vec<&str> = intact.lines().collect();
+    lines.insert(1, "garbage mid-journal");
+    let garbled = lines.join("\n");
+    let err = JournaledSession::recover(&layer.space, layer.omm, &garbled).unwrap_err();
+    assert!(matches!(err, RecoverError::Corrupt { line: 2, .. }), "{err}");
+}
+
+#[test]
+fn walkthrough_completes_under_fault_injection() {
+    silence_injected_panics();
+    let tech = Technology::g10_035();
+    let spec = KocSpec::paper();
+    let baseline = walkthrough::run(&spec, &tech).unwrap();
+    let baseline_core = baseline
+        .selected
+        .as_ref()
+        .expect("paper spec selects")
+        .name()
+        .to_owned();
+    for seed in chaos_seeds() {
+        let plan = FaultPlan::new(seed, 48, FaultRates::chaos());
+        let registry = plan.wrap_registry(full_registry(tech.clone()));
+        let report = walkthrough::run_supervised(&spec, &tech, registry)
+            .unwrap_or_else(|e| panic!("seed {seed}: walkthrough must survive chaos: {e}"));
+        // Faults degrade figures, never the exploration: the same core
+        // is selected and verified as in the fault-free run.
+        assert_eq!(
+            report.selected.as_ref().map(|c| c.name().to_owned()),
+            Some(baseline_core.clone()),
+            "seed {seed}"
+        );
+        assert!(report.functionally_verified, "seed {seed}");
+        assert!(!report.estimates.is_empty(), "seed {seed}");
+    }
+}
