@@ -1,27 +1,70 @@
 //! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
-//! combining the `bignum_ops`, `exploration`, `analyze` and `robust`
-//! suites.
+//! combining the `bignum_ops`, `exploration`, `analyze`, `robust` and
+//! `cache` suites.
 //!
 //! ```text
-//! cargo run --release -p bench --bin baseline            # writes BENCH_baseline.json
+//! cargo run --release -p bench --bin baseline                  # writes BENCH_baseline.json
 //! cargo run --release -p bench --bin baseline -- out.json
+//! cargo run --release -p bench --bin baseline -- --suite analyze
+//! cargo run --release -p bench --bin baseline -- --compare BENCH_baseline.json
 //! ```
+//!
+//! `--suite <name>` (repeatable) restricts the run to the named suites.
+//! `--compare <baseline.json>` prints per-entry deltas against a previous
+//! report instead of writing one, and exits nonzero when any entry's
+//! median regressed by more than 2×.
 //!
 //! `DSE_BENCH_FAST=1` shortens the run for smoke testing.
 
-use foundation::bench::combined_report;
+use foundation::bench::{combined_report, format_ns, Harness};
+use foundation::json::Json;
+
+/// Median regression ratio that fails a `--compare` run.
+const REGRESSION_GATE: f64 = 2.0;
+
+const SUITES: &[(&str, fn() -> Harness)] = &[
+    ("bignum_ops", bench::suites::bignum_ops),
+    ("exploration", bench::suites::exploration),
+    ("analyze", bench::suites::analyze),
+    ("robust", bench::suites::robust),
+    ("cache", bench::suites::cache),
+];
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut out_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
 
-    let suites = [
-        bench::suites::bignum_ops(),
-        bench::suites::exploration(),
-        bench::suites::analyze(),
-        bench::suites::robust(),
-    ];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => match args.next() {
+                Some(name) => selected.push(name),
+                None => usage_error("--suite needs a name"),
+            },
+            "--compare" => match args.next() {
+                Some(path) => compare_path = Some(path),
+                None => usage_error("--compare needs a baseline path"),
+            },
+            other if other.starts_with("--") => usage_error(&format!("unknown flag {other}")),
+            path => out_path = Some(path.to_string()),
+        }
+    }
+    for name in &selected {
+        if !SUITES.iter().any(|(n, _)| n == name) {
+            let known: Vec<&str> = SUITES.iter().map(|(n, _)| *n).collect();
+            usage_error(&format!(
+                "unknown suite {name:?}; known suites: {}",
+                known.join(", ")
+            ));
+        }
+    }
+
+    let suites: Vec<Harness> = SUITES
+        .iter()
+        .filter(|(name, _)| selected.is_empty() || selected.iter().any(|s| s == name))
+        .map(|(_, build)| build())
+        .collect();
     let reports: Vec<_> = suites.iter().map(|h| h.report_json()).collect();
     for h in &suites {
         print!(
@@ -30,6 +73,11 @@ fn main() {
         );
     }
 
+    if let Some(path) = compare_path {
+        std::process::exit(compare(&suites, &path));
+    }
+
+    let path = out_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let report = combined_report("dse-foundation baseline", &reports).to_string_pretty();
     match std::fs::write(&path, &report) {
         Ok(()) => println!("\nwrote {path}"),
@@ -38,4 +86,95 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Prints per-entry median deltas against the baseline at `path`.
+/// Returns the process exit code: nonzero when any entry regressed past
+/// [`REGRESSION_GATE`].
+fn compare(current: &[Harness], path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return 1;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("baseline {path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    // (suite, entry name) → baseline median.
+    let mut base_medians: Vec<(String, String, f64)> = Vec::new();
+    for suite in baseline
+        .get("suites")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let Some(suite_name) = suite.get("suite").and_then(Json::as_str) else {
+            continue;
+        };
+        for entry in suite.get("entries").and_then(Json::as_array).unwrap_or(&[]) {
+            if let (Some(name), Some(median)) = (
+                entry.get("name").and_then(Json::as_str),
+                entry.get("median_ns").and_then(Json::as_f64),
+            ) {
+                base_medians.push((suite_name.to_string(), name.to_string(), median));
+            }
+        }
+    }
+
+    println!("\ncomparison against {path} (gate: >{REGRESSION_GATE}× median)");
+    let mut regressions = 0usize;
+    for h in current {
+        for m in h.entries() {
+            let base = base_medians
+                .iter()
+                .find(|(s, n, _)| s == h.suite() && n == &m.name)
+                .map(|(_, _, median)| *median);
+            match base {
+                Some(b) if b > 0.0 => {
+                    let ratio = m.median_ns / b;
+                    let verdict = if ratio > REGRESSION_GATE {
+                        regressions += 1;
+                        "REGRESSED"
+                    } else if ratio < 1.0 / REGRESSION_GATE {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<40} {:>12} -> {:>12}  {ratio:>6.2}x  {verdict}",
+                        m.name,
+                        format_ns(b),
+                        format_ns(m.median_ns),
+                    );
+                }
+                _ => println!(
+                    "  {:<40} {:>12} -> {:>12}    new",
+                    m.name,
+                    "-",
+                    format_ns(m.median_ns),
+                ),
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} entr{} regressed past the {REGRESSION_GATE}x gate",
+            if regressions == 1 { "y" } else { "ies" });
+        1
+    } else {
+        println!("no entry regressed past the {REGRESSION_GATE}x gate");
+        0
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("baseline: {msg}");
+    eprintln!(
+        "usage: baseline [OUT.json] [--suite <name>]... [--compare BASELINE.json]"
+    );
+    std::process::exit(2);
 }

@@ -269,6 +269,112 @@ pub fn robust() -> Harness {
     h
 }
 
+/// The estimate memo (`dse::robust::EstimateCache`): cold vs warm
+/// supervised estimates, the fingerprint itself, and a repeated-decide
+/// session loop that must exceed the 90% hit-rate acceptance gate while
+/// still missing (never serving stale figures) when an input changes.
+pub fn cache() -> Harness {
+    use std::sync::Arc;
+
+    use dse::expr::Bindings;
+    use dse::robust::{EstimateCache, Supervisor};
+    use dse::session::ExplorationSession;
+    use dse_library::estimators::full_registry;
+
+    let mut h = Harness::new("cache");
+    let tech = Technology::g10_035();
+    let mut bindings = Bindings::new();
+    bindings.insert("EOL", Value::from(768));
+    bindings.insert("Algorithm", Value::from("Montgomery"));
+    bindings.insert("BehavioralDecomposition", Value::from("use-default"));
+
+    let cold = Supervisor::new(full_registry(tech.clone()));
+    h.bench("cache/estimate_uncached", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(cold.estimate(
+                "BehaviorDelayEstimator",
+                black_box(&bindings),
+                Some((0.1, 50.0)),
+            ));
+        }
+    });
+
+    let warm = Supervisor::with_cache(
+        full_registry(tech.clone()),
+        Arc::new(EstimateCache::new()),
+    );
+    warm.estimate("BehaviorDelayEstimator", &bindings, Some((0.1, 50.0)));
+    h.bench("cache/estimate_memo_hit", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(warm.estimate(
+                "BehaviorDelayEstimator",
+                black_box(&bindings),
+                Some((0.1, 50.0)),
+            ));
+        }
+    });
+
+    h.bench("cache/fingerprint", {
+        let bindings = bindings.clone();
+        move || {
+            black_box(EstimateCache::fingerprint(black_box(&bindings)));
+        }
+    });
+
+    // A repeated-decide loop: every undo/redecide returns the session to
+    // a state the cache has fingerprinted before, so after the first
+    // iteration every estimator run is a hit.
+    let layer = crypto::build_layer().expect("layer builds");
+    let cached = Supervisor::with_cache(
+        full_registry(tech.clone()),
+        Arc::new(EstimateCache::new()),
+    );
+    let mut session = ExplorationSession::new(&layer.space, layer.omm);
+    session.set_requirement("EOL", Value::from(768)).unwrap();
+    session
+        .set_requirement("MaxLatencyUs", Value::from(8.0))
+        .unwrap();
+    session
+        .set_requirement("ModuloIsOdd", Value::from("Guaranteed"))
+        .unwrap();
+    session
+        .decide("ImplementationStyle", Value::from("Hardware"))
+        .unwrap();
+    session.decide("Algorithm", Value::from("Montgomery")).unwrap();
+    h.bench("cache/repeated_decide_session", || {
+        session
+            .decide("BehavioralDecomposition", Value::from("use-default"))
+            .unwrap();
+        black_box(session.run_estimators(&cached));
+        session.undo().unwrap();
+    });
+
+    let stats = cached.cache().expect("cache attached").stats();
+    assert!(
+        stats.hit_rate() > 0.90,
+        "repeated-decide workload must exceed the 90% hit-rate gate, got {:.3} ({stats:?})",
+        stats.hit_rate()
+    );
+    // Correct invalidation, both implicit and explicit: a changed input
+    // must miss instead of serving the memoized figure, and dropping the
+    // tool's entries must force recomputation.
+    let misses_before = stats.misses;
+    session
+        .decide("BehavioralDecomposition", Value::from("select-per-operator"))
+        .unwrap();
+    black_box(session.run_estimators(&cached));
+    let cache = cached.cache().expect("cache attached");
+    assert!(
+        cache.stats().misses > misses_before,
+        "a changed input fingerprint must miss: {:?}",
+        cache.stats()
+    );
+    assert!(cache.invalidate_tool("BehaviorDelayEstimator") > 0);
+    h
+}
+
 /// The static analyzer (`dse::analyze`): full-space verification of the
 /// shipped crypto layer, plus a synthetic ~1.4k-CDO space that stresses
 /// the per-node passes (derivation graph, domain enumeration, hierarchy
@@ -358,6 +464,14 @@ pub fn analyze() -> Harness {
     assert_eq!(synthetic.len(), 1365);
     h.bench("analyze/synthetic_1365_cdos", || {
         black_box(dse::analyze::analyze(black_box(&synthetic)));
+    });
+    // The same sweep pinned to one thread: the sequential-overhead bound
+    // (the parallel engine must not tax single-core runs), and the
+    // denominator for the multi-core speedup when cores are available.
+    h.bench("analyze/synthetic_1365_cdos_1thread", || {
+        foundation::par::with_thread_limit(1, || {
+            black_box(dse::analyze::analyze(black_box(&synthetic)));
+        });
     });
     h.bench("analyze/evaluation_order_crypto", || {
         black_box(

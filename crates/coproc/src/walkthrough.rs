@@ -159,11 +159,19 @@ pub fn run_with_library_supervised(
     let mut exp = Explorer::new(&layer.space, layer.omm, library);
     let mut steps = Vec::new();
     let mut record = |exp: &Explorer<'_>, action: String| {
+        // One pruning pass per step: build the survivors' evaluation
+        // space once (instead of once per queried merit) and fan the two
+        // range scans out on the foundation pool.
+        let space = exp.evaluation_space();
+        let (delay_range_ns, area_range_um2) = foundation::par::join(
+            || space.range(&FigureOfMerit::DelayNs),
+            || space.range(&FigureOfMerit::AreaUm2),
+        );
         steps.push(WalkthroughStep {
             action,
-            surviving: exp.surviving_cores().len(),
-            delay_range_ns: exp.merit_range(&FigureOfMerit::DelayNs),
-            area_range_um2: exp.merit_range(&FigureOfMerit::AreaUm2),
+            surviving: space.len(),
+            delay_range_ns,
+            area_range_um2,
         });
     };
 

@@ -15,8 +15,12 @@
 //! skipped, never guessed at — so these checks produce no false errors
 //! on spaces with open-ended requirement domains.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
 use crate::constraint::Relation;
-use crate::diag::{DiagCode, Diagnostic, Report, Span};
+use crate::diag::{DiagCode, Diagnostic, Span};
 use crate::expr::{Bindings, Pred};
 use crate::hierarchy::{CdoId, DesignSpace};
 use crate::property::PropertyKind;
@@ -27,6 +31,129 @@ pub(crate) const MAX_COMBINATIONS: usize = 4096;
 
 /// Widest integer range the analyzer will enumerate.
 pub(crate) const MAX_INT_RANGE_SPAN: i64 = 64;
+
+/// Smallest joint combination count worth memoizing. Below this the
+/// enumeration is cheaper than building the memo key, so the sequential
+/// path stays fast; above it, sibling subtrees whose *relevant* region
+/// bindings coincide share one verdict instead of re-enumerating.
+const MEMO_MIN_COMBINATIONS: usize = 16;
+
+/// Cross-CDO memo for the exhaustive elimination sweeps, shared by the
+/// per-CDO parallel fan-out (interior mutability, `Sync`).
+///
+/// The key is exact, not a hash: the rendered predicates, the
+/// enumeration axes, and the fixed bindings *projected onto the names
+/// the predicates reference*. Projection is what makes the memo fire
+/// across subtrees — a deeper CDO whose extra inherited options are
+/// irrelevant to the constraint set reuses the ancestor's verdict
+/// ("skip unchanged subtrees"). Entries are only consulted for joint
+/// enumerations of at least [`MEMO_MIN_COMBINATIONS`] combinations.
+pub(crate) struct ElimMemo {
+    verdicts: Mutex<HashMap<String, (usize, usize)>>,
+}
+
+impl ElimMemo {
+    pub(crate) fn new() -> ElimMemo {
+        ElimMemo {
+            verdicts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `(firing, total)` over the joint enumeration, memoized when the
+    /// combination count clears the threshold.
+    fn count_firing(
+        &self,
+        preds: &[(&str, &Pred)],
+        axes: &[(String, Vec<Value>)],
+        fixed: &Bindings,
+    ) -> (usize, usize) {
+        let combos = Combos::total(axes).unwrap_or(0);
+        if combos < MEMO_MIN_COMBINATIONS {
+            return count_firing_direct(preds, axes, fixed);
+        }
+        let key = memo_key(preds, axes, fixed);
+        if let Some(&v) = self.verdicts.lock().unwrap().get(&key) {
+            return v;
+        }
+        let v = count_firing_direct(preds, axes, fixed);
+        self.verdicts.lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// Whether any combination survives every predicate. Short-circuits
+    /// below the memo threshold; shares `(firing, total)` entries with
+    /// the contradiction counter above it.
+    fn survives(
+        &self,
+        preds: &[(&str, &Pred)],
+        axes: &[(String, Vec<Value>)],
+        fixed: &Bindings,
+    ) -> bool {
+        if axes.is_empty() {
+            // The region fixes every reference: a single combination,
+            // evaluated in place without cloning the bindings.
+            return !eliminated(preds, fixed);
+        }
+        if Combos::total(axes).unwrap_or(0) < MEMO_MIN_COMBINATIONS {
+            return Combos::new(axes, fixed).any(|b| !eliminated(preds, &b));
+        }
+        let (firing, total) = self.count_firing(preds, axes, fixed);
+        firing < total
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.verdicts.lock().unwrap().len()
+    }
+}
+
+/// Counts combinations on which any predicate in the set fires.
+fn count_firing_direct(
+    preds: &[(&str, &Pred)],
+    axes: &[(String, Vec<Value>)],
+    fixed: &Bindings,
+) -> (usize, usize) {
+    if axes.is_empty() {
+        return (usize::from(eliminated(preds, fixed)), 1);
+    }
+    let mut firing = 0usize;
+    let mut total = 0usize;
+    for b in Combos::new(axes, fixed) {
+        total += 1;
+        if eliminated(preds, &b) {
+            firing += 1;
+        }
+    }
+    (firing, total)
+}
+
+/// The exact memo key: predicates (rendered), axes, and the projection
+/// of `fixed` onto the predicate reference sets.
+fn memo_key(preds: &[(&str, &Pred)], axes: &[(String, Vec<Value>)], fixed: &Bindings) -> String {
+    let mut key = String::new();
+    for (_, p) in preds {
+        let _ = write!(key, "{p}\u{1}");
+    }
+    key.push('\u{2}');
+    for (name, values) in axes {
+        let _ = write!(key, "{name}=");
+        for v in values {
+            let _ = write!(key, "{v},");
+        }
+        key.push('\u{1}');
+    }
+    key.push('\u{2}');
+    // Only the referenced fixed bindings can influence the verdict.
+    let mut relevant: Vec<String> = preds.iter().flat_map(|(_, p)| p.references()).collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    for name in relevant {
+        if let Some(v) = fixed.get(&name) {
+            let _ = write!(key, "{name}={v}\u{1}");
+        }
+    }
+    key
+}
 
 /// The finitely enumerable values of a domain, from the analyzer's point
 /// of view (adds small integer ranges to `Domain::enumerate`).
@@ -128,55 +255,49 @@ fn eliminated(preds: &[(&str, &Pred)], b: &Bindings) -> bool {
     preds.iter().any(|(_, p)| p.eval(b) == Ok(true))
 }
 
-pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
-    contradictions_and_hints(space, report);
-    dead_options(space, report);
-    unreachable_children(space, report);
-}
-
 // ---------------------------------------------------------------------
 // DSL005 (contradiction) and DSL009 (dominance pre-pass hint).
 // ---------------------------------------------------------------------
 
-fn contradictions_and_hints(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let fixed = region_bindings(space, id);
-        for c in node.own_constraints() {
-            let Some(pred) = super::constraint_pred(c) else {
-                continue;
-            };
-            let Some(axes) = axes_for(space, id, pred.references(), &fixed) else {
-                continue;
-            };
-            let mut firing = 0usize;
-            let mut total = 0usize;
-            for b in Combos::new(&axes, &fixed) {
-                total += 1;
-                if pred.eval(&b) == Ok(true) {
-                    firing += 1;
-                }
-            }
-            if total == 0 {
-                continue;
-            }
-            let span = Span::at(space.path_string(id)).constraint(c.name());
-            if firing == total {
-                report.push(Diagnostic::new(
-                    DiagCode::Contradiction,
-                    span,
-                    format!(
-                        "every one of the {total} combinations of its enumerable options violates this constraint"
-                    ),
-                ));
-            } else if firing > 0 && matches!(c.relation(), Relation::Dominance(_)) {
-                report.push(Diagnostic::new(
-                    DiagCode::DominanceHint,
-                    span,
-                    format!(
-                        "{firing} of {total} option combinations are statically dominated and can be pre-eliminated"
-                    ),
-                ));
-            }
+pub(crate) fn contradictions_node(
+    space: &DesignSpace,
+    id: CdoId,
+    memo: &ElimMemo,
+    out: &mut Vec<Diagnostic>,
+) {
+    let node = space.node(id);
+    if node.own_constraints().is_empty() {
+        return;
+    }
+    let fixed = region_bindings(space, id);
+    for c in node.own_constraints() {
+        let Some(pred) = super::constraint_pred(c) else {
+            continue;
+        };
+        let Some(axes) = axes_for(space, id, pred.references(), &fixed) else {
+            continue;
+        };
+        let (firing, total) = memo.count_firing(&[(c.name(), pred)], &axes, &fixed);
+        if total == 0 {
+            continue;
+        }
+        let span = Span::at(space.path_string(id)).constraint(c.name());
+        if firing == total {
+            out.push(Diagnostic::new(
+                DiagCode::Contradiction,
+                span,
+                format!(
+                    "every one of the {total} combinations of its enumerable options violates this constraint"
+                ),
+            ));
+        } else if firing > 0 && matches!(c.relation(), Relation::Dominance(_)) {
+            out.push(Diagnostic::new(
+                DiagCode::DominanceHint,
+                span,
+                format!(
+                    "{firing} of {total} option combinations are statically dominated and can be pre-eliminated"
+                ),
+            ));
         }
     }
 }
@@ -185,56 +306,71 @@ fn contradictions_and_hints(space: &DesignSpace, report: &mut Report) {
 // DSL006: dead design-issue options.
 // ---------------------------------------------------------------------
 
-fn dead_options(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let fixed = region_bindings(space, id);
-        for prop in node.own_properties() {
-            if !matches!(
-                prop.kind(),
-                PropertyKind::DesignIssue | PropertyKind::GeneralizedIssue
-            ) {
-                continue;
-            }
-            let Some(options) = enumerable(prop.domain()) else {
-                continue;
-            };
-            // Constraints that can eliminate combinations involving this
-            // issue: every pred-relation constraint effective at `id`
-            // that references the issue and whose other references are
-            // all enumerable or fixed.
-            let effective = space.effective_constraints(id);
-            let applicable: Vec<(&str, &Pred)> = effective
-                .iter()
-                .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p)))
-                .filter(|(_, p)| p.references().iter().any(|r| r == prop.name()))
-                .collect();
-            if applicable.is_empty() {
-                continue;
-            }
-            let joint_refs: Vec<String> = applicable
-                .iter()
-                .flat_map(|(_, p)| p.references())
-                .filter(|r| r != prop.name())
-                .collect();
-            let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
-                continue;
-            };
-            for option in &options {
-                let mut fixed_opt = fixed.clone();
-                fixed_opt.insert(prop.name().to_owned(), option.clone());
-                let survives = Combos::new(&axes, &fixed_opt).any(|b| !eliminated(&applicable, &b));
-                if !survives {
-                    let names: Vec<&str> = applicable.iter().map(|(n, _)| *n).collect();
-                    report.push(Diagnostic::new(
-                        DiagCode::DeadOption,
-                        Span::at(space.path_string(id)).property(prop.name()),
-                        format!(
-                            "option {option} of {:?} is dead: every combination is eliminated (constraints {})",
-                            prop.name(),
-                            names.join(", ")
-                        ),
-                    ));
-                }
+pub(crate) fn dead_options_node(
+    space: &DesignSpace,
+    id: CdoId,
+    memo: &ElimMemo,
+    out: &mut Vec<Diagnostic>,
+) {
+    let node = space.node(id);
+    if !node.own_properties().iter().any(|p| {
+        matches!(
+            p.kind(),
+            PropertyKind::DesignIssue | PropertyKind::GeneralizedIssue
+        )
+    }) {
+        return;
+    }
+    let fixed = region_bindings(space, id);
+    for prop in node.own_properties() {
+        if !matches!(
+            prop.kind(),
+            PropertyKind::DesignIssue | PropertyKind::GeneralizedIssue
+        ) {
+            continue;
+        }
+        let Some(options) = enumerable(prop.domain()) else {
+            continue;
+        };
+        // Constraints that can eliminate combinations involving this
+        // issue: every pred-relation constraint effective at `id`
+        // that references the issue and whose other references are
+        // all enumerable or fixed.
+        let effective = space.effective_constraints(id);
+        // One `references()` walk per predicate, reused for both the
+        // applicability filter and the joint axis set.
+        let with_refs: Vec<(&str, &Pred, Vec<String>)> = effective
+            .iter()
+            .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p, p.references())))
+            .filter(|(_, _, refs)| refs.iter().any(|r| r == prop.name()))
+            .collect();
+        if with_refs.is_empty() {
+            continue;
+        }
+        let applicable: Vec<(&str, &Pred)> = with_refs.iter().map(|&(n, p, _)| (n, p)).collect();
+        let joint_refs: Vec<String> = with_refs
+            .iter()
+            .flat_map(|(_, _, refs)| refs.iter())
+            .filter(|r| *r != prop.name())
+            .cloned()
+            .collect();
+        let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
+            continue;
+        };
+        for option in &options {
+            let mut fixed_opt = fixed.clone();
+            fixed_opt.insert(prop.name().to_owned(), option.clone());
+            if !memo.survives(&applicable, &axes, &fixed_opt) {
+                let names: Vec<&str> = applicable.iter().map(|(n, _)| *n).collect();
+                out.push(Diagnostic::new(
+                    DiagCode::DeadOption,
+                    Span::at(space.path_string(id)).property(prop.name()),
+                    format!(
+                        "option {option} of {:?} is dead: every combination is eliminated (constraints {})",
+                        prop.name(),
+                        names.join(", ")
+                    ),
+                ));
             }
         }
     }
@@ -244,47 +380,56 @@ fn dead_options(space: &DesignSpace, report: &mut Report) {
 // DSL008: unreachable spawned children (option statically eliminated).
 // ---------------------------------------------------------------------
 
-fn unreachable_children(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let Some((issue, option)) = node.spawned_by() else {
-            continue;
-        };
-        let fixed = region_bindings(space, id);
-        let effective = space.effective_constraints(id);
-        // Retain every pred constraint whose references the region can
-        // enumerate; constraints touching open domains are dropped
-        // (fewer eliminations can only under-report unreachability).
-        let preds: Vec<(&str, &Pred)> = effective
-            .iter()
-            .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p)))
-            .filter(|(_, p)| {
-                p.references().iter().all(|r| {
-                    fixed.contains_key(r)
-                        || super::domain_at(space, id, r)
-                            .map(|d| enumerable(d).is_some())
-                            .unwrap_or(false)
-                })
+pub(crate) fn unreachable_node(
+    space: &DesignSpace,
+    id: CdoId,
+    memo: &ElimMemo,
+    out: &mut Vec<Diagnostic>,
+) {
+    let node = space.node(id);
+    let Some((issue, option)) = node.spawned_by() else {
+        return;
+    };
+    let fixed = region_bindings(space, id);
+    let effective = space.effective_constraints(id);
+    // Retain every pred constraint whose references the region can
+    // enumerate; constraints touching open domains are dropped
+    // (fewer eliminations can only under-report unreachability). One
+    // `references()` walk per predicate, reused for the axis set.
+    let with_refs: Vec<(&str, &Pred, Vec<String>)> = effective
+        .iter()
+        .filter_map(|(_, c)| super::constraint_pred(c).map(|p| (c.name(), p, p.references())))
+        .filter(|(_, _, refs)| {
+            refs.iter().all(|r| {
+                fixed.contains_key(r)
+                    || super::domain_at(space, id, r)
+                        .map(|d| enumerable(d).is_some())
+                        .unwrap_or(false)
             })
-            .collect();
-        if preds.is_empty() {
-            continue;
-        }
-        let joint_refs: Vec<String> = preds.iter().flat_map(|(_, p)| p.references()).collect();
-        let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
-            continue;
-        };
-        let survives = Combos::new(&axes, &fixed).any(|b| !eliminated(&preds, &b));
-        if !survives {
-            let names: Vec<&str> = preds.iter().map(|(n, _)| *n).collect();
-            report.push(Diagnostic::new(
-                DiagCode::UnreachableChild,
-                Span::at(space.path_string(id)).property(issue),
-                format!(
-                    "unreachable: spawning option {issue} = {option} is statically eliminated (constraints {})",
-                    names.join(", ")
-                ),
-            ));
-        }
+        })
+        .collect();
+    if with_refs.is_empty() {
+        return;
+    }
+    let preds: Vec<(&str, &Pred)> = with_refs.iter().map(|&(n, p, _)| (n, p)).collect();
+    let joint_refs: Vec<String> = with_refs
+        .iter()
+        .flat_map(|(_, _, refs)| refs.iter())
+        .cloned()
+        .collect();
+    let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
+        return;
+    };
+    if !memo.survives(&preds, &axes, &fixed) {
+        let names: Vec<&str> = preds.iter().map(|(n, _)| *n).collect();
+        out.push(Diagnostic::new(
+            DiagCode::UnreachableChild,
+            Span::at(space.path_string(id)).property(issue),
+            format!(
+                "unreachable: spawning option {issue} = {option} is statically eliminated (constraints {})",
+                names.join(", ")
+            ),
+        ));
     }
 }
 
@@ -444,6 +589,44 @@ mod tests {
         assert_eq!(enumerable(&Domain::int_range(0, MAX_INT_RANGE_SPAN + 1)), None);
         assert_eq!(enumerable(&Domain::real_up_to(5.0)), None);
         assert_eq!(enumerable(&Domain::int_range(i64::MIN, i64::MAX)), None);
+    }
+
+    #[test]
+    fn elimination_memo_shares_verdicts_across_regions() {
+        // The predicate references only "A"/"B"/"C", so regions whose
+        // fixed bindings differ only in irrelevant names must project to
+        // the same key and share one memoized verdict.
+        let pred = Pred::all([
+            Pred::is("A", "a0"),
+            Pred::is("B", "b0"),
+            Pred::is("C", "c0"),
+        ]);
+        let preds = [("CC", &pred)];
+        let axes: Vec<(String, Vec<Value>)> = ["A", "B"]
+            .iter()
+            .map(|n| {
+                let vs = (0..4)
+                    .map(|i| Value::from(format!("{}{i}", n.to_lowercase())))
+                    .collect();
+                (n.to_string(), vs)
+            })
+            .collect();
+        let memo = ElimMemo::new();
+        let mut region1 = Bindings::new();
+        region1.insert("C", Value::from("c0"));
+        region1.insert("Irrelevant", Value::Int(1));
+        let mut region2 = Bindings::new();
+        region2.insert("C", Value::from("c0"));
+        region2.insert("Irrelevant", Value::Int(2));
+        assert_eq!(memo.count_firing(&preds, &axes, &region1), (1, 16));
+        assert_eq!(memo.count_firing(&preds, &axes, &region2), (1, 16));
+        assert_eq!(memo.len(), 1, "projected keys must coincide");
+        assert!(memo.survives(&preds, &axes, &region1));
+        // A *relevant* fixed binding changes the verdict and the key.
+        let mut region3 = Bindings::new();
+        region3.insert("C", Value::from("c1"));
+        assert_eq!(memo.count_firing(&preds, &axes, &region3), (0, 16));
+        assert_eq!(memo.len(), 2);
     }
 
     #[test]

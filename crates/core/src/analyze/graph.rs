@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::constraint::ConsistencyConstraint;
-use crate::diag::{DiagCode, Diagnostic, Report, Span};
-use crate::hierarchy::DesignSpace;
+use crate::diag::{DiagCode, Diagnostic, Span};
+use crate::hierarchy::{CdoId, DesignSpace};
 
 /// The dependency graph induced by a set of consistency constraints:
 /// nodes are property names, and each constraint contributes an edge
@@ -173,56 +173,55 @@ impl DerivationGraph {
     }
 }
 
-/// Runs the graph checks at every CDO that declares constraints, over its
-/// *effective* constraint set (own + inherited). A finding is attributed
-/// to a node only when one of the node's own constraints participates, so
-/// a defect among ancestor constraints is reported once, at the ancestor.
-pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        if node.own_constraints().is_empty() {
-            continue;
-        }
-        let own_names: BTreeSet<&str> =
-            node.own_constraints().iter().map(|c| c.name()).collect();
-        let effective = space.effective_constraints(id);
-        let g = DerivationGraph::from_constraints(effective.iter().map(|(_, c)| *c));
+/// Runs the graph checks at one CDO, over its *effective* constraint set
+/// (own + inherited). A finding is attributed to a node only when one of
+/// the node's own constraints participates, so a defect among ancestor
+/// constraints is reported once, at the ancestor — which also makes this
+/// check independent per node, safe for the per-CDO parallel fan-out.
+pub(crate) fn check_node(space: &DesignSpace, id: CdoId, out: &mut Vec<Diagnostic>) {
+    let node = space.node(id);
+    if node.own_constraints().is_empty() {
+        return;
+    }
+    let own_names: BTreeSet<&str> = node.own_constraints().iter().map(|c| c.name()).collect();
+    let effective = space.effective_constraints(id);
+    let g = DerivationGraph::from_constraints(effective.iter().map(|(_, c)| *c));
 
-        if let Some(cycle) = g.find_cycle() {
-            let cyclic: BTreeSet<&str> = cycle.iter().map(String::as_str).collect();
-            let participants: Vec<&str> = effective
-                .iter()
-                .map(|(_, c)| *c)
-                .filter(|c| {
-                    c.indep().iter().any(|p| cyclic.contains(p.as_str()))
-                        && c.dep().iter().any(|p| cyclic.contains(p.as_str()))
-                })
-                .map(|c| c.name())
-                .collect();
-            if participants.iter().any(|n| own_names.contains(n)) {
-                report.push(Diagnostic::new(
-                    DiagCode::DerivationCycle,
-                    Span::at(space.path_string(id)),
-                    format!(
-                        "ordering cycle {} (constraints {})",
-                        cycle.join(" → "),
-                        participants.join(", ")
-                    ),
-                ));
-            }
+    if let Some(cycle) = g.find_cycle() {
+        let cyclic: BTreeSet<&str> = cycle.iter().map(String::as_str).collect();
+        let participants: Vec<&str> = effective
+            .iter()
+            .map(|(_, c)| *c)
+            .filter(|c| {
+                c.indep().iter().any(|p| cyclic.contains(p.as_str()))
+                    && c.dep().iter().any(|p| cyclic.contains(p.as_str()))
+            })
+            .map(|c| c.name())
+            .collect();
+        if participants.iter().any(|n| own_names.contains(n)) {
+            out.push(Diagnostic::new(
+                DiagCode::DerivationCycle,
+                Span::at(space.path_string(id)),
+                format!(
+                    "ordering cycle {} (constraints {})",
+                    cycle.join(" → "),
+                    participants.join(", ")
+                ),
+            ));
         }
+    }
 
-        for (target, derivers) in g.multiply_derived() {
-            if derivers.iter().any(|n| own_names.contains(n.as_str())) {
-                report.push(Diagnostic::new(
-                    DiagCode::MultiplyDerived,
-                    Span::at(space.path_string(id)).property(target),
-                    format!(
-                        "{target:?} is derived by {} relations ({})",
-                        derivers.len(),
-                        derivers.join(", ")
-                    ),
-                ));
-            }
+    for (target, derivers) in g.multiply_derived() {
+        if derivers.iter().any(|n| own_names.contains(n.as_str())) {
+            out.push(Diagnostic::new(
+                DiagCode::MultiplyDerived,
+                Span::at(space.path_string(id)).property(target),
+                format!(
+                    "{target:?} is derived by {} relations ({})",
+                    derivers.len(),
+                    derivers.join(", ")
+                ),
+            ));
         }
     }
 }

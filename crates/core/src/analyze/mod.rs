@@ -43,14 +43,73 @@ use crate::expr::Pred;
 use crate::hierarchy::{CdoId, DesignSpace};
 use crate::value::{Domain, Value};
 
+/// Per-node diagnostics, one lane per analysis pass. Lanes let the merge
+/// reproduce the pass-major order the sequential analyzer used (all
+/// constraint findings across the space, then all graph findings, …), so
+/// the parallel fan-out is bit-identical to a sequential run: `Report::
+/// sort` is stable, and ties keep their pre-sort push order.
+#[derive(Default)]
+struct NodeFindings {
+    constraints: Vec<Diagnostic>,
+    graph: Vec<Diagnostic>,
+    contradictions: Vec<Diagnostic>,
+    dead_options: Vec<Diagnostic>,
+    unreachable: Vec<Diagnostic>,
+    shadowed: Vec<Diagnostic>,
+    dangling: Vec<Diagnostic>,
+    unspecialized: Vec<Diagnostic>,
+}
+
+impl NodeFindings {
+    /// The lanes in sequential pass order.
+    fn into_lanes(self) -> [Vec<Diagnostic>; 8] {
+        [
+            self.constraints,
+            self.graph,
+            self.contradictions,
+            self.dead_options,
+            self.unreachable,
+            self.shadowed,
+            self.dangling,
+            self.unspecialized,
+        ]
+    }
+}
+
 /// Runs every analysis pass over `space` and returns the combined,
 /// deduplicated, severity-sorted report.
+///
+/// The passes fan out per CDO on the [`foundation::par`] work-stealing
+/// pool (every check only reads ancestor/subtree state, never sibling
+/// results), and the exhaustive domain enumerations share an
+/// [`domains::ElimMemo`] so identical subtrees are checked once. Results
+/// are merged in node-id and pass order, which makes the report
+/// bit-identical to a sequential run regardless of `DSE_THREADS`.
 pub fn analyze(space: &DesignSpace) -> Report {
+    let ids: Vec<CdoId> = space.iter().map(|(id, _)| id).collect();
+    let memo = domains::ElimMemo::new();
+    let per_node = foundation::par::par_map(ids, |id| {
+        let mut f = NodeFindings::default();
+        constraints_node(space, id, &mut f.constraints);
+        graph::check_node(space, id, &mut f.graph);
+        domains::contradictions_node(space, id, &memo, &mut f.contradictions);
+        domains::dead_options_node(space, id, &memo, &mut f.dead_options);
+        domains::unreachable_node(space, id, &memo, &mut f.unreachable);
+        structure::shadowed_node(space, id, &mut f.shadowed);
+        structure::dangling_node(space, id, &mut f.dangling);
+        structure::unspecialized_node(space, id, &mut f.unspecialized);
+        f
+    });
     let mut report = Report::new();
-    constraints_pass(space, &mut report);
-    graph::pass(space, &mut report);
-    domains::pass(space, &mut report);
-    structure::pass(space, &mut report);
+    let mut lanes: Vec<[Vec<Diagnostic>; 8]> =
+        per_node.into_iter().map(NodeFindings::into_lanes).collect();
+    for pass in 0..8 {
+        for node in &mut lanes {
+            for d in node[pass].drain(..) {
+                report.push(d);
+            }
+        }
+    }
     dedup(&mut report);
     report.sort();
     report
@@ -174,74 +233,73 @@ pub(crate) fn domain_at<'a>(
 // Per-constraint checks: DSL001 / DSL002 / DSL011.
 // ---------------------------------------------------------------------
 
-fn constraints_pass(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        if node.own_constraints().is_empty() {
-            continue;
+fn constraints_node(space: &DesignSpace, id: CdoId, out: &mut Vec<Diagnostic>) {
+    let node = space.node(id);
+    if node.own_constraints().is_empty() {
+        return;
+    }
+    let path = space.path_string(id);
+    let scope = scope_nodes(space, id);
+    // Resolvable names: everything declared in scope, plus everything
+    // a quantitative/estimator relation in scope produces (derived
+    // metrics such as `LatencyCycles` are never declared as
+    // properties — the relation itself introduces them).
+    let mut resolvable: BTreeSet<&str> = BTreeSet::new();
+    for &n in &scope {
+        for p in space.node(n).own_properties() {
+            resolvable.insert(p.name());
         }
-        let path = space.path_string(id);
-        let scope = scope_nodes(space, id);
-        // Resolvable names: everything declared in scope, plus everything
-        // a quantitative/estimator relation in scope produces (derived
-        // metrics such as `LatencyCycles` are never declared as
-        // properties — the relation itself introduces them).
-        let mut resolvable: BTreeSet<&str> = BTreeSet::new();
-        for &n in &scope {
-            for p in space.node(n).own_properties() {
-                resolvable.insert(p.name());
-            }
-            for c in space.node(n).own_constraints() {
-                if let Some(t) = derived_target(c) {
-                    resolvable.insert(t);
-                }
+        for c in space.node(n).own_constraints() {
+            if let Some(t) = derived_target(c) {
+                resolvable.insert(t);
             }
         }
+    }
 
-        for c in node.own_constraints() {
-            let span = Span::at(path.clone()).constraint(c.name());
-            if !c.well_formed() {
-                let listed: BTreeSet<&str> = c
-                    .indep()
-                    .iter()
-                    .chain(c.dep().iter())
-                    .map(String::as_str)
-                    .collect();
-                let stray: Vec<String> = constraint_refs(c)
-                    .into_iter()
-                    .filter(|r| !listed.contains(r.as_str()))
-                    .collect();
-                report.push(Diagnostic::new(
-                    DiagCode::MalformedConstraint,
+    for c in node.own_constraints() {
+        let span = Span::at(path.clone()).constraint(c.name());
+        if !c.well_formed() {
+            let listed: BTreeSet<&str> = c
+                .indep()
+                .iter()
+                .chain(c.dep().iter())
+                .map(String::as_str)
+                .collect();
+            let stray: Vec<String> = constraint_refs(c)
+                .into_iter()
+                .filter(|r| !listed.contains(r.as_str()))
+                .collect();
+            out.push(Diagnostic::new(
+                DiagCode::MalformedConstraint,
+                span.clone(),
+                format!(
+                    "relation references {} outside the declared indep/dep sets",
+                    quote_list(&stray)
+                ),
+            ));
+        }
+        for r in constraint_refs(c) {
+            if !resolvable.contains(r.as_str()) {
+                out.push(Diagnostic::new(
+                    DiagCode::UnresolvedReference,
                     span.clone(),
                     format!(
-                        "relation references {} outside the declared indep/dep sets",
-                        quote_list(&stray)
+                        "references {r:?}, which no CDO in scope declares and no relation derives"
                     ),
                 ));
             }
-            for r in constraint_refs(c) {
-                if !resolvable.contains(r.as_str()) {
-                    report.push(Diagnostic::new(
-                        DiagCode::UnresolvedReference,
-                        span.clone(),
-                        format!(
-                            "references {r:?}, which no CDO in scope declares and no relation derives"
-                        ),
-                    ));
-                }
-            }
-            if let Some(pred) = constraint_pred(c) {
-                for (prop, value) in literal_comparisons(pred) {
-                    if let Some(domain) = domain_at(space, id, prop) {
-                        if !domain.contains(value) {
-                            report.push(Diagnostic::new(
-                                DiagCode::LiteralOutsideDomain,
-                                span.clone().property(prop),
-                                format!(
-                                    "compares {prop:?} against {value}, outside its domain {domain}"
-                                ),
-                            ));
-                        }
+        }
+        if let Some(pred) = constraint_pred(c) {
+            for (prop, value) in literal_comparisons(pred) {
+                if let Some(domain) = domain_at(space, id, prop) {
+                    if !domain.contains(value) {
+                        out.push(Diagnostic::new(
+                            DiagCode::LiteralOutsideDomain,
+                            span.clone().property(prop),
+                            format!(
+                                "compares {prop:?} against {value}, outside its domain {domain}"
+                            ),
+                        ));
                     }
                 }
             }

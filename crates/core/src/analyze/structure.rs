@@ -4,36 +4,29 @@
 //! chain, but spaces loaded from JSON (or built by external tools) carry
 //! no such guarantee — the analyzer re-checks the invariants statically.
 
-use crate::diag::{DiagCode, Diagnostic, Report, Span};
-use crate::hierarchy::DesignSpace;
+use crate::diag::{DiagCode, Diagnostic, Span};
+use crate::hierarchy::{CdoId, DesignSpace};
 use crate::property::PropertyKind;
-
-pub(crate) fn pass(space: &DesignSpace, report: &mut Report) {
-    shadowed_properties(space, report);
-    dangling_spawns(space, report);
-    unspecialized_options(space, report);
-}
 
 /// DSL007: a property re-declared at a descendant silently shadows the
 /// ancestor's declaration (nearest-wins lookup would hide the original
 /// domain and kind).
-fn shadowed_properties(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let Some(parent) = node.parent() else {
-            continue;
-        };
-        for p in node.own_properties() {
-            if let Some((owner, _)) = space.find_property(parent, p.name()) {
-                report.push(Diagnostic::new(
-                    DiagCode::ShadowedProperty,
-                    Span::at(space.path_string(id)).property(p.name()),
-                    format!(
-                        "re-declares {:?}, shadowing the declaration at {}",
-                        p.name(),
-                        space.path_string(owner)
-                    ),
-                ));
-            }
+pub(crate) fn shadowed_node(space: &DesignSpace, id: CdoId, out: &mut Vec<Diagnostic>) {
+    let node = space.node(id);
+    let Some(parent) = node.parent() else {
+        return;
+    };
+    for p in node.own_properties() {
+        if let Some((owner, _)) = space.find_property(parent, p.name()) {
+            out.push(Diagnostic::new(
+                DiagCode::ShadowedProperty,
+                Span::at(space.path_string(id)).property(p.name()),
+                format!(
+                    "re-declares {:?}, shadowing the declaration at {}",
+                    p.name(),
+                    space.path_string(owner)
+                ),
+            ));
         }
     }
 }
@@ -41,31 +34,30 @@ fn shadowed_properties(space: &DesignSpace, report: &mut Report) {
 /// DSL008 (structural variant): a spawned child whose issue the parent
 /// does not declare, or whose spawning option is outside the issue's
 /// domain — either way the session can never descend into it.
-fn dangling_spawns(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let Some((issue, option)) = node.spawned_by() else {
-            continue;
-        };
-        let Some(parent) = node.parent() else {
-            continue;
-        };
-        match space.find_property(parent, issue) {
-            None => report.push(Diagnostic::new(
-                DiagCode::UnreachableChild,
-                Span::at(space.path_string(id)).property(issue),
-                format!("unreachable: spawned by {issue:?}, which no ancestor declares"),
-            )),
-            Some((_, prop)) => {
-                if !prop.domain().contains(option) {
-                    report.push(Diagnostic::new(
-                        DiagCode::UnreachableChild,
-                        Span::at(space.path_string(id)).property(issue),
-                        format!(
-                            "unreachable: spawning option {option} is outside the domain {} of {issue:?}",
-                            prop.domain()
-                        ),
-                    ));
-                }
+pub(crate) fn dangling_node(space: &DesignSpace, id: CdoId, out: &mut Vec<Diagnostic>) {
+    let node = space.node(id);
+    let Some((issue, option)) = node.spawned_by() else {
+        return;
+    };
+    let Some(parent) = node.parent() else {
+        return;
+    };
+    match space.find_property(parent, issue) {
+        None => out.push(Diagnostic::new(
+            DiagCode::UnreachableChild,
+            Span::at(space.path_string(id)).property(issue),
+            format!("unreachable: spawned by {issue:?}, which no ancestor declares"),
+        )),
+        Some((_, prop)) => {
+            if !prop.domain().contains(option) {
+                out.push(Diagnostic::new(
+                    DiagCode::UnreachableChild,
+                    Span::at(space.path_string(id)).property(issue),
+                    format!(
+                        "unreachable: spawning option {option} is outside the domain {} of {issue:?}",
+                        prop.domain()
+                    ),
+                ));
             }
         }
     }
@@ -75,39 +67,38 @@ fn dangling_spawns(space: &DesignSpace, report: &mut Report) {
 /// options have spawned children, others do not, so deciding a missing
 /// option would fail with `OptionNotSpecialized` mid-session. A fully
 /// unspecialized issue is taken as deliberate deferral and not flagged.
-fn unspecialized_options(space: &DesignSpace, report: &mut Report) {
-    for (id, node) in space.iter() {
-        let Some(issue) = node.generalized_issue() else {
-            continue;
-        };
-        let Some(prop) = node.own_properties().iter().find(|p| {
-            p.name() == issue && p.kind() == PropertyKind::GeneralizedIssue
-        }) else {
-            continue;
-        };
-        let Some(options) = prop.domain().enumerate() else {
-            continue;
-        };
-        let spawned: Vec<_> = node
-            .children()
-            .iter()
-            .filter_map(|&c| space.node(c).spawned_by())
-            .filter(|(i, _)| *i == issue)
-            .map(|(_, v)| v.clone())
-            .collect();
-        if spawned.is_empty() {
-            continue;
-        }
-        for option in options {
-            if !spawned.iter().any(|s| s.matches(&option)) {
-                report.push(Diagnostic::new(
-                    DiagCode::UnspecializedOption,
-                    Span::at(space.path_string(id)).property(issue),
-                    format!(
-                        "option {option} of generalized issue {issue:?} has no spawned child CDO"
-                    ),
-                ));
-            }
+pub(crate) fn unspecialized_node(space: &DesignSpace, id: CdoId, out: &mut Vec<Diagnostic>) {
+    let node = space.node(id);
+    let Some(issue) = node.generalized_issue() else {
+        return;
+    };
+    let Some(prop) = node
+        .own_properties()
+        .iter()
+        .find(|p| p.name() == issue && p.kind() == PropertyKind::GeneralizedIssue)
+    else {
+        return;
+    };
+    let Some(options) = prop.domain().enumerate() else {
+        return;
+    };
+    let spawned: Vec<_> = node
+        .children()
+        .iter()
+        .filter_map(|&c| space.node(c).spawned_by())
+        .filter(|(i, _)| *i == issue)
+        .map(|(_, v)| v.clone())
+        .collect();
+    if spawned.is_empty() {
+        return;
+    }
+    for option in options {
+        if !spawned.iter().any(|s| s.matches(&option)) {
+            out.push(Diagnostic::new(
+                DiagCode::UnspecializedOption,
+                Span::at(space.path_string(id)).property(issue),
+                format!("option {option} of generalized issue {issue:?} has no spawned child CDO"),
+            ));
         }
     }
 }

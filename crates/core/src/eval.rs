@@ -11,10 +11,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::intern::Symbol;
 use crate::robust::{Figure, Provenance};
 
 /// A figure of merit the layer can report on.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// `Copy`: the `Other` variant carries an interned [`Symbol`], so merit
+/// keys move freely between maps without cloning strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum FigureOfMerit {
     /// Silicon area in µm².
@@ -31,8 +35,8 @@ pub enum FigureOfMerit {
     TimeUs,
     /// Energy per operation in nJ.
     EnergyNj,
-    /// Anything else, by name.
-    Other(String),
+    /// Anything else, by (interned) name.
+    Other(Symbol),
 }
 
 impl FigureOfMerit {
@@ -107,7 +111,7 @@ impl EvalPoint {
     #[must_use]
     pub fn with_figure(mut self, merit: FigureOfMerit, figure: &Figure) -> Self {
         if let Some(v) = figure.value {
-            self.merits.insert(merit.clone(), v);
+            self.merits.insert(merit, v);
         }
         self.provenance.insert(merit, figure.provenance);
         self

@@ -11,10 +11,83 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 
+use crate::intern::Symbol;
 use crate::value::Value;
 
 /// Property bindings: the decided/entered values visible to a relation.
-pub type Bindings = BTreeMap<String, Value>;
+///
+/// Keys are interned [`Symbol`]s ordered by name, so iteration (and any
+/// serialized form) is identical to the historical `BTreeMap<String, _>`
+/// representation — but inserts and clones never allocate for the key,
+/// and lookups by `&str` go straight to the tree without touching the
+/// intern table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    map: BTreeMap<Symbol, Value>,
+}
+
+impl Bindings {
+    /// An empty set of bindings.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds `key` to `value`, returning the previous value if any.
+    pub fn insert(&mut self, key: impl Into<Symbol>, value: Value) -> Option<Value> {
+        self.map.insert(key.into(), value)
+    }
+
+    /// The bound value, if any. Lock-free: never interns.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Whether `key` is bound.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Unbinds `key`, returning its value if it was bound.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.map.remove(key)
+    }
+
+    /// The number of bound properties.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates the bound names in order.
+    pub fn keys(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Value)>>(iter: I) -> Bindings {
+        Bindings {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Bindings {
+        Bindings {
+            map: iter.into_iter().map(|(k, v)| (Symbol::from(k), v)).collect(),
+        }
+    }
+}
 
 /// Errors from evaluating an expression or predicate.
 #[derive(Debug, Clone, PartialEq)]

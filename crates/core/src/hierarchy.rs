@@ -21,6 +21,8 @@ use crate::error::DseError;
 use crate::property::{Property, PropertyKind};
 use crate::value::Value;
 
+pub use crate::intern::Symbol;
+
 /// An opaque identifier of a CDO within one [`DesignSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CdoId(usize);
@@ -286,28 +288,37 @@ impl DesignSpace {
         constraint: ConsistencyConstraint,
     ) -> Result<(), DseError> {
         if !constraint.well_formed() {
-            let listed: Vec<&String> = constraint
-                .indep()
-                .iter()
-                .chain(constraint.dep().iter())
-                .collect();
+            // Clone only the names that turn out to be stray, not every
+            // referenced name up front.
+            let listed = |r: &str| {
+                constraint.indep().iter().any(|p| p == r)
+                    || constraint.dep().iter().any(|p| p == r)
+            };
             let mut stray: Vec<String> = match constraint.relation() {
                 crate::constraint::Relation::InconsistentOptions(p)
-                | crate::constraint::Relation::Dominance(p) => p.references(),
+                | crate::constraint::Relation::Dominance(p) => {
+                    p.references().into_iter().filter(|r| !listed(r)).collect()
+                }
                 crate::constraint::Relation::Quantitative {
                     target, formula, ..
                 } => {
-                    let mut refs = formula.references();
-                    refs.push(target.clone());
+                    let mut refs: Vec<String> = formula
+                        .references()
+                        .into_iter()
+                        .filter(|r| !listed(r))
+                        .collect();
+                    if !listed(target) {
+                        refs.push(target.clone());
+                    }
                     refs
                 }
-                crate::constraint::Relation::EstimatorContext { inputs, output, .. } => {
-                    let mut refs = inputs.clone();
-                    refs.push(output.clone());
-                    refs
-                }
+                crate::constraint::Relation::EstimatorContext { inputs, output, .. } => inputs
+                    .iter()
+                    .chain(std::iter::once(output))
+                    .filter(|r| !listed(r))
+                    .cloned()
+                    .collect(),
             };
-            stray.retain(|r| !listed.contains(&r));
             stray.sort();
             stray.dedup();
             return Err(DseError::MalformedConstraint {

@@ -1,0 +1,253 @@
+//! Interned property/merit/option names.
+//!
+//! Hot maps on the decide/estimate path (session bindings, estimate
+//! tables, merit coordinates) used to be keyed by `String`: every insert
+//! cloned the name, every structure clone re-cloned all of them. A
+//! [`Symbol`] is a 16-byte `Copy` handle — a dense `u32` id plus a
+//! pointer to the canonical, leaked-once string — so inserting, cloning
+//! and snapshotting bindings never allocates for the key again.
+//!
+//! Design invariants:
+//!
+//! * **Interning is a bijection**: equal names ⇔ equal ids, so equality
+//!   is a single integer compare.
+//! * **Ordering is by name** (with an id fast path for the equal case),
+//!   so `BTreeMap<Symbol, _>` iterates in exactly the order the old
+//!   `BTreeMap<String, _>` did — serialized output and report ordering
+//!   are byte-identical before and after the conversion.
+//! * `Symbol: Borrow<str>` with name-based `Ord`/`Hash`/`Eq`
+//!   consistency, so symbol-keyed maps are **queried by `&str` without
+//!   touching the interner** (no lock, no allocation on lookup).
+//! * The table only grows (names are leaked on first intern). Layers
+//!   declare a bounded vocabulary of property/option names, so this is
+//!   a few kilobytes per process, not a leak in practice.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+use foundation::json::{FromJson, Json, JsonError, ToJson};
+
+/// An interned name: equality by id, ordering by the resolved string.
+#[derive(Clone, Copy)]
+pub struct Symbol {
+    id: u32,
+    name: &'static str,
+}
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical symbol. The first intern
+    /// of a name takes a write lock and leaks one copy of the string;
+    /// every later intern is a read-locked table hit.
+    pub fn intern(name: &str) -> Symbol {
+        if let Some(sym) = Symbol::lookup(name) {
+            return sym;
+        }
+        let mut table = interner().write().unwrap();
+        // Re-check under the write lock: another thread may have raced us.
+        if let Some(&id) = table.by_name.get(name) {
+            return Symbol {
+                id,
+                name: table.names[id as usize],
+            };
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("interner overflow");
+        table.names.push(leaked);
+        table.by_name.insert(leaked, id);
+        Symbol { id, name: leaked }
+    }
+
+    /// The symbol for `name` if it was interned before; never interns.
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        let table = interner().read().unwrap();
+        table.by_name.get(name).map(|&id| Symbol {
+            id,
+            name: table.names[id as usize],
+        })
+    }
+
+    /// The canonical string — lock-free.
+    pub fn as_str(self) -> &'static str {
+        self.name
+    }
+
+    /// The dense id (stable for the life of the process).
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> Ordering {
+        if self.id == other.id {
+            Ordering::Equal
+        } else {
+            self.name.cmp(other.name)
+        }
+    }
+}
+
+// Hash by name, not id, so `Borrow<str>` keeps the owned/borrowed
+// Eq/Ord/Hash triple consistent (required for map lookups by `&str`).
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.name
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.name)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(name: &String) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern(&name)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.name == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.name == *other
+    }
+}
+
+impl ToJson for Symbol {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name.to_owned())
+    }
+}
+
+impl FromJson for Symbol {
+    fn from_json(v: &Json) -> Result<Symbol, JsonError> {
+        match v {
+            Json::Str(s) => Ok(Symbol::intern(s)),
+            other => Err(JsonError::type_mismatch("Symbol", "string", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn interning_is_a_bijection() {
+        let a = Symbol::intern("EOL");
+        let b = Symbol::intern("EOL");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "EOL");
+        assert_ne!(a, Symbol::intern("Radix"));
+    }
+
+    #[test]
+    fn ordering_matches_string_ordering() {
+        let mut names = vec!["Radix", "EOL", "Algorithm", "Adder"];
+        let mut syms: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        names.sort_unstable();
+        syms.sort_unstable();
+        let resolved: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        assert_eq!(resolved, names);
+    }
+
+    #[test]
+    fn btreemap_supports_str_lookup() {
+        let mut m: BTreeMap<Symbol, i32> = BTreeMap::new();
+        m.insert(Symbol::intern("EOL"), 768);
+        assert_eq!(m.get("EOL"), Some(&768));
+        assert_eq!(m.get("Radix"), None);
+        // Iteration order is by name, exactly as a String-keyed map.
+        m.insert(Symbol::intern("Algorithm"), 1);
+        let keys: Vec<&str> = m.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["Algorithm", "EOL"]);
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        assert!(Symbol::lookup("never-mentioned-anywhere-else").is_none());
+        let s = Symbol::intern("mentioned-once");
+        assert_eq!(Symbol::lookup("mentioned-once"), Some(s));
+    }
+
+    #[test]
+    fn json_round_trip_is_a_plain_string() {
+        let s = Symbol::intern("AreaUm2");
+        assert_eq!(s.to_json(), Json::Str("AreaUm2".to_owned()));
+        assert_eq!(Symbol::from_json(&Json::Str("AreaUm2".into())).unwrap(), s);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("racy-name").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

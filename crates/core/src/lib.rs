@@ -88,6 +88,7 @@ pub mod estimate;
 pub mod eval;
 pub mod expr;
 pub mod hierarchy;
+pub mod intern;
 pub mod property;
 pub mod robust;
 pub mod script;
@@ -107,11 +108,12 @@ pub mod prelude {
     pub use crate::estimate::{EstimateError, Estimator, EstimatorRegistry};
     pub use crate::eval::{EvalPoint, EvaluationSpace, FigureOfMerit};
     pub use crate::expr::{Bindings, CmpOp, Expr, Pred};
-    pub use crate::hierarchy::{CdoId, DesignSpace};
+    pub use crate::hierarchy::{CdoId, DesignSpace, Symbol};
     pub use crate::property::{Property, PropertyKind, Unit};
     pub use crate::robust::{
-        Fault, FaultPlan, FaultRates, Figure, Fuel, Journal, JournalRecord, JournaledSession,
-        Provenance, RecoverError, RecoveryReport, Supervisor, SupervisorConfig,
+        CacheStats, EstimateCache, Fault, FaultPlan, FaultRates, Figure, Fuel, Journal,
+        JournalRecord, JournaledSession, Provenance, RecoverError, RecoveryReport, Supervisor,
+        SupervisorConfig,
     };
     pub use crate::script::{SessionAction, SessionScript};
     pub use crate::session::{Decision, ExplorationSession, SessionSnapshot};

@@ -1,0 +1,281 @@
+//! Memoized supervised estimation.
+//!
+//! Every decide/undo/replay step re-runs the ready estimator contexts,
+//! and in a real session the same `(tool, inputs)` pair recurs
+//! constantly — undo returns to a previously estimated state, journal
+//! replay re-visits every state, and walkthroughs sweep small input
+//! grids. The [`EstimateCache`] memoizes [`super::Supervisor::estimate`]
+//! results so those repeats cost a map lookup instead of a tool run.
+//!
+//! **Keying / invalidation rule.** The key is the pair
+//! `(tool name, fingerprint of the complete input bindings)`. Because
+//! the key covers *every* input the tool can see, an entry can never go
+//! logically stale: a `decide` or rollback that changes any binding
+//! changes the fingerprint, and the old entry simply stops being
+//! addressed (and becomes a hit again after `undo`/replay returns to
+//! that exact state). The only explicit invalidation surface is
+//! [`EstimateCache::invalidate_tool`]/[`EstimateCache::clear`], for when
+//! the *registry* changes underneath the cache (a tool is re-registered
+//! or wrapped).
+//!
+//! **Provenance awareness.** Only figures whose provenance is
+//! [`Provenance::Exact`] or [`Provenance::Estimated`] are stored.
+//! Fallback and unavailable figures describe a *failure* of the primary
+//! tool, not a property of the inputs; caching them would poison the
+//! session after the detailed tool recovers. They are counted in
+//! [`CacheStats::uncacheable`] instead.
+//!
+//! The cache is `Sync` (a mutexed map with atomic counters) so one cache
+//! can serve estimator fan-outs running on the `foundation::par` pool.
+//! Do **not** share a cache with a fault-injected registry
+//! ([`super::FaultPlan`]): injected faults are call-indexed, and serving
+//! a memoized figure would skip calls and shift the fault schedule.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::expr::Bindings;
+use crate::intern::Symbol;
+use crate::robust::{Figure, Provenance};
+
+/// Monotonic counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed and ran the tool.
+    pub misses: u64,
+    /// Figures stored (primary-tool provenance only).
+    pub stores: u64,
+    /// Figures refused because their provenance was fallback or
+    /// unavailable — kept out so degraded results never mask a
+    /// recovered tool.
+    pub uncacheable: u64,
+    /// Entries dropped by [`EstimateCache::invalidate_tool`] /
+    /// [`EstimateCache::clear`].
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A provenance-aware memo table for supervised estimates, keyed by
+/// `(tool, input fingerprint)`. See the module docs for the exact
+/// caching and invalidation rules.
+#[derive(Default)]
+pub struct EstimateCache {
+    entries: Mutex<HashMap<(u32, u64), Figure>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    uncacheable: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    pub fn new() -> EstimateCache {
+        EstimateCache::default()
+    }
+
+    /// A stable fingerprint of the complete bindings: FNV-1a over every
+    /// `(name, value)` pair in name order, allocation-free.
+    pub fn fingerprint(inputs: &Bindings) -> u64 {
+        let mut h = Fnv::new();
+        for (name, value) in inputs.iter() {
+            // Field separators keep ("ab", "c") distinct from ("a", "bc").
+            let _ = write!(h, "{name}\u{0}{value}\u{1}");
+        }
+        h.finish()
+    }
+
+    /// The cached figure for `(tool, fingerprint)`, bumping hit/miss
+    /// counters.
+    pub fn get(&self, tool: Symbol, fingerprint: u64) -> Option<Figure> {
+        let entries = self.entries.lock().unwrap();
+        match entries.get(&(tool.id(), fingerprint)) {
+            Some(fig) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(fig.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `figure` if its provenance is trustworthy (exact or
+    /// estimated); counts it as uncacheable otherwise. Returns whether
+    /// the figure was stored.
+    pub fn store(&self, tool: Symbol, fingerprint: u64, figure: &Figure) -> bool {
+        match figure.provenance {
+            Provenance::Exact | Provenance::Estimated => {
+                self.entries
+                    .lock()
+                    .unwrap()
+                    .insert((tool.id(), fingerprint), figure.clone());
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Provenance::Fallback | Provenance::Unavailable => {
+                self.uncacheable.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Drops every entry for `tool` — for when the tool is re-registered
+    /// or wrapped. Returns how many entries were dropped.
+    pub fn invalidate_tool(&self, tool: &str) -> usize {
+        let Some(sym) = Symbol::lookup(tool) else {
+            return 0;
+        };
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|&(id, _), _| id != sym.id());
+        let dropped = before - entries.len();
+        self.invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut entries = self.entries.lock().unwrap();
+        self.invalidated
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        entries.clear();
+    }
+
+    /// The number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for EstimateCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EstimateCache")
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// FNV-1a accumulating through `fmt::Write`, so fingerprinting formats
+/// values straight into the hash without intermediate strings.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn bindings(pairs: &[(&str, i64)]) -> Bindings {
+        let mut b = Bindings::new();
+        for (k, v) in pairs {
+            b.insert(*k, Value::Int(*v));
+        }
+        b
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_binding() {
+        let a = EstimateCache::fingerprint(&bindings(&[("EOL", 768), ("Radix", 2)]));
+        let b = EstimateCache::fingerprint(&bindings(&[("EOL", 768), ("Radix", 4)]));
+        let c = EstimateCache::fingerprint(&bindings(&[("EOL", 768)]));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // ... and is insensitive to insertion order (maps are name-ordered).
+        let mut rev = Bindings::new();
+        rev.insert("Radix", Value::Int(2));
+        rev.insert("EOL", Value::Int(768));
+        assert_eq!(a, EstimateCache::fingerprint(&rev));
+    }
+
+    #[test]
+    fn trustworthy_figures_round_trip() {
+        let cache = EstimateCache::new();
+        let tool = Symbol::intern("DelayTool");
+        let fig = Figure::estimated(3.5, "DelayTool");
+        assert!(cache.store(tool, 42, &fig));
+        assert_eq!(cache.get(tool, 42), Some(fig));
+        assert_eq!(cache.get(tool, 43), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn fallback_figures_never_poison_the_cache() {
+        let cache = EstimateCache::new();
+        let tool = Symbol::intern("FlakyTool");
+        assert!(!cache.store(tool, 7, &Figure::fallback(1.0, "declared-range")));
+        assert!(!cache.store(tool, 7, &Figure::unavailable("crashed")));
+        assert_eq!(cache.get(tool, 7), None);
+        assert_eq!(cache.stats().uncacheable, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidation_is_per_tool() {
+        let cache = EstimateCache::new();
+        let a = Symbol::intern("ToolA");
+        let b = Symbol::intern("ToolB");
+        cache.store(a, 1, &Figure::estimated(1.0, "ToolA"));
+        cache.store(a, 2, &Figure::estimated(2.0, "ToolA"));
+        cache.store(b, 1, &Figure::estimated(3.0, "ToolB"));
+        assert_eq!(cache.invalidate_tool("ToolA"), 2);
+        assert_eq!(cache.get(a, 1), None);
+        assert!(cache.get(b, 1).is_some());
+        assert_eq!(cache.invalidate_tool("never-registered-tool"), 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 3);
+    }
+}

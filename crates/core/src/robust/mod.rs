@@ -24,11 +24,13 @@
 
 use std::fmt;
 
+pub mod cache;
 pub mod fault;
 pub mod fuel;
 pub mod journal;
 pub mod supervisor;
 
+pub use cache::{CacheStats, EstimateCache};
 pub use fault::{Fault, FaultPlan, FaultRates, FaultyEstimator};
 pub use fuel::Fuel;
 pub use journal::{Journal, JournalRecord, JournaledSession, RecoverError, RecoveryReport};

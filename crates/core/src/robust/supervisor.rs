@@ -16,12 +16,14 @@
 //!   answered.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
 use foundation::rng::{Rng, SeedableRng, StdRng};
 
 use crate::estimate::{EstimateError, EstimatorRegistry};
 use crate::expr::Bindings;
-use crate::robust::{Figure, Fuel};
+use crate::intern::Symbol;
+use crate::robust::{EstimateCache, Figure, Fuel};
 
 /// Tunables for supervised execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +65,7 @@ pub struct Supervisor {
     registry: EstimatorRegistry,
     config: SupervisorConfig,
     stats: std::cell::Cell<SupervisorStats>,
+    cache: Option<Arc<EstimateCache>>,
 }
 
 impl Supervisor {
@@ -77,7 +80,25 @@ impl Supervisor {
             registry,
             config,
             stats: std::cell::Cell::new(SupervisorStats::default()),
+            cache: None,
         }
+    }
+
+    /// Wraps a registry with an [`EstimateCache`] layered under
+    /// [`estimate`](Self::estimate): repeats of `(tool, inputs)` are
+    /// answered from the cache, and only trustworthy (exact/estimated)
+    /// figures are ever stored. Share the `Arc` to read stats or serve
+    /// several supervisors. Do not combine with a fault-injected
+    /// registry — memo hits would shift the injection schedule.
+    pub fn with_cache(registry: EstimatorRegistry, cache: Arc<EstimateCache>) -> Self {
+        let mut sup = Supervisor::new(registry);
+        sup.cache = Some(cache);
+        sup
+    }
+
+    /// The attached estimate cache, if any.
+    pub fn cache(&self) -> Option<&Arc<EstimateCache>> {
+        self.cache.as_ref()
     }
 
     /// The wrapped registry.
@@ -149,6 +170,24 @@ impl Supervisor {
     ///    [`Figure::fallback`] with source `"declared-range"`;
     /// 4. otherwise → [`Figure::unavailable`] carrying the primary error.
     pub fn estimate(&self, name: &str, inputs: &Bindings, range: Option<(f64, f64)>) -> Figure {
+        let key = self.cache.as_ref().map(|cache| {
+            let tool = Symbol::intern(name);
+            let fp = EstimateCache::fingerprint(inputs);
+            (cache, tool, fp)
+        });
+        if let Some((cache, tool, fp)) = &key {
+            if let Some(fig) = cache.get(*tool, *fp) {
+                return fig;
+            }
+        }
+        let fig = self.estimate_uncached(name, inputs, range);
+        if let Some((cache, tool, fp)) = key {
+            cache.store(tool, fp, &fig);
+        }
+        fig
+    }
+
+    fn estimate_uncached(&self, name: &str, inputs: &Bindings, range: Option<(f64, f64)>) -> Figure {
         let primary_err = match self.call(name, inputs) {
             Ok(v) => return Figure::estimated(v, name),
             Err(e) => e,
@@ -379,6 +418,87 @@ mod tests {
         ));
         let fig = sup.estimate("Ghost", &Bindings::new(), Some((f64::NEG_INFINITY, 1.0)));
         assert_eq!(fig.provenance, Provenance::Unavailable);
+    }
+
+    /// Counts how often it actually runs, so cache hits are observable.
+    struct Counting {
+        calls: AtomicU64,
+    }
+    impl Estimator for Counting {
+        fn name(&self) -> &str {
+            "Counting"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            inputs
+                .get("X")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| EstimateError::MissingInput("X".to_owned()))
+        }
+    }
+
+    #[test]
+    fn cache_answers_repeats_without_rerunning_the_tool() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Counting {
+            calls: AtomicU64::new(0),
+        }));
+        let cache = Arc::new(EstimateCache::new());
+        let sup = Supervisor::with_cache(reg, Arc::clone(&cache));
+        let b = x_bindings();
+        let first = sup.estimate("Counting", &b, None);
+        let second = sup.estimate("Counting", &b, None);
+        assert_eq!(first, second);
+        assert_eq!(first.provenance, Provenance::Estimated);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+
+        // A changed input is a different key: miss, not a stale hit.
+        let mut other = x_bindings();
+        other.insert("X", Value::Int(4));
+        assert_eq!(sup.estimate("Counting", &other, None).value, Some(4.0));
+        // Rolling back to the original inputs hits again.
+        assert_eq!(sup.estimate("Counting", &b, None), first);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn degraded_figures_are_recomputed_until_the_tool_recovers() {
+        silence_injected_panics();
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Panicky));
+        let cache = Arc::new(EstimateCache::new());
+        let sup = Supervisor::with_cache(reg, Arc::clone(&cache));
+        let fig = sup.estimate("Panicky", &x_bindings(), Some((10.0, 30.0)));
+        assert_eq!(fig.provenance, Provenance::Fallback);
+        // The degraded figure was not stored ...
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().uncacheable, 1);
+        // ... so once a healthy tool answers under the same name, the
+        // session sees the recovery instead of the stale fallback.
+        let mut healthy = EstimatorRegistry::new();
+        healthy.register(Box::new(Doubler));
+        struct Renamed(Doubler);
+        impl Estimator for Renamed {
+            fn name(&self) -> &str {
+                "Panicky"
+            }
+            fn metric(&self) -> &str {
+                "ns"
+            }
+            fn estimate(&self, inputs: &Bindings) -> Result<f64, EstimateError> {
+                self.0.estimate(inputs)
+            }
+        }
+        let mut recovered = EstimatorRegistry::new();
+        recovered.register(Box::new(Renamed(Doubler)));
+        let sup2 = Supervisor::with_cache(recovered, Arc::clone(&cache));
+        let fig2 = sup2.estimate("Panicky", &x_bindings(), Some((10.0, 30.0)));
+        assert_eq!(fig2.provenance, Provenance::Estimated);
+        assert_eq!(fig2.value, Some(42.0));
     }
 
     #[test]

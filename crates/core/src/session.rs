@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use crate::constraint::{ConstraintOutcome, Fidelity, Relation};
 use crate::error::DseError;
 use crate::expr::Bindings;
-use crate::hierarchy::{CdoId, DesignSpace};
+use crate::hierarchy::{CdoId, DesignSpace, Symbol};
 use crate::property::{Property, PropertyKind};
 use crate::robust::{Figure, Supervisor};
 use crate::value::Value;
@@ -59,7 +59,7 @@ pub struct SessionSnapshot {
     focus: CdoId,
     bindings: Bindings,
     log: Vec<Decision>,
-    estimates: BTreeMap<String, Figure>,
+    estimates: BTreeMap<Symbol, Figure>,
 }
 
 /// An in-progress conceptual-design session.
@@ -69,7 +69,7 @@ pub struct ExplorationSession<'a> {
     focus: CdoId,
     bindings: Bindings,
     log: Vec<Decision>,
-    estimates: BTreeMap<String, Figure>,
+    estimates: BTreeMap<Symbol, Figure>,
 }
 
 impl<'a> ExplorationSession<'a> {
@@ -493,7 +493,7 @@ impl<'a> ExplorationSession<'a> {
     /// [`absorb_derived`](Self::absorb_derived), keyed by output property.
     /// The cache is a convenience view, not a binding — revisions and
     /// undos leave it alone; re-run the estimators to refresh it.
-    pub fn estimates(&self) -> &BTreeMap<String, Figure> {
+    pub fn estimates(&self) -> &BTreeMap<Symbol, Figure> {
         &self.estimates
     }
 
@@ -525,7 +525,7 @@ impl<'a> ExplorationSession<'a> {
                     );
                 }
             }
-            self.estimates.insert(output.clone(), fig.clone());
+            self.estimates.insert(Symbol::from(&output), fig.clone());
             out.push((output, fig));
         }
         out
@@ -546,7 +546,7 @@ impl<'a> ExplorationSession<'a> {
                         } => Figure::exact(v, cc.name()),
                         _ => Figure::estimated(v, cc.name()),
                     };
-                    self.estimates.insert(property.clone(), fig.clone());
+                    self.estimates.insert(Symbol::from(&property), fig.clone());
                     out.push((property, fig));
                 }
             }

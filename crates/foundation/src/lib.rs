@@ -16,8 +16,12 @@
 //! * [`bench`] — a micro-benchmark harness with warmup, timed samples,
 //!   median/p95 statistics and JSON report emission (replaces
 //!   `criterion`).
+//! * [`par`] — a work-stealing thread pool with deterministic
+//!   (submission-order) reduction, panic propagation, and a
+//!   `DSE_THREADS` reproducibility switch (replaces `rayon`).
 
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod par;
 pub mod rng;

@@ -1,0 +1,498 @@
+//! A std-only work-stealing thread pool with deterministic reduction —
+//! the workspace's replacement for `rayon`.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism.** [`par_map`] writes each result into the slot of
+//!    its *submission* index, so the output order is independent of
+//!    completion order and bit-identical to the sequential path.
+//! 2. **Panic propagation.** A panicking task is caught on the worker,
+//!    carried back, and re-raised on the caller's thread, so the
+//!    `robust` supervisor's `catch_unwind` containment keeps working
+//!    unchanged when the panicking code happens to run on a pool worker.
+//! 3. **Reproducibility switch.** `DSE_THREADS` controls the pool size:
+//!    unset ⇒ available parallelism, `0` or `1` ⇒ fully sequential
+//!    in-caller execution (no worker threads are consulted at all).
+//!    [`with_thread_limit`] gives tests an in-process override.
+//!
+//! The pool is global and lazy: worker threads are spawned on first
+//! parallel call and parked (condvar wait) when idle, so programs that
+//! never go parallel never pay for it. Workers pop from a shared
+//! injector deque and *steal* from its far end when their local slice
+//! runs dry; the caller participates in the work while waiting, so
+//! nested `scope` calls cannot deadlock.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work queued on the pool. The `'static` bound is erased by
+/// [`Scope`], which guarantees (with a completion latch) that no task
+/// outlives the borrows it captures.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    /// Worker threads currently alive (for the no-leak debug assertion).
+    live_workers: AtomicUsize,
+}
+
+/// The global pool: worker threads plus the shared injector queue.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+static POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+thread_local! {
+    /// In-process override used by determinism tests; `None` defers to
+    /// the pool size. Set via [`with_thread_limit`].
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True on pool worker threads; lets nested parallel calls degrade
+    /// to sequential instead of deadlocking on a saturated pool.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Parses `DSE_THREADS`; `None` means "use available parallelism".
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("DSE_THREADS").ok()?;
+    raw.trim().parse::<usize>().ok()
+}
+
+fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+impl ThreadPool {
+    fn global() -> &'static ThreadPool {
+        POOL.get_or_init(|| {
+            let threads = default_threads();
+            let shared = Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+                live_workers: AtomicUsize::new(0),
+            });
+            // With N-way parallelism the caller itself is one lane, so
+            // N-1 workers saturate the machine.
+            let workers = threads.saturating_sub(1);
+            for i in 0..workers {
+                let shared = Arc::clone(&shared);
+                shared.live_workers.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name(format!("dse-par-{i}"))
+                    .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
+                        worker_loop(&shared);
+                        shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn pool worker");
+            }
+            ThreadPool { shared, workers }
+        })
+    }
+
+    /// Worker threads backing the pool (0 ⇒ everything runs inline).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.work_ready.wait(q).expect("pool queue");
+            }
+        };
+        job();
+    }
+}
+
+/// The effective parallelism for the *current* call: the thread-local
+/// test override if set, else the pool size chosen from `DSE_THREADS` /
+/// available parallelism. Always ≥ 1.
+pub fn current_threads() -> usize {
+    let limit = THREAD_LIMIT.with(Cell::get);
+    match limit {
+        Some(n) => n.max(1),
+        None => {
+            // Do not force pool creation just to answer a size query.
+            match POOL.get() {
+                Some(p) => p.workers + 1,
+                None => default_threads().max(1),
+            }
+        }
+    }
+}
+
+/// Runs `f` with parallelism capped at `threads` on this thread
+/// (`0`/`1` ⇒ sequential), restoring the previous cap afterwards.
+/// This is the in-process analogue of setting `DSE_THREADS` and is what
+/// the determinism property tests sweep over.
+pub fn with_thread_limit<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    THREAD_LIMIT.with(|l| {
+        let prev = l.replace(Some(threads));
+        struct Restore<'a>(&'a Cell<Option<usize>>, Option<usize>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        let _restore = Restore(l, prev);
+        f()
+    })
+}
+
+/// Live worker threads across the whole process. Tests assert this
+/// never exceeds the configured pool size (the "no leaked threads"
+/// debug gate).
+pub fn live_worker_threads() -> usize {
+    POOL.get()
+        .map(|p| p.shared.live_workers.load(Ordering::SeqCst))
+        .unwrap_or(0)
+}
+
+#[cfg(debug_assertions)]
+fn debug_assert_no_leak() {
+    if let Some(p) = POOL.get() {
+        let live = p.shared.live_workers.load(Ordering::SeqCst);
+        debug_assert!(
+            live <= p.workers,
+            "thread pool leaked workers: {live} live > {} configured",
+            p.workers
+        );
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_assert_no_leak() {}
+
+/// Should the current call run sequentially? True when the effective
+/// thread cap is ≤ 1, when the pool has no workers, or when we are
+/// *already* on a pool worker (nested parallelism runs inline rather
+/// than queueing on a pool that may be saturated by our own parent).
+fn sequential(items: usize) -> bool {
+    if items <= 1 {
+        return true;
+    }
+    if IS_WORKER.with(Cell::get) {
+        return true;
+    }
+    if current_threads() <= 1 {
+        return true;
+    }
+    ThreadPool::global().workers() == 0
+}
+
+/// One captured panic payload, carried from a worker to the caller.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+struct ScopeState {
+    /// Tasks submitted but not yet finished.
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+/// A fork-join scope: tasks spawned on it may borrow from the enclosing
+/// stack frame, and [`scope`] does not return until all of them have
+/// completed (or one has panicked, in which case the panic is re-raised
+/// on the caller after the rest finish).
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    shared: Arc<Shared>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        {
+            let mut pending = self.state.pending.lock().expect("scope latch");
+            *pending += 1;
+        }
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock().expect("scope panic slot");
+                slot.get_or_insert(payload);
+            }
+            let mut pending = state.pending.lock().expect("scope latch");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` blocks until `pending` reaches zero before
+        // returning, so every borrow captured by `task` strictly
+        // outlives the task's execution. The lifetime is only erased to
+        // satisfy the queue's `'static` bound.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                task,
+            )
+        };
+        let mut q = self.shared.queue.lock().expect("pool queue");
+        q.push_back(task);
+        drop(q);
+        self.shared.work_ready.notify_one();
+    }
+}
+
+/// Runs `f` with a [`Scope`] on the global pool and blocks until every
+/// spawned task has finished. The caller *helps*: while waiting it pops
+/// queued jobs and runs them inline, so a scope is never slower than
+/// sequential execution and nested scopes cannot deadlock.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by any spawned task (or by `f`
+/// itself) on the calling thread.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let pool = ThreadPool::global();
+    let state = Arc::new(ScopeState {
+        pending: Mutex::new(0),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let s = Scope {
+        state: Arc::clone(&state),
+        shared: Arc::clone(&pool.shared),
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+
+    // Help drain the queue while tasks from this scope are pending.
+    // (We may also execute unrelated jobs; that is harmless and keeps
+    // the caller busy instead of blocked.)
+    loop {
+        {
+            let pending = state.pending.lock().expect("scope latch");
+            if *pending == 0 {
+                break;
+            }
+        }
+        let job = {
+            let mut q = pool.shared.queue.lock().expect("pool queue");
+            q.pop_front()
+        };
+        match job {
+            Some(job) => job(),
+            None => {
+                let pending = state.pending.lock().expect("scope latch");
+                if *pending > 0 {
+                    let _guard = state
+                        .done
+                        .wait_timeout(pending, std::time::Duration::from_millis(1))
+                        .expect("scope latch");
+                }
+            }
+        }
+    }
+
+    debug_assert_no_leak();
+
+    if let Some(payload) = state.panic.lock().expect("scope panic slot").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results. Panics propagate to the caller; `a`'s panic wins if both
+/// panic.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if sequential(2) {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut rb: Option<RB> = None;
+    let ra = scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("scope completed b"))
+}
+
+/// Maps `f` over `items` with the pool, returning results **in input
+/// order** regardless of which worker finished first — the deterministic
+/// reduction that keeps parallel analyzer reports bit-identical to the
+/// sequential ones. Falls back to a plain sequential map when the
+/// effective thread cap is 1, the input is tiny, or the caller is itself
+/// a pool worker.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` on the calling thread.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if sequential(items.len()) {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    // Block-partition the input: one contiguous chunk per lane, so each
+    // task owns a disjoint range of the output slots.
+    let threads = current_threads().min(n);
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut iter = items.into_iter();
+    let mut off = 0;
+    while off < n {
+        let take = chunk.min(n - off);
+        chunks.push((off, iter.by_ref().take(take).collect()));
+        off += take;
+    }
+    // The base pointer travels as an address so the closure stays
+    // `Send`; `R: Send` makes the cross-thread writes themselves sound.
+    let base = slots.as_mut_ptr() as usize;
+    let f = &f;
+    scope(|s| {
+        for (off, chunk_items) in chunks {
+            s.spawn(move || {
+                // SAFETY: each task writes `slots[off .. off+len]`, the
+                // ranges are disjoint by construction, and `scope` joins
+                // every task before `slots` is read or dropped.
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (base as *mut Option<R>).add(off),
+                        chunk_items.len(),
+                    )
+                };
+                for (slot, item) in out.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("scope completed every chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out = par_map(input.clone(), |x| x * 3 + 1);
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_under_every_thread_cap() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x.wrapping_mul(0x9E37)).collect();
+        for cap in [1, 2, 3, 8] {
+            let got = with_thread_limit(cap, || {
+                par_map(input.clone(), |x| x.wrapping_mul(0x9E37))
+            });
+            assert_eq!(got, expected, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_owned());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_par_map_inside_scope_completes() {
+        let out = par_map((0..16).collect::<Vec<u64>>(), |x| {
+            par_map((0..8).collect::<Vec<u64>>(), move |y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..16)
+            .map(|x| (0..8).map(|y| x * 10 + y).sum::<u64>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(vec![1, 2, 3, 4, 5, 6, 7, 8], |x| {
+                if x == 5 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
+        // The pool survives the panic: a follow-up map still answers.
+        let ok = par_map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_limit_restores_after_panic() {
+        let before = current_threads();
+        let _ = std::panic::catch_unwind(|| {
+            with_thread_limit(3, || panic!("boom"));
+        });
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn workers_never_exceed_configured_pool() {
+        // Force pool creation, then run work and check accounting.
+        let _ = par_map((0..64).collect::<Vec<u64>>(), |x| x + 1);
+        if let Some(p) = POOL.get() {
+            assert!(live_worker_threads() <= p.workers());
+        }
+    }
+
+    #[test]
+    fn sequential_cap_runs_inline() {
+        let out = with_thread_limit(1, || {
+            let id = std::thread::current().id();
+            par_map(vec![1, 2, 3], move |x| {
+                assert_eq!(std::thread::current().id(), id, "must run on caller");
+                x * 2
+            })
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

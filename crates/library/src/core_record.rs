@@ -93,7 +93,7 @@ impl CoreRecord {
     pub fn complies_with(&self, filter: &Bindings) -> bool {
         filter.iter().all(|(prop, want)| {
             self.bindings
-                .get(prop)
+                .get(prop.as_str())
                 .is_none_or(|have| have.matches(want))
         })
     }
@@ -103,7 +103,7 @@ impl CoreRecord {
     pub fn complies_strictly_with(&self, filter: &Bindings) -> bool {
         filter.iter().all(|(prop, want)| {
             self.bindings
-                .get(prop)
+                .get(prop.as_str())
                 .is_some_and(|have| have.matches(want))
         })
     }
@@ -111,8 +111,8 @@ impl CoreRecord {
     /// This core as an evaluation-space point.
     pub fn eval_point(&self) -> EvalPoint {
         let mut p = EvalPoint::new(self.name.clone());
-        for (m, &v) in &self.merits {
-            p = p.with(m.clone(), v);
+        for (&m, &v) in &self.merits {
+            p = p.with(m, v);
         }
         p
     }

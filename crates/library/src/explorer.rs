@@ -13,6 +13,11 @@ use dse::session::ExplorationSession;
 use crate::core_record::CoreRecord;
 use crate::reuse::ReuseLibrary;
 
+/// Smallest core count worth fanning out on the `foundation::par` pool;
+/// below it the per-item submission overhead exceeds the compliance
+/// check itself.
+const PAR_MIN_CORES: usize = 256;
+
 /// An exploration session transparently connected to reuse libraries.
 #[derive(Debug)]
 pub struct Explorer<'a> {
@@ -53,18 +58,37 @@ impl<'a> Explorer<'a> {
     /// it actually binds.
     pub fn surviving_cores(&self) -> Vec<&'a CoreRecord> {
         let filter = self.session.bindings();
-        self.libraries
+        let cores: Vec<&'a CoreRecord> = self
+            .libraries
             .iter()
             .flat_map(|lib| lib.cores())
-            .filter(|c| c.complies_with(filter))
+            .collect();
+        if cores.len() < PAR_MIN_CORES {
+            return cores
+                .into_iter()
+                .filter(|c| c.complies_with(filter))
+                .collect();
+        }
+        // Compliance checks are independent per core; fan them out on the
+        // foundation pool. `par_map` returns verdicts in submission
+        // order, so the surviving list is identical to the sequential
+        // filter's, regardless of `DSE_THREADS`.
+        let verdicts = foundation::par::par_map(cores.clone(), |c| c.complies_with(filter));
+        cores
+            .into_iter()
+            .zip(verdicts)
+            .filter_map(|(c, ok)| ok.then_some(c))
             .collect()
     }
 
     /// The evaluation space of the surviving cores.
     pub fn evaluation_space(&self) -> EvaluationSpace {
-        self.surviving_cores()
+        let cores = self.surviving_cores();
+        if cores.len() < PAR_MIN_CORES {
+            return cores.into_iter().map(CoreRecord::eval_point).collect();
+        }
+        foundation::par::par_map(cores, CoreRecord::eval_point)
             .into_iter()
-            .map(CoreRecord::eval_point)
             .collect()
     }
 

@@ -20,6 +20,23 @@ for seed in 3 11 1999; do
     DSE_CHAOS_SEED=$seed cargo test -q --offline --test resilience > /dev/null
 done
 
+echo "==> determinism gate: full suite at DSE_THREADS=1 and DSE_THREADS=8"
+# Debug builds also arm the pool's no-leak assertion: par::scope asserts
+# live workers never exceed the configured pool after every drained scope.
+for threads in 1 8; do
+    echo "    DSE_THREADS=$threads"
+    DSE_THREADS=$threads cargo test -q --offline --workspace > /dev/null
+done
+
+echo "==> perf gate (soft): bench medians vs BENCH_baseline.json"
+if [ -f BENCH_baseline.json ]; then
+    DSE_BENCH_FAST=1 cargo run --release --offline -p bench --bin baseline -- \
+        --compare BENCH_baseline.json \
+        || echo "    warning: bench medians regressed past the gate (soft gate, not fatal)"
+else
+    echo "    warning: BENCH_baseline.json missing, skipping comparison"
+fi
+
 echo "==> static analysis of all shipped design spaces (must be error-free)"
 cargo run --release --offline --example diagnose
 

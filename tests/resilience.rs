@@ -16,13 +16,20 @@
 
 use design_space_layer::coproc::spec::KocSpec;
 use design_space_layer::coproc::walkthrough;
+use design_space_layer::dse::analyze::analyze;
 use design_space_layer::dse::diag::DiagCode;
 use design_space_layer::dse::prelude::*;
 use design_space_layer::dse::robust::fault::silence_injected_panics;
 use design_space_layer::dse_library::crypto;
 use design_space_layer::dse_library::estimators::full_registry;
+use design_space_layer::foundation::par;
 use design_space_layer::foundation::rng::{Rng, SeedableRng, StdRng};
 use design_space_layer::techlib::Technology;
+
+/// Thread caps the determinism tests sweep. Every parallelized path
+/// (analyzer fan-out, explorer compliance checks, walkthrough range
+/// reads) must produce bit-identical output at each of them.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
 /// The fixed seeds every chaos test runs under, extended by
 /// `DSE_CHAOS_SEED` when the environment provides one.
@@ -246,5 +253,127 @@ fn walkthrough_completes_under_fault_injection() {
         );
         assert!(report.functionally_verified, "seed {seed}");
         assert!(!report.estimates.is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn analysis_reports_are_bit_identical_across_thread_counts() {
+    let layer = crypto::build_layer().unwrap();
+    let rendered: Vec<String> = THREAD_SWEEP
+        .iter()
+        .map(|&n| par::with_thread_limit(n, || analyze(&layer.space).to_string()))
+        .collect();
+    for (i, r) in rendered.iter().enumerate().skip(1) {
+        assert_eq!(
+            r, &rendered[0],
+            "analyzer output diverged at {} threads",
+            THREAD_SWEEP[i]
+        );
+    }
+}
+
+#[test]
+fn walkthrough_is_bit_identical_across_thread_counts() {
+    let tech = Technology::g10_035();
+    let spec = KocSpec::paper();
+    let reports: Vec<String> = THREAD_SWEEP
+        .iter()
+        .map(|&n| {
+            par::with_thread_limit(n, || {
+                format!("{:?}", walkthrough::run(&spec, &tech).unwrap())
+            })
+        })
+        .collect();
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            r, &reports[0],
+            "walkthrough diverged at {} threads",
+            THREAD_SWEEP[i]
+        );
+    }
+}
+
+#[test]
+fn session_bindings_are_bit_identical_across_thread_counts() {
+    let layer = crypto::build_layer().unwrap();
+    let tech = Technology::g10_035();
+    let run_at = |n: usize| {
+        par::with_thread_limit(n, || {
+            let sup = Supervisor::new(full_registry(tech.clone()));
+            let mut ses = cc3_ready_session(&layer);
+            let figures = ses.run_estimators(&sup);
+            (ses, figures)
+        })
+    };
+    let (base_ses, base_figs) = run_at(1);
+    for &n in &THREAD_SWEEP[1..] {
+        let (ses, figs) = run_at(n);
+        assert_eq!(ses, base_ses, "session state diverged at {n} threads");
+        assert_eq!(
+            format!("{figs:?}"),
+            format!("{base_figs:?}"),
+            "estimated figures diverged at {n} threads"
+        );
+    }
+}
+
+#[test]
+fn chaos_walkthrough_is_thread_count_invariant() {
+    silence_injected_panics();
+    let tech = Technology::g10_035();
+    let spec = KocSpec::paper();
+    for seed in chaos_seeds() {
+        let run_at = |n: usize| {
+            par::with_thread_limit(n, || {
+                let plan = FaultPlan::new(seed, 48, FaultRates::chaos());
+                let registry = plan.wrap_registry(full_registry(tech.clone()));
+                format!(
+                    "{:?}",
+                    walkthrough::run_supervised(&spec, &tech, registry).unwrap()
+                )
+            })
+        };
+        let base = run_at(1);
+        for &n in &THREAD_SWEEP[1..] {
+            assert_eq!(
+                run_at(n),
+                base,
+                "seed {seed}: chaos walkthrough diverged at {n} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn pool_never_leaks_worker_threads() {
+    // Mirror of `par::default_threads`: the pool is sized from
+    // `DSE_THREADS` (or available parallelism) and the caller is one of
+    // the lanes, so at most `cap - 1` workers may ever be alive.
+    let cap = std::env::var("DSE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let layer = crypto::build_layer().unwrap();
+    // Repeated fan-outs at varying caps must reuse the same workers —
+    // the live count settles after the first call and never grows.
+    // (`par::scope` additionally runs the no-leak debug assertion after
+    // every drained scope in debug builds.)
+    let _ = par::with_thread_limit(8, || analyze(&layer.space));
+    let settled = par::live_worker_threads();
+    assert!(
+        settled <= cap.saturating_sub(1),
+        "{settled} live workers exceed the configured pool of {cap} lanes"
+    );
+    for &n in &THREAD_SWEEP {
+        let _ = par::with_thread_limit(n, || analyze(&layer.space));
+        assert_eq!(
+            par::live_worker_threads(),
+            settled,
+            "worker count changed after a fan-out at {n} threads"
+        );
     }
 }
