@@ -1,0 +1,7 @@
+//! Benchmarks of the exploration daemon's engine: dispatch overhead,
+//! session lifecycles with and without journaling, and pipelined
+//! batches fanned out across the worker pool.
+
+fn main() {
+    bench::suites::server().finish();
+}

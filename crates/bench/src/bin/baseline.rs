@@ -1,6 +1,6 @@
 //! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
-//! combining the `bignum_ops`, `exploration`, `analyze`, `robust` and
-//! `cache` suites.
+//! combining the `bignum_ops`, `exploration`, `analyze`, `robust`,
+//! `cache` and `server` suites.
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline                  # writes BENCH_baseline.json
@@ -28,6 +28,7 @@ const SUITES: &[(&str, fn() -> Harness)] = &[
     ("analyze", bench::suites::analyze),
     ("robust", bench::suites::robust),
     ("cache", bench::suites::cache),
+    ("server", bench::suites::server),
 ];
 
 fn main() {

@@ -481,3 +481,70 @@ pub fn analyze() -> Harness {
     });
     h
 }
+
+/// The exploration daemon's engine: request-dispatch overhead, full
+/// session lifecycles (with and without journaling), and a pipelined
+/// batch fanned out across the worker pool.
+pub fn server() -> Harness {
+    use dse_server::EngineBuilder;
+
+    let mut h = Harness::new("server");
+    let tech = Technology::g10_035();
+    let engine = EngineBuilder::new(tech.clone())
+        .with_shipped_layers()
+        .build()
+        .expect("engine builds");
+
+    // Pure dispatch: parse + route + render for the cheapest op.
+    h.bench("server/stats_roundtrip", || {
+        black_box(engine.handle_line(black_box(r#"{"op":"stats"}"#)));
+    });
+
+    // A full open → decide ×3 → surviving_cores → close conversation on
+    // the shared snapshot (session state only; no disk).
+    let conversation = |id: &str| -> Vec<String> {
+        vec![
+            format!(r#"{{"op":"open","session":"{id}","snapshot":"crypto"}}"#),
+            format!(r#"{{"op":"decide","session":"{id}","name":"EOL","value":768}}"#),
+            format!(r#"{{"op":"decide","session":"{id}","name":"ModuloIsOdd","value":"Guaranteed"}}"#),
+            format!(r#"{{"op":"decide","session":"{id}","name":"ImplementationStyle","value":"Hardware"}}"#),
+            format!(r#"{{"op":"surviving_cores","session":"{id}","limit":4}}"#),
+            format!(r#"{{"op":"close","session":"{id}"}}"#),
+        ]
+    };
+    let lines = conversation("bench");
+    h.bench("server/session_lifecycle", || {
+        for line in &lines {
+            black_box(engine.handle_line(black_box(line)));
+        }
+    });
+
+    // The same lifecycle with a decision journal underneath: the price
+    // of durability (open/append/close per record).
+    let dir = std::env::temp_dir().join(format!("dse-bench-server-{}", std::process::id()));
+    let journaled = EngineBuilder::new(tech)
+        .with_shipped_layers()
+        .journal_dir(&dir)
+        .build()
+        .expect("engine builds");
+    h.bench("server/session_lifecycle_journaled", || {
+        for line in &lines {
+            black_box(journaled.handle_line(black_box(line)));
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 32 interleaved sessions in one pipelined batch: distinct sessions
+    // fan out over foundation::par, per-session order preserved.
+    let batch: Vec<String> = {
+        let scripts: Vec<Vec<String>> = (0..32).map(|i| conversation(&format!("b{i}"))).collect();
+        let rounds = scripts.iter().map(Vec::len).max().unwrap_or(0);
+        (0..rounds)
+            .flat_map(|r| scripts.iter().filter_map(move |s| s.get(r).cloned()))
+            .collect()
+    };
+    h.bench("server/batch_32_sessions", || {
+        black_box(engine.handle_batch(black_box(&batch)));
+    });
+    h
+}

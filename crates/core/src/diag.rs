@@ -97,6 +97,30 @@ pub enum DiagCode {
     /// A decision journal's final record was truncated (crash
     /// mid-append); recovery dropped exactly that torn tail.
     TornJournalTail,
+    /// A wire request was not a parseable protocol object (bad JSON,
+    /// missing `op`, wrong field types, or an oversized line).
+    MalformedRequest,
+    /// A wire request named an operation the protocol does not define.
+    UnknownOp,
+    /// A wire request named a design-space snapshot the server does not
+    /// serve.
+    UnknownSnapshot,
+    /// A wire request named a session id that is not open (and, for
+    /// `open --resume`, has no journal to recover).
+    UnknownSession,
+    /// An `open` named a session id that is already open (re-open with
+    /// `resume` to recover a journaled one instead).
+    SessionExists,
+    /// The session layer rejected the operation (constraint violation,
+    /// ordering violation, unknown property, …) — the transported form
+    /// of a [`crate::error::DseError`].
+    SessionRejected,
+    /// The server could not persist or recover the session's journal
+    /// (I/O failure, corrupt journal body, or a record that no longer
+    /// replays).
+    JournalFault,
+    /// The server is draining for shutdown and refuses new work.
+    ServerDraining,
 }
 
 impl DiagCode {
@@ -117,6 +141,14 @@ impl DiagCode {
         DiagCode::CoreOutsideDomain,
         DiagCode::CoreBindsRequirement,
         DiagCode::TornJournalTail,
+        DiagCode::MalformedRequest,
+        DiagCode::UnknownOp,
+        DiagCode::UnknownSnapshot,
+        DiagCode::UnknownSession,
+        DiagCode::SessionExists,
+        DiagCode::SessionRejected,
+        DiagCode::JournalFault,
+        DiagCode::ServerDraining,
     ];
 
     /// The stable `DSLnnn` code string.
@@ -137,6 +169,14 @@ impl DiagCode {
             DiagCode::CoreOutsideDomain => "DSL102",
             DiagCode::CoreBindsRequirement => "DSL103",
             DiagCode::TornJournalTail => "DSL201",
+            DiagCode::MalformedRequest => "DSL301",
+            DiagCode::UnknownOp => "DSL302",
+            DiagCode::UnknownSnapshot => "DSL303",
+            DiagCode::UnknownSession => "DSL304",
+            DiagCode::SessionExists => "DSL305",
+            DiagCode::SessionRejected => "DSL306",
+            DiagCode::JournalFault => "DSL307",
+            DiagCode::ServerDraining => "DSL308",
         }
     }
 
@@ -176,6 +216,14 @@ impl DiagCode {
             DiagCode::TornJournalTail => {
                 "decision journal's final record was truncated and dropped during recovery"
             }
+            DiagCode::MalformedRequest => "wire request is not a parseable protocol object",
+            DiagCode::UnknownOp => "wire request names an operation the protocol does not define",
+            DiagCode::UnknownSnapshot => "wire request names a snapshot the server does not serve",
+            DiagCode::UnknownSession => "wire request names a session that is not open",
+            DiagCode::SessionExists => "open names a session id that is already open",
+            DiagCode::SessionRejected => "session layer rejected the operation",
+            DiagCode::JournalFault => "session journal could not be persisted or recovered",
+            DiagCode::ServerDraining => "server is draining for shutdown and refuses new work",
         }
     }
 
@@ -196,6 +244,14 @@ impl DiagCode {
             | DiagCode::LiteralOutsideDomain
             | DiagCode::CoreBindsRequirement
             | DiagCode::TornJournalTail => Severity::Warning,
+            DiagCode::MalformedRequest
+            | DiagCode::UnknownOp
+            | DiagCode::UnknownSnapshot
+            | DiagCode::UnknownSession
+            | DiagCode::SessionExists
+            | DiagCode::SessionRejected
+            | DiagCode::JournalFault
+            | DiagCode::ServerDraining => Severity::Error,
             DiagCode::DominanceHint => Severity::Note,
         }
     }

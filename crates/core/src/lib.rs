@@ -112,8 +112,8 @@ pub mod prelude {
     pub use crate::property::{Property, PropertyKind, Unit};
     pub use crate::robust::{
         CacheStats, EstimateCache, Fault, FaultPlan, FaultRates, Figure, Fuel, Journal,
-        JournalRecord, JournaledSession, Provenance, RecoverError, RecoveryReport, Supervisor,
-        SupervisorConfig,
+        JournalDir, JournalRecord, JournaledSession, Provenance, RecoverError, RecoveryReport,
+        Supervisor, SupervisorConfig,
     };
     pub use crate::script::{SessionAction, SessionScript};
     pub use crate::session::{Decision, ExplorationSession, SessionSnapshot};

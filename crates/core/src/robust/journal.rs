@@ -11,6 +11,9 @@
 //! torn tail (reported as a [`DiagCode::TornJournalTail`] diagnostic).
 
 use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
 use crate::error::DseError;
@@ -249,6 +252,176 @@ fn apply_record(session: &mut ExplorationSession<'_>, record: &JournalRecord) ->
     }
 }
 
+/// A directory of per-session journals: the single, configurable home
+/// for on-disk decision journals, replacing caller-supplied ad-hoc
+/// paths. Each session id owns exactly one file, `<id>.jsonl`, and ids
+/// are restricted to a filesystem-safe alphabet so an id can never
+/// escape the directory.
+///
+/// Appends open the file, write one record, and close it again: a
+/// daemon holding thousands of concurrently open sessions never holds
+/// thousands of journal file handles (long-lived per-session handles
+/// exhaust the process fd limit — the leak this API exists to prevent).
+/// The close on every append doubles as the flush, so a crash can tear
+/// at most the final record — exactly what [`Journal::from_jsonl`]'s
+/// tolerant recovery expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalDir {
+    dir: PathBuf,
+}
+
+/// File extension used for journal files inside a [`JournalDir`].
+const JOURNAL_EXT: &str = "jsonl";
+
+impl JournalDir {
+    /// Opens (creating if needed) the journal directory.
+    ///
+    /// # Errors
+    ///
+    /// Any error creating the directory.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<JournalDir> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(JournalDir { dir })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether `id` is a usable session id: 1–128 characters drawn from
+    /// `[A-Za-z0-9._-]`, not starting with a dot (no hidden files, no
+    /// `..` traversal).
+    pub fn is_valid_id(id: &str) -> bool {
+        !id.is_empty()
+            && id.len() <= 128
+            && !id.starts_with('.')
+            && id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    }
+
+    fn checked_id(id: &str) -> io::Result<&str> {
+        if JournalDir::is_valid_id(id) {
+            Ok(id)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid session id {id:?}"),
+            ))
+        }
+    }
+
+    /// The file a session id maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] for an invalid id.
+    pub fn file_for(&self, id: &str) -> io::Result<PathBuf> {
+        let id = JournalDir::checked_id(id)?;
+        Ok(self.dir.join(format!("{id}.{JOURNAL_EXT}")))
+    }
+
+    /// Appends one record to `id`'s journal, creating the file on first
+    /// use. The handle is opened and closed inside the call.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any I/O error.
+    pub fn append(&self, id: &str, record: &JournalRecord) -> io::Result<()> {
+        let mut line = foundation::json::encode(record);
+        line.push('\n');
+        let mut file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.file_for(id)?)?;
+        file.write_all(line.as_bytes())
+    }
+
+    /// Whether `id` has a journal on disk.
+    pub fn exists(&self, id: &str) -> bool {
+        self.file_for(id).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// Loads and tolerantly parses `id`'s journal. `Ok(None)` when no
+    /// journal exists.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id or a read error (outer); a corrupt journal body
+    /// (inner [`RecoverError`]).
+    pub fn recover(
+        &self,
+        id: &str,
+    ) -> io::Result<Option<Result<(Journal, RecoveryReport), RecoverError>>> {
+        let path = self.file_for(id)?;
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Some(Journal::from_jsonl(&text)))
+    }
+
+    /// Deletes `id`'s journal (a cleanly closed session needs no
+    /// recovery). Returns whether a file was removed.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any error other than the file being absent.
+    pub fn remove(&self, id: &str) -> io::Result<bool> {
+        match fs::remove_file(self.file_for(id)?) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Every session id with a journal in the directory, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Any directory-read error.
+    pub fn ids(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(JOURNAL_EXT) {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if JournalDir::is_valid_id(stem) {
+                    out.push(stem.to_owned());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Tolerantly recovers every journal in the directory — the boot
+    /// path of a session daemon. Per-journal corruption is reported in
+    /// that journal's slot, never aborting the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Only directory/file *read* errors; parse failures come back per
+    /// id.
+    #[allow(clippy::type_complexity)]
+    pub fn recover_all(
+        &self,
+    ) -> io::Result<Vec<(String, Result<(Journal, RecoveryReport), RecoverError>)>> {
+        let mut out = Vec::new();
+        for id in self.ids()? {
+            if let Some(result) = self.recover(&id)? {
+                out.push((id, result));
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// An [`ExplorationSession`] paired with its journal: every successful
 /// operation is appended *after* it commits, so the journal never records
 /// a rejected or rolled-back action.
@@ -298,6 +471,13 @@ impl<'a> JournaledSession<'a> {
     /// Splits into the session and its journal.
     pub fn into_parts(self) -> (ExplorationSession<'a>, Journal) {
         (self.session, self.journal)
+    }
+
+    /// Reassembles a journaled session from parts (the inverse of
+    /// [`into_parts`](Self::into_parts)); the caller asserts that
+    /// `journal` really is the history that produced `session`.
+    pub fn from_parts(session: ExplorationSession<'a>, journal: Journal) -> Self {
+        JournaledSession { session, journal }
     }
 
     /// Journaling wrapper over [`ExplorationSession::set_requirement`].
@@ -447,6 +627,83 @@ mod tests {
         let garbled = lines.join("\n");
         let err = Journal::from_jsonl(&garbled).unwrap_err();
         assert!(matches!(err, RecoverError::Corrupt { line: 2, .. }), "{err}");
+    }
+
+    fn temp_journal_dir(tag: &str) -> JournalDir {
+        let dir = std::env::temp_dir().join(format!(
+            "dse-journal-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        JournalDir::create(dir).unwrap()
+    }
+
+    #[test]
+    fn journal_dir_appends_and_recovers_per_id() {
+        let dir = temp_journal_dir("roundtrip");
+        dir.append(
+            "s1",
+            &JournalRecord::SetRequirement {
+                name: "EOL".into(),
+                value: Value::Int(64),
+            },
+        )
+        .unwrap();
+        dir.append("s1", &JournalRecord::Undo).unwrap();
+        dir.append("s2", &JournalRecord::Undo).unwrap();
+        assert!(dir.exists("s1"));
+        assert!(!dir.exists("never-opened"));
+        assert_eq!(dir.ids().unwrap(), vec!["s1".to_owned(), "s2".to_owned()]);
+
+        let (journal, report) = dir.recover("s1").unwrap().unwrap().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(journal.len(), 2);
+        assert!(dir.recover("s3").unwrap().is_none());
+
+        let all = dir.recover_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|(_, r)| r.is_ok()));
+
+        assert!(dir.remove("s1").unwrap());
+        assert!(!dir.remove("s1").unwrap());
+        assert_eq!(dir.ids().unwrap(), vec!["s2".to_owned()]);
+        let _ = std::fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn journal_dir_rejects_traversal_ids() {
+        let dir = temp_journal_dir("ids");
+        for bad in ["", "..", "a/b", ".hidden", "x\\y", "a b", &"x".repeat(129)] {
+            assert!(!JournalDir::is_valid_id(bad), "{bad:?}");
+            assert!(dir.append(bad, &JournalRecord::Undo).is_err());
+        }
+        assert!(JournalDir::is_valid_id("session-42.alpha_B"));
+        let _ = std::fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn journal_dir_recover_all_reports_torn_and_corrupt_files() {
+        let dir = temp_journal_dir("recover-all");
+        dir.append("ok", &JournalRecord::Undo).unwrap();
+        // Torn tail: a crash mid-append.
+        dir.append("torn", &JournalRecord::Undo).unwrap();
+        let torn_path = dir.file_for("torn").unwrap();
+        let mut text = std::fs::read_to_string(&torn_path).unwrap();
+        text.push_str("{\"Decide\":{\"na");
+        std::fs::write(&torn_path, text).unwrap();
+        // Mid-body corruption: not recoverable.
+        std::fs::write(
+            dir.file_for("corrupt").unwrap(),
+            "garbage\n{\"Undo\":null}\n",
+        )
+        .unwrap();
+
+        let all = dir.recover_all().unwrap();
+        let slot = |id: &str| all.iter().find(|(i, _)| i == id).unwrap();
+        assert!(matches!(&slot("ok").1, Ok((_, r)) if r.is_clean()));
+        assert!(matches!(&slot("torn").1, Ok((j, r)) if j.len() == 1 && !r.is_clean()));
+        assert!(matches!(&slot("corrupt").1, Err(RecoverError::Corrupt { line: 1, .. })));
+        let _ = std::fs::remove_dir_all(dir.path());
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod supervisor;
 pub use cache::{CacheStats, EstimateCache};
 pub use fault::{Fault, FaultPlan, FaultRates, FaultyEstimator};
 pub use fuel::Fuel;
-pub use journal::{Journal, JournalRecord, JournaledSession, RecoverError, RecoveryReport};
+pub use journal::{
+    Journal, JournalDir, JournalRecord, JournaledSession, RecoverError, RecoveryReport,
+};
 pub use supervisor::{Supervisor, SupervisorConfig};
 
 /// How trustworthy a produced figure is — the provenance ladder.

@@ -84,6 +84,21 @@ impl<'a> ExplorationSession<'a> {
         }
     }
 
+    /// Reattaches a detached [`SessionSnapshot`] to a space — the
+    /// `Arc`-friendly constructor a multi-session server uses: the
+    /// per-session state lives in owned snapshots while every live
+    /// session borrows one shared, immutable space, so opening or
+    /// serving a session never clones the space itself.
+    pub fn resume(space: &'a DesignSpace, state: SessionSnapshot) -> Self {
+        ExplorationSession {
+            space,
+            focus: state.focus,
+            bindings: state.bindings,
+            log: state.log,
+            estimates: state.estimates,
+        }
+    }
+
     /// Captures the session's full mutable state.
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {

@@ -19,9 +19,13 @@
 //! * [`par`] — a work-stealing thread pool with deterministic
 //!   (submission-order) reduction, panic propagation, and a
 //!   `DSE_THREADS` reproducibility switch (replaces `rayon`).
+//! * [`net`] — bounded line/length framing for newline-delimited JSON
+//!   protocols and a stoppable TCP accept loop, the substrate of the
+//!   `dse-server` daemon (replaces `tokio`-style networking stacks).
 
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod net;
 pub mod par;
 pub mod rng;

@@ -1,0 +1,294 @@
+//! Std-only TCP plumbing for line- and length-framed JSON protocols.
+//!
+//! The workspace's wire format is newline-delimited JSON over the
+//! [`crate::json`] codec: one request per line in, one response per line
+//! out. This module supplies the three pieces every such endpoint needs,
+//! without reaching outside `std`:
+//!
+//! * [`read_line_bounded`] / [`write_line`] — the line framing itself,
+//!   with a hard cap on line length so a hostile peer cannot make the
+//!   reader buffer unbounded garbage.
+//! * [`read_frame`] / [`write_frame`] — a length-prefixed alternative
+//!   (`<decimal length>\n<payload>`) for payloads that may themselves
+//!   contain newlines (bulk space uploads, archived journals).
+//! * [`TcpServer`] — a non-blocking accept loop that polls a stop flag,
+//!   so a daemon can drain gracefully instead of being killed out of
+//!   `accept(2)`.
+
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Default cap on a single line (or frame) read from a peer: 1 MiB.
+pub const MAX_WIRE_BYTES: usize = 1 << 20;
+
+/// How long the accept loop sleeps between polls of the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+fn too_long(max: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("wire message exceeds the {max}-byte cap"),
+    )
+}
+
+/// Reads one `\n`-terminated line, stripping the terminator (and a
+/// preceding `\r`, for telnet-style clients).
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a line boundary. A
+/// stream that ends mid-line yields the partial line — the peer wrote
+/// it deliberately; let the JSON parser judge it.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] once a line exceeds `max` bytes (the
+/// connection should be dropped: the rest of the line cannot be
+/// resynchronized), or any underlying read error.
+pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                finish_line(line).map(Some)
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    return Err(too_long(max));
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return finish_line(line).map(Some);
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > max {
+                    return Err(too_long(max));
+                }
+                line.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn finish_line(mut line: Vec<u8>) -> io::Result<String> {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line is not UTF-8: {e}")))
+}
+
+/// Writes `line` followed by `\n` and flushes.
+///
+/// # Errors
+///
+/// Any underlying write error.
+pub fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Writes a length-prefixed frame: the payload length in ASCII decimal,
+/// a newline, then the raw payload bytes. Flushes.
+///
+/// # Errors
+///
+/// Any underlying write error.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(payload.len().to_string().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame written by [`write_frame`]. Returns `Ok(None)` on a
+/// clean end-of-stream before the length header.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for a malformed length header, a
+/// length beyond `max`, or a truncated payload; any underlying read
+/// error otherwise.
+pub fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let header = match read_line_bounded(reader, 32)? {
+        Some(h) => h,
+        None => return Ok(None),
+    };
+    let len: usize = header.trim().parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed frame length {header:?}"),
+        )
+    })?;
+    if len > max {
+        return Err(too_long(max));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A TCP listener whose accept loop polls a stop flag: setting the flag
+/// makes [`TcpServer::serve`] return instead of blocking forever in
+/// `accept(2)` — the hook a daemon's graceful shutdown hangs off.
+#[derive(Debug)]
+pub struct TcpServer {
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl TcpServer {
+    /// Binds (port 0 picks an ephemeral port; see
+    /// [`TcpServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind error.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(TcpServer { listener, local })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Accepts connections until `stop` becomes true, invoking `on_conn`
+    /// for each accepted stream (restored to blocking mode). `on_conn`
+    /// decides its own concurrency — spawn a thread, queue the stream,
+    /// or handle it inline.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept error; `WouldBlock` is the poll rhythm, not an
+    /// error, and per-connection setup failures skip that connection.
+    pub fn serve(
+        &self,
+        stop: &AtomicBool,
+        mut on_conn: impl FnMut(TcpStream, SocketAddr),
+    ) -> io::Result<()> {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if stream.set_nonblocking(false).is_ok() {
+                        on_conn(stream, peer);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn lines_roundtrip_with_crlf_and_partial_tails() {
+        let input = b"alpha\r\nbeta\ngamma".to_vec();
+        let mut r = BufReader::new(&input[..]);
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("alpha")
+        );
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("beta")
+        );
+        // Unterminated tail comes through; then clean EOF.
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("gamma")
+        );
+        assert_eq!(read_line_bounded(&mut r, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered() {
+        let input = vec![b'x'; 1000];
+        let mut r = BufReader::new(&input[..]);
+        let err = read_line_bounded(&mut r, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frames_carry_embedded_newlines() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"two\nlines").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r, 64).unwrap().as_deref(),
+            Some(&b"two\nlines"[..])
+        );
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_frame_headers_and_oversized_frames_fail() {
+        let mut r = BufReader::new(&b"nope\nxxxx"[..]);
+        assert!(read_frame(&mut r, 64).is_err());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![b'y'; 100]).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert!(read_frame(&mut r, 64).is_err());
+    }
+
+    #[test]
+    fn tcp_server_echoes_and_stops_on_flag() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                server
+                    .serve(&stop, |stream, _| {
+                        let mut r = BufReader::new(stream.try_clone().unwrap());
+                        let mut w = stream;
+                        while let Ok(Some(line)) = read_line_bounded(&mut r, MAX_WIRE_BYTES) {
+                            write_line(&mut w, &format!("echo {line}")).unwrap();
+                        }
+                    })
+                    .unwrap();
+            })
+        };
+
+        let client = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(client.try_clone().unwrap());
+        let mut w = client;
+        write_line(&mut w, "hello").unwrap();
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("echo hello")
+        );
+        drop((r, w));
+
+        stop.store(true, Ordering::SeqCst);
+        accept.join().unwrap();
+    }
+}

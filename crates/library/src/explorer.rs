@@ -48,6 +48,20 @@ impl<'a> Explorer<'a> {
         }
     }
 
+    /// Wraps an *existing* session — a server answering a
+    /// `surviving_cores` query resumes the session's state and joins it
+    /// to the snapshot's library without replaying any decisions or
+    /// cloning the space.
+    pub fn from_session(
+        session: ExplorationSession<'a>,
+        libraries: impl IntoIterator<Item = &'a ReuseLibrary>,
+    ) -> Self {
+        Explorer {
+            session,
+            libraries: libraries.into_iter().collect(),
+        }
+    }
+
     /// The connected libraries.
     pub fn libraries(&self) -> &[&'a ReuseLibrary] {
         &self.libraries

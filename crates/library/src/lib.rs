@@ -48,9 +48,11 @@ mod explorer;
 pub mod fir;
 pub mod idct;
 pub mod lint;
+mod loader;
 mod reuse;
 
 pub use core_record::CoreRecord;
 pub use explorer::Explorer;
 pub use lint::lint_library;
+pub use loader::{load_all_layers, load_layer, LoadedLayer, PAPER_EOL};
 pub use reuse::{LibraryError, ReuseLibrary};

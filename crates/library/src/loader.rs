@@ -1,0 +1,125 @@
+//! One place that knows every shipped layer.
+//!
+//! The diagnose example, the resilience walkthrough, the server daemon
+//! and the test suites all need "the shipped layers, built and paired
+//! with their reuse libraries". Before this module each binary kept its
+//! own hand-rolled list, and the lists drifted; [`load_all_layers`] is
+//! now the single source of truth.
+
+use dse::error::DseError;
+use dse::hierarchy::{CdoId, DesignSpace};
+use techlib::Technology;
+
+use crate::reuse::ReuseLibrary;
+use crate::{crypto, fir, idct};
+
+/// The paper's walkthrough operand length, used to size the crypto
+/// library's delay/area figures.
+pub const PAPER_EOL: u32 = 768;
+
+/// A shipped layer, built and ready to serve: its space, the CDO
+/// exploration starts from, and the reuse library it indexes.
+#[derive(Debug, Clone)]
+pub struct LoadedLayer {
+    /// Short machine name (`crypto`, `idct-gen`, …) — stable, used as
+    /// the snapshot name on the server wire protocol.
+    pub slug: &'static str,
+    /// Human-readable name used in reports.
+    pub title: &'static str,
+    /// The built design space.
+    pub space: DesignSpace,
+    /// The CDO a fresh exploration session starts focused on.
+    pub root: CdoId,
+    /// The reuse library the layer indexes.
+    pub library: ReuseLibrary,
+}
+
+/// Builds every shipped layer with its reuse library — the canonical
+/// layer list shared by `diagnose`, `resilient_explore`, the server
+/// daemon and the test suites.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn load_all_layers(tech: &Technology) -> Result<Vec<LoadedLayer>, DseError> {
+    let crypto_library = crypto::build_library(tech, PAPER_EOL);
+    let crypto_layer = crypto::build_layer()?;
+    let crypto_tech = crypto::build_layer_technology_first()?;
+    let idct_gen = idct::build_layer_generalization()?;
+    let idct_abs = idct::build_layer_abstraction()?;
+    let fir_layer = fir::build_layer()?;
+    Ok(vec![
+        LoadedLayer {
+            slug: "crypto",
+            title: "crypto (generalization hierarchy)",
+            root: crypto_layer.omm,
+            space: crypto_layer.space,
+            library: crypto_library.clone(),
+        },
+        LoadedLayer {
+            slug: "crypto-tech",
+            title: "crypto (technology-first view)",
+            root: crypto_tech.omm,
+            space: crypto_tech.space,
+            library: crypto_library,
+        },
+        LoadedLayer {
+            slug: "idct-gen",
+            title: "idct (generalization hierarchy)",
+            root: idct_gen.idct,
+            space: idct_gen.space,
+            library: idct::build_library(),
+        },
+        LoadedLayer {
+            slug: "idct-abs",
+            title: "idct (abstraction-level view)",
+            root: idct_abs.idct,
+            space: idct_abs.space,
+            library: idct::build_library(),
+        },
+        LoadedLayer {
+            slug: "fir",
+            title: "fir",
+            root: fir_layer.fir,
+            space: fir_layer.space,
+            library: fir::build_library(tech),
+        },
+    ])
+}
+
+/// Builds one shipped layer by slug. `None` for an unknown slug.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn load_layer(slug: &str, tech: &Technology) -> Result<Option<LoadedLayer>, DseError> {
+    Ok(load_all_layers(tech)?.into_iter().find(|l| l.slug == slug))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_layers_load_with_nonempty_libraries() {
+        let layers = load_all_layers(&Technology::g10_035()).unwrap();
+        let slugs: Vec<&str> = layers.iter().map(|l| l.slug).collect();
+        assert_eq!(
+            slugs,
+            vec!["crypto", "crypto-tech", "idct-gen", "idct-abs", "fir"]
+        );
+        for layer in &layers {
+            assert!(!layer.space.is_empty(), "{}", layer.slug);
+            assert!(!layer.library.cores().is_empty(), "{}", layer.slug);
+            // The root really is in the space.
+            let _ = layer.space.node(layer.root);
+        }
+    }
+
+    #[test]
+    fn load_layer_finds_by_slug() {
+        let tech = Technology::g10_035();
+        assert!(load_layer("crypto", &tech).unwrap().is_some());
+        assert!(load_layer("nope", &tech).unwrap().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! The TCP front: one thread per connection over
+//! [`foundation::net::TcpServer`], with graceful drain.
+//!
+//! Each connection reads newline-delimited JSON requests. Whatever the
+//! client has pipelined (every complete line already buffered) is
+//! handed to [`Engine::handle_batch`] as one batch, so independent
+//! sessions on one connection still fan out across the worker pool
+//! while responses come back in request order.
+//!
+//! Drain protocol: a `shutdown` request flips the engine's draining
+//! flag. The connection that carried it answers, then trips the accept
+//! loop's stop flag; [`Server::run`] wakes every blocked reader with
+//! `shutdown(Read)` — pending responses still flush, the sockets just
+//! stop producing requests — and joins all connection threads before
+//! returning.
+
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::{io, thread};
+
+use foundation::net::{self, TcpServer, MAX_WIRE_BYTES};
+
+use crate::engine::Engine;
+use crate::protocol::{err_response, ProtocolError};
+
+/// A running daemon: the listener thread plus its connection threads.
+#[derive(Debug)]
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<io::Result<()>>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts accepting (bind to port 0 for an ephemeral
+    /// port; see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind error.
+    pub fn start(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let tcp = TcpServer::bind(addr)?;
+        let local = tcp.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let threads = Arc::clone(&threads);
+            thread::spawn(move || {
+                tcp.serve(&stop, |stream, _peer| {
+                    if engine.is_draining() {
+                        return; // dropping the stream refuses the connection
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().unwrap().push(clone);
+                    }
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    threads
+                        .lock()
+                        .unwrap()
+                        .push(thread::spawn(move || connection(&engine, stream, &stop)));
+                })
+            })
+        };
+
+        Ok(Server {
+            engine,
+            addr: local,
+            stop,
+            accept: Some(accept),
+            conns,
+            threads,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the listener.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Requests drain from outside the protocol (equivalent to a
+    /// `shutdown` request): stops accepting and wakes blocked readers.
+    pub fn request_stop(&self) {
+        self.engine.begin_drain();
+        self.stop.store(true, Ordering::SeqCst);
+        for s in self.conns.lock().unwrap().iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Blocks until the daemon drains (a `shutdown` request, or
+    /// [`Server::request_stop`] from another thread), then joins every
+    /// connection thread.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept-loop error.
+    pub fn run(mut self) -> io::Result<()> {
+        let result = match self.accept.take() {
+            Some(h) => h.join().unwrap_or_else(|_| {
+                Err(io::Error::other("accept thread panicked"))
+            }),
+            None => Ok(()),
+        };
+        // The accept thread has exited, so both registries are final.
+        for s in self.conns.lock().unwrap().iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.threads.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        result
+    }
+}
+
+/// One connection: read everything pipelined, answer as a batch, until
+/// EOF, error, or drain.
+fn connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = io::BufReader::new(read_half);
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        let first = match net::read_line_bounded(&mut reader, MAX_WIRE_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                // An unframeable line (oversized / not UTF-8): tell the
+                // client why, then drop the connection — the stream
+                // cannot be resynchronized.
+                let resp = err_response(&None, &ProtocolError::malformed(e.to_string()));
+                let _ = net::write_line(&mut writer, &foundation::json::encode(&resp));
+                return;
+            }
+        };
+        let mut batch = vec![first];
+        // Greedily take every complete line the client has already
+        // pipelined: they become one parallel batch.
+        while reader.buffer().contains(&b'\n') {
+            match net::read_line_bounded(&mut reader, MAX_WIRE_BYTES) {
+                Ok(Some(line)) => batch.push(line),
+                _ => break,
+            }
+        }
+        for response in engine.handle_batch(&batch) {
+            if net::write_line(&mut writer, &response).is_err() {
+                return;
+            }
+        }
+        if engine.is_draining() {
+            // Carry the drain to the accept loop; run() wakes the rest.
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}

@@ -1,0 +1,957 @@
+//! The transport-independent request engine.
+//!
+//! An [`Engine`] holds immutable, `Arc`-shared design-space
+//! [`Snapshot`]s and multiplexes any number of concurrent exploration
+//! sessions over them. Per-session state is a plain
+//! [`SessionSnapshot`] — opening a session never clones a space; each
+//! request reconstructs a borrowing [`ExplorationSession`] against the
+//! shared space via [`ExplorationSession::resume`], applies the
+//! operation, and stores the new snapshot back.
+//!
+//! Sessions are durable when the engine has a [`JournalDir`]: every
+//! mutating operation is appended to the session's journal *before* the
+//! new state commits, a `<id>.meta` sidecar remembers which snapshot the
+//! session explores, and [`EngineBuilder::build`] replays every journal
+//! found at boot — a killed daemon comes back with all its sessions.
+//!
+//! [`Engine::handle_batch`] fans independent sessions out over
+//! [`foundation::par`] while keeping each session's requests in
+//! submission order, so a pipelining client observes exactly the
+//! sequential semantics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dse::prelude::{
+    CdoId, DesignSpace, DiagCode, DseError, EstimateCache, ExplorationSession, Figure, JournalDir,
+    JournalRecord, Property, PropertyKind, SessionSnapshot, Supervisor, Value,
+};
+use dse_library::{load_all_layers, Explorer, ReuseLibrary};
+use foundation::json::Json;
+use techlib::Technology;
+
+use crate::protocol::{
+    err_response, ok_response, parse_request, value_to_json, ProtocolError, Request, RequestId,
+};
+
+/// Default cap on core names returned by `surviving_cores`.
+const DEFAULT_CORE_LIMIT: usize = 64;
+
+/// Sidecar extension recording which snapshot a journaled session
+/// explores.
+const META_EXT: &str = "meta";
+
+/// One immutable, shareable design space plus its reuse library.
+///
+/// Every session opened on a snapshot borrows the same `Arc`ed space;
+/// nothing is ever cloned per session.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The wire name clients open the snapshot by.
+    pub name: String,
+    /// Human-readable title (the shipped layer's caption).
+    pub title: String,
+    /// The shared space.
+    pub space: Arc<DesignSpace>,
+    /// The CDO sessions start focused on.
+    pub root: CdoId,
+    /// The reuse library evaluated against the space.
+    pub library: Arc<ReuseLibrary>,
+}
+
+/// The per-session mutable state: which snapshot, the exploration state,
+/// and how the session came to exist.
+#[derive(Debug)]
+struct SessionSlot {
+    snapshot: Arc<Snapshot>,
+    state: SessionSnapshot,
+    /// True when the slot was rebuilt from a journal (boot or resume).
+    recovered: bool,
+    /// Recovery diagnostics (e.g. a DSL201 torn tail), surfaced on the
+    /// next `open` that attaches to the slot.
+    notes: Vec<String>,
+}
+
+/// Builds an [`Engine`]: which snapshots it serves, and whether (and
+/// where) sessions journal.
+#[derive(Debug)]
+pub struct EngineBuilder {
+    tech: Technology,
+    snapshots: BTreeMap<String, Arc<Snapshot>>,
+    journal_dir: Option<std::path::PathBuf>,
+    errors: Vec<String>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder; `tech` parameterizes the estimator registry and
+    /// the shipped layers.
+    pub fn new(tech: Technology) -> EngineBuilder {
+        EngineBuilder {
+            tech,
+            snapshots: BTreeMap::new(),
+            journal_dir: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Adds every shipped layer (the same list `diagnose` analyzes, via
+    /// the shared loader) as snapshots named by their slugs.
+    pub fn with_shipped_layers(mut self) -> Self {
+        match load_all_layers(&self.tech) {
+            Ok(layers) => {
+                for layer in layers {
+                    self.snapshots.insert(
+                        layer.slug.to_owned(),
+                        Arc::new(Snapshot {
+                            name: layer.slug.to_owned(),
+                            title: layer.title.to_owned(),
+                            space: Arc::new(layer.space),
+                            root: layer.root,
+                            library: Arc::new(layer.library),
+                        }),
+                    );
+                }
+            }
+            Err(e) => self.errors.push(format!("shipped layers: {e}")),
+        }
+        self
+    }
+
+    /// Adds a snapshot from a JSON [`DesignSpace`] file. The snapshot is
+    /// named after the file stem, focuses the first root, and carries an
+    /// empty reuse library.
+    pub fn with_space_file(mut self, path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("space")
+            .to_owned();
+        match fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                foundation::json::decode::<DesignSpace>(&text).map_err(|e| e.to_string())
+            }) {
+            Ok(space) => match space.roots().first().copied() {
+                Some(root) => {
+                    self.snapshots.insert(
+                        name.clone(),
+                        Arc::new(Snapshot {
+                            title: space.name().to_owned(),
+                            space: Arc::new(space),
+                            root,
+                            library: Arc::new(ReuseLibrary::new(format!("{name} (empty)"))),
+                            name,
+                        }),
+                    );
+                }
+                None => self
+                    .errors
+                    .push(format!("{}: space has no root CDO", path.display())),
+            },
+            Err(e) => self.errors.push(format!("{}: {e}", path.display())),
+        }
+        self
+    }
+
+    /// Enables journaling (and boot recovery) in `dir`.
+    pub fn journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the engine, recovering every journal found in the journal
+    /// directory. Per-journal problems become boot warnings (visible in
+    /// `stats`), never boot failures.
+    ///
+    /// # Errors
+    ///
+    /// A snapshot that failed to load, or a journal directory that could
+    /// not be created or listed.
+    pub fn build(self) -> Result<Engine, String> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let journal = match self.journal_dir {
+            Some(dir) => Some(JournalDir::create(dir).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let cache = Arc::new(EstimateCache::new());
+        let supervisor = Supervisor::with_cache(
+            dse_library::estimators::full_registry(self.tech.clone()),
+            Arc::clone(&cache),
+        );
+        let engine = Engine {
+            snapshots: self.snapshots,
+            sessions: Mutex::new(HashMap::new()),
+            journal,
+            supervisor: Mutex::new(supervisor),
+            cache,
+            draining: AtomicBool::new(false),
+            boot_warnings: Vec::new(),
+            requests: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            session_seq: AtomicU64::new(0),
+        };
+        engine.recover_journals()
+    }
+}
+
+/// The daemon's transport-independent core: snapshots, sessions,
+/// journaling, shared estimate cache, and request dispatch.
+#[derive(Debug)]
+pub struct Engine {
+    snapshots: BTreeMap<String, Arc<Snapshot>>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<SessionSlot>>>>,
+    journal: Option<JournalDir>,
+    /// The supervisor is `Send` but not `Sync` (interior stats cell), so
+    /// evaluation serializes on this lock; the estimate cache underneath
+    /// is shared and lock-striped independently.
+    supervisor: Mutex<Supervisor>,
+    cache: Arc<EstimateCache>,
+    draining: AtomicBool,
+    boot_warnings: Vec<String>,
+    requests: AtomicU64,
+    opened: AtomicU64,
+    recovered: AtomicU64,
+    session_seq: AtomicU64,
+}
+
+type OpResult = Result<Vec<(String, Json)>, ProtocolError>;
+
+impl Engine {
+    /// The names of the snapshots this engine serves.
+    pub fn snapshot_names(&self) -> Vec<&str> {
+        self.snapshots.keys().map(String::as_str).collect()
+    }
+
+    /// Whether the engine has begun graceful drain.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the draining flag (what a `shutdown` request does): opens
+    /// are refused from here on; everything else still answers.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// The shared estimate cache (one per process, all sessions).
+    pub fn cache(&self) -> &Arc<EstimateCache> {
+        &self.cache
+    }
+
+    /// Handles one raw request line, returning the encoded response
+    /// line. Never panics: a panic inside an operation is caught and
+    /// reported as a `DSL306` failure.
+    pub fn handle_line(&self, line: &str) -> String {
+        let (parsed, id) = parse_request(line);
+        foundation::json::encode(&self.handle_parsed(parsed, &id))
+    }
+
+    /// Handles a batch of request lines (e.g. everything a pipelining
+    /// client has buffered). Requests for distinct sessions run in
+    /// parallel on [`foundation::par`]; requests for the same session
+    /// keep their submission order; responses come back in request
+    /// order.
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        if lines.len() <= 1 {
+            return lines.iter().map(|l| self.handle_line(l)).collect();
+        }
+        let parsed: Vec<(Result<Request, ProtocolError>, RequestId)> =
+            lines.iter().map(|l| parse_request(l)).collect();
+
+        // Group request indices by session; everything else (control
+        // ops, parse failures, opens of generated ids) is its own
+        // singleton group and free to run in parallel.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut by_session: HashMap<&str, usize> = HashMap::new();
+        for (i, (req, _)) in parsed.iter().enumerate() {
+            match req.as_ref().ok().and_then(session_of) {
+                Some(session) => match by_session.get(session) {
+                    Some(&g) => groups[g].push(i),
+                    None => {
+                        by_session.insert(session, groups.len());
+                        groups.push(vec![i]);
+                    }
+                },
+                None => groups.push(vec![i]),
+            }
+        }
+
+        let answered: Vec<Vec<(usize, Json)>> = foundation::par::par_map(groups, |group| {
+            group
+                .into_iter()
+                .map(|i| {
+                    let (req, id) = &parsed[i];
+                    (i, self.handle_parsed(req.clone(), id))
+                })
+                .collect()
+        });
+        let mut out = vec![String::new(); lines.len()];
+        for (i, response) in answered.into_iter().flatten() {
+            out[i] = foundation::json::encode(&response);
+        }
+        out
+    }
+
+    fn handle_parsed(&self, parsed: Result<Request, ProtocolError>, id: &RequestId) -> Json {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match parsed {
+            Ok(r) => r,
+            Err(e) => return err_response(id, &e),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(req))).unwrap_or_else(|p| {
+            let what = p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            Err(ProtocolError::new(
+                DiagCode::SessionRejected,
+                format!("internal error: operation aborted ({what})"),
+            ))
+        });
+        match result {
+            Ok(fields) => ok_response(id, fields),
+            Err(e) => err_response(id, &e),
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> OpResult {
+        match req {
+            Request::Open {
+                session,
+                snapshot,
+                resume,
+            } => self.op_open(session, snapshot, resume),
+            Request::Decide {
+                session,
+                name,
+                value,
+            } => self.op_decide(&session, &name, value),
+            Request::Retract { session, name } => self.op_retract(&session, name.as_deref()),
+            Request::Eval { session } => self.op_eval(&session),
+            Request::SurvivingCores { session, limit } => {
+                self.op_surviving_cores(&session, limit.unwrap_or(DEFAULT_CORE_LIMIT))
+            }
+            Request::Report { session } => self.op_report(&session),
+            Request::Close { session } => self.op_close(&session),
+            Request::Stats => Ok(self.op_stats()),
+            Request::Invalidate { tool } => Ok(vec![
+                ("tool".to_owned(), Json::Str(tool.clone())),
+                (
+                    "dropped".to_owned(),
+                    Json::Int(self.cache.invalidate_tool(&tool) as i64),
+                ),
+            ]),
+            Request::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                Ok(vec![("draining".to_owned(), Json::Bool(true))])
+            }
+        }
+    }
+
+    // ---- session lifecycle -------------------------------------------------
+
+    fn op_open(
+        &self,
+        session: Option<String>,
+        snapshot: Option<String>,
+        resume: bool,
+    ) -> OpResult {
+        if self.is_draining() {
+            return Err(ProtocolError::new(
+                DiagCode::ServerDraining,
+                "server is draining; no new sessions",
+            ));
+        }
+        let id = match session {
+            Some(id) => {
+                if !JournalDir::is_valid_id(&id) {
+                    return Err(ProtocolError::malformed(format!(
+                        "invalid session id {id:?} (want 1-128 chars of [A-Za-z0-9._-], no leading dot)"
+                    )));
+                }
+                id
+            }
+            None => self.generate_id(),
+        };
+
+        // Re-attach to an already-open slot: idempotent under `resume`,
+        // a DSL305 conflict otherwise.
+        if let Some(slot) = self.get_slot(&id) {
+            if !resume {
+                return Err(ProtocolError::new(
+                    DiagCode::SessionExists,
+                    format!("session {id:?} is already open (use resume to attach)"),
+                ));
+            }
+            let mut slot = slot.lock().unwrap();
+            let notes = std::mem::take(&mut slot.notes);
+            return Ok(open_fields(&id, &slot, notes));
+        }
+
+        let (slot, notes) = if resume {
+            let (slot, notes) = self.recover_one(&id, snapshot.as_deref())?;
+            self.recovered.fetch_add(1, Ordering::Relaxed);
+            (slot, notes)
+        } else {
+            if self
+                .journal
+                .as_ref()
+                .is_some_and(|j| j.exists(&id))
+            {
+                return Err(ProtocolError::new(
+                    DiagCode::SessionExists,
+                    format!("session {id:?} has an unrecovered journal (resume it, or close it first)"),
+                ));
+            }
+            let snapshot_name = snapshot.ok_or_else(|| {
+                ProtocolError::malformed("missing required field \"snapshot\"")
+            })?;
+            let snap = self.snapshot(&snapshot_name)?;
+            if let Some(journal) = &self.journal {
+                self.write_meta(journal, &id, &snap.name)?;
+            }
+            let state = ExplorationSession::new(&snap.space, snap.root).snapshot();
+            (
+                SessionSlot {
+                    snapshot: snap,
+                    state,
+                    recovered: false,
+                    notes: Vec::new(),
+                },
+                Vec::new(),
+            )
+        };
+
+        let mut sessions = self.sessions.lock().unwrap();
+        if sessions.contains_key(&id) {
+            return Err(ProtocolError::new(
+                DiagCode::SessionExists,
+                format!("session {id:?} was opened concurrently"),
+            ));
+        }
+        let fields = open_fields(&id, &slot, notes);
+        sessions.insert(id, Arc::new(Mutex::new(slot)));
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(fields)
+    }
+
+    fn op_close(&self, id: &str) -> OpResult {
+        let removed = self.sessions.lock().unwrap().remove(id);
+        if removed.is_none() {
+            return Err(unknown_session(id));
+        }
+        if let Some(journal) = &self.journal {
+            journal
+                .remove(id)
+                .map_err(|e| journal_fault(id, "remove journal", &e))?;
+            let _ = fs::remove_file(meta_path(journal, id));
+        }
+        Ok(vec![("closed".to_owned(), Json::Str(id.to_owned()))])
+    }
+
+    // ---- exploration ops ---------------------------------------------------
+
+    fn op_decide(&self, id: &str, name: &str, value: Value) -> OpResult {
+        self.with_slot(id, |slot| {
+            let mut session =
+                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            let kind = session
+                .space()
+                .find_property(session.focus(), name)
+                .map(|(_, p)| p.kind());
+            let record = match kind {
+                Some(PropertyKind::Requirement) => {
+                    session.set_requirement(name, value.clone()).map_err(rejected)?;
+                    JournalRecord::SetRequirement {
+                        name: name.to_owned(),
+                        value: value.clone(),
+                    }
+                }
+                _ => {
+                    // Unknown properties fall through to decide() so the
+                    // session produces its own (precise) error.
+                    session.decide(name, value.clone()).map_err(rejected)?;
+                    JournalRecord::Decide {
+                        name: name.to_owned(),
+                        value: value.clone(),
+                    }
+                }
+            };
+            self.append_journal(id, &record)?;
+            slot.state = session.snapshot();
+            Ok(vec![
+                ("name".to_owned(), Json::Str(name.to_owned())),
+                ("value".to_owned(), value_to_json(&value)),
+                (
+                    "focus".to_owned(),
+                    Json::Str(session.space().path_string(session.focus())),
+                ),
+                (
+                    "open_issues".to_owned(),
+                    Json::Int(session.open_issues().len() as i64),
+                ),
+            ])
+        })
+    }
+
+    fn op_retract(&self, id: &str, name: Option<&str>) -> OpResult {
+        self.with_slot(id, |slot| {
+            let mut session =
+                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            if let Some(name) = name {
+                if !session.log().iter().any(|d| d.property == name) {
+                    return Err(ProtocolError::new(
+                        DiagCode::SessionRejected,
+                        format!("{name:?} is not a decided property in this session"),
+                    ));
+                }
+            }
+            let mut undone = Vec::new();
+            loop {
+                let d = session.undo().map_err(rejected)?;
+                // Journal each undo as it commits so a crash mid-retract
+                // tears at most one record.
+                self.append_journal(id, &JournalRecord::Undo)?;
+                slot.state = session.snapshot();
+                let done = match name {
+                    Some(target) => d.property == target,
+                    None => true,
+                };
+                undone.push(Json::Str(d.property));
+                if done {
+                    break;
+                }
+            }
+            Ok(vec![
+                ("undone".to_owned(), Json::Array(undone)),
+                (
+                    "focus".to_owned(),
+                    Json::Str(session.space().path_string(session.focus())),
+                ),
+            ])
+        })
+    }
+
+    fn op_eval(&self, id: &str) -> OpResult {
+        self.with_slot(id, |slot| {
+            let mut session =
+                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            session.absorb_derived();
+            {
+                let supervisor = self.supervisor.lock().unwrap();
+                session.run_estimators(&supervisor);
+            }
+            slot.state = session.snapshot();
+            let mut estimates: Vec<(String, Json)> = session
+                .estimates()
+                .iter()
+                .map(|(name, figure)| (name.as_str().to_owned(), figure_to_json(figure)))
+                .collect();
+            estimates.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(vec![(
+                "estimates".to_owned(),
+                Json::Object(estimates),
+            )])
+        })
+    }
+
+    fn op_surviving_cores(&self, id: &str, limit: usize) -> OpResult {
+        self.with_slot(id, |slot| {
+            let session =
+                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            let library: &ReuseLibrary = &slot.snapshot.library;
+            let explorer = Explorer::from_session(session, [library]);
+            let cores = explorer.surviving_cores();
+            let names: Vec<Json> = cores
+                .iter()
+                .take(limit)
+                .map(|c| Json::Str(c.name().to_owned()))
+                .collect();
+            Ok(vec![
+                ("count".to_owned(), Json::Int(cores.len() as i64)),
+                ("cores".to_owned(), Json::Array(names)),
+            ])
+        })
+    }
+
+    fn op_report(&self, id: &str) -> OpResult {
+        self.with_slot(id, |slot| {
+            let session =
+                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            let space = session.space();
+
+            // Bindings and estimates are keyed by interned symbol, whose
+            // order is intern order — sort by name so reports are stable
+            // across process histories.
+            let mut bindings: Vec<(String, Json)> = session
+                .bindings()
+                .iter()
+                .map(|(name, value)| (name.as_str().to_owned(), value_to_json(value)))
+                .collect();
+            bindings.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut estimates: Vec<(String, Json)> = session
+                .estimates()
+                .iter()
+                .map(|(name, figure)| (name.as_str().to_owned(), figure_to_json(figure)))
+                .collect();
+            estimates.sort_by(|a, b| a.0.cmp(&b.0));
+
+            let decisions: Vec<Json> = session
+                .log()
+                .iter()
+                .map(|d| {
+                    let mut obj = vec![
+                        ("property".to_owned(), Json::Str(d.property.clone())),
+                        ("value".to_owned(), value_to_json(&d.value)),
+                        ("stale".to_owned(), Json::Bool(d.stale)),
+                    ];
+                    if let Some(note) = &d.note {
+                        obj.push(("note".to_owned(), Json::Str(note.clone())));
+                    }
+                    Json::Object(obj)
+                })
+                .collect();
+            let names = |props: Vec<&Property>| {
+                Json::Array(
+                    props
+                        .iter()
+                        .map(|p| Json::Str(p.name().to_owned()))
+                        .collect(),
+                )
+            };
+            Ok(vec![
+                ("session".to_owned(), Json::Str(id.to_owned())),
+                (
+                    "snapshot".to_owned(),
+                    Json::Str(slot.snapshot.name.clone()),
+                ),
+                (
+                    "focus".to_owned(),
+                    Json::Str(space.path_string(session.focus())),
+                ),
+                ("bindings".to_owned(), Json::Object(bindings)),
+                ("decisions".to_owned(), Json::Array(decisions)),
+                (
+                    "open_requirements".to_owned(),
+                    names(session.open_requirements()),
+                ),
+                ("open_issues".to_owned(), names(session.open_issues())),
+                ("estimates".to_owned(), Json::Object(estimates)),
+            ])
+        })
+    }
+
+    fn op_stats(&self) -> Vec<(String, Json)> {
+        let cache = self.cache.stats();
+        vec![
+            (
+                "sessions_open".to_owned(),
+                Json::Int(self.open_sessions() as i64),
+            ),
+            (
+                "sessions_opened".to_owned(),
+                Json::Int(self.opened.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "sessions_recovered".to_owned(),
+                Json::Int(self.recovered.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "requests".to_owned(),
+                Json::Int(self.requests.load(Ordering::Relaxed) as i64),
+            ),
+            ("draining".to_owned(), Json::Bool(self.is_draining())),
+            (
+                "snapshots".to_owned(),
+                Json::Array(
+                    self.snapshots
+                        .keys()
+                        .map(|k| Json::Str(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "cache".to_owned(),
+                Json::Object(vec![
+                    ("entries".to_owned(), Json::Int(self.cache.len() as i64)),
+                    ("hits".to_owned(), Json::Int(cache.hits as i64)),
+                    ("misses".to_owned(), Json::Int(cache.misses as i64)),
+                    ("stores".to_owned(), Json::Int(cache.stores as i64)),
+                    (
+                        "invalidated".to_owned(),
+                        Json::Int(cache.invalidated as i64),
+                    ),
+                ]),
+            ),
+            (
+                "boot_warnings".to_owned(),
+                Json::Array(
+                    self.boot_warnings
+                        .iter()
+                        .map(|w| Json::Str(w.clone()))
+                        .collect(),
+                ),
+            ),
+        ]
+    }
+
+    // ---- plumbing ----------------------------------------------------------
+
+    fn snapshot(&self, name: &str) -> Result<Arc<Snapshot>, ProtocolError> {
+        self.snapshots.get(name).cloned().ok_or_else(|| {
+            ProtocolError::new(
+                DiagCode::UnknownSnapshot,
+                format!(
+                    "unknown snapshot {name:?} (have: {})",
+                    self.snapshot_names().join(", ")
+                ),
+            )
+        })
+    }
+
+    fn get_slot(&self, id: &str) -> Option<Arc<Mutex<SessionSlot>>> {
+        self.sessions.lock().unwrap().get(id).cloned()
+    }
+
+    fn with_slot<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut SessionSlot) -> Result<R, ProtocolError>,
+    ) -> Result<R, ProtocolError> {
+        let slot = self.get_slot(id).ok_or_else(|| unknown_session(id))?;
+        let mut slot = slot.lock().unwrap();
+        f(&mut slot)
+    }
+
+    fn generate_id(&self) -> String {
+        loop {
+            let n = self.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let id = format!("s{n}");
+            let taken = self.sessions.lock().unwrap().contains_key(&id)
+                || self.journal.as_ref().is_some_and(|j| j.exists(&id));
+            if !taken {
+                return id;
+            }
+        }
+    }
+
+    fn append_journal(&self, id: &str, record: &JournalRecord) -> Result<(), ProtocolError> {
+        match &self.journal {
+            Some(journal) => journal
+                .append(id, record)
+                .map_err(|e| journal_fault(id, "append", &e)),
+            None => Ok(()),
+        }
+    }
+
+    fn write_meta(
+        &self,
+        journal: &JournalDir,
+        id: &str,
+        snapshot: &str,
+    ) -> Result<(), ProtocolError> {
+        fs::write(meta_path(journal, id), format!("{snapshot}\n"))
+            .map_err(|e| journal_fault(id, "write meta", &e))
+    }
+
+    /// Rebuilds one session from its journal (the `open … resume` path).
+    fn recover_one(
+        &self,
+        id: &str,
+        requested_snapshot: Option<&str>,
+    ) -> Result<(SessionSlot, Vec<String>), ProtocolError> {
+        let journal = self.journal.as_ref().ok_or_else(|| {
+            ProtocolError::new(
+                DiagCode::UnknownSession,
+                format!("session {id:?} is not open (journaling is disabled; nothing to resume)"),
+            )
+        })?;
+        let recovered = journal
+            .recover(id)
+            .map_err(|e| journal_fault(id, "read journal", &e))?
+            .ok_or_else(|| unknown_session(id))?;
+        let (loaded, report) = recovered.map_err(|e| {
+            ProtocolError::new(
+                DiagCode::JournalFault,
+                format!("session {id:?}: {e}"),
+            )
+        })?;
+        let snapshot_name = match requested_snapshot {
+            Some(s) => s.to_owned(),
+            None => read_meta(journal, id).ok_or_else(|| {
+                ProtocolError::new(
+                    DiagCode::JournalFault,
+                    format!("session {id:?} has no snapshot metadata; pass \"snapshot\" to resume"),
+                )
+            })?,
+        };
+        let snap = self.snapshot(&snapshot_name)?;
+        let session = loaded.replay(&snap.space, snap.root).map_err(|e| {
+            ProtocolError::new(
+                DiagCode::JournalFault,
+                format!("session {id:?}: {e}"),
+            )
+        })?;
+        let mut notes: Vec<String> = report
+            .diagnostics
+            .diagnostics()
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        if requested_snapshot.is_some() && read_meta(journal, id).is_none() {
+            // Resuming with an explicit snapshot repairs a missing meta
+            // sidecar for the next boot.
+            self.write_meta(journal, id, &snap.name)?;
+            notes.push(format!("restored snapshot metadata for {id:?}"));
+        }
+        Ok((
+            SessionSlot {
+                state: session.snapshot(),
+                snapshot: snap,
+                recovered: true,
+                notes: Vec::new(),
+            },
+            notes,
+        ))
+    }
+
+    /// The boot sweep: every journal in the directory becomes an open
+    /// session again. Per-journal failures (corrupt body, missing meta,
+    /// unknown snapshot, replay failure) become boot warnings; the
+    /// journal file is left on disk for inspection.
+    fn recover_journals(mut self) -> Result<Engine, String> {
+        let Some(journal) = self.journal.clone() else {
+            return Ok(self);
+        };
+        let mut warnings = Vec::new();
+        let mut slots = Vec::new();
+        for (id, loaded) in journal.recover_all().map_err(|e| e.to_string())? {
+            match self.recover_one(&id, None) {
+                Ok((slot, notes)) => {
+                    let mut slot = slot;
+                    slot.notes = notes;
+                    slots.push((id, slot));
+                }
+                Err(e) => {
+                    // recover_one re-reads the file; `loaded` is only
+                    // used to keep the error message precise.
+                    let detail = match loaded {
+                        Err(inner) => inner.to_string(),
+                        Ok(_) => e.message.clone(),
+                    };
+                    warnings.push(format!("journal {id:?} not recovered: {detail}"));
+                }
+            }
+        }
+        {
+            let mut sessions = self.sessions.lock().unwrap();
+            for (id, slot) in slots {
+                sessions.insert(id, Arc::new(Mutex::new(slot)));
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.boot_warnings = warnings;
+        Ok(self)
+    }
+}
+
+fn session_of(req: &Request) -> Option<&str> {
+    match req {
+        Request::Open {
+            session: Some(s), ..
+        } => Some(s),
+        Request::Decide { session, .. }
+        | Request::Retract { session, .. }
+        | Request::Eval { session }
+        | Request::SurvivingCores { session, .. }
+        | Request::Report { session }
+        | Request::Close { session } => Some(session),
+        _ => None,
+    }
+}
+
+fn open_fields(id: &str, slot: &SessionSlot, notes: Vec<String>) -> Vec<(String, Json)> {
+    let session = ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+    let mut fields = vec![
+        ("session".to_owned(), Json::Str(id.to_owned())),
+        (
+            "snapshot".to_owned(),
+            Json::Str(slot.snapshot.name.clone()),
+        ),
+        (
+            "focus".to_owned(),
+            Json::Str(session.space().path_string(session.focus())),
+        ),
+        ("recovered".to_owned(), Json::Bool(slot.recovered)),
+    ];
+    if !notes.is_empty() {
+        fields.push((
+            "diagnostics".to_owned(),
+            Json::Array(notes.into_iter().map(Json::Str).collect()),
+        ));
+    }
+    fields
+}
+
+fn figure_to_json(figure: &Figure) -> Json {
+    Json::Object(vec![
+        (
+            "value".to_owned(),
+            match figure.value {
+                Some(v) => Json::Float(v),
+                None => Json::Null,
+            },
+        ),
+        (
+            "provenance".to_owned(),
+            Json::Str(figure.provenance.label().to_owned()),
+        ),
+        ("source".to_owned(), Json::Str(figure.source.clone())),
+    ])
+}
+
+fn meta_path(journal: &JournalDir, id: &str) -> std::path::PathBuf {
+    journal.path().join(format!("{id}.{META_EXT}"))
+}
+
+fn read_meta(journal: &JournalDir, id: &str) -> Option<String> {
+    if !JournalDir::is_valid_id(id) {
+        return None;
+    }
+    let text = fs::read_to_string(meta_path(journal, id)).ok()?;
+    let name = text.trim();
+    (!name.is_empty()).then(|| name.to_owned())
+}
+
+fn unknown_session(id: &str) -> ProtocolError {
+    ProtocolError::new(
+        DiagCode::UnknownSession,
+        format!("session {id:?} is not open"),
+    )
+}
+
+fn rejected(e: DseError) -> ProtocolError {
+    ProtocolError::new(DiagCode::SessionRejected, e.to_string())
+}
+
+fn journal_fault(id: &str, what: &str, e: &dyn std::fmt::Display) -> ProtocolError {
+    ProtocolError::new(
+        DiagCode::JournalFault,
+        format!("session {id:?}: {what} failed: {e}"),
+    )
+}

@@ -1,0 +1,359 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line in, one response per line out. Every request is
+//! a JSON object with an `"op"` field; every response is a JSON object
+//! with an `"ok"` field. Failures carry a stable `dse::diag`-style code
+//! from the `DSL3xx` range (plus `DSL201` surfacing torn-journal
+//! recoveries) and a human-readable `"error"` message. A request may
+//! carry an `"id"` (string or number), echoed verbatim in its response
+//! so pipelining clients can match the two.
+//!
+//! The full request/response grammar — every op, every error shape — is
+//! documented in the repository README's "Server" section; this module
+//! is the single place that parses and renders it.
+
+use dse::diag::DiagCode;
+use dse::value::Value;
+use foundation::json::Json;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a new session (or re-attach/recover with `resume`).
+    Open {
+        /// Client-chosen session id; the server generates one if absent.
+        session: Option<String>,
+        /// Snapshot to explore. Optional on resume (the journal's
+        /// sidecar metadata names it).
+        snapshot: Option<String>,
+        /// Recover the session's journal instead of starting fresh.
+        resume: bool,
+    },
+    /// Enter a requirement or decide a design issue (the server
+    /// dispatches on the property's kind).
+    Decide {
+        /// The session.
+        session: String,
+        /// The property to decide.
+        name: String,
+        /// The chosen value.
+        value: Value,
+    },
+    /// Undo decisions: the most recent one, or back to and including
+    /// `name`.
+    Retract {
+        /// The session.
+        session: String,
+        /// Undo down to (and including) this decision; bare retract
+        /// undoes one.
+        name: Option<String>,
+    },
+    /// Evaluate: absorb derived values and run ready estimators.
+    Eval {
+        /// The session.
+        session: String,
+    },
+    /// The cores complying with every decision so far.
+    SurvivingCores {
+        /// The session.
+        session: String,
+        /// Cap on the number of core names returned (count is always
+        /// exact).
+        limit: Option<usize>,
+    },
+    /// Full session report.
+    Report {
+        /// The session.
+        session: String,
+    },
+    /// Close the session, removing its journal.
+    Close {
+        /// The session.
+        session: String,
+    },
+    /// Server-wide counters and cache statistics.
+    Stats,
+    /// Drop every cached estimate produced by one tool.
+    Invalidate {
+        /// The estimator tool name.
+        tool: String,
+    },
+    /// Begin graceful drain: refuse new work, finish in-flight
+    /// requests, stop.
+    Shutdown,
+}
+
+/// A protocol-level failure: a stable code plus a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The stable `DSLnnn` code.
+    pub code: DiagCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A `DSL301` malformed-request error.
+    pub fn malformed(message: impl Into<String>) -> ProtocolError {
+        ProtocolError::new(DiagCode::MalformedRequest, message)
+    }
+}
+
+/// The client correlation id attached to a request, echoed in the
+/// response.
+pub type RequestId = Option<Json>;
+
+fn str_field(obj: &Json, key: &str) -> Result<Option<String>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(ProtocolError::malformed(format!(
+            "field {key:?} must be a string, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn require(field: Option<String>, key: &str) -> Result<String, ProtocolError> {
+    field.ok_or_else(|| ProtocolError::malformed(format!("missing required field {key:?}")))
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<bool, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(other) => Err(ProtocolError::malformed(format!(
+            "field {key:?} must be a boolean, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<Option<usize>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => match j.as_i64() {
+            Some(n) if n >= 0 => Ok(Some(n as usize)),
+            _ => Err(ProtocolError::malformed(format!(
+                "field {key:?} must be a non-negative integer"
+            ))),
+        },
+    }
+}
+
+/// Parses a wire value: either a bare JSON scalar (`768`, `"Hardware"`,
+/// `true`, `2.5`) or the codec's tagged form (`{"Int":768}`).
+pub fn value_from_json(j: &Json) -> Result<Value, ProtocolError> {
+    match j {
+        Json::Bool(b) => Ok(Value::Flag(*b)),
+        Json::Str(s) => Ok(Value::Text(s.clone())),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Float(f) => Ok(Value::Real(*f)),
+        Json::Object(entries) => {
+            // The codec's own form is `{"Int":[768]}`; also accept the
+            // unwrapped `{"Int":768}` clients naturally write.
+            let normalized = match entries.as_slice() {
+                [(tag, payload)] if !matches!(payload, Json::Array(_)) => Json::Object(vec![(
+                    tag.clone(),
+                    Json::Array(vec![payload.clone()]),
+                )]),
+                _ => j.clone(),
+            };
+            foundation::json::decode::<Value>(&foundation::json::encode(&normalized))
+                .map_err(|e| ProtocolError::malformed(format!("bad tagged value: {e}")))
+        }
+        other => Err(ProtocolError::malformed(format!(
+            "field \"value\" must be a scalar or tagged value, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+/// Renders a [`Value`] in the friendly scalar wire form.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Real(r) => Json::Float(*r),
+        Value::Text(s) => Json::Str(s.clone()),
+        Value::Flag(b) => Json::Bool(*b),
+        // `Value` is non_exhaustive-proof: fall back to the display form.
+        #[allow(unreachable_patterns)]
+        other => Json::Str(other.to_string()),
+    }
+}
+
+/// Parses one request line. Returns the request plus the echoed
+/// correlation id; the id comes back even on a parse error so the
+/// client can still match the failure (when the line parsed as JSON at
+/// all).
+pub fn parse_request(line: &str) -> (Result<Request, ProtocolError>, RequestId) {
+    let json = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            return (
+                Err(ProtocolError::malformed(format!("invalid JSON: {e}"))),
+                None,
+            )
+        }
+    };
+    let id = json.get("id").cloned();
+    (parse_request_json(&json), id)
+}
+
+fn parse_request_json(json: &Json) -> Result<Request, ProtocolError> {
+    if json.as_object().is_none() {
+        return Err(ProtocolError::malformed(format!(
+            "request must be a JSON object, got {}",
+            json.kind_name()
+        )));
+    }
+    let op = require(str_field(json, "op")?, "op")?;
+    match op.as_str() {
+        "open" => Ok(Request::Open {
+            session: str_field(json, "session")?,
+            snapshot: str_field(json, "snapshot")?,
+            resume: bool_field(json, "resume")?,
+        }),
+        "decide" => Ok(Request::Decide {
+            session: require(str_field(json, "session")?, "session")?,
+            name: require(str_field(json, "name")?, "name")?,
+            value: value_from_json(json.get("value").ok_or_else(|| {
+                ProtocolError::malformed("missing required field \"value\"")
+            })?)?,
+        }),
+        "retract" => Ok(Request::Retract {
+            session: require(str_field(json, "session")?, "session")?,
+            name: str_field(json, "name")?,
+        }),
+        "eval" => Ok(Request::Eval {
+            session: require(str_field(json, "session")?, "session")?,
+        }),
+        "surviving_cores" => Ok(Request::SurvivingCores {
+            session: require(str_field(json, "session")?, "session")?,
+            limit: usize_field(json, "limit")?,
+        }),
+        "report" => Ok(Request::Report {
+            session: require(str_field(json, "session")?, "session")?,
+        }),
+        "close" => Ok(Request::Close {
+            session: require(str_field(json, "session")?, "session")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "invalidate" => Ok(Request::Invalidate {
+            tool: require(str_field(json, "tool")?, "tool")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtocolError::new(
+            DiagCode::UnknownOp,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Builds a success response: `{"ok":true, ...fields}` (plus the echoed
+/// `id`).
+pub fn ok_response(id: &RequestId, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![("ok".to_owned(), Json::Bool(true))];
+    if let Some(id) = id {
+        obj.push(("id".to_owned(), id.clone()));
+    }
+    obj.extend(fields);
+    Json::Object(obj)
+}
+
+/// Builds a failure response:
+/// `{"ok":false,"code":"DSLnnn","error":"..."}` (plus the echoed `id`).
+pub fn err_response(id: &RequestId, err: &ProtocolError) -> Json {
+    let mut obj = vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        ("code".to_owned(), Json::Str(err.code.as_str().to_owned())),
+        ("error".to_owned(), Json::Str(err.message.clone())),
+    ];
+    if let Some(id) = id {
+        obj.insert(1, ("id".to_owned(), id.clone()));
+    }
+    Json::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_parse_with_scalar_and_tagged_values() {
+        let (req, id) =
+            parse_request(r#"{"op":"decide","session":"s1","name":"EOL","value":768,"id":7}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Decide {
+                session: "s1".into(),
+                name: "EOL".into(),
+                value: Value::Int(768),
+            }
+        );
+        assert_eq!(id, Some(Json::Int(7)));
+
+        let (req, _) = parse_request(
+            r#"{"op":"decide","session":"s1","name":"Algorithm","value":{"Text":"Montgomery"}}"#,
+        );
+        assert!(
+            matches!(req.unwrap(), Request::Decide { value, .. } if value == Value::from("Montgomery"))
+        );
+
+        let (req, _) = parse_request(r#"{"op":"open","snapshot":"crypto","resume":true}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Open {
+                session: None,
+                snapshot: Some("crypto".into()),
+                resume: true,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_stable_codes() {
+        let (req, _) = parse_request("not json");
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+        let (req, _) = parse_request("[1,2]");
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+        let (req, _) = parse_request(r#"{"op":"frobnicate"}"#);
+        assert_eq!(req.unwrap_err().code, DiagCode::UnknownOp);
+        let (req, _) = parse_request(r#"{"op":"decide","session":"s"}"#);
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+        let (req, _) = parse_request(r#"{"op":"eval","session":5}"#);
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+    }
+
+    #[test]
+    fn responses_echo_the_id() {
+        let id = Some(Json::Str("req-1".into()));
+        let ok = ok_response(&id, vec![("x".into(), Json::Int(1))]);
+        assert_eq!(ok.get("id").and_then(Json::as_str), Some("req-1"));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let err = err_response(&id, &ProtocolError::malformed("bad"));
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("DSL301"));
+        assert_eq!(err.get("id").and_then(Json::as_str), Some("req-1"));
+    }
+
+    #[test]
+    fn values_roundtrip_through_the_friendly_form() {
+        for v in [
+            Value::Int(42),
+            Value::Real(2.5),
+            Value::Text("x".into()),
+            Value::Flag(true),
+        ] {
+            let j = value_to_json(&v);
+            assert_eq!(value_from_json(&j).unwrap(), v);
+        }
+    }
+}

@@ -15,40 +15,15 @@ use std::process::ExitCode;
 
 use design_space_layer::dse::analyze::analyze;
 use design_space_layer::dse::diag::Report;
-use design_space_layer::dse::hierarchy::DesignSpace;
-use design_space_layer::dse_library::{crypto, fir, idct};
+use design_space_layer::dse_library::load_all_layers;
 use design_space_layer::foundation::json::{encode_pretty, Json, ToJson};
-
-fn shipped_spaces() -> Result<Vec<(String, DesignSpace)>, Box<dyn std::error::Error>> {
-    Ok(vec![
-        (
-            "crypto (generalization hierarchy)".to_owned(),
-            crypto::build_layer()?.space,
-        ),
-        (
-            "crypto (technology-first view)".to_owned(),
-            crypto::build_layer_technology_first()?.space,
-        ),
-        (
-            "idct (generalization hierarchy)".to_owned(),
-            idct::build_layer_generalization()?.space,
-        ),
-        (
-            "idct (abstraction-level view)".to_owned(),
-            idct::build_layer_abstraction()?.space,
-        ),
-        ("fir".to_owned(), fir::build_layer()?.space),
-    ])
-}
+use design_space_layer::techlib::Technology;
 
 fn main() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
-    let reports: Vec<(String, Report)> = shipped_spaces()?
+    let reports: Vec<(String, Report)> = load_all_layers(&Technology::g10_035())?
         .into_iter()
-        .map(|(name, space)| {
-            let report = analyze(&space);
-            (name, report)
-        })
+        .map(|layer| (layer.title.to_owned(), analyze(&layer.space)))
         .collect();
 
     if json {

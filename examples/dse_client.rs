@@ -1,0 +1,71 @@
+//! A scriptable line-in/line-out client for the exploration daemon.
+//!
+//! ```text
+//! cargo run --example dse_client -- HOST:PORT [--pretty]
+//! ```
+//!
+//! Reads one JSON request per line from stdin, writes the daemon's
+//! response for each to stdout, in order. With `--pretty`, responses
+//! are re-rendered as indented JSON (for humans); without it they stay
+//! single-line (for transcripts and `diff`).
+//!
+//! Blank lines and lines starting with `#` are skipped, so a scripted
+//! conversation can be a commented file:
+//!
+//! ```text
+//! # open, decide, evaluate, report, close
+//! {"op":"open","session":"demo","snapshot":"crypto"}
+//! {"op":"decide","session":"demo","name":"EOL","value":768}
+//! {"op":"eval","session":"demo"}
+//! {"op":"report","session":"demo"}
+//! {"op":"close","session":"demo"}
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use design_space_layer::foundation::json::{encode_pretty, Json};
+use design_space_layer::foundation::net;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr: Option<String> = None;
+    let mut pretty = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--pretty" => pretty = true,
+            "--help" | "-h" => {
+                println!("usage: dse_client HOST:PORT [--pretty]");
+                return Ok(());
+            }
+            other if addr.is_none() => addr = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let addr = addr.ok_or("usage: dse_client HOST:PORT [--pretty]")?;
+
+    let stream = TcpStream::connect(&addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let stdout = std::io::stdout();
+
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        net::write_line(&mut writer, line)?;
+        let response = net::read_line_bounded(&mut reader, net::MAX_WIRE_BYTES)?
+            .ok_or("server closed the connection")?;
+        let mut out = stdout.lock();
+        if pretty {
+            match Json::parse(&response) {
+                Ok(json) => writeln!(out, "{}", encode_pretty(&json))?,
+                Err(_) => writeln!(out, "{response}")?,
+            }
+        } else {
+            writeln!(out, "{response}")?;
+        }
+    }
+    Ok(())
+}

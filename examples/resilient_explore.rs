@@ -13,7 +13,7 @@ use design_space_layer::coproc::walkthrough;
 use design_space_layer::dse::prelude::*;
 use design_space_layer::dse::robust::fault::silence_injected_panics;
 use design_space_layer::dse::estimate::EstimatorRegistry;
-use design_space_layer::dse_library::crypto;
+use design_space_layer::dse_library::load_layer;
 use design_space_layer::dse_library::estimators::{
     full_registry, BehaviorDelayEstimator, CoarseDelayEstimator,
 };
@@ -76,9 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Crash-safe sessions: decisions go through a journal; tearing
     //    the final record (a crash mid-append) loses exactly that record
-    //    and recovery replays the rest to the identical state.
-    let layer = crypto::build_layer()?;
-    let mut js = JournaledSession::new(&layer.space, layer.omm);
+    //    and recovery replays the rest to the identical state. The layer
+    //    comes from the shared loader — the same list the diagnose gate
+    //    and the server daemon use, so binaries can't drift.
+    let layer = load_layer("crypto", &tech)?.expect("crypto layer is shipped");
+    let mut js = JournaledSession::new(&layer.space, layer.root);
     js.set_requirement("EOL", Value::from(spec.eol as i64))?;
     js.set_requirement("MaxLatencyUs", Value::from(spec.max_latency_us))?;
     js.set_requirement("ModuloIsOdd", Value::from("Guaranteed"))?;
@@ -92,7 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let torn = format!("{journal_text}{{\"Decide\":{{\"name\":\"AdderSt");
-    let (recovered, report) = JournaledSession::recover(&layer.space, layer.omm, &torn)?;
+    let (recovered, report) = JournaledSession::recover(&layer.space, layer.root, &torn)?;
     println!("simulated crash mid-append; recovery:");
     for d in report.diagnostics.diagnostics() {
         println!("  {d}");

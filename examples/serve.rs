@@ -1,0 +1,73 @@
+//! The exploration daemon: shipped layers as shared snapshots, served
+//! over newline-delimited JSON on TCP.
+//!
+//! ```text
+//! cargo run --example serve -- [--addr HOST:PORT] [--journal-dir DIR] \
+//!                              [--space FILE.json]...
+//! ```
+//!
+//! * `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
+//!   address is printed as `listening on HOST:PORT` — scripts parse
+//!   that line.
+//! * `--journal-dir` enables per-session decision journals and boot
+//!   recovery: kill the daemon, start it again on the same directory,
+//!   and every session is open again.
+//! * `--space` adds a snapshot from a JSON `DesignSpace` file (may be
+//!   repeated) next to the shipped crypto/idct/fir layers.
+//!
+//! Drive it with `cargo run --example dse_client`, a `--pretty` wrapper
+//! around the wire protocol, or anything that can write JSON lines to a
+//! socket. A `{"op":"shutdown"}` request drains the daemon: no new
+//! sessions, in-flight requests answered, then a clean exit.
+
+use std::sync::Arc;
+
+use design_space_layer::dse_server::{EngineBuilder, Server};
+use design_space_layer::techlib::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut journal_dir: Option<String> = None;
+    let mut spaces: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--journal-dir" => journal_dir = Some(value("--journal-dir")?),
+            "--space" => spaces.push(value("--space")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--journal-dir DIR] [--space FILE.json]..."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let mut builder = EngineBuilder::new(Technology::g10_035()).with_shipped_layers();
+    for space in &spaces {
+        builder = builder.with_space_file(space);
+    }
+    if let Some(dir) = &journal_dir {
+        builder = builder.journal_dir(dir);
+    }
+    let engine = Arc::new(builder.build()?);
+
+    eprintln!(
+        "snapshots: {} | sessions recovered: {}",
+        engine.snapshot_names().join(", "),
+        engine.open_sessions(),
+    );
+    let server = Server::start(engine, addr.as_str())?;
+    // The parseable line scripts wait for (stdout, flushed by newline).
+    println!("listening on {}", server.local_addr());
+    server.run()?;
+    eprintln!("drained, bye");
+    Ok(())
+}

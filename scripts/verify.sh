@@ -40,6 +40,30 @@ fi
 echo "==> static analysis of all shipped design spaces (must be error-free)"
 cargo run --release --offline --example diagnose
 
+echo "==> server smoke gate: scripted conversation vs golden transcript"
+SMOKE_DIR=$(mktemp -d)
+./target/release/examples/serve --journal-dir "$SMOKE_DIR/journals" \
+    > "$SMOKE_DIR/serve.out" 2>/dev/null &
+SERVE_PID=$!
+tries=0
+while ! grep -q "^listening on " "$SMOKE_DIR/serve.out" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "    server did not come up"
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+SMOKE_ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.out")
+./target/release/examples/dse_client "$SMOKE_ADDR" \
+    < tests/golden/server_smoke.script > "$SMOKE_DIR/transcript.txt"
+# The script ends with a shutdown request: the daemon must drain cleanly.
+wait "$SERVE_PID"
+diff -u tests/golden/server_smoke.golden "$SMOKE_DIR/transcript.txt"
+rm -rf "$SMOKE_DIR"
+echo "    transcript matches golden, clean shutdown"
+
 echo "==> regenerating tables_output.txt"
 cargo run --release --offline -p bench --bin tables -- all > tables_output.txt
 

@@ -11,6 +11,7 @@ pub use coproc;
 pub use foundation;
 pub use dse;
 pub use dse_library;
+pub use dse_server;
 pub use hwmodel;
 pub use swmodel;
 pub use techlib;
