@@ -26,6 +26,7 @@ const SUITES: &[(&str, fn() -> Harness)] = &[
     ("bignum_ops", bench::suites::bignum_ops),
     ("exploration", bench::suites::exploration),
     ("analyze", bench::suites::analyze),
+    ("solve", bench::suites::solve),
     ("robust", bench::suites::robust),
     ("cache", bench::suites::cache),
     ("server", bench::suites::server),

@@ -548,3 +548,65 @@ pub fn server() -> Harness {
     });
     h
 }
+
+/// The propagation solver on the seeded synthetic stress layer — a
+/// 10⁸-combination joint no exhaustive enumeration can finish. The
+/// `incremental_decide_retract`-vs-`from_scratch_reanalysis` pair is a
+/// hard gate: a decide/retract re-solve must stay at least 10× faster
+/// than re-analyzing the space from scratch, or the suite panics.
+pub fn solve() -> Harness {
+    use dse::analyze::solve::Solver;
+    use dse::analyze::{analyze_with_engine, DomainEngine};
+    use dse_library::synthetic::{build_stress_layer, STRESS_SEED};
+
+    let layer = build_stress_layer(STRESS_SEED).expect("stress layer builds");
+    assert!(layer.combinations() >= 1_000_000);
+    let mut h = Harness::new("solve");
+
+    // The full analysis (all domain passes routed through the exact
+    // propagation engine) — what `verify.sh`'s solver gate times.
+    let scratch = h
+        .bench("solve/from_scratch_reanalysis", || {
+            black_box(analyze_with_engine(
+                black_box(&layer.space),
+                DomainEngine::Propagation,
+            ));
+        })
+        .median_ns;
+
+    // The incremental solver's setup cost: domains + watched-constraint
+    // index + the parallel initial fixpoint.
+    h.bench("solve/initial_fixpoint", || {
+        black_box(Solver::for_space(black_box(&layer.space), layer.root));
+    });
+
+    // One decide/retract round trip against a warm solver: the
+    // O(changed domains) path every interactive session and server
+    // lookahead hits.
+    let mut solver = Solver::for_space(&layer.space, layer.root);
+    let raise = Value::from(true);
+    let incremental = h
+        .bench("solve/incremental_decide_retract", || {
+            black_box(solver.decide("S0", black_box(&raise)));
+            solver.retract();
+        })
+        .median_ns;
+    assert!(
+        incremental * 10.0 <= scratch,
+        "incremental re-solve must be ≥10× faster than from-scratch \
+         re-analysis: {incremental:.0} ns vs {scratch:.0} ns"
+    );
+
+    // A decide that conflicts (the fixpoint already pruned `tiny`), so
+    // each iteration builds the full explanation chain.
+    let mut conflicted = Solver::for_space(&layer.space, layer.root);
+    let tiny = Value::from("tiny");
+    h.bench("solve/conflict_explanation", || {
+        let c = conflicted.decide("Codec", black_box(&tiny));
+        assert!(c.is_some(), "Codec = tiny must conflict");
+        black_box(c);
+        conflicted.retract();
+    });
+
+    h
+}

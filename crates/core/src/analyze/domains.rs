@@ -19,6 +19,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
+use super::solve::{count_firing_exact, survives_exact, SolveStats, SolveTotals, SEARCH_NODE_BUDGET};
+use super::DomainEngine;
 use crate::constraint::Relation;
 use crate::diag::{DiagCode, Diagnostic, Span};
 use crate::expr::{Bindings, Pred};
@@ -26,7 +28,9 @@ use crate::hierarchy::{CdoId, DesignSpace};
 use crate::property::PropertyKind;
 use crate::value::{Domain, Value};
 
-/// Combination-count cap for exhaustive predicate enumeration.
+/// Combination-count cap for the *exhaustive* (legacy oracle) engine.
+/// The propagation engine has no joint cap — only the search-node
+/// budget ([`SEARCH_NODE_BUDGET`]) bounds it.
 pub(crate) const MAX_COMBINATIONS: usize = 4096;
 
 /// Widest integer range the analyzer will enumerate.
@@ -38,8 +42,13 @@ pub(crate) const MAX_INT_RANGE_SPAN: i64 = 64;
 /// bindings coincide share one verdict instead of re-enumerating.
 const MEMO_MIN_COMBINATIONS: usize = 16;
 
-/// Cross-CDO memo for the exhaustive elimination sweeps, shared by the
-/// per-CDO parallel fan-out (interior mutability, `Sync`).
+/// Cross-CDO memo for the elimination sweeps, shared by the per-CDO
+/// parallel fan-out (interior mutability, `Sync`). Routes every query
+/// through the engine selected at construction: the propagation-guided
+/// exact search by default, the legacy exhaustive odometer as the test
+/// oracle. Both engines are exact; memo hits only save work, never
+/// change verdicts. `None` entries record "too large for this engine"
+/// (joint-count overflow or an exhausted search budget).
 ///
 /// The key is exact, not a hash: the rendered predicates, the
 /// enumeration axes, and the fixed bindings *projected onto the names
@@ -49,33 +58,64 @@ const MEMO_MIN_COMBINATIONS: usize = 16;
 /// ("skip unchanged subtrees"). Entries are only consulted for joint
 /// enumerations of at least [`MEMO_MIN_COMBINATIONS`] combinations.
 pub(crate) struct ElimMemo {
-    verdicts: Mutex<HashMap<String, (usize, usize)>>,
+    engine: DomainEngine,
+    stats: SolveStats,
+    verdicts: Mutex<HashMap<String, Option<(usize, usize)>>>,
+    sat: Mutex<HashMap<String, Option<bool>>>,
 }
 
 impl ElimMemo {
-    pub(crate) fn new() -> ElimMemo {
+    pub(crate) fn new(engine: DomainEngine) -> ElimMemo {
         ElimMemo {
+            engine,
+            stats: SolveStats::new(),
             verdicts: Mutex::new(HashMap::new()),
+            sat: Mutex::new(HashMap::new()),
         }
     }
 
+    pub(crate) fn engine(&self) -> DomainEngine {
+        self.engine
+    }
+
+    /// The solver work accumulated across every query so far.
+    pub(crate) fn totals(&self) -> SolveTotals {
+        self.stats.snapshot()
+    }
+
+    fn absorb(&self, t: &SolveTotals) {
+        self.stats.absorb(t);
+    }
+
     /// `(firing, total)` over the joint enumeration, memoized when the
-    /// combination count clears the threshold.
+    /// combination count clears the threshold. `None` when the selected
+    /// engine cannot finish (overflow / search budget) — the caller
+    /// reports the skip instead of guessing.
     fn count_firing(
         &self,
         preds: &[(&str, &Pred)],
         axes: &[(String, Vec<Value>)],
         fixed: &Bindings,
-    ) -> (usize, usize) {
-        let combos = Combos::total(axes).unwrap_or(0);
-        if combos < MEMO_MIN_COMBINATIONS {
-            return count_firing_direct(preds, axes, fixed);
+    ) -> Option<(usize, usize)> {
+        match Combos::total(axes) {
+            None => return None,
+            Some(combos) if combos < MEMO_MIN_COMBINATIONS => {
+                return Some(count_firing_direct(preds, axes, fixed));
+            }
+            Some(_) => {}
         }
         let key = memo_key(preds, axes, fixed);
         if let Some(&v) = self.verdicts.lock().unwrap().get(&key) {
             return v;
         }
-        let v = count_firing_direct(preds, axes, fixed);
+        let v = match self.engine {
+            DomainEngine::Propagation => {
+                let (v, totals) = count_firing_exact(preds, axes, fixed, SEARCH_NODE_BUDGET);
+                self.absorb(&totals);
+                v
+            }
+            DomainEngine::Exhaustive => Some(count_firing_direct(preds, axes, fixed)),
+        };
         self.verdicts.lock().unwrap().insert(key, v);
         v
     }
@@ -88,23 +128,91 @@ impl ElimMemo {
         preds: &[(&str, &Pred)],
         axes: &[(String, Vec<Value>)],
         fixed: &Bindings,
-    ) -> bool {
+    ) -> Option<bool> {
         if axes.is_empty() {
             // The region fixes every reference: a single combination,
             // evaluated in place without cloning the bindings.
-            return !eliminated(preds, fixed);
+            return Some(!eliminated(preds, fixed));
         }
-        if Combos::total(axes).unwrap_or(0) < MEMO_MIN_COMBINATIONS {
-            return Combos::new(axes, fixed).any(|b| !eliminated(preds, &b));
+        match Combos::total(axes) {
+            None => return None,
+            Some(combos) if combos < MEMO_MIN_COMBINATIONS => {
+                return Some(Combos::new(axes, fixed).any(|b| !eliminated(preds, &b)));
+            }
+            Some(_) => {}
         }
-        let (firing, total) = self.count_firing(preds, axes, fixed);
-        firing < total
+        let key = memo_key(preds, axes, fixed);
+        if let Some(&v) = self.verdicts.lock().unwrap().get(&key) {
+            return v.map(|(firing, total)| firing < total);
+        }
+        if let Some(&v) = self.sat.lock().unwrap().get(&key) {
+            return v;
+        }
+        let v = match self.engine {
+            DomainEngine::Propagation => {
+                let (v, totals) = survives_exact(preds, axes, fixed, SEARCH_NODE_BUDGET);
+                self.absorb(&totals);
+                v
+            }
+            DomainEngine::Exhaustive => self
+                .count_firing(preds, axes, fixed)
+                .map(|(firing, total)| firing < total),
+        };
+        self.sat.lock().unwrap().insert(key, v);
+        v
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.verdicts.lock().unwrap().len()
     }
+}
+
+/// Whether the joint enumeration is even admissible for the engine: the
+/// legacy oracle refuses past [`MAX_COMBINATIONS`]; the propagation
+/// engine only refuses on combination-count overflow.
+fn admissible(engine: DomainEngine, axes: &[(String, Vec<Value>)]) -> Result<(), Option<usize>> {
+    match Combos::total(axes) {
+        None => Err(None),
+        Some(t) if engine == DomainEngine::Exhaustive && t > MAX_COMBINATIONS => Err(Some(t)),
+        Some(_) => Ok(()),
+    }
+}
+
+/// The DSL111 note for a joint domain the engine refuses or cannot
+/// finish: an explicit "skipped, not guessed" marker instead of the old
+/// silent skip.
+fn too_large_note(span: Span, engine: DomainEngine, total: Option<usize>) -> Diagnostic {
+    let message = match (engine, total) {
+        (DomainEngine::Exhaustive, Some(t)) => format!(
+            "domain too large for exhaustive check: {t} joint combinations exceed the \
+             {MAX_COMBINATIONS}-combination cap (the propagation engine has no such cap)"
+        ),
+        (DomainEngine::Propagation, _) => format!(
+            "domain too large for the propagation engine: the {SEARCH_NODE_BUDGET}-node \
+             search budget was exhausted before a verdict"
+        ),
+        (DomainEngine::Exhaustive, None) => {
+            "domain too large for exhaustive check: the joint combination count overflows"
+                .to_owned()
+        }
+    };
+    Diagnostic::new(DiagCode::DomainTooLarge, span, message)
+}
+
+/// Renders a "because" chain for DSL110 messages.
+fn chain_text(because: &[(String, Value)]) -> String {
+    if because.is_empty() {
+        return "no prior decisions required".to_owned();
+    }
+    let mut out = String::from("because ");
+    for (i, (name, value)) in because.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" ∧ ");
+        }
+        let _ = write!(out, "{name} = {value}");
+    }
+    out
 }
 
 /// Counts combinations on which any predicate in the set fires.
@@ -222,8 +330,9 @@ impl Iterator for Combos<'_> {
 
 /// Builds the enumeration axes for `refs` as seen from `anchor`, minus
 /// the names already fixed. Returns `None` when any unfixed reference has
-/// an unknown or non-enumerable domain, or the joint count exceeds the
-/// cap — the caller must skip the check.
+/// an unknown or non-enumerable domain — the caller must skip the check.
+/// Size limits are the caller's concern ([`admissible`]): an over-cap
+/// joint is reported (DSL111), never silently dropped.
 fn axes_for(
     space: &DesignSpace,
     anchor: CdoId,
@@ -238,10 +347,85 @@ fn axes_for(
         let domain = super::domain_at(space, anchor, &r)?;
         axes.push((r, enumerable(domain)?));
     }
-    if Combos::total(&axes)? > MAX_COMBINATIONS {
-        return None;
-    }
     Some(axes)
+}
+
+/// Greedy minimization of the "because" chain behind an all-firing
+/// verdict: each fixed binding the predicates reference is relaxed back
+/// to its full enumerable domain, and dropped from the chain when the
+/// contradiction is still provable without it. What remains is a
+/// locally-minimal set of prior decisions implying the conflict.
+fn minimal_because(
+    space: &DesignSpace,
+    anchor: CdoId,
+    memo: &ElimMemo,
+    preds: &[(&str, &Pred)],
+    axes: &[(String, Vec<Value>)],
+    fixed: &Bindings,
+) -> Vec<(String, Value)> {
+    let mut refs: Vec<String> = preds.iter().flat_map(|(_, p)| p.references()).collect();
+    refs.sort();
+    refs.dedup();
+    let mut cur_axes = axes.to_vec();
+    let mut cur_fixed = fixed.clone();
+    let mut kept = Vec::new();
+    for name in refs {
+        let Some(value) = cur_fixed.get(&name).cloned() else {
+            continue;
+        };
+        let Some(options) = super::domain_at(space, anchor, &name).and_then(enumerable) else {
+            // Not relaxable (open or unknown domain): keep it — we
+            // cannot prove it redundant.
+            kept.push((name, value));
+            continue;
+        };
+        let mut try_fixed = cur_fixed.clone();
+        try_fixed.remove(&name);
+        let mut try_axes = cur_axes.clone();
+        try_axes.push((name.clone(), options));
+        let (verdict, totals) = count_firing_exact(preds, &try_axes, &try_fixed, SEARCH_NODE_BUDGET);
+        memo.absorb(&totals);
+        match verdict {
+            Some((firing, total)) if total > 0 && firing == total => {
+                // Still a contradiction without this decision.
+                cur_axes = try_axes;
+                cur_fixed = try_fixed;
+            }
+            _ => kept.push((name, value)),
+        }
+    }
+    kept
+}
+
+/// Greedy deletion over `preds`: the subset that still eliminates every
+/// completion under `fixed` + `axes`. Keeps the full set whenever a
+/// trial cannot be re-proved within the search budget.
+fn minimal_eliminators<'a>(
+    memo: &ElimMemo,
+    preds: &[(&'a str, &'a Pred)],
+    axes: &[(String, Vec<Value>)],
+    fixed: &Bindings,
+) -> Vec<&'a str> {
+    let proves_dead = |trial: &[(&str, &Pred)]| -> bool {
+        if axes.is_empty() {
+            return eliminated(trial, fixed);
+        }
+        let (verdict, totals) = survives_exact(trial, axes, fixed, SEARCH_NODE_BUDGET);
+        memo.absorb(&totals);
+        verdict == Some(false)
+    };
+    let mut keep: Vec<(&str, &Pred)> = preds.to_vec();
+    let mut i = 0;
+    while keep.len() > 1 && i < keep.len() {
+        let mut trial = keep.clone();
+        trial.remove(i);
+        if proves_dead(&trial) {
+            keep = trial;
+        } else {
+            i += 1;
+        }
+    }
+    keep.into_iter().map(|(n, _)| n).collect()
 }
 
 /// The region bindings at `id`: every `(issue, option)` accumulated along
@@ -277,19 +461,39 @@ pub(crate) fn contradictions_node(
         let Some(axes) = axes_for(space, id, pred.references(), &fixed) else {
             continue;
         };
-        let (firing, total) = memo.count_firing(&[(c.name(), pred)], &axes, &fixed);
+        let span = Span::at(space.path_string(id)).constraint(c.name());
+        if let Err(overflow) = admissible(memo.engine(), &axes) {
+            out.push(too_large_note(span, memo.engine(), overflow));
+            continue;
+        }
+        let Some((firing, total)) = memo.count_firing(&[(c.name(), pred)], &axes, &fixed) else {
+            out.push(too_large_note(span, memo.engine(), None));
+            continue;
+        };
         if total == 0 {
             continue;
         }
-        let span = Span::at(space.path_string(id)).constraint(c.name());
         if firing == total {
             out.push(Diagnostic::new(
                 DiagCode::Contradiction,
-                span,
+                span.clone(),
                 format!(
                     "every one of the {total} combinations of its enumerable options violates this constraint"
                 ),
             ));
+            if memo.engine() == DomainEngine::Propagation {
+                let because =
+                    minimal_because(space, id, memo, &[(c.name(), pred)], &axes, &fixed);
+                out.push(Diagnostic::new(
+                    DiagCode::PropagationConflict,
+                    span,
+                    format!(
+                        "conflict chain: {}; constraint {} fires on every assignment of its enumerable options",
+                        chain_text(&because),
+                        c.name()
+                    ),
+                ));
+            }
         } else if firing > 0 && matches!(c.relation(), Relation::Dominance(_)) {
             out.push(Diagnostic::new(
                 DiagCode::DominanceHint,
@@ -357,20 +561,45 @@ pub(crate) fn dead_options_node(
         let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
             continue;
         };
+        let span = Span::at(space.path_string(id)).property(prop.name());
+        if let Err(overflow) = admissible(memo.engine(), &axes) {
+            out.push(too_large_note(span, memo.engine(), overflow));
+            continue;
+        }
         for option in &options {
             let mut fixed_opt = fixed.clone();
             fixed_opt.insert(prop.name().to_owned(), option.clone());
-            if !memo.survives(&applicable, &axes, &fixed_opt) {
-                let names: Vec<&str> = applicable.iter().map(|(n, _)| *n).collect();
-                out.push(Diagnostic::new(
-                    DiagCode::DeadOption,
-                    Span::at(space.path_string(id)).property(prop.name()),
-                    format!(
-                        "option {option} of {:?} is dead: every combination is eliminated (constraints {})",
-                        prop.name(),
-                        names.join(", ")
-                    ),
-                ));
+            match memo.survives(&applicable, &axes, &fixed_opt) {
+                Some(true) => {}
+                Some(false) => {
+                    let names: Vec<&str> = applicable.iter().map(|(n, _)| *n).collect();
+                    out.push(Diagnostic::new(
+                        DiagCode::DeadOption,
+                        span.clone(),
+                        format!(
+                            "option {option} of {:?} is dead: every combination is eliminated (constraints {})",
+                            prop.name(),
+                            names.join(", ")
+                        ),
+                    ));
+                    if memo.engine() == DomainEngine::Propagation {
+                        let minimal = minimal_eliminators(memo, &applicable, &axes, &fixed_opt);
+                        out.push(Diagnostic::new(
+                            DiagCode::PropagationConflict,
+                            span.clone(),
+                            format!(
+                                "conflict chain: because {} = {option}; constraints {} eliminate every completion",
+                                prop.name(),
+                                minimal.join(", ")
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    // Identical notes across options collapse in the
+                    // report-level dedup.
+                    out.push(too_large_note(span.clone(), memo.engine(), None));
+                }
             }
         }
     }
@@ -420,16 +649,36 @@ pub(crate) fn unreachable_node(
     let Some(axes) = axes_for(space, id, joint_refs, &fixed) else {
         return;
     };
-    if !memo.survives(&preds, &axes, &fixed) {
-        let names: Vec<&str> = preds.iter().map(|(n, _)| *n).collect();
-        out.push(Diagnostic::new(
-            DiagCode::UnreachableChild,
-            Span::at(space.path_string(id)).property(issue),
-            format!(
-                "unreachable: spawning option {issue} = {option} is statically eliminated (constraints {})",
-                names.join(", ")
-            ),
-        ));
+    let span = Span::at(space.path_string(id)).property(issue);
+    if let Err(overflow) = admissible(memo.engine(), &axes) {
+        out.push(too_large_note(span, memo.engine(), overflow));
+        return;
+    }
+    match memo.survives(&preds, &axes, &fixed) {
+        Some(true) => {}
+        Some(false) => {
+            let names: Vec<&str> = preds.iter().map(|(n, _)| *n).collect();
+            out.push(Diagnostic::new(
+                DiagCode::UnreachableChild,
+                span.clone(),
+                format!(
+                    "unreachable: spawning option {issue} = {option} is statically eliminated (constraints {})",
+                    names.join(", ")
+                ),
+            ));
+            if memo.engine() == DomainEngine::Propagation {
+                let minimal = minimal_eliminators(memo, &preds, &axes, &fixed);
+                out.push(Diagnostic::new(
+                    DiagCode::PropagationConflict,
+                    span,
+                    format!(
+                        "conflict chain: because {issue} = {option}; constraints {} eliminate every completion",
+                        minimal.join(", ")
+                    ),
+                ));
+            }
+        }
+        None => out.push(too_large_note(span, memo.engine(), None)),
     }
 }
 
@@ -611,22 +860,24 @@ mod tests {
                 (n.to_string(), vs)
             })
             .collect();
-        let memo = ElimMemo::new();
-        let mut region1 = Bindings::new();
-        region1.insert("C", Value::from("c0"));
-        region1.insert("Irrelevant", Value::Int(1));
-        let mut region2 = Bindings::new();
-        region2.insert("C", Value::from("c0"));
-        region2.insert("Irrelevant", Value::Int(2));
-        assert_eq!(memo.count_firing(&preds, &axes, &region1), (1, 16));
-        assert_eq!(memo.count_firing(&preds, &axes, &region2), (1, 16));
-        assert_eq!(memo.len(), 1, "projected keys must coincide");
-        assert!(memo.survives(&preds, &axes, &region1));
-        // A *relevant* fixed binding changes the verdict and the key.
-        let mut region3 = Bindings::new();
-        region3.insert("C", Value::from("c1"));
-        assert_eq!(memo.count_firing(&preds, &axes, &region3), (0, 16));
-        assert_eq!(memo.len(), 2);
+        for engine in [DomainEngine::Exhaustive, DomainEngine::Propagation] {
+            let memo = ElimMemo::new(engine);
+            let mut region1 = Bindings::new();
+            region1.insert("C", Value::from("c0"));
+            region1.insert("Irrelevant", Value::Int(1));
+            let mut region2 = Bindings::new();
+            region2.insert("C", Value::from("c0"));
+            region2.insert("Irrelevant", Value::Int(2));
+            assert_eq!(memo.count_firing(&preds, &axes, &region1), Some((1, 16)));
+            assert_eq!(memo.count_firing(&preds, &axes, &region2), Some((1, 16)));
+            assert_eq!(memo.len(), 1, "projected keys must coincide");
+            assert_eq!(memo.survives(&preds, &axes, &region1), Some(true));
+            // A *relevant* fixed binding changes the verdict and the key.
+            let mut region3 = Bindings::new();
+            region3.insert("C", Value::from("c1"));
+            assert_eq!(memo.count_firing(&preds, &axes, &region3), Some((0, 16)));
+            assert_eq!(memo.len(), 2);
+        }
     }
 
     #[test]
@@ -642,5 +893,157 @@ mod tests {
         assert_eq!(Combos::total(&axes), Some(6561));
         let fixed = Bindings::new();
         assert_eq!(Combos::new(&axes, &fixed).count(), 6561);
+    }
+
+    /// A predicate referencing 14 flags has a 2^14 = 16384-combination
+    /// joint: past MAX_COMBINATIONS the oracle refuses with an explicit
+    /// DSL111 note (not a silent skip), while the propagation engine
+    /// counts the dominated region exactly.
+    #[test]
+    fn over_cap_joints_note_on_oracle_and_prove_on_propagation() {
+        let mut s = DesignSpace::new("t");
+        let root = s.add_root("Root", "");
+        for i in 0..14 {
+            s.add_property(root, Property::issue(format!("F{i}"), Domain::Flag, ""))
+                .unwrap();
+        }
+        // Fires iff F0 ∧ F1; the tautologies drag every flag into the
+        // joint without changing the verdict, so no option is dead.
+        let mut terms = vec![Pred::is("F0", true), Pred::is("F1", true)];
+        for i in 2..14 {
+            let f = format!("F{i}");
+            terms.push(Pred::any([Pred::is(&*f, true), Pred::is_not(&*f, true)]));
+        }
+        let pred = Pred::all(terms);
+        let refs = pred.references();
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new("CCwide", "", refs, [], Relation::Dominance(pred)),
+        )
+        .unwrap();
+
+        let oracle = crate::analyze::analyze_with_engine(&s, DomainEngine::Exhaustive);
+        assert!(
+            oracle.diagnostics().iter().any(|d| d.code == DiagCode::DomainTooLarge
+                && d.message.contains("16384 joint combinations")),
+            "{oracle}"
+        );
+        assert!(!oracle.diagnostics().iter().any(|d| d.code == DiagCode::DominanceHint));
+
+        let prop = crate::analyze::analyze_with_engine(&s, DomainEngine::Propagation);
+        assert!(
+            prop.diagnostics().iter().any(|d| d.code == DiagCode::DominanceHint
+                && d.message.contains("4096 of 16384")),
+            "{prop}"
+        );
+        assert!(!prop.diagnostics().iter().any(|d| d.code == DiagCode::DomainTooLarge));
+        assert!(!prop.diagnostics().iter().any(|d| d.code == DiagCode::DeadOption));
+    }
+
+    /// A contradiction proved by the propagation engine carries a DSL110
+    /// companion naming its (here empty) decision chain.
+    #[test]
+    fn contradiction_gets_a_because_chain_companion() {
+        let (mut s, root) = issue_space();
+        s.add_constraint(
+            root,
+            cc(
+                "CCdead",
+                Pred::any([Pred::is("Style", "A"), Pred::is_not("Style", "A")]),
+            ),
+        )
+        .unwrap();
+        let r = crate::analyze::analyze_with_engine(&s, DomainEngine::Propagation);
+        let chain: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::PropagationConflict)
+            .collect();
+        assert!(
+            chain
+                .iter()
+                .any(|d| d.message.contains("no prior decisions required")
+                    && d.message.contains("CCdead")),
+            "{r}"
+        );
+        // The oracle proves the same DSL005 but never emits chains.
+        let oracle = crate::analyze::analyze_with_engine(&s, DomainEngine::Exhaustive);
+        assert!(oracle.errors().any(|d| d.code == DiagCode::Contradiction));
+        assert!(!oracle
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::PropagationConflict));
+    }
+
+    /// The DSL110 companion of a dead option names a *minimal* constraint
+    /// subset: the irrelevant constraint is pruned from the chain.
+    #[test]
+    fn dead_option_chain_is_minimized_to_the_culprit_constraints() {
+        let (mut s, root) = issue_space();
+        s.add_constraint(
+            root,
+            cc(
+                "CCb",
+                Pred::all([
+                    Pred::is("Style", "B"),
+                    Pred::any([Pred::is("Mode", "x"), Pred::is("Mode", "y")]),
+                ]),
+            ),
+        )
+        .unwrap();
+        // Applicable (mentions Style) but never fires: must be pruned
+        // from the chain.
+        s.add_constraint(
+            root,
+            cc("CCnoise", Pred::all([Pred::is("Style", "A"), Pred::is("Style", "B")])),
+        )
+        .unwrap();
+        let r = crate::analyze::analyze_with_engine(&s, DomainEngine::Propagation);
+        let chain: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::PropagationConflict)
+            .collect();
+        assert_eq!(chain.len(), 1, "{r}");
+        assert!(chain[0].message.contains("because Style = B"), "{}", chain[0].message);
+        assert!(chain[0].message.contains("CCb"), "{}", chain[0].message);
+        assert!(!chain[0].message.contains("CCnoise"), "{}", chain[0].message);
+    }
+
+    /// Both engines agree bit-for-bit on every issue-space fixture in
+    /// this module once DSL110/DSL111 (engine-specific by design) are
+    /// filtered out.
+    #[test]
+    fn engines_agree_on_small_spaces() {
+        let (mut s, root) = issue_space();
+        s.add_constraint(
+            root,
+            cc(
+                "CCb",
+                Pred::all([
+                    Pred::is("Style", "B"),
+                    Pred::any([Pred::is("Mode", "x"), Pred::is("Mode", "y")]),
+                ]),
+            ),
+        )
+        .unwrap();
+        s.add_constraint(root, cc("CCok", Pred::is("Style", "A"))).unwrap();
+        let verdicts = |engine| {
+            crate::analyze::analyze_with_engine(&s, engine)
+                .diagnostics()
+                .iter()
+                .filter(|d| {
+                    !matches!(
+                        d.code,
+                        DiagCode::PropagationConflict | DiagCode::DomainTooLarge
+                    )
+                })
+                .map(|d| format!("{d}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            verdicts(DomainEngine::Propagation),
+            verdicts(DomainEngine::Exhaustive)
+        );
     }
 }

@@ -31,6 +31,7 @@
 
 mod domains;
 mod graph;
+pub mod solve;
 mod structure;
 
 pub use graph::DerivationGraph;
@@ -76,18 +77,72 @@ impl NodeFindings {
     }
 }
 
+/// Which engine the domain passes (DSL005/006/008/009) prove their
+/// verdicts with. Both are exact on the spaces they can finish; they
+/// differ only in reach and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainEngine {
+    /// Propagation-guided exact search ([`solve`]): interval/bitset
+    /// abstraction prunes decided subspaces, so verdicts over millions
+    /// of joint combinations finish without enumerating them. The
+    /// default.
+    #[default]
+    Propagation,
+    /// The legacy exhaustive odometer, capped at
+    /// `MAX_COMBINATIONS` joint combinations. Kept as the test oracle:
+    /// on any space it can finish, the propagation engine must agree
+    /// bit-for-bit.
+    Exhaustive,
+}
+
+impl DomainEngine {
+    /// Engine selection from the environment: set
+    /// `DSE_ANALYZE_ENGINE=exhaustive` to force the legacy oracle;
+    /// anything else (including unset) selects propagation.
+    pub fn from_env() -> DomainEngine {
+        match std::env::var("DSE_ANALYZE_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("exhaustive") => DomainEngine::Exhaustive,
+            _ => DomainEngine::Propagation,
+        }
+    }
+}
+
+/// An analysis [`Report`] plus the solver-side work counters behind it
+/// (zero under the exhaustive oracle).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The combined, deduplicated, severity-sorted findings.
+    pub report: Report,
+    /// Propagation-engine work counters accumulated across the domain
+    /// passes (all zero under [`DomainEngine::Exhaustive`]).
+    pub stats: solve::SolveTotals,
+}
+
 /// Runs every analysis pass over `space` and returns the combined,
-/// deduplicated, severity-sorted report.
+/// deduplicated, severity-sorted report. Engine selection follows
+/// [`DomainEngine::from_env`].
+pub fn analyze(space: &DesignSpace) -> Report {
+    analyze_with_engine(space, DomainEngine::from_env())
+}
+
+/// [`analyze`] with an explicit domain-pass engine.
+pub fn analyze_with_engine(space: &DesignSpace, engine: DomainEngine) -> Report {
+    analyze_detailed(space, engine).report
+}
+
+/// Runs every analysis pass over `space` and returns the combined,
+/// deduplicated, severity-sorted report together with the solver work
+/// counters.
 ///
 /// The passes fan out per CDO on the [`foundation::par`] work-stealing
 /// pool (every check only reads ancestor/subtree state, never sibling
-/// results), and the exhaustive domain enumerations share an
-/// [`domains::ElimMemo`] so identical subtrees are checked once. Results
-/// are merged in node-id and pass order, which makes the report
-/// bit-identical to a sequential run regardless of `DSE_THREADS`.
-pub fn analyze(space: &DesignSpace) -> Report {
+/// results), and the domain-pass verdicts share a [`domains::ElimMemo`]
+/// so identical subtrees are checked once. Results are merged in
+/// node-id and pass order, which makes the report bit-identical to a
+/// sequential run regardless of `DSE_THREADS`.
+pub fn analyze_detailed(space: &DesignSpace, engine: DomainEngine) -> Analysis {
     let ids: Vec<CdoId> = space.iter().map(|(id, _)| id).collect();
-    let memo = domains::ElimMemo::new();
+    let memo = domains::ElimMemo::new(engine);
     let per_node = foundation::par::par_map(ids, |id| {
         let mut f = NodeFindings::default();
         constraints_node(space, id, &mut f.constraints);
@@ -112,7 +167,10 @@ pub fn analyze(space: &DesignSpace) -> Report {
     }
     dedup(&mut report);
     report.sort();
-    report
+    Analysis {
+        report,
+        stats: memo.totals(),
+    }
 }
 
 /// The topological property-evaluation order implied by the constraints

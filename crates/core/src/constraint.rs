@@ -188,6 +188,27 @@ impl ConsistencyConstraint {
         self.indep.iter().all(|p| bindings.contains_key(p))
     }
 
+    /// Whether the constraint involves property `name` at all: in its
+    /// declared indep/dep sets, the relation's own references, or a
+    /// produced target. Allocation-free, for the per-decision
+    /// constraint-selection fast path — a constraint with
+    /// `!mentions(changed)` cannot change outcome when only `changed`
+    /// moved.
+    pub fn mentions(&self, name: &str) -> bool {
+        if self.indep.iter().any(|p| p == name) || self.dep.iter().any(|p| p == name) {
+            return true;
+        }
+        match &self.relation {
+            Relation::InconsistentOptions(p) | Relation::Dominance(p) => p.mentions(name),
+            Relation::Quantitative {
+                target, formula, ..
+            } => target == name || formula.mentions(name),
+            Relation::EstimatorContext { inputs, output, .. } => {
+                output == name || inputs.iter().any(|i| i == name)
+            }
+        }
+    }
+
     /// The paper's ordering rule: `property` may only be decided after the
     /// independents; returns the first missing independent if `property`
     /// is in the dependent set and the independents are not all bound.

@@ -94,6 +94,14 @@ pub enum DiagCode {
     /// A core binds an application requirement (cores embody decisions,
     /// not requirements).
     CoreBindsRequirement,
+    /// A conflict proven by constraint propagation, carrying the
+    /// "because" chain: the minimal constraints + decisions that make
+    /// the contradiction inevitable.
+    PropagationConflict,
+    /// A joint option domain too large for the exhaustive enumerator
+    /// (or past the propagation engine's search budget); the check was
+    /// skipped, not guessed at.
+    DomainTooLarge,
     /// A decision journal's final record was truncated (crash
     /// mid-append); recovery dropped exactly that torn tail.
     TornJournalTail,
@@ -140,6 +148,8 @@ impl DiagCode {
         DiagCode::CoreUnknownProperty,
         DiagCode::CoreOutsideDomain,
         DiagCode::CoreBindsRequirement,
+        DiagCode::PropagationConflict,
+        DiagCode::DomainTooLarge,
         DiagCode::TornJournalTail,
         DiagCode::MalformedRequest,
         DiagCode::UnknownOp,
@@ -168,6 +178,8 @@ impl DiagCode {
             DiagCode::CoreUnknownProperty => "DSL101",
             DiagCode::CoreOutsideDomain => "DSL102",
             DiagCode::CoreBindsRequirement => "DSL103",
+            DiagCode::PropagationConflict => "DSL110",
+            DiagCode::DomainTooLarge => "DSL111",
             DiagCode::TornJournalTail => "DSL201",
             DiagCode::MalformedRequest => "DSL301",
             DiagCode::UnknownOp => "DSL302",
@@ -213,6 +225,12 @@ impl DiagCode {
             DiagCode::CoreUnknownProperty => "core binds a property the layer does not declare",
             DiagCode::CoreOutsideDomain => "core binding is outside the declared domain",
             DiagCode::CoreBindsRequirement => "core binds an application requirement",
+            DiagCode::PropagationConflict => {
+                "propagation proved a conflict; the because-chain names the minimal cause"
+            }
+            DiagCode::DomainTooLarge => {
+                "joint option domain too large for the engine; check skipped, not guessed"
+            }
             DiagCode::TornJournalTail => {
                 "decision journal's final record was truncated and dropped during recovery"
             }
@@ -252,7 +270,9 @@ impl DiagCode {
             | DiagCode::SessionRejected
             | DiagCode::JournalFault
             | DiagCode::ServerDraining => Severity::Error,
-            DiagCode::DominanceHint => Severity::Note,
+            DiagCode::DominanceHint
+            | DiagCode::PropagationConflict
+            | DiagCode::DomainTooLarge => Severity::Note,
         }
     }
 }

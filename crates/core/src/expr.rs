@@ -269,6 +269,21 @@ impl Expr {
             }
         }
     }
+
+    /// Whether the expression references property `name` — an
+    /// allocation-free alternative to `references().contains(...)` for
+    /// hot per-decision paths.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Prop(p) => p == name,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Pow(a, b) => a.mentions(name) || b.mentions(name),
+        }
+    }
 }
 
 impl fmt::Display for Expr {
@@ -444,6 +459,18 @@ impl Pred {
                 }
             }
             Pred::Not(p) => p.collect_refs(out),
+        }
+    }
+
+    /// Whether the predicate references property `name` — an
+    /// allocation-free alternative to `references().contains(...)` for
+    /// hot per-decision paths.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Pred::Cmp(_, a, b) => a.mentions(name) || b.mentions(name),
+            Pred::Is(p, _) | Pred::IsNot(p, _) => p == name,
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().any(|p| p.mentions(name)),
+            Pred::Not(p) => p.mentions(name),
         }
     }
 }

@@ -99,7 +99,11 @@ pub use error::DseError;
 
 /// Convenient glob-import surface for layer authors.
 pub mod prelude {
-    pub use crate::analyze::{analyze, evaluation_order, DerivationGraph};
+    pub use crate::analyze::{
+        analyze, analyze_detailed, analyze_with_engine, evaluation_order, Analysis,
+        DerivationGraph, DomainEngine,
+    };
+    pub use crate::analyze::solve::{Conflict, Solver, SolveTotals, Viability};
     pub use crate::behavior::{BehavioralDescription, OperandCoding, OperatorUse};
     pub use crate::constraint::{ConsistencyConstraint, ConstraintOutcome, Relation};
     pub use crate::diag::{DiagCode, Diagnostic, Report, Severity, Span};

@@ -23,7 +23,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::constraint::{ConstraintOutcome, Fidelity, Relation};
+use crate::analyze::solve::Solver;
+use crate::constraint::{ConsistencyConstraint, ConstraintOutcome, Fidelity, Relation};
 use crate::error::DseError;
 use crate::expr::Bindings;
 use crate::hierarchy::{CdoId, DesignSpace, Symbol};
@@ -204,7 +205,27 @@ impl<'a> ExplorationSession<'a> {
     /// Checks every effective constraint at the current focus against the
     /// current bindings; violations and evaluation failures are errors.
     fn check_constraints(&self) -> Result<(), DseError> {
+        self.check_constraints_where(|_| true)
+    }
+
+    /// Incremental variant: checks only the constraints that mention
+    /// `changed`. Sound because committed session states never hold a
+    /// violated or failed constraint — re-binding one property can only
+    /// change the outcome of constraints that reference it, so the
+    /// untouched rest are still known-good. Same error selection as the
+    /// full scan: `effective_constraints` order, first violation wins.
+    fn check_constraints_touching(&self, changed: &str) -> Result<(), DseError> {
+        self.check_constraints_where(|cc| cc.mentions(changed))
+    }
+
+    fn check_constraints_where(
+        &self,
+        relevant: impl Fn(&ConsistencyConstraint) -> bool,
+    ) -> Result<(), DseError> {
         for (_, cc) in self.space.effective_constraints(self.focus) {
+            if !relevant(cc) {
+                continue;
+            }
             match cc.evaluate(&self.bindings) {
                 ConstraintOutcome::Violated { detail } => {
                     return Err(DseError::ConstraintViolation {
@@ -264,9 +285,11 @@ impl<'a> ExplorationSession<'a> {
         let prev_focus = self.focus;
 
         // Tentatively bind and check consistency; the caller (`apply`)
-        // rolls back to its snapshot on any error from here on.
+        // rolls back to its snapshot on any error from here on. Only
+        // constraints mentioning the new binding can have changed
+        // outcome, so the check is O(touched), not O(constraints).
         self.bindings.insert(name.to_owned(), value.clone());
-        self.check_constraints()?;
+        self.check_constraints_touching(name)?;
 
         // Descend on generalized issues.
         if kind == PropertyKind::GeneralizedIssue {
@@ -390,7 +413,7 @@ impl<'a> ExplorationSession<'a> {
             });
         }
         self.bindings.insert(name.to_owned(), value.clone());
-        self.check_constraints()?;
+        self.check_constraints_touching(name)?;
         self.log[idx].value = value;
 
         // Mark dependents stale (transitively).
@@ -412,6 +435,17 @@ impl<'a> ExplorationSession<'a> {
             }
         }
         Ok(stale)
+    }
+
+    /// A propagation [`Solver`] primed with the session's focus and
+    /// bindings: an advisory lookahead over the remaining freedom.
+    /// `viable`/`is_viable` on the result answer "which options can
+    /// still survive the constraints?" *before* committing a decision —
+    /// the wire-visible decide/retract semantics are unchanged (a
+    /// rejected decision still reports the violated constraint on
+    /// commit, exactly as before).
+    pub fn lookahead(&self) -> Solver {
+        Solver::with_bindings(self.space, self.focus, &self.bindings)
     }
 
     /// Decisions currently flagged stale (needing re-assessment).

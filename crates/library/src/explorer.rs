@@ -133,6 +133,15 @@ impl<'a> Explorer<'a> {
             .collect()
     }
 
+    /// The options of `issue` that can still survive the constraints
+    /// given the decisions made so far, proved by the propagation
+    /// solver ([`dse::analyze::solve`]). Advisory: deciding a
+    /// non-viable option still fails with the violated constraint as
+    /// before; this answers the question *without* trial-committing.
+    pub fn viable_options(&self, issue: &str) -> dse::analyze::solve::Viability {
+        self.session.lookahead().viable(issue)
+    }
+
     /// Ranks the still-open design issues by their impact on `merit`
     /// over the surviving cores — the paper's rule that design issues
     /// "should be partially ordered ... considering the degree to which

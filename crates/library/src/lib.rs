@@ -50,6 +50,7 @@ pub mod idct;
 pub mod lint;
 mod loader;
 mod reuse;
+pub mod synthetic;
 
 pub use core_record::CoreRecord;
 pub use explorer::Explorer;

@@ -1,0 +1,304 @@
+//! A seeded synthetic stress layer for the propagation analyzer.
+//!
+//! The shipped domain layers (crypto, IDCT, FIR) are small enough that
+//! the legacy exhaustive checker handles them comfortably. This module
+//! builds a design space whose option joint is far beyond the exhaustive
+//! engine's `MAX_COMBINATIONS` cap — over 10⁸ combinations in total,
+//! with single constraints spanning millions of combinations — so that:
+//!
+//! * the exhaustive oracle must give up with explicit `DSL111` notes,
+//! * the propagation engine ([`dse::analyze::solve`]) still proves every
+//!   verdict exactly (the dominated-combination counts, the dead
+//!   `Codec = tiny` option, the `DSL110` conflict chains),
+//! * benches and `scripts/verify.sh` have a deterministic large space to
+//!   time the initial fixpoint and incremental decide/retract against.
+//!
+//! Everything is derived from a seed through a small LCG, so two builds
+//! with the same seed are structurally identical — diagnostics,
+//! constraint names and domains included.
+
+use dse::constraint::{ConsistencyConstraint, Relation};
+use dse::error::DseError;
+use dse::expr::{CmpOp, Expr, Pred};
+use dse::hierarchy::{CdoId, DesignSpace};
+use dse::property::Property;
+use dse::value::Domain;
+
+/// The default seed used by the `--synthetic` diagnose flag, the solver
+/// gate in `scripts/verify.sh` and the `solve/*` benches.
+pub const STRESS_SEED: u64 = 0xD5E;
+
+/// Number of flag-valued design issues (`S0`..`S19`). Their joint alone
+/// is 2²⁰ ≈ 10⁶ combinations.
+const FLAGS: usize = 20;
+
+/// Number of seeded pairwise noise constraints between flags.
+const PAIRWISE: usize = 12;
+
+/// The built stress layer.
+#[derive(Debug, Clone)]
+pub struct StressLayer {
+    /// The design space.
+    pub space: DesignSpace,
+    /// Its single root CDO, `SolverStress`.
+    pub root: CdoId,
+}
+
+impl StressLayer {
+    /// The exact size of the option joint: the product of every
+    /// enumerable issue domain at the root.
+    pub fn combinations(&self) -> u128 {
+        let mut total: u128 = 1;
+        for prop in self.space.node(self.root).own_properties() {
+            if let Some(options) = prop.domain().enumerate() {
+                total *= options.len() as u128;
+            } else if let Domain::IntRange { min, max } = prop.domain() {
+                total *= (max - min + 1) as u128;
+            }
+        }
+        total
+    }
+}
+
+/// A minimal deterministic LCG (Knuth's MMIX multiplier); good enough to
+/// scatter the pairwise constraints without pulling in a dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds the stress layer from `seed`.
+///
+/// Constraint inventory (all anchored at the root):
+///
+/// * `CCwide` — a dominance predicate over all twenty flags *and*
+///   `Mode`: a 4 194 304-combination joint the exhaustive engine refuses
+///   (cap 4096) but the propagation engine counts exactly (one dominated
+///   combination).
+/// * `CCarith` — dominance mixing bounds propagation (`Width + Width ≥
+///   14`) with ten flags: an 8192-combination joint, again over-cap.
+/// * `CCcodec` — eliminates `Codec = tiny` outright (the arithmetic
+///   guard is a tautology), producing the deterministic `DSL006` +
+///   `DSL110` pair on a joint the memoized exact engine handles.
+/// * `P0`..`P11` — seeded pairwise inconsistencies between flags
+///   (`Si = true ∧ Sj = true` with `i < j`), none of which kills an
+///   option on its own: noise for the chain minimizer to discard.
+///
+/// No constraint is contradictory, so the layer analyzes error-free
+/// under both engines.
+///
+/// # Errors
+///
+/// Propagates layer-construction errors (none occur for any seed unless
+/// the core crate regresses).
+pub fn build_stress_layer(seed: u64) -> Result<StressLayer, DseError> {
+    let mut s = DesignSpace::new("solver-stress");
+    let root = s.add_root(
+        "SolverStress",
+        "synthetic joint far beyond the exhaustive cap",
+    );
+
+    let flag = |i: usize| format!("S{i}");
+    for i in 0..FLAGS {
+        s.add_property(
+            root,
+            Property::issue(flag(i), Domain::Flag, "synthetic flag issue"),
+        )?;
+    }
+    s.add_property(
+        root,
+        Property::issue(
+            "Mode",
+            Domain::options(["m0", "m1", "m2", "m3"]),
+            "synthetic mode selector",
+        ),
+    )?;
+    s.add_property(
+        root,
+        Property::issue("Width", Domain::int_range(1, 8), "synthetic datapath width"),
+    )?;
+    s.add_property(
+        root,
+        Property::issue(
+            "Codec",
+            Domain::options(["fast", "small", "tiny"]),
+            "synthetic codec choice",
+        ),
+    )?;
+
+    // CCwide: every flag raised *and* Mode = m3 is dominated. Joint =
+    // 2^20 × 4 combinations; exactly one of them fires.
+    let mut wide_terms: Vec<Pred> = (0..FLAGS).map(|i| Pred::is(flag(i), true)).collect();
+    wide_terms.push(Pred::is("Mode", "m3"));
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCwide",
+            "all-flags-raised m3 configurations are dominated",
+            (0..FLAGS).map(flag),
+            ["Mode".to_owned()],
+            Relation::Dominance(Pred::all(wide_terms)),
+        ),
+    )?;
+
+    // CCarith: bounds propagation joined with flags — Width + Width ≥ 14
+    // (i.e. Width ∈ {7, 8}) with the first ten flags raised. Joint =
+    // 8 × 2^10 combinations; two of them fire.
+    let mut arith_terms: Vec<Pred> = (0..FLAGS / 2).map(|i| Pred::is(flag(i), true)).collect();
+    arith_terms.push(Pred::cmp(
+        CmpOp::Ge,
+        Expr::prop("Width").add(Expr::prop("Width")),
+        Expr::constant(14),
+    ));
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCarith",
+            "wide datapaths with the low flag bank raised are dominated",
+            (0..FLAGS / 2).map(flag),
+            ["Width".to_owned()],
+            Relation::Dominance(Pred::all(arith_terms)),
+        ),
+    )?;
+
+    // CCcodec: the arithmetic guard always holds (Width + 8 ≥ 8), so
+    // every completion of Codec = tiny is eliminated — a provably dead
+    // option with a one-constraint conflict chain.
+    s.add_constraint(
+        root,
+        ConsistencyConstraint::new(
+            "CCcodec",
+            "the tiny codec is inconsistent at every datapath width",
+            ["Width".to_owned()],
+            ["Codec".to_owned()],
+            Relation::InconsistentOptions(Pred::all([
+                Pred::is("Codec", "tiny"),
+                Pred::cmp(
+                    CmpOp::Ge,
+                    Expr::prop("Width").add(Expr::constant(8)),
+                    Expr::constant(8),
+                ),
+            ])),
+        ),
+    )?;
+
+    // Seeded pairwise noise: Si ∧ Sj inconsistent, i < j so the
+    // derivation edges stay acyclic. No single flag option dies — each
+    // side survives by lowering the other — so these only exercise the
+    // eliminator minimization.
+    let mut rng = Lcg(seed);
+    let mut taken: Vec<(usize, usize)> = Vec::new();
+    while taken.len() < PAIRWISE {
+        let a = rng.below(FLAGS);
+        let b = rng.below(FLAGS);
+        if a == b {
+            continue;
+        }
+        let pair = (a.min(b), a.max(b));
+        if taken.contains(&pair) {
+            continue;
+        }
+        taken.push(pair);
+    }
+    for (k, (i, j)) in taken.iter().enumerate() {
+        s.add_constraint(
+            root,
+            ConsistencyConstraint::new(
+                format!("P{k}"),
+                format!("flags S{i} and S{j} cannot both be raised"),
+                [flag(*i)],
+                [flag(*j)],
+                Relation::InconsistentOptions(Pred::all([
+                    Pred::is(flag(*i), true),
+                    Pred::is(flag(*j), true),
+                ])),
+            ),
+        )?;
+    }
+
+    debug_assert!(s.validate().is_empty());
+    Ok(StressLayer { space: s, root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::analyze::{analyze_detailed, DomainEngine};
+    use dse::diag::DiagCode;
+
+    #[test]
+    fn joint_exceeds_a_million_combinations() {
+        let layer = build_stress_layer(STRESS_SEED).unwrap();
+        assert!(layer.combinations() >= 1_000_000);
+        // 2^20 flags × 4 modes × 8 widths × 3 codecs.
+        assert_eq!(layer.combinations(), (1u128 << 20) * 4 * 8 * 3);
+    }
+
+    #[test]
+    fn same_seed_same_layer() {
+        let a = build_stress_layer(7).unwrap();
+        let b = build_stress_layer(7).unwrap();
+        assert_eq!(
+            dse::doc::render_markdown(&a.space),
+            dse::doc::render_markdown(&b.space)
+        );
+        let c = build_stress_layer(8).unwrap();
+        assert_ne!(
+            dse::doc::render_markdown(&a.space),
+            dse::doc::render_markdown(&c.space)
+        );
+    }
+
+    #[test]
+    fn propagation_proves_where_the_oracle_gives_up() {
+        let layer = build_stress_layer(STRESS_SEED).unwrap();
+
+        let prop = analyze_detailed(&layer.space, DomainEngine::Propagation).report;
+        // No errors anywhere: the layer is consistent by construction.
+        assert!(
+            !prop.has_errors(),
+            "synthetic layer must analyze error-free"
+        );
+        // CCwide's single dominated combination, counted exactly.
+        assert!(prop.diagnostics().iter().any(|d| {
+            d.code == DiagCode::DominanceHint && d.message.contains("1 of 4194304")
+        }));
+        // The dead codec option and its one-constraint chain.
+        assert!(prop
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::DeadOption && d.message.contains("tiny")));
+        assert!(prop.diagnostics().iter().any(|d| {
+            d.code == DiagCode::PropagationConflict && d.message.contains("CCcodec")
+        }));
+        // The propagation engine never needs a too-large escape hatch
+        // on this layer.
+        assert!(!prop
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::DomainTooLarge));
+
+        let oracle = analyze_detailed(&layer.space, DomainEngine::Exhaustive).report;
+        // The exhaustive engine must refuse the wide joints explicitly —
+        // the legacy silent skip is gone.
+        assert!(oracle.diagnostics().iter().any(|d| {
+            d.code == DiagCode::DomainTooLarge && d.message.contains("4194304 joint combinations")
+        }));
+        // And it cannot produce the wide dominance count.
+        assert!(!oracle
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::DominanceHint && d.message.contains("4194304")));
+    }
+}

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use dse::prelude::{
     CdoId, DesignSpace, DiagCode, DseError, EstimateCache, ExplorationSession, Figure, JournalDir,
-    JournalRecord, Property, PropertyKind, SessionSnapshot, Supervisor, Value,
+    JournalRecord, Property, PropertyKind, SessionSnapshot, Solver, Supervisor, Value, Viability,
 };
 use dse_library::{load_all_layers, Explorer, ReuseLibrary};
 use foundation::json::Json;
@@ -74,6 +74,21 @@ struct SessionSlot {
     /// Recovery diagnostics (e.g. a DSL201 torn tail), surfaced on the
     /// next `open` that attaches to the slot.
     notes: Vec<String>,
+    /// The propagation solver behind the `viable` op, built lazily on
+    /// first use and then kept in lock-step with decide/retract so each
+    /// query re-solves only the changed domains instead of rebuilding.
+    lookahead: Option<LookaheadSlot>,
+}
+
+/// A [`Solver`] synchronized with a session's decision log.
+#[derive(Debug)]
+struct LookaheadSlot {
+    solver: Solver,
+    /// Number of log entries the solver has incorporated.
+    synced: usize,
+    /// The focus the solver was built on; a focus move (generalized
+    /// descend or its undo) invalidates the constraint set.
+    focus: CdoId,
 }
 
 /// Builds an [`Engine`]: which snapshots it serves, and whether (and
@@ -345,6 +360,7 @@ impl Engine {
             Request::SurvivingCores { session, limit } => {
                 self.op_surviving_cores(&session, limit.unwrap_or(DEFAULT_CORE_LIMIT))
             }
+            Request::Viable { session, name } => self.op_viable(&session, &name),
             Request::Report { session } => self.op_report(&session),
             Request::Close { session } => self.op_close(&session),
             Request::Stats => Ok(self.op_stats()),
@@ -431,6 +447,7 @@ impl Engine {
                     state,
                     recovered: false,
                     notes: Vec::new(),
+                    lookahead: None,
                 },
                 Vec::new(),
             )
@@ -493,6 +510,19 @@ impl Engine {
             };
             self.append_journal(id, &record)?;
             slot.state = session.snapshot();
+            // Keep the lookahead solver in lock-step: one decide = one
+            // solver level (O(changed domains)); a focus move
+            // invalidates its constraint set, so drop it instead.
+            match slot.lookahead.as_mut() {
+                Some(la)
+                    if la.focus == session.focus() && la.synced + 1 == session.log().len() =>
+                {
+                    la.solver.decide(name, &value);
+                    la.synced += 1;
+                }
+                Some(_) => slot.lookahead = None,
+                None => {}
+            }
             Ok(vec![
                 ("name".to_owned(), Json::Str(name.to_owned())),
                 ("value".to_owned(), value_to_json(&value)),
@@ -527,6 +557,18 @@ impl Engine {
                 // tears at most one record.
                 self.append_journal(id, &JournalRecord::Undo)?;
                 slot.state = session.snapshot();
+                match slot.lookahead.as_mut() {
+                    Some(la)
+                        if la.focus == session.focus()
+                            && la.synced == session.log().len() + 1
+                            && la.solver.depth() > 0 =>
+                    {
+                        la.solver.retract();
+                        la.synced -= 1;
+                    }
+                    Some(_) => slot.lookahead = None,
+                    None => {}
+                }
                 let done = match name {
                     Some(target) => d.property == target,
                     None => true,
@@ -585,6 +627,32 @@ impl Engine {
                 ("count".to_owned(), Json::Int(cores.len() as i64)),
                 ("cores".to_owned(), Json::Array(names)),
             ])
+        })
+    }
+
+    fn op_viable(&self, id: &str, name: &str) -> OpResult {
+        self.with_slot(id, |slot| {
+            let session = ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            let rebuild = match &slot.lookahead {
+                Some(la) => la.focus != session.focus() || la.synced != session.log().len(),
+                None => true,
+            };
+            if rebuild {
+                slot.lookahead = Some(LookaheadSlot {
+                    solver: session.lookahead(),
+                    synced: session.log().len(),
+                    focus: session.focus(),
+                });
+            }
+            let la = slot.lookahead.as_ref().expect("lookahead just ensured");
+            let mut fields = vec![
+                ("name".to_owned(), Json::Str(name.to_owned())),
+                ("viable".to_owned(), viability_to_json(&la.solver.viable(name))),
+            ];
+            if let Some(conflict) = la.solver.initial_conflict() {
+                fields.push(("conflict".to_owned(), Json::Str(conflict.to_string())));
+            }
+            Ok(fields)
         })
     }
 
@@ -824,6 +892,7 @@ impl Engine {
                 snapshot: snap,
                 recovered: true,
                 notes: Vec::new(),
+                lookahead: None,
             },
             notes,
         ))
@@ -879,6 +948,7 @@ fn session_of(req: &Request) -> Option<&str> {
         | Request::Retract { session, .. }
         | Request::Eval { session }
         | Request::SurvivingCores { session, .. }
+        | Request::Viable { session, .. }
         | Request::Report { session }
         | Request::Close { session } => Some(session),
         _ => None,
@@ -906,6 +976,31 @@ fn open_fields(id: &str, slot: &SessionSlot, notes: Vec<String>) -> Vec<(String,
         ));
     }
     fields
+}
+
+fn viability_to_json(v: &Viability) -> Json {
+    let kind = |k: &str| ("kind".to_owned(), Json::Str(k.to_owned()));
+    match v {
+        Viability::Values(vs) => Json::Object(vec![
+            kind("values"),
+            (
+                "options".to_owned(),
+                Json::Array(vs.iter().map(value_to_json).collect()),
+            ),
+        ]),
+        Viability::IntRange(lo, hi) => Json::Object(vec![
+            kind("int_range"),
+            ("lo".to_owned(), Json::Int(*lo)),
+            ("hi".to_owned(), Json::Int(*hi)),
+        ]),
+        Viability::RealRange(lo, hi) => Json::Object(vec![
+            kind("real_range"),
+            ("lo".to_owned(), Json::Float(*lo)),
+            ("hi".to_owned(), Json::Float(*hi)),
+        ]),
+        Viability::Open => Json::Object(vec![kind("open")]),
+        Viability::Empty => Json::Object(vec![kind("empty")]),
+    }
 }
 
 fn figure_to_json(figure: &Figure) -> Json {

@@ -61,6 +61,14 @@ pub enum Request {
         /// exact).
         limit: Option<usize>,
     },
+    /// The still-viable options of a property, proved by the
+    /// propagation solver over the session's current bindings.
+    Viable {
+        /// The session.
+        session: String,
+        /// The property to probe.
+        name: String,
+    },
     /// Full session report.
     Report {
         /// The session.
@@ -240,6 +248,10 @@ fn parse_request_json(json: &Json) -> Result<Request, ProtocolError> {
             session: require(str_field(json, "session")?, "session")?,
             limit: usize_field(json, "limit")?,
         }),
+        "viable" => Ok(Request::Viable {
+            session: require(str_field(json, "session")?, "session")?,
+            name: require(str_field(json, "name")?, "name")?,
+        }),
         "report" => Ok(Request::Report {
             session: require(str_field(json, "session")?, "session")?,
         }),
@@ -306,6 +318,15 @@ mod tests {
         );
         assert!(
             matches!(req.unwrap(), Request::Decide { value, .. } if value == Value::from("Montgomery"))
+        );
+
+        let (req, _) = parse_request(r#"{"op":"viable","session":"s1","name":"Algorithm"}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Viable {
+                session: "s1".into(),
+                name: "Algorithm".into(),
+            }
         );
 
         let (req, _) = parse_request(r#"{"op":"open","snapshot":"crypto","resume":true}"#);

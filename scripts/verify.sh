@@ -5,7 +5,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
+echo "==> cargo build --release --offline (workspace + examples)"
+# --examples matters: the server smoke gate below runs
+# target/release/examples/serve directly, which a bare build would
+# leave stale.
+cargo build --release --offline --examples
 cargo build --release --offline
 
 echo "==> cargo test -q --offline --workspace"
@@ -39,6 +43,16 @@ fi
 
 echo "==> static analysis of all shipped design spaces (must be error-free)"
 cargo run --release --offline --example diagnose
+
+echo "==> solver gate: >=10^6-combination synthetic space under the propagation engine (budget 90s)"
+SOLVE_START=$(date +%s)
+cargo run --release --offline --example diagnose -- --synthetic --stats > /dev/null
+SOLVE_ELAPSED=$(( $(date +%s) - SOLVE_START ))
+if [ "$SOLVE_ELAPSED" -gt 90 ]; then
+    echo "    solver gate took ${SOLVE_ELAPSED}s (budget 90s)"
+    exit 1
+fi
+echo "    synthetic space diagnosed in ${SOLVE_ELAPSED}s"
 
 echo "==> server smoke gate: scripted conversation vs golden transcript"
 SMOKE_DIR=$(mktemp -d)

@@ -677,3 +677,155 @@ fn cycle_with_early_sorting_downstream_sink_is_detected() {
         "analyze() reported no DerivationCycle: {r}"
     );
 }
+
+// ------------------------------------- propagation-vs-exhaustive oracle
+
+/// A random *enumerable* space for the engine-parity oracle: every
+/// domain is small and enumerable (joint ≤ 3⁵ = 243, far below the
+/// exhaustive cap), constraints are well-formed pred relations with
+/// in-domain literals, so both engines must reach a verdict on every
+/// check.
+fn random_enumerable_space(g: &mut Gen) -> DesignSpace {
+    const NAMES: [&str; 5] = ["A", "B", "C", "D", "E"];
+    let mut s = DesignSpace::new("oracle");
+    let root = s.add_root("Root", "");
+    let child = s.add_child(root, "Sub", "");
+    let nodes = [root, child];
+    let n_props = g.usize_in(2, NAMES.len());
+    let mut declared: Vec<(String, Vec<Value>)> = Vec::new();
+    for &name in NAMES.iter().take(n_props) {
+        let node = *g.choose(&nodes);
+        let (domain, options) = match g.usize_in(0, 3) {
+            0 => {
+                let opts: Vec<Value> = ["x", "y", "z"][..g.usize_in(2, 3)]
+                    .iter()
+                    .map(|&o| Value::from(o))
+                    .collect();
+                (
+                    Domain::options(opts.iter().filter_map(Value::as_text)),
+                    opts,
+                )
+            }
+            1 => (
+                Domain::Flag,
+                vec![Value::from(true), Value::from(false)],
+            ),
+            _ => {
+                let lo = g.i64_in(0, 3);
+                let hi = lo + g.i64_in(1, 3);
+                (
+                    Domain::int_range(lo, hi),
+                    (lo..=hi).map(Value::from).collect(),
+                )
+            }
+        };
+        s.add_property(node, Property::issue(name, domain, ""))
+            .unwrap();
+        declared.push((name.to_owned(), options));
+    }
+    let n_cons = g.usize_in(1, 6);
+    for i in 0..n_cons {
+        let n_terms = g.usize_in(1, 3.min(declared.len()));
+        let mut terms = Vec::new();
+        for t in 0..n_terms {
+            // Distinct props per term keep the predicate satisfiable
+            // often enough to exercise both fired and clean verdicts.
+            let (name, options) = &declared[(i + t) % declared.len()];
+            let lit = g.choose(options).clone();
+            terms.push(if g.bool() {
+                Pred::is(name.clone(), lit)
+            } else {
+                Pred::is_not(name.clone(), lit)
+            });
+        }
+        let pred = if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else if g.bool() {
+            Pred::all(terms)
+        } else {
+            Pred::any(terms)
+        };
+        let node = *g.choose(&nodes);
+        let relation = if g.bool() {
+            Relation::InconsistentOptions(pred.clone())
+        } else {
+            Relation::Dominance(pred.clone())
+        };
+        s.add_constraint(
+            node,
+            ConsistencyConstraint::new(format!("CC{i}"), "", pred.references(), [], relation),
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Renders a report minus the engine-specific codes: `DSL110`
+/// (propagation-only conflict chains) and `DSL111` (whose wording names
+/// the engine that gave up). Everything else must match bit for bit.
+fn engine_neutral(r: &Report) -> Vec<String> {
+    r.diagnostics()
+        .iter()
+        .filter(|d| {
+            d.code != DiagCode::PropagationConflict && d.code != DiagCode::DomainTooLarge
+        })
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn property_propagation_matches_the_exhaustive_oracle() {
+    use design_space_layer::dse::analyze::{analyze_with_engine, DomainEngine};
+    check::run("propagation == exhaustive on small spaces", |g| {
+        let s = random_enumerable_space(g);
+        let oracle = engine_neutral(&analyze_with_engine(&s, DomainEngine::Exhaustive));
+        let prop = engine_neutral(&analyze_with_engine(&s, DomainEngine::Propagation));
+        assert_eq!(prop, oracle, "engines disagree on:\n{}", design_space_layer::dse::doc::render_markdown(&s));
+    });
+}
+
+#[test]
+fn property_verdicts_are_identical_across_thread_counts() {
+    use design_space_layer::dse::analyze::{analyze_with_engine, DomainEngine};
+    use design_space_layer::foundation::par::with_thread_limit;
+    check::run_n("analysis is thread-count invariant", 40, |g| {
+        let s = random_enumerable_space(g);
+        let baseline = with_thread_limit(1, || analyze_with_engine(&s, DomainEngine::Propagation));
+        for threads in [2, 8] {
+            let r = with_thread_limit(threads, || {
+                analyze_with_engine(&s, DomainEngine::Propagation)
+            });
+            assert_eq!(r, baseline, "DSE_THREADS={threads} changed the report");
+        }
+    });
+}
+
+#[test]
+fn oracle_gives_up_past_the_cap_where_propagation_proves() {
+    use design_space_layer::dse::analyze::{analyze_with_engine, DomainEngine};
+    use design_space_layer::dse_library::synthetic::{build_stress_layer, STRESS_SEED};
+    let layer = build_stress_layer(STRESS_SEED).unwrap();
+    let oracle = analyze_with_engine(&layer.space, DomainEngine::Exhaustive);
+    assert!(
+        oracle.diagnostics().iter().any(|d| d.code == DiagCode::DomainTooLarge),
+        "{oracle}"
+    );
+    // The oracle cannot see the dead codec option (its applicable joint
+    // includes wide constraints only on flags, but the dominated-count
+    // notes are gone)...
+    assert!(
+        !oracle.diagnostics().iter().any(
+            |d| d.code == DiagCode::DominanceHint && d.message.contains("4194304")
+        ),
+        "{oracle}"
+    );
+    // ...while propagation proves every verdict with no escape hatch.
+    let prop = analyze_with_engine(&layer.space, DomainEngine::Propagation);
+    assert!(!prop.diagnostics().iter().any(|d| d.code == DiagCode::DomainTooLarge), "{prop}");
+    assert!(
+        prop.diagnostics().iter().any(
+            |d| d.code == DiagCode::DominanceHint && d.message.contains("1 of 4194304")
+        ),
+        "{prop}"
+    );
+}

@@ -344,3 +344,62 @@ fn tcp_conversation_pipelines_and_drains_gracefully() {
     // Drain: the daemon stops accepting and run() returns cleanly.
     serve_thread.join().unwrap().expect("clean drain");
 }
+
+/// The `viable` op: a propagation-solver lookahead over a session's
+/// remaining freedom. The solver stays in lock-step with
+/// decide/retract, and existing op responses are unchanged by its
+/// presence.
+#[test]
+fn viable_op_tracks_decides_and_retracts() {
+    let engine = engine(None);
+    ok(&engine.handle_line(r#"{"op":"open","session":"v","snapshot":"crypto"}"#));
+
+    let viable = |name: &str| {
+        let response =
+            engine.handle_line(&format!(r#"{{"op":"viable","session":"v","name":"{name}"}}"#));
+        let json = ok(&response);
+        json.get("viable").cloned().expect("viable field")
+    };
+    let options_of = |v: &Json| -> Vec<String> {
+        v.get("options")
+            .and_then(Json::as_array)
+            .expect("options array")
+            .iter()
+            .map(|o| o.as_str().unwrap().to_owned())
+            .collect()
+    };
+
+    // Fresh session: both implementation styles are still on the table.
+    let v = viable("ImplementationStyle");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("values"));
+    let opts = options_of(&v);
+    assert!(opts.contains(&"Hardware".to_owned()), "{opts:?}");
+    assert!(opts.contains(&"Software".to_owned()), "{opts:?}");
+
+    // Decide through the solver's lock-step path (the slot exists now).
+    for line in [
+        r#"{"op":"decide","session":"v","name":"EOL","value":768}"#,
+        r#"{"op":"decide","session":"v","name":"MaxLatencyUs","value":8.0}"#,
+        r#"{"op":"decide","session":"v","name":"ModuloIsOdd","value":"Guaranteed"}"#,
+    ] {
+        ok(&engine.handle_line(line));
+    }
+    let v = viable("ImplementationStyle");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("values"));
+
+    // A retract keeps the solver synchronized rather than rebuilding.
+    ok(&engine.handle_line(r#"{"op":"retract","session":"v"}"#));
+    let v = viable("ModuloIsOdd");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("values"));
+
+    // Unknown properties are open (the solver refuses to guess), and
+    // unknown sessions still fail with the stable code.
+    let v = viable("NoSuchProperty");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("open"));
+    let bad = Json::parse(
+        &engine.handle_line(r#"{"op":"viable","session":"ghost","name":"EOL"}"#),
+    )
+    .unwrap();
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(bad.get("code").and_then(Json::as_str), Some("DSL304"));
+}
