@@ -483,10 +483,12 @@ pub fn analyze() -> Harness {
 }
 
 /// The exploration daemon's engine: request-dispatch overhead, full
-/// session lifecycles (with and without journaling), and a pipelined
-/// batch fanned out across the worker pool.
+/// session lifecycles (with and without journaling), a pipelined batch
+/// fanned out across the worker pool, and the guard layer's two costs —
+/// deadline admission on the hot path and journal compaction under
+/// churn — each gated in-suite at 2× of its unguarded twin.
 pub fn server() -> Harness {
-    use dse_server::EngineBuilder;
+    use dse_server::{EngineBuilder, GuardConfig};
 
     let mut h = Harness::new("server");
     let tech = Technology::g10_035();
@@ -496,9 +498,25 @@ pub fn server() -> Harness {
         .expect("engine builds");
 
     // Pure dispatch: parse + route + render for the cheapest op.
-    h.bench("server/stats_roundtrip", || {
-        black_box(engine.handle_line(black_box(r#"{"op":"stats"}"#)));
-    });
+    let plain = h
+        .bench("server/stats_roundtrip", || {
+            black_box(engine.handle_line(black_box(r#"{"op":"stats"}"#)));
+        })
+        .median_ns;
+
+    // The same request carrying a generous deadline: fuel bookkeeping
+    // (budget construction + the admission charge) rides every guarded
+    // request, so it must stay within 2× of the unguarded dispatch.
+    let guarded = h
+        .bench("server/guard_admission_overhead", || {
+            black_box(engine.handle_line(black_box(r#"{"op":"stats","deadline_ms":60000}"#)));
+        })
+        .median_ns;
+    assert!(
+        guarded <= plain * 2.0,
+        "deadline admission must cost ≤2× an unguarded request: \
+         {guarded:.0} ns vs {plain:.0} ns"
+    );
 
     // A full open → decide ×3 → surviving_cores → close conversation on
     // the shared snapshot (session state only; no disk).
@@ -533,6 +551,60 @@ pub fn server() -> Harness {
         }
     });
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Journal lifecycle under churn: one session accumulating ~1k
+    // records of decide/retract per round. With the default threshold
+    // the journal is compacted (verified replay + crash-safe rename)
+    // about twice per round; the amortized cost must stay within 2× of
+    // the same churn with compaction disabled.
+    let churn: Vec<String> = {
+        let mut v = vec![r#"{"op":"open","session":"churn","snapshot":"crypto"}"#.to_owned()];
+        for _ in 0..500 {
+            v.push(r#"{"op":"decide","session":"churn","name":"EOL","value":768}"#.to_owned());
+            v.push(r#"{"op":"retract","session":"churn"}"#.to_owned());
+        }
+        v.push(r#"{"op":"close","session":"churn"}"#.to_owned());
+        v
+    };
+    let churn_engine = |compact_after: usize, tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "dse-bench-guard-{tag}-{}",
+            std::process::id()
+        ));
+        let engine = EngineBuilder::new(Technology::g10_035())
+            .with_shipped_layers()
+            .journal_dir(&dir)
+            .guard(GuardConfig {
+                compact_after,
+                ..GuardConfig::default()
+            })
+            .build()
+            .expect("engine builds");
+        (engine, dir)
+    };
+    let (appending, append_dir) = churn_engine(0, "append");
+    let append_only = h
+        .bench("server/journal_churn_1k_append_only", || {
+            for line in &churn {
+                black_box(appending.handle_line(black_box(line)));
+            }
+        })
+        .median_ns;
+    let _ = std::fs::remove_dir_all(&append_dir);
+    let (compacting, compact_dir) = churn_engine(512, "compact");
+    let compacted = h
+        .bench("server/journal_churn_1k_compacting", || {
+            for line in &churn {
+                black_box(compacting.handle_line(black_box(line)));
+            }
+        })
+        .median_ns;
+    let _ = std::fs::remove_dir_all(&compact_dir);
+    assert!(
+        compacted <= append_only * 2.0,
+        "compaction must amortize to ≤2× append-only churn: \
+         {compacted:.0} ns vs {append_only:.0} ns"
+    );
 
     // 32 interleaved sessions in one pipelined batch: distinct sessions
     // fan out over foundation::par, per-session order preserved.

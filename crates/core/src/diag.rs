@@ -129,6 +129,13 @@ pub enum DiagCode {
     JournalFault,
     /// The server is draining for shutdown and refuses new work.
     ServerDraining,
+    /// The server shed the request at admission (connection cap, batch
+    /// cap, or session cap exceeded); the response carries a
+    /// `retry_after_ms` hint and the client should back off and retry.
+    Overloaded,
+    /// The request's cooperative `deadline_ms` budget was exhausted
+    /// before the operation completed; no state was committed.
+    DeadlineExceeded,
 }
 
 impl DiagCode {
@@ -159,6 +166,8 @@ impl DiagCode {
         DiagCode::SessionRejected,
         DiagCode::JournalFault,
         DiagCode::ServerDraining,
+        DiagCode::Overloaded,
+        DiagCode::DeadlineExceeded,
     ];
 
     /// The stable `DSLnnn` code string.
@@ -189,6 +198,8 @@ impl DiagCode {
             DiagCode::SessionRejected => "DSL306",
             DiagCode::JournalFault => "DSL307",
             DiagCode::ServerDraining => "DSL308",
+            DiagCode::Overloaded => "DSL309",
+            DiagCode::DeadlineExceeded => "DSL310",
         }
     }
 
@@ -242,6 +253,12 @@ impl DiagCode {
             DiagCode::SessionRejected => "session layer rejected the operation",
             DiagCode::JournalFault => "session journal could not be persisted or recovered",
             DiagCode::ServerDraining => "server is draining for shutdown and refuses new work",
+            DiagCode::Overloaded => {
+                "server shed the request at admission; back off retry_after_ms and retry"
+            }
+            DiagCode::DeadlineExceeded => {
+                "request's cooperative deadline budget ran out; nothing was committed"
+            }
         }
     }
 
@@ -269,7 +286,9 @@ impl DiagCode {
             | DiagCode::SessionExists
             | DiagCode::SessionRejected
             | DiagCode::JournalFault
-            | DiagCode::ServerDraining => Severity::Error,
+            | DiagCode::ServerDraining
+            | DiagCode::Overloaded
+            | DiagCode::DeadlineExceeded => Severity::Error,
             DiagCode::DominanceHint
             | DiagCode::PropagationConflict
             | DiagCode::DomainTooLarge => Severity::Note,

@@ -115,9 +115,9 @@ pub mod prelude {
     pub use crate::hierarchy::{CdoId, DesignSpace, Symbol};
     pub use crate::property::{Property, PropertyKind, Unit};
     pub use crate::robust::{
-        CacheStats, EstimateCache, Fault, FaultPlan, FaultRates, Figure, Fuel, Journal,
-        JournalDir, JournalRecord, JournaledSession, Provenance, RecoverError, RecoveryReport,
-        Supervisor, SupervisorConfig,
+        BreakerConfig, BreakerView, CacheStats, EstimateCache, Fault, FaultPlan, FaultRates,
+        Figure, Fuel, Journal, JournalDir, JournalRecord, JournaledSession, Provenance,
+        RecoverError, RecoveryReport, Supervisor, SupervisorConfig,
     };
     pub use crate::script::{SessionAction, SessionScript};
     pub use crate::session::{Decision, ExplorationSession, SessionSnapshot};

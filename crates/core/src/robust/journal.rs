@@ -273,8 +273,15 @@ pub struct JournalDir {
 /// File extension used for journal files inside a [`JournalDir`].
 const JOURNAL_EXT: &str = "jsonl";
 
+/// Suffix for in-progress compaction files (`<id>.jsonl.tmp`). A crash
+/// mid-compaction leaves one behind; the live journal is still
+/// authoritative, so boot simply sweeps them away.
+const COMPACT_TMP_SUFFIX: &str = ".jsonl.tmp";
+
 impl JournalDir {
-    /// Opens (creating if needed) the journal directory.
+    /// Opens (creating if needed) the journal directory. Stale
+    /// compaction temp files from a crash mid-[`compact`](Self::compact)
+    /// are swept away — the live journals they shadowed are intact.
     ///
     /// # Errors
     ///
@@ -282,7 +289,27 @@ impl JournalDir {
     pub fn create(dir: impl Into<PathBuf>) -> io::Result<JournalDir> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(JournalDir { dir })
+        let journals = JournalDir { dir };
+        journals.sweep_stale_temps()?;
+        Ok(journals)
+    }
+
+    fn sweep_stale_temps(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let is_temp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(COMPACT_TMP_SUFFIX));
+            if is_temp {
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The directory path.
@@ -337,6 +364,46 @@ impl JournalDir {
             .create(true)
             .open(self.file_for(id)?)?;
         file.write_all(line.as_bytes())
+    }
+
+    /// Atomically replaces `id`'s journal with `checkpoint`'s records —
+    /// the compaction step of the journal lifecycle. The checkpoint is
+    /// written to a `.jsonl.tmp` sidecar, flushed to disk, then renamed
+    /// over the live journal, so a crash at any instant leaves either
+    /// the old journal or the complete new one on disk — never a torn
+    /// mixture ([`JournalDir::create`] sweeps any leftover temp).
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any I/O error; on error the live journal is
+    /// untouched.
+    pub fn compact(&self, id: &str, checkpoint: &Journal) -> io::Result<()> {
+        let live = self.file_for(id)?;
+        let temp = self.dir.join(format!(
+            "{id}{COMPACT_TMP_SUFFIX}",
+            id = JournalDir::checked_id(id)?
+        ));
+        {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(checkpoint.to_jsonl().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&temp, &live)
+    }
+
+    /// How many records `id`'s journal holds on disk (0 when absent) —
+    /// the size signal compaction policies key off. Counts newline-
+    /// terminated lines without parsing them.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any read error.
+    pub fn record_count(&self, id: &str) -> io::Result<usize> {
+        match fs::read(self.file_for(id)?) {
+            Ok(bytes) => Ok(bytes.iter().filter(|&&b| b == b'\n').count()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
     }
 
     /// Whether `id` has a journal on disk.
@@ -667,6 +734,67 @@ mod tests {
         assert!(dir.remove("s1").unwrap());
         assert!(!dir.remove("s1").unwrap());
         assert_eq!(dir.ids().unwrap(), vec!["s2".to_owned()]);
+        let _ = std::fs::remove_dir_all(dir.path());
+    }
+
+    #[test]
+    fn compaction_atomically_replaces_the_journal_and_boot_sweeps_temps() {
+        let dir = temp_journal_dir("compact");
+        // A history with churn: requirement, decide, undo, decide again.
+        dir.append(
+            "s1",
+            &JournalRecord::SetRequirement {
+                name: "EOL".into(),
+                value: Value::Int(64),
+            },
+        )
+        .unwrap();
+        dir.append(
+            "s1",
+            &JournalRecord::Decide {
+                name: "Algorithm".into(),
+                value: Value::from("Classical"),
+            },
+        )
+        .unwrap();
+        dir.append("s1", &JournalRecord::Undo).unwrap();
+        dir.append(
+            "s1",
+            &JournalRecord::Decide {
+                name: "Algorithm".into(),
+                value: Value::from("Montgomery"),
+            },
+        )
+        .unwrap();
+        assert_eq!(dir.record_count("s1").unwrap(), 4);
+
+        // The compacted checkpoint carries only the surviving state.
+        let mut checkpoint = Journal::new();
+        checkpoint.append(JournalRecord::SetRequirement {
+            name: "EOL".into(),
+            value: Value::Int(64),
+        });
+        checkpoint.append(JournalRecord::Decide {
+            name: "Algorithm".into(),
+            value: Value::from("Montgomery"),
+        });
+        dir.compact("s1", &checkpoint).unwrap();
+        assert_eq!(dir.record_count("s1").unwrap(), 2);
+        let (back, report) = dir.recover("s1").unwrap().unwrap().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(back.records(), checkpoint.records());
+        // No temp file is left behind on success.
+        assert!(!dir.path().join("s1.jsonl.tmp").exists());
+
+        // A crash mid-compaction leaves a temp; reopening the directory
+        // sweeps it and the live journal stays authoritative.
+        std::fs::write(dir.path().join("s1.jsonl.tmp"), "{torn").unwrap();
+        let reopened = JournalDir::create(dir.path()).unwrap();
+        assert!(!reopened.path().join("s1.jsonl.tmp").exists());
+        assert_eq!(reopened.record_count("s1").unwrap(), 2);
+        // Temp files are invisible to the id sweep even if present.
+        assert_eq!(reopened.ids().unwrap(), vec!["s1".to_owned()]);
+        assert_eq!(dir.record_count("absent").unwrap(), 0);
         let _ = std::fs::remove_dir_all(dir.path());
     }
 

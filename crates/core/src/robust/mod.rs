@@ -36,7 +36,7 @@ pub use fuel::Fuel;
 pub use journal::{
     Journal, JournalDir, JournalRecord, JournaledSession, RecoverError, RecoveryReport,
 };
-pub use supervisor::{Supervisor, SupervisorConfig};
+pub use supervisor::{BreakerConfig, BreakerView, Supervisor, SupervisorConfig, SupervisorStats};
 
 /// How trustworthy a produced figure is — the provenance ladder.
 ///

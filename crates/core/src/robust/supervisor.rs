@@ -34,6 +34,9 @@ pub struct SupervisorConfig {
     pub max_retries: u32,
     /// Seed for the deterministic backoff schedule.
     pub backoff_seed: u64,
+    /// Per-tool circuit breakers (opt-in; `None` keeps the pre-breaker
+    /// behavior byte-for-byte).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -42,8 +45,104 @@ impl Default for SupervisorConfig {
             fuel_limit: 1_000_000,
             max_retries: 2,
             backoff_seed: 0xD5E,
+            breaker: None,
         }
     }
+}
+
+/// Tunables for the per-tool circuit breakers.
+///
+/// A breaker trips *open* after `trip_threshold` consecutive terminal
+/// failures (panics, invalid output, exhausted retries — transient
+/// errors the retry loop absorbs do not count). While open, calls are
+/// short-circuited without touching the tool for a *call-counted*
+/// cooldown (no wall clock, so the schedule is hermetic), then one
+/// *half-open* probe runs the tool for real: success closes the
+/// breaker, failure reopens it with the cooldown doubled (capped). The
+/// cooldown carries a small seeded jitter so probes across tools
+/// de-synchronize deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive terminal failures before the breaker opens.
+    pub trip_threshold: u32,
+    /// Base cooldown, counted in short-circuited calls.
+    pub cooldown_calls: u64,
+    /// Cap on the cooldown after repeated re-opens double it.
+    pub cooldown_cap: u64,
+    /// Seed for the per-tool probe-schedule jitter.
+    pub probe_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_threshold: 3,
+            cooldown_calls: 8,
+            cooldown_cap: 64,
+            probe_seed: 0xB4EA,
+        }
+    }
+}
+
+/// Which phase a tool's circuit breaker is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerPhase {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Per-tool breaker state (lives in the supervisor's breaker map).
+#[derive(Debug)]
+struct BreakerState {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+    /// Calls left to short-circuit before the half-open probe.
+    open_remaining: u64,
+    /// Current cooldown length (doubles on re-open, capped).
+    cooldown: u64,
+    trips: u64,
+    short_circuits: u64,
+    jitter: StdRng,
+}
+
+impl BreakerState {
+    fn new(cfg: &BreakerConfig, tool: &str) -> BreakerState {
+        BreakerState {
+            phase: BreakerPhase::Closed,
+            consecutive_failures: 0,
+            open_remaining: 0,
+            cooldown: cfg.cooldown_calls.max(1),
+            trips: 0,
+            short_circuits: 0,
+            jitter: StdRng::seed_from_u64(cfg.probe_seed ^ hash_name(tool)),
+        }
+    }
+
+    fn trip(&mut self) {
+        self.phase = BreakerPhase::Open;
+        self.trips += 1;
+        // Jitter up to a quarter of the cooldown, drawn from the
+        // per-tool seeded stream: reproducible, but tools tripped at
+        // the same instant probe at different times.
+        let jitter = self.jitter.gen_range(0..=self.cooldown / 4);
+        self.open_remaining = self.cooldown + jitter;
+    }
+}
+
+/// A read-only view of one tool's breaker, for stats endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerView {
+    /// The tool the breaker guards.
+    pub tool: String,
+    /// `"closed"`, `"open"` or `"half-open"`.
+    pub phase: &'static str,
+    /// Times the breaker tripped open (including re-opens).
+    pub trips: u64,
+    /// Calls answered without touching the tool while open.
+    pub short_circuits: u64,
+    /// Short-circuited calls left before the half-open probe.
+    pub calls_until_probe: u64,
 }
 
 /// Counters describing what the supervisor absorbed — surfaced in
@@ -56,6 +155,10 @@ pub struct SupervisorStats {
     pub retries: u64,
     /// Calls answered by a fallback tool or the declared range.
     pub fallbacks_used: u64,
+    /// Circuit-breaker trips (including half-open probes that reopened).
+    pub breaker_trips: u64,
+    /// Calls short-circuited by an open breaker without running the tool.
+    pub breaker_short_circuits: u64,
 }
 
 /// Runs estimators under panic isolation, fuel budgets, bounded retry
@@ -66,6 +169,9 @@ pub struct Supervisor {
     config: SupervisorConfig,
     stats: std::cell::Cell<SupervisorStats>,
     cache: Option<Arc<EstimateCache>>,
+    /// Per-tool circuit breakers; populated lazily, only consulted when
+    /// `config.breaker` is set. BTreeMap keeps snapshots sorted.
+    breakers: std::cell::RefCell<std::collections::BTreeMap<String, BreakerState>>,
 }
 
 impl Supervisor {
@@ -81,6 +187,7 @@ impl Supervisor {
             config,
             stats: std::cell::Cell::new(SupervisorStats::default()),
             cache: None,
+            breakers: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -91,7 +198,18 @@ impl Supervisor {
     /// several supervisors. Do not combine with a fault-injected
     /// registry — memo hits would shift the injection schedule.
     pub fn with_cache(registry: EstimatorRegistry, cache: Arc<EstimateCache>) -> Self {
-        let mut sup = Supervisor::new(registry);
+        Supervisor::with_cache_config(registry, cache, SupervisorConfig::default())
+    }
+
+    /// [`with_cache`](Self::with_cache) with explicit tunables — the
+    /// constructor for a supervisor that wants both memoization and
+    /// non-default settings (e.g. circuit breakers).
+    pub fn with_cache_config(
+        registry: EstimatorRegistry,
+        cache: Arc<EstimateCache>,
+        config: SupervisorConfig,
+    ) -> Self {
+        let mut sup = Supervisor::with_config(registry, config);
         sup.cache = Some(cache);
         sup
     }
@@ -125,14 +243,53 @@ impl Supervisor {
     /// [`EstimateError::InvalidOutput`] if the tool returned a non-finite
     /// value; [`EstimateError::UnknownEstimator`] for unregistered names.
     pub fn call(&self, name: &str, inputs: &Bindings) -> Result<f64, EstimateError> {
-        let fuel = Fuel::new(self.config.fuel_limit);
+        self.call_within(name, inputs, None)
+    }
+
+    /// [`call`](Self::call) under an optional caller-owned budget: the
+    /// per-call fuel limit is capped at whatever the budget has left,
+    /// and every step the call consumes is debited from the budget
+    /// afterwards. This is how a request deadline flows through a whole
+    /// estimation ladder instead of resetting per tool.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call); additionally
+    /// [`EstimateError::FuelExhausted`] when the shared budget cannot
+    /// cover the call.
+    pub fn call_within(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        budget: Option<&Fuel>,
+    ) -> Result<f64, EstimateError> {
+        self.breaker_admit(name)?;
+        let limit = match budget {
+            Some(b) => b.remaining().min(self.config.fuel_limit),
+            None => self.config.fuel_limit,
+        };
+        let result = self.call_raw(name, inputs, &Fuel::new(limit), budget);
+        self.breaker_record(name, result.is_ok());
+        result
+    }
+
+    /// The containment loop itself: panic catching, fuel, seeded-backoff
+    /// retries. `budget`, when present, is debited for every step the
+    /// call spends from `fuel`.
+    fn call_raw(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        fuel: &Fuel,
+        budget: Option<&Fuel>,
+    ) -> Result<f64, EstimateError> {
         // Retries share one backoff stream, seeded per (seed, tool) so
         // schedules are independent across tools yet fully reproducible.
         let mut backoff = StdRng::seed_from_u64(self.config.backoff_seed ^ hash_name(name));
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.registry.run_with_fuel(name, inputs, &fuel)
+                self.registry.run_with_fuel(name, inputs, fuel)
             }));
             let result = match outcome {
                 Ok(r) => r,
@@ -142,9 +299,9 @@ impl Supervisor {
                 }
             };
             match result {
-                Ok(v) if v.is_finite() => return Ok(v),
+                Ok(v) if v.is_finite() => break Ok(v),
                 Ok(v) => {
-                    return Err(EstimateError::InvalidOutput(format!(
+                    break Err(EstimateError::InvalidOutput(format!(
                         "{name} returned non-finite value {v}"
                     )))
                 }
@@ -154,11 +311,19 @@ impl Supervisor {
                     // Exponential seeded backoff, paid in fuel steps; an
                     // exhausted budget ends the retry loop deterministically.
                     let base = 1u64 << attempt.min(16);
-                    fuel.spend(backoff.gen_range(1..=base.max(2)))?;
+                    if let Err(e) = fuel.spend(backoff.gen_range(1..=base.max(2))) {
+                        break Err(e);
+                    }
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
+        };
+        if let Some(b) = budget {
+            // spent ≤ per-call limit ≤ budget.remaining() at entry, so
+            // this debit cannot itself fail.
+            let _ = b.spend(fuel.spent());
         }
+        result
     }
 
     /// Runs `name` with its full resilience ladder and tags the result:
@@ -170,6 +335,45 @@ impl Supervisor {
     ///    [`Figure::fallback`] with source `"declared-range"`;
     /// 4. otherwise → [`Figure::unavailable`] carrying the primary error.
     pub fn estimate(&self, name: &str, inputs: &Bindings, range: Option<(f64, f64)>) -> Figure {
+        match self.estimate_budgeted(name, inputs, range, None) {
+            Ok(fig) => fig,
+            // Unreachable without a budget, but never worth a panic.
+            Err(e) => Figure::unavailable(format!("{name}: {e}")),
+        }
+    }
+
+    /// [`estimate`](Self::estimate) under a caller-owned [`Fuel`]
+    /// budget shared across the whole ladder (primary, fallbacks,
+    /// retries). The ladder stops the moment the budget runs dry.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::FuelExhausted`] when the budget was drained
+    /// before any rung produced a figure — the deadline-exceeded
+    /// signal; the range midpoint is deliberately *not* substituted,
+    /// because a deadline miss must be reported, not papered over.
+    pub fn estimate_within(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        range: Option<(f64, f64)>,
+        budget: &Fuel,
+    ) -> Result<Figure, EstimateError> {
+        self.estimate_budgeted(name, inputs, range, Some(budget))
+    }
+
+    fn estimate_budgeted(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        range: Option<(f64, f64)>,
+        budget: Option<&Fuel>,
+    ) -> Result<Figure, EstimateError> {
+        if let Some(b) = budget {
+            if b.remaining() == 0 {
+                return Err(EstimateError::FuelExhausted { limit: b.limit() });
+            }
+        }
         let key = self.cache.as_ref().map(|cache| {
             let tool = Symbol::intern(name);
             let fp = EstimateCache::fingerprint(inputs);
@@ -177,20 +381,39 @@ impl Supervisor {
         });
         if let Some((cache, tool, fp)) = &key {
             if let Some(fig) = cache.get(*tool, *fp) {
-                return fig;
+                return Ok(fig);
             }
         }
-        let fig = self.estimate_uncached(name, inputs, range);
+        let fig = self.estimate_uncached(name, inputs, range, budget)?;
         if let Some((cache, tool, fp)) = key {
             cache.store(tool, fp, &fig);
         }
-        fig
+        Ok(fig)
     }
 
-    fn estimate_uncached(&self, name: &str, inputs: &Bindings, range: Option<(f64, f64)>) -> Figure {
-        let primary_err = match self.call(name, inputs) {
-            Ok(v) => return Figure::estimated(v, name),
-            Err(e) => e,
+    fn estimate_uncached(
+        &self,
+        name: &str,
+        inputs: &Bindings,
+        range: Option<(f64, f64)>,
+        budget: Option<&Fuel>,
+    ) -> Result<Figure, EstimateError> {
+        let drained = |b: &&Fuel| EstimateError::FuelExhausted { limit: b.limit() };
+        let primary_err = match self.call_within(name, inputs, budget) {
+            Ok(v) => return Ok(Figure::estimated(v, name)),
+            Err(e) => {
+                if let Some(b) = budget.as_ref().filter(|b| b.remaining() == 0) {
+                    return Err(drained(b));
+                }
+                e
+            }
+        };
+        // An open breaker is provenance-worthy: whoever answers instead
+        // of the tripped tool says so in the figure's source.
+        let breaker_note = if is_breaker_open_err(&primary_err) {
+            format!(" [breaker open: {name}]")
+        } else {
+            String::new()
         };
         let chain = self
             .registry
@@ -198,18 +421,118 @@ impl Supervisor {
             .map(|t| t.fallbacks())
             .unwrap_or_default();
         for coarser in &chain {
-            if let Ok(v) = self.call(coarser, inputs) {
-                self.bump(|s| s.fallbacks_used += 1);
-                return Figure::fallback(v, coarser.clone());
+            match self.call_within(coarser, inputs, budget) {
+                Ok(v) => {
+                    self.bump(|s| s.fallbacks_used += 1);
+                    return Ok(Figure::fallback(v, format!("{coarser}{breaker_note}")));
+                }
+                Err(_) => {
+                    if let Some(b) = budget.as_ref().filter(|b| b.remaining() == 0) {
+                        return Err(drained(b));
+                    }
+                }
             }
         }
         if let Some((lo, hi)) = range {
             if lo.is_finite() && hi.is_finite() {
                 self.bump(|s| s.fallbacks_used += 1);
-                return Figure::fallback((lo + hi) / 2.0, "declared-range");
+                return Ok(Figure::fallback(
+                    (lo + hi) / 2.0,
+                    format!("declared-range{breaker_note}"),
+                ));
             }
         }
-        Figure::unavailable(format!("{name}: {primary_err}"))
+        Ok(Figure::unavailable(format!("{name}: {primary_err}")))
+    }
+
+    /// Sorted per-tool breaker views (empty until breakers are enabled
+    /// and a guarded tool has been called).
+    pub fn breaker_snapshot(&self) -> Vec<BreakerView> {
+        self.breakers
+            .borrow()
+            .iter()
+            .map(|(tool, st)| BreakerView {
+                tool: tool.clone(),
+                phase: match st.phase {
+                    BreakerPhase::Closed => "closed",
+                    BreakerPhase::Open => "open",
+                    BreakerPhase::HalfOpen => "half-open",
+                },
+                trips: st.trips,
+                short_circuits: st.short_circuits,
+                calls_until_probe: st.open_remaining,
+            })
+            .collect()
+    }
+
+    /// Gate a call through the tool's breaker. While open, decrements
+    /// the call-counted cooldown and fails fast; the call that finds
+    /// the cooldown at zero becomes the half-open probe and proceeds.
+    fn breaker_admit(&self, name: &str) -> Result<(), EstimateError> {
+        let Some(cfg) = self.config.breaker else {
+            return Ok(());
+        };
+        let mut map = self.breakers.borrow_mut();
+        let st = map
+            .entry(name.to_owned())
+            .or_insert_with(|| BreakerState::new(&cfg, name));
+        match st.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen => Ok(()),
+            BreakerPhase::Open if st.open_remaining == 0 => {
+                st.phase = BreakerPhase::HalfOpen;
+                Ok(())
+            }
+            BreakerPhase::Open => {
+                st.open_remaining -= 1;
+                st.short_circuits += 1;
+                let left = st.open_remaining;
+                drop(map);
+                self.bump(|s| s.breaker_short_circuits += 1);
+                Err(EstimateError::ToolFailed(format!(
+                    "{BREAKER_OPEN_MSG} for {name}: {left} calls until half-open probe"
+                )))
+            }
+        }
+    }
+
+    /// Feed a terminal call outcome back into the tool's breaker.
+    fn breaker_record(&self, name: &str, success: bool) {
+        let Some(cfg) = self.config.breaker else {
+            return;
+        };
+        let mut map = self.breakers.borrow_mut();
+        let Some(st) = map.get_mut(name) else {
+            return;
+        };
+        if success {
+            st.phase = BreakerPhase::Closed;
+            st.consecutive_failures = 0;
+            st.cooldown = cfg.cooldown_calls.max(1);
+            return;
+        }
+        let tripped = match st.phase {
+            BreakerPhase::HalfOpen => {
+                // Failed probe: reopen with the cooldown doubled, capped.
+                st.cooldown = (st.cooldown.saturating_mul(2)).min(cfg.cooldown_cap.max(1));
+                st.trip();
+                true
+            }
+            BreakerPhase::Closed => {
+                st.consecutive_failures += 1;
+                if st.consecutive_failures >= cfg.trip_threshold {
+                    st.consecutive_failures = 0;
+                    st.trip();
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerPhase::Open => false,
+        };
+        drop(map);
+        if tripped {
+            self.bump(|s| s.breaker_trips += 1);
+        }
     }
 
     fn bump(&self, f: impl FnOnce(&mut SupervisorStats)) {
@@ -217,6 +540,14 @@ impl Supervisor {
         f(&mut s);
         self.stats.set(s);
     }
+}
+
+/// Marker prefix for breaker short-circuit errors (also how the ladder
+/// recognizes them for provenance tagging).
+const BREAKER_OPEN_MSG: &str = "circuit breaker open";
+
+fn is_breaker_open_err(e: &EstimateError) -> bool {
+    matches!(e, EstimateError::ToolFailed(m) if m.starts_with(BREAKER_OPEN_MSG))
 }
 
 /// FNV-1a over the tool name: a tiny stable hash to decorrelate backoff
@@ -499,6 +830,161 @@ mod tests {
         let fig2 = sup2.estimate("Panicky", &x_bindings(), Some((10.0, 30.0)));
         assert_eq!(fig2.provenance, Provenance::Estimated);
         assert_eq!(fig2.value, Some(42.0));
+    }
+
+    /// Burns `cost` fuel per call, then returns 7.0.
+    struct Burner {
+        cost: u64,
+    }
+    impl Estimator for Burner {
+        fn name(&self) -> &str {
+            "Burner"
+        }
+        fn metric(&self) -> &str {
+            "ns"
+        }
+        fn estimate(&self, _: &Bindings) -> Result<f64, EstimateError> {
+            Ok(7.0)
+        }
+        fn estimate_with_fuel(
+            &self,
+            _: &Bindings,
+            fuel: &crate::robust::Fuel,
+        ) -> Result<f64, EstimateError> {
+            fuel.spend(self.cost)?;
+            Ok(7.0)
+        }
+    }
+
+    fn breaker_config(threshold: u32, cooldown: u64) -> SupervisorConfig {
+        SupervisorConfig {
+            breaker: Some(BreakerConfig {
+                trip_threshold: threshold,
+                cooldown_calls: cooldown,
+                cooldown_cap: 8,
+                probe_seed: 1,
+            }),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_trips_short_circuits_and_recloses_on_a_good_probe() {
+        // Terminal failures 1..=3, then healthy — with max_retries = 0 so
+        // every transient error is terminal.
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Flaky {
+            fails: 3,
+            calls: AtomicU64::new(0),
+        }));
+        let config = SupervisorConfig {
+            max_retries: 0,
+            ..breaker_config(2, 1)
+        };
+        let sup = Supervisor::with_config(reg, config);
+        let b = Bindings::new();
+
+        // Two terminal failures trip the breaker (cooldown 1, jitter 0).
+        assert!(sup.call("Flaky", &b).is_err());
+        assert!(sup.call("Flaky", &b).is_err());
+        assert_eq!(sup.stats().breaker_trips, 1);
+        assert_eq!(sup.breaker_snapshot()[0].phase, "open");
+
+        // One short-circuited call: the tool itself is never touched.
+        let err = sup.call("Flaky", &b).unwrap_err();
+        assert!(err.to_string().contains("circuit breaker open"), "{err}");
+        assert_eq!(sup.stats().breaker_short_circuits, 1);
+
+        // Next call is the half-open probe; the tool fails once more, so
+        // the breaker reopens with the cooldown doubled.
+        assert!(sup.call("Flaky", &b).is_err());
+        assert_eq!(sup.stats().breaker_trips, 2);
+        assert_eq!(sup.breaker_snapshot()[0].phase, "open");
+
+        // Ride out the doubled cooldown, then a healthy probe recloses.
+        while sup.breaker_snapshot()[0].calls_until_probe > 0 {
+            assert!(sup.call("Flaky", &b).is_err());
+        }
+        assert_eq!(sup.call("Flaky", &b).unwrap(), 42.0);
+        let view = &sup.breaker_snapshot()[0];
+        assert_eq!(view.phase, "closed");
+        assert_eq!(view.trips, 2);
+        // Once closed, calls flow normally again.
+        assert_eq!(sup.call("Flaky", &b).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn open_breaker_is_visible_in_fallback_provenance() {
+        silence_injected_panics();
+        let sup = Supervisor::with_config(
+            {
+                let mut reg = EstimatorRegistry::new();
+                reg.register(Box::new(Panicky));
+                reg.register(Box::new(Doubler));
+                reg
+            },
+            breaker_config(1, 8),
+        );
+        // First estimate trips the breaker on the real panic; the
+        // fallback answers without a note (the tool really ran).
+        let first = sup.estimate("Panicky", &x_bindings(), None);
+        assert_eq!(first.source, "Doubler");
+        let phase_of = |tool: &str| {
+            sup.breaker_snapshot()
+                .into_iter()
+                .find(|v| v.tool == tool)
+                .unwrap()
+                .phase
+        };
+        assert_eq!(phase_of("Panicky"), "open");
+        assert_eq!(phase_of("Doubler"), "closed");
+        // While open, the short-circuit is spelled out in provenance.
+        let second = sup.estimate("Panicky", &x_bindings(), None);
+        assert_eq!(second.value, Some(42.0));
+        assert_eq!(second.provenance, Provenance::Fallback);
+        assert_eq!(second.source, "Doubler [breaker open: Panicky]");
+        assert_eq!(sup.stats().panics_caught, 1, "tool must not have rerun");
+    }
+
+    #[test]
+    fn breaker_schedule_is_deterministic_per_seed() {
+        let run = || {
+            silence_injected_panics();
+            let mut reg = EstimatorRegistry::new();
+            reg.register(Box::new(Panicky));
+            let sup = Supervisor::with_config(reg, breaker_config(1, 8));
+            for _ in 0..32 {
+                let _ = sup.call("Panicky", &Bindings::new());
+            }
+            (sup.breaker_snapshot(), sup.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budgeted_estimates_stop_at_the_deadline_not_at_the_range() {
+        let mut reg = EstimatorRegistry::new();
+        reg.register(Box::new(Burner { cost: 100 }));
+        let sup = Supervisor::new(reg);
+        let b = Bindings::new();
+
+        // A generous budget answers exactly like the unbudgeted path and
+        // debits what the tool spent.
+        let budget = Fuel::new(1_000);
+        let fig = sup
+            .estimate_within("Burner", &b, Some((0.0, 10.0)), &budget)
+            .unwrap();
+        assert_eq!(fig.value, Some(7.0));
+        assert_eq!(budget.spent(), 100);
+
+        // A drained budget is a deadline miss — an error, not a silent
+        // range-midpoint figure.
+        let tight = Fuel::new(40);
+        let err = sup
+            .estimate_within("Burner", &b, Some((0.0, 10.0)), &tight)
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::FuelExhausted { .. }));
+        assert_eq!(tight.remaining(), 0);
     }
 
     #[test]

@@ -559,13 +559,43 @@ impl<'a> ExplorationSession<'a> {
     /// as a garbage filter: a tool value outside the declared bounds is
     /// degraded to the range midpoint rather than trusted.
     pub fn run_estimators(&mut self, supervisor: &Supervisor) -> Vec<(String, Figure)> {
+        self.run_estimators_budgeted(supervisor, None)
+            .expect("unbudgeted estimator run cannot exhaust a deadline")
+    }
+
+    /// [`run_estimators`](Self::run_estimators) under a caller-owned
+    /// [`Fuel`] budget shared by every ready estimator context — the
+    /// request-deadline path.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::estimate::EstimateError::FuelExhausted`] when the budget
+    /// ran dry mid-run. Figures produced before the cutoff stay cached
+    /// (they are real results); the caller decides whether to surface
+    /// or roll back.
+    pub fn run_estimators_within(
+        &mut self,
+        supervisor: &Supervisor,
+        budget: &crate::robust::Fuel,
+    ) -> Result<Vec<(String, Figure)>, crate::estimate::EstimateError> {
+        self.run_estimators_budgeted(supervisor, Some(budget))
+    }
+
+    fn run_estimators_budgeted(
+        &mut self,
+        supervisor: &Supervisor,
+        budget: Option<&crate::robust::Fuel>,
+    ) -> Result<Vec<(String, Figure)>, crate::estimate::EstimateError> {
         let mut out = Vec::new();
         for (estimator, output) in self.ready_estimators() {
             let range = self
                 .space
                 .find_property(self.focus, &output)
                 .and_then(|(_, p)| p.domain().numeric_bounds());
-            let mut fig = supervisor.estimate(&estimator, &self.bindings, range);
+            let mut fig = match budget {
+                Some(b) => supervisor.estimate_within(&estimator, &self.bindings, range, b)?,
+                None => supervisor.estimate(&estimator, &self.bindings, range),
+            };
             if let (Some(v), Some((lo, hi))) = (fig.value, range) {
                 if v < lo || v > hi {
                     fig = Figure::fallback(
@@ -577,7 +607,7 @@ impl<'a> ExplorationSession<'a> {
             self.estimates.insert(Symbol::from(&output), fig.clone());
             out.push((output, fig));
         }
-        out
+        Ok(out)
     }
 
     /// Folds the ready quantitative derivations (see

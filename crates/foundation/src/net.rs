@@ -198,6 +198,217 @@ impl TcpServer {
     }
 }
 
+/// One injected network fault, drawn from a seeded [`NetFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// No fault: the operation passes through.
+    None,
+    /// The connection dies: this and every later operation fail
+    /// (`ConnectionReset` on reads, `BrokenPipe` on writes).
+    Drop,
+    /// A short read/write: only part of the buffer moves, forcing the
+    /// caller's retry/`write_all` loop to do its job.
+    Partial,
+    /// A brief stall (1 ms) before the operation proceeds — enough to
+    /// interleave with other connections, bounded so suites stay fast.
+    Stall,
+}
+
+/// Per-mille rates for each fault class in a [`NetFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultRates {
+    /// ‰ of operations that kill the connection.
+    pub drop_per_mille: u16,
+    /// ‰ of operations that move only part of the buffer.
+    pub partial_per_mille: u16,
+    /// ‰ of operations that stall briefly first.
+    pub stall_per_mille: u16,
+}
+
+impl NetFaultRates {
+    /// No faults at all.
+    pub fn benign() -> NetFaultRates {
+        NetFaultRates {
+            drop_per_mille: 0,
+            partial_per_mille: 0,
+            stall_per_mille: 0,
+        }
+    }
+
+    /// The chaos-soak default: 2% drops, 10% partial transfers, 5%
+    /// stalls.
+    pub fn chaos() -> NetFaultRates {
+        NetFaultRates {
+            drop_per_mille: 20,
+            partial_per_mille: 100,
+            stall_per_mille: 50,
+        }
+    }
+}
+
+/// A seeded, precomputed fault schedule for a [`FaultStream`].
+///
+/// Mirrors `dse::robust::FaultPlan`: the whole schedule is drawn up
+/// front from a [`crate::rng::StdRng`], indexed cyclically by operation
+/// number, so every run with the same seed injects exactly the same
+/// faults at exactly the same points regardless of timing or thread
+/// interleaving.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    schedule: Vec<NetFault>,
+}
+
+impl NetFaultPlan {
+    /// Draws a schedule of `ops` entries from `seed` at `rates`.
+    pub fn new(seed: u64, ops: usize, rates: NetFaultRates) -> NetFaultPlan {
+        use crate::rng::{Rng, SeedableRng, StdRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E45_5446_4155_4C54); // "NETFAULT"
+        let mut schedule = Vec::with_capacity(ops.max(1));
+        for _ in 0..ops.max(1) {
+            let roll = rng.gen_range(0u16..1000);
+            let drop_end = rates.drop_per_mille;
+            let partial_end = drop_end + rates.partial_per_mille;
+            let stall_end = partial_end + rates.stall_per_mille;
+            schedule.push(if roll < drop_end {
+                NetFault::Drop
+            } else if roll < partial_end {
+                NetFault::Partial
+            } else if roll < stall_end {
+                NetFault::Stall
+            } else {
+                NetFault::None
+            });
+        }
+        NetFaultPlan { schedule }
+    }
+
+    /// A schedule that never faults.
+    pub fn benign() -> NetFaultPlan {
+        NetFaultPlan {
+            schedule: vec![NetFault::None],
+        }
+    }
+
+    /// The fault for operation `i` (cyclic past the schedule length).
+    pub fn fault_for_op(&self, i: u64) -> NetFault {
+        self.schedule[(i % self.schedule.len() as u64) as usize]
+    }
+}
+
+/// A `Read + Write` wrapper that injects the faults of a
+/// [`NetFaultPlan`], one schedule entry per I/O operation.
+///
+/// Drops are sticky: once the plan kills the connection, every later
+/// operation fails too, exactly like a real broken socket. Partial
+/// transfers move at most half the buffer (at least one byte), and
+/// stalls sleep 1 ms — long enough to shuffle interleavings, short
+/// enough for hermetic suites.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: S,
+    plan: NetFaultPlan,
+    op: u64,
+    dead: bool,
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: NetFaultPlan) -> FaultStream<S> {
+        FaultStream {
+            inner,
+            plan,
+            op: 0,
+            dead: false,
+        }
+    }
+
+    /// Operations performed so far (fault schedule index).
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Whether an injected drop has killed this stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn next_fault(&mut self) -> NetFault {
+        let fault = self.plan.fault_for_op(self.op);
+        self.op += 1;
+        fault
+    }
+}
+
+impl<S: io::Read> io::Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection drop (sticky)",
+            ));
+        }
+        match self.next_fault() {
+            NetFault::Drop => {
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected connection drop",
+                ))
+            }
+            NetFault::Partial => {
+                let cap = (buf.len() / 2).max(1).min(buf.len());
+                self.inner.read(&mut buf[..cap])
+            }
+            NetFault::Stall => {
+                std::thread::sleep(Duration::from_millis(1));
+                self.inner.read(buf)
+            }
+            NetFault::None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected connection drop (sticky)",
+            ));
+        }
+        match self.next_fault() {
+            NetFault::Drop => {
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected connection drop",
+                ))
+            }
+            NetFault::Partial if buf.len() > 1 => self.inner.write(&buf[..buf.len() / 2]),
+            NetFault::Stall => {
+                std::thread::sleep(Duration::from_millis(1));
+                self.inner.write(buf)
+            }
+            NetFault::Partial | NetFault::None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected connection drop (sticky)",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +501,73 @@ mod tests {
 
         stop.store(true, Ordering::SeqCst);
         accept.join().unwrap();
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_per_seed() {
+        let a = NetFaultPlan::new(9, 256, NetFaultRates::chaos());
+        let b = NetFaultPlan::new(9, 256, NetFaultRates::chaos());
+        let c = NetFaultPlan::new(10, 256, NetFaultRates::chaos());
+        let draw = |p: &NetFaultPlan| (0..512).map(|i| p.fault_for_op(i)).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b));
+        assert_ne!(draw(&a), draw(&c), "different seeds should differ");
+        // Cyclic indexing past the schedule length.
+        assert_eq!(a.fault_for_op(0), a.fault_for_op(256));
+        // Benign plans never fault.
+        let benign = NetFaultPlan::new(9, 256, NetFaultRates::benign());
+        assert!(draw(&benign).iter().all(|&f| f == NetFault::None));
+    }
+
+    #[test]
+    fn fault_stream_injects_sticky_drops_and_partial_writes() {
+        // A plan that is 100% drops: first op kills the stream for good.
+        let all_drop = NetFaultPlan::new(
+            1,
+            8,
+            NetFaultRates {
+                drop_per_mille: 1000,
+                partial_per_mille: 0,
+                stall_per_mille: 0,
+            },
+        );
+        let mut s = FaultStream::new(Vec::<u8>::new(), all_drop);
+        let err = s.write(b"hello").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.is_dead());
+        assert_eq!(s.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.flush().is_err());
+
+        // A plan that is 100% partial transfers: write_all still lands
+        // every byte, it just takes several write calls.
+        let all_partial = NetFaultPlan::new(
+            1,
+            8,
+            NetFaultRates {
+                drop_per_mille: 0,
+                partial_per_mille: 1000,
+                stall_per_mille: 0,
+            },
+        );
+        let mut s = FaultStream::new(Vec::<u8>::new(), all_partial);
+        s.write_all(b"twelve bytes").unwrap();
+        assert!(s.ops() > 1, "partial writes must split the buffer");
+        assert_eq!(s.into_inner(), b"twelve bytes");
+
+        // Partial reads deliver the full message across multiple reads.
+        let mut r = FaultStream::new(
+            &b"payload"[..],
+            NetFaultPlan::new(
+                2,
+                8,
+                NetFaultRates {
+                    drop_per_mille: 0,
+                    partial_per_mille: 1000,
+                    stall_per_mille: 0,
+                },
+            ),
+        );
+        let mut out = Vec::new();
+        io::Read::read_to_end(&mut r, &mut out).unwrap();
+        assert_eq!(out, b"payload");
     }
 }

@@ -1,11 +1,23 @@
 //! The TCP front: one thread per connection over
-//! [`foundation::net::TcpServer`], with graceful drain.
+//! [`foundation::net::TcpServer`], with graceful drain and admission
+//! control.
 //!
 //! Each connection reads newline-delimited JSON requests. Whatever the
 //! client has pipelined (every complete line already buffered) is
 //! handed to [`Engine::handle_batch`] as one batch, so independent
 //! sessions on one connection still fan out across the worker pool
 //! while responses come back in request order.
+//!
+//! Overload protection (tunables in [`crate::guard::GuardConfig`]):
+//! a connection past `max_connections` is answered with a single
+//! `DSL309` line (carrying `retry_after_ms`) and dropped; pipelined
+//! requests past `max_inflight_per_conn` in one batch are shed the same
+//! way, in request order, so a backed-off client loses nothing silently;
+//! a connection idle past `read_timeout` mid-read is reaped — the
+//! slow-loris defense. Both registries (socket clones for drain wake-up,
+//! thread handles for join) are swept as connections finish, so a
+//! long-lived daemon's bookkeeping is bounded by *live* connections,
+//! not by every connection it ever accepted.
 //!
 //! Drain protocol: a `shutdown` request flips the engine's draining
 //! flag. The connection that carried it answers, then trips the accept
@@ -14,8 +26,10 @@
 //! stop producing requests — and joins all connection threads before
 //! returning.
 
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::{io, thread};
@@ -23,7 +37,55 @@ use std::{io, thread};
 use foundation::net::{self, TcpServer, MAX_WIRE_BYTES};
 
 use crate::engine::Engine;
-use crate::protocol::{err_response, ProtocolError};
+use crate::protocol::{err_response, parse_request, ProtocolError};
+
+/// Registries of live connections: socket clones (for drain wake-up)
+/// and thread handles (for join), both keyed by a per-connection id so
+/// finished entries can be swept instead of accumulating forever.
+#[derive(Debug, Default)]
+struct Registry {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    threads: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Connections currently being served (admission-control gauge; the
+    /// maps above may briefly lag it during setup/teardown).
+    active: AtomicUsize,
+}
+
+impl Registry {
+    /// Joins every thread whose connection already finished. Called on
+    /// each accept, so the handle map is bounded by live connections
+    /// plus at most the batch that ended since the last accept.
+    fn sweep_finished(&self) {
+        let finished: Vec<u64> = {
+            let threads = self.threads.lock().unwrap();
+            threads
+                .iter()
+                .filter(|(_, h)| h.is_finished())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in finished {
+            let handle = self.threads.lock().unwrap().remove(&id);
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Removes a connection's registry entries when its thread exits, on
+/// every path out (EOF, error, reap, drain, panic).
+struct ConnGuard {
+    registry: Arc<Registry>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.registry.conns.lock().unwrap().remove(&self.id);
+        self.registry.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// A running daemon: the listener thread plus its connection threads.
 #[derive(Debug)]
@@ -32,8 +94,7 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<io::Result<()>>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    registry: Arc<Registry>,
 }
 
 impl Server {
@@ -47,28 +108,44 @@ impl Server {
         let tcp = TcpServer::bind(addr)?;
         let local = tcp.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let threads = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::new(Registry::default());
+        let next_id = AtomicU64::new(0);
 
         let accept = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            let threads = Arc::clone(&threads);
+            let registry = Arc::clone(&registry);
             thread::spawn(move || {
                 tcp.serve(&stop, |stream, _peer| {
                     if engine.is_draining() {
                         return; // dropping the stream refuses the connection
                     }
+                    registry.sweep_finished();
+                    let guard_cfg = engine.guard();
+                    let admitted =
+                        registry.active.fetch_add(1, Ordering::SeqCst) < guard_cfg.max_connections;
+                    if !admitted {
+                        registry.active.fetch_sub(1, Ordering::SeqCst);
+                        engine.note_overload();
+                        refuse_connection(stream, guard_cfg.retry_after_ms);
+                        return;
+                    }
+                    let _ = stream.set_read_timeout(guard_cfg.read_timeout);
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
                     if let Ok(clone) = stream.try_clone() {
-                        conns.lock().unwrap().push(clone);
+                        registry.conns.lock().unwrap().insert(id, clone);
                     }
                     let engine = Arc::clone(&engine);
                     let stop = Arc::clone(&stop);
-                    threads
-                        .lock()
-                        .unwrap()
-                        .push(thread::spawn(move || connection(&engine, stream, &stop)));
+                    let conn_guard = ConnGuard {
+                        registry: Arc::clone(&registry),
+                        id,
+                    };
+                    let handle = thread::spawn(move || {
+                        let _cleanup = conn_guard;
+                        connection(&engine, stream, &stop);
+                    });
+                    registry.threads.lock().unwrap().insert(id, handle);
                 })
             })
         };
@@ -78,8 +155,7 @@ impl Server {
             addr: local,
             stop,
             accept: Some(accept),
-            conns,
-            threads,
+            registry,
         })
     }
 
@@ -93,12 +169,17 @@ impl Server {
         &self.engine
     }
 
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.registry.active.load(Ordering::SeqCst)
+    }
+
     /// Requests drain from outside the protocol (equivalent to a
     /// `shutdown` request): stops accepting and wakes blocked readers.
     pub fn request_stop(&self) {
         self.engine.begin_drain();
         self.stop.store(true, Ordering::SeqCst);
-        for s in self.conns.lock().unwrap().iter() {
+        for s in self.registry.conns.lock().unwrap().values() {
             let _ = s.shutdown(Shutdown::Read);
         }
     }
@@ -118,10 +199,13 @@ impl Server {
             None => Ok(()),
         };
         // The accept thread has exited, so both registries are final.
-        for s in self.conns.lock().unwrap().iter() {
+        for s in self.registry.conns.lock().unwrap().values() {
             let _ = s.shutdown(Shutdown::Read);
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut self.threads.lock().unwrap());
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self.registry.threads.lock().unwrap();
+            threads.drain().map(|(_, h)| h).collect()
+        };
         for h in handles {
             let _ = h.join();
         }
@@ -129,8 +213,29 @@ impl Server {
     }
 }
 
+/// Answers an over-cap connection with one structured refusal line and
+/// drops it.
+fn refuse_connection(stream: TcpStream, retry_after_ms: u64) {
+    let resp = err_response(
+        &None,
+        &ProtocolError::overloaded("connection limit reached", retry_after_ms),
+    );
+    let mut writer = io::BufWriter::new(stream);
+    let _ = net::write_line(&mut writer, &foundation::json::encode(&resp));
+    let _ = writer.flush();
+}
+
+/// Whether a read error means the peer merely went quiet (read timeout:
+/// reap the connection) rather than sent something unframeable.
+fn is_idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// One connection: read everything pipelined, answer as a batch, until
-/// EOF, error, or drain.
+/// EOF, error, idle timeout, or drain.
 fn connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -141,6 +246,7 @@ fn connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
         let first = match net::read_line_bounded(&mut reader, MAX_WIRE_BYTES) {
             Ok(Some(line)) => line,
             Ok(None) => return, // clean EOF
+            Err(e) if is_idle_timeout(&e) => return, // reap the idle connection
             Err(e) => {
                 // An unframeable line (oversized / not UTF-8): tell the
                 // client why, then drop the connection — the stream
@@ -159,8 +265,31 @@ fn connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
                 _ => break,
             }
         }
+        // Backpressure: admit up to the per-connection cap, shed the
+        // rest with DSL309 so the client can retry after backing off —
+        // responses still come back in request order.
+        let guard_cfg = engine.guard();
+        let cap = guard_cfg.max_inflight_per_conn.max(1).min(batch.len());
+        let shed = batch.split_off(cap);
         for response in engine.handle_batch(&batch) {
             if net::write_line(&mut writer, &response).is_err() {
+                return;
+            }
+        }
+        for line in &shed {
+            engine.note_overload();
+            let (_, env) = parse_request(line);
+            let resp = err_response(
+                &env.id,
+                &ProtocolError::overloaded(
+                    format!(
+                        "batch limit reached ({} in flight on this connection)",
+                        guard_cfg.max_inflight_per_conn
+                    ),
+                    guard_cfg.retry_after_ms,
+                ),
+            );
+            if net::write_line(&mut writer, &foundation::json::encode(&resp)).is_err() {
                 return;
             }
         }

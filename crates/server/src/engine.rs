@@ -27,15 +27,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dse::prelude::{
-    CdoId, DesignSpace, DiagCode, DseError, EstimateCache, ExplorationSession, Figure, JournalDir,
-    JournalRecord, Property, PropertyKind, SessionSnapshot, Solver, Supervisor, Value, Viability,
+    CdoId, DesignSpace, DiagCode, DseError, EstimateCache, ExplorationSession, FaultPlan,
+    FaultRates, Figure, Fuel, Journal, JournalDir, JournalRecord, Property, PropertyKind,
+    SessionSnapshot, Solver, Supervisor, SupervisorConfig, Value, Viability,
 };
 use dse_library::{load_all_layers, Explorer, ReuseLibrary};
 use foundation::json::Json;
 use techlib::Technology;
 
+use crate::guard::{GuardConfig, FUEL_PER_MS};
 use crate::protocol::{
-    err_response, ok_response, parse_request, value_to_json, ProtocolError, Request, RequestId,
+    err_response, ok_response, parse_request, value_to_json, Envelope, ProtocolError, Request,
 };
 
 /// Default cap on core names returned by `surviving_cores`.
@@ -44,6 +46,21 @@ const DEFAULT_CORE_LIMIT: usize = 64;
 /// Sidecar extension recording which snapshot a journaled session
 /// explores.
 const META_EXT: &str = "meta";
+
+/// Flat fuel cost charged at admission by every deadlined request, so a
+/// `deadline_ms` of `0` burns out before any op runs (the deterministic
+/// "already too late" answer).
+const OP_BASE_FUEL: u64 = 1_000;
+
+/// Fuel charged by a `surviving_cores` scan under a deadline.
+const CORE_SCAN_FUEL: u64 = 4_096;
+
+/// Fuel charged by a `viable` lookahead solve under a deadline.
+const LOOKAHEAD_FUEL: u64 = 8_192;
+
+/// Cyclic schedule length for a fault-injected registry
+/// ([`EngineBuilder::tool_faults`]).
+const TOOL_FAULT_SCHEDULE: usize = 4_096;
 
 /// One immutable, shareable design space plus its reuse library.
 ///
@@ -78,6 +95,12 @@ struct SessionSlot {
     /// first use and then kept in lock-step with decide/retract so each
     /// query re-solves only the changed domains instead of rebuilding.
     lookahead: Option<LookaheadSlot>,
+    /// Records in this session's journal file, maintained so the
+    /// compaction trigger never stats the disk on the hot path.
+    journal_records: usize,
+    /// Engine request-counter value when the slot was last touched (the
+    /// logical clock TTL eviction measures against).
+    last_touch: u64,
 }
 
 /// A [`Solver`] synchronized with a session's decision log.
@@ -98,6 +121,8 @@ pub struct EngineBuilder {
     tech: Technology,
     snapshots: BTreeMap<String, Arc<Snapshot>>,
     journal_dir: Option<std::path::PathBuf>,
+    guard: GuardConfig,
+    tool_fault_seed: Option<u64>,
     errors: Vec<String>,
 }
 
@@ -109,6 +134,8 @@ impl EngineBuilder {
             tech,
             snapshots: BTreeMap::new(),
             journal_dir: None,
+            guard: GuardConfig::default(),
+            tool_fault_seed: None,
             errors: Vec::new(),
         }
     }
@@ -179,6 +206,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Overrides the overload-protection tunables (see [`GuardConfig`]).
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Wraps every estimator in a seeded [`FaultPlan`] (chaos rates) —
+    /// the hook the chaos soak uses to exercise breakers and fallback
+    /// chains end to end. Disables the estimate cache: memo hits would
+    /// shift the injection schedule and break determinism.
+    pub fn tool_faults(mut self, seed: u64) -> Self {
+        self.tool_fault_seed = Some(seed);
+        self
+    }
+
     /// Builds the engine, recovering every journal found in the journal
     /// directory. Per-journal problems become boot warnings (visible in
     /// `stats`), never boot failures.
@@ -196,22 +238,38 @@ impl EngineBuilder {
             None => None,
         };
         let cache = Arc::new(EstimateCache::new());
-        let supervisor = Supervisor::with_cache(
-            dse_library::estimators::full_registry(self.tech.clone()),
-            Arc::clone(&cache),
-        );
+        let registry = dse_library::estimators::full_registry(self.tech.clone());
+        let sup_config = SupervisorConfig {
+            breaker: self.guard.breaker,
+            ..SupervisorConfig::default()
+        };
+        let supervisor = match self.tool_fault_seed {
+            // Fault injection and memoization do not mix: a cache hit
+            // skips the tool call and shifts the fault schedule.
+            Some(seed) => Supervisor::with_config(
+                FaultPlan::new(seed, TOOL_FAULT_SCHEDULE, FaultRates::chaos())
+                    .wrap_registry(registry),
+                sup_config,
+            ),
+            None => Supervisor::with_cache_config(registry, Arc::clone(&cache), sup_config),
+        };
         let engine = Engine {
             snapshots: self.snapshots,
             sessions: Mutex::new(HashMap::new()),
             journal,
             supervisor: Mutex::new(supervisor),
             cache,
+            guard: self.guard,
             draining: AtomicBool::new(false),
             boot_warnings: Vec::new(),
             requests: AtomicU64::new(0),
             opened: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
             session_seq: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         };
         engine.recover_journals()
     }
@@ -229,12 +287,17 @@ pub struct Engine {
     /// is shared and lock-striped independently.
     supervisor: Mutex<Supervisor>,
     cache: Arc<EstimateCache>,
+    guard: GuardConfig,
     draining: AtomicBool,
     boot_warnings: Vec<String>,
     requests: AtomicU64,
     opened: AtomicU64,
     recovered: AtomicU64,
     session_seq: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    evicted: AtomicU64,
+    compactions: AtomicU64,
 }
 
 type OpResult = Result<Vec<(String, Json)>, ProtocolError>;
@@ -266,12 +329,25 @@ impl Engine {
         &self.cache
     }
 
+    /// The overload-protection tunables the engine was built with (the
+    /// TCP front reads its connection-level knobs here).
+    pub fn guard(&self) -> &GuardConfig {
+        &self.guard
+    }
+
+    /// Records a shed request (connection cap, batch cap) refused at the
+    /// transport before reaching [`Engine::handle_batch`], so `stats`
+    /// counts every DSL309 the daemon emits.
+    pub fn note_overload(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Handles one raw request line, returning the encoded response
     /// line. Never panics: a panic inside an operation is caught and
     /// reported as a `DSL306` failure.
     pub fn handle_line(&self, line: &str) -> String {
-        let (parsed, id) = parse_request(line);
-        foundation::json::encode(&self.handle_parsed(parsed, &id))
+        let (parsed, env) = parse_request(line);
+        foundation::json::encode(&self.handle_parsed(parsed, &env))
     }
 
     /// Handles a batch of request lines (e.g. everything a pipelining
@@ -283,7 +359,7 @@ impl Engine {
         if lines.len() <= 1 {
             return lines.iter().map(|l| self.handle_line(l)).collect();
         }
-        let parsed: Vec<(Result<Request, ProtocolError>, RequestId)> =
+        let parsed: Vec<(Result<Request, ProtocolError>, Envelope)> =
             lines.iter().map(|l| parse_request(l)).collect();
 
         // Group request indices by session; everything else (control
@@ -308,8 +384,8 @@ impl Engine {
             group
                 .into_iter()
                 .map(|i| {
-                    let (req, id) = &parsed[i];
-                    (i, self.handle_parsed(req.clone(), id))
+                    let (req, env) = &parsed[i];
+                    (i, self.handle_parsed(req.clone(), env))
                 })
                 .collect()
         });
@@ -320,30 +396,52 @@ impl Engine {
         out
     }
 
-    fn handle_parsed(&self, parsed: Result<Request, ProtocolError>, id: &RequestId) -> Json {
+    fn handle_parsed(&self, parsed: Result<Request, ProtocolError>, env: &Envelope) -> Json {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let id = &env.id;
         let req = match parsed {
             Ok(r) => r,
             Err(e) => return err_response(id, &e),
         };
-        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(req))).unwrap_or_else(|p| {
-            let what = p
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| p.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_owned());
-            Err(ProtocolError::new(
-                DiagCode::SessionRejected,
-                format!("internal error: operation aborted ({what})"),
-            ))
-        });
+        // A deadline is a cooperative fuel budget, not a wall clock: the
+        // same request with the same deadline_ms exhausts at the same
+        // point on every run, regardless of machine or thread count.
+        let budget = env
+            .deadline_ms
+            .map(|ms| Fuel::new(ms.saturating_mul(FUEL_PER_MS)));
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(req, budget.as_ref())))
+            .unwrap_or_else(|p| {
+                let what = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                Err(ProtocolError::new(
+                    DiagCode::SessionRejected,
+                    format!("internal error: operation aborted ({what})"),
+                ))
+            });
         match result {
             Ok(fields) => ok_response(id, fields),
-            Err(e) => err_response(id, &e),
+            Err(e) => {
+                match e.code {
+                    DiagCode::Overloaded => {
+                        self.overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    DiagCode::DeadlineExceeded => {
+                        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                err_response(id, &e)
+            }
         }
     }
 
-    fn dispatch(&self, req: Request) -> OpResult {
+    fn dispatch(&self, req: Request, budget: Option<&Fuel>) -> OpResult {
+        // Every deadlined request pays a flat admission cost, so
+        // deadline_ms:0 answers DSL310 before touching any state.
+        charge(budget, OP_BASE_FUEL, "admission")?;
         match req {
             Request::Open {
                 session,
@@ -356,11 +454,15 @@ impl Engine {
                 value,
             } => self.op_decide(&session, &name, value),
             Request::Retract { session, name } => self.op_retract(&session, name.as_deref()),
-            Request::Eval { session } => self.op_eval(&session),
+            Request::Eval { session } => self.op_eval(&session, budget),
             Request::SurvivingCores { session, limit } => {
+                charge(budget, CORE_SCAN_FUEL, "surviving_cores")?;
                 self.op_surviving_cores(&session, limit.unwrap_or(DEFAULT_CORE_LIMIT))
             }
-            Request::Viable { session, name } => self.op_viable(&session, &name),
+            Request::Viable { session, name } => {
+                charge(budget, LOOKAHEAD_FUEL, "viable")?;
+                self.op_viable(&session, &name)
+            }
             Request::Report { session } => self.op_report(&session),
             Request::Close { session } => self.op_close(&session),
             Request::Stats => Ok(self.op_stats()),
@@ -414,12 +516,26 @@ impl Engine {
                 ));
             }
             let mut slot = slot.lock().unwrap();
+            slot.last_touch = self.requests.load(Ordering::Relaxed);
             let notes = std::mem::take(&mut slot.notes);
             return Ok(open_fields(&id, &slot, notes));
         }
 
+        // Admission: sweep idle sessions first, then enforce the cap
+        // with a structured refusal the client can back off on.
+        self.evict_idle();
+        if self.open_sessions() >= self.guard.max_sessions {
+            return Err(ProtocolError::overloaded(
+                format!(
+                    "session cap reached ({} open); close or retry later",
+                    self.guard.max_sessions
+                ),
+                self.guard.retry_after_ms,
+            ));
+        }
+
         let (slot, notes) = if resume {
-            let (slot, notes) = self.recover_one(&id, snapshot.as_deref())?;
+            let (slot, notes) = self.resume_slot(&id, snapshot.as_deref())?;
             self.recovered.fetch_add(1, Ordering::Relaxed);
             (slot, notes)
         } else {
@@ -448,6 +564,8 @@ impl Engine {
                     recovered: false,
                     notes: Vec::new(),
                     lookahead: None,
+                    journal_records: 0,
+                    last_touch: self.requests.load(Ordering::Relaxed),
                 },
                 Vec::new(),
             )
@@ -469,7 +587,16 @@ impl Engine {
     fn op_close(&self, id: &str) -> OpResult {
         let removed = self.sessions.lock().unwrap().remove(id);
         if removed.is_none() {
-            return Err(unknown_session(id));
+            // A TTL-evicted session lives on as journal + meta sidecar;
+            // close must still reap those, not claim the session is
+            // unknown.
+            let on_disk = self
+                .journal
+                .as_ref()
+                .is_some_and(|j| j.exists(id) || read_meta(j, id).is_some());
+            if !on_disk {
+                return Err(unknown_session(id));
+            }
         }
         if let Some(journal) = &self.journal {
             journal
@@ -509,6 +636,7 @@ impl Engine {
                 }
             };
             self.append_journal(id, &record)?;
+            slot.journal_records += 1;
             slot.state = session.snapshot();
             // Keep the lookahead solver in lock-step: one decide = one
             // solver level (O(changed domains)); a focus move
@@ -523,7 +651,7 @@ impl Engine {
                 Some(_) => slot.lookahead = None,
                 None => {}
             }
-            Ok(vec![
+            let fields = vec![
                 ("name".to_owned(), Json::Str(name.to_owned())),
                 ("value".to_owned(), value_to_json(&value)),
                 (
@@ -534,7 +662,10 @@ impl Engine {
                     "open_issues".to_owned(),
                     Json::Int(session.open_issues().len() as i64),
                 ),
-            ])
+            ];
+            drop(session);
+            self.maybe_compact(id, slot);
+            Ok(fields)
         })
     }
 
@@ -556,6 +687,7 @@ impl Engine {
                 // Journal each undo as it commits so a crash mid-retract
                 // tears at most one record.
                 self.append_journal(id, &JournalRecord::Undo)?;
+                slot.journal_records += 1;
                 slot.state = session.snapshot();
                 match slot.lookahead.as_mut() {
                     Some(la)
@@ -578,24 +710,41 @@ impl Engine {
                     break;
                 }
             }
-            Ok(vec![
+            let fields = vec![
                 ("undone".to_owned(), Json::Array(undone)),
                 (
                     "focus".to_owned(),
                     Json::Str(session.space().path_string(session.focus())),
                 ),
-            ])
+            ];
+            drop(session);
+            self.maybe_compact(id, slot);
+            Ok(fields)
         })
     }
 
-    fn op_eval(&self, id: &str) -> OpResult {
+    fn op_eval(&self, id: &str, budget: Option<&Fuel>) -> OpResult {
         self.with_slot(id, |slot| {
             let mut session =
                 ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
             session.absorb_derived();
             {
                 let supervisor = self.supervisor.lock().unwrap();
-                session.run_estimators(&supervisor);
+                match budget {
+                    // The whole estimation ladder shares the request's
+                    // budget; exhaustion answers DSL310 and commits
+                    // nothing (the local session clone is discarded).
+                    Some(b) => {
+                        session.run_estimators_within(&supervisor, b).map_err(|e| {
+                            ProtocolError::deadline(format!(
+                                "deadline exceeded during eval: {e}"
+                            ))
+                        })?;
+                    }
+                    None => {
+                        session.run_estimators(&supervisor);
+                    }
+                }
             }
             slot.state = session.snapshot();
             let mut estimates: Vec<(String, Json)> = session
@@ -766,6 +915,53 @@ impl Engine {
                 ]),
             ),
             (
+                "guard".to_owned(),
+                Json::Object(vec![
+                    (
+                        "overloaded".to_owned(),
+                        Json::Int(self.overloaded.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "deadline_exceeded".to_owned(),
+                        Json::Int(self.deadline_exceeded.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "sessions_evicted".to_owned(),
+                        Json::Int(self.evicted.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "journal_compactions".to_owned(),
+                        Json::Int(self.compactions.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "breakers".to_owned(),
+                Json::Array(
+                    self.supervisor
+                        .lock()
+                        .unwrap()
+                        .breaker_snapshot()
+                        .into_iter()
+                        .map(|b| {
+                            Json::Object(vec![
+                                ("tool".to_owned(), Json::Str(b.tool)),
+                                ("phase".to_owned(), Json::Str(b.phase.to_owned())),
+                                ("trips".to_owned(), Json::Int(b.trips as i64)),
+                                (
+                                    "short_circuits".to_owned(),
+                                    Json::Int(b.short_circuits as i64),
+                                ),
+                                (
+                                    "calls_until_probe".to_owned(),
+                                    Json::Int(b.calls_until_probe as i64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "boot_warnings".to_owned(),
                 Json::Array(
                     self.boot_warnings
@@ -800,9 +996,162 @@ impl Engine {
         id: &str,
         f: impl FnOnce(&mut SessionSlot) -> Result<R, ProtocolError>,
     ) -> Result<R, ProtocolError> {
-        let slot = self.get_slot(id).ok_or_else(|| unknown_session(id))?;
+        let slot = match self.get_slot(id) {
+            Some(slot) => slot,
+            // TTL eviction must be invisible: a journaled session that
+            // was swept re-materializes from disk on its next touch.
+            None => self.lazy_resume(id)?,
+        };
         let mut slot = slot.lock().unwrap();
+        slot.last_touch = self.requests.load(Ordering::Relaxed);
         f(&mut slot)
+    }
+
+    /// Re-opens an evicted session from its journal (or, for a session
+    /// evicted before its first mutation, its meta sidecar alone).
+    fn lazy_resume(&self, id: &str) -> Result<Arc<Mutex<SessionSlot>>, ProtocolError> {
+        if self.journal.is_none() {
+            return Err(unknown_session(id));
+        }
+        let (slot, _notes) = self.resume_slot(id, None).map_err(|mut e| {
+            // Sessions that never existed should answer plain DSL304,
+            // not a journal-layer error.
+            if e.code == DiagCode::JournalFault && !self.journal.as_ref().unwrap().exists(id) {
+                e = unknown_session(id);
+            }
+            e
+        })?;
+        let mut sessions = self.sessions.lock().unwrap();
+        let arc = match sessions.entry(id.to_owned()) {
+            std::collections::hash_map::Entry::Occupied(o) => Arc::clone(o.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(Arc::new(Mutex::new(slot))))
+            }
+        };
+        Ok(arc)
+    }
+
+    /// The resume path shared by `open … resume` and lazy re-open: a
+    /// journal replays; a meta-only session (evicted before its first
+    /// mutation) comes back fresh on its recorded snapshot.
+    fn resume_slot(
+        &self,
+        id: &str,
+        requested_snapshot: Option<&str>,
+    ) -> Result<(SessionSlot, Vec<String>), ProtocolError> {
+        let journaled = self.journal.as_ref().is_some_and(|j| j.exists(id));
+        if journaled {
+            return self.recover_one(id, requested_snapshot);
+        }
+        let Some(journal) = &self.journal else {
+            // recover_one produces the precise journaling-disabled error.
+            return self.recover_one(id, requested_snapshot);
+        };
+        let meta = read_meta(journal, id).ok_or_else(|| unknown_session(id))?;
+        let snap = self.snapshot(requested_snapshot.unwrap_or(&meta))?;
+        let state = ExplorationSession::new(&snap.space, snap.root).snapshot();
+        Ok((
+            SessionSlot {
+                snapshot: snap,
+                state,
+                recovered: true,
+                notes: Vec::new(),
+                lookahead: None,
+                journal_records: 0,
+                last_touch: self.requests.load(Ordering::Relaxed),
+            },
+            Vec::new(),
+        ))
+    }
+
+    /// Sweeps journaled sessions idle past the TTL (measured on the
+    /// request counter). Slots mid-operation are skipped — `try_lock`
+    /// failure means the session is anything but idle.
+    fn evict_idle(&self) {
+        let Some(ttl) = self.guard.session_ttl_requests else {
+            return;
+        };
+        let Some(journal) = &self.journal else {
+            return; // without a journal, eviction would destroy state
+        };
+        let now = self.requests.load(Ordering::Relaxed);
+        let mut sessions = self.sessions.lock().unwrap();
+        let stale: Vec<String> = sessions
+            .iter()
+            .filter(|(id, slot)| {
+                // Only sessions that can come back: journal or meta on
+                // disk. (Both are written at open/first-mutation, so in
+                // practice every journaled-engine session qualifies.)
+                (journal.exists(id) || read_meta(journal, id).is_some())
+                    && slot
+                        .try_lock()
+                        .map(|s| now.saturating_sub(s.last_touch) > ttl)
+                        .unwrap_or(false)
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in stale {
+            sessions.remove(&id);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Rewrites a session's journal as a minimal checkpoint once it
+    /// outgrows `compact_after` records. The checkpoint is *verified by
+    /// replay* against the live state before it replaces anything; any
+    /// history the checkpoint form cannot reproduce (stale decisions
+    /// from revisions) skips compaction. Failure is never an op error —
+    /// the uncompacted journal is still correct.
+    fn maybe_compact(&self, id: &str, slot: &mut SessionSlot) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        if self.guard.compact_after == 0 || slot.journal_records < self.guard.compact_after {
+            return;
+        }
+        let session = ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+        let mut checkpoint = Journal::new();
+        for d in session.log() {
+            if d.stale {
+                // Revision history is not expressible as a fresh
+                // decide sequence; try again after more records.
+                slot.journal_records = 0;
+                return;
+            }
+            checkpoint.append(match d.kind {
+                PropertyKind::Requirement => JournalRecord::SetRequirement {
+                    name: d.property.clone(),
+                    value: d.value.clone(),
+                },
+                _ => JournalRecord::Decide {
+                    name: d.property.clone(),
+                    value: d.value.clone(),
+                },
+            });
+            if let Some(note) = &d.note {
+                checkpoint.append(JournalRecord::Annotate {
+                    name: d.property.clone(),
+                    note: note.clone(),
+                });
+            }
+        }
+        let verified = checkpoint
+            .replay(&slot.snapshot.space, slot.snapshot.root)
+            .map(|replayed| {
+                replayed.focus() == session.focus()
+                    && replayed.bindings() == session.bindings()
+                    && replayed.log() == session.log()
+            })
+            .unwrap_or(false);
+        if !verified {
+            slot.journal_records = 0;
+            return;
+        }
+        if journal.compact(id, &checkpoint).is_ok() {
+            slot.journal_records = checkpoint.len();
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn generate_id(&self) -> String {
@@ -893,6 +1242,8 @@ impl Engine {
                 recovered: true,
                 notes: Vec::new(),
                 lookahead: None,
+                journal_records: loaded.len(),
+                last_touch: self.requests.load(Ordering::Relaxed),
             },
             notes,
         ))
@@ -1042,6 +1393,20 @@ fn unknown_session(id: &str) -> ProtocolError {
 
 fn rejected(e: DseError) -> ProtocolError {
     ProtocolError::new(DiagCode::SessionRejected, e.to_string())
+}
+
+/// Debits `steps` from a request's deadline budget (no-op without one),
+/// converting exhaustion into the wire-level `DSL310`.
+fn charge(budget: Option<&Fuel>, steps: u64, what: &str) -> Result<(), ProtocolError> {
+    match budget {
+        Some(fuel) => fuel.spend(steps).map_err(|_| {
+            ProtocolError::deadline(format!(
+                "deadline exceeded during {what} (budget of {} steps spent)",
+                fuel.limit()
+            ))
+        }),
+        None => Ok(()),
+    }
 }
 
 fn journal_fault(id: &str, what: &str, e: &dyn std::fmt::Display) -> ProtocolError {

@@ -1,0 +1,84 @@
+//! Overload-protection tunables for the daemon: admission control,
+//! deadlines, circuit breakers, and journal lifecycle.
+//!
+//! One [`GuardConfig`] travels from [`crate::engine::EngineBuilder`]
+//! into the built engine, where the TCP front
+//! ([`crate::daemon::Server`]) reads the connection-level knobs and the
+//! engine itself enforces the session-level ones. Every limit answers
+//! with a *structured* refusal (`DSL309` with `retry_after_ms`, or
+//! `DSL310` for a blown deadline) rather than a dropped byte stream, so
+//! clients can implement honest backoff.
+
+use std::time::Duration;
+
+use dse::prelude::BreakerConfig;
+
+/// How many abstract fuel steps one millisecond of deadline buys.
+///
+/// Deadlines are *cooperative*: `deadline_ms` converts to a
+/// [`dse::prelude::Fuel`] budget at this rate, so the same request with
+/// the same deadline burns out at exactly the same point on every run —
+/// wall clocks never decide an answer.
+pub const FUEL_PER_MS: u64 = 50_000;
+
+/// Tunables for admission control, deadlines, and journal lifecycle.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Connections accepted concurrently; the next one is answered with
+    /// a single `DSL309` line and dropped.
+    pub max_connections: usize,
+    /// Pipelined requests one connection may have in flight per batch;
+    /// the excess is shed with `DSL309` (the client retries after
+    /// `retry_after_ms`).
+    pub max_inflight_per_conn: usize,
+    /// How long a connection may sit idle mid-read before it is reaped
+    /// (the slow-loris defense). `None` disables reaping.
+    pub read_timeout: Option<Duration>,
+    /// The backoff hint attached to every `DSL309` refusal.
+    pub retry_after_ms: u64,
+    /// Sessions the engine will hold open at once; `open` past the cap
+    /// is refused with `DSL309` after an idle-eviction sweep.
+    pub max_sessions: usize,
+    /// Evict a journaled session untouched for this many requests
+    /// (measured on the engine's request counter, a logical clock — no
+    /// wall time). Evicted sessions resume transparently from their
+    /// journal on next touch; their estimate cache view is dropped.
+    /// `None` disables eviction.
+    pub session_ttl_requests: Option<u64>,
+    /// Compact a session's journal once it accumulates this many
+    /// records. `0` disables compaction.
+    pub compact_after: usize,
+    /// Per-tool circuit breakers for the engine's supervisor; `None`
+    /// runs without breakers.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            max_connections: 256,
+            max_inflight_per_conn: 256,
+            read_timeout: Some(Duration::from_secs(120)),
+            retry_after_ms: 200,
+            max_sessions: 4096,
+            session_ttl_requests: None,
+            compact_after: 512,
+            breaker: Some(BreakerConfig::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_breakers_and_compaction_but_not_ttl() {
+        let g = GuardConfig::default();
+        assert!(g.breaker.is_some());
+        assert!(g.compact_after > 0);
+        assert!(g.session_ttl_requests.is_none());
+        assert!(g.read_timeout.is_some());
+        assert!(g.retry_after_ms > 0);
+    }
+}

@@ -26,6 +26,14 @@
 //!   [`Engine::handle_batch`] (independent sessions run in parallel on
 //!   [`foundation::par`]; per-session order is preserved), graceful
 //!   drain on `shutdown`.
+//! * [`guard`] — overload protection: connection and session caps with
+//!   structured `DSL309` refusals carrying `retry_after_ms`, idle
+//!   connection reaping, cooperative per-request deadlines
+//!   (`deadline_ms` → `DSL310`, deterministic because the budget is
+//!   fuel steps rather than wall time), per-tool circuit breakers in
+//!   the estimation supervisor, journal compaction with verified
+//!   replay, and logical-clock TTL eviction of idle sessions (they
+//!   resume transparently from their journals on next touch).
 //!
 //! Durability: with a journal directory configured, every mutating op
 //! appends to `<session>.jsonl` *before* the new state commits and a
@@ -52,8 +60,10 @@
 
 pub mod daemon;
 pub mod engine;
+pub mod guard;
 pub mod protocol;
 
 pub use daemon::Server;
 pub use engine::{Engine, EngineBuilder, Snapshot};
+pub use guard::GuardConfig;
 pub use protocol::{ProtocolError, Request};

@@ -98,6 +98,9 @@ pub struct ProtocolError {
     pub code: DiagCode,
     /// Human-readable detail.
     pub message: String,
+    /// Backoff hint rendered into the response (`DSL309` carries one):
+    /// how long the client should wait before retrying.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtocolError {
@@ -106,6 +109,7 @@ impl ProtocolError {
         ProtocolError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
@@ -113,11 +117,36 @@ impl ProtocolError {
     pub fn malformed(message: impl Into<String>) -> ProtocolError {
         ProtocolError::new(DiagCode::MalformedRequest, message)
     }
+
+    /// A `DSL309` overloaded error carrying the retry hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> ProtocolError {
+        let mut e = ProtocolError::new(DiagCode::Overloaded, message);
+        e.retry_after_ms = Some(retry_after_ms);
+        e
+    }
+
+    /// A `DSL310` deadline-exceeded error.
+    pub fn deadline(message: impl Into<String>) -> ProtocolError {
+        ProtocolError::new(DiagCode::DeadlineExceeded, message)
+    }
 }
 
 /// The client correlation id attached to a request, echoed in the
 /// response.
 pub type RequestId = Option<Json>;
+
+/// Per-request transport metadata that rides alongside the op itself:
+/// the correlation `id` (echoed even when the op fails to parse) and
+/// the optional cooperative `deadline_ms` budget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Envelope {
+    /// The correlation id, echoed verbatim in the response.
+    pub id: RequestId,
+    /// Cooperative deadline for this request, in milliseconds. The
+    /// engine converts it to a deterministic `robust::Fuel` step budget
+    /// (no wall clock), answering `DSL310` when it runs dry.
+    pub deadline_ms: Option<u64>,
+}
 
 fn str_field(obj: &Json, key: &str) -> Result<Option<String>, ProtocolError> {
     match obj.get(key) {
@@ -198,22 +227,38 @@ pub fn value_to_json(v: &Value) -> Json {
     }
 }
 
-/// Parses one request line. Returns the request plus the echoed
-/// correlation id; the id comes back even on a parse error so the
-/// client can still match the failure (when the line parsed as JSON at
-/// all).
-pub fn parse_request(line: &str) -> (Result<Request, ProtocolError>, RequestId) {
+/// Parses one request line. Returns the request plus its [`Envelope`];
+/// the envelope's id comes back even on a parse error so the client
+/// can still match the failure (when the line parsed as JSON at all).
+pub fn parse_request(line: &str) -> (Result<Request, ProtocolError>, Envelope) {
     let json = match Json::parse(line) {
         Ok(j) => j,
         Err(e) => {
             return (
                 Err(ProtocolError::malformed(format!("invalid JSON: {e}"))),
-                None,
+                Envelope::default(),
             )
         }
     };
-    let id = json.get("id").cloned();
-    (parse_request_json(&json), id)
+    let mut envelope = Envelope {
+        id: json.get("id").cloned(),
+        deadline_ms: None,
+    };
+    match json.get("deadline_ms") {
+        None | Some(Json::Null) => {}
+        Some(j) => match j.as_i64() {
+            Some(ms) if ms >= 0 => envelope.deadline_ms = Some(ms as u64),
+            _ => {
+                return (
+                    Err(ProtocolError::malformed(
+                        "field \"deadline_ms\" must be a non-negative integer",
+                    )),
+                    envelope,
+                )
+            }
+        },
+    }
+    (parse_request_json(&json), envelope)
 }
 
 fn parse_request_json(json: &Json) -> Result<Request, ProtocolError> {
@@ -289,6 +334,9 @@ pub fn err_response(id: &RequestId, err: &ProtocolError) -> Json {
         ("code".to_owned(), Json::Str(err.code.as_str().to_owned())),
         ("error".to_owned(), Json::Str(err.message.clone())),
     ];
+    if let Some(ms) = err.retry_after_ms {
+        obj.push(("retry_after_ms".to_owned(), Json::Int(ms as i64)));
+    }
     if let Some(id) = id {
         obj.insert(1, ("id".to_owned(), id.clone()));
     }
@@ -301,7 +349,7 @@ mod tests {
 
     #[test]
     fn ops_parse_with_scalar_and_tagged_values() {
-        let (req, id) =
+        let (req, env) =
             parse_request(r#"{"op":"decide","session":"s1","name":"EOL","value":768,"id":7}"#);
         assert_eq!(
             req.unwrap(),
@@ -311,7 +359,8 @@ mod tests {
                 value: Value::Int(768),
             }
         );
-        assert_eq!(id, Some(Json::Int(7)));
+        assert_eq!(env.id, Some(Json::Int(7)));
+        assert_eq!(env.deadline_ms, None);
 
         let (req, _) = parse_request(
             r#"{"op":"decide","session":"s1","name":"Algorithm","value":{"Text":"Montgomery"}}"#,
@@ -352,6 +401,36 @@ mod tests {
         assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
         let (req, _) = parse_request(r#"{"op":"eval","session":5}"#);
         assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+    }
+
+    #[test]
+    fn deadlines_parse_and_bad_ones_are_malformed() {
+        let (req, env) = parse_request(r#"{"op":"stats","id":1,"deadline_ms":250}"#);
+        assert!(req.is_ok());
+        assert_eq!(env.deadline_ms, Some(250));
+
+        // The id still comes back when only the deadline is bad.
+        let (req, env) = parse_request(r#"{"op":"stats","id":2,"deadline_ms":-5}"#);
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+        assert_eq!(env.id, Some(Json::Int(2)));
+        let (req, _) = parse_request(r#"{"op":"stats","deadline_ms":"soon"}"#);
+        assert_eq!(req.unwrap_err().code, DiagCode::MalformedRequest);
+    }
+
+    #[test]
+    fn overload_errors_carry_the_retry_hint() {
+        let err = ProtocolError::overloaded("connection cap reached", 200);
+        let rendered = err_response(&Some(Json::Int(9)), &err);
+        assert_eq!(rendered.get("code").and_then(Json::as_str), Some("DSL309"));
+        assert_eq!(
+            rendered.get("retry_after_ms").and_then(Json::as_i64),
+            Some(200)
+        );
+        assert_eq!(rendered.get("id").and_then(Json::as_i64), Some(9));
+        // Other errors do not grow the field.
+        let plain = err_response(&None, &ProtocolError::deadline("budget ran out"));
+        assert_eq!(plain.get("code").and_then(Json::as_str), Some("DSL310"));
+        assert_eq!(plain.get("retry_after_ms"), None);
     }
 
     #[test]

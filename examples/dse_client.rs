@@ -1,13 +1,22 @@
 //! A scriptable line-in/line-out client for the exploration daemon.
 //!
 //! ```text
-//! cargo run --example dse_client -- HOST:PORT [--pretty]
+//! cargo run --example dse_client -- HOST:PORT [--pretty] \
+//!     [--timeout MS] [--retries N]
 //! ```
 //!
 //! Reads one JSON request per line from stdin, writes the daemon's
 //! response for each to stdout, in order. With `--pretty`, responses
 //! are re-rendered as indented JSON (for humans); without it they stay
 //! single-line (for transcripts and `diff`).
+//!
+//! Overload-aware retries: `--retries N` retries failed connects and
+//! `DSL309 overloaded` responses up to `N` times with jittered
+//! exponential backoff, honoring the server's `retry_after_ms` hint
+//! when one is present. `--timeout MS` bounds each socket read/write.
+//! The exit status is nonzero when the daemon cannot be reached (after
+//! all retries), so scripts can tell "server down" from "empty
+//! conversation".
 //!
 //! Blank lines and lines starting with `#` are skipped, so a scripted
 //! conversation can be a commented file:
@@ -23,27 +32,120 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use design_space_layer::foundation::json::{encode_pretty, Json};
 use design_space_layer::foundation::net;
+use design_space_layer::foundation::rng::{Rng, SeedableRng, StdRng};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Base backoff for a failed connect (doubles per attempt, plus jitter).
+const CONNECT_BACKOFF_MS: u64 = 100;
+
+/// Fallback backoff for a `DSL309` without a `retry_after_ms` hint.
+const OVERLOAD_BACKOFF_MS: u64 = 200;
+
+struct Options {
+    addr: String,
+    pretty: bool,
+    timeout: Option<Duration>,
+    retries: u32,
+}
+
+fn usage() -> &'static str {
+    "usage: dse_client HOST:PORT [--pretty] [--timeout MS] [--retries N]"
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
     let mut addr: Option<String> = None;
     let mut pretty = false;
-    for arg in std::env::args().skip(1) {
+    let mut timeout = None;
+    let mut retries = 0u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--pretty" => pretty = true,
+            "--timeout" => {
+                let ms: u64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+                timeout = Some(Duration::from_millis(ms.max(1)));
+            }
+            "--retries" => {
+                retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
             "--help" | "-h" => {
-                println!("usage: dse_client HOST:PORT [--pretty]");
-                return Ok(());
+                println!("{}", usage());
+                return Ok(None);
             }
             other if addr.is_none() => addr = Some(other.to_owned()),
-            other => return Err(format!("unexpected argument {other:?}").into()),
+            other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let addr = addr.ok_or("usage: dse_client HOST:PORT [--pretty]")?;
+    Ok(Some(Options {
+        addr: addr.ok_or_else(|| usage().to_owned())?,
+        pretty,
+        timeout,
+        retries,
+    }))
+}
 
-    let stream = TcpStream::connect(&addr)?;
+/// Connects with up to `retries` extra attempts under jittered
+/// exponential backoff.
+fn connect(opts: &Options, rng: &mut StdRng) -> std::io::Result<TcpStream> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(&opts.addr) {
+            Ok(stream) => {
+                stream.set_read_timeout(opts.timeout)?;
+                stream.set_write_timeout(opts.timeout)?;
+                return Ok(stream);
+            }
+            Err(e) if attempt < opts.retries => {
+                let base = CONNECT_BACKOFF_MS << attempt.min(6);
+                let jitter = rng.gen_range(0u64..base.max(1));
+                eprintln!(
+                    "connect {} failed ({e}); retry {}/{} in {}ms",
+                    opts.addr,
+                    attempt + 1,
+                    opts.retries,
+                    base + jitter
+                );
+                std::thread::sleep(Duration::from_millis(base + jitter));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Extracts the backoff hint from a `DSL309` response, `None` for every
+/// other response.
+fn overload_hint(response: &str) -> Option<u64> {
+    let Ok(Json::Object(fields)) = Json::parse(response) else {
+        return None;
+    };
+    let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match field("code") {
+        Some(Json::Str(code)) if code == "DSL309" => match field("retry_after_ms") {
+            Some(Json::Int(ms)) => Some((*ms).max(0) as u64),
+            _ => Some(OVERLOAD_BACKOFF_MS),
+        },
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let Some(opts) = parse_args().map_err(Box::<dyn std::error::Error>::from)? else {
+        return Ok(());
+    };
+    // Seeded, not entropy-based: the jitter schedule is reproducible,
+    // which keeps scripted conversations deterministic.
+    let mut rng = StdRng::seed_from_u64(0xC11E57);
+
+    let stream = connect(&opts, &mut rng)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let stdout = std::io::stdout();
@@ -54,11 +156,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        net::write_line(&mut writer, line)?;
-        let response = net::read_line_bounded(&mut reader, net::MAX_WIRE_BYTES)?
-            .ok_or("server closed the connection")?;
+        let mut attempt = 0u32;
+        let response = loop {
+            net::write_line(&mut writer, line)?;
+            let response = net::read_line_bounded(&mut reader, net::MAX_WIRE_BYTES)?
+                .ok_or("server closed the connection")?;
+            match overload_hint(&response) {
+                Some(hint_ms) if attempt < opts.retries => {
+                    let jitter = rng.gen_range(0u64..hint_ms.max(1));
+                    eprintln!(
+                        "overloaded; retry {}/{} in {}ms",
+                        attempt + 1,
+                        opts.retries,
+                        hint_ms + jitter
+                    );
+                    std::thread::sleep(Duration::from_millis(hint_ms + jitter));
+                    attempt += 1;
+                }
+                _ => break response,
+            }
+        };
         let mut out = stdout.lock();
-        if pretty {
+        if opts.pretty {
             match Json::parse(&response) {
                 Ok(json) => writeln!(out, "{}", encode_pretty(&json))?,
                 Err(_) => writeln!(out, "{response}")?,

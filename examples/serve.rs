@@ -3,7 +3,10 @@
 //!
 //! ```text
 //! cargo run --example serve -- [--addr HOST:PORT] [--journal-dir DIR] \
-//!                              [--space FILE.json]...
+//!                              [--space FILE.json]... \
+//!                              [--max-connections N] [--max-sessions N] \
+//!                              [--session-ttl REQUESTS] [--compact-after N] \
+//!                              [--read-timeout SECS]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound
@@ -14,6 +17,11 @@
 //!   and every session is open again.
 //! * `--space` adds a snapshot from a JSON `DesignSpace` file (may be
 //!   repeated) next to the shipped crypto/idct/fir layers.
+//! * The guard flags tune overload protection (defaults in
+//!   `GuardConfig`): connection/session caps answered with `DSL309`,
+//!   idle-session TTL eviction in units of requests, journal
+//!   compaction threshold, and the idle-connection read timeout
+//!   (`--read-timeout 0` disables reaping).
 //!
 //! Drive it with `cargo run --example dse_client`, a `--pretty` wrapper
 //! around the wire protocol, or anything that can write JSON lines to a
@@ -22,13 +30,14 @@
 
 use std::sync::Arc;
 
-use design_space_layer::dse_server::{EngineBuilder, Server};
+use design_space_layer::dse_server::{EngineBuilder, GuardConfig, Server};
 use design_space_layer::techlib::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut journal_dir: Option<String> = None;
     let mut spaces: Vec<String> = Vec::new();
+    let mut guard = GuardConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,9 +49,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--addr" => addr = value("--addr")?,
             "--journal-dir" => journal_dir = Some(value("--journal-dir")?),
             "--space" => spaces.push(value("--space")?),
+            "--max-connections" => {
+                guard.max_connections = value("--max-connections")?.parse()?;
+            }
+            "--max-sessions" => guard.max_sessions = value("--max-sessions")?.parse()?,
+            "--session-ttl" => {
+                guard.session_ttl_requests = Some(value("--session-ttl")?.parse()?);
+            }
+            "--compact-after" => guard.compact_after = value("--compact-after")?.parse()?,
+            "--read-timeout" => {
+                let secs: u64 = value("--read-timeout")?.parse()?;
+                guard.read_timeout =
+                    (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [--addr HOST:PORT] [--journal-dir DIR] [--space FILE.json]..."
+                    "usage: serve [--addr HOST:PORT] [--journal-dir DIR] [--space FILE.json]... \
+                     [--max-connections N] [--max-sessions N] [--session-ttl REQUESTS] \
+                     [--compact-after N] [--read-timeout SECS]"
                 );
                 return Ok(());
             }
@@ -50,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let mut builder = EngineBuilder::new(Technology::g10_035()).with_shipped_layers();
+    let mut builder = EngineBuilder::new(Technology::g10_035())
+        .with_shipped_layers()
+        .guard(guard);
     for space in &spaces {
         builder = builder.with_space_file(space);
     }

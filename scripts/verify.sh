@@ -24,6 +24,20 @@ for seed in 3 11 1999; do
     DSE_CHAOS_SEED=$seed cargo test -q --offline --test resilience > /dev/null
 done
 
+echo "==> chaos soak gate: daemon guard suite, fault-injected sockets, seeds x threads"
+# The soak drives live TCP sessions through seeded fault-injecting
+# streams (drops, partial writes, stalls), kills and reboots the
+# engine, and asserts recovered reports are byte-identical to a
+# fault-free oracle with no acknowledged decision lost — at every
+# seed/thread-count combination.
+for seed in 3 11 1999; do
+    for threads in 1 2 8; do
+        echo "    DSE_CHAOS_SEED=$seed DSE_THREADS=$threads"
+        DSE_CHAOS_SEED=$seed DSE_THREADS=$threads \
+            cargo test -q --offline --test guard > /dev/null
+    done
+done
+
 echo "==> determinism gate: full suite at DSE_THREADS=1 and DSE_THREADS=8"
 # Debug builds also arm the pool's no-leak assertion: par::scope asserts
 # live workers never exceed the configured pool after every drained scope.
