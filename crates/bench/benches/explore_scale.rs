@@ -1,0 +1,7 @@
+//! Million-core scale benchmarks of the columnar core store: cold
+//! index builds, AND-merge narrowing queries, and the incremental
+//! decide/retract path against the legacy from-scratch scan.
+
+fn main() {
+    bench::suites::explore_scale().finish();
+}

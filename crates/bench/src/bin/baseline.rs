@@ -25,6 +25,7 @@ const REGRESSION_GATE: f64 = 2.0;
 const SUITES: &[(&str, fn() -> Harness)] = &[
     ("bignum_ops", bench::suites::bignum_ops),
     ("exploration", bench::suites::exploration),
+    ("explore_scale", bench::suites::explore_scale),
     ("analyze", bench::suites::analyze),
     ("solve", bench::suites::solve),
     ("robust", bench::suites::robust),

@@ -145,6 +145,83 @@ pub fn exploration() -> Harness {
     h
 }
 
+/// Million-core scale: the columnar `CoreStore` over the seeded library
+/// generator — cold index builds, AND-merge narrowing queries, and the
+/// incremental decide/retract path against the legacy from-scratch scan
+/// (asserted ≥10× faster in-suite, mirroring the `solve` suite's gate).
+pub fn explore_scale() -> Harness {
+    use dse_library::synthetic::{synthetic_core_space, synthetic_cores, CoreSpaceSpec};
+    use dse_library::{CoreStore, ExplorerEngine};
+
+    let mut h = Harness::new("explore_scale");
+    for (label, cores) in [("1k", 1_000usize), ("100k", 100_000), ("1M", 1_000_000)] {
+        let spec = CoreSpaceSpec::sized(cores);
+        let (space, root) = synthetic_core_space(&spec);
+        let library = synthetic_cores(&spec);
+
+        // Cold index build: all posting lists + merit columns.
+        h.bench(format!("explore_scale/store_build_{label}"), || {
+            black_box(CoreStore::for_libraries(&[black_box(&library)]));
+        });
+
+        // The AND-merge narrowing path: decide, popcount, retract. The
+        // option toggles per iteration so the cursor can never answer
+        // from its memo — every round pays one retract + one AND-merge.
+        let mut exp = Explorer::new(&space, root, &library);
+        exp.set_engine(ExplorerEngine::Columnar);
+        let mut flip = false;
+        h.bench(format!("explore_scale/and_query_{label}"), || {
+            flip = !flip;
+            let option = if flip { "o1" } else { "o2" };
+            exp.session.decide("P0", Value::from(option)).unwrap();
+            black_box(exp.surviving_count());
+            exp.session.undo().unwrap();
+        });
+
+        if cores == 1_000_000 {
+            // Full interactive round at the million-core mark — decide,
+            // survivor count, merit range, retract — incrementally…
+            let mut flip = false;
+            let incremental = h
+                .bench("explore_scale/decide_incremental_1M", || {
+                    flip = !flip;
+                    let option = if flip { "o1" } else { "o2" };
+                    exp.session.decide("P0", Value::from(option)).unwrap();
+                    black_box((
+                        exp.surviving_count(),
+                        exp.merit_range(&FigureOfMerit::AreaUm2),
+                    ));
+                    exp.session.undo().unwrap();
+                })
+                .median_ns;
+
+            // …versus the legacy from-scratch scan answering the same
+            // queries.
+            let mut scan = Explorer::new(&space, root, &library);
+            scan.set_engine(ExplorerEngine::Scan);
+            let mut flip = false;
+            let scratch = h
+                .bench("explore_scale/from_scratch_1M", || {
+                    flip = !flip;
+                    let option = if flip { "o1" } else { "o2" };
+                    scan.session.decide("P0", Value::from(option)).unwrap();
+                    black_box((
+                        scan.surviving_count(),
+                        scan.merit_range(&FigureOfMerit::AreaUm2),
+                    ));
+                    scan.session.undo().unwrap();
+                })
+                .median_ns;
+            assert!(
+                incremental * 10.0 <= scratch,
+                "incremental decide must be ≥10× faster than from-scratch \
+                 recompute at 1M cores: {incremental:.0} ns vs {scratch:.0} ns"
+            );
+        }
+    }
+    h
+}
+
 /// One benchmark per reproduced paper artifact: regenerating each
 /// table/figure end to end (the `tables` harness body).
 pub fn paper_artifacts() -> Harness {

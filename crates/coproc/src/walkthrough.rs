@@ -159,17 +159,17 @@ pub fn run_with_library_supervised(
     let mut exp = Explorer::new(&layer.space, layer.omm, library);
     let mut steps = Vec::new();
     let mut record = |exp: &Explorer<'_>, action: String| {
-        // One pruning pass per step: build the survivors' evaluation
-        // space once (instead of once per queried merit) and fan the two
-        // range scans out on the foundation pool.
-        let space = exp.evaluation_space();
+        // One pruning pass per step: the columnar store folds both merit
+        // ranges straight off the surviving bitset (no evaluation-space
+        // materialization), with the two folds fanned out on the
+        // foundation pool; the count is a popcount of the same bitset.
         let (delay_range_ns, area_range_um2) = foundation::par::join(
-            || space.range(&FigureOfMerit::DelayNs),
-            || space.range(&FigureOfMerit::AreaUm2),
+            || exp.merit_range(&FigureOfMerit::DelayNs),
+            || exp.merit_range(&FigureOfMerit::AreaUm2),
         );
         steps.push(WalkthroughStep {
             action,
-            surviving: space.len(),
+            surviving: exp.surviving_count(),
             delay_range_ns,
             area_range_um2,
         });

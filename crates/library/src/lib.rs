@@ -42,6 +42,7 @@
 //! ```
 
 mod core_record;
+pub mod core_store;
 pub mod crypto;
 pub mod estimators;
 mod explorer;
@@ -53,7 +54,8 @@ mod reuse;
 pub mod synthetic;
 
 pub use core_record::CoreRecord;
-pub use explorer::Explorer;
+pub use core_store::CoreStore;
+pub use explorer::{Explorer, ExplorerEngine};
 pub use lint::lint_library;
 pub use loader::{load_all_layers, load_layer, LoadedLayer, PAPER_EOL};
 pub use reuse::{LibraryError, ReuseLibrary};

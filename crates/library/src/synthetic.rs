@@ -19,10 +19,14 @@
 
 use dse::constraint::{ConsistencyConstraint, Relation};
 use dse::error::DseError;
+use dse::eval::FigureOfMerit;
 use dse::expr::{CmpOp, Expr, Pred};
-use dse::hierarchy::{CdoId, DesignSpace};
+use dse::hierarchy::{CdoId, DesignSpace, Symbol};
 use dse::property::Property;
 use dse::value::Domain;
+
+use crate::core_record::CoreRecord;
+use crate::reuse::ReuseLibrary;
 
 /// The default seed used by the `--synthetic` diagnose flag, the solver
 /// gate in `scripts/verify.sh` and the `solve/*` benches.
@@ -231,11 +235,165 @@ pub fn build_stress_layer(seed: u64) -> Result<StressLayer, DseError> {
     Ok(StressLayer { space: s, root })
 }
 
+// ---------------------------------------------------------------------
+// Seeded core-library generator
+// ---------------------------------------------------------------------
+
+/// Knobs for the seeded core-library generator ([`synthetic_cores`])
+/// and its matching design space ([`synthetic_core_space`]).
+///
+/// Everything is derived from `seed`, so two builds with equal specs are
+/// structurally identical — core names, bindings and merit values
+/// included. The exploration scale benches and the 1M-core smoke gate
+/// in `scripts/verify.sh` rely on that determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSpaceSpec {
+    /// Number of cores to generate (`c0`..).
+    pub cores: usize,
+    /// Number of design issues (`P0`..), each an option domain.
+    pub properties: usize,
+    /// Options per issue (`o0`..): the property arity.
+    pub arity: usize,
+    /// Number of merit axes (built-ins first, then `Other("m…")`).
+    pub merits: usize,
+    /// Per-(core, property) chance in ‰ of leaving the property
+    /// *unbound* — fodder for the layer's lenient compliance.
+    pub unbound_permille: u64,
+    /// The generator seed.
+    pub seed: u64,
+}
+
+impl CoreSpaceSpec {
+    /// A spec sized for `cores` cores with the default shape used by
+    /// the `explore_scale` benches: 8 issues × 8 options, two merit
+    /// axes, 12.5 % unbound bindings.
+    pub fn sized(cores: usize) -> Self {
+        CoreSpaceSpec {
+            cores,
+            properties: 8,
+            arity: 8,
+            merits: 2,
+            unbound_permille: 125,
+            seed: STRESS_SEED,
+        }
+    }
+}
+
+/// The merit axis for index `k`: the built-in figures first, then
+/// interned `m{k}` names.
+fn merit_axis(k: usize) -> FigureOfMerit {
+    const BUILT_IN: [FigureOfMerit; 7] = [
+        FigureOfMerit::AreaUm2,
+        FigureOfMerit::DelayNs,
+        FigureOfMerit::ClockNs,
+        FigureOfMerit::LatencyCycles,
+        FigureOfMerit::PowerMw,
+        FigureOfMerit::TimeUs,
+        FigureOfMerit::EnergyNj,
+    ];
+    if k < BUILT_IN.len() {
+        BUILT_IN[k]
+    } else {
+        FigureOfMerit::Other(Symbol::intern(&format!("m{k}")))
+    }
+}
+
+/// A design space matching [`synthetic_cores`]: one root with issues
+/// `P0`..`P{properties-1}`, each an option domain `o0`..`o{arity-1}`,
+/// and no constraints — every decide succeeds, so sessions can walk the
+/// space freely.
+pub fn synthetic_core_space(spec: &CoreSpaceSpec) -> (DesignSpace, CdoId) {
+    let mut s = DesignSpace::new("synthetic-cores");
+    let root = s.add_root("SyntheticCores", "seeded core-generator space");
+    for p in 0..spec.properties {
+        let options: Vec<String> = (0..spec.arity).map(|o| format!("o{o}")).collect();
+        s.add_property(
+            root,
+            Property::issue(
+                format!("P{p}"),
+                Domain::options(options),
+                "synthetic design issue",
+            ),
+        )
+        .expect("synthetic space property");
+    }
+    (s, root)
+}
+
+/// Generates a seeded reuse library of `spec.cores` cores over the
+/// [`synthetic_core_space`] vocabulary: each core binds every issue to a
+/// pseudo-random option (or leaves it unbound with probability
+/// `unbound_permille`), and records every merit axis with a value in
+/// `[0, 10000)`.
+pub fn synthetic_cores(spec: &CoreSpaceSpec) -> ReuseLibrary {
+    let mut rng = Lcg(spec.seed ^ 0xC0DE_5EED);
+    let axes: Vec<FigureOfMerit> = (0..spec.merits).map(merit_axis).collect();
+    let mut lib = ReuseLibrary::new(format!("synthetic-{}", spec.cores));
+    for i in 0..spec.cores {
+        let mut core = CoreRecord::new(format!("c{i}"), "synthetic", "");
+        for p in 0..spec.properties {
+            if rng.next() % 1000 < spec.unbound_permille {
+                continue;
+            }
+            let o = rng.below(spec.arity);
+            core = core.bind(format!("P{p}"), format!("o{o}"));
+        }
+        for &axis in &axes {
+            let v = (rng.next() % 1_000_000) as f64 / 100.0;
+            core = core.merit(axis, v);
+        }
+        lib.push(core);
+    }
+    lib
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dse::analyze::{analyze_detailed, DomainEngine};
     use dse::diag::DiagCode;
+
+    #[test]
+    fn core_generator_is_deterministic_and_shaped() {
+        let spec = CoreSpaceSpec {
+            cores: 200,
+            properties: 4,
+            arity: 3,
+            merits: 9,
+            unbound_permille: 250,
+            seed: 42,
+        };
+        let a = synthetic_cores(&spec);
+        let b = synthetic_cores(&spec);
+        assert_eq!(a.cores(), b.cores());
+        assert_eq!(a.len(), 200);
+        let c = synthetic_cores(&CoreSpaceSpec { seed: 43, ..spec.clone() });
+        assert_ne!(a.cores(), c.cores());
+
+        let (space, root) = synthetic_core_space(&spec);
+        assert_eq!(space.node(root).own_properties().len(), 4);
+        let mut saw_unbound = false;
+        for core in a.cores() {
+            assert!(core.bindings().len() <= 4);
+            saw_unbound |= core.bindings().len() < 4;
+            assert_eq!(core.merits().len(), 9);
+            for (p, v) in core.bindings() {
+                let prop = space
+                    .node(root)
+                    .own_properties()
+                    .iter()
+                    .find(|q| q.name() == p)
+                    .expect("binding names a space issue");
+                assert!(prop
+                    .domain()
+                    .enumerate()
+                    .unwrap()
+                    .iter()
+                    .any(|o| o.matches(v)));
+            }
+        }
+        assert!(saw_unbound, "unbound_permille must leave some gaps");
+    }
 
     #[test]
     fn joint_exceeds_a_million_combinations() {

@@ -31,7 +31,7 @@ use dse::prelude::{
     FaultRates, Figure, Fuel, Journal, JournalDir, JournalRecord, Property, PropertyKind,
     SessionSnapshot, Solver, Supervisor, SupervisorConfig, Value, Viability,
 };
-use dse_library::{load_all_layers, Explorer, ReuseLibrary};
+use dse_library::{load_all_layers, CoreStore, Explorer, ReuseLibrary};
 use foundation::json::Json;
 use techlib::Technology;
 
@@ -54,6 +54,13 @@ const OP_BASE_FUEL: u64 = 1_000;
 
 /// Fuel charged by a `surviving_cores` scan under a deadline.
 const CORE_SCAN_FUEL: u64 = 4_096;
+
+/// Byte budget for the `cores` array of one `surviving_cores` page:
+/// comfortably under the 1 MiB `foundation::net` line cap, with
+/// headroom for the response envelope. A page that would overflow it is
+/// clipped and flagged `truncated`, so million-core result sets can
+/// never produce an unframeable reply.
+const CORE_PAGE_BYTE_BUDGET: usize = 960 * 1024;
 
 /// Fuel charged by a `viable` lookahead solve under a deadline.
 const LOOKAHEAD_FUEL: u64 = 8_192;
@@ -78,6 +85,30 @@ pub struct Snapshot {
     pub root: CdoId,
     /// The reuse library evaluated against the space.
     pub library: Arc<ReuseLibrary>,
+    /// The columnar index over the library, built once at snapshot load
+    /// and shared by every session's `surviving_cores`/`eval` queries.
+    pub store: Arc<CoreStore>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot, building its columnar core store.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        space: Arc<DesignSpace>,
+        root: CdoId,
+        library: Arc<ReuseLibrary>,
+    ) -> Snapshot {
+        let store = Arc::new(CoreStore::for_libraries(&[&library]));
+        Snapshot {
+            name: name.into(),
+            title: title.into(),
+            space,
+            root,
+            library,
+            store,
+        }
+    }
 }
 
 /// The per-session mutable state: which snapshot, the exploration state,
@@ -148,13 +179,13 @@ impl EngineBuilder {
                 for layer in layers {
                     self.snapshots.insert(
                         layer.slug.to_owned(),
-                        Arc::new(Snapshot {
-                            name: layer.slug.to_owned(),
-                            title: layer.title.to_owned(),
-                            space: Arc::new(layer.space),
-                            root: layer.root,
-                            library: Arc::new(layer.library),
-                        }),
+                        Arc::new(Snapshot::new(
+                            layer.slug,
+                            layer.title,
+                            Arc::new(layer.space),
+                            layer.root,
+                            Arc::new(layer.library),
+                        )),
                     );
                 }
             }
@@ -180,15 +211,11 @@ impl EngineBuilder {
             }) {
             Ok(space) => match space.roots().first().copied() {
                 Some(root) => {
+                    let title = space.name().to_owned();
+                    let library = Arc::new(ReuseLibrary::new(format!("{name} (empty)")));
                     self.snapshots.insert(
                         name.clone(),
-                        Arc::new(Snapshot {
-                            title: space.name().to_owned(),
-                            space: Arc::new(space),
-                            root,
-                            library: Arc::new(ReuseLibrary::new(format!("{name} (empty)"))),
-                            name,
-                        }),
+                        Arc::new(Snapshot::new(name, title, Arc::new(space), root, library)),
                     );
                 }
                 None => self
@@ -197,6 +224,32 @@ impl EngineBuilder {
             },
             Err(e) => self.errors.push(format!("{}: {e}", path.display())),
         }
+        self
+    }
+
+    /// Adds a fully specified snapshot — space, root and reuse library —
+    /// under `name`. Tests and embedders use this to serve synthetic
+    /// libraries (e.g. the million-core pagination regression) without
+    /// touching the filesystem.
+    pub fn with_snapshot(
+        mut self,
+        name: impl Into<String>,
+        space: DesignSpace,
+        root: CdoId,
+        library: ReuseLibrary,
+    ) -> Self {
+        let name = name.into();
+        let title = space.name().to_owned();
+        self.snapshots.insert(
+            name.clone(),
+            Arc::new(Snapshot::new(
+                name,
+                title,
+                Arc::new(space),
+                root,
+                Arc::new(library),
+            )),
+        );
         self
     }
 
@@ -455,9 +508,17 @@ impl Engine {
             } => self.op_decide(&session, &name, value),
             Request::Retract { session, name } => self.op_retract(&session, name.as_deref()),
             Request::Eval { session } => self.op_eval(&session, budget),
-            Request::SurvivingCores { session, limit } => {
+            Request::SurvivingCores {
+                session,
+                limit,
+                offset,
+            } => {
                 charge(budget, CORE_SCAN_FUEL, "surviving_cores")?;
-                self.op_surviving_cores(&session, limit.unwrap_or(DEFAULT_CORE_LIMIT))
+                self.op_surviving_cores(
+                    &session,
+                    limit.unwrap_or(DEFAULT_CORE_LIMIT),
+                    offset.unwrap_or(0),
+                )
             }
             Request::Viable { session, name } => {
                 charge(budget, LOOKAHEAD_FUEL, "viable")?;
@@ -760,20 +821,40 @@ impl Engine {
         })
     }
 
-    fn op_surviving_cores(&self, id: &str, limit: usize) -> OpResult {
+    fn op_surviving_cores(&self, id: &str, limit: usize, offset: usize) -> OpResult {
         self.with_slot(id, |slot| {
             let session =
                 ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
             let library: &ReuseLibrary = &slot.snapshot.library;
-            let explorer = Explorer::from_session(session, [library]);
-            let cores = explorer.surviving_cores();
-            let names: Vec<Json> = cores
-                .iter()
-                .take(limit)
-                .map(|c| Json::Str(c.name().to_owned()))
-                .collect();
+            let explorer = Explorer::from_session_with_store(
+                session,
+                [library],
+                Arc::clone(&slot.snapshot.store),
+            );
+            let total = explorer.surviving_count();
+            let page = explorer.surviving_page(offset, limit);
+            // Clip the page to the wire byte budget: the framed response
+            // line must stay under the `foundation::net` cap no matter
+            // how many (or how long) names the caller asked for.
+            let mut names: Vec<Json> = Vec::with_capacity(page.len().min(4_096));
+            let mut bytes = 0usize;
+            let mut truncated = false;
+            for core in &page {
+                let name = Json::Str(core.name().to_owned());
+                // Encoded size plus the separating comma.
+                let cost = foundation::json::encode(&name).len() + 1;
+                if bytes + cost > CORE_PAGE_BYTE_BUDGET {
+                    truncated = true;
+                    break;
+                }
+                bytes += cost;
+                names.push(name);
+            }
             Ok(vec![
-                ("count".to_owned(), Json::Int(cores.len() as i64)),
+                ("count".to_owned(), Json::Int(total as i64)),
+                ("offset".to_owned(), Json::Int(offset as i64)),
+                ("returned".to_owned(), Json::Int(names.len() as i64)),
+                ("truncated".to_owned(), Json::Bool(truncated)),
                 ("cores".to_owned(), Json::Array(names)),
             ])
         })

@@ -53,13 +53,19 @@ pub enum Request {
         /// The session.
         session: String,
     },
-    /// The cores complying with every decision so far.
+    /// One page of the cores complying with every decision so far.
+    /// The response echoes the exact total (`count`) and the effective
+    /// `offset`/`limit`, and flags `truncated` pages clipped by the
+    /// wire-frame byte budget — million-core results are fetched page
+    /// by page, never as one oversized line.
     SurvivingCores {
         /// The session.
         session: String,
-        /// Cap on the number of core names returned (count is always
-        /// exact).
+        /// Cap on the number of core names returned per page (count is
+        /// always exact).
         limit: Option<usize>,
+        /// Number of surviving cores to skip before the page starts.
+        offset: Option<usize>,
     },
     /// The still-viable options of a property, proved by the
     /// propagation solver over the session's current bindings.
@@ -292,6 +298,7 @@ fn parse_request_json(json: &Json) -> Result<Request, ProtocolError> {
         "surviving_cores" => Ok(Request::SurvivingCores {
             session: require(str_field(json, "session")?, "session")?,
             limit: usize_field(json, "limit")?,
+            offset: usize_field(json, "offset")?,
         }),
         "viable" => Ok(Request::Viable {
             session: require(str_field(json, "session")?, "session")?,

@@ -68,6 +68,22 @@ if [ "$SOLVE_ELAPSED" -gt 90 ]; then
 fi
 echo "    synthetic space diagnosed in ${SOLVE_ELAPSED}s"
 
+echo "==> explorer store gate: differential property suite under both engines"
+for engine in scan columnar; do
+    echo "    DSE_EXPLORER_ENGINE=$engine"
+    DSE_EXPLORER_ENGINE=$engine cargo test -q --offline --test explorer_store > /dev/null
+done
+
+echo "==> core-store scale gate: 1M-core generator build + query (budget 120s)"
+SCALE_START=$(date +%s)
+cargo run --release --offline --example store_scale -- --cores 1000000 > /dev/null
+SCALE_ELAPSED=$(( $(date +%s) - SCALE_START ))
+if [ "$SCALE_ELAPSED" -gt 120 ]; then
+    echo "    scale gate took ${SCALE_ELAPSED}s (budget 120s)"
+    exit 1
+fi
+echo "    1M-core store built and queried in ${SCALE_ELAPSED}s"
+
 echo "==> server smoke gate: scripted conversation vs golden transcript"
 SMOKE_DIR=$(mktemp -d)
 ./target/release/examples/serve --journal-dir "$SMOKE_DIR/journals" \

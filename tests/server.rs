@@ -403,3 +403,86 @@ fn viable_op_tracks_decides_and_retracts() {
     assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
     assert_eq!(bad.get("code").and_then(Json::as_str), Some("DSL304"));
 }
+
+/// Pagination at the wire-cap boundary: a library whose full survivor
+/// listing would blow past the 1 MiB `foundation::net` line cap must
+/// come back clipped (`truncated`) yet frameable, and paging with
+/// `offset` must reassemble the exact full listing.
+#[test]
+fn surviving_cores_pages_never_exceed_the_line_cap() {
+    use design_space_layer::dse::prelude::*;
+    use design_space_layer::dse_library::{CoreRecord, ReuseLibrary};
+
+    // ~2 900 cores × ~600-byte names ≈ 1.7 MiB of names: over the cap.
+    let mut space = DesignSpace::new("cap-boundary");
+    let root = space.add_root("CapBoundary", "");
+    space
+        .add_property(
+            root,
+            Property::issue("Flavor", Domain::options(["a", "b"]), ""),
+        )
+        .unwrap();
+    let mut library = ReuseLibrary::new("fat-names");
+    let filler = "x".repeat(580);
+    for i in 0..2_900 {
+        library.push(
+            CoreRecord::new(format!("core-{i:05}-{filler}"), "t", "")
+                .bind("Flavor", if i % 2 == 0 { "a" } else { "b" }),
+        );
+    }
+    let engine = EngineBuilder::new(Technology::g10_035())
+        .with_snapshot("cap", space, root, library)
+        .build()
+        .expect("engine builds");
+    ok(&engine.handle_line(r#"{"op":"open","session":"cap","snapshot":"cap"}"#));
+
+    // Ask for everything in one page: the reply must clip at the byte
+    // budget, stay under the line cap, and say so.
+    let line = engine
+        .handle_line(r#"{"op":"surviving_cores","session":"cap","limit":1000000}"#);
+    assert!(
+        line.len() < 1024 * 1024,
+        "oversized response: {} bytes",
+        line.len()
+    );
+    let full = ok(&line);
+    assert_eq!(full.get("count").and_then(Json::as_i64), Some(2_900));
+    assert_eq!(full.get("truncated").and_then(Json::as_bool), Some(true));
+    let returned = full.get("returned").and_then(Json::as_i64).unwrap();
+    assert!(returned > 0 && returned < 2_900, "returned {returned}");
+
+    // Page through with offset/limit and reassemble the full listing.
+    let mut collected: Vec<String> = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let line = engine.handle_line(&format!(
+            r#"{{"op":"surviving_cores","session":"cap","limit":500,"offset":{offset}}}"#
+        ));
+        assert!(line.len() < 1024 * 1024);
+        let page = ok(&line);
+        assert_eq!(page.get("count").and_then(Json::as_i64), Some(2_900));
+        assert_eq!(page.get("offset").and_then(Json::as_i64), Some(offset as i64));
+        let names: Vec<String> = page
+            .get("cores")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|n| n.as_str().unwrap().to_owned())
+            .collect();
+        if names.is_empty() {
+            break;
+        }
+        offset += names.len();
+        collected.extend(names);
+    }
+    assert_eq!(collected.len(), 2_900);
+    assert!(collected.windows(2).all(|w| w[0] < w[1]), "stable order");
+
+    // A decision halves the set; pagination tracks the pruned total.
+    ok(&engine.handle_line(r#"{"op":"decide","session":"cap","name":"Flavor","value":"a"}"#));
+    let pruned = ok(&engine.handle_line(
+        r#"{"op":"surviving_cores","session":"cap","limit":10,"offset":1445}"#,
+    ));
+    assert_eq!(pruned.get("count").and_then(Json::as_i64), Some(1_450));
+    assert_eq!(pruned.get("returned").and_then(Json::as_i64), Some(5));
+}
