@@ -1,6 +1,6 @@
 //! Emits `BENCH_baseline.json`: the repo's performance-trajectory record,
 //! combining the `bignum_ops`, `exploration`, `analyze`, `robust`,
-//! `cache` and `server` suites.
+//! `cache`, `server` and `wire` suites.
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline                  # writes BENCH_baseline.json
@@ -22,7 +22,10 @@ use foundation::json::Json;
 /// Median regression ratio that fails a `--compare` run.
 const REGRESSION_GATE: f64 = 2.0;
 
-const SUITES: &[(&str, fn() -> Harness)] = &[
+/// A named suite constructor in the registry below.
+type Suite = (&'static str, fn() -> Harness);
+
+const SUITES: &[Suite] = &[
     ("bignum_ops", bench::suites::bignum_ops),
     ("exploration", bench::suites::exploration),
     ("explore_scale", bench::suites::explore_scale),
@@ -31,6 +34,7 @@ const SUITES: &[(&str, fn() -> Harness)] = &[
     ("robust", bench::suites::robust),
     ("cache", bench::suites::cache),
     ("server", bench::suites::server),
+    ("wire", bench::suites::wire),
 ];
 
 fn main() {

@@ -24,7 +24,7 @@ use crate::value::Value;
 pub use crate::intern::Symbol;
 
 /// An opaque identifier of a CDO within one [`DesignSpace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CdoId(usize);
 
 impl CdoId {

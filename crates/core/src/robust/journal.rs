@@ -359,11 +359,7 @@ impl JournalDir {
     pub fn append(&self, id: &str, record: &JournalRecord) -> io::Result<()> {
         let mut line = foundation::json::encode(record);
         line.push('\n');
-        let mut file = OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(self.file_for(id)?)?;
-        file.write_all(line.as_bytes())
+        self.open_append(id)?.write_all(line.as_bytes())
     }
 
     /// Atomically replaces `id`'s journal with `checkpoint`'s records —
@@ -445,6 +441,19 @@ impl JournalDir {
         }
     }
 
+    /// Opens (creating if needed) `id`'s journal file for appending —
+    /// the handle a [`JournalAppender`] holds across appends.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any open error.
+    pub fn open_append(&self, id: &str) -> io::Result<fs::File> {
+        OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.file_for(id)?)
+    }
+
     /// Every session id with a journal in the directory, sorted.
     ///
     /// # Errors
@@ -486,6 +495,75 @@ impl JournalDir {
             }
         }
         Ok(out)
+    }
+}
+
+/// A per-session append handle over one [`JournalDir`] journal.
+///
+/// [`JournalDir::append`] opens and closes the file on every record so a
+/// daemon never accumulates unbounded handles; a session that is *live*
+/// (held open by the engine, bounded by the session cap) can instead
+/// keep its handle open across appends through this type. Durability is
+/// unchanged: `File::write_all` is unbuffered, so every append hits the
+/// kernel before returning, and a crash still tears at most the final
+/// record.
+///
+/// The handle must be [`invalidate`](Self::invalidate)d whenever the
+/// underlying file is replaced or removed (compaction renames a fresh
+/// checkpoint over the live journal, leaving an open handle pointed at
+/// the unlinked inode); any append error also drops it, so the next
+/// append reopens from a clean slate.
+#[derive(Debug, Default)]
+pub struct JournalAppender {
+    file: Option<fs::File>,
+}
+
+impl JournalAppender {
+    /// A closed appender; the first append opens the file.
+    pub fn new() -> JournalAppender {
+        JournalAppender::default()
+    }
+
+    /// Appends one record through the held handle, opening (and
+    /// creating) the file on first use.
+    ///
+    /// # Errors
+    ///
+    /// An invalid id, or any I/O error — after which the handle is
+    /// dropped so the next append reopens the file.
+    pub fn append(
+        &mut self,
+        dir: &JournalDir,
+        id: &str,
+        record: &JournalRecord,
+    ) -> io::Result<()> {
+        if self.file.is_none() {
+            self.file = Some(dir.open_append(id)?);
+        }
+        let mut line = foundation::json::encode(record);
+        line.push('\n');
+        let result = self
+            .file
+            .as_mut()
+            .expect("handle opened above")
+            .write_all(line.as_bytes());
+        if result.is_err() {
+            self.file = None;
+        }
+        result
+    }
+
+    /// Whether a handle is currently held open.
+    pub fn is_open(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Drops the held handle; the next append reopens the file. Call
+    /// after anything that replaces or removes the journal file
+    /// (compaction, removal) so stale handles never write to an
+    /// unlinked inode.
+    pub fn invalidate(&mut self) {
+        self.file = None;
     }
 }
 
@@ -703,6 +781,66 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         JournalDir::create(dir).unwrap()
+    }
+
+    #[test]
+    fn held_open_appender_matches_per_append_opens_and_survives_compaction() {
+        let dir = temp_journal_dir("appender");
+        let req = JournalRecord::SetRequirement {
+            name: "EOL".into(),
+            value: Value::Int(64),
+        };
+        let decide = JournalRecord::Decide {
+            name: "Algorithm".into(),
+            value: Value::from("Montgomery"),
+        };
+
+        // Lazy open: a fresh appender holds no handle and has created
+        // nothing — `exists` semantics are unchanged by construction.
+        let mut appender = JournalAppender::new();
+        assert!(!appender.is_open());
+        assert!(!dir.exists("s1"));
+
+        // Appends through the held handle read back exactly like the
+        // open-per-append path writes them.
+        appender.append(&dir, "s1", &req).unwrap();
+        assert!(appender.is_open());
+        appender.append(&dir, "s1", &decide).unwrap();
+        dir.append("s2", &req).unwrap();
+        dir.append("s2", &decide).unwrap();
+        assert_eq!(
+            fs::read(dir.file_for("s1").unwrap()).unwrap(),
+            fs::read(dir.file_for("s2").unwrap()).unwrap(),
+            "held-open and open-per-append writes must be byte-identical"
+        );
+        let (journal, report) = dir.recover("s1").unwrap().unwrap().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(journal.records(), &[req.clone(), decide.clone()]);
+
+        // Compaction replaces the file by rename; a stale handle would
+        // keep writing to the unlinked inode. Invalidate, then prove
+        // the next append lands in the *new* file.
+        let mut checkpoint = Journal::new();
+        checkpoint.append(req.clone());
+        dir.compact("s1", &checkpoint).unwrap();
+        appender.invalidate();
+        assert!(!appender.is_open());
+        appender.append(&dir, "s1", &decide).unwrap();
+        let (journal, report) = dir.recover("s1").unwrap().unwrap().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(
+            journal.records(),
+            &[req.clone(), decide.clone()],
+            "post-compaction append must reach the replacement file"
+        );
+
+        // Removal + invalidate: the next append recreates the journal.
+        assert!(dir.remove("s1").unwrap());
+        appender.invalidate();
+        appender.append(&dir, "s1", &req).unwrap();
+        assert!(dir.exists("s1"));
+        assert_eq!(dir.record_count("s1").unwrap(), 1);
+        let _ = std::fs::remove_dir_all(dir.path());
     }
 
     #[test]

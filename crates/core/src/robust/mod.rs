@@ -34,7 +34,8 @@ pub use cache::{CacheStats, EstimateCache};
 pub use fault::{Fault, FaultPlan, FaultRates, FaultyEstimator};
 pub use fuel::Fuel;
 pub use journal::{
-    Journal, JournalDir, JournalRecord, JournaledSession, RecoverError, RecoveryReport,
+    Journal, JournalAppender, JournalDir, JournalRecord, JournaledSession, RecoverError,
+    RecoveryReport,
 };
 pub use supervisor::{BreakerConfig, BreakerView, Supervisor, SupervisorConfig, SupervisorStats};
 

@@ -55,7 +55,10 @@ pub struct Decision {
 /// decision log, and estimate cache. Mutating operations take one before
 /// touching anything and [`ExplorationSession::restore`] it on any error,
 /// which is what makes them all-or-nothing.
-#[derive(Debug, Clone, PartialEq)]
+/// The `Default` state (empty, focused on the id-0 CDO) is a detached
+/// placeholder for `std::mem::take`-style handoff; reattach a real
+/// state before using it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionSnapshot {
     focus: CdoId,
     bindings: Bindings,
@@ -107,6 +110,19 @@ impl<'a> ExplorationSession<'a> {
             bindings: self.bindings.clone(),
             log: self.log.clone(),
             estimates: self.estimates.clone(),
+        }
+    }
+
+    /// Detaches the session's full mutable state without cloning it —
+    /// the inverse of [`resume`](Self::resume). A server stashing
+    /// per-session state between requests moves it out with this and
+    /// back in with `resume`, so a request round-trip copies nothing.
+    pub fn into_snapshot(self) -> SessionSnapshot {
+        SessionSnapshot {
+            focus: self.focus,
+            bindings: self.bindings,
+            log: self.log,
+            estimates: self.estimates,
         }
     }
 
@@ -194,12 +210,11 @@ impl<'a> ExplorationSession<'a> {
         kinds: &[PropertyKind],
         expected: &'static str,
     ) -> Result<(), DseError> {
-        let snapshot = self.snapshot();
-        let result = self.apply_inner(name, value, kinds, expected);
-        if result.is_err() {
-            self.restore(snapshot);
-        }
-        result
+        // All-or-nothing without a pre-state snapshot: `apply_inner`
+        // mutates at most the new binding and the focus (the log entry
+        // lands last, after every check), and rolls both back itself in
+        // its error arm.
+        self.apply_inner(name, value, kinds, expected)
     }
 
     /// Checks every effective constraint at the current focus against the
@@ -284,14 +299,42 @@ impl<'a> ExplorationSession<'a> {
         let kind = prop.kind();
         let prev_focus = self.focus;
 
-        // Tentatively bind and check consistency; the caller (`apply`)
-        // rolls back to its snapshot on any error from here on. Only
-        // constraints mentioning the new binding can have changed
-        // outcome, so the check is O(touched), not O(constraints).
+        // Tentatively bind and check consistency. The only state this
+        // can dirty is the binding itself and (for generalized issues)
+        // the focus, so the error arm rolls exactly those back — no
+        // full pre-state snapshot. Only constraints mentioning the new
+        // binding can have changed outcome, so the check is O(touched),
+        // not O(constraints).
         self.bindings.insert(name.to_owned(), value.clone());
-        self.check_constraints_touching(name)?;
+        if let Err(e) = self.check_and_descend(name, &value, kind) {
+            self.bindings.remove(name);
+            self.focus = prev_focus;
+            return Err(e);
+        }
 
-        // Descend on generalized issues.
+        self.log.push(Decision {
+            property: name.to_owned(),
+            value,
+            kind,
+            prev_focus,
+            stale: false,
+            note: None,
+        });
+        Ok(())
+    }
+
+    /// The check-and-mutate tail of [`apply_inner`], run after the
+    /// tentative binding: incremental constraint check, then (for
+    /// generalized issues) the hierarchy descent and the full re-check
+    /// the new region requires. The caller rolls back the binding and
+    /// the focus if any step errs.
+    fn check_and_descend(
+        &mut self,
+        name: &str,
+        value: &Value,
+        kind: PropertyKind,
+    ) -> Result<(), DseError> {
+        self.check_constraints_touching(name)?;
         if kind == PropertyKind::GeneralizedIssue {
             let child = self
                 .space
@@ -303,14 +346,14 @@ impl<'a> ExplorationSession<'a> {
                     self.space
                         .node(c)
                         .spawned_by()
-                        .is_some_and(|(i, v)| i == name && v.matches(&value))
+                        .is_some_and(|(i, v)| i == name && v.matches(value))
                 });
             match child {
                 Some(c) => self.focus = c,
                 None => {
                     return Err(DseError::OptionNotSpecialized {
                         issue: name.to_owned(),
-                        option: value,
+                        option: value.clone(),
                     });
                 }
             }
@@ -319,15 +362,6 @@ impl<'a> ExplorationSession<'a> {
             // rejected at the descent, not discovered later.
             self.check_constraints()?;
         }
-
-        self.log.push(Decision {
-            property: name.to_owned(),
-            value,
-            kind,
-            prev_focus,
-            stale: false,
-            note: None,
-        });
         Ok(())
     }
 

@@ -179,12 +179,12 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
-            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Int(i) => out.push_str(fmt_i64(&mut [0u8; I64_BUF], *i)),
             Json::Float(x) => {
                 if x.is_finite() {
                     // `{:?}` keeps a trailing `.0` on integral floats, so the
                     // reader can't silently lose the number's float-ness.
-                    out.push_str(&format!("{x:?}"));
+                    out.push_str(fmt_f64(&mut [0u8; F64_BUF], *x));
                 } else {
                     out.push_str("null");
                 }
@@ -248,23 +248,147 @@ fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
 }
 
 fn write_escaped(out: &mut String, s: &str) {
+    // Every byte that needs escaping is single-byte ASCII, so slicing `s`
+    // at escape positions always lands on char boundaries.
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut safe_from = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let class = escape_class(b);
+        if class == 0 {
+            continue;
+        }
+        out.push_str(&s[safe_from..i]);
+        safe_from = i + 1;
+        if class == b'u' {
+            out.push_str("\\u00");
+            out.push(HEX_DIGITS[(b >> 4) as usize] as char);
+            out.push(HEX_DIGITS[(b & 0xf) as usize] as char);
+        } else {
+            out.push('\\');
+            out.push(class as char);
         }
     }
+    out.push_str(&s[safe_from..]);
     out.push('"');
+}
+
+/// Byte of the two-character escapes (`\n`, `\t`, ...), `b'u'` for the
+/// generic `\u00xx` form, or 0 for "no escape needed".
+const fn escape_class(b: u8) -> u8 {
+    match b {
+        b'"' => b'"',
+        b'\\' => b'\\',
+        b'\n' => b'n',
+        b'\r' => b'r',
+        b'\t' => b't',
+        0x08 => b'b',
+        0x0c => b'f',
+        0x00..=0x1f => b'u',
+        _ => 0,
+    }
+}
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// One-pass string escaping: contiguous runs of safe bytes are copied with
+/// `extend_from_slice`; control characters go through a static hex table
+/// (no per-character `format!` allocation). Emits the surrounding quotes.
+pub fn escape_str_into(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    let bytes = s.as_bytes();
+    let mut safe_from = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let class = escape_class(b);
+        if class == 0 {
+            continue;
+        }
+        out.extend_from_slice(&bytes[safe_from..i]);
+        safe_from = i + 1;
+        if class == b'u' {
+            out.extend_from_slice(&[
+                b'\\',
+                b'u',
+                b'0',
+                b'0',
+                HEX_DIGITS[(b >> 4) as usize],
+                HEX_DIGITS[(b & 0xf) as usize],
+            ]);
+        } else {
+            out.extend_from_slice(&[b'\\', class]);
+        }
+    }
+    out.extend_from_slice(&bytes[safe_from..]);
+    out.push(b'"');
+}
+
+/// Exact byte length [`escape_str_into`] would emit for `s`, including
+/// the surrounding quotes — lets byte budgeting run without rendering.
+pub fn escaped_len(s: &str) -> usize {
+    2 + s
+        .bytes()
+        .map(|b| match escape_class(b) {
+            0 => 1,
+            b'u' => 6,
+            _ => 2,
+        })
+        .sum::<usize>()
+}
+
+/// Stack-buffer size for [`fmt_i64`]: `i64::MIN` renders to 20 bytes.
+pub const I64_BUF: usize = 20;
+
+/// Stack-buffer size for [`fmt_f64`]: the longest shortest-round-trip
+/// `{:?}` rendering of a finite `f64` is 24 bytes
+/// (`-2.2250738585072014e-308`); 40 leaves margin.
+pub const F64_BUF: usize = 40;
+
+/// Formats `v` into the caller's stack buffer without allocating, returning
+/// the rendered digits (itoa-style; shared by [`Json::to_string`] and
+/// [`Writer`]).
+pub fn fmt_i64(buf: &mut [u8; I64_BUF], v: i64) -> &str {
+    let mut n = v;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        // `%` rounds toward zero, so the remainder digits of a negative
+        // value come out negative: `unsigned_abs` folds both signs.
+        buf[i] = b'0' + (n % 10).unsigned_abs() as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII")
+}
+
+/// Formats a finite `v` with `{:?}` semantics (trailing `.0` kept on
+/// integral floats) into the caller's stack buffer without allocating.
+pub fn fmt_f64(buf: &mut [u8; F64_BUF], v: f64) -> &str {
+    struct Sink<'a> {
+        buf: &'a mut [u8; F64_BUF],
+        len: usize,
+    }
+    impl fmt::Write for Sink<'_> {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            let end = self.len + s.len();
+            if end > self.buf.len() {
+                return Err(fmt::Error);
+            }
+            self.buf[self.len..end].copy_from_slice(s.as_bytes());
+            self.len = end;
+            Ok(())
+        }
+    }
+    let mut sink = Sink { buf, len: 0 };
+    use fmt::Write as _;
+    write!(sink, "{v:?}").expect("finite f64 debug repr fits F64_BUF bytes");
+    let len = sink.len;
+    std::str::from_utf8(&buf[..len]).expect("float rendering is ASCII")
 }
 
 const MAX_DEPTH: usize = 128;
@@ -527,6 +651,659 @@ impl<'a> Parser<'a> {
             Ok(x) => Ok(Json::Float(x)),
             Err(_) => Err(self.err("number out of range")),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy wire codec: a borrowing pull-parser and a tree-free writer.
+//
+// `Reader`/`Writer` are the hot-path counterparts of `Json::parse` /
+// `Json::to_string`: the reader hands out `&str` slices of the input
+// wherever no escape forces an owned copy, and the writer serializes
+// straight into a caller-owned `Vec<u8>` so a warm buffer round-trips
+// with zero allocations. The tree codec above stays untouched and serves
+// as the differential oracle (`tests/json_wire.rs`).
+
+use std::borrow::Cow;
+
+/// A number token read by [`Reader`], keeping the int/float distinction of
+/// [`Json::Int`]/[`Json::Float`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A number without fractional part or exponent that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+}
+
+/// A borrowing pull-parser over a byte slice.
+///
+/// Accepts exactly the same documents as [`Json::parse`] and reports
+/// errors with the same 1-based line/column positions (computed lazily,
+/// so the happy path never tracks lines). Strings come back as
+/// [`Cow::Borrowed`] slices of the input unless an escape sequence forces
+/// an owned copy.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Parses a whole document into a [`Json`] tree — the `&[u8]`
+    /// equivalent of [`Json::parse`], built on the pull-parser.
+    pub fn parse_document(bytes: &'a [u8]) -> Result<Json, JsonError> {
+        let mut r = Reader::new(bytes);
+        r.skip_ws();
+        let v = r.read_value(0)?;
+        r.end()?;
+        Ok(v)
+    }
+
+    /// Current byte offset into the input.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// A parse error at the current position; line/col are recovered by
+    /// scanning the consumed prefix (error path only).
+    pub fn err(&self, msg: impl Into<String>) -> JsonError {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let line_start = consumed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        JsonError::parse(msg, line, self.pos - line_start + 1)
+    }
+
+    /// The next byte, without consuming it.
+    pub fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Skips JSON whitespace.
+    pub fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `b` or errors.
+    pub fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    /// Skips whitespace, then requires end of input.
+    pub fn end(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() {
+            return Err(self.err("trailing characters after document"));
+        }
+        Ok(())
+    }
+
+    /// Consumes `{` (the caller should [`Self::skip_ws`] first).
+    pub fn begin_object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{')
+    }
+
+    /// Advances to the next member of the current object and returns its
+    /// key, leaving the reader positioned at the value; `None` once the
+    /// object closes. `index` is the number of members already read (0 on
+    /// the first call, when no separating comma is expected).
+    pub fn next_key(&mut self, index: usize) -> Result<Option<Cow<'a, str>>, JsonError> {
+        self.skip_ws();
+        if index == 0 {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(None);
+            }
+        } else {
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(None);
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+            self.skip_ws();
+        }
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string key in object"));
+        }
+        let key = self.read_str()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        self.skip_ws();
+        Ok(Some(key))
+    }
+
+    /// Reads a string token. Escape-free strings borrow from the input;
+    /// escapes fall back to an owned decode with [`Json::parse`]'s exact
+    /// semantics.
+    pub fn read_str(&mut self) -> Result<Cow<'a, str>, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let mut i = start;
+        while i < self.bytes.len() {
+            let b = self.bytes[i];
+            if b == b'"' {
+                if let Ok(s) = std::str::from_utf8(&self.bytes[start..i]) {
+                    self.pos = i + 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                // Invalid UTF-8: re-scan on the slow path for the exact
+                // error position and message.
+                break;
+            }
+            if b == b'\\' || b < 0x20 {
+                break;
+            }
+            i += 1;
+        }
+        self.read_str_slow().map(Cow::Owned)
+    }
+
+    /// The escape-bearing slow path of [`Self::read_str`]; starts after
+    /// the opening quote.
+    fn read_str_slow(&mut self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired high surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 in string"));
+                    }
+                    match std::str::from_utf8(&self.bytes[start..start + len]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid \\u escape (need 4 hex digits)")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    /// Reads a number token plus the raw text it was parsed from (for
+    /// callers that want to echo the exact input bytes back).
+    pub fn read_number_with_span(&mut self) -> Result<(Number, &'a str), JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok((Number::Int(i), text));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok((Number::Float(x), text)),
+            Err(_) => Err(self.err("number out of range")),
+        }
+    }
+
+    /// Reads a number token.
+    pub fn read_number(&mut self) -> Result<Number, JsonError> {
+        self.read_number_with_span().map(|(n, _)| n)
+    }
+
+    /// Reads `true` or `false`.
+    pub fn read_bool(&mut self) -> Result<bool, JsonError> {
+        match self.peek() {
+            Some(b't') => self.keyword("true").map(|()| true),
+            _ => self.keyword("false").map(|()| false),
+        }
+    }
+
+    /// Reads `null`.
+    pub fn read_null(&mut self) -> Result<(), JsonError> {
+        self.keyword("null")
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    /// Reads any value into a [`Json`] tree (the fallback when a caller
+    /// hits a shape it has no borrowed representation for).
+    pub fn read_value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null").map(|()| Json::Null),
+            Some(b't') => self.keyword("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.keyword("false").map(|()| Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.read_str()?.into_owned())),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.read_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Json::Array(items)),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.err("expected ',' or ']' in array"));
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("expected string key in object"));
+                    }
+                    let key = self.read_str()?.into_owned();
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.read_value(depth + 1)?;
+                    members.push((key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Json::Object(members)),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.err("expected ',' or '}' in object"));
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => Ok(match self.read_number()? {
+                Number::Int(i) => Json::Int(i),
+                Number::Float(x) => Json::Float(x),
+            }),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    /// Validates and consumes any value without building a tree, returning
+    /// the raw input span it occupied (whitespace-trimmed at both ends).
+    /// Accepts exactly what [`Self::read_value`] accepts.
+    pub fn skip_value(&mut self, depth: usize) -> Result<&'a [u8], JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        let start = self.pos;
+        match self.peek() {
+            None => return Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null")?,
+            Some(b't') => self.keyword("true")?,
+            Some(b'f') => self.keyword("false")?,
+            Some(b'"') => {
+                self.read_str()?;
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                self.read_number()?;
+            }
+            Some(open @ (b'[' | b'{')) => {
+                let close = if open == b'[' { b']' } else { b'}' };
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(close) {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        self.skip_ws();
+                        if open == b'{' {
+                            if self.peek() != Some(b'"') {
+                                return Err(self.err("expected string key in object"));
+                            }
+                            self.read_str()?;
+                            self.skip_ws();
+                            self.expect(b':')?;
+                            self.skip_ws();
+                        }
+                        self.skip_value(depth + 1)?;
+                        self.skip_ws();
+                        match self.bump() {
+                            Some(b',') => continue,
+                            Some(b) if b == close => break,
+                            _ => {
+                                self.pos = self.pos.saturating_sub(1);
+                                return Err(self.err(if open == b'[' {
+                                    "expected ',' or ']' in array"
+                                } else {
+                                    "expected ',' or '}' in object"
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+            Some(c) => return Err(self.err(format!("unexpected character {:?}", c as char))),
+        }
+        Ok(&self.bytes[start..self.pos])
+    }
+}
+
+/// Serializes a [`Json`] tree compactly into `out` without any
+/// intermediate allocation — byte-identical to `v.to_string()`.
+pub fn write_json(out: &mut Vec<u8>, v: &Json) {
+    match v {
+        Json::Null => out.extend_from_slice(b"null"),
+        Json::Bool(true) => out.extend_from_slice(b"true"),
+        Json::Bool(false) => out.extend_from_slice(b"false"),
+        Json::Int(i) => out.extend_from_slice(fmt_i64(&mut [0u8; I64_BUF], *i).as_bytes()),
+        Json::Float(x) => {
+            if x.is_finite() {
+                out.extend_from_slice(fmt_f64(&mut [0u8; F64_BUF], *x).as_bytes());
+            } else {
+                out.extend_from_slice(b"null");
+            }
+        }
+        Json::Str(s) => escape_str_into(out, s),
+        Json::Array(items) => {
+            out.push(b'[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                write_json(out, item);
+            }
+            out.push(b']');
+        }
+        Json::Object(members) => {
+            out.push(b'{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                escape_str_into(out, k);
+                out.push(b':');
+                write_json(out, v);
+            }
+            out.push(b'}');
+        }
+    }
+}
+
+/// Deepest container nesting [`Writer`] supports (one bit of comma state
+/// per level).
+pub const WRITER_MAX_DEPTH: usize = 256;
+
+/// A tree-free compact JSON serializer over a caller-owned `Vec<u8>`.
+///
+/// Comma placement is tracked in a fixed-size per-depth bitmap, so a warm
+/// (pre-grown) output buffer is written with zero allocations. Output is
+/// byte-identical to building the equivalent [`Json`] tree and calling
+/// `to_string()`.
+#[derive(Debug)]
+pub struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+    depth: usize,
+    has_items: [u64; WRITER_MAX_DEPTH / 64],
+    is_object: [u64; WRITER_MAX_DEPTH / 64],
+}
+
+impl<'a> Writer<'a> {
+    /// A writer appending to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Writer {
+            out,
+            depth: 0,
+            has_items: [0; WRITER_MAX_DEPTH / 64],
+            is_object: [0; WRITER_MAX_DEPTH / 64],
+        }
+    }
+
+    fn bit(map: &[u64], depth: usize) -> bool {
+        map[depth / 64] & (1 << (depth % 64)) != 0
+    }
+
+    fn set_bit(map: &mut [u64], depth: usize, on: bool) {
+        if on {
+            map[depth / 64] |= 1 << (depth % 64);
+        } else {
+            map[depth / 64] &= !(1 << (depth % 64));
+        }
+    }
+
+    /// Emits the separating comma a value needs in array context (keys own
+    /// the comma inside objects; top level has no separators).
+    fn value_separator(&mut self) {
+        if self.depth > 0 && !Self::bit(&self.is_object, self.depth) {
+            if Self::bit(&self.has_items, self.depth) {
+                self.out.push(b',');
+            }
+            Self::set_bit(&mut self.has_items, self.depth, true);
+        }
+    }
+
+    fn open(&mut self, is_object: bool, delim: u8) {
+        self.value_separator();
+        self.depth += 1;
+        assert!(self.depth < WRITER_MAX_DEPTH, "Writer nesting too deep");
+        Self::set_bit(&mut self.is_object, self.depth, is_object);
+        Self::set_bit(&mut self.has_items, self.depth, false);
+        self.out.push(delim);
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.open(true, b'{');
+    }
+
+    /// Closes the current object (`}`).
+    pub fn end_object(&mut self) {
+        debug_assert!(self.depth > 0 && Self::bit(&self.is_object, self.depth));
+        self.out.push(b'}');
+        self.depth -= 1;
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.open(false, b'[');
+    }
+
+    /// Closes the current array (`]`).
+    pub fn end_array(&mut self) {
+        debug_assert!(self.depth > 0 && !Self::bit(&self.is_object, self.depth));
+        self.out.push(b']');
+        self.depth -= 1;
+    }
+
+    /// Writes a member key (with its separating comma and `:`); the next
+    /// value call supplies the member's value.
+    pub fn key(&mut self, k: &str) {
+        debug_assert!(
+            self.depth > 0 && Self::bit(&self.is_object, self.depth),
+            "key outside object"
+        );
+        if Self::bit(&self.has_items, self.depth) {
+            self.out.push(b',');
+        }
+        Self::set_bit(&mut self.has_items, self.depth, true);
+        escape_str_into(self.out, k);
+        self.out.push(b':');
+    }
+
+    /// Writes a string value.
+    pub fn str_value(&mut self, s: &str) {
+        self.value_separator();
+        escape_str_into(self.out, s);
+    }
+
+    /// Writes an integer value.
+    pub fn int_value(&mut self, i: i64) {
+        self.value_separator();
+        self.out
+            .extend_from_slice(fmt_i64(&mut [0u8; I64_BUF], i).as_bytes());
+    }
+
+    /// Writes a float value (`{:?}` rendering; non-finite becomes `null`,
+    /// matching the tree serializer).
+    pub fn float_value(&mut self, x: f64) {
+        self.value_separator();
+        if x.is_finite() {
+            self.out
+                .extend_from_slice(fmt_f64(&mut [0u8; F64_BUF], x).as_bytes());
+        } else {
+            self.out.extend_from_slice(b"null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_value(&mut self, b: bool) {
+        self.value_separator();
+        self.out
+            .extend_from_slice(if b { b"true" } else { b"false" });
+    }
+
+    /// Writes `null`.
+    pub fn null_value(&mut self) {
+        self.value_separator();
+        self.out.extend_from_slice(b"null");
+    }
+
+    /// Splices pre-rendered JSON into value position. The caller
+    /// guarantees `raw` is one complete, valid compact JSON value.
+    pub fn raw_value(&mut self, raw: &[u8]) {
+        self.value_separator();
+        self.out.extend_from_slice(raw);
+    }
+
+    /// Writes a [`Json`] tree in value position (the escape hatch for
+    /// payloads that only exist as trees, e.g. echoed request ids).
+    pub fn json_value(&mut self, v: &Json) {
+        self.value_separator();
+        write_json(self.out, v);
     }
 }
 
@@ -1167,6 +1944,148 @@ mod tests {
         assert_eq!(encode(&Shape::Dot), "\"Dot\"");
         assert!(decode::<Shape>("\"Nope\"").is_err());
         assert!(decode::<Shape>(r#"{"Line": [1]}"#).is_err());
+    }
+
+    #[test]
+    fn fmt_i64_matches_to_string() {
+        for v in [0, 1, -1, 7, -10, 42, i64::MAX, i64::MIN, 1_000_000_007] {
+            assert_eq!(fmt_i64(&mut [0u8; I64_BUF], v), v.to_string());
+        }
+    }
+
+    #[test]
+    fn fmt_f64_matches_debug() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            8.0,
+            -2.5,
+            22.4224,
+            1e300,
+            5e-324,
+            f64::MAX,
+            f64::MIN,
+            -2.2250738585072014e-308,
+        ] {
+            assert_eq!(fmt_f64(&mut [0u8; F64_BUF], v), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn escaping_uses_hex_table() {
+        let s = "a\u{1}b\u{1f}c\"d\\e\nf";
+        let mut tree = String::new();
+        write_escaped(&mut tree, s);
+        assert_eq!(tree, "\"a\\u0001b\\u001fc\\\"d\\\\e\\nf\"");
+        let mut wire = Vec::new();
+        escape_str_into(&mut wire, s);
+        assert_eq!(wire, tree.as_bytes());
+    }
+
+    #[test]
+    fn reader_borrows_escape_free_strings() {
+        let mut r = Reader::new(br#""plain text \z"#);
+        assert!(matches!(r.read_str(), Err(_)));
+        let mut r = Reader::new("\"plain µ 😀 text\"".as_bytes());
+        match r.read_str().unwrap() {
+            Cow::Borrowed(s) => assert_eq!(s, "plain µ 😀 text"),
+            Cow::Owned(_) => panic!("escape-free string should borrow"),
+        }
+        let mut r = Reader::new(br#""esc\naped""#);
+        match r.read_str().unwrap() {
+            Cow::Owned(s) => assert_eq!(s, "esc\naped"),
+            Cow::Borrowed(_) => panic!("escaped string must own"),
+        }
+    }
+
+    #[test]
+    fn reader_document_matches_tree_parser() {
+        for text in [
+            "null",
+            "[1,2.5,\"x\",{\"k\":[true,false,null]},-7]",
+            r#"{"op":"decide","session":"s","name":"EOL","value":768,"id":7}"#,
+            "  {  } ",
+            "1e3",
+        ] {
+            assert_eq!(
+                Reader::parse_document(text.as_bytes()).unwrap(),
+                Json::parse(text).unwrap(),
+                "{text}"
+            );
+        }
+        for bad in ["[1,]", "{\"a\" 1}", "tru", "\"\u{1}\"", "1 2", "{\"a\":}"] {
+            let old = Json::parse(bad).unwrap_err();
+            let new = Reader::parse_document(bad.as_bytes()).unwrap_err();
+            assert_eq!((old.line, old.col), (new.line, new.col), "{bad}");
+        }
+    }
+
+    #[test]
+    fn reader_skip_value_returns_span() {
+        let text = br#"{"id": {"a":[1,2],"b":"x"} , "z":1}"#;
+        let mut r = Reader::new(text);
+        r.skip_ws();
+        r.begin_object().unwrap();
+        let key = r.next_key(0).unwrap().unwrap();
+        assert_eq!(&*key, "id");
+        let span = r.skip_value(0).unwrap();
+        assert_eq!(span, br#"{"a":[1,2],"b":"x"}"#);
+        assert_eq!(&*r.next_key(1).unwrap().unwrap(), "z");
+        assert_eq!(r.read_number().unwrap(), Number::Int(1));
+        assert!(r.next_key(2).unwrap().is_none());
+        assert!(r.end().is_ok());
+    }
+
+    #[test]
+    fn writer_matches_tree_serializer() {
+        let tree = Json::parse(
+            r#"{"ok":true,"id":7,"vals":[1,-2,8.0,"µ \"q\" \u0007"],"empty":{},"none":null,"ea":[]}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        write_json(&mut out, &tree);
+        assert_eq!(String::from_utf8(out).unwrap(), tree.to_string());
+
+        let mut out = Vec::new();
+        let mut w = Writer::new(&mut out);
+        w.begin_object();
+        w.key("ok");
+        w.bool_value(true);
+        w.key("id");
+        w.int_value(7);
+        w.key("vals");
+        w.begin_array();
+        w.int_value(1);
+        w.int_value(-2);
+        w.float_value(8.0);
+        w.str_value("µ \"q\" \u{7}");
+        w.end_array();
+        w.key("empty");
+        w.begin_object();
+        w.end_object();
+        w.key("none");
+        w.null_value();
+        w.key("ea");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(String::from_utf8(out).unwrap(), tree.to_string());
+    }
+
+    #[test]
+    fn writer_reuses_buffer_without_allocating_state() {
+        let mut out = Vec::with_capacity(256);
+        for _ in 0..3 {
+            out.clear();
+            let mut w = Writer::new(&mut out);
+            w.begin_array();
+            for i in 0..4 {
+                w.int_value(i);
+            }
+            w.end_array();
+            assert_eq!(out, b"[0,1,2,3]");
+        }
     }
 
     #[test]

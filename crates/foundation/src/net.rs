@@ -7,7 +7,10 @@
 //!
 //! * [`read_line_bounded`] / [`write_line`] — the line framing itself,
 //!   with a hard cap on line length so a hostile peer cannot make the
-//!   reader buffer unbounded garbage.
+//!   reader buffer unbounded garbage. [`read_line_into`] is the
+//!   buffer-reusing variant the daemon's hot path runs on, and
+//!   [`write_lines_coalesced`] turns a pipelined burst of responses into
+//!   one vectored write instead of a syscall pair per line.
 //! * [`read_frame`] / [`write_frame`] — a length-prefixed alternative
 //!   (`<decimal length>\n<payload>`) for payloads that may themselves
 //!   contain newlines (bulk space uploads, archived journals).
@@ -40,6 +43,9 @@ fn too_long(max: usize) -> io::Error {
 /// stream that ends mid-line yields the partial line — the peer wrote
 /// it deliberately; let the JSON parser judge it.
 ///
+/// Allocates a fresh `String` per call; steady-state readers should hold
+/// a scratch buffer and use [`read_line_into`] instead.
+///
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] once a line exceeds `max` bytes (the
@@ -47,14 +53,49 @@ fn too_long(max: usize) -> io::Error {
 /// resynchronized), or any underlying read error.
 pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Option<String>> {
     let mut line = Vec::new();
+    if read_line_into(reader, max, &mut line)?.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(
+        String::from_utf8(line).expect("read_line_into validated UTF-8"),
+    ))
+}
+
+/// The zero-allocation core of [`read_line_bounded`]: clears and fills
+/// the caller's scratch buffer with the next line (terminator stripped)
+/// and returns it as `&str`, so a warm per-connection buffer absorbs
+/// every read. Semantics are otherwise identical to
+/// [`read_line_bounded`], including the `Ok(None)` clean-EOF contract.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for an over-`max` line or non-UTF-8
+/// content, or any underlying read error.
+pub fn read_line_into<'b>(
+    reader: &mut impl BufRead,
+    max: usize,
+    line: &'b mut Vec<u8>,
+) -> io::Result<Option<&'b str>> {
+    line.clear();
+    if !fill_line(reader, max, line)? {
+        return Ok(None);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    let text = std::str::from_utf8(line).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line is not UTF-8: {e}"))
+    })?;
+    Ok(Some(text))
+}
+
+/// Appends the next line's bytes (without the `\n`) to `line`; `false`
+/// means clean EOF with nothing read.
+fn fill_line(reader: &mut impl BufRead, max: usize, line: &mut Vec<u8>) -> io::Result<bool> {
     loop {
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
-            return if line.is_empty() {
-                Ok(None)
-            } else {
-                finish_line(line).map(Some)
-            };
+            return Ok(!line.is_empty());
         }
         match buf.iter().position(|&b| b == b'\n') {
             Some(pos) => {
@@ -63,7 +104,7 @@ pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Op
                 }
                 line.extend_from_slice(&buf[..pos]);
                 reader.consume(pos + 1);
-                return finish_line(line).map(Some);
+                return Ok(true);
             }
             None => {
                 let n = buf.len();
@@ -77,14 +118,6 @@ pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<Op
     }
 }
 
-fn finish_line(mut line: Vec<u8>) -> io::Result<String> {
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line is not UTF-8: {e}")))
-}
-
 /// Writes `line` followed by `\n` and flushes.
 ///
 /// # Errors
@@ -94,6 +127,66 @@ pub fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
+}
+
+/// How many buffers a single `writev(2)` call covers in
+/// [`write_lines_coalesced`]. Linux caps `IOV_MAX` at 1024; 64 keeps the
+/// stack frame small while still coalescing a full pipeline burst.
+const WRITE_BATCH: usize = 64;
+
+/// Writes a batch of pre-rendered, newline-terminated response buffers
+/// as coalesced vectored writes (one `writev` per [`WRITE_BATCH`]
+/// buffers instead of two syscalls per line), then flushes once.
+///
+/// # Errors
+///
+/// Any underlying write error; a writer that accepts zero bytes yields
+/// [`io::ErrorKind::WriteZero`].
+pub fn write_lines_coalesced(writer: &mut impl Write, lines: &[Vec<u8>]) -> io::Result<()> {
+    for group in lines.chunks(WRITE_BATCH) {
+        let slices: [io::IoSlice<'_>; WRITE_BATCH] = std::array::from_fn(|i| {
+            io::IoSlice::new(group.get(i).map_or(&[][..], |line| &line[..]))
+        });
+        write_vectored_all(writer, &slices[..group.len()])?;
+    }
+    writer.flush()
+}
+
+/// Drives `write_vectored` to completion across partial writes.
+fn write_vectored_all(writer: &mut impl Write, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    let mut idx = 0;
+    let mut off = 0;
+    let mut total = 0;
+    while idx < bufs.len() {
+        if bufs[idx].is_empty() {
+            idx += 1;
+            continue;
+        }
+        if off == 0 {
+            let n = writer.write_vectored(&bufs[idx..])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole buffer",
+                ));
+            }
+            total += n;
+            let mut advance = n;
+            while idx < bufs.len() && advance >= bufs[idx].len() {
+                advance -= bufs[idx].len();
+                idx += 1;
+            }
+            off = advance;
+        } else {
+            // A partial write landed mid-buffer: finish this buffer with
+            // plain `write_all`, then resume vectored writes.
+            writer.write_all(&bufs[idx][off..])?;
+            total += bufs[idx].len() - off;
+            off = 0;
+            idx += 1;
+        }
+    }
+    Ok(total)
 }
 
 /// Writes a length-prefixed frame: the payload length in ASCII decimal,
@@ -434,6 +527,54 @@ mod tests {
             Some("gamma")
         );
         assert_eq!(read_line_bounded(&mut r, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn read_line_into_reuses_one_scratch_buffer() {
+        let input = b"first\r\nsecond\n\nlast".to_vec();
+        let mut r = BufReader::new(&input[..]);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            read_line_into(&mut r, 64, &mut scratch).unwrap(),
+            Some("first")
+        );
+        assert_eq!(
+            read_line_into(&mut r, 64, &mut scratch).unwrap(),
+            Some("second")
+        );
+        assert_eq!(read_line_into(&mut r, 64, &mut scratch).unwrap(), Some(""));
+        assert_eq!(
+            read_line_into(&mut r, 64, &mut scratch).unwrap(),
+            Some("last")
+        );
+        assert_eq!(read_line_into(&mut r, 64, &mut scratch).unwrap(), None);
+        // The scratch buffer grew once and was reused, not reallocated.
+        assert!(scratch.capacity() >= 6);
+    }
+
+    #[test]
+    fn coalesced_writes_match_per_line_writes() {
+        let lines: Vec<Vec<u8>> = (0..150)
+            .map(|i| format!("response {i}\n").into_bytes())
+            .collect();
+        let mut coalesced = Vec::new();
+        write_lines_coalesced(&mut coalesced, &lines).unwrap();
+        let flat: Vec<u8> = lines.concat();
+        assert_eq!(coalesced, flat);
+
+        // Partial writes (fault-injected) still land every byte in order.
+        let plan = NetFaultPlan::new(
+            7,
+            64,
+            NetFaultRates {
+                drop_per_mille: 0,
+                partial_per_mille: 1000,
+                stall_per_mille: 0,
+            },
+        );
+        let mut faulty = FaultStream::new(Vec::<u8>::new(), plan);
+        write_lines_coalesced(&mut faulty, &lines).unwrap();
+        assert_eq!(faulty.into_inner(), flat);
     }
 
     #[test]

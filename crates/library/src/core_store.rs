@@ -228,6 +228,39 @@ pub fn roster<'a>(libraries: &[&'a ReuseLibrary]) -> Vec<&'a CoreRecord> {
     out
 }
 
+/// The same dedup as [`roster`], expressed as `(library, core)` index
+/// pairs instead of borrowed records. The dedup hashes every
+/// `(vendor, name)` pair, so callers that query a fixed library set
+/// repeatedly (the server does, once per `surviving_cores` request)
+/// should compute the indices once and rebuild the borrowed roster via
+/// [`roster_from_indices`] — a plain index walk, no hashing.
+pub fn roster_indices(libraries: &[&ReuseLibrary]) -> Vec<(u32, u32)> {
+    let total: usize = libraries.iter().map(|l| l.len()).sum();
+    let mut seen: HashMap<(&str, &str), ()> = HashMap::with_capacity(total);
+    let mut out = Vec::with_capacity(total);
+    for (li, lib) in libraries.iter().enumerate() {
+        for (ci, core) in lib.cores().iter().enumerate() {
+            if seen.insert((core.vendor(), core.name()), ()).is_none() {
+                out.push((li as u32, ci as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Materializes the borrowed roster from precomputed
+/// [`roster_indices`] over the **same** library set, byte-identical to
+/// what [`roster`] would return.
+pub fn roster_from_indices<'a>(
+    libraries: &[&'a ReuseLibrary],
+    indices: &[(u32, u32)],
+) -> Vec<&'a CoreRecord> {
+    indices
+        .iter()
+        .map(|&(li, ci)| &libraries[li as usize].cores()[ci as usize])
+        .collect()
+}
+
 impl CoreStore {
     /// Builds the index over `cores` (a roster as produced by
     /// [`roster`]). Build is sequential and deterministic; only queries

@@ -110,6 +110,24 @@ impl<'a> Explorer<'a> {
         Explorer::assemble(session, libraries, roster, store)
     }
 
+    /// Like [`from_session_with_store`](Self::from_session_with_store),
+    /// but also reuses a pre-built roster (see
+    /// [`crate::core_store::roster_from_indices`]), skipping the
+    /// per-construction `(vendor, name)` dedup — the hot path for a
+    /// server answering many `surviving_cores` requests against one
+    /// snapshot. The roster must be exactly what [`roster`] would
+    /// return for `libraries`, over which `store` was built.
+    pub fn from_session_with_store_and_roster(
+        session: ExplorationSession<'a>,
+        libraries: impl IntoIterator<Item = &'a ReuseLibrary>,
+        roster: Vec<&'a CoreRecord>,
+        store: Arc<CoreStore>,
+    ) -> Self {
+        let libraries: Vec<&'a ReuseLibrary> = libraries.into_iter().collect();
+        debug_assert_eq!(roster.len(), store.len(), "store/roster mismatch");
+        Explorer::assemble(session, libraries, roster, store)
+    }
+
     fn assemble(
         session: ExplorationSession<'a>,
         libraries: Vec<&'a ReuseLibrary>,

@@ -54,7 +54,7 @@ mod reuse;
 pub mod synthetic;
 
 pub use core_record::CoreRecord;
-pub use core_store::CoreStore;
+pub use core_store::{roster_from_indices, roster_indices, CoreStore};
 pub use explorer::{Explorer, ExplorerEngine};
 pub use lint::lint_library;
 pub use loader::{load_all_layers, load_layer, LoadedLayer, PAPER_EOL};

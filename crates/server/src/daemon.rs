@@ -37,7 +37,7 @@ use std::{io, thread};
 use foundation::net::{self, TcpServer, MAX_WIRE_BYTES};
 
 use crate::engine::Engine;
-use crate::protocol::{err_response, parse_request, ProtocolError};
+use crate::protocol::{err_response, parse_request, render_err_into, ProtocolError};
 
 /// Registries of live connections: socket clones (for drain wake-up)
 /// and thread handles (for join), both keyed by a per-connection id so
@@ -236,60 +236,97 @@ fn is_idle_timeout(e: &io::Error) -> bool {
 
 /// One connection: read everything pipelined, answer as a batch, until
 /// EOF, error, idle timeout, or drain.
+///
+/// The hot path is buffer-reuse end to end: one warm scratch buffer
+/// absorbs every request line, one warm response buffer absorbs every
+/// rendered reply, and a pipelined burst is flushed as coalesced
+/// vectored writes — in steady state the wire path allocates nothing.
 fn connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = io::BufReader::new(read_half);
     let mut writer = io::BufWriter::new(stream);
+    let mut line_buf: Vec<u8> = Vec::new();
+    let mut resp_buf: Vec<u8> = Vec::new();
     loop {
-        let first = match net::read_line_bounded(&mut reader, MAX_WIRE_BYTES) {
-            Ok(Some(line)) => line,
+        match net::read_line_into(&mut reader, MAX_WIRE_BYTES, &mut line_buf) {
+            Ok(Some(_)) => {}
             Ok(None) => return, // clean EOF
             Err(e) if is_idle_timeout(&e) => return, // reap the idle connection
             Err(e) => {
                 // An unframeable line (oversized / not UTF-8): tell the
                 // client why, then drop the connection — the stream
                 // cannot be resynchronized.
-                let resp = err_response(&None, &ProtocolError::malformed(e.to_string()));
-                let _ = net::write_line(&mut writer, &foundation::json::encode(&resp));
-                return;
-            }
-        };
-        let mut batch = vec![first];
-        // Greedily take every complete line the client has already
-        // pipelined: they become one parallel batch.
-        while reader.buffer().contains(&b'\n') {
-            match net::read_line_bounded(&mut reader, MAX_WIRE_BYTES) {
-                Ok(Some(line)) => batch.push(line),
-                _ => break,
-            }
-        }
-        // Backpressure: admit up to the per-connection cap, shed the
-        // rest with DSL309 so the client can retry after backing off —
-        // responses still come back in request order.
-        let guard_cfg = engine.guard();
-        let cap = guard_cfg.max_inflight_per_conn.max(1).min(batch.len());
-        let shed = batch.split_off(cap);
-        for response in engine.handle_batch(&batch) {
-            if net::write_line(&mut writer, &response).is_err() {
+                resp_buf.clear();
+                render_err_into(&mut resp_buf, None, &ProtocolError::malformed(e.to_string()));
+                resp_buf.push(b'\n');
+                let _ = writer.write_all(&resp_buf).and_then(|()| writer.flush());
                 return;
             }
         }
-        for line in &shed {
-            engine.note_overload();
-            let (_, env) = parse_request(line);
-            let resp = err_response(
-                &env.id,
-                &ProtocolError::overloaded(
-                    format!(
-                        "batch limit reached ({} in flight on this connection)",
-                        guard_cfg.max_inflight_per_conn
-                    ),
-                    guard_cfg.retry_after_ms,
-                ),
+        if !reader.buffer().contains(&b'\n') {
+            // The common interactive case — one request in, one response
+            // out — runs entirely through the reused buffers.
+            let line =
+                std::str::from_utf8(&line_buf).expect("read_line_into validated UTF-8");
+            resp_buf.clear();
+            engine.handle_line_into(line, &mut resp_buf);
+            resp_buf.push(b'\n');
+            if writer
+                .write_all(&resp_buf)
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        } else {
+            // Greedily take every complete line the client has already
+            // pipelined: they become one parallel batch, answered with
+            // one coalesced vectored write per burst.
+            let mut batch: Vec<String> = Vec::new();
+            batch.push(
+                std::str::from_utf8(&line_buf)
+                    .expect("read_line_into validated UTF-8")
+                    .to_owned(),
             );
-            if net::write_line(&mut writer, &foundation::json::encode(&resp)).is_err() {
+            while reader.buffer().contains(&b'\n') {
+                match net::read_line_into(&mut reader, MAX_WIRE_BYTES, &mut line_buf) {
+                    Ok(Some(line)) => batch.push(line.to_owned()),
+                    _ => break,
+                }
+            }
+            // Backpressure: admit up to the per-connection cap, shed the
+            // rest with DSL309 so the client can retry after backing
+            // off — responses still come back in request order.
+            let guard_cfg = engine.guard();
+            let cap = guard_cfg.max_inflight_per_conn.max(1).min(batch.len());
+            let shed = batch.split_off(cap);
+            let mut responses = engine.handle_batch_into(&batch);
+            for response in &mut responses {
+                response.push(b'\n');
+            }
+            for line in &shed {
+                engine.note_overload();
+                let (_, env) = parse_request(line);
+                let mut bytes = Vec::new();
+                foundation::json::write_json(
+                    &mut bytes,
+                    &err_response(
+                        &env.id,
+                        &ProtocolError::overloaded(
+                            format!(
+                                "batch limit reached ({} in flight on this connection)",
+                                guard_cfg.max_inflight_per_conn
+                            ),
+                            guard_cfg.retry_after_ms,
+                        ),
+                    ),
+                );
+                bytes.push(b'\n');
+                responses.push(bytes);
+            }
+            if net::write_lines_coalesced(&mut writer, &responses).is_err() {
                 return;
             }
         }

@@ -28,17 +28,27 @@ use std::sync::{Arc, Mutex};
 
 use dse::prelude::{
     CdoId, DesignSpace, DiagCode, DseError, EstimateCache, ExplorationSession, FaultPlan,
-    FaultRates, Figure, Fuel, Journal, JournalDir, JournalRecord, Property, PropertyKind,
-    SessionSnapshot, Solver, Supervisor, SupervisorConfig, Value, Viability,
+    FaultRates, Figure, Fuel, Journal, JournalAppender, JournalDir, JournalRecord, Property,
+    PropertyKind, SessionSnapshot, Solver, Supervisor, SupervisorConfig, Value, Viability,
 };
-use dse_library::{load_all_layers, CoreStore, Explorer, ReuseLibrary};
-use foundation::json::Json;
+use dse_library::{
+    load_all_layers, roster_from_indices, roster_indices, CoreStore, Explorer, ReuseLibrary,
+};
+use foundation::json::{escaped_len, write_json, Json, Writer};
 use techlib::Technology;
 
 use crate::guard::{GuardConfig, FUEL_PER_MS};
 use crate::protocol::{
-    err_response, ok_response, parse_request, value_to_json, Envelope, ProtocolError, Request,
+    err_response, ok_response, parse_request, parse_request_fast, render_err_into,
+    render_ok_prefix, value_to_json, Envelope, FastEnvelope, FastRequest, ProtocolError, Request,
 };
+
+/// Environment variable selecting the wire codec: the default is the
+/// zero-copy fast path (borrowed decode + direct `Writer` rendering)
+/// with tree fallback for anything unusual; `tree` forces every request
+/// through the original `Json`-tree codec, which stays wired in as the
+/// differential oracle (the `DSE_ANALYZE_ENGINE` pattern).
+pub const WIRE_ENGINE_ENV: &str = "DSE_WIRE_ENGINE";
 
 /// Default cap on core names returned by `surviving_cores`.
 const DEFAULT_CORE_LIMIT: usize = 64;
@@ -88,6 +98,11 @@ pub struct Snapshot {
     /// The columnar index over the library, built once at snapshot load
     /// and shared by every session's `surviving_cores`/`eval` queries.
     pub store: Arc<CoreStore>,
+    /// Precomputed deduplicated roster indices over `library` (see
+    /// [`dse_library::roster_indices`]): the `(vendor, name)` dedup is
+    /// hashed once at snapshot load instead of once per
+    /// `surviving_cores` request.
+    pub roster: Vec<(u32, u32)>,
 }
 
 impl Snapshot {
@@ -100,6 +115,7 @@ impl Snapshot {
         library: Arc<ReuseLibrary>,
     ) -> Snapshot {
         let store = Arc::new(CoreStore::for_libraries(&[&library]));
+        let roster = roster_indices(&[&library]);
         Snapshot {
             name: name.into(),
             title: title.into(),
@@ -107,6 +123,7 @@ impl Snapshot {
             root,
             library,
             store,
+            roster,
         }
     }
 }
@@ -129,6 +146,10 @@ struct SessionSlot {
     /// Records in this session's journal file, maintained so the
     /// compaction trigger never stats the disk on the hot path.
     journal_records: usize,
+    /// Long-lived append handle to this session's journal, so the
+    /// decide/retract acknowledge path skips the per-record open+close.
+    /// Invalidated whenever compaction replaces the file.
+    appender: JournalAppender,
     /// Engine request-counter value when the slot was last touched (the
     /// logical clock TTL eviction measures against).
     last_touch: u64,
@@ -313,6 +334,7 @@ impl EngineBuilder {
             supervisor: Mutex::new(supervisor),
             cache,
             guard: self.guard,
+            wire_tree: std::env::var(WIRE_ENGINE_ENV).is_ok_and(|v| v == "tree"),
             draining: AtomicBool::new(false),
             boot_warnings: Vec::new(),
             requests: AtomicU64::new(0),
@@ -341,6 +363,9 @@ pub struct Engine {
     supervisor: Mutex<Supervisor>,
     cache: Arc<EstimateCache>,
     guard: GuardConfig,
+    /// `DSE_WIRE_ENGINE=tree`: route every request through the original
+    /// tree codec instead of the zero-copy fast path.
+    wire_tree: bool,
     draining: AtomicBool,
     boot_warnings: Vec<String>,
     requests: AtomicU64,
@@ -354,6 +379,65 @@ pub struct Engine {
 }
 
 type OpResult = Result<Vec<(String, Json)>, ProtocolError>;
+
+/// The outcome of a fast-path op, produced by the same op cores the
+/// tree path uses. Each variant renders through two codecs — tree
+/// fields (the oracle) and the direct [`Writer`] — which the wire tests
+/// hold byte-identical.
+enum FastOut {
+    Open(OpenOut),
+    Decide(DecideOut),
+    Retract(RetractOut),
+    Eval(EvalOut),
+    Cores(CoresOut),
+    Viable(ViableOut),
+    /// The closed session id.
+    Close(String),
+    /// Stats render straight off the engine's counters; there is
+    /// nothing to carry.
+    Stats,
+}
+
+struct OpenOut {
+    session: String,
+    snapshot: String,
+    focus: String,
+    recovered: bool,
+    diagnostics: Vec<String>,
+}
+
+struct DecideOut {
+    focus: String,
+    open_issues: i64,
+}
+
+struct RetractOut {
+    undone: Vec<String>,
+    focus: String,
+}
+
+struct EvalOut {
+    /// Name-sorted estimates.
+    estimates: Vec<(String, FigureOut)>,
+}
+
+struct FigureOut {
+    value: Option<f64>,
+    provenance: &'static str,
+    source: String,
+}
+
+struct CoresOut {
+    count: i64,
+    offset: i64,
+    names: Vec<String>,
+    truncated: bool,
+}
+
+struct ViableOut {
+    viable: Viability,
+    conflict: Option<String>,
+}
 
 impl Engine {
     /// The names of the snapshots this engine serves.
@@ -399,6 +483,37 @@ impl Engine {
     /// line. Never panics: a panic inside an operation is caught and
     /// reported as a `DSL306` failure.
     pub fn handle_line(&self, line: &str) -> String {
+        let mut out = Vec::new();
+        self.handle_line_into(line, &mut out);
+        String::from_utf8(out).expect("responses are UTF-8")
+    }
+
+    /// Handles one raw request line, appending the encoded response to
+    /// `out` — the steady-state entry point: with a warm (reused) `out`
+    /// and a hot-path request, the whole decode→dispatch→render cycle
+    /// performs zero codec allocations.
+    pub fn handle_line_into(&self, line: &str, out: &mut Vec<u8>) {
+        if self.wire_tree {
+            out.extend_from_slice(self.handle_line_tree(line).as_bytes());
+            return;
+        }
+        match parse_request_fast(line) {
+            Some((req, env)) => self.handle_fast(&req, &env, out),
+            // Anything unusual — non-hot ops, tagged values, escapes,
+            // malformed lines — takes the tree path, which owns every
+            // error message.
+            None => {
+                let (parsed, env) = parse_request(line);
+                write_json(out, &self.handle_parsed(parsed, &env));
+            }
+        }
+    }
+
+    /// The original tree-codec request path, kept fully wired as the
+    /// differential oracle: `DSE_WIRE_ENGINE=tree` routes everything
+    /// here, and the wire tests diff its output byte-for-byte against
+    /// the zero-copy path.
+    pub fn handle_line_tree(&self, line: &str) -> String {
         let (parsed, env) = parse_request(line);
         foundation::json::encode(&self.handle_parsed(parsed, &env))
     }
@@ -409,19 +524,56 @@ impl Engine {
     /// keep their submission order; responses come back in request
     /// order.
     pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        self.handle_batch_into(lines)
+            .into_iter()
+            .map(|bytes| String::from_utf8(bytes).expect("responses are UTF-8"))
+            .collect()
+    }
+
+    /// [`Engine::handle_batch`] without the `String` conversions: the
+    /// daemon hands the response buffers straight to the coalesced
+    /// vectored writer.
+    pub fn handle_batch_into(&self, lines: &[String]) -> Vec<Vec<u8>> {
         if lines.len() <= 1 {
-            return lines.iter().map(|l| self.handle_line(l)).collect();
+            return lines
+                .iter()
+                .map(|l| {
+                    let mut out = Vec::new();
+                    self.handle_line_into(l, &mut out);
+                    out
+                })
+                .collect();
         }
-        let parsed: Vec<(Result<Request, ProtocolError>, Envelope)> =
-            lines.iter().map(|l| parse_request(l)).collect();
+        enum Parsed<'a> {
+            Fast(FastRequest<'a>, FastEnvelope<'a>),
+            Tree(Result<Request, ProtocolError>, Envelope),
+        }
+        let parsed: Vec<Parsed> = lines
+            .iter()
+            .map(|l| {
+                if !self.wire_tree {
+                    if let Some((req, env)) = parse_request_fast(l) {
+                        return Parsed::Fast(req, env);
+                    }
+                }
+                let (req, env) = parse_request(l);
+                Parsed::Tree(req, env)
+            })
+            .collect();
 
         // Group request indices by session; everything else (control
         // ops, parse failures, opens of generated ids) is its own
-        // singleton group and free to run in parallel.
+        // singleton group and free to run in parallel. Fast and
+        // tree-parsed requests for the same session land in the same
+        // group, preserving submission order between them.
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut by_session: HashMap<&str, usize> = HashMap::new();
-        for (i, (req, _)) in parsed.iter().enumerate() {
-            match req.as_ref().ok().and_then(session_of) {
+        for (i, p) in parsed.iter().enumerate() {
+            let session = match p {
+                Parsed::Fast(req, _) => req.session(),
+                Parsed::Tree(req, _) => req.as_ref().ok().and_then(session_of),
+            };
+            match session {
                 Some(session) => match by_session.get(session) {
                     Some(&g) => groups[g].push(i),
                     None => {
@@ -433,20 +585,290 @@ impl Engine {
             }
         }
 
-        let answered: Vec<Vec<(usize, Json)>> = foundation::par::par_map(groups, |group| {
+        let answered: Vec<Vec<(usize, Vec<u8>)>> = foundation::par::par_map(groups, |group| {
             group
                 .into_iter()
                 .map(|i| {
-                    let (req, env) = &parsed[i];
-                    (i, self.handle_parsed(req.clone(), env))
+                    // Sized for the common responses (decide/open/close
+                    // fit; a cores page grows once) so rendering doesn't
+                    // realloc its way up from empty.
+                    let mut out = Vec::with_capacity(256);
+                    match &parsed[i] {
+                        Parsed::Fast(req, env) => self.handle_fast(req, env, &mut out),
+                        Parsed::Tree(req, env) => {
+                            write_json(&mut out, &self.handle_parsed(req.clone(), env));
+                        }
+                    }
+                    (i, out)
                 })
                 .collect()
         });
-        let mut out = vec![String::new(); lines.len()];
+        let mut out = vec![Vec::new(); lines.len()];
         for (i, response) in answered.into_iter().flatten() {
-            out[i] = foundation::json::encode(&response);
+            out[i] = response;
         }
         out
+    }
+
+    /// The zero-copy sibling of [`Engine::handle_parsed`]: identical
+    /// admission (request counter, fuel budget, panic containment,
+    /// guard counters), but the response is rendered straight into
+    /// `out` with no `Json` tree.
+    fn handle_fast(&self, req: &FastRequest<'_>, env: &FastEnvelope<'_>, out: &mut Vec<u8>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let budget = env
+            .deadline_ms
+            .map(|ms| Fuel::new(ms.saturating_mul(FUEL_PER_MS)));
+        // Dispatch first, render after: a panic mid-operation must not
+        // leave half a response in the caller's buffer.
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch_fast(req, budget.as_ref())))
+            .unwrap_or_else(|p| {
+                let what = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                Err(ProtocolError::new(
+                    DiagCode::SessionRejected,
+                    format!("internal error: operation aborted ({what})"),
+                ))
+            });
+        match result {
+            Ok(fout) => self.render_fast_ok(out, env.id, req, &fout),
+            Err(e) => {
+                match e.code {
+                    DiagCode::Overloaded => {
+                        self.overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    DiagCode::DeadlineExceeded => {
+                        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                render_err_into(out, env.id, &e);
+            }
+        }
+    }
+
+    /// [`Engine::dispatch`] for borrowed requests: same admission
+    /// charge, same per-op fuel, same op cores — only the result shape
+    /// differs (an [`FastOut`] for the renderer instead of tree fields).
+    fn dispatch_fast(
+        &self,
+        req: &FastRequest<'_>,
+        budget: Option<&Fuel>,
+    ) -> Result<FastOut, ProtocolError> {
+        charge(budget, OP_BASE_FUEL, "admission")?;
+        match *req {
+            FastRequest::Open {
+                session,
+                snapshot,
+                resume,
+            } => self
+                .op_open_core(
+                    session.map(str::to_owned),
+                    snapshot.map(str::to_owned),
+                    resume,
+                )
+                .map(FastOut::Open),
+            FastRequest::Decide {
+                session,
+                name,
+                value,
+            } => self
+                .op_decide_core(session, name, &value.to_value())
+                .map(FastOut::Decide),
+            FastRequest::Retract { session, name } => {
+                self.op_retract_core(session, name).map(FastOut::Retract)
+            }
+            FastRequest::Eval { session } => {
+                self.op_eval_core(session, budget).map(FastOut::Eval)
+            }
+            FastRequest::SurvivingCores {
+                session,
+                limit,
+                offset,
+            } => {
+                charge(budget, CORE_SCAN_FUEL, "surviving_cores")?;
+                self.op_surviving_cores_core(
+                    session,
+                    limit.unwrap_or(DEFAULT_CORE_LIMIT),
+                    offset.unwrap_or(0),
+                )
+                .map(FastOut::Cores)
+            }
+            FastRequest::Viable { session, name } => {
+                charge(budget, LOOKAHEAD_FUEL, "viable")?;
+                self.op_viable_core(session, name).map(FastOut::Viable)
+            }
+            FastRequest::Close { session } => self.op_close_core(session).map(FastOut::Close),
+            FastRequest::Stats => Ok(FastOut::Stats),
+        }
+    }
+
+    /// Renders a fast-path success response, byte-identical to the
+    /// tree path's `ok_response` + serializer for the same operation.
+    fn render_fast_ok(
+        &self,
+        out: &mut Vec<u8>,
+        id: Option<&str>,
+        req: &FastRequest<'_>,
+        fout: &FastOut,
+    ) {
+        let mut w = Writer::new(out);
+        render_ok_prefix(&mut w, id);
+        match (fout, req) {
+            (FastOut::Open(o), _) => {
+                w.key("session");
+                w.str_value(&o.session);
+                w.key("snapshot");
+                w.str_value(&o.snapshot);
+                w.key("focus");
+                w.str_value(&o.focus);
+                w.key("recovered");
+                w.bool_value(o.recovered);
+                if !o.diagnostics.is_empty() {
+                    w.key("diagnostics");
+                    w.begin_array();
+                    for d in &o.diagnostics {
+                        w.str_value(d);
+                    }
+                    w.end_array();
+                }
+            }
+            (FastOut::Decide(o), FastRequest::Decide { name, value, .. }) => {
+                w.key("name");
+                w.str_value(name);
+                w.key("value");
+                value.write(&mut w);
+                w.key("focus");
+                w.str_value(&o.focus);
+                w.key("open_issues");
+                w.int_value(o.open_issues);
+            }
+            (FastOut::Retract(o), _) => {
+                w.key("undone");
+                w.begin_array();
+                for name in &o.undone {
+                    w.str_value(name);
+                }
+                w.end_array();
+                w.key("focus");
+                w.str_value(&o.focus);
+            }
+            (FastOut::Eval(o), _) => {
+                w.key("estimates");
+                w.begin_object();
+                for (name, figure) in &o.estimates {
+                    w.key(name);
+                    write_figure(&mut w, figure);
+                }
+                w.end_object();
+            }
+            (FastOut::Cores(o), _) => {
+                w.key("count");
+                w.int_value(o.count);
+                w.key("offset");
+                w.int_value(o.offset);
+                w.key("returned");
+                w.int_value(o.names.len() as i64);
+                w.key("truncated");
+                w.bool_value(o.truncated);
+                w.key("cores");
+                w.begin_array();
+                for name in &o.names {
+                    w.str_value(name);
+                }
+                w.end_array();
+            }
+            (FastOut::Viable(o), FastRequest::Viable { name, .. }) => {
+                w.key("name");
+                w.str_value(name);
+                w.key("viable");
+                write_viability(&mut w, &o.viable);
+                if let Some(conflict) = &o.conflict {
+                    w.key("conflict");
+                    w.str_value(conflict);
+                }
+            }
+            (FastOut::Close(session), _) => {
+                w.key("closed");
+                w.str_value(session);
+            }
+            (FastOut::Stats, _) => self.render_stats(&mut w),
+            // dispatch_fast pairs each request with its own output kind.
+            _ => unreachable!("fast output does not match its request"),
+        }
+        w.end_object();
+    }
+
+    /// The fast `stats` renderer: reads the same counters in the same
+    /// order as [`Engine::op_stats`], writing them without any tree.
+    fn render_stats(&self, w: &mut Writer<'_>) {
+        let cache = self.cache.stats();
+        w.key("sessions_open");
+        w.int_value(self.open_sessions() as i64);
+        w.key("sessions_opened");
+        w.int_value(self.opened.load(Ordering::Relaxed) as i64);
+        w.key("sessions_recovered");
+        w.int_value(self.recovered.load(Ordering::Relaxed) as i64);
+        w.key("requests");
+        w.int_value(self.requests.load(Ordering::Relaxed) as i64);
+        w.key("draining");
+        w.bool_value(self.is_draining());
+        w.key("snapshots");
+        w.begin_array();
+        for name in self.snapshots.keys() {
+            w.str_value(name);
+        }
+        w.end_array();
+        w.key("cache");
+        w.begin_object();
+        w.key("entries");
+        w.int_value(self.cache.len() as i64);
+        w.key("hits");
+        w.int_value(cache.hits as i64);
+        w.key("misses");
+        w.int_value(cache.misses as i64);
+        w.key("stores");
+        w.int_value(cache.stores as i64);
+        w.key("invalidated");
+        w.int_value(cache.invalidated as i64);
+        w.end_object();
+        w.key("guard");
+        w.begin_object();
+        w.key("overloaded");
+        w.int_value(self.overloaded.load(Ordering::Relaxed) as i64);
+        w.key("deadline_exceeded");
+        w.int_value(self.deadline_exceeded.load(Ordering::Relaxed) as i64);
+        w.key("sessions_evicted");
+        w.int_value(self.evicted.load(Ordering::Relaxed) as i64);
+        w.key("journal_compactions");
+        w.int_value(self.compactions.load(Ordering::Relaxed) as i64);
+        w.end_object();
+        w.key("breakers");
+        w.begin_array();
+        for b in self.supervisor.lock().unwrap().breaker_snapshot() {
+            w.begin_object();
+            w.key("tool");
+            w.str_value(&b.tool);
+            w.key("phase");
+            w.str_value(b.phase);
+            w.key("trips");
+            w.int_value(b.trips as i64);
+            w.key("short_circuits");
+            w.int_value(b.short_circuits as i64);
+            w.key("calls_until_probe");
+            w.int_value(b.calls_until_probe as i64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("boot_warnings");
+        w.begin_array();
+        for warning in &self.boot_warnings {
+            w.str_value(warning);
+        }
+        w.end_array();
     }
 
     fn handle_parsed(&self, parsed: Result<Request, ProtocolError>, env: &Envelope) -> Json {
@@ -549,6 +971,16 @@ impl Engine {
         snapshot: Option<String>,
         resume: bool,
     ) -> OpResult {
+        self.op_open_core(session, snapshot, resume)
+            .map(|o| open_fields(&o))
+    }
+
+    fn op_open_core(
+        &self,
+        session: Option<String>,
+        snapshot: Option<String>,
+        resume: bool,
+    ) -> Result<OpenOut, ProtocolError> {
         if self.is_draining() {
             return Err(ProtocolError::new(
                 DiagCode::ServerDraining,
@@ -579,7 +1011,7 @@ impl Engine {
             let mut slot = slot.lock().unwrap();
             slot.last_touch = self.requests.load(Ordering::Relaxed);
             let notes = std::mem::take(&mut slot.notes);
-            return Ok(open_fields(&id, &slot, notes));
+            return Ok(open_out(&id, &slot, notes));
         }
 
         // Admission: sweep idle sessions first, then enforce the cap
@@ -617,7 +1049,7 @@ impl Engine {
             if let Some(journal) = &self.journal {
                 self.write_meta(journal, &id, &snap.name)?;
             }
-            let state = ExplorationSession::new(&snap.space, snap.root).snapshot();
+            let state = ExplorationSession::new(&snap.space, snap.root).into_snapshot();
             (
                 SessionSlot {
                     snapshot: snap,
@@ -626,6 +1058,7 @@ impl Engine {
                     notes: Vec::new(),
                     lookahead: None,
                     journal_records: 0,
+                    appender: JournalAppender::new(),
                     last_touch: self.requests.load(Ordering::Relaxed),
                 },
                 Vec::new(),
@@ -639,13 +1072,18 @@ impl Engine {
                 format!("session {id:?} was opened concurrently"),
             ));
         }
-        let fields = open_fields(&id, &slot, notes);
+        let out = open_out(&id, &slot, notes);
         sessions.insert(id, Arc::new(Mutex::new(slot)));
         self.opened.fetch_add(1, Ordering::Relaxed);
-        Ok(fields)
+        Ok(out)
     }
 
     fn op_close(&self, id: &str) -> OpResult {
+        self.op_close_core(id)
+            .map(|closed| vec![("closed".to_owned(), Json::Str(closed))])
+    }
+
+    fn op_close_core(&self, id: &str) -> Result<String, ProtocolError> {
         let removed = self.sessions.lock().unwrap().remove(id);
         if removed.is_none() {
             // A TTL-evicted session lives on as journal + meta sidecar;
@@ -665,40 +1103,76 @@ impl Engine {
                 .map_err(|e| journal_fault(id, "remove journal", &e))?;
             let _ = fs::remove_file(meta_path(journal, id));
         }
-        Ok(vec![("closed".to_owned(), Json::Str(id.to_owned()))])
+        Ok(id.to_owned())
     }
 
     // ---- exploration ops ---------------------------------------------------
 
     fn op_decide(&self, id: &str, name: &str, value: Value) -> OpResult {
+        let out = self.op_decide_core(id, name, &value)?;
+        Ok(vec![
+            ("name".to_owned(), Json::Str(name.to_owned())),
+            ("value".to_owned(), value_to_json(&value)),
+            ("focus".to_owned(), Json::Str(out.focus)),
+            ("open_issues".to_owned(), Json::Int(out.open_issues)),
+        ])
+    }
+
+    fn op_decide_core(
+        &self,
+        id: &str,
+        name: &str,
+        value: &Value,
+    ) -> Result<DecideOut, ProtocolError> {
         self.with_slot(id, |slot| {
+            // Clone the Arc so the session borrows it, not the slot —
+            // the journal appender needs `&mut slot` mid-operation.
+            let snapshot = Arc::clone(&slot.snapshot);
+            // Move the state into the session instead of cloning it;
+            // every exit path below stashes it straight back.
             let mut session =
-                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+                ExplorationSession::resume(&snapshot.space, std::mem::take(&mut slot.state));
             let kind = session
                 .space()
                 .find_property(session.focus(), name)
                 .map(|(_, p)| p.kind());
-            let record = match kind {
-                Some(PropertyKind::Requirement) => {
-                    session.set_requirement(name, value.clone()).map_err(rejected)?;
+            let requirement = matches!(kind, Some(PropertyKind::Requirement));
+            let applied = if requirement {
+                session.set_requirement(name, value.clone())
+            } else {
+                // Unknown properties fall through to decide() so the
+                // session produces its own (precise) error.
+                session.decide(name, value.clone())
+            };
+            if let Err(e) = applied {
+                // A rejected decision leaves the session untouched
+                // (decide/set_requirement are all-or-nothing), so the
+                // moved state goes back as-is.
+                slot.state = session.into_snapshot();
+                return Err(rejected(e));
+            }
+            if self.journal.is_some() {
+                let record = if requirement {
                     JournalRecord::SetRequirement {
                         name: name.to_owned(),
                         value: value.clone(),
                     }
-                }
-                _ => {
-                    // Unknown properties fall through to decide() so the
-                    // session produces its own (precise) error.
-                    session.decide(name, value.clone()).map_err(rejected)?;
+                } else {
                     JournalRecord::Decide {
                         name: name.to_owned(),
                         value: value.clone(),
                     }
+                };
+                if let Err(e) = self.append_journal(id, slot, &record) {
+                    // Journal-before-acknowledge: a decision that never
+                    // reached disk must not survive in the slot either —
+                    // roll it back before restashing the state.
+                    let _ = session.undo();
+                    slot.state = session.into_snapshot();
+                    return Err(e);
                 }
-            };
-            self.append_journal(id, &record)?;
-            slot.journal_records += 1;
-            slot.state = session.snapshot();
+                slot.journal_records += 1;
+            }
             // Keep the lookahead solver in lock-step: one decide = one
             // solver level (O(changed domains)); a focus move
             // invalidates its constraint set, so drop it instead.
@@ -706,50 +1180,77 @@ impl Engine {
                 Some(la)
                     if la.focus == session.focus() && la.synced + 1 == session.log().len() =>
                 {
-                    la.solver.decide(name, &value);
+                    la.solver.decide(name, value);
                     la.synced += 1;
                 }
                 Some(_) => slot.lookahead = None,
                 None => {}
             }
-            let fields = vec![
-                ("name".to_owned(), Json::Str(name.to_owned())),
-                ("value".to_owned(), value_to_json(&value)),
-                (
-                    "focus".to_owned(),
-                    Json::Str(session.space().path_string(session.focus())),
-                ),
-                (
-                    "open_issues".to_owned(),
-                    Json::Int(session.open_issues().len() as i64),
-                ),
-            ];
-            drop(session);
+            let out = DecideOut {
+                focus: session.space().path_string(session.focus()),
+                open_issues: session.open_issues().len() as i64,
+            };
+            slot.state = session.into_snapshot();
             self.maybe_compact(id, slot);
-            Ok(fields)
+            Ok(out)
         })
     }
 
     fn op_retract(&self, id: &str, name: Option<&str>) -> OpResult {
+        let out = self.op_retract_core(id, name)?;
+        Ok(vec![
+            (
+                "undone".to_owned(),
+                Json::Array(out.undone.into_iter().map(Json::Str).collect()),
+            ),
+            ("focus".to_owned(), Json::Str(out.focus)),
+        ])
+    }
+
+    fn op_retract_core(
+        &self,
+        id: &str,
+        name: Option<&str>,
+    ) -> Result<RetractOut, ProtocolError> {
         self.with_slot(id, |slot| {
+            let snapshot = Arc::clone(&slot.snapshot);
             let mut session =
-                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+                ExplorationSession::resume(&snapshot.space, std::mem::take(&mut slot.state));
             if let Some(name) = name {
                 if !session.log().iter().any(|d| d.property == name) {
+                    slot.state = session.into_snapshot();
                     return Err(ProtocolError::new(
                         DiagCode::SessionRejected,
                         format!("{name:?} is not a decided property in this session"),
                     ));
                 }
             }
+            let journaled = self.journal.is_some();
             let mut undone = Vec::new();
             loop {
-                let d = session.undo().map_err(rejected)?;
+                // With a journal, keep a pre-undo copy: an undo that
+                // fails to reach disk must be discarded, not
+                // acknowledged. Without one, nothing below can fail
+                // after the undo and the state just moves.
+                let pre = journaled.then(|| session.snapshot());
+                let d = match session.undo() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        // Earlier undos in this loop are journaled and
+                        // stay committed; only this one never happened.
+                        slot.state = session.into_snapshot();
+                        return Err(rejected(e));
+                    }
+                };
                 // Journal each undo as it commits so a crash mid-retract
                 // tears at most one record.
-                self.append_journal(id, &JournalRecord::Undo)?;
-                slot.journal_records += 1;
-                slot.state = session.snapshot();
+                if journaled {
+                    if let Err(e) = self.append_journal(id, slot, &JournalRecord::Undo) {
+                        slot.state = pre.expect("journal errors imply a journal");
+                        return Err(e);
+                    }
+                    slot.journal_records += 1;
+                }
                 match slot.lookahead.as_mut() {
                     Some(la)
                         if la.focus == session.focus()
@@ -766,25 +1267,35 @@ impl Engine {
                     Some(target) => d.property == target,
                     None => true,
                 };
-                undone.push(Json::Str(d.property));
+                undone.push(d.property);
                 if done {
                     break;
                 }
             }
-            let fields = vec![
-                ("undone".to_owned(), Json::Array(undone)),
-                (
-                    "focus".to_owned(),
-                    Json::Str(session.space().path_string(session.focus())),
-                ),
-            ];
-            drop(session);
+            let out = RetractOut {
+                undone,
+                focus: session.space().path_string(session.focus()),
+            };
+            slot.state = session.into_snapshot();
             self.maybe_compact(id, slot);
-            Ok(fields)
+            Ok(out)
         })
     }
 
     fn op_eval(&self, id: &str, budget: Option<&Fuel>) -> OpResult {
+        let out = self.op_eval_core(id, budget)?;
+        Ok(vec![(
+            "estimates".to_owned(),
+            Json::Object(
+                out.estimates
+                    .into_iter()
+                    .map(|(name, figure)| (name, figure_fields(&figure)))
+                    .collect(),
+            ),
+        )])
+    }
+
+    fn op_eval_core(&self, id: &str, budget: Option<&Fuel>) -> Result<EvalOut, ProtocolError> {
         self.with_slot(id, |slot| {
             let mut session =
                 ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
@@ -807,28 +1318,53 @@ impl Engine {
                     }
                 }
             }
-            slot.state = session.snapshot();
-            let mut estimates: Vec<(String, Json)> = session
+            let mut estimates: Vec<(String, FigureOut)> = session
                 .estimates()
                 .iter()
-                .map(|(name, figure)| (name.as_str().to_owned(), figure_to_json(figure)))
+                .map(|(name, figure)| (name.as_str().to_owned(), figure_out(figure)))
                 .collect();
             estimates.sort_by(|a, b| a.0.cmp(&b.0));
-            Ok(vec![(
-                "estimates".to_owned(),
-                Json::Object(estimates),
-            )])
+            // The clone on entry keeps the deadline path all-or-nothing;
+            // the commit is a move.
+            slot.state = session.into_snapshot();
+            Ok(EvalOut { estimates })
         })
     }
 
     fn op_surviving_cores(&self, id: &str, limit: usize, offset: usize) -> OpResult {
+        let out = self.op_surviving_cores_core(id, limit, offset)?;
+        Ok(vec![
+            ("count".to_owned(), Json::Int(out.count)),
+            ("offset".to_owned(), Json::Int(out.offset)),
+            ("returned".to_owned(), Json::Int(out.names.len() as i64)),
+            ("truncated".to_owned(), Json::Bool(out.truncated)),
+            (
+                "cores".to_owned(),
+                Json::Array(out.names.into_iter().map(Json::Str).collect()),
+            ),
+        ])
+    }
+
+    fn op_surviving_cores_core(
+        &self,
+        id: &str,
+        limit: usize,
+        offset: usize,
+    ) -> Result<CoresOut, ProtocolError> {
         self.with_slot(id, |slot| {
-            let session =
-                ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+            // The explorer only reads the session (queries re-sync its
+            // cursor against the log), so the state moves through it and
+            // back into the slot at the end.
+            let session = ExplorationSession::resume(
+                &slot.snapshot.space,
+                std::mem::take(&mut slot.state),
+            );
             let library: &ReuseLibrary = &slot.snapshot.library;
-            let explorer = Explorer::from_session_with_store(
+            let roster = roster_from_indices(&[library], &slot.snapshot.roster);
+            let explorer = Explorer::from_session_with_store_and_roster(
                 session,
                 [library],
+                roster,
                 Arc::clone(&slot.snapshot.store),
             );
             let total = explorer.surviving_count();
@@ -836,31 +1372,42 @@ impl Engine {
             // Clip the page to the wire byte budget: the framed response
             // line must stay under the `foundation::net` cap no matter
             // how many (or how long) names the caller asked for.
-            let mut names: Vec<Json> = Vec::with_capacity(page.len().min(4_096));
+            let mut names: Vec<String> = Vec::with_capacity(page.len().min(4_096));
             let mut bytes = 0usize;
             let mut truncated = false;
             for core in &page {
-                let name = Json::Str(core.name().to_owned());
                 // Encoded size plus the separating comma.
-                let cost = foundation::json::encode(&name).len() + 1;
+                let cost = escaped_len(core.name()) + 1;
                 if bytes + cost > CORE_PAGE_BYTE_BUDGET {
                     truncated = true;
                     break;
                 }
                 bytes += cost;
-                names.push(name);
+                names.push(core.name().to_owned());
             }
-            Ok(vec![
-                ("count".to_owned(), Json::Int(total as i64)),
-                ("offset".to_owned(), Json::Int(offset as i64)),
-                ("returned".to_owned(), Json::Int(names.len() as i64)),
-                ("truncated".to_owned(), Json::Bool(truncated)),
-                ("cores".to_owned(), Json::Array(names)),
-            ])
+            slot.state = explorer.session.into_snapshot();
+            Ok(CoresOut {
+                count: total as i64,
+                offset: offset as i64,
+                names,
+                truncated,
+            })
         })
     }
 
     fn op_viable(&self, id: &str, name: &str) -> OpResult {
+        let out = self.op_viable_core(id, name)?;
+        let mut fields = vec![
+            ("name".to_owned(), Json::Str(name.to_owned())),
+            ("viable".to_owned(), viability_to_json(&out.viable)),
+        ];
+        if let Some(conflict) = out.conflict {
+            fields.push(("conflict".to_owned(), Json::Str(conflict)));
+        }
+        Ok(fields)
+    }
+
+    fn op_viable_core(&self, id: &str, name: &str) -> Result<ViableOut, ProtocolError> {
         self.with_slot(id, |slot| {
             let session = ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
             let rebuild = match &slot.lookahead {
@@ -875,14 +1422,10 @@ impl Engine {
                 });
             }
             let la = slot.lookahead.as_ref().expect("lookahead just ensured");
-            let mut fields = vec![
-                ("name".to_owned(), Json::Str(name.to_owned())),
-                ("viable".to_owned(), viability_to_json(&la.solver.viable(name))),
-            ];
-            if let Some(conflict) = la.solver.initial_conflict() {
-                fields.push(("conflict".to_owned(), Json::Str(conflict.to_string())));
-            }
-            Ok(fields)
+            Ok(ViableOut {
+                viable: la.solver.viable(name),
+                conflict: la.solver.initial_conflict().map(|c| c.to_string()),
+            })
         })
     }
 
@@ -1140,6 +1683,7 @@ impl Engine {
                 notes: Vec::new(),
                 lookahead: None,
                 journal_records: 0,
+                appender: JournalAppender::new(),
                 last_touch: self.requests.load(Ordering::Relaxed),
             },
             Vec::new(),
@@ -1230,6 +1774,10 @@ impl Engine {
             return;
         }
         if journal.compact(id, &checkpoint).is_ok() {
+            // Compaction renamed a fresh file over the journal; a held
+            // append handle now points at the unlinked inode and must
+            // be reopened before the next append.
+            slot.appender.invalidate();
             slot.journal_records = checkpoint.len();
             self.compactions.fetch_add(1, Ordering::Relaxed);
         }
@@ -1247,10 +1795,20 @@ impl Engine {
         }
     }
 
-    fn append_journal(&self, id: &str, record: &JournalRecord) -> Result<(), ProtocolError> {
+    /// Appends through the slot's long-lived handle (opened on first
+    /// use), so the per-record open+close disappears from the
+    /// acknowledge path. Durability is unchanged: the write is
+    /// unbuffered and a failed append drops the handle.
+    fn append_journal(
+        &self,
+        id: &str,
+        slot: &mut SessionSlot,
+        record: &JournalRecord,
+    ) -> Result<(), ProtocolError> {
         match &self.journal {
-            Some(journal) => journal
-                .append(id, record)
+            Some(journal) => slot
+                .appender
+                .append(journal, id, record)
                 .map_err(|e| journal_fault(id, "append", &e)),
             None => Ok(()),
         }
@@ -1324,6 +1882,7 @@ impl Engine {
                 notes: Vec::new(),
                 lookahead: None,
                 journal_records: loaded.len(),
+                appender: JournalAppender::new(),
                 last_touch: self.requests.load(Ordering::Relaxed),
             },
             notes,
@@ -1387,24 +1946,28 @@ fn session_of(req: &Request) -> Option<&str> {
     }
 }
 
-fn open_fields(id: &str, slot: &SessionSlot, notes: Vec<String>) -> Vec<(String, Json)> {
+fn open_out(id: &str, slot: &SessionSlot, notes: Vec<String>) -> OpenOut {
     let session = ExplorationSession::resume(&slot.snapshot.space, slot.state.clone());
+    OpenOut {
+        session: id.to_owned(),
+        snapshot: slot.snapshot.name.clone(),
+        focus: session.space().path_string(session.focus()),
+        recovered: slot.recovered,
+        diagnostics: notes,
+    }
+}
+
+fn open_fields(o: &OpenOut) -> Vec<(String, Json)> {
     let mut fields = vec![
-        ("session".to_owned(), Json::Str(id.to_owned())),
-        (
-            "snapshot".to_owned(),
-            Json::Str(slot.snapshot.name.clone()),
-        ),
-        (
-            "focus".to_owned(),
-            Json::Str(session.space().path_string(session.focus())),
-        ),
-        ("recovered".to_owned(), Json::Bool(slot.recovered)),
+        ("session".to_owned(), Json::Str(o.session.clone())),
+        ("snapshot".to_owned(), Json::Str(o.snapshot.clone())),
+        ("focus".to_owned(), Json::Str(o.focus.clone())),
+        ("recovered".to_owned(), Json::Bool(o.recovered)),
     ];
-    if !notes.is_empty() {
+    if !o.diagnostics.is_empty() {
         fields.push((
             "diagnostics".to_owned(),
-            Json::Array(notes.into_iter().map(Json::Str).collect()),
+            Json::Array(o.diagnostics.iter().cloned().map(Json::Str).collect()),
         ));
     }
     fields
@@ -1436,6 +1999,18 @@ fn viability_to_json(v: &Viability) -> Json {
 }
 
 fn figure_to_json(figure: &Figure) -> Json {
+    figure_fields(&figure_out(figure))
+}
+
+fn figure_out(figure: &Figure) -> FigureOut {
+    FigureOut {
+        value: figure.value,
+        provenance: figure.provenance.label(),
+        source: figure.source.clone(),
+    }
+}
+
+fn figure_fields(figure: &FigureOut) -> Json {
     Json::Object(vec![
         (
             "value".to_owned(),
@@ -1446,10 +2021,69 @@ fn figure_to_json(figure: &Figure) -> Json {
         ),
         (
             "provenance".to_owned(),
-            Json::Str(figure.provenance.label().to_owned()),
+            Json::Str(figure.provenance.to_owned()),
         ),
         ("source".to_owned(), Json::Str(figure.source.clone())),
     ])
+}
+
+/// Renders a figure through the writer, byte-identical to
+/// [`figure_fields`] + the tree serializer.
+fn write_figure(w: &mut Writer<'_>, figure: &FigureOut) {
+    w.begin_object();
+    w.key("value");
+    match figure.value {
+        Some(v) => w.float_value(v),
+        None => w.null_value(),
+    }
+    w.key("provenance");
+    w.str_value(figure.provenance);
+    w.key("source");
+    w.str_value(&figure.source);
+    w.end_object();
+}
+
+/// Renders a viability verdict through the writer, byte-identical to
+/// [`viability_to_json`] + the tree serializer.
+fn write_viability(w: &mut Writer<'_>, v: &Viability) {
+    w.begin_object();
+    w.key("kind");
+    match v {
+        Viability::Values(vs) => {
+            w.str_value("values");
+            w.key("options");
+            w.begin_array();
+            for value in vs {
+                match value {
+                    Value::Int(i) => w.int_value(*i),
+                    Value::Real(r) => w.float_value(*r),
+                    Value::Text(s) => w.str_value(s),
+                    Value::Flag(b) => w.bool_value(*b),
+                    // Mirror `value_to_json`'s display fallback.
+                    #[allow(unreachable_patterns)]
+                    other => w.str_value(&other.to_string()),
+                }
+            }
+            w.end_array();
+        }
+        Viability::IntRange(lo, hi) => {
+            w.str_value("int_range");
+            w.key("lo");
+            w.int_value(*lo);
+            w.key("hi");
+            w.int_value(*hi);
+        }
+        Viability::RealRange(lo, hi) => {
+            w.str_value("real_range");
+            w.key("lo");
+            w.float_value(*lo);
+            w.key("hi");
+            w.float_value(*hi);
+        }
+        Viability::Open => w.str_value("open"),
+        Viability::Empty => w.str_value("empty"),
+    }
+    w.end_object();
 }
 
 fn meta_path(journal: &JournalDir, id: &str) -> std::path::PathBuf {

@@ -14,7 +14,7 @@
 
 use dse::diag::DiagCode;
 use dse::value::Value;
-use foundation::json::Json;
+use foundation::json::{Json, Number, Reader, Writer};
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -350,6 +350,394 @@ pub fn err_response(id: &RequestId, err: &ProtocolError) -> Json {
     Json::Object(obj)
 }
 
+/// A request value borrowed straight from the wire line — the zero-copy
+/// sibling of [`Value`] for the hot-path decoder. Only scalar forms are
+/// representable; tagged values force the tree fallback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// An integer scalar.
+    Int(i64),
+    /// A real scalar.
+    Real(f64),
+    /// A text scalar, borrowed from the request line.
+    Text(&'a str),
+    /// A boolean scalar.
+    Flag(bool),
+}
+
+impl ValueRef<'_> {
+    /// Converts to the owned [`Value`] the engine stores.
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Real(r) => Value::Real(r),
+            ValueRef::Text(s) => Value::Text(s.to_owned()),
+            ValueRef::Flag(b) => Value::Flag(b),
+        }
+    }
+
+    /// Renders the scalar exactly as [`value_to_json`] + the tree
+    /// serializer would.
+    pub fn write(self, w: &mut Writer<'_>) {
+        match self {
+            ValueRef::Int(i) => w.int_value(i),
+            ValueRef::Real(r) => w.float_value(r),
+            ValueRef::Text(s) => w.str_value(s),
+            ValueRef::Flag(b) => w.bool_value(b),
+        }
+    }
+}
+
+/// The borrowed envelope of a fast-path request: the correlation id is
+/// kept as the *raw request bytes* (only when re-encoding is guaranteed
+/// byte-identical) and spliced verbatim into the response.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FastEnvelope<'a> {
+    /// Raw id token (`"req-1"`, `42`, `true`, `null`) to echo verbatim,
+    /// or `None` when the request carried no id.
+    pub id: Option<&'a str>,
+    /// Cooperative deadline for this request, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A hot-path request decoded without building a `Json` tree; every
+/// string field borrows from the request line. Ops outside the hot set
+/// (`report`, `invalidate`, `shutdown`) take the tree path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FastRequest<'a> {
+    /// `open` (hot so pipelined open→work→close batches stay on the
+    /// fast path).
+    Open {
+        /// Client-chosen session id, if any.
+        session: Option<&'a str>,
+        /// Snapshot to explore, if named.
+        snapshot: Option<&'a str>,
+        /// Recover from the journal instead of starting fresh.
+        resume: bool,
+    },
+    /// `decide`.
+    Decide {
+        /// The session.
+        session: &'a str,
+        /// The property to decide.
+        name: &'a str,
+        /// The chosen value.
+        value: ValueRef<'a>,
+    },
+    /// `retract`.
+    Retract {
+        /// The session.
+        session: &'a str,
+        /// Undo down to (and including) this decision, if named.
+        name: Option<&'a str>,
+    },
+    /// `eval`.
+    Eval {
+        /// The session.
+        session: &'a str,
+    },
+    /// `surviving_cores`.
+    SurvivingCores {
+        /// The session.
+        session: &'a str,
+        /// Page-size cap.
+        limit: Option<usize>,
+        /// Page offset.
+        offset: Option<usize>,
+    },
+    /// `viable`.
+    Viable {
+        /// The session.
+        session: &'a str,
+        /// The property to probe.
+        name: &'a str,
+    },
+    /// `close`.
+    Close {
+        /// The session.
+        session: &'a str,
+    },
+    /// `stats`.
+    Stats,
+}
+
+impl FastRequest<'_> {
+    /// The session a request targets, for batch grouping — mirrors the
+    /// engine's grouping of tree-parsed requests.
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            FastRequest::Open { session, .. } => session.as_deref(),
+            FastRequest::Decide { session, .. }
+            | FastRequest::Retract { session, .. }
+            | FastRequest::Eval { session }
+            | FastRequest::SurvivingCores { session, .. }
+            | FastRequest::Viable { session, .. }
+            | FastRequest::Close { session } => Some(session),
+            FastRequest::Stats => None,
+        }
+    }
+}
+
+/// Accumulates fields during the single left-to-right scan. `*_seen`
+/// flags implement first-occurrence-wins for duplicate keys, matching
+/// `Json::get` on the tree path.
+#[derive(Default)]
+struct FastFields<'a> {
+    op: Option<&'a str>,
+    op_seen: bool,
+    session: Option<&'a str>,
+    session_seen: bool,
+    snapshot: Option<&'a str>,
+    snapshot_seen: bool,
+    name: Option<&'a str>,
+    name_seen: bool,
+    resume: bool,
+    resume_seen: bool,
+    value: Option<ValueRef<'a>>,
+    value_seen: bool,
+    limit: Option<usize>,
+    limit_seen: bool,
+    offset: Option<usize>,
+    offset_seen: bool,
+    id: Option<&'a str>,
+    id_seen: bool,
+    deadline_ms: Option<u64>,
+    deadline_seen: bool,
+}
+
+/// Reads an optional string field (`null` counts as absent, like
+/// `str_field`). Returns `None` (fallback) unless the value is an
+/// escape-free borrowed string or `null`.
+fn fast_opt_str<'a>(r: &mut Reader<'a>) -> Option<Option<&'a str>> {
+    match r.peek()? {
+        b'"' => match r.read_str().ok()? {
+            std::borrow::Cow::Borrowed(s) => Some(Some(s)),
+            std::borrow::Cow::Owned(_) => None,
+        },
+        b'n' => {
+            r.read_null().ok()?;
+            Some(None)
+        }
+        _ => None,
+    }
+}
+
+/// Reads an optional non-negative integer field (`null` counts as
+/// absent, like `usize_field`).
+fn fast_opt_usize(r: &mut Reader<'_>) -> Option<Option<usize>> {
+    match r.peek()? {
+        b'n' => {
+            r.read_null().ok()?;
+            Some(None)
+        }
+        b'-' | b'0'..=b'9' => match r.read_number().ok()? {
+            Number::Int(n) if n >= 0 => Some(Some(n as usize)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Captures the raw id token when echoing it verbatim is guaranteed to
+/// match the tree path's decode-then-re-encode: escape-free strings,
+/// canonical integers, booleans, and `null`. Anything else (floats,
+/// escaped strings, arrays) forces the tree fallback.
+fn fast_raw_id<'a>(r: &mut Reader<'a>, line: &'a str) -> Option<&'a str> {
+    let start = r.pos();
+    match r.peek()? {
+        b'"' => match r.read_str().ok()? {
+            std::borrow::Cow::Borrowed(_) => Some(&line[start..r.pos()]),
+            std::borrow::Cow::Owned(_) => None,
+        },
+        b'-' | b'0'..=b'9' => match r.read_number_with_span().ok()? {
+            // `-0` is the one integer token whose re-encode (`0`)
+            // differs from its raw bytes.
+            (Number::Int(_), span) if span != "-0" => Some(span),
+            _ => None,
+        },
+        b't' | b'f' => {
+            let b = r.read_bool().ok()?;
+            Some(if b { "true" } else { "false" })
+        }
+        b'n' => {
+            r.read_null().ok()?;
+            Some("null")
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a hot-path request by borrowing from the line — no `Json`
+/// tree, no owned strings. Returns `None` on *any* anomaly (non-hot op,
+/// escaped strings, tagged values, wrong types, malformed JSON, missing
+/// required fields) so the caller falls back to [`parse_request`] and
+/// the tree path produces its byte-identical response or error.
+pub fn parse_request_fast(line: &str) -> Option<(FastRequest<'_>, FastEnvelope<'_>)> {
+    let mut r = Reader::new(line.as_bytes());
+    r.skip_ws();
+    if r.peek() != Some(b'{') {
+        return None;
+    }
+    r.begin_object().ok()?;
+    let mut f = FastFields::default();
+    let mut index = 0;
+    while let Some(key) = r.next_key(index).ok()? {
+        index += 1;
+        match key.as_ref() {
+            "op" if !f.op_seen => {
+                f.op_seen = true;
+                f.op = fast_opt_str(&mut r)?;
+            }
+            "session" if !f.session_seen => {
+                f.session_seen = true;
+                f.session = fast_opt_str(&mut r)?;
+            }
+            "snapshot" if !f.snapshot_seen => {
+                f.snapshot_seen = true;
+                f.snapshot = fast_opt_str(&mut r)?;
+            }
+            "name" if !f.name_seen => {
+                f.name_seen = true;
+                f.name = fast_opt_str(&mut r)?;
+            }
+            "resume" if !f.resume_seen => {
+                f.resume_seen = true;
+                f.resume = match r.peek()? {
+                    b't' | b'f' => r.read_bool().ok()?,
+                    b'n' => {
+                        r.read_null().ok()?;
+                        false
+                    }
+                    _ => return None,
+                };
+            }
+            "value" if !f.value_seen => {
+                f.value_seen = true;
+                f.value = Some(match r.peek()? {
+                    b'"' => match r.read_str().ok()? {
+                        std::borrow::Cow::Borrowed(s) => ValueRef::Text(s),
+                        std::borrow::Cow::Owned(_) => return None,
+                    },
+                    b't' | b'f' => ValueRef::Flag(r.read_bool().ok()?),
+                    b'-' | b'0'..=b'9' => match r.read_number().ok()? {
+                        Number::Int(i) => ValueRef::Int(i),
+                        Number::Float(x) => ValueRef::Real(x),
+                    },
+                    // Tagged objects, arrays, and null take the tree
+                    // path (which also owns their error messages).
+                    _ => return None,
+                });
+            }
+            "limit" if !f.limit_seen => {
+                f.limit_seen = true;
+                f.limit = fast_opt_usize(&mut r)?;
+            }
+            "offset" if !f.offset_seen => {
+                f.offset_seen = true;
+                f.offset = fast_opt_usize(&mut r)?;
+            }
+            "id" if !f.id_seen => {
+                f.id_seen = true;
+                f.id = Some(fast_raw_id(&mut r, line)?);
+            }
+            "deadline_ms" if !f.deadline_seen => {
+                f.deadline_seen = true;
+                f.deadline_ms = match r.peek()? {
+                    b'n' => {
+                        r.read_null().ok()?;
+                        None
+                    }
+                    b'0'..=b'9' => match r.read_number().ok()? {
+                        Number::Int(ms) if ms >= 0 => Some(ms as u64),
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+            }
+            // Duplicate occurrences and unknown keys: validate and skip.
+            _ => {
+                r.skip_value(0).ok()?;
+            }
+        }
+    }
+    r.end().ok()?;
+    let req = match f.op? {
+        "open" => FastRequest::Open {
+            session: f.session,
+            snapshot: f.snapshot,
+            resume: f.resume,
+        },
+        "decide" => FastRequest::Decide {
+            session: f.session?,
+            name: f.name?,
+            value: f.value?,
+        },
+        "retract" => FastRequest::Retract {
+            session: f.session?,
+            name: f.name,
+        },
+        "eval" => FastRequest::Eval {
+            session: f.session?,
+        },
+        "surviving_cores" => FastRequest::SurvivingCores {
+            session: f.session?,
+            limit: f.limit,
+            offset: f.offset,
+        },
+        "viable" => FastRequest::Viable {
+            session: f.session?,
+            name: f.name?,
+        },
+        "close" => FastRequest::Close {
+            session: f.session?,
+        },
+        "stats" => FastRequest::Stats,
+        _ => return None,
+    };
+    Some((
+        req,
+        FastEnvelope {
+            id: f.id,
+            deadline_ms: f.deadline_ms,
+        },
+    ))
+}
+
+/// Opens a success response on the writer: `{"ok":true,"id":…` with the
+/// raw id spliced verbatim. The caller appends its fields and closes
+/// the object.
+pub fn render_ok_prefix(w: &mut Writer<'_>, id: Option<&str>) {
+    w.begin_object();
+    w.key("ok");
+    w.bool_value(true);
+    if let Some(raw) = id {
+        w.key("id");
+        w.raw_value(raw.as_bytes());
+    }
+}
+
+/// Renders a complete failure response, byte-identical to
+/// [`err_response`] + the tree serializer.
+pub fn render_err_into(out: &mut Vec<u8>, id: Option<&str>, err: &ProtocolError) {
+    let mut w = Writer::new(out);
+    w.begin_object();
+    w.key("ok");
+    w.bool_value(false);
+    if let Some(raw) = id {
+        w.key("id");
+        w.raw_value(raw.as_bytes());
+    }
+    w.key("code");
+    w.str_value(err.code.as_str());
+    w.key("error");
+    w.str_value(&err.message);
+    if let Some(ms) = err.retry_after_ms {
+        w.key("retry_after_ms");
+        w.int_value(ms as i64);
+    }
+    w.end_object();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +837,98 @@ mod tests {
         let err = err_response(&id, &ProtocolError::malformed("bad"));
         assert_eq!(err.get("code").and_then(Json::as_str), Some("DSL301"));
         assert_eq!(err.get("id").and_then(Json::as_str), Some("req-1"));
+    }
+
+    #[test]
+    fn fast_parser_decodes_hot_ops_borrowing_from_the_line() {
+        let line = r#"{"op":"decide","session":"s1","name":"EOL","value":768,"id":7}"#;
+        let (req, env) = parse_request_fast(line).unwrap();
+        assert_eq!(
+            req,
+            FastRequest::Decide {
+                session: "s1",
+                name: "EOL",
+                value: ValueRef::Int(768),
+            }
+        );
+        assert_eq!(env.id, Some("7"));
+        assert_eq!(env.deadline_ms, None);
+
+        let (req, env) =
+            parse_request_fast(r#"{"op":"stats","id":"req-1","deadline_ms":250}"#).unwrap();
+        assert_eq!(req, FastRequest::Stats);
+        assert_eq!(env.id, Some("\"req-1\""));
+        assert_eq!(env.deadline_ms, Some(250));
+
+        let (req, _) =
+            parse_request_fast(r#"{"op":"open","snapshot":"crypto","resume":true}"#).unwrap();
+        assert_eq!(
+            req,
+            FastRequest::Open {
+                session: None,
+                snapshot: Some("crypto"),
+                resume: true,
+            }
+        );
+        assert_eq!(req.session(), None);
+    }
+
+    #[test]
+    fn fast_parser_falls_back_on_anything_unusual() {
+        // Non-hot ops, tagged values, escaped strings, exotic ids,
+        // malformed JSON: all defer to the tree path.
+        for line in [
+            r#"{"op":"report","session":"s"}"#,
+            r#"{"op":"invalidate","tool":"T"}"#,
+            r#"{"op":"shutdown"}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"decide","session":"s","name":"A","value":{"Text":"x"}}"#,
+            r#"{"op":"decide","session":"s","name":"A","value":null}"#,
+            r#"{"op":"decide","session":"s"}"#,
+            r#"{"op":"eval","session":5}"#,
+            r#"{"op":"stats","id":1.5}"#,
+            r#"{"op":"stats","id":-0}"#,
+            r#"{"op":"stats","id":[1]}"#,
+            r#"{"op":"stats","deadline_ms":-5}"#,
+            r#"{"op":"stats","deadline_ms":"soon"}"#,
+            r#"{"op":"stats"} trailing"#,
+            r#"[1,2]"#,
+            "not json",
+        ] {
+            assert!(parse_request_fast(line).is_none(), "should fall back: {line}");
+        }
+        // But null ids and bool ids are exactly re-encodable.
+        let (_, env) = parse_request_fast(r#"{"op":"stats","id":null}"#).unwrap();
+        assert_eq!(env.id, Some("null"));
+        let (_, env) = parse_request_fast(r#"{"op":"stats","id":true}"#).unwrap();
+        assert_eq!(env.id, Some("true"));
+    }
+
+    #[test]
+    fn fast_parser_duplicate_keys_first_occurrence_wins() {
+        let (req, env) =
+            parse_request_fast(r#"{"op":"eval","session":"a","session":"b","id":1,"id":2}"#)
+                .unwrap();
+        assert_eq!(req, FastRequest::Eval { session: "a" });
+        assert_eq!(env.id, Some("1"));
+        // A null first occurrence pins the field to "absent" — the tree
+        // path then owns the missing-field error.
+        assert!(parse_request_fast(r#"{"op":"eval","session":null,"session":"b"}"#).is_none());
+    }
+
+    #[test]
+    fn fast_error_rendering_matches_the_tree_serializer() {
+        let err = ProtocolError::overloaded("connection cap reached", 200);
+        let tree = foundation::json::encode(&err_response(&Some(Json::Int(9)), &err));
+        let mut out = Vec::new();
+        render_err_into(&mut out, Some("9"), &err);
+        assert_eq!(String::from_utf8(out).unwrap(), tree);
+
+        let err = ProtocolError::malformed("bad");
+        let tree = foundation::json::encode(&err_response(&Some(Json::Str("r".into())), &err));
+        let mut out = Vec::new();
+        render_err_into(&mut out, Some("\"r\""), &err);
+        assert_eq!(String::from_utf8(out).unwrap(), tree);
     }
 
     #[test]

@@ -150,6 +150,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut writer = stream;
     let stdout = std::io::stdout();
 
+    // One warm scratch buffer absorbs every response line, so a long
+    // scripted conversation does not allocate per response.
+    let mut resp_buf: Vec<u8> = Vec::new();
     for line in std::io::stdin().lock().lines() {
         let line = line?;
         let line = line.trim();
@@ -157,11 +160,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let mut attempt = 0u32;
-        let response = loop {
+        loop {
             net::write_line(&mut writer, line)?;
-            let response = net::read_line_bounded(&mut reader, net::MAX_WIRE_BYTES)?
+            let response = net::read_line_into(&mut reader, net::MAX_WIRE_BYTES, &mut resp_buf)?
                 .ok_or("server closed the connection")?;
-            match overload_hint(&response) {
+            match overload_hint(response) {
                 Some(hint_ms) if attempt < opts.retries => {
                     let jitter = rng.gen_range(0u64..hint_ms.max(1));
                     eprintln!(
@@ -173,12 +176,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     std::thread::sleep(Duration::from_millis(hint_ms + jitter));
                     attempt += 1;
                 }
-                _ => break response,
+                _ => break,
             }
-        };
+        }
+        let response =
+            std::str::from_utf8(&resp_buf).expect("read_line_into validated UTF-8");
         let mut out = stdout.lock();
         if opts.pretty {
-            match Json::parse(&response) {
+            match Json::parse(response) {
                 Ok(json) => writeln!(out, "{}", encode_pretty(&json))?,
                 Err(_) => writeln!(out, "{response}")?,
             }

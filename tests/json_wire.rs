@@ -1,0 +1,252 @@
+//! Differential proof that the zero-copy wire codec and the original
+//! tree codec are the same codec.
+//!
+//! The borrowed pull-parser (`json::Reader`) and the tree-free
+//! serializer (`json::Writer`) replace the `Json`-tree codec on the
+//! server hot path, with the tree codec retained as the oracle (the
+//! `DSE_WIRE_ENGINE` pattern). These tests pin the two implementations
+//! together from three directions:
+//!
+//! 1. seeded random `Json` trees round-trip through (old parser → new
+//!    writer) and (new reader → old serializer) byte-identically;
+//! 2. 2000 seeded corrupt lines are rejected by **both** parsers, each
+//!    carrying a source position, and on lines where one parser
+//!    accepts, the other accepts the same value;
+//! 3. two engines — one on the borrowed wire path, one forced onto the
+//!    tree oracle — answer the golden smoke conversation and a seeded
+//!    random protocol stream with byte-identical responses.
+
+use design_space_layer::foundation::json::{self, Json, Reader};
+use design_space_layer::foundation::rng::{Rng, SeedableRng, StdRng};
+
+// ---- seeded tree generator ---------------------------------------------
+
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    let mut s = String::new();
+    for _ in 0..len {
+        match rng.gen_range(0u32..10) {
+            // Plain ASCII dominates, as it does on the wire.
+            0..=5 => s.push(rng.gen_range(0x20u8..0x7f) as char),
+            6 => s.push(['"', '\\', '/'][rng.gen_range(0usize..3)]),
+            7 => s.push(['\n', '\t', '\r', '\u{8}', '\u{c}'][rng.gen_range(0usize..5)]),
+            8 => s.push(['\u{0}', '\u{1f}', '\u{7f}'][rng.gen_range(0usize..3)]),
+            _ => s.push(['é', '→', '𝄞', 'ß'][rng.gen_range(0usize..4)]),
+        }
+    }
+    s
+}
+
+fn random_float(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..5) {
+        0 => 0.0,
+        1 => -0.5,
+        2 => 8.0,
+        3 => rng.gen_range(-1.0e9..1.0e9),
+        _ => rng.gen_range(-1.0..1.0) * 1.0e-7,
+    }
+}
+
+fn random_tree(rng: &mut StdRng, depth: usize) -> Json {
+    let top = if depth >= 4 { 5 } else { 7 };
+    match rng.gen_range(0u32..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 1),
+        2 => Json::Int(rng.gen_range(i64::MIN..=i64::MAX)),
+        3 => Json::Float(random_float(rng)),
+        4 => Json::Str(random_string(rng)),
+        5 => Json::Array(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| random_tree(rng, depth + 1))
+                .collect(),
+        ),
+        _ => Json::Object(
+            (0..rng.gen_range(0usize..5))
+                .map(|i| (format!("k{i}_{}", random_string(rng)), random_tree(rng, depth + 1)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn random_trees_roundtrip_byte_identically_between_codecs() {
+    let mut rng = StdRng::seed_from_u64(0x11E0_C0DE);
+    for case in 0..500 {
+        let tree = random_tree(&mut rng, 0);
+        let old = json::encode(&tree);
+
+        // Tree-free writer serializes the same tree to the same bytes.
+        let mut new = Vec::new();
+        json::write_json(&mut new, &tree);
+        assert_eq!(old.as_bytes(), &new[..], "case {case}: writer diverged");
+
+        // Old parser → new writer round-trips to the input bytes.
+        let via_old = Json::parse(&old).expect("old parser accepts its own output");
+        let mut rewritten = Vec::new();
+        json::write_json(&mut rewritten, &via_old);
+        assert_eq!(old.as_bytes(), &rewritten[..], "case {case}: old→new roundtrip");
+
+        // New reader → old serializer round-trips to the input bytes.
+        let via_new = Reader::parse_document(old.as_bytes())
+            .expect("new reader accepts the old serializer's output");
+        assert_eq!(old, json::encode(&via_new), "case {case}: new→old roundtrip");
+        assert_eq!(via_old, via_new, "case {case}: parsed values diverged");
+    }
+}
+
+// ---- malformed-input parity --------------------------------------------
+
+/// Mutates a valid document into a (usually) corrupt line.
+fn corrupt(rng: &mut StdRng, base: &str) -> Option<String> {
+    let mut bytes = base.as_bytes().to_vec();
+    match rng.gen_range(0u32..4) {
+        0 if !bytes.is_empty() => {
+            bytes.truncate(rng.gen_range(0usize..bytes.len()));
+        }
+        1 if !bytes.is_empty() => {
+            let i = rng.gen_range(0usize..bytes.len());
+            bytes[i] = [b'{', b'}', b'[', b']', b',', b':', b'"', b'\\', b'e', b'0', b'+']
+                [rng.gen_range(0usize..11)];
+        }
+        2 => {
+            let i = rng.gen_range(0usize..=bytes.len());
+            bytes.insert(
+                i,
+                [b'{', b'}', b',', b':', b'"', b'x'][rng.gen_range(0usize..6)],
+            );
+        }
+        _ => {
+            let i = rng.gen_range(0usize..=bytes.len());
+            bytes.insert(i, b',');
+        }
+    }
+    // Both parsers take `&str`; mutations that break UTF-8 are framing
+    // errors, rejected before either parser runs.
+    String::from_utf8(bytes).ok()
+}
+
+#[test]
+fn both_parsers_reject_the_same_corrupt_lines_with_a_position() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_1E5);
+    let mut rejected = 0usize;
+    let mut generated = 0usize;
+    while rejected < 2000 {
+        generated += 1;
+        assert!(
+            generated < 40_000,
+            "corruption generator stopped producing rejections \
+             ({rejected} after {generated} lines)"
+        );
+        let base = json::encode(&random_tree(&mut rng, 0));
+        let Some(line) = corrupt(&mut rng, &base) else {
+            continue;
+        };
+        let old = Json::parse(&line);
+        let new = Reader::parse_document(line.as_bytes());
+        match (old, new) {
+            (Err(eo), Err(en)) => {
+                assert!(
+                    eo.line >= 1 && eo.col >= 1,
+                    "old parser rejected {line:?} without a position: {eo}"
+                );
+                assert!(
+                    en.line >= 1 && en.col >= 1,
+                    "new parser rejected {line:?} without a position: {en}"
+                );
+                rejected += 1;
+            }
+            // A mutation can still be valid JSON; then both must accept
+            // the same value.
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "parsers accepted {line:?} differently"),
+            (Ok(_), Err(e)) => panic!("only the new parser rejected {line:?}: {e}"),
+            (Err(e), Ok(_)) => panic!("only the old parser rejected {line:?}: {e}"),
+        }
+    }
+}
+
+// ---- engine-level differential transcript ------------------------------
+
+fn engine_pair() -> (dse_server::Engine, dse_server::Engine) {
+    // `wire_tree` latches at build time, so flipping the env var around
+    // construction yields one engine per path.
+    std::env::set_var(dse_server::engine::WIRE_ENGINE_ENV, "tree");
+    let tree = dse_server::EngineBuilder::new(techlib::Technology::g10_035())
+        .with_shipped_layers()
+        .build()
+        .expect("tree engine builds");
+    std::env::remove_var(dse_server::engine::WIRE_ENGINE_ENV);
+    let fast = dse_server::EngineBuilder::new(techlib::Technology::g10_035())
+        .with_shipped_layers()
+        .build()
+        .expect("fast engine builds");
+    (tree, fast)
+}
+
+fn assert_transcripts_match(lines: &[String]) {
+    let (tree, fast) = engine_pair();
+    for (i, line) in lines.iter().enumerate() {
+        let expected = tree.handle_line_tree(line);
+        let got = fast.handle_line(line);
+        assert_eq!(
+            expected, got,
+            "line {i} diverged between tree and fast engines: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_smoke_conversation_is_byte_identical_on_both_paths() {
+    let script = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/server_smoke.script"
+    ))
+    .expect("golden script exists");
+    let lines: Vec<String> = script
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect();
+    assert!(lines.len() >= 20, "golden script unexpectedly short");
+    assert_transcripts_match(&lines);
+}
+
+/// A seeded stream of plausible-to-hostile protocol lines: valid hot
+/// ops, wrong types, missing fields, duplicate keys, unknown ops,
+/// unparseable garbage.
+fn random_protocol_stream(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let session = format!("f{}", rng.gen_range(0u32..4));
+        let line = match rng.gen_range(0u32..14) {
+            0 => format!(r#"{{"op":"open","session":"{session}","snapshot":"crypto"}}"#),
+            1 => format!(r#"{{"op":"decide","session":"{session}","name":"EOL","value":768}}"#),
+            2 => format!(
+                r#"{{"op":"decide","session":"{session}","name":"ModuloIsOdd","value":"Guaranteed"}}"#
+            ),
+            3 => format!(r#"{{"op":"decide","session":"{session}","name":"EOL","value":8.5}}"#),
+            4 => format!(r#"{{"op":"retract","session":"{session}"}}"#),
+            5 => format!(r#"{{"op":"surviving_cores","session":"{session}","limit":3}}"#),
+            6 => format!(r#"{{"op":"viable","session":"{session}","name":"ImplementationStyle"}}"#),
+            7 => format!(r#"{{"op":"eval","session":"{session}"}}"#),
+            8 => format!(r#"{{"op":"close","session":"{session}"}}"#),
+            9 => r#"{"op":"stats"}"#.to_owned(),
+            // Hostile shapes: every one must fall back (or error) the
+            // same way on both paths.
+            10 => format!(r#"{{"op":"decide","session":"{session}","value":768}}"#),
+            11 => format!(
+                r#"{{"op":"decide","op":"stats","session":"{session}","name":"EOL","value":1,"id":{i}}}"#
+            ),
+            12 => format!(r#"{{"op":"stats","id":{}}}"#, rng.gen_range(i64::MIN..=i64::MAX)),
+            _ => json::encode(&random_tree(&mut rng, 2)),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+#[test]
+fn seeded_protocol_fuzz_is_byte_identical_on_both_paths() {
+    assert_transcripts_match(&random_protocol_stream(0x5EED_F00D, 600));
+}
